@@ -1,0 +1,325 @@
+//! E10 — ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. hash SpGEMM (cuBool/CSR) vs ESC SpGEMM (clBool/COO);
+//! 2. merge-path two-pass addition vs a naive sort-based baseline;
+//! 3. transitive-closure schedules (squaring vs single-step vs
+//!    incremental after a delta);
+//! 4. CNF vs RSM grammar encodings inside the CFPQ engines (Tns on the
+//!    raw grammar vs Mtx paying the CNF blow-up on a regular query);
+//! 5. from-scratch vs incremental closure inside the Tns fixpoint.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use spbla_bench::{naive_add_baseline, upload};
+use spbla_core::Instance;
+use spbla_data::random::{power_law_pairs, uniform_row_degree};
+use spbla_graph::closure::{closure_incremental, closure_single_step, closure_squaring};
+use spbla_graph::cfpq::azimov::{AzimovIndex, AzimovOptions};
+use spbla_graph::cfpq::tensor::{TnsIndex, TnsOptions};
+use spbla_graph::LabeledGraph;
+use spbla_lang::{CnfGrammar, Grammar, SymbolTable};
+
+fn ablate_spgemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_spgemm");
+    group.sample_size(10);
+    for &(n, deg) in &[(2000u32, 8usize), (2000, 32)] {
+        let pa = uniform_row_degree(n, deg, 1);
+        let pb = uniform_row_degree(n, deg, 2);
+        let label = format!("n{n}_d{deg}");
+        let cuda = Instance::cuda_sim();
+        let (ha, hb) = (upload(&cuda, n, &pa), upload(&cuda, n, &pb));
+        group.bench_with_input(BenchmarkId::new("hash_csr", &label), &(), |b, ()| {
+            b.iter(|| ha.mxm(&hb).unwrap().nnz())
+        });
+        let cl = Instance::cl_sim();
+        let (ea, eb) = (upload(&cl, n, &pa), upload(&cl, n, &pb));
+        group.bench_with_input(BenchmarkId::new("esc_coo", &label), &(), |b, ()| {
+            b.iter(|| ea.mxm(&eb).unwrap().nnz())
+        });
+    }
+    group.finish();
+}
+
+fn ablate_add(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_add");
+    group.sample_size(10);
+    let n = 20_000u32;
+    let pa = power_law_pairs(n, 150_000, 2.2, 5);
+    let pb = power_law_pairs(n, 150_000, 2.2, 6);
+    let cuda = Instance::cuda_sim();
+    let (ba, bb) = (upload(&cuda, n, &pa), upload(&cuda, n, &pb));
+    group.bench_function("merge_path_two_pass", |b| {
+        b.iter(|| ba.ewise_add(&bb).unwrap().nnz())
+    });
+    group.bench_function("naive_sort_dedup", |b| {
+        b.iter(|| naive_add_baseline(&pa, &pb).len())
+    });
+    group.finish();
+}
+
+fn ablate_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_closure");
+    group.sample_size(10);
+    // Layered DAG: long diameter stresses single-step; squaring wins.
+    let n = 400u32;
+    let mut pairs: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    pairs.extend((0..n - 10).step_by(7).map(|i| (i, i + 10)));
+    let inst = Instance::cuda_sim();
+    let a = upload(&inst, n, &pairs);
+    group.bench_function("squaring", |b| {
+        b.iter(|| closure_squaring(&a).unwrap().nnz())
+    });
+    // Single-step has O(diameter) rounds — measured on a shorter chain
+    // to keep the bench bounded.
+    let n2 = 200u32;
+    let chain: Vec<(u32, u32)> = (0..n2 - 1).map(|i| (i, i + 1)).collect();
+    let a2 = upload(&inst, n2, &chain);
+    group.bench_function("single_step_chain200", |b| {
+        b.iter(|| closure_single_step(&a2).unwrap().nnz())
+    });
+    group.bench_function("squaring_chain200", |b| {
+        b.iter(|| closure_squaring(&a2).unwrap().nnz())
+    });
+    // Incremental: closure known, one new bridge edge.
+    let t = closure_squaring(&a2).unwrap();
+    let delta = upload(&inst, n2, &[(n2 - 1, 0)]);
+    group.bench_function("incremental_one_edge", |b| {
+        b.iter(|| closure_incremental(&t, &delta).unwrap().nnz())
+    });
+    group.bench_function("from_scratch_after_edge", |b| {
+        let merged = a2.ewise_add(&delta).unwrap();
+        b.iter(|| closure_squaring(&merged).unwrap().nnz())
+    });
+    group.finish();
+}
+
+fn regular_query_grammar(table: &mut SymbolTable) -> Grammar {
+    // A regular (chain) query as a CFG — where CNF pays most.
+    Grammar::parse("S -> a b c d e | a S", table).expect("parses")
+}
+
+fn ablate_grammar_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_grammar_encoding");
+    group.sample_size(10);
+    let mut table = SymbolTable::new();
+    let grammar = regular_query_grammar(&mut table);
+    let cnf = CnfGrammar::from_grammar(&grammar);
+    let labels: Vec<_> = ["a", "b", "c", "d", "e"]
+        .iter()
+        .map(|l| table.get(l).unwrap())
+        .collect();
+    let g = spbla_data::random::random_labeled_graph(500, 4000, &labels, 9);
+    let inst = Instance::cuda_sim();
+    group.bench_function("tns_rsm_encoding", |b| {
+        b.iter(|| {
+            TnsIndex::build(&g, &grammar, &inst, &TnsOptions::default())
+                .unwrap()
+                .index_nnz()
+        })
+    });
+    group.bench_function("mtx_cnf_encoding", |b| {
+        b.iter(|| {
+            AzimovIndex::build(&g, &cnf, &inst, &AzimovOptions::default())
+                .unwrap()
+                .reachable_pairs()
+                .len()
+        })
+    });
+    group.finish();
+}
+
+fn ablate_tns_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tns_closure_mode");
+    group.sample_size(10);
+    let mut table = SymbolTable::new();
+    let grammar = Grammar::parse("S -> a S b | a b", &mut table).expect("parses");
+    let a = table.get("a").unwrap();
+    let b = table.get("b").unwrap();
+    // Two cycles sharing a vertex (the classic worst case driving many
+    // fixpoint iterations).
+    let mut g = LabeledGraph::new(60);
+    for i in 0..30u32 {
+        g.add_edge(i, a, (i + 1) % 30);
+    }
+    for i in 0..30u32 {
+        g.add_edge(if i == 0 { 0 } else { 29 + i }, b, if i == 29 { 0 } else { 30 + i });
+    }
+    let inst = Instance::cuda_sim();
+    group.bench_function("from_scratch_each_round", |bch| {
+        bch.iter(|| {
+            TnsIndex::build(&g, &grammar, &inst, &TnsOptions { incremental: false })
+                .unwrap()
+                .iterations()
+        })
+    });
+    group.bench_function("incremental_between_rounds", |bch| {
+        bch.iter(|| {
+            TnsIndex::build(&g, &grammar, &inst, &TnsOptions { incremental: true })
+                .unwrap()
+                .iterations()
+        })
+    });
+    group.finish();
+}
+
+fn ablate_sparse_vs_dense(c: &mut Criterion) {
+    // Sparse CSR vs the dense bit-parallel backend across densities: the
+    // crossover justifies the unified library's "select implementation
+    // by task" plan.
+    let mut group = c.benchmark_group("ablation_sparse_vs_dense");
+    group.sample_size(10);
+    let n = 1024u32;
+    for &deg in &[4usize, 32, 128] {
+        let pa = uniform_row_degree(n, deg, 11);
+        let pb = uniform_row_degree(n, deg, 12);
+        let label = format!("density_{:.3}", deg as f64 / n as f64);
+        let sparse = Instance::cuda_sim();
+        let (sa, sb) = (upload(&sparse, n, &pa), upload(&sparse, n, &pb));
+        group.bench_with_input(BenchmarkId::new("sparse_csr", &label), &(), |b, ()| {
+            b.iter(|| sa.mxm(&sb).unwrap().nnz())
+        });
+        let dense = Instance::cpu_dense();
+        let (da, db) = (upload(&dense, n, &pa), upload(&dense, n, &pb));
+        group.bench_with_input(BenchmarkId::new("dense_bit", &label), &(), |b, ()| {
+            b.iter(|| da.mxm(&db).unwrap().nnz())
+        });
+    }
+    group.finish();
+}
+
+fn ablate_masked_mxm(c: &mut Criterion) {
+    // Fused masked SpGEMM vs full product + intersection, on a selective
+    // mask (triangle-counting-shaped workload: mask = adjacency).
+    let mut group = c.benchmark_group("ablation_masked_mxm");
+    group.sample_size(10);
+    let n = 3000u32;
+    let pa = uniform_row_degree(n, 24, 31);
+    let inst = Instance::cuda_sim();
+    let a = upload(&inst, n, &pa);
+    let mask = upload(&inst, n, &pa);
+    group.bench_function("fused_in_kernel", |b| {
+        b.iter(|| a.mxm_masked(&a, &mask).unwrap().nnz())
+    });
+    group.bench_function("product_then_intersect", |b| {
+        b.iter(|| a.mxm(&a).unwrap().ewise_mult(&mask).unwrap().nnz())
+    });
+    group.finish();
+}
+
+fn ablate_automaton_kind(c: &mut Criterion) {
+    // The automaton's state count is the Kronecker factor: compare the
+    // four constructions on an alternation-heavy Table II template.
+    use spbla_bench::lubm_rung;
+    use spbla_graph::rpq::{AutomatonKind, RpqIndex, RpqOptions};
+    let mut group = c.benchmark_group("ablation_automaton_kind");
+    group.sample_size(10);
+    let mut table = SymbolTable::new();
+    let graph = lubm_rung(4, &mut table);
+    let regex = spbla_data::queries::instantiate_template(
+        spbla_data::queries::template("Q14").unwrap(),
+        &["type", "memberOf", "takesCourse", "subOrganizationOf", "teacherOf", "worksFor"],
+        &mut table,
+    );
+    let inst = Instance::cuda_sim();
+    for (name, kind) in [
+        ("glushkov", AutomatonKind::Glushkov),
+        ("thompson", AutomatonKind::Thompson),
+        ("derivative_dfa", AutomatonKind::DerivativeDfa),
+        ("minimized_dfa", AutomatonKind::MinimizedDfa),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                RpqIndex::build(
+                    &graph,
+                    &regex,
+                    &inst,
+                    &RpqOptions {
+                        automaton: kind,
+                        ..RpqOptions::default()
+                    },
+                )
+                .unwrap()
+                .index_nnz()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablate_rpq_strategy(c: &mut Criterion) {
+    // End-to-end strategy comparison: all-pairs Kronecker index vs
+    // per-source frontier BFS vs derivative propagation, on the same
+    // query/graph (single-source workloads don't need the index; the
+    // index amortises over all pairs).
+    use spbla_bench::lubm_rung;
+    use spbla_graph::rpq::{RpqIndex, RpqOptions};
+    use spbla_graph::rpq_bfs::rpq_from_sources;
+    use spbla_graph::rpq_derivative::rpq_by_derivatives;
+    let mut group = c.benchmark_group("ablation_rpq_strategy");
+    group.sample_size(10);
+    let mut table = SymbolTable::new();
+    let graph = lubm_rung(4, &mut table);
+    let regex = spbla_data::queries::instantiate_template(
+        spbla_data::queries::template("Q2").unwrap(),
+        &["memberOf", "subOrganizationOf"],
+        &mut table,
+    );
+    let inst = Instance::cuda_sim();
+    group.bench_function("all_pairs_index", |b| {
+        b.iter(|| {
+            RpqIndex::build(&graph, &regex, &inst, &RpqOptions::default())
+                .unwrap()
+                .index_nnz()
+        })
+    });
+    group.bench_function("single_source_bfs", |b| {
+        b.iter(|| {
+            rpq_from_sources(&graph, &regex, &[0, 1, 2, 3], &inst)
+                .unwrap()
+                .len()
+        })
+    });
+    group.bench_function("derivative_all_pairs", |b| {
+        b.iter(|| rpq_by_derivatives(&graph, &regex).len())
+    });
+    group.finish();
+}
+
+fn ablate_device_scaling(c: &mut Criterion) {
+    // Strong scaling of the flagship kernel with the simulated device's
+    // SM count (dedicated pools make sm_count the compute width).
+    use spbla_gpu_sim::{Device, DeviceConfig};
+    let mut group = c.benchmark_group("ablation_device_scaling");
+    group.sample_size(10);
+    let n = 3000u32;
+    let pa = uniform_row_degree(n, 24, 41);
+    let pb = uniform_row_degree(n, 24, 42);
+    for sms in [1u32, 2, 4, 8] {
+        let dev = Device::new(DeviceConfig {
+            sm_count: sms,
+            dedicated_pool: true,
+            ..DeviceConfig::default()
+        });
+        let inst = Instance::cuda_sim_on(dev);
+        let (a, b) = (upload(&inst, n, &pa), upload(&inst, n, &pb));
+        group.bench_function(format!("mxm_sm{sms}"), |bch| {
+            bch.iter(|| a.mxm(&b).unwrap().nnz())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_spgemm,
+    ablate_add,
+    ablate_closure,
+    ablate_grammar_encoding,
+    ablate_tns_incremental,
+    ablate_sparse_vs_dense,
+    ablate_masked_mxm,
+    ablate_automaton_kind,
+    ablate_rpq_strategy,
+    ablate_device_scaling
+);
+criterion_main!(benches);

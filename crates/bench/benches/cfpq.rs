@@ -1,0 +1,78 @@
+//! E6 (Table IV) — CFPQ index creation: tensor algorithm (`Tns`) vs
+//! Azimov's matrix baseline (`Mtx`) on same-generation and memory-alias
+//! workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use spbla_bench::{alias_suite, cfpq_rdf_suite};
+use spbla_core::Instance;
+use spbla_data::grammars::{grammar_g1, grammar_g2, grammar_ma};
+use spbla_graph::cfpq::azimov::{AzimovIndex, AzimovOptions};
+use spbla_graph::cfpq::tensor::{TnsIndex, TnsOptions};
+use spbla_lang::{CnfGrammar, SymbolTable};
+
+fn bench_same_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cfpq_same_generation");
+    group.sample_size(10);
+    let mut table = SymbolTable::new();
+    let g1 = grammar_g1(&mut table);
+    let g2 = grammar_g2(&mut table);
+    let cnf1 = CnfGrammar::from_grammar(&g1);
+    let cnf2 = CnfGrammar::from_grammar(&g2);
+    let suite = cfpq_rdf_suite(&mut table, 0.004);
+    let inst = Instance::cuda_sim();
+    for (name, graph) in suite
+        .iter()
+        .filter(|(n, _)| n == "eclass_514en" || n == "go-hierarchy" || n == "enzyme")
+    {
+        for (qname, grammar, cnf) in [("G1", &g1, &cnf1), ("G2", &g2, &cnf2)] {
+            group.bench_with_input(BenchmarkId::new(format!("{qname}_tns"), name), &(), |b, ()| {
+                b.iter(|| {
+                    TnsIndex::build(graph, grammar, &inst, &TnsOptions::default())
+                        .unwrap()
+                        .index_nnz()
+                })
+            });
+            group.bench_with_input(BenchmarkId::new(format!("{qname}_mtx"), name), &(), |b, ()| {
+                b.iter(|| {
+                    AzimovIndex::build(graph, cnf, &inst, &AzimovOptions::default())
+                        .unwrap()
+                        .reachable_pairs()
+                        .len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_memory_alias(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cfpq_memory_alias");
+    group.sample_size(10);
+    let mut table = SymbolTable::new();
+    let ma = grammar_ma(&mut table);
+    let cnf = CnfGrammar::from_grammar(&ma);
+    let suite = alias_suite(&mut table, 0.05);
+    let inst = Instance::cuda_sim();
+    for (name, graph) in &suite {
+        group.bench_with_input(BenchmarkId::new("MA_tns", name), &(), |b, ()| {
+            b.iter(|| {
+                TnsIndex::build(graph, &ma, &inst, &TnsOptions::default())
+                    .unwrap()
+                    .index_nnz()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("MA_mtx", name), &(), |b, ()| {
+            b.iter(|| {
+                AzimovIndex::build(graph, &cnf, &inst, &AzimovOptions::default())
+                    .unwrap()
+                    .reachable_pairs()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_same_generation, bench_memory_alias);
+criterion_main!(benches);

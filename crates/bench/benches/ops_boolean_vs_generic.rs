@@ -1,0 +1,118 @@
+//! E8 — core-operation benchmarks: Boolean-specialised kernels vs the
+//! generic valued library (and the two Boolean backends against each
+//! other). Regenerates the abstract's "up to 5× faster" claim as a
+//! Criterion comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use spbla_bench::upload;
+use spbla_core::Instance;
+use spbla_data::random::{power_law_pairs, uniform_row_degree};
+use spbla_generic::{add, kron as gkron, spgemm, CsrMatrix, PlusTimesF32, PlusTimesF64};
+
+fn bench_mxm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mxm");
+    group.sample_size(10);
+    for &(n, deg) in &[(1000u32, 8usize), (4000, 16)] {
+        let pa = uniform_row_degree(n, deg, 1);
+        let pb = uniform_row_degree(n, deg, 2);
+        let label = format!("n{n}_d{deg}");
+
+        let cuda = Instance::cuda_sim();
+        let (ba, bb) = (upload(&cuda, n, &pa), upload(&cuda, n, &pb));
+        group.bench_with_input(BenchmarkId::new("boolean_csr_hash", &label), &(), |bch, ()| {
+            bch.iter(|| ba.mxm(&bb).unwrap().nnz())
+        });
+
+        let cl = Instance::cl_sim();
+        let (ca, cb) = (upload(&cl, n, &pa), upload(&cl, n, &pb));
+        group.bench_with_input(BenchmarkId::new("boolean_coo_esc", &label), &(), |bch, ()| {
+            bch.iter(|| ca.mxm(&cb).unwrap().nnz())
+        });
+
+        let t32a: Vec<_> = pa.iter().map(|&(i, j)| (i, j, 1.0f32)).collect();
+        let t32b: Vec<_> = pb.iter().map(|&(i, j)| (i, j, 1.0f32)).collect();
+        let (ga, gb) = (
+            CsrMatrix::<PlusTimesF32>::from_triples(n, n, &t32a),
+            CsrMatrix::<PlusTimesF32>::from_triples(n, n, &t32b),
+        );
+        group.bench_with_input(BenchmarkId::new("generic_f32", &label), &(), |bch, ()| {
+            bch.iter(|| spgemm::mxm(&ga, &gb).nnz())
+        });
+
+        let t64a: Vec<_> = pa.iter().map(|&(i, j)| (i, j, 1.0f64)).collect();
+        let t64b: Vec<_> = pb.iter().map(|&(i, j)| (i, j, 1.0f64)).collect();
+        let (ha, hb) = (
+            CsrMatrix::<PlusTimesF64>::from_triples(n, n, &t64a),
+            CsrMatrix::<PlusTimesF64>::from_triples(n, n, &t64b),
+        );
+        group.bench_with_input(BenchmarkId::new("generic_f64", &label), &(), |bch, ()| {
+            bch.iter(|| spgemm::mxm(&ha, &hb).nnz())
+        });
+    }
+    group.finish();
+}
+
+fn bench_add(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ewise_add");
+    group.sample_size(10);
+    let n = 20_000u32;
+    let pa = power_law_pairs(n, 200_000, 2.2, 3);
+    let pb = power_law_pairs(n, 200_000, 2.2, 4);
+
+    let cuda = Instance::cuda_sim();
+    let (ba, bb) = (upload(&cuda, n, &pa), upload(&cuda, n, &pb));
+    group.bench_function("boolean_csr_merge", |bch| {
+        bch.iter(|| ba.ewise_add(&bb).unwrap().nnz())
+    });
+
+    let cl = Instance::cl_sim();
+    let (ca, cb) = (upload(&cl, n, &pa), upload(&cl, n, &pb));
+    group.bench_function("boolean_coo_onepass", |bch| {
+        bch.iter(|| ca.ewise_add(&cb).unwrap().nnz())
+    });
+
+    let t64a: Vec<_> = pa.iter().map(|&(i, j)| (i, j, 1.0f64)).collect();
+    let t64b: Vec<_> = pb.iter().map(|&(i, j)| (i, j, 1.0f64)).collect();
+    let (ga, gb) = (
+        CsrMatrix::<PlusTimesF64>::from_triples(n, n, &t64a),
+        CsrMatrix::<PlusTimesF64>::from_triples(n, n, &t64b),
+    );
+    group.bench_function("generic_f64", |bch| {
+        bch.iter(|| add::ewise_add(&ga, &gb).nnz())
+    });
+    group.finish();
+}
+
+fn bench_kron(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kron");
+    group.sample_size(10);
+    let pa = uniform_row_degree(100, 4, 5);
+    let pb = uniform_row_degree(200, 4, 6);
+
+    let cuda = Instance::cuda_sim();
+    let (ba, bb) = (upload(&cuda, 100, &pa), upload(&cuda, 200, &pb));
+    group.bench_function("boolean_csr", |bch| {
+        bch.iter(|| ba.kron(&bb).unwrap().nnz())
+    });
+
+    let cl = Instance::cl_sim();
+    let (ca, cb) = (upload(&cl, 100, &pa), upload(&cl, 200, &pb));
+    group.bench_function("boolean_coo", |bch| {
+        bch.iter(|| ca.kron(&cb).unwrap().nnz())
+    });
+
+    let t64a: Vec<_> = pa.iter().map(|&(i, j)| (i, j, 1.0f64)).collect();
+    let t64b: Vec<_> = pb.iter().map(|&(i, j)| (i, j, 1.0f64)).collect();
+    let (ga, gb) = (
+        CsrMatrix::<PlusTimesF64>::from_triples(100, 100, &t64a),
+        CsrMatrix::<PlusTimesF64>::from_triples(200, 200, &t64b),
+    );
+    group.bench_function("generic_f64", |bch| {
+        bch.iter(|| gkron::kron(&ga, &gb).nnz())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mxm, bench_add, bench_kron);
+criterion_main!(benches);

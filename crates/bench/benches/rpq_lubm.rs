@@ -1,0 +1,49 @@
+//! E3 (Figure 2) — RPQ index creation on the LUBM ladder, as Criterion
+//! benchmarks over representative Table II templates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use spbla_bench::lubm_rung;
+use spbla_core::Instance;
+use spbla_data::queries::{instantiate_template, template};
+use spbla_graph::rpq::{RpqIndex, RpqOptions};
+use spbla_lang::SymbolTable;
+
+fn bench_lubm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpq_lubm_index");
+    group.sample_size(10);
+    let mut table = SymbolTable::new();
+    // Cheap (Q2, Q11^3) and expensive (Q4^5, Q14) templates, as in the
+    // paper's spread.
+    let labels = [
+        "type",
+        "takesCourse",
+        "memberOf",
+        "subOrganizationOf",
+        "teacherOf",
+        "worksFor",
+    ];
+    for &unis in &[2usize, 10] {
+        let graph = lubm_rung(unis, &mut table);
+        let inst = Instance::cuda_sim();
+        for tname in ["Q2", "Q4^5", "Q11^3", "Q14"] {
+            let t = template(tname).unwrap();
+            let regex = instantiate_template(t, &labels, &mut table);
+            group.bench_with_input(
+                BenchmarkId::new(tname.replace('^', "_"), format!("u{unis}")),
+                &(),
+                |b, ()| {
+                    b.iter(|| {
+                        RpqIndex::build(&graph, &regex, &inst, &RpqOptions::default())
+                            .unwrap()
+                            .index_nnz()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lubm);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E4 (Figure 3) — RPQ index creation on the real-world RDF suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use spbla_bench::rpq_rdf_suite;
+use spbla_core::Instance;
+use spbla_data::queries::generate_queries;
+use spbla_graph::rpq::{RpqIndex, RpqOptions};
+use spbla_lang::SymbolTable;
+
+fn bench_real(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpq_real_index");
+    group.sample_size(10);
+    let mut table = SymbolTable::new();
+    let suite = rpq_rdf_suite(&mut table, 0.004);
+    let inst = Instance::cuda_sim();
+    for (name, graph) in &suite {
+        // Three generated queries per graph (most-frequent labels).
+        let queries = generate_queries(graph, &mut table, 4, 1, 7);
+        for (qname, regex) in queries
+            .iter()
+            .filter(|(n, _)| n.starts_with("Q2#") || n.starts_with("Q4^2#") || n.starts_with("Q9^2#"))
+        {
+            group.bench_with_input(
+                BenchmarkId::new(qname.replace(['^', '#'], "_"), name),
+                &(),
+                |b, ()| {
+                    b.iter(|| {
+                        RpqIndex::build(graph, regex, &inst, &RpqOptions::default())
+                            .unwrap()
+                            .index_nnz()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_real);
+criterion_main!(benches);

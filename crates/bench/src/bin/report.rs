@@ -1,0 +1,497 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p spbla-bench --bin report -- all
+//! cargo run --release -p spbla-bench --bin report -- table4
+//! SPBLA_BENCH_SCALE=0.05 cargo run --release -p spbla-bench --bin report -- fig3
+//! ```
+//!
+//! Subcommands: `table1 table2 fig2 fig3 table3 table4 paths
+//! boolean-vs-generic formats all`. Absolute numbers are CPU-simulator
+//! scale; EXPERIMENTS.md records how each reproduced *shape* compares to
+//! the paper.
+
+use std::time::Duration;
+
+use spbla_bench::*;
+use spbla_core::{CooBool, CsrBool, Instance, Matrix};
+use spbla_data::grammars::{grammar_g1, grammar_g2, grammar_geo, grammar_ma};
+use spbla_data::queries::{generate_queries, TEMPLATES};
+use spbla_data::random::uniform_row_degree;
+use spbla_data::stats::GraphStats;
+use spbla_generic::{spgemm, CsrMatrix, PlusTimesF32, PlusTimesF64};
+use spbla_graph::cfpq::azimov::{AzimovIndex, AzimovOptions};
+use spbla_graph::cfpq::tensor::{TnsIndex, TnsOptions};
+use spbla_graph::rpq::{RpqIndex, RpqOptions};
+use spbla_graph::LabeledGraph;
+use spbla_lang::{CnfGrammar, SymbolTable};
+
+const RUNS: usize = 3; // paper averages over 5; 3 keeps `all` snappy
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match arg.as_str() {
+        "table1" => table1(),
+        "table2" => table2(),
+        "fig2" => fig2(),
+        "fig3" => fig3(),
+        "table3" => table3(),
+        "table4" => table4(),
+        "paths" => paths(),
+        "boolean-vs-generic" => boolean_vs_generic(),
+        "formats" => formats(),
+        "ablations" => ablations(),
+        "all" => {
+            table1();
+            table2();
+            fig2();
+            fig3();
+            table3();
+            table4();
+            paths();
+            boolean_vs_generic();
+            formats();
+            ablations();
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            eprintln!("known: table1 table2 fig2 fig3 table3 table4 paths boolean-vs-generic formats ablations all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn header(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+// ---------------------------------------------------------------- E1
+fn table1() {
+    header("Table I — graphs for RPQ evaluation (synthetic equivalents)");
+    let scale = bench_scale();
+    println!("(scale factor {scale}; paper-published sizes in brackets)\n");
+    let paper: &[(&str, u64, u64)] = &[
+        ("LUBM1k", 120_926, 484_646),
+        ("LUBM3.5k", 358_434, 1_449_711),
+        ("LUBM5.9k", 596_760, 2_416_513),
+        ("LUBM1M", 1_188_340, 4_820_728),
+        ("LUBM1.7M", 1_780_956, 7_228_358),
+        ("LUBM2.3M", 2_308_385, 9_369_511),
+        ("uniprotkb", 6_442_630, 24_465_430),
+        ("proteomes", 4_834_262, 12_366_973),
+        ("taxonomy", 5_728_398, 14_922_125),
+        ("geospecies", 450_609, 2_201_532),
+        ("mappingbased", 8_332_233, 25_346_359),
+    ];
+    let mut table = SymbolTable::new();
+    let mut rows: Vec<GraphStats> = Vec::new();
+    for (name, unis) in lubm_ladder() {
+        rows.push(GraphStats::of(name, &lubm_rung(unis, &mut table), &table));
+    }
+    for (name, g) in rpq_rdf_suite(&mut table, scale) {
+        rows.push(GraphStats::of(&name, &g, &table));
+    }
+    println!(
+        "{:<14} {:>10} {:>12}   {:>12} {:>12}",
+        "graph", "|V|", "|E|", "paper |V|", "paper |E|"
+    );
+    for s in &rows {
+        let p = paper.iter().find(|(n, _, _)| s.name.starts_with(n));
+        let (pv, pe) = p.map_or((0, 0), |&(_, v, e)| (v, e));
+        println!(
+            "{:<14} {:>10} {:>12}   {:>12} {:>12}",
+            s.name, s.vertices, s.edges, pv, pe
+        );
+    }
+}
+
+// ---------------------------------------------------------------- E2
+fn table2() {
+    header("Table II — RPQ query templates");
+    for chunk in TEMPLATES.chunks(2) {
+        for t in chunk {
+            print!("{:<7} {:<42}", t.name, t.pattern);
+        }
+        println!();
+    }
+    println!("({} templates)", TEMPLATES.len());
+}
+
+// ---------------------------------------------------------------- E3
+fn run_rpq_suite(name: &str, graph: &LabeledGraph, table: &mut SymbolTable) {
+    let inst = Instance::cuda_sim();
+    let queries = generate_queries(graph, table, 5, 1, 0xBEEF);
+    let mut worst = (String::new(), Duration::ZERO);
+    let mut total = Duration::ZERO;
+    // Large graphs get one run per query instead of the 5-run average —
+    // variance matters less when a single index build takes seconds.
+    let runs = if graph.n_edges() > 100_000 { 1 } else { RUNS };
+    print!("{name:<14}");
+    for (qname, regex) in &queries {
+        let d = time_avg(runs, || {
+            match RpqIndex::build(graph, regex, &inst, &RpqOptions::default()) {
+                Ok(idx) => {
+                    std::hint::black_box(idx.index_nnz());
+                }
+                Err(e) => eprintln!("  [{name}/{qname} failed: {e}]"),
+            }
+        });
+        total += d;
+        if d > worst.1 {
+            worst = (qname.clone(), d);
+        }
+    }
+    println!(
+        "  total {:>8}s  mean {:>8}s  worst {} ({}s)",
+        secs(total),
+        secs(total / queries.len() as u32),
+        worst.0,
+        secs(worst.1)
+    );
+}
+
+fn fig2() {
+    header("Figure 2 — RPQ index creation time, LUBM ladder × 28 templates");
+    println!("(one instantiation per template, avg of {RUNS} runs; paper shape:");
+    println!(" time grows with graph size; Q14-style templates are worst, ≤ seconds)\n");
+    let mut table = SymbolTable::new();
+    for (name, unis) in lubm_ladder() {
+        let graph = lubm_rung(unis, &mut table);
+        run_rpq_suite(name, &graph, &mut table);
+    }
+}
+
+// ---------------------------------------------------------------- E4
+fn fig3() {
+    header("Figure 3 — RPQ index creation time, real-world RDFs × 28 templates");
+    println!("(paper shape: time depends on inner structure more than size;");
+    println!(" taxonomy disproportionately slow, geospecies sometimes slower than");
+    println!(" graphs 10× larger; nothing beyond ~52 s at full scale)\n");
+    let scale = bench_scale();
+    let mut table = SymbolTable::new();
+    for (name, graph) in rpq_rdf_suite(&mut table, scale) {
+        run_rpq_suite(&name, &graph, &mut table);
+    }
+}
+
+// ---------------------------------------------------------------- E5
+fn table3() {
+    header("Table III — graphs for CFPQ evaluation (synthetic equivalents)");
+    let scale = bench_scale();
+    let mut table = SymbolTable::new();
+    println!(
+        "{:<14} {:>8} {:>9} {:>8} {:>8} {:>7} {:>8} {:>8}",
+        "graph", "|V|", "|E|", "#sco", "#type", "#bt", "#a", "#d"
+    );
+    for (name, g) in cfpq_rdf_suite(&mut table, scale) {
+        let s = GraphStats::of(&name, &g, &table);
+        println!(
+            "{:<14} {:>8} {:>9} {:>8} {:>8} {:>7} {:>8} {:>8}",
+            s.name,
+            s.vertices,
+            s.edges,
+            s.label("subClassOf"),
+            s.label("type"),
+            s.label("broaderTransitive"),
+            "-",
+            "-"
+        );
+    }
+    for (name, g) in alias_suite(&mut table, scale * 30.0) {
+        let s = GraphStats::of(&name, &g, &table);
+        println!(
+            "{:<14} {:>8} {:>9} {:>8} {:>8} {:>7} {:>8} {:>8}",
+            s.name,
+            s.vertices,
+            s.edges,
+            "-",
+            "-",
+            "-",
+            s.label("a"),
+            s.label("d")
+        );
+    }
+}
+
+// ---------------------------------------------------------------- E6
+fn cfpq_row(
+    name: &str,
+    graph: &LabeledGraph,
+    grammars: &[(&str, &spbla_lang::Grammar)],
+    inst: &Instance,
+) {
+    print!("{name:<14}");
+    for (gname, grammar) in grammars {
+        let has_labels = grammar
+            .terminals()
+            .iter()
+            .any(|&t| graph.label_count(t) > 0);
+        if !has_labels {
+            print!("  {gname}: ---");
+            continue;
+        }
+        let tns = time_avg(RUNS, || {
+            let idx = TnsIndex::build(graph, grammar, inst, &TnsOptions::default())
+                .expect("tns builds");
+            std::hint::black_box(idx.index_nnz());
+        });
+        let cnf = CnfGrammar::from_grammar(grammar);
+        let mtx = time_avg(RUNS, || {
+            let idx = AzimovIndex::build(graph, &cnf, inst, &AzimovOptions::default())
+                .expect("mtx builds");
+            std::hint::black_box(idx.reachable_pairs().len());
+        });
+        print!("  {gname}: Tns {}s Mtx {}s", secs(tns), secs(mtx));
+    }
+    println!();
+}
+
+fn table4() {
+    header("Table IV — CFPQ index creation, Tns vs Mtx (seconds)");
+    println!("(paper shape: the two are comparable; Mtx somewhat faster on the");
+    println!(" large alias graphs (~1.2–1.5×); Tns far faster on go-hierarchy;");
+    println!(" note Tns computes the all-paths index, Mtx single-path only)\n");
+    let scale = bench_scale();
+    let mut table = SymbolTable::new();
+    let g1 = grammar_g1(&mut table);
+    let g2 = grammar_g2(&mut table);
+    let geo = grammar_geo(&mut table);
+    let ma = grammar_ma(&mut table);
+    let inst = Instance::cuda_sim();
+
+    for (name, graph) in cfpq_rdf_suite(&mut table, scale) {
+        let mut gs: Vec<(&str, &spbla_lang::Grammar)> = vec![("G1", &g1), ("G2", &g2)];
+        if name == "geospecies" {
+            gs.push(("Geo", &geo));
+        }
+        cfpq_row(&name, &graph, &gs, &inst);
+    }
+    for (name, graph) in alias_suite(&mut table, scale * 30.0) {
+        cfpq_row(&name, &graph, &[("MA", &ma)], &inst);
+    }
+}
+
+// ---------------------------------------------------------------- E7
+fn paths() {
+    header("§V-B — all-paths extraction from the Tns index (go & eclass, G1)");
+    println!("(paper: avg 2.64 s/pair on go with up to 217 737 paths per pair;");
+    println!(" avg 1.27 s/pair on eclass with ~3 paths per pair — i.e. go is");
+    println!(" path-dense, eclass path-sparse; the shape to check is that ratio)\n");
+    let scale = bench_scale();
+    let mut table = SymbolTable::new();
+    let g1 = grammar_g1(&mut table);
+    let inst = Instance::cuda_sim();
+    let suite = cfpq_rdf_suite(&mut table, scale);
+    for (name, graph) in suite.iter().filter(|(n, _)| n == "go" || n == "eclass_514en") {
+        let idx = TnsIndex::build(graph, &g1, &inst, &TnsOptions::default()).expect("tns");
+        let pairs = idx.reachable_pairs();
+        let sample: Vec<(u32, u32)> = pairs.iter().copied().take(20).collect();
+        let mut total_paths = 0usize;
+        let mut max_paths = 0usize;
+        let (elapsed, ()) = time_once(|| {
+            for &(u, v) in &sample {
+                let ps = idx.extract_paths(u, v, 20, 500);
+                total_paths += ps.len();
+                max_paths = max_paths.max(ps.len());
+            }
+        });
+        let avg = if sample.is_empty() {
+            0.0
+        } else {
+            total_paths as f64 / sample.len() as f64
+        };
+        println!(
+            "{name:<14} {} reachable pairs; sampled {}: avg {:.1} paths/pair, max {}, {:.1} ms/pair",
+            pairs.len(),
+            sample.len(),
+            avg,
+            max_paths,
+            if sample.is_empty() { 0.0 } else { elapsed.as_secs_f64() * 1000.0 / sample.len() as f64 }
+        );
+    }
+}
+
+// ---------------------------------------------------------------- E8
+fn boolean_vs_generic() {
+    header("Abstract claim — Boolean vs generic ops (≤5× faster, ≤4× less memory)");
+    println!("(Boolean = spbla-core cuda-sim kernels; generic = valued semiring");
+    println!(" library with identical skeletons; both parallel on the same pool)\n");
+    let n: u32 = 4000;
+    let degree = 16;
+    let pairs_a = uniform_row_degree(n, degree, 101);
+    let pairs_b = uniform_row_degree(n, degree, 202);
+
+    let inst = Instance::cuda_sim();
+    let ba = upload(&inst, n, &pairs_a);
+    let bb = upload(&inst, n, &pairs_b);
+
+    let tri_a32: Vec<(u32, u32, f32)> = pairs_a.iter().map(|&(i, j)| (i, j, 1.0)).collect();
+    let tri_b32: Vec<(u32, u32, f32)> = pairs_b.iter().map(|&(i, j)| (i, j, 1.0)).collect();
+    let ga32 = CsrMatrix::<PlusTimesF32>::from_triples(n, n, &tri_a32);
+    let gb32 = CsrMatrix::<PlusTimesF32>::from_triples(n, n, &tri_b32);
+    let tri_a64: Vec<(u32, u32, f64)> = pairs_a.iter().map(|&(i, j)| (i, j, 1.0)).collect();
+    let tri_b64: Vec<(u32, u32, f64)> = pairs_b.iter().map(|&(i, j)| (i, j, 1.0)).collect();
+    let ga64 = CsrMatrix::<PlusTimesF64>::from_triples(n, n, &tri_a64);
+    let gb64 = CsrMatrix::<PlusTimesF64>::from_triples(n, n, &tri_b64);
+
+    let t_bool = time_avg(RUNS, || {
+        std::hint::black_box(ba.mxm(&bb).expect("bool mxm").nnz());
+    });
+    let t_f32 = time_avg(RUNS, || {
+        std::hint::black_box(spgemm::mxm(&ga32, &gb32).nnz());
+    });
+    let t_f64 = time_avg(RUNS, || {
+        std::hint::black_box(spgemm::mxm(&ga64, &gb64).nnz());
+    });
+    println!("mxm   n={n} deg={degree}:");
+    println!(
+        "  boolean {:>9}s | generic f32 {:>9}s ({:.2}x) | generic f64 {:>9}s ({:.2}x)",
+        secs(t_bool),
+        secs(t_f32),
+        t_f32.as_secs_f64() / t_bool.as_secs_f64(),
+        secs(t_f64),
+        t_f64.as_secs_f64() / t_bool.as_secs_f64()
+    );
+
+    let t_badd = time_avg(RUNS, || {
+        std::hint::black_box(ba.ewise_add(&bb).expect("bool add").nnz());
+    });
+    let t_gadd = time_avg(RUNS, || {
+        std::hint::black_box(spbla_generic::add::ewise_add(&ga64, &gb64).nnz());
+    });
+    println!("add:  boolean {:>9}s | generic f64 {:>9}s ({:.2}x)",
+        secs(t_badd), secs(t_gadd), t_gadd.as_secs_f64() / t_badd.as_secs_f64());
+
+    // Memory: result of the product under each representation.
+    let c_bool = ba.mxm(&bb).expect("bool mxm");
+    let c_f64 = spgemm::mxm(&ga64, &gb64);
+    let c_f32 = spgemm::mxm(&ga32, &gb32);
+    println!(
+        "memory (product): boolean CSR {} B | +f32 values {} B ({:.2}x) | +f64 values {} B ({:.2}x)",
+        c_bool.memory_bytes(),
+        c_f32.memory_bytes(),
+        c_f32.memory_bytes() as f64 / c_bool.memory_bytes() as f64,
+        c_f64.memory_bytes(),
+        c_f64.memory_bytes() as f64 / c_bool.memory_bytes() as f64
+    );
+    // COO comparison (the 4x case: 8 B/nnz boolean vs 8+8+16 valued COO
+    // with f64 values and padding-free packing assumed).
+    let coo_bool = 8usize;
+    let coo_f64 = 16usize;
+    println!(
+        "memory per nnz, COO: boolean {} B vs f64-valued {} B ({:.1}x); row-heavy CSR worst case adds the row_ptr overhead only once",
+        coo_bool, coo_f64, coo_f64 as f64 / coo_bool as f64
+    );
+}
+
+// ---------------------------------------------------------------- E10
+fn ablations() {
+    header("E10 — design-choice ablations (text summary; criterion for stats)");
+    use spbla_data::random::{two_cycles_graph, uniform_row_degree as urd};
+    use spbla_graph::closure::{closure_incremental, closure_squaring};
+    use spbla_graph::cfpq::tensor::{TnsIndex as Tns, TnsOptions as TnsOpt};
+    use spbla_lang::{Grammar, Rsm};
+
+    // 1. hash vs ESC SpGEMM.
+    let n = 2000u32;
+    let (pa, pb) = (urd(n, 24, 1), urd(n, 24, 2));
+    let cuda = Instance::cuda_sim();
+    let (ha, hb) = (upload(&cuda, n, &pa), upload(&cuda, n, &pb));
+    let t_hash = time_avg(RUNS, || {
+        std::hint::black_box(ha.mxm(&hb).unwrap().nnz());
+    });
+    let cl = Instance::cl_sim();
+    let (ea, eb) = (upload(&cl, n, &pa), upload(&cl, n, &pb));
+    let t_esc = time_avg(RUNS, || {
+        std::hint::black_box(ea.mxm(&eb).unwrap().nnz());
+    });
+    println!("1. SpGEMM   hash(CSR) {}s vs ESC(COO) {}s ({:.2}x)",
+        secs(t_hash), secs(t_esc), t_esc.as_secs_f64() / t_hash.as_secs_f64());
+
+    // 2. masked mxm fused vs post-intersection.
+    let mask = upload(&cuda, n, &pa);
+    let t_fused = time_avg(RUNS, || {
+        std::hint::black_box(ha.mxm_masked(&ha, &mask).unwrap().nnz());
+    });
+    let t_post = time_avg(RUNS, || {
+        std::hint::black_box(ha.mxm(&ha).unwrap().ewise_mult(&mask).unwrap().nnz());
+    });
+    println!("2. masked   fused {}s vs product+intersect {}s ({:.2}x)",
+        secs(t_fused), secs(t_post), t_post.as_secs_f64() / t_fused.as_secs_f64());
+
+    // 3. incremental closure after a 1-edge delta.
+    let chain: Vec<(u32, u32)> = (0..199u32).map(|i| (i, i + 1)).collect();
+    let a2 = upload(&cuda, 200, &chain);
+    let t0 = closure_squaring(&a2).unwrap();
+    let delta = upload(&cuda, 200, &[(199, 0)]);
+    let t_inc = time_avg(RUNS, || {
+        std::hint::black_box(closure_incremental(&t0, &delta).unwrap().nnz());
+    });
+    let merged = a2.ewise_add(&delta).unwrap();
+    let t_scr = time_avg(RUNS, || {
+        std::hint::black_box(closure_squaring(&merged).unwrap().nnz());
+    });
+    println!("3. closure  incremental {}s vs from-scratch {}s ({:.0}x) after 1-edge delta",
+        secs(t_inc), secs(t_scr), t_scr.as_secs_f64() / t_inc.as_secs_f64());
+
+    // 4. CNF vs RSM grammar size (the introduction's blow-up claim).
+    let mut table = SymbolTable::new();
+    let reg = Grammar::parse("S -> a b c d e | a S", &mut table).unwrap();
+    let cnf = CnfGrammar::from_grammar(&reg);
+    let rsm = Rsm::from_grammar(&reg);
+    println!("4. encoding RSM size {} vs CNF size {} ({:.1}x blow-up) on a regular query",
+        rsm.size(), cnf.size(), cnf.size() as f64 / rsm.size() as f64);
+
+    // 5. Tns closure mode on the two-cycles worst case.
+    let mut t2 = SymbolTable::new();
+    let g = two_cycles_graph(24, 35, &mut t2);
+    let gram = Grammar::parse("S -> a S b | a b", &mut t2).unwrap();
+    let t_tns_inc = time_avg(RUNS, || {
+        std::hint::black_box(
+            Tns::build(&g, &gram, &cuda, &TnsOpt { incremental: true })
+                .unwrap()
+                .iterations(),
+        );
+    });
+    let t_tns_scr = time_avg(RUNS, || {
+        std::hint::black_box(
+            Tns::build(&g, &gram, &cuda, &TnsOpt { incremental: false })
+                .unwrap()
+                .iterations(),
+        );
+    });
+    println!("5. Tns loop incremental {}s vs from-scratch {}s (two-cycles 24/35)",
+        secs(t_tns_inc), secs(t_tns_scr));
+
+    // 6. sparse vs dense-bit backend at fixed density.
+    let dense = Instance::cpu_dense();
+    let (da, db) = (upload(&dense, n, &pa), upload(&dense, n, &pb));
+    let t_dense = time_avg(RUNS, || {
+        std::hint::black_box(da.mxm(&db).unwrap().nnz());
+    });
+    println!("6. backend  sparse-CSR {}s vs dense-bit {}s at density {:.3} (dense mem {} B vs sparse {} B)",
+        secs(t_hash), secs(t_dense), 24.0 / n as f64, da.memory_bytes(), ha.memory_bytes());
+}
+
+// ---------------------------------------------------------------- E9
+fn formats() {
+    header("§IV — CSR vs COO storage across sparsity (format-choice claim)");
+    println!("(CSR = (m+1+nnz)·4 B; COO = 2·nnz·4 B; COO wins below 1 nnz/row)\n");
+    let m: u32 = 100_000;
+    println!("{:>10} {:>12} {:>12}  winner", "nnz", "CSR bytes", "COO bytes");
+    for nnz in [1_000usize, 10_000, 50_000, 100_000, 500_000, 1_000_000] {
+        let pairs = spbla_data::random::random_pairs(m, nnz, 7);
+        let csr = CsrBool::from_pairs(m, m, &pairs).expect("in bounds");
+        let coo = CooBool::from(&csr);
+        println!(
+            "{:>10} {:>12} {:>12}  {}",
+            csr.nnz(),
+            csr.memory_bytes(),
+            coo.memory_bytes(),
+            if coo.memory_bytes() < csr.memory_bytes() { "COO" } else { "CSR" }
+        );
+    }
+    let _ = Matrix::zeros(&Instance::cpu(), 1, 1); // keep Matrix import honest
+}

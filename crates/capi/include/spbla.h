@@ -1,0 +1,77 @@
+/* spbla.h — C interface of the SPbLA Rust reproduction.
+ *
+ * Link against the `spbla_capi` static/cdylib build. All functions
+ * return spbla_Status; out-parameters are written only on SPBLA_OK.
+ * Matrix reads use a two-call protocol: pass NULL buffers to query the
+ * required capacity, then buffers of that capacity to receive data.
+ */
+#ifndef SPBLA_H
+#define SPBLA_H
+
+#include <stdint.h>
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef uint64_t spbla_Instance;
+typedef uint64_t spbla_Matrix;
+
+typedef enum spbla_Status {
+    SPBLA_OK                  = 0,
+    SPBLA_NULL_POINTER        = 1,
+    SPBLA_INVALID_HANDLE      = 2,
+    SPBLA_DIMENSION_MISMATCH  = 3,
+    SPBLA_INDEX_OUT_OF_BOUNDS = 4,
+    SPBLA_BACKEND_MISMATCH    = 5,
+    SPBLA_DEVICE_OUT_OF_MEMORY = 6,
+    SPBLA_ERROR               = 7
+} spbla_Status;
+
+typedef enum spbla_Backend {
+    SPBLA_BACKEND_CPU       = 0, /* sequential reference          */
+    SPBLA_BACKEND_CUDA_SIM  = 1, /* CSR + hash SpGEMM (cuBool)    */
+    SPBLA_BACKEND_CL_SIM    = 2, /* COO + ESC SpGEMM (clBool)     */
+    SPBLA_BACKEND_CPU_DENSE = 3  /* dense bit-parallel            */
+} spbla_Backend;
+
+/* Library */
+uint32_t     spbla_Version(void);
+spbla_Status spbla_Initialize(spbla_Backend backend, spbla_Instance *out);
+spbla_Status spbla_Finalize(spbla_Instance instance);
+spbla_Status spbla_Instance_Backend(spbla_Instance instance, spbla_Backend *out);
+
+/* Matrix lifecycle */
+spbla_Status spbla_Matrix_New(spbla_Instance instance, uint32_t nrows,
+                              uint32_t ncols, spbla_Matrix *out);
+spbla_Status spbla_Matrix_Build(spbla_Matrix matrix, const uint32_t *rows,
+                                const uint32_t *cols, size_t nvals);
+spbla_Status spbla_Matrix_Duplicate(spbla_Matrix matrix, spbla_Matrix *out);
+spbla_Status spbla_Matrix_Free(spbla_Matrix matrix);
+
+/* Introspection */
+spbla_Status spbla_Matrix_Dims(spbla_Matrix matrix, uint32_t *nrows,
+                               uint32_t *ncols);
+spbla_Status spbla_Matrix_Nvals(spbla_Matrix matrix, size_t *out);
+spbla_Status spbla_Matrix_MemoryBytes(spbla_Matrix matrix, size_t *out);
+spbla_Status spbla_Matrix_ExtractPairs(spbla_Matrix matrix, uint32_t *rows,
+                                       uint32_t *cols, size_t *nvals);
+
+/* Operations (the paper's op set) */
+spbla_Status spbla_MxM(spbla_Matrix a, spbla_Matrix b, spbla_Matrix *out);
+spbla_Status spbla_EWiseAdd(spbla_Matrix a, spbla_Matrix b, spbla_Matrix *out);
+spbla_Status spbla_EWiseMult(spbla_Matrix a, spbla_Matrix b, spbla_Matrix *out);
+spbla_Status spbla_Kronecker(spbla_Matrix a, spbla_Matrix b, spbla_Matrix *out);
+spbla_Status spbla_Transpose(spbla_Matrix a, spbla_Matrix *out);
+spbla_Status spbla_SubMatrix(spbla_Matrix a, uint32_t i, uint32_t j,
+                             uint32_t nrows, uint32_t ncols, spbla_Matrix *out);
+spbla_Status spbla_TransitiveClosure(spbla_Matrix matrix, spbla_Matrix *out);
+spbla_Status spbla_Matrix_ReduceToColumn(spbla_Matrix matrix, uint32_t *indices,
+                                         size_t *count);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* SPBLA_H */

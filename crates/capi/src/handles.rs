@@ -1,0 +1,104 @@
+//! Opaque handle registry.
+//!
+//! C callers hold `u64` handles; the registry maps them to live Rust
+//! objects behind a global lock (API calls are coarse-grained, matching
+//! cuBool's global-context design).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use spbla_core::{Instance, Matrix};
+
+/// Opaque instance handle (0 is never valid).
+pub type SpblaInstance = u64;
+
+/// Opaque matrix handle (0 is never valid).
+pub type SpblaMatrix = u64;
+
+static NEXT_HANDLE: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) struct Registry {
+    pub(crate) instances: Mutex<HashMap<SpblaInstance, Instance>>,
+    pub(crate) matrices: Mutex<HashMap<SpblaMatrix, Matrix>>,
+}
+
+impl Registry {
+    pub(crate) fn global() -> &'static Registry {
+        static REGISTRY: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
+        REGISTRY.get_or_init(|| Registry {
+            instances: Mutex::new(HashMap::new()),
+            matrices: Mutex::new(HashMap::new()),
+        })
+    }
+
+    pub(crate) fn fresh_handle() -> u64 {
+        NEXT_HANDLE.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn insert_instance(&self, inst: Instance) -> SpblaInstance {
+        let h = Self::fresh_handle();
+        self.instances.lock().insert(h, inst);
+        h
+    }
+
+    pub(crate) fn insert_matrix(&self, m: Matrix) -> SpblaMatrix {
+        let h = Self::fresh_handle();
+        self.matrices.lock().insert(h, m);
+        h
+    }
+
+    pub(crate) fn instance(&self, h: SpblaInstance) -> Option<Instance> {
+        self.instances.lock().get(&h).cloned()
+    }
+
+    /// Matrices are not `Clone`-cheap; callers get a closure window.
+    pub(crate) fn with_matrix<R>(
+        &self,
+        h: SpblaMatrix,
+        f: impl FnOnce(&Matrix) -> R,
+    ) -> Option<R> {
+        let guard = self.matrices.lock();
+        guard.get(&h).map(f)
+    }
+
+    pub(crate) fn with_two_matrices<R>(
+        &self,
+        a: SpblaMatrix,
+        b: SpblaMatrix,
+        f: impl FnOnce(&Matrix, &Matrix) -> R,
+    ) -> Option<R> {
+        let guard = self.matrices.lock();
+        match (guard.get(&a), guard.get(&b)) {
+            (Some(ma), Some(mb)) => Some(f(ma, mb)),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn remove_instance(&self, h: SpblaInstance) -> bool {
+        self.instances.lock().remove(&h).is_some()
+    }
+
+    pub(crate) fn remove_matrix(&self, h: SpblaMatrix) -> bool {
+        self.matrices.lock().remove(&h).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_unique_and_removable() {
+        let r = Registry::global();
+        let h1 = r.insert_instance(Instance::cpu());
+        let h2 = r.insert_instance(Instance::cpu());
+        assert_ne!(h1, h2);
+        assert!(r.instance(h1).is_some());
+        assert!(r.remove_instance(h1));
+        assert!(!r.remove_instance(h1));
+        assert!(r.instance(h1).is_none());
+        assert!(r.remove_instance(h2));
+    }
+}

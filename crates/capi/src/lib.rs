@@ -1,0 +1,26 @@
+//! # spbla-capi — the C-compatible API
+//!
+//! The paper: *"the library exposes C compatible API, which gives
+//! expressiveness and allows one to embed that API into other execution
+//! environments by interoperability mechanisms"* (pyspbla/pycubool wrap
+//! exactly this surface through ctypes). This crate reproduces that
+//! surface in the cuBool style: opaque integer handles, status-code
+//! returns, a two-call extract protocol for reading results.
+//!
+//! ```c
+//! spbla_Status spbla_Initialize(spbla_Backend backend, spbla_Instance *out);
+//! spbla_Status spbla_Matrix_New(spbla_Instance i, uint32_t m, uint32_t n, spbla_Matrix *out);
+//! spbla_Status spbla_Matrix_Build(spbla_Matrix m, const uint32_t *rows,
+//!                                 const uint32_t *cols, uintptr_t nvals);
+//! spbla_Status spbla_MxM(spbla_Matrix a, spbla_Matrix b, spbla_Matrix *out);
+//! ...
+//! ```
+
+pub mod extras_api;
+pub mod handles;
+pub mod header;
+pub mod matrix_api;
+pub mod status;
+
+pub use handles::{SpblaInstance, SpblaMatrix};
+pub use status::SpblaStatus;

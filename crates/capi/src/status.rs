@@ -1,0 +1,57 @@
+//! C status codes.
+
+use spbla_core::SpblaError;
+
+/// Status codes returned by every API function (cuBool style).
+#[repr(i32)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpblaStatus {
+    /// Success.
+    Ok = 0,
+    /// A required pointer argument was null.
+    NullPointer = 1,
+    /// A handle did not resolve to a live object.
+    InvalidHandle = 2,
+    /// Operand dimensions are incompatible.
+    DimensionMismatch = 3,
+    /// A coordinate was out of bounds.
+    IndexOutOfBounds = 4,
+    /// Operands belong to different instances.
+    BackendMismatch = 5,
+    /// The device ran out of memory.
+    DeviceOutOfMemory = 6,
+    /// Any other library error.
+    Error = 7,
+}
+
+impl From<&SpblaError> for SpblaStatus {
+    fn from(e: &SpblaError) -> SpblaStatus {
+        match e {
+            SpblaError::DimensionMismatch { .. } => SpblaStatus::DimensionMismatch,
+            SpblaError::IndexOutOfBounds { .. } => SpblaStatus::IndexOutOfBounds,
+            SpblaError::BackendMismatch => SpblaStatus::BackendMismatch,
+            SpblaError::Device(spbla_gpu_sim::DeviceError::OutOfMemory { .. }) => {
+                SpblaStatus::DeviceOutOfMemory
+            }
+            SpblaError::Device(_) => SpblaStatus::Error,
+            _ => SpblaStatus::Error,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_mapping() {
+        let e = SpblaError::BackendMismatch;
+        assert_eq!(SpblaStatus::from(&e), SpblaStatus::BackendMismatch);
+        let d = SpblaError::Device(spbla_gpu_sim::DeviceError::OutOfMemory {
+            requested: 1,
+            in_use: 0,
+            capacity: 0,
+        });
+        assert_eq!(SpblaStatus::from(&d), SpblaStatus::DeviceOutOfMemory);
+    }
+}

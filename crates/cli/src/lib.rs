@@ -1,0 +1,475 @@
+//! Implementation of the `spbla` command-line tool.
+//!
+//! ```text
+//! spbla generate <shape> [--scale S] [--seed N] [--out FILE]
+//! spbla stats <graph.triples>
+//! spbla rpq <graph.triples> <regex> [--backend B] [--source V] [--limit K]
+//! spbla cfpq <graph.triples> <grammar-file|@G1|@G2|@Geo|@MA> [--engine tns|mtx] [--backend B]
+//! spbla closure <graph.triples> [--backend B]
+//! spbla bfs <graph.triples> <source>
+//! ```
+//!
+//! The logic lives in this library crate so it is unit-testable; the
+//! binary is a thin `main` that maps the exit code.
+
+use std::io::Write;
+
+use spbla_core::Instance;
+use spbla_data::grammars;
+use spbla_data::io::{load_graph, save_graph};
+use spbla_data::stats::GraphStats;
+use spbla_graph::bfs::bfs_levels;
+use spbla_graph::cfpq::azimov::{AzimovIndex, AzimovOptions};
+use spbla_graph::cfpq::tensor::{TnsIndex, TnsOptions};
+use spbla_graph::closure::closure_squaring;
+use spbla_graph::rpq::{RpqIndex, RpqOptions};
+use spbla_graph::rpq_bfs::rpq_from_sources;
+use spbla_graph::LabeledGraph;
+use spbla_lang::{Grammar, Regex, SymbolTable};
+
+/// Errors surfaced to the user (message + suggested exit code).
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> CliError {
+        CliError {
+            message: msg.into(),
+            code: 2,
+        }
+    }
+
+    fn run(msg: impl Into<String>) -> CliError {
+        CliError {
+            message: msg.into(),
+            code: 1,
+        }
+    }
+}
+
+impl<E: std::error::Error> From<E> for CliError {
+    fn from(e: E) -> CliError {
+        CliError::run(e.to_string())
+    }
+}
+
+/// Tiny flag parser: positionals plus `--key value` options.
+struct Args {
+    positional: Vec<String>,
+    options: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Args, CliError> {
+        let mut positional = Vec::new();
+        let mut options = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::usage(format!("--{key} requires a value")))?;
+                options.push((key.to_string(), value.clone()));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Args {
+            positional,
+            options,
+        })
+    }
+
+    fn opt(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn backend_instance(name: Option<&str>) -> Result<Instance, CliError> {
+    Ok(match name.unwrap_or("cuda") {
+        "cpu" => Instance::cpu(),
+        "dense" => Instance::cpu_dense(),
+        "cuda" => Instance::cuda_sim(),
+        "cl" => Instance::cl_sim(),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown backend '{other}' (cpu | dense | cuda | cl)"
+            )))
+        }
+    })
+}
+
+/// Run the CLI with `args` (excluding the program name), writing to
+/// `out`. Returns the exit code via `CliError` on failure.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::usage(USAGE));
+    };
+    let rest = Args::parse(&args[1..])?;
+    match command.as_str() {
+        "generate" => cmd_generate(&rest, out),
+        "stats" => cmd_stats(&rest, out),
+        "rpq" => cmd_rpq(&rest, out),
+        "cfpq" => cmd_cfpq(&rest, out),
+        "closure" => cmd_closure(&rest, out),
+        "bfs" => cmd_bfs(&rest, out),
+        "triangles" => cmd_triangles(&rest, out),
+        "components" => cmd_components(&rest, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}").map_err(CliError::from)
+        }
+        other => Err(CliError::usage(format!("unknown command '{other}'\n{USAGE}"))),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage: spbla <command>\n\
+  generate <lubm|taxonomy|geospecies|go|go-hierarchy|eclass|enzyme|alias> \n\
+           [--scale S] [--seed N] [--out FILE] [--inverses yes]\n\
+  stats    <graph.triples>\n\
+  rpq      <graph.triples> <regex> [--backend cpu|dense|cuda|cl] [--source V] [--limit K]\n\
+  cfpq     <graph.triples> <grammar-file|@G1|@G2|@Geo|@MA> [--engine tns|mtx] [--backend B] [--limit K]\n\
+  closure  <graph.triples> [--backend B]\n\
+  bfs      <graph.triples> <source>\n\
+  triangles  <graph.triples>   (symmetrises, counts triangles)\n\
+  components <graph.triples>   (weak + strong component counts)";
+
+fn cmd_generate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let shape = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("generate: missing shape"))?;
+    let scale: f64 = args.opt("scale").unwrap_or("0.01").parse()
+        .map_err(|e| CliError::usage(format!("bad --scale: {e}")))?;
+    let seed: u64 = args.opt("seed").unwrap_or("1").parse()
+        .map_err(|e| CliError::usage(format!("bad --seed: {e}")))?;
+    let mut table = SymbolTable::new();
+    let mut graph = match shape.as_str() {
+        "lubm" => spbla_data::lubm::lubm_like(
+            (scale * 200.0).max(1.0) as usize,
+            &spbla_data::lubm::LubmConfig::default(),
+            &mut table,
+            seed,
+        ),
+        "taxonomy" => spbla_data::rdf::taxonomy_like(scale, &mut table, seed),
+        "geospecies" => spbla_data::rdf::geospecies_like(scale, &mut table, seed),
+        "go" => spbla_data::rdf::go_like(scale, &mut table, seed),
+        "go-hierarchy" => spbla_data::rdf::go_hierarchy_like(scale, &mut table, seed),
+        "eclass" => spbla_data::rdf::eclass_like(scale, &mut table, seed),
+        "enzyme" => spbla_data::rdf::enzyme_like(scale, &mut table, seed),
+        "alias" => spbla_data::alias::kernel_module_like("arch", scale * 10.0, &mut table, seed),
+        other => return Err(CliError::usage(format!("unknown shape '{other}'"))),
+    };
+    if args.opt("inverses") == Some("yes") {
+        graph = graph.with_inverses(&mut table);
+    }
+    match args.opt("out") {
+        Some(path) => {
+            save_graph(&graph, &table, path)?;
+            writeln!(
+                out,
+                "wrote {} vertices / {} edges to {path}",
+                graph.n_vertices(),
+                graph.n_edges()
+            )?;
+        }
+        None => spbla_data::io::write_triples(&graph, &table, &mut *out)?,
+    }
+    Ok(())
+}
+
+fn load(args: &Args, table: &mut SymbolTable) -> Result<LabeledGraph, CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("missing graph file"))?;
+    Ok(load_graph(path, table)?)
+}
+
+fn cmd_stats(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let mut table = SymbolTable::new();
+    let graph = load(args, &mut table)?;
+    let stats = GraphStats::of(
+        args.positional.first().map(String::as_str).unwrap_or("graph"),
+        &graph,
+        &table,
+    );
+    writeln!(out, "{stats}")?;
+    for (label, count) in &stats.label_counts {
+        writeln!(out, "  {label:<30} {count}")?;
+    }
+    Ok(())
+}
+
+fn cmd_rpq(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let mut table = SymbolTable::new();
+    let graph = load(args, &mut table)?;
+    let pattern = args
+        .positional
+        .get(1)
+        .ok_or_else(|| CliError::usage("rpq: missing regex"))?;
+    let regex = Regex::parse(pattern, &mut table).map_err(CliError::run)?;
+    let inst = backend_instance(args.opt("backend"))?;
+    let limit: usize = args.opt("limit").unwrap_or("10").parse()
+        .map_err(|e| CliError::usage(format!("bad --limit: {e}")))?;
+
+    if let Some(src) = args.opt("source") {
+        let src: u32 = src.parse().map_err(|e| CliError::usage(format!("bad --source: {e}")))?;
+        let reached = rpq_from_sources(&graph, &regex, &[src], &inst)?;
+        writeln!(out, "{} vertices reachable from {src}", reached.len())?;
+        for v in reached.iter().take(limit) {
+            writeln!(out, "  {src} -> {v}")?;
+        }
+        return Ok(());
+    }
+    let idx = RpqIndex::build(&graph, &regex, &inst, &RpqOptions::default())?;
+    let pairs = idx.reachable_pairs()?;
+    writeln!(
+        out,
+        "{} pairs (index nnz {}, {} automaton states)",
+        pairs.len(),
+        idx.index_nnz(),
+        idx.automaton_states()
+    )?;
+    for (u, v) in pairs.iter().take(limit) {
+        writeln!(out, "  {u} -> {v}")?;
+    }
+    Ok(())
+}
+
+fn cmd_cfpq(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let mut table = SymbolTable::new();
+    let graph = load(args, &mut table)?;
+    let gref = args
+        .positional
+        .get(1)
+        .ok_or_else(|| CliError::usage("cfpq: missing grammar"))?;
+    let grammar = match gref.as_str() {
+        "@G1" => grammars::grammar_g1(&mut table),
+        "@G2" => grammars::grammar_g2(&mut table),
+        "@Geo" => grammars::grammar_geo(&mut table),
+        "@MA" => grammars::grammar_ma(&mut table),
+        path => {
+            let text = std::fs::read_to_string(path)?;
+            Grammar::parse(&text, &mut table).map_err(CliError::run)?
+        }
+    };
+    let inst = backend_instance(args.opt("backend"))?;
+    let limit: usize = args.opt("limit").unwrap_or("10").parse()
+        .map_err(|e| CliError::usage(format!("bad --limit: {e}")))?;
+    let pairs = match args.opt("engine").unwrap_or("tns") {
+        "tns" => {
+            let idx = TnsIndex::build(&graph, &grammar, &inst, &TnsOptions::default())?;
+            writeln!(out, "tensor index: nnz {}, {} iterations", idx.index_nnz(), idx.iterations())?;
+            idx.reachable_pairs()
+        }
+        "mtx" => {
+            let cnf = spbla_lang::CnfGrammar::from_grammar(&grammar);
+            let idx = AzimovIndex::build(&graph, &cnf, &inst, &AzimovOptions::default())?;
+            writeln!(out, "matrix index: {} iterations", idx.iterations())?;
+            idx.reachable_pairs()
+        }
+        other => return Err(CliError::usage(format!("unknown engine '{other}' (tns | mtx)"))),
+    };
+    writeln!(out, "{} pairs", pairs.len())?;
+    for (u, v) in pairs.iter().take(limit) {
+        writeln!(out, "  {u} -> {v}")?;
+    }
+    Ok(())
+}
+
+fn cmd_closure(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let mut table = SymbolTable::new();
+    let graph = load(args, &mut table)?;
+    let inst = backend_instance(args.opt("backend"))?;
+    let adjacency = spbla_core::Matrix::from_csr(&inst, graph.adjacency_csr())?;
+    let closure = closure_squaring(&adjacency)?;
+    writeln!(
+        out,
+        "closure: {} -> {} pairs ({} bytes)",
+        adjacency.nnz(),
+        closure.nnz(),
+        closure.memory_bytes()
+    )?;
+    Ok(())
+}
+
+fn cmd_triangles(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let mut table = SymbolTable::new();
+    let graph = load(args, &mut table)?;
+    // Symmetrise and drop self-loops before counting.
+    let csr = graph.adjacency_csr();
+    let mut sym: Vec<(u32, u32)> = Vec::with_capacity(csr.nnz() * 2);
+    for (u, v) in csr.iter() {
+        if u != v {
+            sym.push((u, v));
+            sym.push((v, u));
+        }
+    }
+    let adj = spbla_core::CsrBool::from_pairs(graph.n_vertices(), graph.n_vertices(), &sym)
+        .map_err(|e| CliError::run(e.to_string()))?;
+    let count = spbla_graph::algorithms::triangle_count(&adj);
+    writeln!(out, "{count} triangles (undirected, self-loops dropped)")?;
+    Ok(())
+}
+
+fn cmd_components(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let mut table = SymbolTable::new();
+    let graph = load(args, &mut table)?;
+    let inst = Instance::cuda_sim();
+    let adjacency = spbla_core::Matrix::from_csr(&inst, graph.adjacency_csr())?;
+    let wcc = spbla_graph::algorithms::weakly_connected_components(&adjacency, &inst)?;
+    let scc = spbla_graph::algorithms::strongly_connected_components(&adjacency, &inst)?;
+    let nw = wcc.iter().max().map_or(0, |&m| m + 1);
+    let ns = scc.iter().max().map_or(0, |&m| m + 1);
+    writeln!(out, "{nw} weak components, {ns} strong components")?;
+    Ok(())
+}
+
+fn cmd_bfs(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let mut table = SymbolTable::new();
+    let graph = load(args, &mut table)?;
+    let src: u32 = args
+        .positional
+        .get(1)
+        .ok_or_else(|| CliError::usage("bfs: missing source vertex"))?
+        .parse()
+        .map_err(|e| CliError::usage(format!("bad source: {e}")))?;
+    let inst = Instance::cuda_sim();
+    let adjacency = spbla_core::Matrix::from_csr(&inst, graph.adjacency_csr())?;
+    let levels = bfs_levels(&adjacency, src, &inst)?;
+    let reached = levels.iter().flatten().count();
+    let depth = levels.iter().flatten().max().copied().unwrap_or(0);
+    writeln!(out, "reached {reached} vertices, eccentricity {depth}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    fn temp_graph() -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "spbla_cli_test_{}.triples",
+            std::process::id()
+        ));
+        std::fs::write(
+            &path,
+            "# vertices 4\n0 a 1\n1 a 2\n2 b 3\n",
+        )
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn generate_then_stats_roundtrip() {
+        let out_path = std::env::temp_dir().join(format!(
+            "spbla_cli_gen_{}.triples",
+            std::process::id()
+        ));
+        let msg = run_str(&[
+            "generate",
+            "enzyme",
+            "--scale",
+            "0.01",
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(msg.contains("wrote"));
+        let stats = run_str(&["stats", out_path.to_str().unwrap()]).unwrap();
+        assert!(stats.contains("subClassOf"));
+        std::fs::remove_file(&out_path).ok();
+    }
+
+    #[test]
+    fn rpq_all_pairs_and_single_source() {
+        let path = temp_graph();
+        let p = path.to_str().unwrap();
+        let all = run_str(&["rpq", p, "a . b?"]).unwrap();
+        assert!(all.contains("pairs"), "{all}");
+        let single = run_str(&["rpq", p, "a*", "--source", "0", "--backend", "cpu"]).unwrap();
+        assert!(single.contains("reachable from 0"), "{single}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cfpq_builtin_grammars() {
+        let path = temp_graph();
+        let p = path.to_str().unwrap();
+        // a^n b^n style grammar from a file.
+        let gpath = std::env::temp_dir().join(format!("spbla_cli_g_{}.cfg", std::process::id()));
+        std::fs::write(&gpath, "S -> a S b | a b\n").unwrap();
+        for engine in ["tns", "mtx"] {
+            let out = run_str(&["cfpq", p, gpath.to_str().unwrap(), "--engine", engine]).unwrap();
+            assert!(out.contains("pairs"), "{out}");
+        }
+        std::fs::remove_file(&gpath).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn closure_and_bfs() {
+        let path = temp_graph();
+        let p = path.to_str().unwrap();
+        let c = run_str(&["closure", p]).unwrap();
+        assert!(c.contains("closure: 3 -> 6 pairs"), "{c}");
+        let b = run_str(&["bfs", p, "0"]).unwrap();
+        assert!(b.contains("reached 4 vertices, eccentricity 3"), "{b}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn triangles_and_components() {
+        let path = temp_graph();
+        let p = path.to_str().unwrap();
+        // temp graph: 0-a->1-a->2-b->3 (a chain): no triangles, one weak
+        // component, four strong components.
+        let tr = run_str(&["triangles", p]).unwrap();
+        assert!(tr.contains("0 triangles"), "{tr}");
+        let comp = run_str(&["components", p]).unwrap();
+        assert!(comp.contains("1 weak components, 4 strong components"), "{comp}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn errors_are_usage_shaped() {
+        assert_eq!(run_str(&[]).unwrap_err().code, 2);
+        assert_eq!(run_str(&["frobnicate"]).unwrap_err().code, 2);
+        assert_eq!(run_str(&["rpq"]).unwrap_err().code, 2);
+        assert_eq!(
+            run_str(&["rpq", "/nonexistent/file", "a"]).unwrap_err().code,
+            1
+        );
+        let path = temp_graph();
+        assert_eq!(
+            run_str(&["rpq", path.to_str().unwrap(), "a", "--backend", "gpu9000"])
+                .unwrap_err()
+                .code,
+            2
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let h = run_str(&["help"]).unwrap();
+        assert!(h.contains("usage: spbla"));
+    }
+}

@@ -1,0 +1,10 @@
+//! The `spbla` binary: thin wrapper over the library in `lib.rs`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    if let Err(e) = spbla_cli::run(&args, &mut stdout) {
+        eprintln!("{}", e.message);
+        std::process::exit(e.code);
+    }
+}

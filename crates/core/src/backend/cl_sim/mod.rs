@@ -1,0 +1,164 @@
+//! The clBool backend: COO matrices resident on the simulated device.
+
+pub mod esc_spgemm;
+pub mod merge_add;
+pub mod structure;
+
+use spbla_gpu_sim::{Device, DeviceBuffer};
+
+use crate::error::Result;
+use crate::format::coo::CooBool;
+use crate::index::{pack, Index};
+
+/// A COO Boolean matrix in simulated device memory: the paper's two
+/// arrays `rows` and `cols`, sorted row-major, deduplicated.
+#[derive(Debug)]
+pub struct DeviceCoo {
+    nrows: Index,
+    ncols: Index,
+    rows: DeviceBuffer<Index>,
+    cols: DeviceBuffer<Index>,
+}
+
+impl DeviceCoo {
+    /// Upload a host COO matrix (counted as H2D traffic).
+    pub fn upload(device: &Device, host: &CooBool) -> Result<Self> {
+        Ok(DeviceCoo {
+            nrows: host.nrows(),
+            ncols: host.ncols(),
+            rows: DeviceBuffer::from_host(device, host.rows())?,
+            cols: DeviceBuffer::from_host(device, host.cols())?,
+        })
+    }
+
+    /// Assemble from device-produced parts (sorted, deduplicated).
+    pub fn from_parts(
+        nrows: Index,
+        ncols: Index,
+        rows: DeviceBuffer<Index>,
+        cols: DeviceBuffer<Index>,
+    ) -> Self {
+        debug_assert_eq!(rows.len(), cols.len());
+        DeviceCoo {
+            nrows,
+            ncols,
+            rows,
+            cols,
+        }
+    }
+
+    /// Build from sorted unique packed keys.
+    pub fn from_keys(device: &Device, nrows: Index, ncols: Index, keys: &[u64]) -> Result<Self> {
+        let mut rows = DeviceBuffer::<Index>::zeroed(device, keys.len())?;
+        let mut cols = DeviceBuffer::<Index>::zeroed(device, keys.len())?;
+        device.launch_map(rows.as_mut_slice(), |e| (keys[e] >> 32) as Index)?;
+        device.launch_map(cols.as_mut_slice(), |e| keys[e] as Index)?;
+        Ok(DeviceCoo {
+            nrows,
+            ncols,
+            rows,
+            cols,
+        })
+    }
+
+    /// An empty matrix resident on `device`.
+    pub fn zeros(device: &Device, nrows: Index, ncols: Index) -> Result<Self> {
+        Ok(DeviceCoo {
+            nrows,
+            ncols,
+            rows: DeviceBuffer::zeroed(device, 0)?,
+            cols: DeviceBuffer::zeroed(device, 0)?,
+        })
+    }
+
+    /// Download to a host COO matrix (counted as D2H traffic).
+    pub fn download(&self) -> CooBool {
+        CooBool::from_raw(self.nrows, self.ncols, self.rows.to_host(), self.cols.to_host())
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// Number of `true` cells.
+    pub fn nnz(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Device the matrix lives on.
+    pub fn device(&self) -> &Device {
+        self.rows.device()
+    }
+
+    /// Row indices (device view).
+    pub fn rows(&self) -> &[Index] {
+        self.rows.as_slice()
+    }
+
+    /// Column indices (device view).
+    pub fn cols(&self) -> &[Index] {
+        self.cols.as_slice()
+    }
+
+    /// Entries as packed sorted keys (device temporary, counted).
+    pub fn to_keys(&self, device: &Device) -> Result<DeviceBuffer<u64>> {
+        let mut keys = DeviceBuffer::<u64>::zeroed(device, self.nnz())?;
+        let (r, c) = (self.rows(), self.cols());
+        device.launch_map(keys.as_mut_slice(), |e| pack(r[e], c[e]))?;
+        Ok(keys)
+    }
+
+    /// Offsets of each row's first entry, CSR-style (`nrows + 1` values),
+    /// computed by binary searching the sorted rows array. clBool keeps
+    /// COO only; kernels that need row access derive offsets on the fly.
+    pub fn row_offsets(&self) -> Vec<usize> {
+        let rows = self.rows();
+        (0..=self.nrows as usize)
+            .map(|r| rows.partition_point(|&x| (x as usize) < r))
+            .collect()
+    }
+
+    /// Device-resident footprint in bytes: `2 · nnz · sizeof(Index)`.
+    pub fn memory_bytes(&self) -> usize {
+        (self.rows.len() + self.cols.len()) * std::mem::size_of::<Index>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_footprint() {
+        let dev = Device::default();
+        let host = CooBool::from_pairs(1000, 4, &[(0, 1), (999, 3)]).unwrap();
+        let d = DeviceCoo::upload(&dev, &host).unwrap();
+        assert_eq!(d.download(), host);
+        // COO footprint is row-count independent.
+        assert_eq!(d.memory_bytes(), 16);
+    }
+
+    #[test]
+    fn row_offsets_cover_rows() {
+        let dev = Device::default();
+        let host = CooBool::from_pairs(4, 4, &[(0, 1), (0, 2), (2, 0), (3, 3)]).unwrap();
+        let d = DeviceCoo::upload(&dev, &host).unwrap();
+        assert_eq!(d.row_offsets(), vec![0, 2, 2, 3, 4]);
+    }
+
+    #[test]
+    fn keys_roundtrip() {
+        let dev = Device::default();
+        let host = CooBool::from_pairs(5, 5, &[(1, 4), (2, 0)]).unwrap();
+        let d = DeviceCoo::upload(&dev, &host).unwrap();
+        let keys = d.to_keys(&dev).unwrap();
+        let d2 = DeviceCoo::from_keys(&dev, 5, 5, keys.as_slice()).unwrap();
+        assert_eq!(d2.download(), host);
+    }
+}

@@ -1,0 +1,210 @@
+//! Structural COO kernels: Kronecker product, transpose, sub-matrix
+//! extraction, reductions. COO's packed-key representation makes these
+//! map/sort/compact pipelines.
+
+use spbla_gpu_sim::primitives::compact::compact_flagged;
+use spbla_gpu_sim::primitives::scan::exclusive_scan;
+use spbla_gpu_sim::primitives::sort::sort_u64;
+use spbla_gpu_sim::{DeviceBuffer, LaunchCfg};
+
+use crate::error::{Result, SpblaError};
+use crate::index::{pack, Index};
+
+use super::DeviceCoo;
+
+/// `K = A ⊗ B`: expand every entry pair to its packed key, then sort.
+/// No compaction is needed — the Kronecker coordinate map is injective.
+pub fn kron(a: &DeviceCoo, b: &DeviceCoo) -> Result<DeviceCoo> {
+    let device = a.device().clone();
+    let nrows = (a.nrows() as u64).checked_mul(b.nrows() as u64);
+    let ncols = (a.ncols() as u64).checked_mul(b.ncols() as u64);
+    let (m, n) = match (nrows, ncols) {
+        (Some(r), Some(c)) if r <= u32::MAX as u64 && c <= u32::MAX as u64 => {
+            (r as Index, c as Index)
+        }
+        _ => {
+            return Err(SpblaError::InvalidDimension(
+                "kron result exceeds Index range".into(),
+            ))
+        }
+    };
+    let total = a.nnz() * b.nnz();
+    if total == 0 {
+        return DeviceCoo::zeros(&device, m, n);
+    }
+
+    let mut keys = DeviceBuffer::<u64>::zeroed(&device, total)?;
+    {
+        let (ar, ac) = (a.rows(), a.cols());
+        let (br, bc) = (b.rows(), b.cols());
+        let bn = b.nnz();
+        let (mb, nb) = (b.nrows() as u64, b.ncols() as u64);
+        let cfg = LaunchCfg::grid(&device, a.nnz() as u32);
+        device.launch(
+            cfg,
+            keys.as_mut_slice(),
+            |blk| (blk as usize * bn)..((blk as usize + 1) * bn),
+            |ctx, out| {
+                let e = ctx.block_idx() as usize;
+                let (i1, j1) = (ar[e] as u64, ac[e] as u64);
+                for (w, (&i2, &j2)) in br.iter().zip(bc.iter()).enumerate() {
+                    let row = i1 * mb + i2 as u64;
+                    let col = j1 * nb + j2 as u64;
+                    out[w] = (row << 32) | col;
+                }
+            },
+        )?;
+    }
+    let mut key_vec = keys.as_slice().to_vec();
+    drop(keys);
+    sort_u64(&device, &mut key_vec);
+    DeviceCoo::from_keys(&device, m, n, &key_vec)
+}
+
+/// `Mᵀ`: swap the halves of every packed key and re-sort.
+pub fn transpose(mat: &DeviceCoo) -> Result<DeviceCoo> {
+    let device = mat.device().clone();
+    let (r, c) = (mat.rows(), mat.cols());
+    let mut keys = DeviceBuffer::<u64>::zeroed(&device, mat.nnz())?;
+    device.launch_map(keys.as_mut_slice(), |e| pack(c[e], r[e]))?;
+    let mut key_vec = keys.as_slice().to_vec();
+    drop(keys);
+    sort_u64(&device, &mut key_vec);
+    DeviceCoo::from_keys(&device, mat.ncols(), mat.nrows(), &key_vec)
+}
+
+/// Extract `M[i0 .. i0+nrows, j0 .. j0+ncols]`: flag, compact, remap.
+pub fn submatrix(
+    mat: &DeviceCoo,
+    i0: Index,
+    j0: Index,
+    nrows: Index,
+    ncols: Index,
+) -> Result<DeviceCoo> {
+    let device = mat.device().clone();
+    if i0 as u64 + nrows as u64 > mat.nrows() as u64
+        || j0 as u64 + ncols as u64 > mat.ncols() as u64
+    {
+        return Err(SpblaError::InvalidDimension(format!(
+            "submatrix [{i0}+{nrows}, {j0}+{ncols}] exceeds {}x{}",
+            mat.nrows(),
+            mat.ncols()
+        )));
+    }
+    let (r, c) = (mat.rows(), mat.cols());
+    let mut flags = vec![0u8; mat.nnz()];
+    device.launch_map(&mut flags, |e| {
+        (r[e] >= i0 && r[e] < i0 + nrows && c[e] >= j0 && c[e] < j0 + ncols) as u8
+    })?;
+    let keys: Vec<u64> = {
+        let mut all = DeviceBuffer::<u64>::zeroed(&device, mat.nnz())?;
+        device.launch_map(all.as_mut_slice(), |e| pack(r[e], c[e]))?;
+        compact_flagged(&device, all.as_slice(), &flags)?
+    };
+    // Remap into the window's coordinates (order is preserved).
+    let remapped: Vec<u64> = {
+        let mut out = DeviceBuffer::<u64>::zeroed(&device, keys.len())?;
+        device.launch_map(out.as_mut_slice(), |e| {
+            let (i, j) = crate::index::unpack(keys[e]);
+            pack(i - i0, j - j0)
+        })?;
+        out.into_vec()
+    };
+    DeviceCoo::from_keys(&device, nrows, ncols, &remapped)
+}
+
+/// Indices of non-empty rows (`reduceToColumn`): rows are sorted, so this
+/// is an adjacent-unique compaction over the rows array.
+pub fn reduce_to_column(mat: &DeviceCoo) -> Result<Vec<Index>> {
+    let device = mat.device().clone();
+    let r = mat.rows();
+    if r.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut flags = vec![0u8; r.len()];
+    device.launch_map(&mut flags, |e| (e == 0 || r[e] != r[e - 1]) as u8)?;
+    compact_flagged(&device, r, &flags).map_err(Into::into)
+}
+
+/// Indices of non-empty columns (`reduceToRow`): sort the column array,
+/// then adjacent-unique.
+pub fn reduce_to_row(mat: &DeviceCoo) -> Result<Vec<Index>> {
+    let device = mat.device().clone();
+    if mat.nnz() == 0 {
+        return Ok(Vec::new());
+    }
+    let mut keys: Vec<u64> = mat.cols().iter().map(|&j| j as u64).collect();
+    sort_u64(&device, &mut keys);
+    let mut flags = vec![0u8; keys.len()];
+    let ks = &keys;
+    device.launch_map(&mut flags, |e| (e == 0 || ks[e] != ks[e - 1]) as u8)?;
+    let uniq = compact_flagged(&device, &keys, &flags)?;
+    Ok(uniq.into_iter().map(|k| k as Index).collect())
+}
+
+/// Compute exclusive scan over host data on the device (helper re-export
+/// used by callers assembling pipelines).
+pub fn scan_offsets(device: &spbla_gpu_sim::Device, data: &mut [usize]) -> Result<usize> {
+    exclusive_scan(device, data).map_err(Into::into)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::coo::CooBool;
+    use crate::format::csr::CsrBool;
+    use spbla_gpu_sim::Device;
+
+    fn pair_csr(pairs: &[(u32, u32)], m: u32, n: u32) -> CsrBool {
+        CsrBool::from_pairs(m, n, pairs).unwrap()
+    }
+
+    fn upload(dev: &Device, pairs: &[(u32, u32)], m: u32, n: u32) -> DeviceCoo {
+        DeviceCoo::upload(dev, &CooBool::from_pairs(m, n, pairs).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn kron_matches_csr_reference() {
+        let dev = Device::default();
+        let pa = [(0u32, 1u32), (1, 0)];
+        let pb = [(0u32, 0u32), (2, 1)];
+        let da = upload(&dev, &pa, 2, 2);
+        let db = upload(&dev, &pb, 3, 2);
+        let got = kron(&da, &db).unwrap().download().to_pairs();
+        let expect = pair_csr(&pa, 2, 2).kron(&pair_csr(&pb, 3, 2)).unwrap().to_pairs();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn transpose_matches_csr_reference() {
+        let dev = Device::default();
+        let p = [(0u32, 1u32), (0, 3), (2, 0)];
+        let d = upload(&dev, &p, 3, 4);
+        let got = transpose(&d).unwrap().download().to_pairs();
+        assert_eq!(got, pair_csr(&p, 3, 4).transpose().to_pairs());
+    }
+
+    #[test]
+    fn submatrix_matches_csr_reference() {
+        let dev = Device::default();
+        let p = [(0u32, 1u32), (1, 1), (2, 2), (3, 0)];
+        let d = upload(&dev, &p, 4, 3);
+        let got = submatrix(&d, 1, 1, 3, 2).unwrap().download().to_pairs();
+        let expect = pair_csr(&p, 4, 3).submatrix(1, 1, 3, 2).unwrap().to_pairs();
+        assert_eq!(got, expect);
+        assert!(submatrix(&d, 3, 0, 2, 1).is_err());
+    }
+
+    #[test]
+    fn reductions_match_csr_reference() {
+        let dev = Device::default();
+        let p = [(0u32, 2u32), (3, 0), (3, 2)];
+        let d = upload(&dev, &p, 5, 4);
+        let c = pair_csr(&p, 5, 4);
+        assert_eq!(reduce_to_column(&d).unwrap(), c.reduce_to_column());
+        assert_eq!(reduce_to_row(&d).unwrap(), c.reduce_to_row());
+        let empty = upload(&dev, &[], 3, 3);
+        assert!(reduce_to_column(&empty).unwrap().is_empty());
+        assert!(reduce_to_row(&empty).unwrap().is_empty());
+    }
+}

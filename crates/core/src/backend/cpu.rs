@@ -1,0 +1,19 @@
+//! Sequential CPU reference backend.
+//!
+//! cuBool ships a CPU fallback next to its Cuda backend; here the fallback
+//! doubles as the correctness oracle. All operations are the sequential
+//! `CsrBool` methods — this module exists so backend dispatch reads
+//! uniformly and so the oracle has a stable, nameable home.
+
+pub use crate::format::csr::CsrBool as CpuMatrix;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_matrix_is_csr() {
+        let m = CpuMatrix::from_pairs(2, 2, &[(0, 0)]).unwrap();
+        assert_eq!(m.nnz(), 1);
+    }
+}

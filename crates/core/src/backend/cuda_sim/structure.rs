@@ -1,0 +1,197 @@
+//! Structural CSR kernels: transpose, sub-matrix extraction, reductions.
+
+use spbla_gpu_sim::primitives::compact::compact_indices;
+use spbla_gpu_sim::primitives::histogram::histogram;
+use spbla_gpu_sim::primitives::scan::exclusive_scan;
+use spbla_gpu_sim::primitives::sort::sort_u64;
+use spbla_gpu_sim::{DeviceBuffer, LaunchCfg};
+
+use crate::error::{Result, SpblaError};
+use crate::index::Index;
+
+use super::DeviceCsr;
+
+/// `Mᵀ` via key re-packing: entries become `(col << 32) | row` keys, a
+/// radix sort makes them column-major, and a bincount/scan rebuilds the
+/// row pointers — the Thrust-style formulation of CSR transpose.
+pub fn transpose(m: &DeviceCsr) -> Result<DeviceCsr> {
+    let device = m.device().clone();
+    let (rows_out, cols_out) = (m.ncols(), m.nrows());
+
+    // Pack (col, row) keys.
+    let mut keys = DeviceBuffer::<u64>::zeroed(&device, m.nnz())?;
+    {
+        let rp = m.row_ptr();
+        // One map over entries; row of entry e found by binary search over
+        // row_ptr (the device kernel uses a row-expansion instead; the
+        // upper_bound formulation is equivalent and allocation-free).
+        let ks = keys.as_mut_slice();
+        device.launch_map(ks, |e| {
+            // Row of entry e: the r with rp[r] <= e < rp[r+1].
+            let row = (rp.partition_point(|&p| p as usize <= e) - 1) as Index;
+            let col = m.cols()[e];
+            ((col as u64) << 32) | row as u64
+        })?;
+    }
+
+    let mut key_vec = keys.as_slice().to_vec();
+    sort_u64(&device, &mut key_vec);
+
+    // Rebuild CSR of the transpose (device histogram over new rows).
+    let new_rows: Vec<u32> = key_vec.iter().map(|&k| (k >> 32) as u32).collect();
+    let mut counts = histogram(&device, &new_rows, rows_out as usize);
+    let total = exclusive_scan(&device, &mut counts)?;
+    debug_assert_eq!(total, key_vec.len());
+
+    let mut row_ptr = DeviceBuffer::<Index>::zeroed(&device, rows_out as usize + 1)?;
+    {
+        let rp = row_ptr.as_mut_slice();
+        for (i, &o) in counts.iter().enumerate() {
+            rp[i] = o as Index;
+        }
+        rp[rows_out as usize] = total as Index;
+    }
+    let mut cols = DeviceBuffer::<Index>::zeroed(&device, total)?;
+    device.launch_map(cols.as_mut_slice(), |e| key_vec[e] as u32)?;
+
+    Ok(DeviceCsr::from_parts(rows_out, cols_out, row_ptr, cols))
+}
+
+/// Extract `M[i0 .. i0+nrows, j0 .. j0+ncols]` (count / scan / fill).
+pub fn submatrix(
+    m: &DeviceCsr,
+    i0: Index,
+    j0: Index,
+    nrows: Index,
+    ncols: Index,
+) -> Result<DeviceCsr> {
+    let device = m.device().clone();
+    if i0 as u64 + nrows as u64 > m.nrows() as u64 || j0 as u64 + ncols as u64 > m.ncols() as u64 {
+        return Err(SpblaError::InvalidDimension(format!(
+            "submatrix [{i0}+{nrows}, {j0}+{ncols}] exceeds {}x{}",
+            m.nrows(),
+            m.ncols()
+        )));
+    }
+    if nrows == 0 {
+        return DeviceCsr::zeros(&device, nrows, ncols);
+    }
+
+    let mut row_nnz = vec![0usize; nrows as usize];
+    device.launch_map(&mut row_nnz, |r| {
+        let row = m.row(i0 + r as Index);
+        let lo = row.partition_point(|&j| j < j0);
+        let hi = row.partition_point(|&j| j < j0 + ncols);
+        hi - lo
+    })?;
+    let total = exclusive_scan(&device, &mut row_nnz)?;
+
+    let mut row_ptr = DeviceBuffer::<Index>::zeroed(&device, nrows as usize + 1)?;
+    {
+        let rp = row_ptr.as_mut_slice();
+        for (i, &o) in row_nnz.iter().enumerate() {
+            rp[i] = o as Index;
+        }
+        rp[nrows as usize] = total as Index;
+    }
+
+    let mut cols = DeviceBuffer::<Index>::zeroed(&device, total)?;
+    let rp_host: Vec<Index> = row_ptr.as_slice().to_vec();
+    let rp = &rp_host;
+    let cfg = LaunchCfg::grid(&device, nrows);
+    device.launch(
+        cfg,
+        cols.as_mut_slice(),
+        |blk| rp[blk as usize] as usize..rp[blk as usize + 1] as usize,
+        |ctx, out| {
+            let row = m.row(i0 + ctx.block_idx());
+            let lo = row.partition_point(|&j| j < j0);
+            for (w, &j) in row[lo..lo + out.len()].iter().enumerate() {
+                out[w] = j - j0;
+            }
+        },
+    )?;
+
+    Ok(DeviceCsr::from_parts(nrows, ncols, row_ptr, cols))
+}
+
+/// Indices of non-empty rows (`reduceToColumn`): a flag map over rows
+/// plus a stream compaction.
+pub fn reduce_to_column(m: &DeviceCsr) -> Result<Vec<Index>> {
+    let device = m.device().clone();
+    let mut flags = vec![0u8; m.nrows() as usize];
+    device.launch_map(&mut flags, |i| (m.row_nnz(i as Index) > 0) as u8)?;
+    Ok(compact_indices(&device, &flags)?
+        .into_iter()
+        .map(|i| i as Index)
+        .collect())
+}
+
+/// Indices of non-empty columns (`reduceToRow`), via a column flag pass.
+pub fn reduce_to_row(m: &DeviceCsr) -> Result<Vec<Index>> {
+    let device = m.device().clone();
+    let mut flags = vec![0u8; m.ncols() as usize];
+    // Column marking scatters; flags are monotone (0→1 only) so racing
+    // blocks are benign — model with per-entry atomic stores.
+    let cells: Vec<std::sync::atomic::AtomicU8> =
+        (0..m.ncols() as usize).map(|_| std::sync::atomic::AtomicU8::new(0)).collect();
+    let cfg = LaunchCfg::cover(m.nnz(), device.config().default_block_dim);
+    if m.nnz() > 0 {
+        device.launch_read(cfg, |ctx| {
+            ctx.grid_stride(m.nnz(), |e| {
+                cells[m.cols()[e] as usize].store(1, std::sync::atomic::Ordering::Relaxed);
+            });
+        })?;
+    }
+    for (f, c) in flags.iter_mut().zip(&cells) {
+        *f = c.load(std::sync::atomic::Ordering::Relaxed);
+    }
+    Ok(compact_indices(&device, &flags)?
+        .into_iter()
+        .map(|i| i as Index)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::csr::CsrBool;
+    use spbla_gpu_sim::Device;
+
+    fn upload(dev: &Device, pairs: &[(u32, u32)], m: u32, n: u32) -> (CsrBool, DeviceCsr) {
+        let h = CsrBool::from_pairs(m, n, pairs).unwrap();
+        let d = DeviceCsr::upload(dev, &h).unwrap();
+        (h, d)
+    }
+
+    #[test]
+    fn transpose_matches_reference() {
+        let dev = Device::default();
+        let (h, d) = upload(&dev, &[(0, 1), (0, 3), (1, 0), (2, 2), (2, 3)], 3, 4);
+        assert_eq!(transpose(&d).unwrap().download(), h.transpose());
+    }
+
+    #[test]
+    fn transpose_with_empty_rows() {
+        let dev = Device::default();
+        let (h, d) = upload(&dev, &[(0, 0), (4, 2)], 5, 3);
+        assert_eq!(transpose(&d).unwrap().download(), h.transpose());
+    }
+
+    #[test]
+    fn submatrix_matches_reference() {
+        let dev = Device::default();
+        let (h, d) = upload(&dev, &[(0, 1), (1, 1), (2, 2), (3, 0)], 4, 3);
+        let got = submatrix(&d, 1, 1, 3, 2).unwrap().download();
+        assert_eq!(got, h.submatrix(1, 1, 3, 2).unwrap());
+        assert!(submatrix(&d, 3, 0, 2, 1).is_err());
+    }
+
+    #[test]
+    fn reductions_match_reference() {
+        let dev = Device::default();
+        let (h, d) = upload(&dev, &[(0, 2), (3, 0), (3, 2)], 5, 4);
+        assert_eq!(reduce_to_column(&d).unwrap(), h.reduce_to_column());
+        assert_eq!(reduce_to_row(&d).unwrap(), h.reduce_to_row());
+    }
+}

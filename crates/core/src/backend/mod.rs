@@ -1,0 +1,12 @@
+//! Backend implementations of the SPbLA operation set.
+//!
+//! * [`cpu`] — sequential host reference (delegates to the `CsrBool`
+//!   methods; the oracle for everything else);
+//! * [`cuda_sim`] — the cuBool design on the simulated device: CSR
+//!   storage, Nsparse-style hash SpGEMM, two-pass merge addition;
+//! * [`cl_sim`] — the clBool design: COO storage, ESC SpGEMM, one-pass
+//!   merge-path addition.
+
+pub mod cl_sim;
+pub mod cpu;
+pub mod cuda_sim;

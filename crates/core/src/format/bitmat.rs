@@ -1,0 +1,377 @@
+//! Row-aligned dense bit matrices — the dense Boolean backend.
+//!
+//! For dense-ish operands (closure iterates saturate quickly in the
+//! paper's applications) a bit-parallel representation beats any sparse
+//! format: a Boolean `mxm` row is just word-wise `OR`s of B-rows
+//! selected by A's set bits, 64 cells per instruction. This backend is
+//! the "select the implementation by task" story of the unified-SPbLA
+//! plan, and the sparse-vs-dense crossover ablation's subject.
+
+use rayon::prelude::*;
+
+use crate::error::{Result, SpblaError};
+use crate::index::{Index, Pair};
+
+/// A dense Boolean matrix with each row padded to a whole number of
+/// 64-bit words (so rows can be OR-ed word-wise).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    nrows: Index,
+    ncols: Index,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// An all-false `nrows × ncols` matrix.
+    pub fn zeros(nrows: Index, ncols: Index) -> Self {
+        let words_per_row = (ncols as usize).div_ceil(64);
+        BitMatrix {
+            nrows,
+            ncols,
+            words_per_row,
+            words: vec![0; nrows as usize * words_per_row],
+        }
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: Index) -> Self {
+        let mut m = BitMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Build from coordinate pairs (bounds-checked).
+    pub fn from_pairs(nrows: Index, ncols: Index, pairs: &[Pair]) -> Result<Self> {
+        let mut m = BitMatrix::zeros(nrows, ncols);
+        for &(i, j) in pairs {
+            if i >= nrows || j >= ncols {
+                return Err(SpblaError::IndexOutOfBounds {
+                    row: i,
+                    col: j,
+                    shape: (nrows, ncols),
+                });
+            }
+            m.set(i, j, true);
+        }
+        Ok(m)
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    pub fn shape(&self) -> (Index, Index) {
+        (self.nrows, self.ncols)
+    }
+
+    /// The words of row `i`.
+    pub fn row_words(&self, i: Index) -> &[u64] {
+        let base = i as usize * self.words_per_row;
+        &self.words[base..base + self.words_per_row]
+    }
+
+    fn row_words_mut(&mut self, i: Index) -> &mut [u64] {
+        let base = i as usize * self.words_per_row;
+        &mut self.words[base..base + self.words_per_row]
+    }
+
+    /// Read cell `(i, j)`.
+    pub fn get(&self, i: Index, j: Index) -> bool {
+        (self.row_words(i)[j as usize / 64] >> (j % 64)) & 1 == 1
+    }
+
+    /// Write cell `(i, j)`.
+    pub fn set(&mut self, i: Index, j: Index, v: bool) {
+        let w = &mut self.row_words_mut(i)[j as usize / 64];
+        if v {
+            *w |= 1u64 << (j % 64);
+        } else {
+            *w &= !(1u64 << (j % 64));
+        }
+    }
+
+    /// Number of `true` cells.
+    pub fn nnz(&self) -> usize {
+        self.words.par_iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no cell is `true`.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `true` coordinates, row-major.
+    pub fn to_pairs(&self) -> Vec<Pair> {
+        let mut out = Vec::new();
+        for i in 0..self.nrows {
+            for (wi, &w) in self.row_words(i).iter().enumerate() {
+                let mut bits = w;
+                while bits != 0 {
+                    let b = bits.trailing_zeros();
+                    out.push((i, wi as Index * 64 + b));
+                    bits &= bits - 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Storage footprint in bytes (`⌈n/64⌉ · 8 · m`) — quadratic, the
+    /// price of density.
+    pub fn memory_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Bit-parallel Boolean product: row `i` of `C` is the OR of the
+    /// `B`-rows selected by the set bits of row `i` of `A`.
+    pub fn mxm(&self, other: &Self) -> Result<Self> {
+        if self.ncols != other.nrows {
+            return Err(SpblaError::DimensionMismatch {
+                op: "mxm",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut c = BitMatrix::zeros(self.nrows, other.ncols);
+        let wpr_out = c.words_per_row;
+        let out = &mut c.words;
+        out.par_chunks_mut(wpr_out.max(1))
+            .enumerate()
+            .for_each(|(i, dst)| {
+                let i = i as Index;
+                for (wi, &aw) in self.row_words(i).iter().enumerate() {
+                    let mut bits = aw;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros();
+                        let k = wi as Index * 64 + b;
+                        if k < other.nrows {
+                            for (d, &s) in dst.iter_mut().zip(other.row_words(k)) {
+                                *d |= s;
+                            }
+                        }
+                        bits &= bits - 1;
+                    }
+                }
+            });
+        Ok(c)
+    }
+
+    /// Word-wise element-wise or.
+    pub fn ewise_add(&self, other: &Self) -> Result<Self> {
+        self.check_same_shape(other, "ewise_add")?;
+        let mut c = self.clone();
+        c.words
+            .par_iter_mut()
+            .zip(other.words.par_iter())
+            .for_each(|(a, &b)| *a |= b);
+        Ok(c)
+    }
+
+    /// Word-wise element-wise and.
+    pub fn ewise_mult(&self, other: &Self) -> Result<Self> {
+        self.check_same_shape(other, "ewise_mult")?;
+        let mut c = self.clone();
+        c.words
+            .par_iter_mut()
+            .zip(other.words.par_iter())
+            .for_each(|(a, &b)| *a &= b);
+        Ok(c)
+    }
+
+    fn check_same_shape(&self, other: &Self, op: &'static str) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(SpblaError::DimensionMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Kronecker product (kept dense; errors if the result would exceed
+    /// `Index` range).
+    pub fn kron(&self, other: &Self) -> Result<Self> {
+        let nrows = (self.nrows as u64)
+            .checked_mul(other.nrows as u64)
+            .filter(|&r| r <= u32::MAX as u64)
+            .ok_or_else(|| SpblaError::InvalidDimension("kron rows overflow".into()))?;
+        let ncols = (self.ncols as u64)
+            .checked_mul(other.ncols as u64)
+            .filter(|&c| c <= u32::MAX as u64)
+            .ok_or_else(|| SpblaError::InvalidDimension("kron cols overflow".into()))?;
+        let mut c = BitMatrix::zeros(nrows as Index, ncols as Index);
+        for (i1, j1) in self.to_pairs() {
+            for (i2, j2) in other.to_pairs() {
+                c.set(i1 * other.nrows + i2, j1 * other.ncols + j2, true);
+            }
+        }
+        Ok(c)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Self {
+        let mut c = BitMatrix::zeros(self.ncols, self.nrows);
+        for (i, j) in self.to_pairs() {
+            c.set(j, i, true);
+        }
+        c
+    }
+
+    /// Extract `M[i0 .. i0+nrows, j0 .. j0+ncols]`.
+    pub fn submatrix(&self, i0: Index, j0: Index, nrows: Index, ncols: Index) -> Result<Self> {
+        if i0 as u64 + nrows as u64 > self.nrows as u64
+            || j0 as u64 + ncols as u64 > self.ncols as u64
+        {
+            return Err(SpblaError::InvalidDimension(format!(
+                "submatrix [{i0}+{nrows}, {j0}+{ncols}] exceeds {}x{}",
+                self.nrows, self.ncols
+            )));
+        }
+        let mut c = BitMatrix::zeros(nrows, ncols);
+        for i in 0..nrows {
+            for j in 0..ncols {
+                if self.get(i0 + i, j0 + j) {
+                    c.set(i, j, true);
+                }
+            }
+        }
+        Ok(c)
+    }
+
+    /// Indices of non-empty rows.
+    pub fn reduce_to_column(&self) -> Vec<Index> {
+        (0..self.nrows)
+            .filter(|&i| self.row_words(i).iter().any(|&w| w != 0))
+            .collect()
+    }
+
+    /// Indices of non-empty columns.
+    pub fn reduce_to_row(&self) -> Vec<Index> {
+        let mut acc = vec![0u64; self.words_per_row];
+        for i in 0..self.nrows {
+            for (a, &w) in acc.iter_mut().zip(self.row_words(i)) {
+                *a |= w;
+            }
+        }
+        let mut out = Vec::new();
+        for (wi, &w) in acc.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                out.push(wi as Index * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Union of the rows selected by `set` (the `vxm` frontier push).
+    pub fn vxm(&self, set: &[Index]) -> Vec<Index> {
+        let mut acc = vec![0u64; self.words_per_row];
+        for &i in set {
+            for (a, &w) in acc.iter_mut().zip(self.row_words(i)) {
+                *a |= w;
+            }
+        }
+        let mut out = Vec::new();
+        for (wi, &w) in acc.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                out.push(wi as Index * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::csr::CsrBool;
+
+    fn csr(pairs: &[(u32, u32)], m: u32, n: u32) -> CsrBool {
+        CsrBool::from_pairs(m, n, pairs).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_and_counts() {
+        let pairs = [(0u32, 63u32), (0, 64), (1, 0), (2, 127)];
+        let m = BitMatrix::from_pairs(3, 128, &pairs).unwrap();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.to_pairs(), pairs.to_vec());
+        assert!(m.get(0, 64) && !m.get(0, 65));
+        assert!(BitMatrix::from_pairs(2, 2, &[(2, 0)]).is_err());
+    }
+
+    #[test]
+    fn mxm_matches_csr_reference() {
+        let pa = [(0u32, 1u32), (1, 2), (2, 0), (2, 2)];
+        let pb = [(0u32, 0u32), (1, 2), (2, 1)];
+        let ba = BitMatrix::from_pairs(3, 3, &pa).unwrap();
+        let bb = BitMatrix::from_pairs(3, 3, &pb).unwrap();
+        let expect = csr(&pa, 3, 3).mxm(&csr(&pb, 3, 3)).unwrap().to_pairs();
+        assert_eq!(ba.mxm(&bb).unwrap().to_pairs(), expect);
+    }
+
+    #[test]
+    fn mxm_across_word_boundaries() {
+        // 200-column matrices exercise multi-word rows.
+        let pa: Vec<(u32, u32)> = (0..200).map(|j| (0, j)).collect();
+        let pb: Vec<(u32, u32)> = (0..200).map(|i| (i, (i * 7) % 200)).collect();
+        let ba = BitMatrix::from_pairs(1, 200, &pa).unwrap();
+        let bb = BitMatrix::from_pairs(200, 200, &pb).unwrap();
+        let expect = csr(&pa, 1, 200).mxm(&csr(&pb, 200, 200)).unwrap().to_pairs();
+        assert_eq!(ba.mxm(&bb).unwrap().to_pairs(), expect);
+    }
+
+    #[test]
+    fn elementwise_and_structure_ops() {
+        let pa = [(0u32, 1u32), (1, 3), (2, 0)];
+        let pb = [(0u32, 1u32), (2, 2)];
+        let ba = BitMatrix::from_pairs(3, 4, &pa).unwrap();
+        let bb = BitMatrix::from_pairs(3, 4, &pb).unwrap();
+        let ca = csr(&pa, 3, 4);
+        let cb = csr(&pb, 3, 4);
+        assert_eq!(
+            ba.ewise_add(&bb).unwrap().to_pairs(),
+            ca.ewise_add(&cb).unwrap().to_pairs()
+        );
+        assert_eq!(
+            ba.ewise_mult(&bb).unwrap().to_pairs(),
+            ca.ewise_mult(&cb).unwrap().to_pairs()
+        );
+        assert_eq!(ba.transpose().to_pairs(), ca.transpose().to_pairs());
+        assert_eq!(
+            ba.submatrix(0, 1, 2, 3).unwrap().to_pairs(),
+            ca.submatrix(0, 1, 2, 3).unwrap().to_pairs()
+        );
+        assert_eq!(ba.reduce_to_column(), ca.reduce_to_column());
+        assert_eq!(ba.reduce_to_row(), ca.reduce_to_row());
+        assert_eq!(ba.vxm(&[0, 1]), ca.vxm(&[0, 1]));
+        let k = ba.kron(&bb).unwrap();
+        assert_eq!(k.to_pairs(), ca.kron(&cb).unwrap().to_pairs());
+    }
+
+    #[test]
+    fn identity_and_memory() {
+        let id = BitMatrix::identity(100);
+        assert_eq!(id.nnz(), 100);
+        // 100 rows × 2 words × 8 bytes.
+        assert_eq!(id.memory_bytes(), 1600);
+        let m = BitMatrix::from_pairs(100, 100, &[(5, 7)]).unwrap();
+        assert_eq!(m.mxm(&id).unwrap().to_pairs(), vec![(5, 7)]);
+    }
+}

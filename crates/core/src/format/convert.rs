@@ -1,0 +1,71 @@
+//! Lossless conversions between storage formats.
+
+use crate::format::coo::CooBool;
+use crate::format::csr::CsrBool;
+use crate::format::dense::DenseBool;
+use crate::index::Index;
+
+impl From<&CooBool> for CsrBool {
+    fn from(coo: &CooBool) -> CsrBool {
+        let mut row_ptr = vec![0 as Index; coo.nrows() as usize + 1];
+        for &i in coo.rows() {
+            row_ptr[i as usize + 1] += 1;
+        }
+        for r in 0..coo.nrows() as usize {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        CsrBool::from_raw(coo.nrows(), coo.ncols(), row_ptr, coo.cols().to_vec())
+    }
+}
+
+impl From<&CsrBool> for CooBool {
+    fn from(csr: &CsrBool) -> CooBool {
+        let mut rows = Vec::with_capacity(csr.nnz());
+        for i in 0..csr.nrows() {
+            rows.extend(std::iter::repeat_n(i, csr.row_nnz(i)));
+        }
+        CooBool::from_raw(csr.nrows(), csr.ncols(), rows, csr.cols().to_vec())
+    }
+}
+
+impl From<&CsrBool> for DenseBool {
+    fn from(csr: &CsrBool) -> DenseBool {
+        DenseBool::from_pairs(csr.nrows(), csr.ncols(), &csr.to_pairs())
+    }
+}
+
+impl From<&DenseBool> for CsrBool {
+    fn from(d: &DenseBool) -> CsrBool {
+        CsrBool::from_pairs(d.nrows(), d.ncols(), &d.to_pairs())
+            .expect("dense pairs are in bounds by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_coo_roundtrip() {
+        let csr = CsrBool::from_pairs(4, 5, &[(0, 4), (2, 1), (2, 3), (3, 0)]).unwrap();
+        let coo = CooBool::from(&csr);
+        assert_eq!(coo.to_pairs(), csr.to_pairs());
+        let back = CsrBool::from(&coo);
+        assert_eq!(back, csr);
+    }
+
+    #[test]
+    fn csr_dense_roundtrip() {
+        let csr = CsrBool::from_pairs(3, 3, &[(0, 0), (1, 2), (2, 1)]).unwrap();
+        let dense = DenseBool::from(&csr);
+        assert_eq!(CsrBool::from(&dense), csr);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let csr = CsrBool::zeros(7, 2);
+        let coo = CooBool::from(&csr);
+        assert_eq!(coo.nnz(), 0);
+        assert_eq!(CsrBool::from(&coo), csr);
+    }
+}

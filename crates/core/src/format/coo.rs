@@ -1,0 +1,187 @@
+//! Coordinate-format Boolean matrices (the clBool storage format).
+
+use crate::error::{Result, SpblaError};
+use crate::index::{pack, unpack, Index, Pair};
+
+/// A Boolean sparse matrix as parallel `(rows, cols)` arrays, sorted
+/// row-major and deduplicated.
+///
+/// The paper motivates COO over CSR for very sparse matrices with many
+/// empty rows: footprint is `2 · nnz · sizeof(Index)` bytes, independent
+/// of the row count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CooBool {
+    nrows: Index,
+    ncols: Index,
+    rows: Vec<Index>,
+    cols: Vec<Index>,
+}
+
+impl CooBool {
+    /// An empty `nrows × ncols` matrix.
+    pub fn zeros(nrows: Index, ncols: Index) -> Self {
+        CooBool {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+        }
+    }
+
+    /// Build from coordinate pairs, sorting and deduplicating.
+    pub fn from_pairs(nrows: Index, ncols: Index, pairs: &[Pair]) -> Result<Self> {
+        for &(i, j) in pairs {
+            if i >= nrows || j >= ncols {
+                return Err(SpblaError::IndexOutOfBounds {
+                    row: i,
+                    col: j,
+                    shape: (nrows, ncols),
+                });
+            }
+        }
+        let mut keys: Vec<u64> = pairs.iter().map(|&(i, j)| pack(i, j)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let (rows, cols) = keys.into_iter().map(unpack).unzip();
+        Ok(CooBool {
+            nrows,
+            ncols,
+            rows,
+            cols,
+        })
+    }
+
+    /// Assemble from raw sorted/deduplicated arrays (debug-asserted).
+    pub fn from_raw(nrows: Index, ncols: Index, rows: Vec<Index>, cols: Vec<Index>) -> Self {
+        let m = CooBool {
+            nrows,
+            ncols,
+            rows,
+            cols,
+        };
+        debug_assert!(m.validate().is_ok(), "invalid COO: {:?}", m.validate());
+        m
+    }
+
+    /// Verify sortedness, dedup, and bounds.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.rows.len() != self.cols.len() {
+            return Err("rows/cols length mismatch".into());
+        }
+        let mut prev: Option<u64> = None;
+        for (&i, &j) in self.rows.iter().zip(&self.cols) {
+            if i >= self.nrows || j >= self.ncols {
+                return Err(format!("entry ({i},{j}) out of bounds"));
+            }
+            let k = pack(i, j);
+            if let Some(p) = prev {
+                if p >= k {
+                    return Err(format!("entries not strictly sorted at ({i},{j})"));
+                }
+            }
+            prev = Some(k);
+        }
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    pub fn shape(&self) -> (Index, Index) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of `true` cells.
+    pub fn nnz(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the matrix has no `true` cells.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Row indices array.
+    pub fn rows(&self) -> &[Index] {
+        &self.rows
+    }
+
+    /// Column indices array.
+    pub fn cols(&self) -> &[Index] {
+        &self.cols
+    }
+
+    /// All `true` coordinates in row-major order.
+    pub fn to_pairs(&self) -> Vec<Pair> {
+        self.rows.iter().copied().zip(self.cols.iter().copied()).collect()
+    }
+
+    /// Entries as packed row-major `u64` keys (sorted ascending).
+    pub fn to_keys(&self) -> Vec<u64> {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .map(|(&i, &j)| pack(i, j))
+            .collect()
+    }
+
+    /// Rebuild from packed keys (must be sorted and unique).
+    pub fn from_keys(nrows: Index, ncols: Index, keys: &[u64]) -> Self {
+        let (rows, cols) = keys.iter().map(|&k| unpack(k)).unzip();
+        CooBool::from_raw(nrows, ncols, rows, cols)
+    }
+
+    /// Storage footprint in bytes: `2 · nnz · sizeof(Index)` — the paper's
+    /// COO memory formula.
+    pub fn memory_bytes(&self) -> usize {
+        2 * self.nnz() * std::mem::size_of::<Index>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_sorts_and_dedups() {
+        let m = CooBool::from_pairs(3, 3, &[(2, 1), (0, 0), (2, 1), (0, 2)]).unwrap();
+        assert_eq!(m.to_pairs(), vec![(0, 0), (0, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        assert!(CooBool::from_pairs(2, 2, &[(0, 5)]).is_err());
+    }
+
+    #[test]
+    fn key_roundtrip() {
+        let m = CooBool::from_pairs(4, 4, &[(1, 2), (3, 0)]).unwrap();
+        let keys = m.to_keys();
+        assert_eq!(CooBool::from_keys(4, 4, &keys), m);
+    }
+
+    #[test]
+    fn memory_formula_independent_of_rows() {
+        let tall = CooBool::from_pairs(1_000_000, 4, &[(0, 0), (999_999, 3)]).unwrap();
+        assert_eq!(tall.memory_bytes(), 2 * 2 * 4);
+    }
+
+    #[test]
+    fn validate_catches_unsorted() {
+        let m = CooBool {
+            nrows: 3,
+            ncols: 3,
+            rows: vec![1, 0],
+            cols: vec![0, 0],
+        };
+        assert!(m.validate().is_err());
+    }
+}

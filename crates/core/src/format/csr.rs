@@ -1,0 +1,581 @@
+//! Compressed-sparse-row Boolean matrices and their sequential operations.
+//!
+//! This is both the cuBool storage format and, through the methods here,
+//! the sequential CPU reference backend against which the simulated-GPU
+//! kernels are verified.
+
+use crate::error::{Result, SpblaError};
+use crate::index::{Index, Pair};
+
+/// A Boolean sparse matrix in CSR format.
+///
+/// Invariants (checked by [`CsrBool::validate`], asserted in debug builds
+/// by constructors):
+/// * `row_ptr.len() == nrows + 1`, `row_ptr[0] == 0`, non-decreasing,
+///   `row_ptr[nrows] == cols.len()`;
+/// * column indices within each row are strictly increasing (no
+///   duplicates — a Boolean matrix has no multiplicity) and `< ncols`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrBool {
+    nrows: Index,
+    ncols: Index,
+    row_ptr: Vec<Index>,
+    cols: Vec<Index>,
+}
+
+impl CsrBool {
+    /// An empty `nrows × ncols` matrix.
+    pub fn zeros(nrows: Index, ncols: Index) -> Self {
+        CsrBool {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows as usize + 1],
+            cols: Vec::new(),
+        }
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: Index) -> Self {
+        CsrBool {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n).collect(),
+            cols: (0..n).collect(),
+        }
+    }
+
+    /// Build from coordinate pairs, deduplicating. Returns an error if any
+    /// coordinate is out of bounds.
+    pub fn from_pairs(nrows: Index, ncols: Index, pairs: &[Pair]) -> Result<Self> {
+        for &(i, j) in pairs {
+            if i >= nrows || j >= ncols {
+                return Err(SpblaError::IndexOutOfBounds {
+                    row: i,
+                    col: j,
+                    shape: (nrows, ncols),
+                });
+            }
+        }
+        let mut sorted: Vec<Pair> = pairs.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut row_ptr = vec![0 as Index; nrows as usize + 1];
+        for &(i, _) in &sorted {
+            row_ptr[i as usize + 1] += 1;
+        }
+        for r in 0..nrows as usize {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        let cols = sorted.into_iter().map(|(_, j)| j).collect();
+        Ok(CsrBool {
+            nrows,
+            ncols,
+            row_ptr,
+            cols,
+        })
+    }
+
+    /// Assemble from raw parts. Debug-asserts the invariants; use
+    /// [`CsrBool::validate`] for a checked build.
+    pub fn from_raw(nrows: Index, ncols: Index, row_ptr: Vec<Index>, cols: Vec<Index>) -> Self {
+        let m = CsrBool {
+            nrows,
+            ncols,
+            row_ptr,
+            cols,
+        };
+        debug_assert!(m.validate().is_ok(), "invalid CSR: {:?}", m.validate());
+        m
+    }
+
+    /// Verify the structural invariants.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.row_ptr.len() != self.nrows as usize + 1 {
+            return Err(format!(
+                "row_ptr length {} != nrows + 1 = {}",
+                self.row_ptr.len(),
+                self.nrows + 1
+            ));
+        }
+        if self.row_ptr[0] != 0 {
+            return Err("row_ptr[0] != 0".into());
+        }
+        if *self.row_ptr.last().unwrap() as usize != self.cols.len() {
+            return Err("row_ptr[nrows] != nnz".into());
+        }
+        for r in 0..self.nrows as usize {
+            if self.row_ptr[r] > self.row_ptr[r + 1] {
+                return Err(format!("row_ptr decreasing at row {r}"));
+            }
+            let row = &self.cols[self.row_ptr[r] as usize..self.row_ptr[r + 1] as usize];
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("row {r} columns not strictly increasing"));
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last >= self.ncols {
+                    return Err(format!("row {r} column {last} >= ncols {}", self.ncols));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    pub fn shape(&self) -> (Index, Index) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of `true` cells.
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Whether the matrix has no `true` cells.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// The row-pointer array (`rowspt` in the paper).
+    pub fn row_ptr(&self) -> &[Index] {
+        &self.row_ptr
+    }
+
+    /// The column-index array.
+    pub fn cols(&self) -> &[Index] {
+        &self.cols
+    }
+
+    /// Column indices of row `i`.
+    pub fn row(&self, i: Index) -> &[Index] {
+        &self.cols[self.row_ptr[i as usize] as usize..self.row_ptr[i as usize + 1] as usize]
+    }
+
+    /// Number of entries in row `i`.
+    pub fn row_nnz(&self, i: Index) -> usize {
+        (self.row_ptr[i as usize + 1] - self.row_ptr[i as usize]) as usize
+    }
+
+    /// Test a single cell.
+    pub fn get(&self, i: Index, j: Index) -> bool {
+        i < self.nrows && self.row(i).binary_search(&j).is_ok()
+    }
+
+    /// All `true` coordinates in row-major order.
+    pub fn to_pairs(&self) -> Vec<Pair> {
+        let mut out = Vec::with_capacity(self.nnz());
+        for i in 0..self.nrows {
+            for &j in self.row(i) {
+                out.push((i, j));
+            }
+        }
+        out
+    }
+
+    /// Iterate over `true` coordinates in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = Pair> + '_ {
+        (0..self.nrows).flat_map(move |i| self.row(i).iter().map(move |&j| (i, j)))
+    }
+
+    /// Storage footprint in bytes: `(m + 1 + nnz) · sizeof(Index)` — the
+    /// paper's CSR memory formula.
+    pub fn memory_bytes(&self) -> usize {
+        (self.row_ptr.len() + self.cols.len()) * std::mem::size_of::<Index>()
+    }
+
+    fn check_same_shape(&self, other: &Self, op: &'static str) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(SpblaError::DimensionMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Sequential reference operations (the CPU backend).
+    // ------------------------------------------------------------------
+
+    /// Boolean matrix product `C = A · B` (Gustavson's algorithm with a
+    /// dense marker array; no values, so "accumulation" is set union).
+    pub fn mxm(&self, other: &Self) -> Result<Self> {
+        if self.ncols != other.nrows {
+            return Err(SpblaError::DimensionMismatch {
+                op: "mxm",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut marker: Vec<bool> = vec![false; other.ncols as usize];
+        let mut row_ptr = Vec::with_capacity(self.nrows as usize + 1);
+        row_ptr.push(0 as Index);
+        let mut cols: Vec<Index> = Vec::new();
+        let mut scratch: Vec<Index> = Vec::new();
+        for i in 0..self.nrows {
+            scratch.clear();
+            for &k in self.row(i) {
+                for &j in other.row(k) {
+                    if !marker[j as usize] {
+                        marker[j as usize] = true;
+                        scratch.push(j);
+                    }
+                }
+            }
+            scratch.sort_unstable();
+            for &j in &scratch {
+                marker[j as usize] = false;
+            }
+            cols.extend_from_slice(&scratch);
+            row_ptr.push(cols.len() as Index);
+        }
+        Ok(CsrBool {
+            nrows: self.nrows,
+            ncols: other.ncols,
+            row_ptr,
+            cols,
+        })
+    }
+
+    /// Element-wise Boolean sum `C = A + B` (set union), the paper's
+    /// `A += B` building block.
+    pub fn ewise_add(&self, other: &Self) -> Result<Self> {
+        self.check_same_shape(other, "ewise_add")?;
+        let mut row_ptr = Vec::with_capacity(self.nrows as usize + 1);
+        row_ptr.push(0 as Index);
+        let mut cols = Vec::with_capacity(self.nnz() + other.nnz());
+        for i in 0..self.nrows {
+            let (a, b) = (self.row(i), other.row(i));
+            let (mut x, mut y) = (0usize, 0usize);
+            while x < a.len() || y < b.len() {
+                let next = match (a.get(x), b.get(y)) {
+                    (Some(&u), Some(&v)) => {
+                        if u == v {
+                            x += 1;
+                            y += 1;
+                        } else if u < v {
+                            x += 1;
+                        } else {
+                            y += 1;
+                        }
+                        u.min(v)
+                    }
+                    (Some(&u), None) => {
+                        x += 1;
+                        u
+                    }
+                    (None, Some(&v)) => {
+                        y += 1;
+                        v
+                    }
+                    (None, None) => unreachable!(),
+                };
+                cols.push(next);
+            }
+            row_ptr.push(cols.len() as Index);
+        }
+        Ok(CsrBool {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr,
+            cols,
+        })
+    }
+
+    /// Element-wise Boolean product `C = A ∧ B` (set intersection).
+    /// GraphBLAS `eWiseMult`; used by applications for masking.
+    pub fn ewise_mult(&self, other: &Self) -> Result<Self> {
+        self.check_same_shape(other, "ewise_mult")?;
+        let mut row_ptr = Vec::with_capacity(self.nrows as usize + 1);
+        row_ptr.push(0 as Index);
+        let mut cols = Vec::new();
+        for i in 0..self.nrows {
+            let (a, b) = (self.row(i), other.row(i));
+            let (mut x, mut y) = (0usize, 0usize);
+            while x < a.len() && y < b.len() {
+                match a[x].cmp(&b[y]) {
+                    std::cmp::Ordering::Equal => {
+                        cols.push(a[x]);
+                        x += 1;
+                        y += 1;
+                    }
+                    std::cmp::Ordering::Less => x += 1,
+                    std::cmp::Ordering::Greater => y += 1,
+                }
+            }
+            row_ptr.push(cols.len() as Index);
+        }
+        Ok(CsrBool {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr,
+            cols,
+        })
+    }
+
+    /// Kronecker product `K = A ⊗ B` of shape `(mA·mB) × (nA·nB)`.
+    pub fn kron(&self, other: &Self) -> Result<Self> {
+        let nrows = (self.nrows as u64).checked_mul(other.nrows as u64);
+        let ncols = (self.ncols as u64).checked_mul(other.ncols as u64);
+        let (nrows, ncols) = match (nrows, ncols) {
+            (Some(r), Some(c)) if r <= u32::MAX as u64 && c <= u32::MAX as u64 => {
+                (r as Index, c as Index)
+            }
+            _ => {
+                return Err(SpblaError::InvalidDimension(format!(
+                    "kron result {}x{} · {}x{} overflows Index",
+                    self.nrows, self.ncols, other.nrows, other.ncols
+                )))
+            }
+        };
+        let mut row_ptr = Vec::with_capacity(nrows as usize + 1);
+        row_ptr.push(0 as Index);
+        let mut cols = Vec::with_capacity(self.nnz() * other.nnz());
+        for i1 in 0..self.nrows {
+            for i2 in 0..other.nrows {
+                for &j1 in self.row(i1) {
+                    for &j2 in other.row(i2) {
+                        cols.push(j1 * other.ncols + j2);
+                    }
+                }
+                row_ptr.push(cols.len() as Index);
+            }
+        }
+        Ok(CsrBool {
+            nrows,
+            ncols,
+            row_ptr,
+            cols,
+        })
+    }
+
+    /// Transpose `Mᵀ` (counting sort over columns).
+    pub fn transpose(&self) -> Self {
+        let mut counts = vec![0 as Index; self.ncols as usize + 1];
+        for &j in &self.cols {
+            counts[j as usize + 1] += 1;
+        }
+        for c in 0..self.ncols as usize {
+            counts[c + 1] += counts[c];
+        }
+        let row_ptr = counts.clone();
+        let mut cols = vec![0 as Index; self.nnz()];
+        let mut cursor = counts;
+        for i in 0..self.nrows {
+            for &j in self.row(i) {
+                cols[cursor[j as usize] as usize] = i;
+                cursor[j as usize] += 1;
+            }
+        }
+        CsrBool {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr,
+            cols,
+        }
+    }
+
+    /// Extract the sub-matrix `M[i0 .. i0+nrows, j0 .. j0+ncols]`.
+    pub fn submatrix(&self, i0: Index, j0: Index, nrows: Index, ncols: Index) -> Result<Self> {
+        let (ie, je) = (i0 as u64 + nrows as u64, j0 as u64 + ncols as u64);
+        if ie > self.nrows as u64 || je > self.ncols as u64 {
+            return Err(SpblaError::InvalidDimension(format!(
+                "submatrix [{i0}+{nrows}, {j0}+{ncols}] exceeds {}x{}",
+                self.nrows, self.ncols
+            )));
+        }
+        let mut row_ptr = Vec::with_capacity(nrows as usize + 1);
+        row_ptr.push(0 as Index);
+        let mut cols = Vec::new();
+        for i in i0..i0 + nrows {
+            let row = self.row(i);
+            let lo = row.partition_point(|&j| j < j0);
+            let hi = row.partition_point(|&j| j < j0 + ncols);
+            cols.extend(row[lo..hi].iter().map(|&j| j - j0));
+            row_ptr.push(cols.len() as Index);
+        }
+        Ok(CsrBool {
+            nrows,
+            ncols,
+            row_ptr,
+            cols,
+        })
+    }
+
+    /// Reduce along rows: `V[i] = ⋁_j M[i][j]` — the set of non-empty
+    /// rows, i.e. the paper's `reduceToColumn`.
+    pub fn reduce_to_column(&self) -> Vec<Index> {
+        (0..self.nrows).filter(|&i| self.row_nnz(i) > 0).collect()
+    }
+
+    /// Reduce along columns: the set of non-empty columns.
+    pub fn reduce_to_row(&self) -> Vec<Index> {
+        let mut seen = vec![false; self.ncols as usize];
+        for &j in &self.cols {
+            seen[j as usize] = true;
+        }
+        (0..self.ncols).filter(|&j| seen[j as usize]).collect()
+    }
+
+    /// Sparse-vector × matrix product over the Boolean semiring:
+    /// `out = ⋃_{i ∈ set} row(i)` — the frontier-push step of matrix BFS.
+    /// `set` must be sorted ascending.
+    pub fn vxm(&self, set: &[Index]) -> Vec<Index> {
+        let mut marker = vec![false; self.ncols as usize];
+        let mut out = Vec::new();
+        for &i in set {
+            for &j in self.row(i) {
+                if !marker[j as usize] {
+                    marker[j as usize] = true;
+                    out.push(j);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrBool {
+        CsrBool::from_pairs(3, 4, &[(0, 1), (0, 3), (1, 0), (2, 2)]).unwrap()
+    }
+
+    #[test]
+    fn from_pairs_sorts_and_dedups() {
+        let m = CsrBool::from_pairs(2, 2, &[(1, 1), (0, 0), (1, 1), (0, 1)]).unwrap();
+        assert_eq!(m.to_pairs(), vec![(0, 0), (0, 1), (1, 1)]);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn from_pairs_rejects_out_of_bounds() {
+        let e = CsrBool::from_pairs(2, 2, &[(2, 0)]).unwrap_err();
+        assert!(matches!(e, SpblaError::IndexOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn get_and_rows() {
+        let m = small();
+        assert!(m.get(0, 1));
+        assert!(m.get(0, 3));
+        assert!(!m.get(0, 0));
+        assert_eq!(m.row(0), &[1, 3]);
+        assert_eq!(m.row_nnz(1), 1);
+    }
+
+    #[test]
+    fn mxm_matches_manual() {
+        // A: 0->1, 1->2; B: 1->2, 2->0  =>  A·B: 0->2, 1->0
+        let a = CsrBool::from_pairs(3, 3, &[(0, 1), (1, 2)]).unwrap();
+        let b = CsrBool::from_pairs(3, 3, &[(1, 2), (2, 0)]).unwrap();
+        assert_eq!(a.mxm(&b).unwrap().to_pairs(), vec![(0, 2), (1, 0)]);
+    }
+
+    #[test]
+    fn mxm_identity_is_noop() {
+        let m = small();
+        let i3 = CsrBool::identity(3);
+        let i4 = CsrBool::identity(4);
+        assert_eq!(i3.mxm(&m).unwrap(), m);
+        assert_eq!(m.mxm(&i4).unwrap(), m);
+    }
+
+    #[test]
+    fn mxm_dimension_mismatch() {
+        let a = CsrBool::zeros(2, 3);
+        let b = CsrBool::zeros(2, 3);
+        assert!(matches!(
+            a.mxm(&b),
+            Err(SpblaError::DimensionMismatch { op: "mxm", .. })
+        ));
+    }
+
+    #[test]
+    fn ewise_add_is_union() {
+        let a = CsrBool::from_pairs(2, 3, &[(0, 0), (1, 2)]).unwrap();
+        let b = CsrBool::from_pairs(2, 3, &[(0, 0), (0, 1)]).unwrap();
+        let c = a.ewise_add(&b).unwrap();
+        assert_eq!(c.to_pairs(), vec![(0, 0), (0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn ewise_mult_is_intersection() {
+        let a = CsrBool::from_pairs(2, 3, &[(0, 0), (0, 2), (1, 2)]).unwrap();
+        let b = CsrBool::from_pairs(2, 3, &[(0, 0), (0, 1), (1, 2)]).unwrap();
+        let c = a.ewise_mult(&b).unwrap();
+        assert_eq!(c.to_pairs(), vec![(0, 0), (1, 2)]);
+    }
+
+    #[test]
+    fn kron_small() {
+        let a = CsrBool::from_pairs(2, 2, &[(0, 1)]).unwrap();
+        let b = CsrBool::from_pairs(2, 2, &[(1, 0)]).unwrap();
+        let k = a.kron(&b).unwrap();
+        assert_eq!(k.shape(), (4, 4));
+        // (0,1)⊗(1,0): row = 0*2+1 = 1, col = 1*2+0 = 2.
+        assert_eq!(k.to_pairs(), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = small();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (4, 3));
+        assert!(t.get(1, 0) && t.get(3, 0) && t.get(0, 1) && t.get(2, 2));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn submatrix_extracts_window() {
+        let m = small();
+        let s = m.submatrix(0, 1, 2, 3).unwrap();
+        assert_eq!(s.shape(), (2, 3));
+        assert_eq!(s.to_pairs(), vec![(0, 0), (0, 2)]);
+        assert!(m.submatrix(1, 1, 3, 1).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let m = small();
+        assert_eq!(m.reduce_to_column(), vec![0, 1, 2]);
+        assert_eq!(m.reduce_to_row(), vec![0, 1, 2, 3]);
+        let empty_row = CsrBool::from_pairs(3, 2, &[(0, 0), (2, 1)]).unwrap();
+        assert_eq!(empty_row.reduce_to_column(), vec![0, 2]);
+    }
+
+    #[test]
+    fn vxm_frontier_push() {
+        let m = small();
+        assert_eq!(m.vxm(&[0, 1]), vec![0, 1, 3]);
+        assert_eq!(m.vxm(&[]), Vec::<Index>::new());
+    }
+
+    #[test]
+    fn memory_formula() {
+        let m = small();
+        assert_eq!(m.memory_bytes(), (3 + 1 + 4) * 4);
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let mut m = small();
+        m.cols[0] = 99; // out of bounds column
+        assert!(m.validate().is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Dense bit-matrix oracle used by tests and property checks.
+
+use crate::index::{Index, Pair};
+
+/// A dense Boolean matrix backed by a bitset. Quadratic memory — only for
+/// small test instances, where it provides trivially-correct reference
+/// implementations of every operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseBool {
+    nrows: Index,
+    ncols: Index,
+    bits: Vec<u64>,
+}
+
+impl DenseBool {
+    /// An all-false `nrows × ncols` matrix.
+    pub fn zeros(nrows: Index, ncols: Index) -> Self {
+        let words = (nrows as usize * ncols as usize).div_ceil(64);
+        DenseBool {
+            nrows,
+            ncols,
+            bits: vec![0; words],
+        }
+    }
+
+    /// Build from coordinates (no bounds error: panics on misuse, tests
+    /// only).
+    pub fn from_pairs(nrows: Index, ncols: Index, pairs: &[Pair]) -> Self {
+        let mut m = DenseBool::zeros(nrows, ncols);
+        for &(i, j) in pairs {
+            m.set(i, j, true);
+        }
+        m
+    }
+
+    #[inline]
+    fn bit(&self, i: Index, j: Index) -> usize {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        i as usize * self.ncols as usize + j as usize
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// Read cell `(i, j)`.
+    pub fn get(&self, i: Index, j: Index) -> bool {
+        let b = self.bit(i, j);
+        (self.bits[b / 64] >> (b % 64)) & 1 == 1
+    }
+
+    /// Write cell `(i, j)`.
+    pub fn set(&mut self, i: Index, j: Index, v: bool) {
+        let b = self.bit(i, j);
+        if v {
+            self.bits[b / 64] |= 1 << (b % 64);
+        } else {
+            self.bits[b / 64] &= !(1 << (b % 64));
+        }
+    }
+
+    /// Number of `true` cells.
+    pub fn nnz(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` coordinates, row-major.
+    pub fn to_pairs(&self) -> Vec<Pair> {
+        let mut out = Vec::new();
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                if self.get(i, j) {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Reference Boolean product.
+    pub fn mxm(&self, other: &Self) -> Self {
+        assert_eq!(self.ncols, other.nrows);
+        let mut c = DenseBool::zeros(self.nrows, other.ncols);
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                if self.get(i, k) {
+                    for j in 0..other.ncols {
+                        if other.get(k, j) {
+                            c.set(i, j, true);
+                        }
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    /// Reference element-wise or.
+    pub fn ewise_add(&self, other: &Self) -> Self {
+        assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));
+        let mut c = self.clone();
+        for (w, o) in c.bits.iter_mut().zip(&other.bits) {
+            *w |= o;
+        }
+        c
+    }
+
+    /// Reference Kronecker product.
+    pub fn kron(&self, other: &Self) -> Self {
+        let mut c = DenseBool::zeros(self.nrows * other.nrows, self.ncols * other.ncols);
+        for i1 in 0..self.nrows {
+            for j1 in 0..self.ncols {
+                if self.get(i1, j1) {
+                    for i2 in 0..other.nrows {
+                        for j2 in 0..other.ncols {
+                            if other.get(i2, j2) {
+                                c.set(i1 * other.nrows + i2, j1 * other.ncols + j2, true);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    /// Reference transpose.
+    pub fn transpose(&self) -> Self {
+        let mut c = DenseBool::zeros(self.ncols, self.nrows);
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                if self.get(i, j) {
+                    c.set(j, i, true);
+                }
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::csr::CsrBool;
+
+    #[test]
+    fn dense_agrees_with_csr_on_product() {
+        let pairs_a = [(0u32, 1u32), (1, 2), (2, 0), (2, 2)];
+        let pairs_b = [(0u32, 0u32), (1, 2), (2, 1)];
+        let da = DenseBool::from_pairs(3, 3, &pairs_a);
+        let db = DenseBool::from_pairs(3, 3, &pairs_b);
+        let ca = CsrBool::from_pairs(3, 3, &pairs_a).unwrap();
+        let cb = CsrBool::from_pairs(3, 3, &pairs_b).unwrap();
+        assert_eq!(da.mxm(&db).to_pairs(), ca.mxm(&cb).unwrap().to_pairs());
+    }
+
+    #[test]
+    fn set_get_and_clear() {
+        let mut m = DenseBool::zeros(5, 7);
+        m.set(4, 6, true);
+        assert!(m.get(4, 6));
+        assert_eq!(m.nnz(), 1);
+        m.set(4, 6, false);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn kron_and_transpose_agree_with_csr() {
+        let pa = [(0u32, 1u32), (1, 0)];
+        let pb = [(0u32, 0u32), (1, 1)];
+        let da = DenseBool::from_pairs(2, 2, &pa);
+        let db = DenseBool::from_pairs(2, 2, &pb);
+        let ca = CsrBool::from_pairs(2, 2, &pa).unwrap();
+        let cb = CsrBool::from_pairs(2, 2, &pb).unwrap();
+        assert_eq!(da.kron(&db).to_pairs(), ca.kron(&cb).unwrap().to_pairs());
+        assert_eq!(da.transpose().to_pairs(), ca.transpose().to_pairs());
+    }
+}

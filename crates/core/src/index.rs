@@ -1,0 +1,35 @@
+//! Index types. The paper stores coordinates as `uint32_t`; we mirror that
+//! so format memory-footprint formulas ((m + nnz)·4 bytes for CSR,
+//! 2·nnz·4 bytes for COO) match.
+
+/// Element index type (`IndexType` in the paper).
+pub type Index = u32;
+
+/// A `(row, col)` coordinate of a `true` cell.
+pub type Pair = (Index, Index);
+
+/// Pack a coordinate into a radix-sortable 64-bit key (row-major order).
+#[inline]
+pub fn pack(row: Index, col: Index) -> u64 {
+    ((row as u64) << 32) | col as u64
+}
+
+/// Inverse of [`pack`].
+#[inline]
+pub fn unpack(key: u64) -> Pair {
+    ((key >> 32) as Index, key as Index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip_and_order() {
+        assert_eq!(unpack(pack(3, 7)), (3, 7));
+        assert_eq!(unpack(pack(u32::MAX, u32::MAX)), (u32::MAX, u32::MAX));
+        // Row-major: key order equals (row, col) lexicographic order.
+        assert!(pack(1, u32::MAX) < pack(2, 0));
+        assert!(pack(5, 3) < pack(5, 4));
+    }
+}

@@ -1,0 +1,185 @@
+//! Library instances — backend selection and device ownership.
+//!
+//! Mirrors `cuBool_Initialize`: an application creates one instance per
+//! backend configuration and all matrices/vectors belong to it. The
+//! planned SPbLA unification ("automatically select a specific
+//! implementation depending on the capabilities of the target device") is
+//! modelled by [`Instance::auto`].
+
+use std::sync::Arc;
+
+use spbla_gpu_sim::{Device, DeviceConfig};
+
+/// Which implementation executes the operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Sequential host reference (cuBool's CPU fallback).
+    Cpu,
+    /// Dense bit-parallel CPU backend (row-aligned bitsets; quadratic
+    /// memory, word-parallel operations — wins on dense operands).
+    CpuDense,
+    /// cuBool design: CSR + hash SpGEMM + two-pass merge add.
+    CudaSim,
+    /// clBool design: COO + ESC SpGEMM + one-pass merge add.
+    ClSim,
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Cpu => write!(f, "cpu"),
+            Backend::CpuDense => write!(f, "cpu-dense"),
+            Backend::CudaSim => write!(f, "cuda-sim"),
+            Backend::ClSim => write!(f, "cl-sim"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct InstanceInner {
+    backend: Backend,
+    device: Option<Device>,
+}
+
+/// A configured library instance. Cheap to clone (all clones share the
+/// backend and device); operations require both operands to come from the
+/// same instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    inner: Arc<InstanceInner>,
+}
+
+impl Instance {
+    fn make(backend: Backend, device: Option<Device>) -> Self {
+        Instance {
+            inner: Arc::new(InstanceInner { backend, device }),
+        }
+    }
+
+    /// Sequential CPU reference instance.
+    pub fn cpu() -> Self {
+        Instance::make(Backend::Cpu, None)
+    }
+
+    /// Dense bit-parallel CPU instance.
+    pub fn cpu_dense() -> Self {
+        Instance::make(Backend::CpuDense, None)
+    }
+
+    /// cuBool-style instance on a default simulated device.
+    pub fn cuda_sim() -> Self {
+        Instance::make(Backend::CudaSim, Some(Device::default()))
+    }
+
+    /// clBool-style instance on a default simulated device.
+    pub fn cl_sim() -> Self {
+        Instance::make(Backend::ClSim, Some(Device::default()))
+    }
+
+    /// cuBool-style instance on a caller-provided device (e.g. with a
+    /// memory cap for failure injection, or shared across instances).
+    pub fn cuda_sim_on(device: Device) -> Self {
+        Instance::make(Backend::CudaSim, Some(device))
+    }
+
+    /// clBool-style instance on a caller-provided device.
+    pub fn cl_sim_on(device: Device) -> Self {
+        Instance::make(Backend::ClSim, Some(device))
+    }
+
+    /// Pick a backend from the device description, the way the unified
+    /// SPbLA plans to: hypersparse workloads (expected `nnz ≪ nrows`)
+    /// favour COO, otherwise CSR.
+    pub fn auto(config: DeviceConfig, expect_hypersparse: bool) -> Self {
+        let device = Device::new(config);
+        if expect_hypersparse {
+            Instance::cl_sim_on(device)
+        } else {
+            Instance::cuda_sim_on(device)
+        }
+    }
+
+    /// Density-aware selection from the expected workload shape (the
+    /// crossovers measured by ablations E9 and E10.6):
+    /// * small-and-dense (the dense bitset fits the device's shared
+    ///   budget and density clears ~2 %) → dense bit-parallel backend;
+    /// * hypersparse (`nnz < nrows`, COO beats CSR per E9) → COO;
+    /// * otherwise → CSR hash backend.
+    pub fn auto_for(config: DeviceConfig, nrows: u32, expected_nnz: usize) -> Self {
+        let cells = nrows as f64 * nrows as f64;
+        let density = if cells > 0.0 {
+            expected_nnz as f64 / cells
+        } else {
+            0.0
+        };
+        let dense_bytes = (nrows as usize).div_ceil(64) * 8 * nrows as usize;
+        if density >= 0.02 && dense_bytes <= (64 << 20) {
+            return Instance::cpu_dense();
+        }
+        let device = Device::new(config);
+        if expected_nnz < nrows as usize {
+            Instance::cl_sim_on(device)
+        } else {
+            Instance::cuda_sim_on(device)
+        }
+    }
+
+    /// The backend this instance executes on.
+    pub fn backend(&self) -> Backend {
+        self.inner.backend
+    }
+
+    /// The simulated device, if the backend has one.
+    pub fn device(&self) -> Option<&Device> {
+        self.inner.device.as_ref()
+    }
+
+    /// Whether two instance handles refer to the same instance.
+    pub fn same_as(&self, other: &Instance) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_are_same_instance() {
+        let a = Instance::cuda_sim();
+        let b = a.clone();
+        assert!(a.same_as(&b));
+        assert!(!a.same_as(&Instance::cuda_sim()));
+    }
+
+    #[test]
+    fn auto_for_picks_by_shape() {
+        // Dense small square → bit backend.
+        let dense = Instance::auto_for(DeviceConfig::default(), 1000, 200_000);
+        assert_eq!(dense.backend(), Backend::CpuDense);
+        // Hypersparse tall → COO.
+        let hyper = Instance::auto_for(DeviceConfig::default(), 1_000_000, 5_000);
+        assert_eq!(hyper.backend(), Backend::ClSim);
+        // Ordinary sparse → CSR.
+        let csr = Instance::auto_for(DeviceConfig::default(), 100_000, 1_000_000);
+        assert_eq!(csr.backend(), Backend::CudaSim);
+        // Huge dense bitset would exceed the budget → falls back to CSR.
+        let big = Instance::auto_for(DeviceConfig::default(), 200_000, 1_000_000_000);
+        assert_ne!(big.backend(), Backend::CpuDense);
+    }
+
+    #[test]
+    fn backends_and_devices() {
+        assert_eq!(Instance::cpu().backend(), Backend::Cpu);
+        assert!(Instance::cpu().device().is_none());
+        assert!(Instance::cuda_sim().device().is_some());
+        assert_eq!(
+            Instance::auto(DeviceConfig::default(), true).backend(),
+            Backend::ClSim
+        );
+        assert_eq!(
+            Instance::auto(DeviceConfig::default(), false).backend(),
+            Backend::CudaSim
+        );
+    }
+}

@@ -1,0 +1,659 @@
+//! The `Matrix` handle — the library's main primitive.
+
+use crate::backend::cl_sim::{self, DeviceCoo};
+use crate::backend::cuda_sim::{self, DeviceCsr};
+use crate::error::{Result, SpblaError};
+use crate::format::bitmat::BitMatrix;
+use crate::format::coo::CooBool;
+use crate::format::csr::CsrBool;
+use crate::index::{Index, Pair};
+use crate::instance::{Backend, Instance};
+use crate::vector::Vector;
+
+#[derive(Debug)]
+enum Repr {
+    Cpu(CsrBool),
+    Bit(BitMatrix),
+    Cuda(DeviceCsr),
+    Cl(DeviceCoo),
+}
+
+/// A sparse Boolean matrix owned by an [`Instance`].
+///
+/// Operations follow the paper's list: create/fill/read, transpose,
+/// sub-matrix extraction, reduce-to-vector, matrix multiplication
+/// (`mxm`, plus the multiply-add form `mxm_acc`), element-wise addition,
+/// and Kronecker product.
+#[derive(Debug)]
+pub struct Matrix {
+    instance: Instance,
+    repr: Repr,
+}
+
+impl Matrix {
+    fn wrap(instance: &Instance, repr: Repr) -> Matrix {
+        Matrix {
+            instance: instance.clone(),
+            repr,
+        }
+    }
+
+    fn from_csr_host(instance: &Instance, host: CsrBool) -> Result<Matrix> {
+        let repr = match instance.backend() {
+            Backend::Cpu => Repr::Cpu(host),
+            Backend::CpuDense => {
+                Repr::Bit(BitMatrix::from_pairs(host.nrows(), host.ncols(), &host.to_pairs())?)
+            }
+            Backend::CudaSim => {
+                let dev = instance.device().expect("cuda-sim instance has a device");
+                Repr::Cuda(DeviceCsr::upload(dev, &host)?)
+            }
+            Backend::ClSim => {
+                let dev = instance.device().expect("cl-sim instance has a device");
+                Repr::Cl(DeviceCoo::upload(dev, &CooBool::from(&host))?)
+            }
+        };
+        Ok(Matrix::wrap(instance, repr))
+    }
+
+    /// An empty `nrows × ncols` matrix.
+    pub fn zeros(instance: &Instance, nrows: Index, ncols: Index) -> Result<Matrix> {
+        Matrix::from_csr_host(instance, CsrBool::zeros(nrows, ncols))
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(instance: &Instance, n: Index) -> Result<Matrix> {
+        Matrix::from_csr_host(instance, CsrBool::identity(n))
+    }
+
+    /// Build from coordinate pairs (the paper's "fill matrix with
+    /// values"); duplicates collapse, out-of-bounds coordinates error.
+    pub fn from_pairs(
+        instance: &Instance,
+        nrows: Index,
+        ncols: Index,
+        pairs: &[Pair],
+    ) -> Result<Matrix> {
+        Matrix::from_csr_host(instance, CsrBool::from_pairs(nrows, ncols, pairs)?)
+    }
+
+    /// Adopt a host CSR matrix.
+    pub fn from_csr(instance: &Instance, host: CsrBool) -> Result<Matrix> {
+        Matrix::from_csr_host(instance, host)
+    }
+
+    /// The owning instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> Index {
+        match &self.repr {
+            Repr::Cpu(m) => m.nrows(),
+            Repr::Bit(m) => m.nrows(),
+            Repr::Cuda(m) => m.nrows(),
+            Repr::Cl(m) => m.nrows(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Index {
+        match &self.repr {
+            Repr::Cpu(m) => m.ncols(),
+            Repr::Bit(m) => m.ncols(),
+            Repr::Cuda(m) => m.ncols(),
+            Repr::Cl(m) => m.ncols(),
+        }
+    }
+
+    /// `(nrows, ncols)`.
+    pub fn shape(&self) -> (Index, Index) {
+        (self.nrows(), self.ncols())
+    }
+
+    /// Number of `true` cells.
+    pub fn nnz(&self) -> usize {
+        match &self.repr {
+            Repr::Cpu(m) => m.nnz(),
+            Repr::Bit(m) => m.nnz(),
+            Repr::Cuda(m) => m.nnz(),
+            Repr::Cl(m) => m.nnz(),
+        }
+    }
+
+    /// Whether the matrix has no `true` cells.
+    pub fn is_empty(&self) -> bool {
+        self.nnz() == 0
+    }
+
+    /// Storage footprint in bytes under the backend's format.
+    pub fn memory_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Cpu(m) => m.memory_bytes(),
+            Repr::Bit(m) => m.memory_bytes(),
+            Repr::Cuda(m) => m.memory_bytes(),
+            Repr::Cl(m) => m.memory_bytes(),
+        }
+    }
+
+    /// Read all `true` coordinates, row-major (the paper's "read matrix
+    /// values").
+    pub fn read(&self) -> Vec<Pair> {
+        match &self.repr {
+            Repr::Cpu(m) => m.to_pairs(),
+            Repr::Bit(m) => m.to_pairs(),
+            Repr::Cuda(m) => m.download().to_pairs(),
+            Repr::Cl(m) => m.download().to_pairs(),
+        }
+    }
+
+    /// Materialise as a host CSR matrix.
+    pub fn to_csr(&self) -> CsrBool {
+        match &self.repr {
+            Repr::Cpu(m) => m.clone(),
+            Repr::Bit(m) => CsrBool::from_pairs(m.nrows(), m.ncols(), &m.to_pairs())
+                .expect("bit matrix pairs in bounds"),
+            Repr::Cuda(m) => m.download(),
+            Repr::Cl(m) => CsrBool::from(&m.download()),
+        }
+    }
+
+    /// Test one cell (downloads the row on device backends; intended for
+    /// small matrices and tests).
+    pub fn get(&self, i: Index, j: Index) -> bool {
+        match &self.repr {
+            Repr::Cpu(m) => m.get(i, j),
+            Repr::Bit(m) => i < m.nrows() && j < m.ncols() && m.get(i, j),
+            Repr::Cuda(m) => i < m.nrows() && m.row(i).binary_search(&j).is_ok(),
+            Repr::Cl(m) => m
+                .rows()
+                .iter()
+                .zip(m.cols())
+                .any(|(&r, &c)| r == i && c == j),
+        }
+    }
+
+    /// Move the matrix to another instance (re-uploading as needed).
+    pub fn to_instance(&self, instance: &Instance) -> Result<Matrix> {
+        Matrix::from_csr_host(instance, self.to_csr())
+    }
+
+    fn check_same_instance(&self, other: &Matrix) -> Result<()> {
+        if !self.instance.same_as(&other.instance) {
+            return Err(SpblaError::BackendMismatch);
+        }
+        Ok(())
+    }
+
+    fn check_mul_dims(&self, other: &Matrix) -> Result<()> {
+        if self.ncols() != other.nrows() {
+            return Err(SpblaError::DimensionMismatch {
+                op: "mxm",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_same_shape(&self, other: &Matrix, op: &'static str) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(SpblaError::DimensionMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        Ok(())
+    }
+
+    /// `C = A · B` over the Boolean semiring.
+    ///
+    /// ```
+    /// use spbla_core::{Instance, Matrix};
+    /// let inst = Instance::cl_sim();
+    /// let a = Matrix::from_pairs(&inst, 2, 2, &[(0, 0), (0, 1)]).unwrap();
+    /// let b = Matrix::from_pairs(&inst, 2, 2, &[(1, 1)]).unwrap();
+    /// assert_eq!(a.mxm(&b).unwrap().read(), vec![(0, 1)]);
+    /// ```
+    pub fn mxm(&self, other: &Matrix) -> Result<Matrix> {
+        self.check_same_instance(other)?;
+        self.check_mul_dims(other)?;
+        let repr = match (&self.repr, &other.repr) {
+            (Repr::Cpu(a), Repr::Cpu(b)) => Repr::Cpu(a.mxm(b)?),
+            (Repr::Bit(a), Repr::Bit(b)) => Repr::Bit(a.mxm(b)?),
+            (Repr::Cuda(a), Repr::Cuda(b)) => Repr::Cuda(cuda_sim::spgemm_hash::mxm(a, b)?),
+            (Repr::Cl(a), Repr::Cl(b)) => Repr::Cl(cl_sim::esc_spgemm::mxm(a, b)?),
+            _ => return Err(SpblaError::BackendMismatch),
+        };
+        Ok(Matrix::wrap(&self.instance, repr))
+    }
+
+    /// Multiply-add `C = self + A · B` — the paper's `C += M × N` form.
+    pub fn mxm_acc(&self, a: &Matrix, b: &Matrix) -> Result<Matrix> {
+        let product = a.mxm(b)?;
+        self.check_same_shape(&product, "mxm_acc")?;
+        self.ewise_add(&product)
+    }
+
+    /// Element-wise Boolean sum `C = A + B` (set union).
+    pub fn ewise_add(&self, other: &Matrix) -> Result<Matrix> {
+        self.check_same_instance(other)?;
+        self.check_same_shape(other, "ewise_add")?;
+        let repr = match (&self.repr, &other.repr) {
+            (Repr::Cpu(a), Repr::Cpu(b)) => Repr::Cpu(a.ewise_add(b)?),
+            (Repr::Bit(a), Repr::Bit(b)) => Repr::Bit(a.ewise_add(b)?),
+            (Repr::Cuda(a), Repr::Cuda(b)) => Repr::Cuda(cuda_sim::merge_add::ewise_add(a, b)?),
+            (Repr::Cl(a), Repr::Cl(b)) => Repr::Cl(cl_sim::merge_add::ewise_add(a, b)?),
+            _ => return Err(SpblaError::BackendMismatch),
+        };
+        Ok(Matrix::wrap(&self.instance, repr))
+    }
+
+    /// Element-wise Boolean product `C = A ∧ B` (set intersection).
+    pub fn ewise_mult(&self, other: &Matrix) -> Result<Matrix> {
+        self.check_same_instance(other)?;
+        self.check_same_shape(other, "ewise_mult")?;
+        let repr = match (&self.repr, &other.repr) {
+            (Repr::Cpu(a), Repr::Cpu(b)) => Repr::Cpu(a.ewise_mult(b)?),
+            (Repr::Bit(a), Repr::Bit(b)) => Repr::Bit(a.ewise_mult(b)?),
+            (Repr::Cuda(a), Repr::Cuda(b)) => Repr::Cuda(cuda_sim::merge_add::ewise_mult(a, b)?),
+            (Repr::Cl(a), Repr::Cl(b)) => Repr::Cl(cl_sim::merge_add::ewise_mult(a, b)?),
+            _ => return Err(SpblaError::BackendMismatch),
+        };
+        Ok(Matrix::wrap(&self.instance, repr))
+    }
+
+    /// Kronecker product `K = A ⊗ B`.
+    pub fn kron(&self, other: &Matrix) -> Result<Matrix> {
+        self.check_same_instance(other)?;
+        let repr = match (&self.repr, &other.repr) {
+            (Repr::Cpu(a), Repr::Cpu(b)) => Repr::Cpu(a.kron(b)?),
+            (Repr::Bit(a), Repr::Bit(b)) => Repr::Bit(a.kron(b)?),
+            (Repr::Cuda(a), Repr::Cuda(b)) => Repr::Cuda(cuda_sim::kron::kron(a, b)?),
+            (Repr::Cl(a), Repr::Cl(b)) => Repr::Cl(cl_sim::structure::kron(a, b)?),
+            _ => return Err(SpblaError::BackendMismatch),
+        };
+        Ok(Matrix::wrap(&self.instance, repr))
+    }
+
+    /// Transpose `Mᵀ`.
+    pub fn transpose(&self) -> Result<Matrix> {
+        let repr = match &self.repr {
+            Repr::Cpu(m) => Repr::Cpu(m.transpose()),
+            Repr::Bit(m) => Repr::Bit(m.transpose()),
+            Repr::Cuda(m) => Repr::Cuda(cuda_sim::structure::transpose(m)?),
+            Repr::Cl(m) => Repr::Cl(cl_sim::structure::transpose(m)?),
+        };
+        Ok(Matrix::wrap(&self.instance, repr))
+    }
+
+    /// Extract `M[i0 .. i0+nrows, j0 .. j0+ncols]`.
+    pub fn submatrix(&self, i0: Index, j0: Index, nrows: Index, ncols: Index) -> Result<Matrix> {
+        let repr = match &self.repr {
+            Repr::Cpu(m) => Repr::Cpu(m.submatrix(i0, j0, nrows, ncols)?),
+            Repr::Bit(m) => Repr::Bit(m.submatrix(i0, j0, nrows, ncols)?),
+            Repr::Cuda(m) => Repr::Cuda(cuda_sim::structure::submatrix(m, i0, j0, nrows, ncols)?),
+            Repr::Cl(m) => Repr::Cl(cl_sim::structure::submatrix(m, i0, j0, nrows, ncols)?),
+        };
+        Ok(Matrix::wrap(&self.instance, repr))
+    }
+
+    /// `V = reduceToColumn(M)`: the Boolean or along each row.
+    pub fn reduce_to_column(&self) -> Result<Vector> {
+        let indices = match &self.repr {
+            Repr::Cpu(m) => m.reduce_to_column(),
+            Repr::Bit(m) => m.reduce_to_column(),
+            Repr::Cuda(m) => cuda_sim::structure::reduce_to_column(m)?,
+            Repr::Cl(m) => cl_sim::structure::reduce_to_column(m)?,
+        };
+        Vector::from_sorted_indices(&self.instance, self.nrows(), indices)
+    }
+
+    /// The Boolean or along each column.
+    pub fn reduce_to_row(&self) -> Result<Vector> {
+        let indices = match &self.repr {
+            Repr::Cpu(m) => m.reduce_to_row(),
+            Repr::Bit(m) => m.reduce_to_row(),
+            Repr::Cuda(m) => cuda_sim::structure::reduce_to_row(m)?,
+            Repr::Cl(m) => cl_sim::structure::reduce_to_row(m)?,
+        };
+        Vector::from_sorted_indices(&self.instance, self.ncols(), indices)
+    }
+
+    /// Sparse-vector × matrix product `out = v · M` (frontier push).
+    pub fn vxm(&self, v: &Vector) -> Result<Vector> {
+        if v.len() != self.nrows() {
+            return Err(SpblaError::DimensionMismatch {
+                op: "vxm",
+                lhs: (1, v.len()),
+                rhs: self.shape(),
+            });
+        }
+        let out = match &self.repr {
+            Repr::Cpu(m) => m.vxm(v.indices()),
+            Repr::Bit(m) => m.vxm(v.indices()),
+            Repr::Cuda(m) => cuda_sim::vector_ops::vxm(m, v.indices())?,
+            Repr::Cl(m) => {
+                let offs = m.row_offsets();
+                let mc = m.cols();
+                let mut cols: Vec<Index> = Vec::new();
+                for &i in v.indices() {
+                    cols.extend_from_slice(&mc[offs[i as usize]..offs[i as usize + 1]]);
+                }
+                cols.sort_unstable();
+                cols.dedup();
+                cols
+            }
+        };
+        Vector::from_sorted_indices(&self.instance, self.ncols(), out)
+    }
+
+    /// Matrix × sparse-vector product `out = M · v` (pull direction):
+    /// `out[i] = ⋁_j M[i,j] ∧ v[j]`.
+    pub fn mxv(&self, v: &Vector) -> Result<Vector> {
+        if v.len() != self.ncols() {
+            return Err(SpblaError::DimensionMismatch {
+                op: "mxv",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        let out: Vec<Index> = match &self.repr {
+            Repr::Cpu(m) => (0..m.nrows())
+                .filter(|&i| m.row(i).iter().any(|j| v.get(*j)))
+                .collect(),
+            Repr::Bit(m) => (0..m.nrows())
+                .filter(|&i| v.indices().iter().any(|&j| m.get(i, j)))
+                .collect(),
+            Repr::Cuda(m) => (0..m.nrows())
+                .filter(|&i| m.row(i).iter().any(|j| v.get(*j)))
+                .collect(),
+            Repr::Cl(m) => {
+                let offs = m.row_offsets();
+                let cols = m.cols();
+                (0..m.nrows())
+                    .filter(|&i| {
+                        cols[offs[i as usize]..offs[i as usize + 1]]
+                            .iter()
+                            .any(|j| v.get(*j))
+                    })
+                    .collect()
+            }
+        };
+        Vector::from_sorted_indices(&self.instance, self.nrows(), out)
+    }
+
+    /// The transitive closure `M⁺` of a square Boolean matrix: repeated
+    /// multiply-add to a fixpoint. A library-level convenience the
+    /// paper's applications use pervasively.
+    ///
+    /// ```
+    /// use spbla_core::{Instance, Matrix};
+    /// let inst = Instance::cpu_dense();
+    /// let path = Matrix::from_pairs(&inst, 3, 3, &[(0, 1), (1, 2)]).unwrap();
+    /// let closure = path.transitive_closure().unwrap();
+    /// assert_eq!(closure.read(), vec![(0, 1), (0, 2), (1, 2)]);
+    /// ```
+    pub fn transitive_closure(&self) -> Result<Matrix> {
+        if self.nrows() != self.ncols() {
+            return Err(SpblaError::DimensionMismatch {
+                op: "transitive_closure",
+                lhs: self.shape(),
+                rhs: self.shape(),
+            });
+        }
+        let mut closure = Matrix::wrap(&self.instance, self.clone_repr()?);
+        loop {
+            let before = closure.nnz();
+            closure = closure.mxm_acc(&closure, &closure)?;
+            if closure.nnz() == before {
+                return Ok(closure);
+            }
+        }
+    }
+
+    fn clone_repr(&self) -> Result<Repr> {
+        Ok(match &self.repr {
+            Repr::Cpu(m) => Repr::Cpu(m.clone()),
+            Repr::Bit(m) => Repr::Bit(m.clone()),
+            Repr::Cuda(m) => {
+                let dev = m.device().clone();
+                Repr::Cuda(DeviceCsr::upload(&dev, &m.download())?)
+            }
+            Repr::Cl(m) => {
+                let dev = m.device().clone();
+                Repr::Cl(DeviceCoo::upload(&dev, &m.download())?)
+            }
+        })
+    }
+
+    /// Deep copy (duplicate the paper's "matrix duplicate" utility).
+    pub fn duplicate(&self) -> Result<Matrix> {
+        Ok(Matrix::wrap(&self.instance, self.clone_repr()?))
+    }
+
+    /// `Aᵏ` by exponentiation by squaring (`A⁰ = I`). Square matrices
+    /// only — the k-hop reachability building block.
+    pub fn power(&self, k: u32) -> Result<Matrix> {
+        if self.nrows() != self.ncols() {
+            return Err(SpblaError::DimensionMismatch {
+                op: "power",
+                lhs: self.shape(),
+                rhs: self.shape(),
+            });
+        }
+        let mut result = Matrix::identity(&self.instance, self.nrows())?;
+        let mut base = self.duplicate()?;
+        let mut e = k;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = result.mxm(&base)?;
+            }
+            e >>= 1;
+            if e > 0 {
+                base = base.mxm(&base)?;
+            }
+        }
+        Ok(result)
+    }
+
+    /// Masked product `C = (A · B) ∧ M` — the GraphBLAS-style masked
+    /// `mxm` applications use to restrict results to a pattern (e.g.
+    /// triangle counting masks by the adjacency itself).
+    ///
+    /// On the CSR simulated-GPU backend the mask is applied *inside* the
+    /// SpGEMM kernel (candidates outside the mask row are never
+    /// inserted); other backends compute the product and intersect.
+    pub fn mxm_masked(&self, other: &Matrix, mask: &Matrix) -> Result<Matrix> {
+        self.check_same_instance(other)?;
+        self.check_same_instance(mask)?;
+        self.check_mul_dims(other)?;
+        if (self.nrows(), other.ncols()) != mask.shape() {
+            return Err(SpblaError::DimensionMismatch {
+                op: "mxm_masked",
+                lhs: (self.nrows(), other.ncols()),
+                rhs: mask.shape(),
+            });
+        }
+        if let (Repr::Cuda(a), Repr::Cuda(b), Repr::Cuda(mk)) =
+            (&self.repr, &other.repr, &mask.repr)
+        {
+            let repr = Repr::Cuda(cuda_sim::spgemm_hash::mxm_masked(a, b, mk)?);
+            return Ok(Matrix::wrap(&self.instance, repr));
+        }
+        self.mxm(other)?.ewise_mult(mask)
+    }
+
+    /// Pairs reachable in 1 ..= k steps: `A + A² + … + Aᵏ`.
+    pub fn reachable_within(&self, k: u32) -> Result<Matrix> {
+        if self.nrows() != self.ncols() {
+            return Err(SpblaError::DimensionMismatch {
+                op: "reachable_within",
+                lhs: self.shape(),
+                rhs: self.shape(),
+            });
+        }
+        let mut acc = self.duplicate()?;
+        let mut walk = self.duplicate()?;
+        for _ in 1..k {
+            walk = walk.mxm(self)?;
+            let next = acc.ewise_add(&walk)?;
+            if next.nnz() == acc.nnz() {
+                return Ok(next); // saturated early
+            }
+            acc = next;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instances() -> Vec<Instance> {
+        vec![
+            Instance::cpu(),
+            Instance::cpu_dense(),
+            Instance::cuda_sim(),
+            Instance::cl_sim(),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_on_all_backends() {
+        for inst in instances() {
+            let m = Matrix::from_pairs(&inst, 3, 4, &[(0, 1), (2, 3)]).unwrap();
+            assert_eq!(m.shape(), (3, 4));
+            assert_eq!(m.nnz(), 2);
+            assert_eq!(m.read(), vec![(0, 1), (2, 3)]);
+            assert!(m.get(0, 1) && !m.get(1, 1));
+        }
+    }
+
+    #[test]
+    fn mxm_identical_across_backends() {
+        let a_pairs = [(0u32, 1u32), (1, 2), (2, 0), (2, 2)];
+        let b_pairs = [(0u32, 0u32), (1, 2), (2, 1)];
+        let mut results = Vec::new();
+        for inst in instances() {
+            let a = Matrix::from_pairs(&inst, 3, 3, &a_pairs).unwrap();
+            let b = Matrix::from_pairs(&inst, 3, 3, &b_pairs).unwrap();
+            results.push(a.mxm(&b).unwrap().read());
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn mxm_acc_accumulates() {
+        for inst in instances() {
+            let c = Matrix::from_pairs(&inst, 2, 2, &[(1, 1)]).unwrap();
+            let a = Matrix::from_pairs(&inst, 2, 2, &[(0, 0)]).unwrap();
+            let b = Matrix::from_pairs(&inst, 2, 2, &[(0, 1)]).unwrap();
+            let r = c.mxm_acc(&a, &b).unwrap();
+            assert_eq!(r.read(), vec![(0, 1), (1, 1)]);
+        }
+    }
+
+    #[test]
+    fn cross_instance_rejected() {
+        let a = Matrix::from_pairs(&Instance::cpu(), 2, 2, &[(0, 0)]).unwrap();
+        let b = Matrix::from_pairs(&Instance::cuda_sim(), 2, 2, &[(0, 0)]).unwrap();
+        assert!(matches!(a.mxm(&b), Err(SpblaError::BackendMismatch)));
+        // Even same backend, different instance.
+        let c = Matrix::from_pairs(&Instance::cpu(), 2, 2, &[(0, 0)]).unwrap();
+        assert!(matches!(a.ewise_add(&c), Err(SpblaError::BackendMismatch)));
+    }
+
+    #[test]
+    fn transitive_closure_of_path() {
+        for inst in instances() {
+            let p = Matrix::from_pairs(&inst, 4, 4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+            let c = p.transitive_closure().unwrap();
+            let expect = vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+            assert_eq!(c.read(), expect);
+        }
+    }
+
+    #[test]
+    fn reduce_and_vxm() {
+        for inst in instances() {
+            let m = Matrix::from_pairs(&inst, 3, 3, &[(0, 1), (2, 0)]).unwrap();
+            assert_eq!(m.reduce_to_column().unwrap().indices(), &[0, 2]);
+            assert_eq!(m.reduce_to_row().unwrap().indices(), &[0, 1]);
+            let v = Vector::from_indices(&inst, 3, &[0]).unwrap();
+            assert_eq!(m.vxm(&v).unwrap().indices(), &[1]);
+        }
+    }
+
+    #[test]
+    fn mxv_is_vxm_of_transpose() {
+        for inst in instances() {
+            let m = Matrix::from_pairs(&inst, 4, 4, &[(0, 1), (1, 2), (3, 1)]).unwrap();
+            let v = Vector::from_indices(&inst, 4, &[1, 2]).unwrap();
+            let pull = m.mxv(&v).unwrap();
+            let push = m.transpose().unwrap().vxm(&v).unwrap();
+            assert_eq!(pull.indices(), push.indices(), "{:?}", inst.backend());
+            assert_eq!(pull.indices(), &[0, 1, 3]);
+        }
+    }
+
+    #[test]
+    fn power_and_reachability() {
+        for inst in instances() {
+            // Path 0→1→2→3.
+            let p = Matrix::from_pairs(&inst, 4, 4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+            assert_eq!(p.power(0).unwrap().read(), Matrix::identity(&inst, 4).unwrap().read());
+            assert_eq!(p.power(2).unwrap().read(), vec![(0, 2), (1, 3)]);
+            assert_eq!(p.power(3).unwrap().read(), vec![(0, 3)]);
+            assert_eq!(p.power(4).unwrap().nnz(), 0);
+            let within2 = p.reachable_within(2).unwrap();
+            assert_eq!(within2.read(), vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+            // Saturation: k beyond the diameter equals the closure.
+            assert_eq!(
+                p.reachable_within(10).unwrap().read(),
+                p.transitive_closure().unwrap().read()
+            );
+        }
+    }
+
+    #[test]
+    fn masked_product() {
+        let inst = Instance::cpu();
+        let a = Matrix::from_pairs(&inst, 3, 3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let mask = Matrix::from_pairs(&inst, 3, 3, &[(0, 2)]).unwrap();
+        // A² = {(0,2)}; mask keeps it. A different mask drops it.
+        assert_eq!(a.mxm_masked(&a, &mask).unwrap().read(), vec![(0, 2)]);
+        let empty_mask = Matrix::zeros(&inst, 3, 3).unwrap();
+        assert_eq!(a.mxm_masked(&a, &empty_mask).unwrap().nnz(), 0);
+    }
+
+    #[test]
+    fn structural_ops_match_cpu() {
+        let pairs = [(0u32, 1u32), (1, 3), (2, 0), (2, 2), (3, 3)];
+        let cpu_inst = Instance::cpu();
+        let cpu = Matrix::from_pairs(&cpu_inst, 4, 4, &pairs).unwrap();
+        for inst in [Instance::cuda_sim(), Instance::cl_sim()] {
+            let m = Matrix::from_pairs(&inst, 4, 4, &pairs).unwrap();
+            assert_eq!(
+                m.transpose().unwrap().read(),
+                cpu.transpose().unwrap().read()
+            );
+            assert_eq!(
+                m.submatrix(1, 1, 3, 3).unwrap().read(),
+                cpu.submatrix(1, 1, 3, 3).unwrap().read()
+            );
+            let other = Matrix::from_pairs(&inst, 4, 4, &[(0, 1), (3, 0)]).unwrap();
+            let cpu_other = Matrix::from_pairs(&cpu_inst, 4, 4, &[(0, 1), (3, 0)]).unwrap();
+            assert_eq!(
+                m.ewise_mult(&other).unwrap().read(),
+                cpu.ewise_mult(&cpu_other).unwrap().read()
+            );
+            let k = m.kron(&other).unwrap();
+            assert_eq!(k.read(), cpu.kron(&cpu_other).unwrap().read());
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Sparse Boolean vectors.
+//!
+//! The paper notes "the sparse vector is partially presented; its full
+//! support will be added in the future" — this module provides that
+//! support: a sorted index-set representation with the element-wise
+//! operations applications need (the `vxm` product lives on
+//! [`crate::Matrix`]).
+
+use crate::error::{Result, SpblaError};
+use crate::index::Index;
+use crate::instance::Instance;
+
+/// A sparse Boolean vector: a sorted, deduplicated set of indices where
+/// the vector is `true`.
+#[derive(Debug, Clone)]
+pub struct Vector {
+    instance: Instance,
+    len: Index,
+    indices: Vec<Index>,
+}
+
+impl PartialEq for Vector {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.indices == other.indices
+    }
+}
+
+impl Eq for Vector {}
+
+impl Vector {
+    /// An all-false vector of length `len`.
+    pub fn zeros(instance: &Instance, len: Index) -> Vector {
+        Vector {
+            instance: instance.clone(),
+            len,
+            indices: Vec::new(),
+        }
+    }
+
+    /// Build from indices (sorted + deduplicated internally).
+    pub fn from_indices(instance: &Instance, len: Index, indices: &[Index]) -> Result<Vector> {
+        for &i in indices {
+            if i >= len {
+                return Err(SpblaError::IndexOutOfBounds {
+                    row: i,
+                    col: 0,
+                    shape: (len, 1),
+                });
+            }
+        }
+        let mut idx = indices.to_vec();
+        idx.sort_unstable();
+        idx.dedup();
+        Ok(Vector {
+            instance: instance.clone(),
+            len,
+            indices: idx,
+        })
+    }
+
+    /// Adopt already-sorted unique indices (used by reductions).
+    pub(crate) fn from_sorted_indices(
+        instance: &Instance,
+        len: Index,
+        indices: Vec<Index>,
+    ) -> Result<Vector> {
+        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(indices.last().is_none_or(|&i| i < len));
+        Ok(Vector {
+            instance: instance.clone(),
+            len,
+            indices,
+        })
+    }
+
+    /// Vector length (dimension, not nnz).
+    pub fn len(&self) -> Index {
+        self.len
+    }
+
+    /// Whether the dimension is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of `true` entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The sorted `true` indices.
+    pub fn indices(&self) -> &[Index] {
+        &self.indices
+    }
+
+    /// The owning instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// Test one entry.
+    pub fn get(&self, i: Index) -> bool {
+        self.indices.binary_search(&i).is_ok()
+    }
+
+    fn check_same(&self, other: &Vector, op: &'static str) -> Result<()> {
+        if !self.instance.same_as(&other.instance) {
+            return Err(SpblaError::BackendMismatch);
+        }
+        if self.len != other.len {
+            return Err(SpblaError::DimensionMismatch {
+                op,
+                lhs: (self.len, 1),
+                rhs: (other.len, 1),
+            });
+        }
+        Ok(())
+    }
+
+    /// Element-wise or (set union).
+    pub fn ewise_add(&self, other: &Vector) -> Result<Vector> {
+        self.check_same(other, "v_ewise_add")?;
+        let mut out = Vec::with_capacity(self.nnz() + other.nnz());
+        let (a, b) = (&self.indices, &other.indices);
+        let (mut x, mut y) = (0usize, 0usize);
+        while x < a.len() || y < b.len() {
+            let v = if y >= b.len() || (x < a.len() && a[x] <= b[y]) {
+                if y < b.len() && a[x] == b[y] {
+                    y += 1;
+                }
+                x += 1;
+                a[x - 1]
+            } else {
+                y += 1;
+                b[y - 1]
+            };
+            out.push(v);
+        }
+        Vector::from_sorted_indices(&self.instance, self.len, out)
+    }
+
+    /// Element-wise and (set intersection).
+    pub fn ewise_mult(&self, other: &Vector) -> Result<Vector> {
+        self.check_same(other, "v_ewise_mult")?;
+        let mut out = Vec::new();
+        let (a, b) = (&self.indices, &other.indices);
+        let (mut x, mut y) = (0usize, 0usize);
+        while x < a.len() && y < b.len() {
+            match a[x].cmp(&b[y]) {
+                std::cmp::Ordering::Equal => {
+                    out.push(a[x]);
+                    x += 1;
+                    y += 1;
+                }
+                std::cmp::Ordering::Less => x += 1,
+                std::cmp::Ordering::Greater => y += 1,
+            }
+        }
+        Vector::from_sorted_indices(&self.instance, self.len, out)
+    }
+
+    /// Indices in `self` but not in `other` (set difference) — used by
+    /// frontier-style algorithms to mask visited vertices.
+    pub fn difference(&self, other: &Vector) -> Result<Vector> {
+        self.check_same(other, "v_difference")?;
+        let out: Vec<Index> = self
+            .indices
+            .iter()
+            .copied()
+            .filter(|i| other.indices.binary_search(i).is_err())
+            .collect();
+        Vector::from_sorted_indices(&self.instance, self.len, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let inst = Instance::cpu();
+        let v = Vector::from_indices(&inst, 10, &[5, 2, 5, 9]).unwrap();
+        assert_eq!(v.indices(), &[2, 5, 9]);
+        assert!(v.get(5) && !v.get(4));
+        assert!(Vector::from_indices(&inst, 3, &[3]).is_err());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let inst = Instance::cpu();
+        let a = Vector::from_indices(&inst, 8, &[1, 3, 5]).unwrap();
+        let b = Vector::from_indices(&inst, 8, &[3, 4]).unwrap();
+        assert_eq!(a.ewise_add(&b).unwrap().indices(), &[1, 3, 4, 5]);
+        assert_eq!(a.ewise_mult(&b).unwrap().indices(), &[3]);
+        assert_eq!(a.difference(&b).unwrap().indices(), &[1, 5]);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let inst = Instance::cpu();
+        let a = Vector::zeros(&inst, 4);
+        let b = Vector::zeros(&inst, 5);
+        assert!(a.ewise_add(&b).is_err());
+    }
+}

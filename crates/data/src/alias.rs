@@ -1,0 +1,166 @@
+//! Linux-kernel-like memory-alias (points-to) graphs — the `arch`,
+//! `crypto`, `drivers`, `fs` rows of Table III.
+//!
+//! The CFPQ memory-alias reduction (Zheng & Rugina) encodes a program as
+//! a graph with *assignment* edges `a` (x = y) and *dereference* edges
+//! `d` (from a pointer expression to the location it dereferences). The
+//! published graphs have |d| ≈ 3.4·|a| and E ≈ 1.7·|V| counting both
+//! directions; the query `MA` then uses `a`, `d` and their inverses.
+//!
+//! The generator emulates compilation-unit structure: clusters of
+//! variables with local assignment chains (SSA-ish), global variables
+//! assigned from many units, and address-taken variables dereferenced by
+//! several pointers — the features that give the real graphs their
+//! long `MA` runtimes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use spbla_graph::LabeledGraph;
+use spbla_lang::SymbolTable;
+
+/// Shape parameters for an alias graph.
+#[derive(Debug, Clone)]
+pub struct AliasConfig {
+    /// Number of compilation-unit clusters.
+    pub units: usize,
+    /// Variables per cluster.
+    pub vars_per_unit: usize,
+    /// Fraction of variables that are pointers (get `d` out-edges).
+    pub pointer_fraction: f64,
+    /// Assignment edges per variable (within the cluster).
+    pub assigns_per_var: f64,
+    /// Fraction of cross-cluster assignments (globals).
+    pub cross_unit_fraction: f64,
+}
+
+impl Default for AliasConfig {
+    fn default() -> Self {
+        AliasConfig {
+            units: 40,
+            vars_per_unit: 250,
+            pointer_fraction: 0.55,
+            assigns_per_var: 0.20,
+            cross_unit_fraction: 0.03,
+        }
+    }
+}
+
+/// Generate an alias graph. The `a` and `d` labels are interned as
+/// `"a"` / `"d"`; apply
+/// [`LabeledGraph::with_inverses`] to add the `a_r`/`d_r` edges the `MA`
+/// query consumes.
+pub fn alias_graph(config: &AliasConfig, table: &mut SymbolTable, seed: u64) -> LabeledGraph {
+    let a = table.intern("a");
+    let d = table.intern("d");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_vars = config.units * config.vars_per_unit;
+    // Each pointer var dereferences to a memory node; memory nodes are a
+    // separate vertex block.
+    let n_pointers = (n_vars as f64 * config.pointer_fraction) as usize;
+    let n_mem = (n_pointers as f64 * 0.8) as usize;
+    let n = (n_vars + n_mem) as u32;
+    let mut g = LabeledGraph::new(n);
+
+    for unit in 0..config.units {
+        let base = (unit * config.vars_per_unit) as u32;
+        let local = config.vars_per_unit as u32;
+        // Local assignment chains.
+        let n_assign = (config.vars_per_unit as f64 * config.assigns_per_var) as usize;
+        for _ in 0..n_assign {
+            let x = base + rng.gen_range(0..local);
+            let y = if rng.gen_bool(config.cross_unit_fraction) {
+                rng.gen_range(0..n_vars as u32)
+            } else {
+                base + rng.gen_range(0..local)
+            };
+            if x != y {
+                g.add_edge(x, a, y);
+            }
+        }
+    }
+    // Dereference edges: pointer var → memory node, with address-taken
+    // sharing (several pointers hit the same node).
+    for p in 0..n_pointers as u32 {
+        let mem = n_vars as u32 + (rng.gen_range(0..n_mem.max(1)) as u32);
+        g.add_edge(p, d, mem);
+    }
+    g
+}
+
+/// The four published shapes, scaled by `scale` (1.0 ≈ thousands of
+/// vertices here; the real graphs are millions — see DESIGN.md).
+pub fn kernel_module_like(
+    name: &str,
+    scale: f64,
+    table: &mut SymbolTable,
+    seed: u64,
+) -> LabeledGraph {
+    let base = AliasConfig::default();
+    let units = |k: f64| ((base.units as f64 * k * scale) as usize).max(2);
+    let cfg = match name {
+        "arch" => AliasConfig {
+            units: units(1.0),
+            ..base
+        },
+        "crypto" => AliasConfig {
+            units: units(1.05),
+            ..base
+        },
+        "drivers" => AliasConfig {
+            units: units(1.55),
+            vars_per_unit: 300,
+            ..base
+        },
+        "fs" => AliasConfig {
+            units: units(1.30),
+            vars_per_unit: 280,
+            ..base
+        },
+        other => panic!("unknown kernel module shape: {other}"),
+    };
+    alias_graph(&cfg, table, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d_edges_dominate_a_edges() {
+        let mut t = SymbolTable::new();
+        let g = alias_graph(&AliasConfig::default(), &mut t, 1);
+        let a = t.get("a").unwrap();
+        let d = t.get("d").unwrap();
+        // Table III: |d| ≈ 3.4 |a|.
+        let ratio = g.label_count(d) as f64 / g.label_count(a) as f64;
+        assert!((2.0..6.0).contains(&ratio), "d/a ratio {ratio}");
+    }
+
+    #[test]
+    fn inverses_double_edges() {
+        let mut t = SymbolTable::new();
+        let g = alias_graph(&AliasConfig::default(), &mut t, 2);
+        let gi = g.with_inverses(&mut t);
+        assert_eq!(gi.n_edges(), 2 * g.n_edges());
+        assert!(t.get("a_r").is_some() && t.get("d_r").is_some());
+    }
+
+    #[test]
+    fn module_ordering_matches_table() {
+        // drivers > fs > crypto ≈ arch in size, as in Table III.
+        let mut t = SymbolTable::new();
+        let arch = kernel_module_like("arch", 0.5, &mut t, 3);
+        let drivers = kernel_module_like("drivers", 0.5, &mut t, 3);
+        let fs = kernel_module_like("fs", 0.5, &mut t, 3);
+        assert!(drivers.n_vertices() > fs.n_vertices());
+        assert!(fs.n_vertices() > arch.n_vertices());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown kernel module")]
+    fn unknown_module_panics() {
+        let mut t = SymbolTable::new();
+        kernel_module_like("sound", 1.0, &mut t, 1);
+    }
+}

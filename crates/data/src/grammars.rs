@@ -1,0 +1,123 @@
+//! The four CFPQ queries of the evaluation: the same-generation queries
+//! `G1` (Eq. 1) and `G2` (Eq. 2), the `Geo` query (Eq. 3), and the
+//! memory-alias query `MA` (Eq. 4, binarised from its EBNF form).
+
+use spbla_lang::{Grammar, SymbolTable};
+
+/// `G1`: `S → sco̅ S sco | type̅ S type | sco̅ sco | type̅ type`.
+pub fn grammar_g1(table: &mut SymbolTable) -> Grammar {
+    Grammar::parse(
+        "S -> subClassOf_r S subClassOf | type_r S type | subClassOf_r subClassOf | type_r type",
+        table,
+    )
+    .expect("G1 parses")
+}
+
+/// `G2`: `S → sco̅ S sco | sco`.
+pub fn grammar_g2(table: &mut SymbolTable) -> Grammar {
+    Grammar::parse("S -> subClassOf_r S subClassOf | subClassOf", table).expect("G2 parses")
+}
+
+/// `Geo`: `S → bt S bt̅ | bt bt̅`.
+pub fn grammar_geo(table: &mut SymbolTable) -> Grammar {
+    Grammar::parse(
+        "S -> broaderTransitive S broaderTransitive_r | broaderTransitive broaderTransitive_r",
+        table,
+    )
+    .expect("Geo parses")
+}
+
+/// `MA` (Eq. 4): `S → d̅ V d`, `V → ((S?) a̅)* (S?) (a (S?))*`,
+/// expanded from EBNF to plain BNF:
+///
+/// ```text
+/// S  → d_r V d
+/// V  → Ls M Rs
+/// Ls → L Ls | eps          (left loop: ((S?) a_r)*)
+/// L  → S a_r | a_r
+/// M  → S | eps             (the middle (S?))
+/// Rs → R Rs | eps          (right loop: (a (S?))*)
+/// R  → a S | a
+/// ```
+pub fn grammar_ma(table: &mut SymbolTable) -> Grammar {
+    Grammar::parse(
+        "S -> d_r V d\n\
+         V -> Ls M Rs\n\
+         Ls -> L Ls | eps\n\
+         L -> S a_r | a_r\n\
+         M -> S | eps\n\
+         Rs -> R Rs | eps\n\
+         R -> a S | a",
+        table,
+    )
+    .expect("MA parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spbla_lang::cyk::cyk_accepts;
+    use spbla_lang::CnfGrammar;
+
+    #[test]
+    fn g1_language_samples() {
+        let mut t = SymbolTable::new();
+        let g = grammar_g1(&mut t);
+        let cnf = CnfGrammar::from_grammar(&g);
+        let sco = t.get("subClassOf").unwrap();
+        let scor = t.get("subClassOf_r").unwrap();
+        let ty = t.get("type").unwrap();
+        let tyr = t.get("type_r").unwrap();
+        assert!(cyk_accepts(&cnf, &[scor, sco]));
+        assert!(cyk_accepts(&cnf, &[tyr, ty]));
+        assert!(cyk_accepts(&cnf, &[scor, tyr, ty, sco]));
+        assert!(!cyk_accepts(&cnf, &[sco, scor]));
+        assert!(!cyk_accepts(&cnf, &[]));
+    }
+
+    #[test]
+    fn g2_is_nested_sco() {
+        let mut t = SymbolTable::new();
+        let g = grammar_g2(&mut t);
+        let cnf = CnfGrammar::from_grammar(&g);
+        let sco = t.get("subClassOf").unwrap();
+        let scor = t.get("subClassOf_r").unwrap();
+        assert!(cyk_accepts(&cnf, &[sco]));
+        assert!(cyk_accepts(&cnf, &[scor, sco, sco]));
+        assert!(cyk_accepts(&cnf, &[scor, scor, sco, sco, sco]));
+        assert!(!cyk_accepts(&cnf, &[scor]));
+    }
+
+    #[test]
+    fn ma_language_samples() {
+        let mut t = SymbolTable::new();
+        let g = grammar_ma(&mut t);
+        let cnf = CnfGrammar::from_grammar(&g);
+        let d = t.get("d").unwrap();
+        let dr = t.get("d_r").unwrap();
+        let a = t.get("a").unwrap();
+        let ar = t.get("a_r").unwrap();
+        // Simplest alias: x and y point to the same location: d_r d.
+        assert!(cyk_accepts(&cnf, &[dr, d]));
+        // With one assignment on each side.
+        assert!(cyk_accepts(&cnf, &[dr, ar, d]));
+        assert!(cyk_accepts(&cnf, &[dr, a, d]));
+        // Nested alias through a dereference chain.
+        assert!(cyk_accepts(&cnf, &[dr, dr, d, ar, d]));
+        // Ill-formed.
+        assert!(!cyk_accepts(&cnf, &[d, dr]));
+        assert!(!cyk_accepts(&cnf, &[dr]));
+    }
+
+    #[test]
+    fn geo_is_bt_palindrome() {
+        let mut t = SymbolTable::new();
+        let g = grammar_geo(&mut t);
+        let cnf = CnfGrammar::from_grammar(&g);
+        let bt = t.get("broaderTransitive").unwrap();
+        let btr = t.get("broaderTransitive_r").unwrap();
+        assert!(cyk_accepts(&cnf, &[bt, btr]));
+        assert!(cyk_accepts(&cnf, &[bt, bt, btr, btr]));
+        assert!(!cyk_accepts(&cnf, &[btr, bt]));
+    }
+}

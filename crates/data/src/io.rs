@@ -1,0 +1,138 @@
+//! Text serialisation of labeled graphs — the interchange format the
+//! evaluation pipelines use (one `src label dst` triple per line, like
+//! the edge-list exports of CFPQ_Data).
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use spbla_graph::LabeledGraph;
+use spbla_lang::SymbolTable;
+
+/// Write `graph` as triple lines. The header line carries the vertex
+/// count (`# vertices N`).
+pub fn write_triples<W: Write>(
+    graph: &LabeledGraph,
+    table: &SymbolTable,
+    writer: W,
+) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# vertices {}", graph.n_vertices())?;
+    for label in graph.labels() {
+        let name = table.name(label);
+        for &(u, v) in graph.edges_of(label) {
+            writeln!(w, "{u} {name} {v}")?;
+        }
+    }
+    w.flush()
+}
+
+/// Read a graph written by [`write_triples`] (labels are interned into
+/// `table`). Unknown header lines and blank lines are skipped.
+pub fn read_triples<R: std::io::Read>(
+    reader: R,
+    table: &mut SymbolTable,
+) -> std::io::Result<LabeledGraph> {
+    let mut n: u32 = 0;
+    let mut triples: Vec<(u32, spbla_lang::Symbol, u32)> = Vec::new();
+    let mut max_vertex: u32 = 0;
+    for line in BufReader::new(reader).lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            if let Some(v) = rest.trim().strip_prefix("vertices") {
+                n = v.trim().parse().map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad header: {e}"))
+                })?;
+            }
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(u), Some(l), Some(v)) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed triple line: {line}"),
+            ));
+        };
+        let u: u32 = u.parse().map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad vertex: {e}"))
+        })?;
+        let v: u32 = v.parse().map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad vertex: {e}"))
+        })?;
+        max_vertex = max_vertex.max(u).max(v);
+        triples.push((u, table.intern(l), v));
+    }
+    let n = n.max(max_vertex.saturating_add(1));
+    Ok(LabeledGraph::from_triples(n, triples))
+}
+
+/// Save to a filesystem path.
+pub fn save_graph(
+    graph: &LabeledGraph,
+    table: &SymbolTable,
+    path: impl AsRef<Path>,
+) -> std::io::Result<()> {
+    write_triples(graph, table, std::fs::File::create(path)?)
+}
+
+/// Load from a filesystem path.
+pub fn load_graph(
+    path: impl AsRef<Path>,
+    table: &mut SymbolTable,
+) -> std::io::Result<LabeledGraph> {
+    read_triples(std::fs::File::open(path)?, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{make_labels, random_labeled_graph};
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let mut t = SymbolTable::new();
+        let labels = make_labels(&mut t, 3);
+        let g = random_labeled_graph(40, 200, &labels, 7);
+        let mut buf = Vec::new();
+        write_triples(&g, &t, &mut buf).unwrap();
+        let mut t2 = SymbolTable::new();
+        let g2 = read_triples(&buf[..], &mut t2).unwrap();
+        assert_eq!(g2.n_vertices(), g.n_vertices());
+        assert_eq!(g2.n_edges(), g.n_edges());
+        // Adjacency identical regardless of symbol ids.
+        assert_eq!(g2.adjacency_csr(), g.adjacency_csr());
+        for (l, name) in t.iter() {
+            if g.label_count(l) > 0 {
+                let l2 = t2.get(name).expect("label preserved");
+                assert_eq!(g2.label_count(l2), g.label_count(l));
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("knows");
+        let g = LabeledGraph::from_triples(5, [(0, a, 1), (3, a, 4)]);
+        let path = std::env::temp_dir().join("spbla_io_test.triples");
+        save_graph(&g, &t, &path).unwrap();
+        let mut t2 = SymbolTable::new();
+        let g2 = load_graph(&path, &mut t2).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(g2.n_vertices(), 5);
+        assert_eq!(g2.edges_of(t2.get("knows").unwrap()), &[(0, 1), (3, 4)]);
+    }
+
+    #[test]
+    fn malformed_input_rejected() {
+        let mut t = SymbolTable::new();
+        assert!(read_triples("0 a".as_bytes(), &mut t).is_err());
+        assert!(read_triples("x a 1".as_bytes(), &mut t).is_err());
+        // Vertex count inferred when header missing.
+        let g = read_triples("7 rel 9".as_bytes(), &mut t).unwrap();
+        assert_eq!(g.n_vertices(), 10);
+    }
+}

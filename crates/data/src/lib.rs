@@ -1,0 +1,28 @@
+//! # spbla-data — synthetic equivalents of the paper's datasets
+//!
+//! The evaluation uses RDF dumps (LUBM, Uniprot, DBpedia, geospecies,
+//! gene-ontology, eclass, enzyme), and Linux-kernel points-to graphs —
+//! none redistributable here. Each generator below reproduces the
+//! *shape* that drives the experiments: vertex/edge scale, per-label
+//! edge counts (Tables I and III), and the structural features the
+//! queries exercise (deep `subClassOf` hierarchies for the
+//! same-generation queries, `broaderTransitive` taxonomies for *Geo*,
+//! assignment/dereference structure for *MA*). All generators are
+//! deterministic given a seed, and every one supports a `scale` knob so
+//! benchmarks can run laptop-sized instances of the same shapes.
+//!
+//! See DESIGN.md ("Hardware substitution") for the substitution table.
+
+pub mod alias;
+pub mod grammars;
+pub mod io;
+pub mod lubm;
+pub mod queries;
+pub mod random;
+pub mod rdf;
+pub mod stats;
+
+pub use grammars::{grammar_g1, grammar_g2, grammar_geo, grammar_ma};
+pub use lubm::lubm_like;
+pub use queries::{instantiate_template, template_names, QueryTemplate};
+pub use stats::GraphStats;

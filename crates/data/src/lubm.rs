@@ -1,0 +1,189 @@
+//! LUBM-like university graphs (Table I's `LUBM1k … LUBM2.3M` family).
+//!
+//! The Lehigh University Benchmark generates universities populated with
+//! departments, faculty, students, courses and publications, linked by a
+//! fixed OWL schema. This generator reproduces the schema's relation mix
+//! and the benchmark's linear scaling: vertex and edge counts grow
+//! proportionally to the university count with the E/V ≈ 4 ratio of
+//! Table I, and the relation frequencies follow the original generator's
+//! proportions (`type`, `memberOf`, `takesCourse` dominating).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use spbla_graph::LabeledGraph;
+use spbla_lang::SymbolTable;
+
+/// Knobs per university; defaults mirror LUBM's published distributions
+/// (scaled down ~10× so benches stay laptop-sized at high university
+/// counts — the *shape*, not the absolute size, is what experiments
+/// need).
+#[derive(Debug, Clone)]
+pub struct LubmConfig {
+    /// Departments per university.
+    pub departments: usize,
+    /// Faculty per department.
+    pub faculty: usize,
+    /// Students per department.
+    pub students: usize,
+    /// Courses per department.
+    pub courses: usize,
+    /// Publications per faculty member.
+    pub publications: usize,
+}
+
+impl Default for LubmConfig {
+    fn default() -> Self {
+        LubmConfig {
+            departments: 3,
+            faculty: 5,
+            students: 40,
+            courses: 6,
+            publications: 2,
+        }
+    }
+}
+
+/// Generate a LUBM-like graph over `universities` universities.
+pub fn lubm_like(
+    universities: usize,
+    config: &LubmConfig,
+    table: &mut SymbolTable,
+    seed: u64,
+) -> LabeledGraph {
+    let rdf_type = table.intern("type");
+    let sub_org = table.intern("subOrganizationOf");
+    let member_of = table.intern("memberOf");
+    let takes_course = table.intern("takesCourse");
+    let teacher_of = table.intern("teacherOf");
+    let advisor = table.intern("advisor");
+    let works_for = table.intern("worksFor");
+    let pub_author = table.intern("publicationAuthor");
+    let degree_from = table.intern("undergraduateDegreeFrom");
+    let head_of = table.intern("headOf");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Pre-compute vertex budget.
+    let per_dept =
+        1 + config.faculty + config.students + config.courses + config.faculty * config.publications;
+    // Class vertices (types targets): a fixed tiny ontology layer.
+    const N_CLASSES: u32 = 16;
+    let n = N_CLASSES as u64
+        + universities as u64 * (1 + config.departments as u64 * per_dept as u64);
+    let n = u32::try_from(n).expect("LUBM scale too large for u32 vertices");
+
+    let mut g = LabeledGraph::new(n);
+    let mut next: u32 = N_CLASSES;
+    let alloc = |k: usize, next: &mut u32| -> std::ops::Range<u32> {
+        let start = *next;
+        *next += k as u32;
+        start..*next
+    };
+    let class_of = |kind: u32| kind % N_CLASSES;
+
+    let mut all_universities: Vec<u32> = Vec::with_capacity(universities);
+    for _u in 0..universities {
+        let univ = alloc(1, &mut next).start;
+        all_universities.push(univ);
+        g.add_edge(univ, rdf_type, class_of(0));
+        for _d in 0..config.departments {
+            let dept = alloc(1, &mut next).start;
+            g.add_edge(dept, rdf_type, class_of(1));
+            g.add_edge(dept, sub_org, univ);
+
+            let faculty = alloc(config.faculty, &mut next);
+            let students = alloc(config.students, &mut next);
+            let courses = alloc(config.courses, &mut next);
+            let pubs = alloc(config.faculty * config.publications, &mut next);
+
+            for (fi, f) in faculty.clone().enumerate() {
+                g.add_edge(f, rdf_type, class_of(2 + (fi as u32 % 3)));
+                g.add_edge(f, works_for, dept);
+                if fi == 0 {
+                    g.add_edge(f, head_of, dept);
+                }
+                // Teaching load.
+                for _ in 0..2 {
+                    let c = courses.start + rng.gen_range(0..config.courses) as u32;
+                    g.add_edge(f, teacher_of, c);
+                }
+                // Degree from some other university (back-references make
+                // the star queries interesting across components).
+                if let Some(&other) = all_universities.get(rng.gen_range(0..all_universities.len()))
+                {
+                    g.add_edge(f, degree_from, other);
+                }
+            }
+            for c in courses.clone() {
+                g.add_edge(c, rdf_type, class_of(5));
+            }
+            for s in students.clone() {
+                // Students carry two type assertions (Student plus the
+                // graduate/undergraduate subclass), as in real LUBM —
+                // this is what makes `type` the most frequent relation.
+                g.add_edge(s, rdf_type, class_of(6 + (s % 2)));
+                g.add_edge(s, rdf_type, class_of(9));
+                g.add_edge(s, member_of, dept);
+                let n_courses = 1 + rng.gen_range(0..3);
+                for _ in 0..n_courses {
+                    let c = courses.start + rng.gen_range(0..config.courses) as u32;
+                    g.add_edge(s, takes_course, c);
+                }
+                if rng.gen_bool(0.3) {
+                    let f = faculty.start + rng.gen_range(0..config.faculty) as u32;
+                    g.add_edge(s, advisor, f);
+                }
+            }
+            for (pi, p) in pubs.clone().enumerate() {
+                g.add_edge(p, rdf_type, class_of(8));
+                let author = faculty.start + (pi / config.publications) as u32;
+                g.add_edge(p, pub_author, author);
+            }
+        }
+    }
+    debug_assert_eq!(next, n);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_linearly() {
+        let mut t = SymbolTable::new();
+        let g1 = lubm_like(2, &LubmConfig::default(), &mut t, 1);
+        let g2 = lubm_like(4, &LubmConfig::default(), &mut t, 1);
+        assert!(g2.n_vertices() > g1.n_vertices());
+        let ratio = g2.n_edges() as f64 / g1.n_edges() as f64;
+        assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn edge_vertex_ratio_matches_table_one() {
+        let mut t = SymbolTable::new();
+        let g = lubm_like(10, &LubmConfig::default(), &mut t, 2);
+        let r = g.n_edges() as f64 / g.n_vertices() as f64;
+        // Table I: LUBM has E/V ≈ 4.0 (484 646 / 120 926 ≈ 4.01).
+        assert!((2.5..5.5).contains(&r), "E/V ratio {r}");
+    }
+
+    #[test]
+    fn type_is_most_frequent_relation() {
+        let mut t = SymbolTable::new();
+        let g = lubm_like(5, &LubmConfig::default(), &mut t, 3);
+        let top = g.labels_by_frequency()[0].0;
+        assert_eq!(t.name(top), "type");
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut t1 = SymbolTable::new();
+        let mut t2 = SymbolTable::new();
+        let a = lubm_like(3, &LubmConfig::default(), &mut t1, 9);
+        let b = lubm_like(3, &LubmConfig::default(), &mut t2, 9);
+        assert_eq!(a.n_edges(), b.n_edges());
+        assert_eq!(a.adjacency_csr(), b.adjacency_csr());
+    }
+}

@@ -1,0 +1,179 @@
+//! The 28 RPQ query templates of Table II, and the query generator
+//! ("10 queries per template per graph, instantiated with the most
+//! frequent relations").
+
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+use spbla_graph::LabeledGraph;
+use spbla_lang::{Regex, Symbol, SymbolTable};
+
+/// A Table II template: name, arity (distinct symbols), and the pattern
+/// with `{0}, {1}, …` placeholders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryTemplate {
+    /// Template name as printed in the paper (e.g. `Q4^3`).
+    pub name: &'static str,
+    /// Number of distinct symbols the template takes.
+    pub arity: usize,
+    /// Pattern in the `spbla-lang` regex syntax with placeholders.
+    pub pattern: &'static str,
+}
+
+/// All templates of Table II, in the paper's order.
+pub const TEMPLATES: [QueryTemplate; 28] = [
+    QueryTemplate { name: "Q1", arity: 1, pattern: "{0}*" },
+    QueryTemplate { name: "Q2", arity: 2, pattern: "{0} . {1}*" },
+    QueryTemplate { name: "Q3", arity: 3, pattern: "{0} . {1}* . {2}*" },
+    QueryTemplate { name: "Q4^2", arity: 2, pattern: "({0} | {1})*" },
+    QueryTemplate { name: "Q4^3", arity: 3, pattern: "({0} | {1} | {2})*" },
+    QueryTemplate { name: "Q4^4", arity: 4, pattern: "({0} | {1} | {2} | {3})*" },
+    QueryTemplate { name: "Q4^5", arity: 5, pattern: "({0} | {1} | {2} | {3} | {4})*" },
+    QueryTemplate { name: "Q5", arity: 3, pattern: "{0} . {1}* . {2}" },
+    QueryTemplate { name: "Q6", arity: 2, pattern: "{0}* . {1}*" },
+    QueryTemplate { name: "Q7", arity: 3, pattern: "{0} . {1} . {2}*" },
+    QueryTemplate { name: "Q8", arity: 2, pattern: "{0}? . {1}*" },
+    QueryTemplate { name: "Q9^2", arity: 2, pattern: "({0} | {1})+" },
+    QueryTemplate { name: "Q9^3", arity: 3, pattern: "({0} | {1} | {2})+" },
+    QueryTemplate { name: "Q9^4", arity: 4, pattern: "({0} | {1} | {2} | {3})+" },
+    QueryTemplate { name: "Q9^5", arity: 5, pattern: "({0} | {1} | {2} | {3} | {4})+" },
+    QueryTemplate { name: "Q10^2", arity: 3, pattern: "({0} | {1}) . {2}*" },
+    QueryTemplate { name: "Q10^3", arity: 4, pattern: "({0} | {1} | {2}) . {3}*" },
+    QueryTemplate { name: "Q10^4", arity: 5, pattern: "({0} | {1} | {2} | {3}) . {4}*" },
+    QueryTemplate { name: "Q10^5", arity: 6, pattern: "({0} | {1} | {2} | {3} | {4}) . {5}*" },
+    QueryTemplate { name: "Q11^2", arity: 2, pattern: "{0} . {1}" },
+    QueryTemplate { name: "Q11^3", arity: 3, pattern: "{0} . {1} . {2}" },
+    QueryTemplate { name: "Q11^4", arity: 4, pattern: "{0} . {1} . {2} . {3}" },
+    QueryTemplate { name: "Q11^5", arity: 5, pattern: "{0} . {1} . {2} . {3} . {4}" },
+    QueryTemplate { name: "Q12", arity: 4, pattern: "({0} . {1})+ | ({2} . {3})+" },
+    QueryTemplate { name: "Q13", arity: 5, pattern: "({0} . ({1} . {2})*)+ | ({3} . {4})+" },
+    QueryTemplate {
+        name: "Q14",
+        arity: 6,
+        pattern: "({0} . {1} . ({2} . {3})*)+ . ({4} | {5})*",
+    },
+    QueryTemplate { name: "Q15", arity: 4, pattern: "({0} | {1})+ . ({2} | {3})+" },
+    QueryTemplate { name: "Q16", arity: 5, pattern: "{0} . {1} . ({2} | {3} | {4})" },
+];
+
+/// Template names in paper order.
+pub fn template_names() -> Vec<&'static str> {
+    TEMPLATES.iter().map(|t| t.name).collect()
+}
+
+/// Look up a template by name.
+pub fn template(name: &str) -> Option<&'static QueryTemplate> {
+    TEMPLATES.iter().find(|t| t.name == name)
+}
+
+/// Instantiate a template with concrete label names.
+///
+/// # Panics
+/// If fewer labels than the template's arity are supplied.
+pub fn instantiate_template(
+    t: &QueryTemplate,
+    labels: &[&str],
+    table: &mut SymbolTable,
+) -> Regex {
+    assert!(
+        labels.len() >= t.arity,
+        "template {} needs {} labels, got {}",
+        t.name,
+        t.arity,
+        labels.len()
+    );
+    let mut text = t.pattern.to_string();
+    for (i, l) in labels.iter().enumerate().take(t.arity) {
+        text = text.replace(&format!("{{{i}}}"), l);
+    }
+    Regex::parse(&text, table).expect("template instantiation parses")
+}
+
+/// The paper's query generator: for each template, `per_template`
+/// queries drawing symbols from the graph's `top_k` most frequent
+/// relations (deterministic given `seed`).
+pub fn generate_queries(
+    graph: &LabeledGraph,
+    table: &mut SymbolTable,
+    top_k: usize,
+    per_template: usize,
+    seed: u64,
+) -> Vec<(String, Regex)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let top: Vec<Symbol> = graph
+        .labels_by_frequency()
+        .into_iter()
+        .take(top_k)
+        .map(|(s, _)| s)
+        .collect();
+    assert!(!top.is_empty(), "graph has no labels");
+    let mut out = Vec::new();
+    for t in &TEMPLATES {
+        for q in 0..per_template {
+            // Sample arity symbols (with replacement when the pool is
+            // smaller than the arity, shuffled otherwise).
+            let names: Vec<String> = if top.len() >= t.arity {
+                let mut pool = top.clone();
+                pool.shuffle(&mut rng);
+                pool[..t.arity]
+                    .iter()
+                    .map(|&s| table.name(s).to_string())
+                    .collect()
+            } else {
+                (0..t.arity)
+                    .map(|_| table.name(top[rng.gen_range(0..top.len())]).to_string())
+                    .collect()
+            };
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            let regex = instantiate_template(t, &refs, table);
+            out.push((format!("{}#{q}", t.name), regex));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{make_labels, random_labeled_graph};
+
+    #[test]
+    fn all_templates_parse() {
+        let mut t = SymbolTable::new();
+        let labels = ["a", "b", "c", "d", "e", "f"];
+        for tmpl in &TEMPLATES {
+            let r = instantiate_template(tmpl, &labels, &mut t);
+            assert!(r.positions() >= 1, "template {}", tmpl.name);
+        }
+        assert_eq!(TEMPLATES.len(), 28);
+    }
+
+    #[test]
+    fn q14_shape() {
+        let mut t = SymbolTable::new();
+        let r = instantiate_template(template("Q14").unwrap(), &["a", "b", "c", "d", "e", "f"], &mut t);
+        let (a, b) = (t.get("a").unwrap(), t.get("b").unwrap());
+        let e = t.get("e").unwrap();
+        assert!(r.matches(&[a, b]));
+        assert!(r.matches(&[a, b, e]));
+        assert!(!r.matches(&[a]));
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_complete() {
+        let mut t = SymbolTable::new();
+        let labels = make_labels(&mut t, 6);
+        let g = random_labeled_graph(50, 500, &labels, 1);
+        let qs1 = generate_queries(&g, &mut t, 5, 10, 42);
+        assert_eq!(qs1.len(), 28 * 10);
+        let mut t2 = SymbolTable::new();
+        let labels2 = make_labels(&mut t2, 6);
+        let g2 = random_labeled_graph(50, 500, &labels2, 1);
+        let qs2 = generate_queries(&g2, &mut t2, 5, 10, 42);
+        assert_eq!(qs1.len(), qs2.len());
+        for ((n1, r1), (n2, r2)) in qs1.iter().zip(&qs2) {
+            assert_eq!(n1, n2);
+            assert_eq!(r1, r2);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Random matrix and graph generators for microbenchmarks and property
+//! tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use spbla_graph::LabeledGraph;
+use spbla_lang::{Symbol, SymbolTable};
+
+/// Uniformly random Boolean matrix coordinates: `nnz` samples (with
+/// replacement; duplicates collapse on build) in an `n × n` space.
+pub fn random_pairs(n: u32, nnz: usize, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..nnz)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect()
+}
+
+/// Random matrix with a fixed expected row degree (uniform column
+/// targets) — the standard SpGEMM benchmark input.
+pub fn uniform_row_degree(n: u32, degree: usize, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n as usize * degree);
+    for i in 0..n {
+        for _ in 0..degree {
+            out.push((i, rng.gen_range(0..n)));
+        }
+    }
+    out
+}
+
+/// Power-law (preferential-attachment flavoured) coordinates: column
+/// popularity follows a Zipf-like distribution — models the skewed
+/// degree distributions of real RDF graphs.
+pub fn power_law_pairs(n: u32, nnz: usize, alpha: f64, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Inverse-CDF sampling of a truncated zeta distribution.
+    let sample_zipf = |rng: &mut StdRng| -> u32 {
+        let u: f64 = rng.gen_range(0.0f64..1.0).max(1e-12);
+        let x = (1.0 - u).powf(-1.0 / (alpha - 1.0));
+        ((x - 1.0) as u64).min(n as u64 - 1) as u32
+    };
+    (0..nnz)
+        .map(|_| (rng.gen_range(0..n), sample_zipf(&mut rng)))
+        .collect()
+}
+
+/// A random edge-labeled graph: `nnz` edges spread over `labels`
+/// according to a geometric-ish frequency split (first labels are the
+/// most frequent, like real RDF predicates).
+pub fn random_labeled_graph(
+    n: u32,
+    nnz: usize,
+    labels: &[Symbol],
+    seed: u64,
+) -> LabeledGraph {
+    assert!(!labels.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = LabeledGraph::new(n);
+    for _ in 0..nnz {
+        // Geometric label pick: label i with prob ~ 2^-i (clamped).
+        let mut li = 0usize;
+        while li + 1 < labels.len() && rng.gen_bool(0.5) {
+            li += 1;
+        }
+        g.add_edge(rng.gen_range(0..n), labels[li], rng.gen_range(0..n));
+    }
+    g
+}
+
+/// The classic CFPQ worst case: an `a`-labeled cycle of length `a_len`
+/// and a `b`-labeled cycle of length `b_len` sharing vertex 0. With the
+/// grammar `S → a S b | a b`, the answer set depends on
+/// `gcd`-arithmetic over the two cycle lengths and the fixpoint needs
+/// many iterations — the stress input of the CFPQ literature.
+pub fn two_cycles_graph(a_len: u32, b_len: u32, table: &mut SymbolTable) -> LabeledGraph {
+    assert!(a_len >= 1 && b_len >= 1);
+    let a = table.intern("a");
+    let b = table.intern("b");
+    let n = a_len + b_len + 1;
+    let mut g = LabeledGraph::new(n);
+    // a-cycle over vertices {0, 1, …, a_len}.
+    for i in 0..=a_len {
+        g.add_edge(i, a, if i == a_len { 0 } else { i + 1 });
+    }
+    // b-cycle over vertices {0, a_len+1, …, a_len+b_len}.
+    let base = a_len;
+    for i in 0..=b_len {
+        let from = if i == 0 { 0 } else { base + i };
+        let to = if i == b_len { 0 } else { base + i + 1 };
+        g.add_edge(from, b, to);
+    }
+    g
+}
+
+/// Convenience: make `k` labels `l0, l1, …` in a fresh/shared table.
+pub fn make_labels(table: &mut SymbolTable, k: usize) -> Vec<Symbol> {
+    (0..k).map(|i| table.intern(&format!("l{i}"))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(random_pairs(100, 50, 7), random_pairs(100, 50, 7));
+        assert_ne!(random_pairs(100, 50, 7), random_pairs(100, 50, 8));
+    }
+
+    #[test]
+    fn uniform_degree_has_exact_row_counts() {
+        let pairs = uniform_row_degree(10, 3, 1);
+        assert_eq!(pairs.len(), 30);
+        for i in 0..10u32 {
+            assert_eq!(pairs.iter().filter(|&&(r, _)| r == i).count(), 3);
+        }
+    }
+
+    #[test]
+    fn power_law_is_skewed() {
+        let n = 1000;
+        let pairs = power_law_pairs(n, 20_000, 2.5, 3);
+        let mut counts = vec![0usize; n as usize];
+        for &(_, c) in &pairs {
+            counts[c as usize] += 1;
+        }
+        // Head columns should dominate tail columns.
+        let head: usize = counts[..10].iter().sum();
+        let tail: usize = counts[500..510].iter().sum();
+        assert!(head > tail * 5, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn two_cycles_shape() {
+        let mut t = SymbolTable::new();
+        let g = two_cycles_graph(2, 3, &mut t);
+        assert_eq!(g.n_vertices(), 6);
+        let a = t.get("a").unwrap();
+        let b = t.get("b").unwrap();
+        // Cycle lengths: a-cycle has a_len+1 edges, b-cycle b_len+1.
+        assert_eq!(g.label_count(a), 3);
+        assert_eq!(g.label_count(b), 4);
+        // Both cycles pass through vertex 0.
+        assert!(g.edges_of(a).iter().any(|&(u, _)| u == 0));
+        assert!(g.edges_of(b).iter().any(|&(u, _)| u == 0));
+    }
+
+    #[test]
+    fn labeled_graph_frequencies_decrease() {
+        let mut t = SymbolTable::new();
+        let labels = make_labels(&mut t, 4);
+        let g = random_labeled_graph(100, 10_000, &labels, 5);
+        assert_eq!(g.n_edges(), 10_000);
+        let freq = g.labels_by_frequency();
+        assert_eq!(freq[0].0, labels[0]);
+    }
+}

@@ -1,0 +1,319 @@
+//! Synthetic equivalents of the real-world RDF graphs of Tables I and
+//! III: hierarchy-heavy ontologies (`taxonomy`, `go-hierarchy`, `go`,
+//! `eclass`, `enzyme`, `pathways`), the `geospecies` taxonomy, the
+//! Uniprot trio, and the DBpedia `mappingbased_properties` dump.
+//!
+//! Every generator takes a `scale ∈ (0, 1]` factor multiplying the
+//! published vertex count, and reproduces the per-label proportions of
+//! the corresponding table row (e.g. go-hierarchy is *pure* `subClassOf`
+//! with E ≈ 22·V; taxonomy has ~14% `subClassOf`, ~17% `type`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use spbla_graph::LabeledGraph;
+use spbla_lang::{Symbol, SymbolTable};
+
+fn scaled(published: u64, scale: f64) -> u32 {
+    ((published as f64 * scale) as u64).max(8) as u32
+}
+
+/// A rooted random forest over `members`, each non-root getting one
+/// `label` edge to a parent earlier in the order — the `subClassOf` /
+/// `broaderTransitive` hierarchy backbone. `branchiness` < 1 skews
+/// parents toward recent nodes (deep chains); > 1 toward old nodes
+/// (shallow, wide).
+fn hierarchy(
+    g: &mut LabeledGraph,
+    members: std::ops::Range<u32>,
+    label: Symbol,
+    branchiness: f64,
+    rng: &mut StdRng,
+) {
+    let start = members.start;
+    for v in members.clone().skip(1) {
+        let span = (v - start) as f64;
+        let r: f64 = rng.gen_range(0.0f64..1.0);
+        let parent = start + (span * r.powf(branchiness)) as u32;
+        g.add_edge(v, label, parent.min(v - 1));
+    }
+}
+
+/// Random extra edges with a given label, with RDF-like sink structure:
+/// sources are entities (the first 70% of vertices), and most targets
+/// (85%) land in the sink block (the last 30% — literals, classes,
+/// external references, which carry no out-edges in real dumps). This
+/// keeps reachability shallow, as in the originals — uniform random
+/// targets would create a giant strongly-connected component whose
+/// transitive closure is quadratic, a structure none of the paper's
+/// datasets has.
+fn sprinkle(
+    g: &mut LabeledGraph,
+    n: u32,
+    count: usize,
+    label: Symbol,
+    sink_frac: f64,
+    rng: &mut StdRng,
+) {
+    let entity_end = ((n as u64 * 7) / 10).max(1) as u32;
+    for _ in 0..count {
+        let src = rng.gen_range(0..entity_end);
+        let dst = if rng.gen_bool(sink_frac) && entity_end < n {
+            rng.gen_range(entity_end..n)
+        } else {
+            rng.gen_range(0..entity_end)
+        };
+        g.add_edge(src, label, dst);
+    }
+}
+
+/// `taxonomy`-like (Table I/III: 5.7M V, 14.9M E, 2.1M sco, 2.5M type).
+pub fn taxonomy_like(scale: f64, table: &mut SymbolTable, seed: u64) -> LabeledGraph {
+    let n = scaled(5_728_398, scale);
+    let sco = table.intern("subClassOf");
+    let ty = table.intern("type");
+    let rank = table.intern("rank");
+    let name = table.intern("scientificName");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = LabeledGraph::new(n);
+    let classes = (n as f64 * 0.37) as u32; // taxa in the sco hierarchy
+    hierarchy(&mut g, 0..classes, sco, 0.35, &mut rng);
+    let entity_end = ((n as u64 * 7) / 10).max(classes as u64 + 1) as u32;
+    for v in classes..n {
+        // Typed subjects are entities; literal/sink vertices (the last
+        // 30%) carry no out-edges, as in the real dumps — without this
+        // the rank/type relations close a supercritical loop whose
+        // closure is quadratic.
+        let src = if v < entity_end { v } else { rng.gen_range(classes..entity_end) };
+        g.add_edge(src, ty, rng.gen_range(0..classes.max(1)));
+    }
+    sprinkle(&mut g, n, (n as f64 * 0.8) as usize, rank, 1.0, &mut rng);
+    sprinkle(&mut g, n, (n as f64 * 0.4) as usize, name, 1.0, &mut rng);
+    g
+}
+
+/// `go-hierarchy`-like (45k V, 980k E, *all* subClassOf, very dense DAG).
+pub fn go_hierarchy_like(scale: f64, table: &mut SymbolTable, seed: u64) -> LabeledGraph {
+    let n = scaled(45_007, scale);
+    let sco = table.intern("subClassOf");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = LabeledGraph::new(n);
+    // Dense DAG: each node gets ~22 parents among earlier nodes.
+    let parents_per_node = 22usize;
+    for v in 1..n {
+        for _ in 0..parents_per_node.min(v as usize) {
+            let p = rng.gen_range(0..v);
+            g.add_edge(v, sco, p);
+        }
+    }
+    g
+}
+
+/// `go`-like (272k V, 534k E, 90k sco, 58k type plus misc relations).
+pub fn go_like(scale: f64, table: &mut SymbolTable, seed: u64) -> LabeledGraph {
+    let n = scaled(272_770, scale);
+    let sco = table.intern("subClassOf");
+    let ty = table.intern("type");
+    let rel = table.intern("relatedTo");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = LabeledGraph::new(n);
+    let classes = (n as f64 * 0.33) as u32;
+    hierarchy(&mut g, 0..classes, sco, 0.5, &mut rng);
+    // `type` sources are instances, never classes — in real dumps the
+    // class layer has only `subClassOf` out-edges, which keeps star-query
+    // closures shallow instead of quadratic.
+    for _ in 0..(n as f64 * 0.21) as usize {
+        { let entity_end = ((n as u64 * 7) / 10).max(classes as u64 + 1) as u32;
+            g.add_edge(rng.gen_range(classes..entity_end), ty, rng.gen_range(0..classes.max(1))); }
+    }
+    sprinkle(&mut g, n, (n as f64 * 1.4) as usize, rel, 0.95, &mut rng);
+    g
+}
+
+/// `eclass_514en`-like (239k V, 523k E, 90k sco, 72k type).
+pub fn eclass_like(scale: f64, table: &mut SymbolTable, seed: u64) -> LabeledGraph {
+    let n = scaled(239_111, scale);
+    let sco = table.intern("subClassOf");
+    let ty = table.intern("type");
+    let misc = table.intern("property");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = LabeledGraph::new(n);
+    let classes = (n as f64 * 0.38) as u32;
+    hierarchy(&mut g, 0..classes, sco, 0.45, &mut rng);
+    for _ in 0..(n as f64 * 0.30) as usize {
+        { let entity_end = ((n as u64 * 7) / 10).max(classes as u64 + 1) as u32;
+            g.add_edge(rng.gen_range(classes..entity_end), ty, rng.gen_range(0..classes.max(1))); }
+    }
+    sprinkle(&mut g, n, (n as f64 * 1.5) as usize, misc, 1.0, &mut rng);
+    g
+}
+
+/// `enzyme`-like (48k V, 109k E, 8k sco, 14k type).
+pub fn enzyme_like(scale: f64, table: &mut SymbolTable, seed: u64) -> LabeledGraph {
+    let n = scaled(48_815, scale);
+    let sco = table.intern("subClassOf");
+    let ty = table.intern("type");
+    let misc = table.intern("cofactor");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = LabeledGraph::new(n);
+    let classes = (n as f64 * 0.17) as u32;
+    hierarchy(&mut g, 0..classes, sco, 0.5, &mut rng);
+    for _ in 0..(n as f64 * 0.31) as usize {
+        { let entity_end = ((n as u64 * 7) / 10).max(classes as u64 + 1) as u32;
+            g.add_edge(rng.gen_range(classes..entity_end), ty, rng.gen_range(0..classes.max(1))); }
+    }
+    sprinkle(&mut g, n, (n as f64 * 1.4) as usize, misc, 1.0, &mut rng);
+    g
+}
+
+/// `pathways`-like (small: 6.2k V, 12k E in CFPQ_Data).
+pub fn pathways_like(scale: f64, table: &mut SymbolTable, seed: u64) -> LabeledGraph {
+    let n = scaled(6_238, scale.max(0.05));
+    let sco = table.intern("subClassOf");
+    let ty = table.intern("type");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = LabeledGraph::new(n);
+    let classes = (n as f64 * 0.3) as u32;
+    hierarchy(&mut g, 0..classes, sco, 0.5, &mut rng);
+    for _ in 0..n as usize {
+        { let entity_end = ((n as u64 * 7) / 10).max(classes as u64 + 1) as u32;
+            g.add_edge(rng.gen_range(classes..entity_end), ty, rng.gen_range(0..classes.max(1))); }
+    }
+    g
+}
+
+/// `geospecies`-like (450k V, 2.2M E; 20.8k broaderTransitive, 89k type,
+/// zero subClassOf — which is why G2 answers nothing on it).
+pub fn geospecies_like(scale: f64, table: &mut SymbolTable, seed: u64) -> LabeledGraph {
+    let n = scaled(450_609, scale);
+    let bt = table.intern("broaderTransitive");
+    let ty = table.intern("type");
+    let near = table.intern("isExpectedNear");
+    let misc = table.intern("hasName");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = LabeledGraph::new(n);
+    let taxa = (n as f64 * 0.046) as u32; // ~20.8k/450k
+    hierarchy(&mut g, 0..taxa, bt, 0.3, &mut rng);
+    for _ in 0..(n as f64 * 0.197) as usize {
+        { let entity_end = ((n as u64 * 7) / 10).max(taxa as u64 + 1) as u32;
+            g.add_edge(rng.gen_range(taxa..entity_end), ty, rng.gen_range(0..taxa.max(1))); }
+    }
+    sprinkle(&mut g, n, (n as f64 * 2.0) as usize, near, 0.9, &mut rng);
+    sprinkle(&mut g, n, (n as f64 * 2.6) as usize, misc, 1.0, &mut rng);
+    g
+}
+
+/// `uniprotkb`-like (6.4M V, 24.5M E — flat, link-heavy).
+pub fn uniprotkb_like(scale: f64, table: &mut SymbolTable, seed: u64) -> LabeledGraph {
+    let n = scaled(6_442_630, scale);
+    let labels: Vec<Symbol> = ["annotation", "sequence", "organism", "citation", "type"]
+        .iter()
+        .map(|l| table.intern(l))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = LabeledGraph::new(n);
+    let per_label = [1.4, 1.0, 0.6, 0.5, 0.3];
+    for (l, &f) in labels.iter().zip(&per_label) {
+        sprinkle(&mut g, n, (n as f64 * f) as usize, *l, 0.9, &mut rng);
+    }
+    g
+}
+
+/// `proteomes`-like (4.8M V, 12.4M E).
+pub fn proteomes_like(scale: f64, table: &mut SymbolTable, seed: u64) -> LabeledGraph {
+    let n = scaled(4_834_262, scale);
+    let labels: Vec<Symbol> = ["proteome", "organism", "component", "type"]
+        .iter()
+        .map(|l| table.intern(l))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = LabeledGraph::new(n);
+    let per_label = [1.0, 0.7, 0.5, 0.36];
+    for (l, &f) in labels.iter().zip(&per_label) {
+        sprinkle(&mut g, n, (n as f64 * f) as usize, *l, 0.9, &mut rng);
+    }
+    g
+}
+
+/// `mappingbased_properties`-like DBpedia dump (8.3M V, 25.3M E, many
+/// predicates with a power-law frequency split).
+pub fn dbpedia_like(scale: f64, table: &mut SymbolTable, seed: u64) -> LabeledGraph {
+    let n = scaled(8_332_233, scale);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = LabeledGraph::new(n);
+    let total_edges = (n as f64 * 3.04) as usize;
+    // 24 predicates, frequency halving.
+    let labels: Vec<Symbol> = (0..24)
+        .map(|i| table.intern(&format!("dbp{i}")))
+        .collect();
+    let entity_end = ((n as u64 * 7) / 10).max(1) as u32;
+    for _ in 0..total_edges {
+        let mut li = 0usize;
+        while li + 1 < labels.len() && rng.gen_bool(0.45) {
+            li += 1;
+        }
+        let src = rng.gen_range(0..entity_end);
+        let dst = if rng.gen_bool(0.85) && entity_end < n {
+            rng.gen_range(entity_end..n)
+        } else {
+            rng.gen_range(0..entity_end)
+        };
+        g.add_edge(src, labels[li], dst);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn go_hierarchy_is_pure_subclass() {
+        let mut t = SymbolTable::new();
+        let g = go_hierarchy_like(0.02, &mut t, 1);
+        assert_eq!(g.labels().len(), 1);
+        let density = g.n_edges() as f64 / g.n_vertices() as f64;
+        assert!(density > 15.0, "density {density}"); // ~22 in the table
+    }
+
+    #[test]
+    fn geospecies_has_no_subclassof_but_bt() {
+        let mut t = SymbolTable::new();
+        let g = geospecies_like(0.01, &mut t, 2);
+        assert!(t.get("subClassOf").is_none() || g.label_count(t.get("subClassOf").unwrap()) == 0);
+        let bt = t.get("broaderTransitive").unwrap();
+        assert!(g.label_count(bt) > 0);
+    }
+
+    #[test]
+    fn taxonomy_proportions() {
+        let mut t = SymbolTable::new();
+        let g = taxonomy_like(0.005, &mut t, 3);
+        let sco = t.get("subClassOf").unwrap();
+        let ty = t.get("type").unwrap();
+        // Table III: sco ≈ 0.14·E, type ≈ 0.17·E; generator within 2×.
+        let e = g.n_edges() as f64;
+        let fs = g.label_count(sco) as f64 / e;
+        let ft = g.label_count(ty) as f64 / e;
+        assert!((0.07..0.28).contains(&fs), "sco fraction {fs}");
+        assert!((0.08..0.34).contains(&ft), "type fraction {ft}");
+    }
+
+    #[test]
+    fn hierarchy_edges_point_to_earlier_nodes() {
+        let mut t = SymbolTable::new();
+        let g = go_like(0.01, &mut t, 4);
+        let sco = t.get("subClassOf").unwrap();
+        for &(u, v) in g.edges_of(sco) {
+            assert!(v < u, "sco edge {u}→{v} not ancestor-directed");
+        }
+    }
+
+    #[test]
+    fn scale_controls_size() {
+        let mut t = SymbolTable::new();
+        let small = enzyme_like(0.01, &mut t, 5);
+        let large = enzyme_like(0.02, &mut t, 5);
+        assert!(large.n_vertices() > small.n_vertices());
+    }
+}

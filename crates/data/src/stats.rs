@@ -1,0 +1,77 @@
+//! Graph statistics rows for the Table I / Table III reproductions.
+
+use spbla_graph::LabeledGraph;
+use spbla_lang::SymbolTable;
+
+/// One row of a dataset table.
+#[derive(Debug, Clone)]
+pub struct GraphStats {
+    /// Dataset name.
+    pub name: String,
+    /// Vertex count.
+    pub vertices: u32,
+    /// Edge count (all labels, with multiplicity as generated).
+    pub edges: usize,
+    /// `(label name, edge count)` sorted by descending count.
+    pub label_counts: Vec<(String, usize)>,
+}
+
+impl GraphStats {
+    /// Compute stats for a graph.
+    pub fn of(name: &str, graph: &LabeledGraph, table: &SymbolTable) -> GraphStats {
+        GraphStats {
+            name: name.to_string(),
+            vertices: graph.n_vertices(),
+            edges: graph.n_edges(),
+            label_counts: graph
+                .labels_by_frequency()
+                .into_iter()
+                .map(|(s, c)| (table.name(s).to_string(), c))
+                .collect(),
+        }
+    }
+
+    /// The count of one named label (0 when absent).
+    pub fn label(&self, name: &str) -> usize {
+        self.label_counts
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, c)| *c)
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<28} |V|={:>9} |E|={:>10}",
+            self.name, self.vertices, self.edges
+        )?;
+        for (l, c) in self.label_counts.iter().take(4) {
+            write!(f, "  {l}={c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{make_labels, random_labeled_graph};
+
+    #[test]
+    fn stats_report_counts() {
+        let mut t = SymbolTable::new();
+        let labels = make_labels(&mut t, 3);
+        let g = random_labeled_graph(20, 100, &labels, 1);
+        let s = GraphStats::of("toy", &g, &t);
+        assert_eq!(s.vertices, 20);
+        assert_eq!(s.edges, 100);
+        assert_eq!(
+            s.label_counts.iter().map(|(_, c)| c).sum::<usize>(),
+            100
+        );
+        assert_eq!(s.label("missing"), 0);
+        assert!(format!("{s}").contains("toy"));
+    }
+}

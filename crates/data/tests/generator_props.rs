@@ -1,0 +1,123 @@
+//! Property tests over the dataset generators: every generated graph is
+//! structurally valid at arbitrary scales/seeds, deterministic given its
+//! seed, and survives serialisation.
+
+use proptest::prelude::*;
+
+use spbla_data::alias::{alias_graph, AliasConfig};
+use spbla_data::io::{read_triples, write_triples};
+use spbla_data::lubm::{lubm_like, LubmConfig};
+use spbla_data::queries::{generate_queries, TEMPLATES};
+use spbla_data::random::two_cycles_graph;
+use spbla_data::rdf;
+use spbla_graph::LabeledGraph;
+use spbla_lang::SymbolTable;
+
+fn check_valid(g: &LabeledGraph) {
+    let n = g.n_vertices();
+    for label in g.labels() {
+        for &(u, v) in g.edges_of(label) {
+            assert!(u < n && v < n, "edge ({u},{v}) out of bounds {n}");
+        }
+    }
+    // Per-label counts sum to the edge total.
+    let sum: usize = g.labels().iter().map(|&l| g.label_count(l)).sum();
+    assert_eq!(sum, g.n_edges());
+    // Adjacency builds (validates CSR invariants in debug).
+    let adj = g.adjacency_csr();
+    assert!(adj.validate().is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn rdf_generators_valid_and_deterministic(
+        seed in 0u64..1000,
+        scale_m in 1u32..8,
+    ) {
+        let scale = scale_m as f64 * 0.0004;
+        let mut t = SymbolTable::new();
+        for g in [
+            rdf::taxonomy_like(scale, &mut t, seed),
+            rdf::go_like(scale, &mut t, seed),
+            rdf::go_hierarchy_like(scale, &mut t, seed),
+            rdf::eclass_like(scale, &mut t, seed),
+            rdf::enzyme_like(scale, &mut t, seed),
+            rdf::geospecies_like(scale, &mut t, seed),
+            rdf::uniprotkb_like(scale * 0.3, &mut t, seed),
+            rdf::dbpedia_like(scale * 0.3, &mut t, seed),
+        ] {
+            check_valid(&g);
+        }
+        // Determinism.
+        let mut t2 = SymbolTable::new();
+        let a = rdf::eclass_like(scale, &mut t2, seed);
+        let mut t3 = SymbolTable::new();
+        let b = rdf::eclass_like(scale, &mut t3, seed);
+        prop_assert_eq!(a.adjacency_csr(), b.adjacency_csr());
+    }
+
+    #[test]
+    fn lubm_and_alias_valid(seed in 0u64..1000, unis in 1usize..4) {
+        let mut t = SymbolTable::new();
+        let g = lubm_like(unis, &LubmConfig::default(), &mut t, seed);
+        check_valid(&g);
+        let cfg = AliasConfig {
+            units: unis + 1,
+            vars_per_unit: 40,
+            ..AliasConfig::default()
+        };
+        let a = alias_graph(&cfg, &mut t, seed);
+        check_valid(&a);
+        // Inverses double edges and stay valid.
+        let ai = a.with_inverses(&mut t);
+        check_valid(&ai);
+        prop_assert_eq!(ai.n_edges(), 2 * a.n_edges());
+    }
+
+    #[test]
+    fn queries_generate_for_any_seed(seed in 0u64..10_000) {
+        let mut t = SymbolTable::new();
+        let g = lubm_like(1, &LubmConfig::default(), &mut t, 1);
+        let qs = generate_queries(&g, &mut t, 5, 2, seed);
+        prop_assert_eq!(qs.len(), TEMPLATES.len() * 2);
+        for (name, regex) in &qs {
+            prop_assert!(!name.is_empty());
+            prop_assert!(regex.positions() >= 1);
+        }
+    }
+
+    #[test]
+    fn io_roundtrip_arbitrary_graphs(
+        edges in proptest::collection::vec((0u32..30, 0u8..4, 0u32..30), 0..80),
+    ) {
+        let mut t = SymbolTable::new();
+        let labels: Vec<_> = ["alpha", "beta", "gamma", "delta"]
+            .iter()
+            .map(|l| t.intern(l))
+            .collect();
+        let g = LabeledGraph::from_triples(
+            30,
+            edges.iter().map(|&(u, l, v)| (u, labels[l as usize], v)),
+        );
+        let mut buf = Vec::new();
+        write_triples(&g, &t, &mut buf).unwrap();
+        let mut t2 = SymbolTable::new();
+        let g2 = read_triples(&buf[..], &mut t2).unwrap();
+        prop_assert_eq!(g2.n_vertices(), g.n_vertices());
+        prop_assert_eq!(g2.adjacency_csr(), g.adjacency_csr());
+    }
+
+    #[test]
+    fn two_cycles_always_share_origin(a_len in 1u32..20, b_len in 1u32..20) {
+        let mut t = SymbolTable::new();
+        let g = two_cycles_graph(a_len, b_len, &mut t);
+        check_valid(&g);
+        prop_assert_eq!(g.n_vertices(), a_len + b_len + 1);
+        let a = t.get("a").unwrap();
+        let b = t.get("b").unwrap();
+        prop_assert_eq!(g.label_count(a), a_len as usize + 1);
+        prop_assert_eq!(g.label_count(b), b_len as usize + 1);
+    }
+}

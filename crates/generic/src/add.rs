@@ -1,0 +1,91 @@
+//! Valued element-wise addition (row-parallel two-pointer merge with `⊕`
+//! combination on coordinate collisions).
+
+use rayon::prelude::*;
+
+use crate::csr::{CsrMatrix, Index};
+use crate::semiring::Semiring;
+
+/// `C = A ⊕ B` element-wise.
+///
+/// # Panics
+/// If shapes differ.
+pub fn ewise_add<S: Semiring>(a: &CsrMatrix<S>, b: &CsrMatrix<S>) -> CsrMatrix<S> {
+    assert_eq!(a.shape(), b.shape(), "ewise_add shape mismatch");
+    let m = a.nrows();
+
+    let rows: Vec<(Vec<Index>, Vec<S::Elem>)> = (0..m)
+        .into_par_iter()
+        .map(|i| {
+            let (ac, av) = (a.row_cols(i), a.row_vals(i));
+            let (bc, bv) = (b.row_cols(i), b.row_vals(i));
+            let mut cols = Vec::with_capacity(ac.len() + bc.len());
+            let mut vals = Vec::with_capacity(ac.len() + bc.len());
+            let (mut x, mut y) = (0usize, 0usize);
+            while x < ac.len() || y < bc.len() {
+                let (j, v) = if y >= bc.len() || (x < ac.len() && ac[x] < bc[y]) {
+                    x += 1;
+                    (ac[x - 1], av[x - 1])
+                } else if x >= ac.len() || bc[y] < ac[x] {
+                    y += 1;
+                    (bc[y - 1], bv[y - 1])
+                } else {
+                    let v = S::add(av[x], bv[y]);
+                    x += 1;
+                    y += 1;
+                    (ac[x - 1], v)
+                };
+                if !S::is_zero(v) {
+                    cols.push(j);
+                    vals.push(v);
+                }
+            }
+            (cols, vals)
+        })
+        .collect();
+
+    let mut row_ptr = Vec::with_capacity(m as usize + 1);
+    row_ptr.push(0 as Index);
+    let mut total = 0usize;
+    for (c, _) in &rows {
+        total += c.len();
+        row_ptr.push(total as Index);
+    }
+    let mut cols = Vec::with_capacity(total);
+    let mut vals = Vec::with_capacity(total);
+    for (c, v) in rows {
+        cols.extend(c);
+        vals.extend(v);
+    }
+    CsrMatrix::from_raw(m, a.ncols(), row_ptr, cols, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{MinPlusU32, PlusTimesU32};
+
+    #[test]
+    fn collisions_combine() {
+        let a = CsrMatrix::<PlusTimesU32>::from_triples(2, 2, &[(0, 0, 2), (1, 1, 1)]);
+        let b = CsrMatrix::<PlusTimesU32>::from_triples(2, 2, &[(0, 0, 3), (0, 1, 4)]);
+        let c = ewise_add(&a, &b);
+        assert_eq!(c.get(0, 0), 5);
+        assert_eq!(c.get(0, 1), 4);
+        assert_eq!(c.get(1, 1), 1);
+    }
+
+    #[test]
+    fn min_plus_add_takes_min() {
+        let a = CsrMatrix::<MinPlusU32>::from_triples(1, 1, &[(0, 0, 9)]);
+        let b = CsrMatrix::<MinPlusU32>::from_triples(1, 1, &[(0, 0, 4)]);
+        assert_eq!(ewise_add(&a, &b).get(0, 0), 4);
+    }
+
+    #[test]
+    fn cancellation_pruned() {
+        let a = CsrMatrix::<PlusTimesU32>::from_triples(1, 1, &[(0, 0, 5)]);
+        let b = CsrMatrix::<PlusTimesU32>::from_triples(1, 1, &[(0, 0, 5u32.wrapping_neg())]);
+        assert_eq!(ewise_add(&a, &b).nnz(), 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Valued CSR matrices.
+
+use crate::semiring::Semiring;
+
+/// Element index type (match `spbla-core`).
+pub type Index = u32;
+
+/// A `(row, col, value)` entry.
+pub type Triple<S> = (Index, Index, <S as Semiring>::Elem);
+
+/// A sparse matrix in CSR format over semiring `S`: three arrays —
+/// row pointers, column indices, *and stored values*. The extra `vals`
+/// array is exactly what the Boolean specialisation deletes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix<S: Semiring> {
+    nrows: Index,
+    ncols: Index,
+    row_ptr: Vec<Index>,
+    cols: Vec<Index>,
+    vals: Vec<S::Elem>,
+}
+
+impl<S: Semiring> CsrMatrix<S> {
+    /// An empty `nrows × ncols` matrix.
+    pub fn zeros(nrows: Index, ncols: Index) -> Self {
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows as usize + 1],
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: Index) -> Self {
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n).collect(),
+            cols: (0..n).collect(),
+            vals: vec![S::one(); n as usize],
+        }
+    }
+
+    /// Build from triples; duplicate coordinates are combined with `⊕`,
+    /// and entries equal to `0` after combination are pruned.
+    pub fn from_triples(nrows: Index, ncols: Index, triples: &[Triple<S>]) -> Self {
+        let mut sorted: Vec<Triple<S>> = triples
+            .iter()
+            .copied()
+            .filter(|&(i, j, _)| {
+                assert!(i < nrows && j < ncols, "entry ({i},{j}) out of bounds");
+                true
+            })
+            .collect();
+        sorted.sort_unstable_by_key(|&(i, j, _)| (i, j));
+        let mut row_ptr = vec![0 as Index; nrows as usize + 1];
+        let mut cols: Vec<Index> = Vec::with_capacity(sorted.len());
+        let mut vals: Vec<S::Elem> = Vec::with_capacity(sorted.len());
+        let mut iter = sorted.into_iter().peekable();
+        while let Some((i, j, mut v)) = iter.next() {
+            while let Some(&(i2, j2, v2)) = iter.peek() {
+                if i2 == i && j2 == j {
+                    v = S::add(v, v2);
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            if !S::is_zero(v) {
+                row_ptr[i as usize + 1] += 1;
+                cols.push(j);
+                vals.push(v);
+            }
+        }
+        for r in 0..nrows as usize {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            cols,
+            vals,
+        }
+    }
+
+    /// Assemble from raw parts (caller guarantees invariants).
+    pub fn from_raw(
+        nrows: Index,
+        ncols: Index,
+        row_ptr: Vec<Index>,
+        cols: Vec<Index>,
+        vals: Vec<S::Elem>,
+    ) -> Self {
+        debug_assert_eq!(row_ptr.len(), nrows as usize + 1);
+        debug_assert_eq!(cols.len(), vals.len());
+        debug_assert_eq!(*row_ptr.last().unwrap() as usize, cols.len());
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            cols,
+            vals,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    pub fn shape(&self) -> (Index, Index) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Row-pointer array.
+    pub fn row_ptr(&self) -> &[Index] {
+        &self.row_ptr
+    }
+
+    /// Column-index array.
+    pub fn cols(&self) -> &[Index] {
+        &self.cols
+    }
+
+    /// Stored values array.
+    pub fn vals(&self) -> &[S::Elem] {
+        &self.vals
+    }
+
+    /// Column indices of row `i`.
+    pub fn row_cols(&self, i: Index) -> &[Index] {
+        &self.cols[self.row_ptr[i as usize] as usize..self.row_ptr[i as usize + 1] as usize]
+    }
+
+    /// Values of row `i`, parallel to [`CsrMatrix::row_cols`].
+    pub fn row_vals(&self, i: Index) -> &[S::Elem] {
+        &self.vals[self.row_ptr[i as usize] as usize..self.row_ptr[i as usize + 1] as usize]
+    }
+
+    /// Entries in row `i`.
+    pub fn row_nnz(&self, i: Index) -> usize {
+        (self.row_ptr[i as usize + 1] - self.row_ptr[i as usize]) as usize
+    }
+
+    /// Read one cell (`0` when not stored).
+    pub fn get(&self, i: Index, j: Index) -> S::Elem {
+        match self.row_cols(i).binary_search(&j) {
+            Ok(p) => self.row_vals(i)[p],
+            Err(_) => S::zero(),
+        }
+    }
+
+    /// All stored triples, row-major.
+    pub fn to_triples(&self) -> Vec<Triple<S>> {
+        let mut out = Vec::with_capacity(self.nnz());
+        for i in 0..self.nrows {
+            for (&j, &v) in self.row_cols(i).iter().zip(self.row_vals(i)) {
+                out.push((i, j, v));
+            }
+        }
+        out
+    }
+
+    /// The structural pattern (coordinates of stored entries).
+    pub fn pattern(&self) -> Vec<(Index, Index)> {
+        self.to_triples().into_iter().map(|(i, j, _)| (i, j)).collect()
+    }
+
+    /// Storage footprint in bytes: `(m + 1 + nnz) · 4 + nnz ·
+    /// sizeof(Elem)` — the CSR formula *plus the value payload*, the
+    /// quantity the paper's memory comparison measures.
+    pub fn memory_bytes(&self) -> usize {
+        (self.row_ptr.len() + self.cols.len()) * std::mem::size_of::<Index>()
+            + self.vals.len() * std::mem::size_of::<S::Elem>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{MinPlusU32, PlusTimesF64, PlusTimesU32};
+
+    #[test]
+    fn duplicates_combine_with_semiring_add() {
+        let m = CsrMatrix::<PlusTimesU32>::from_triples(2, 2, &[(0, 0, 2), (0, 0, 3), (1, 1, 1)]);
+        assert_eq!(m.get(0, 0), 5);
+        assert_eq!(m.nnz(), 2);
+        // Min-plus combines with min.
+        let t = CsrMatrix::<MinPlusU32>::from_triples(2, 2, &[(0, 0, 7), (0, 0, 3)]);
+        assert_eq!(t.get(0, 0), 3);
+    }
+
+    #[test]
+    fn zero_results_pruned() {
+        let m = CsrMatrix::<PlusTimesU32>::from_triples(1, 1, &[(0, 0, 0)]);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn memory_includes_values() {
+        let m = CsrMatrix::<PlusTimesF64>::from_triples(3, 3, &[(0, 0, 1.0), (2, 2, 2.0)]);
+        // (3+1+2)*4 index bytes + 2*8 value bytes.
+        assert_eq!(m.memory_bytes(), 24 + 16);
+    }
+
+    #[test]
+    fn identity_and_get() {
+        let id = CsrMatrix::<PlusTimesF64>::identity(3);
+        assert_eq!(id.get(1, 1), 1.0);
+        assert_eq!(id.get(0, 1), 0.0);
+        assert_eq!(id.nnz(), 3);
+    }
+}

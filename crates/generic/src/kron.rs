@@ -1,0 +1,85 @@
+//! Valued Kronecker product.
+
+use rayon::prelude::*;
+
+use crate::csr::{CsrMatrix, Index};
+use crate::semiring::Semiring;
+
+/// `K = A ⊗ B` with `K[(i1·mB+i2),(j1·nB+j2)] = A[i1,j1] ⊗ B[i2,j2]`.
+///
+/// # Panics
+/// If the result dimensions overflow `u32`.
+pub fn kron<S: Semiring>(a: &CsrMatrix<S>, b: &CsrMatrix<S>) -> CsrMatrix<S> {
+    let m = (a.nrows() as u64)
+        .checked_mul(b.nrows() as u64)
+        .filter(|&r| r <= u32::MAX as u64)
+        .expect("kron rows overflow") as Index;
+    let n = (a.ncols() as u64)
+        .checked_mul(b.ncols() as u64)
+        .filter(|&c| c <= u32::MAX as u64)
+        .expect("kron cols overflow") as Index;
+    let mb = b.nrows();
+    let nb = b.ncols();
+
+    let rows: Vec<(Vec<Index>, Vec<S::Elem>)> = (0..m)
+        .into_par_iter()
+        .map(|r| {
+            let i1 = r / mb;
+            let i2 = r % mb;
+            let cap = a.row_nnz(i1) * b.row_nnz(i2);
+            let mut cols = Vec::with_capacity(cap);
+            let mut vals = Vec::with_capacity(cap);
+            for (&j1, &v1) in a.row_cols(i1).iter().zip(a.row_vals(i1)) {
+                for (&j2, &v2) in b.row_cols(i2).iter().zip(b.row_vals(i2)) {
+                    let v = S::mul(v1, v2);
+                    if !S::is_zero(v) {
+                        cols.push(j1 * nb + j2);
+                        vals.push(v);
+                    }
+                }
+            }
+            (cols, vals)
+        })
+        .collect();
+
+    let mut row_ptr = Vec::with_capacity(m as usize + 1);
+    row_ptr.push(0 as Index);
+    let mut total = 0usize;
+    for (c, _) in &rows {
+        total += c.len();
+        row_ptr.push(total as Index);
+    }
+    let mut cols = Vec::with_capacity(total);
+    let mut vals = Vec::with_capacity(total);
+    for (c, v) in rows {
+        cols.extend(c);
+        vals.extend(v);
+    }
+    CsrMatrix::from_raw(m, n, row_ptr, cols, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::PlusTimesU32;
+
+    #[test]
+    fn values_multiply() {
+        let a = CsrMatrix::<PlusTimesU32>::from_triples(2, 2, &[(0, 1, 3)]);
+        let b = CsrMatrix::<PlusTimesU32>::from_triples(2, 2, &[(1, 0, 5)]);
+        let k = kron(&a, &b);
+        assert_eq!(k.shape(), (4, 4));
+        assert_eq!(k.get(1, 2), 15);
+        assert_eq!(k.nnz(), 1);
+    }
+
+    #[test]
+    fn kron_with_identity_replicates() {
+        let a = CsrMatrix::<PlusTimesU32>::from_triples(2, 2, &[(0, 0, 7), (1, 1, 9)]);
+        let id = CsrMatrix::<PlusTimesU32>::identity(3);
+        let k = kron(&a, &id);
+        assert_eq!(k.nnz(), 6);
+        assert_eq!(k.get(0, 0), 7);
+        assert_eq!(k.get(5, 5), 9);
+    }
+}

@@ -1,0 +1,29 @@
+//! # spbla-generic — generic-semiring sparse matrices
+//!
+//! The comparator baseline for the paper's headline claim: *"operations
+//! specialized for Boolean matrices can be up to 5 times faster and
+//! consume up to 4 times less memory than generic, not the Boolean
+//! optimized, operations from modern libraries."*
+//!
+//! This crate is that "generic, not Boolean optimized" library: CSR
+//! matrices that carry an explicit value per stored entry over an
+//! arbitrary [`Semiring`], with the same algorithmic skeletons as
+//! `spbla-core` (hash SpGEMM, merge addition, Kronecker, transpose) —
+//! so benchmarks isolate exactly the cost of storing and combining
+//! values versus pure structural set operations.
+
+pub mod add;
+pub mod csr;
+pub mod kron;
+pub mod mult;
+pub mod reduce;
+pub mod semiring;
+pub mod spgemm;
+pub mod spmv;
+pub mod transpose;
+
+pub use csr::CsrMatrix;
+pub use semiring::{
+    BoolOrAnd, MaxTimesF64, MinPlusU32, PlusTimesF32, PlusTimesF64, PlusTimesU32, PlusTimesU64,
+    Semiring,
+};

@@ -1,0 +1,88 @@
+//! Valued element-wise multiplication (GraphBLAS `eWiseMult`): the
+//! intersection pattern, values combined with `⊗`.
+
+use rayon::prelude::*;
+
+use crate::csr::{CsrMatrix, Index};
+use crate::semiring::Semiring;
+
+/// `C = A ⊗ B` element-wise (intersection of patterns).
+///
+/// # Panics
+/// If shapes differ.
+pub fn ewise_mult<S: Semiring>(a: &CsrMatrix<S>, b: &CsrMatrix<S>) -> CsrMatrix<S> {
+    assert_eq!(a.shape(), b.shape(), "ewise_mult shape mismatch");
+    let m = a.nrows();
+    let rows: Vec<(Vec<Index>, Vec<S::Elem>)> = (0..m)
+        .into_par_iter()
+        .map(|i| {
+            let (ac, av) = (a.row_cols(i), a.row_vals(i));
+            let (bc, bv) = (b.row_cols(i), b.row_vals(i));
+            let mut cols = Vec::new();
+            let mut vals = Vec::new();
+            let (mut x, mut y) = (0usize, 0usize);
+            while x < ac.len() && y < bc.len() {
+                match ac[x].cmp(&bc[y]) {
+                    std::cmp::Ordering::Equal => {
+                        let v = S::mul(av[x], bv[y]);
+                        if !S::is_zero(v) {
+                            cols.push(ac[x]);
+                            vals.push(v);
+                        }
+                        x += 1;
+                        y += 1;
+                    }
+                    std::cmp::Ordering::Less => x += 1,
+                    std::cmp::Ordering::Greater => y += 1,
+                }
+            }
+            (cols, vals)
+        })
+        .collect();
+
+    let mut row_ptr = Vec::with_capacity(m as usize + 1);
+    row_ptr.push(0 as Index);
+    let mut total = 0usize;
+    for (c, _) in &rows {
+        total += c.len();
+        row_ptr.push(total as Index);
+    }
+    let mut cols = Vec::with_capacity(total);
+    let mut vals = Vec::with_capacity(total);
+    for (c, v) in rows {
+        cols.extend(c);
+        vals.extend(v);
+    }
+    CsrMatrix::from_raw(m, a.ncols(), row_ptr, cols, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{MinPlusU32, PlusTimesU32};
+
+    #[test]
+    fn intersection_multiplies() {
+        let a = CsrMatrix::<PlusTimesU32>::from_triples(2, 3, &[(0, 0, 2), (0, 2, 3), (1, 1, 4)]);
+        let b = CsrMatrix::<PlusTimesU32>::from_triples(2, 3, &[(0, 0, 5), (1, 2, 7)]);
+        let c = ewise_mult(&a, &b);
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(0, 0), 10);
+    }
+
+    #[test]
+    fn min_plus_mult_adds_weights() {
+        let a = CsrMatrix::<MinPlusU32>::from_triples(1, 1, &[(0, 0, 3)]);
+        let b = CsrMatrix::<MinPlusU32>::from_triples(1, 1, &[(0, 0, 4)]);
+        assert_eq!(ewise_mult(&a, &b).get(0, 0), 7);
+    }
+
+    #[test]
+    fn annihilating_values_pruned() {
+        let a = CsrMatrix::<PlusTimesU32>::from_triples(1, 2, &[(0, 0, 0), (0, 1, 2)]);
+        // from_triples already prunes the explicit zero; intersect with
+        // something that multiplies to zero:
+        let b = CsrMatrix::<PlusTimesU32>::from_triples(1, 2, &[(0, 1, 0)]);
+        assert_eq!(ewise_mult(&a, &b).nnz(), 0);
+    }
+}

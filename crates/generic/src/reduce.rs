@@ -1,0 +1,45 @@
+//! Reductions over semiring `⊕`.
+
+use crate::csr::{CsrMatrix, Index};
+use crate::semiring::Semiring;
+
+/// Reduce along rows: `out[i] = ⊕_j M[i,j]`, returned sparse (rows whose
+/// reduction is `0` are skipped).
+pub fn reduce_to_column<S: Semiring>(m: &CsrMatrix<S>) -> Vec<(Index, S::Elem)> {
+    (0..m.nrows())
+        .filter_map(|i| {
+            let mut acc = None;
+            for &v in m.row_vals(i) {
+                acc = Some(match acc {
+                    None => v,
+                    Some(a) => S::add(a, v),
+                });
+            }
+            acc.filter(|&v| !S::is_zero(v)).map(|v| (i, v))
+        })
+        .collect()
+}
+
+/// Reduce everything: `⊕` over all stored entries (`0` if empty).
+pub fn reduce_scalar<S: Semiring>(m: &CsrMatrix<S>) -> S::Elem {
+    m.vals().iter().fold(S::zero(), |a, &v| S::add(a, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{MinPlusU32, PlusTimesU32};
+
+    #[test]
+    fn row_reduction_sums() {
+        let m = CsrMatrix::<PlusTimesU32>::from_triples(3, 3, &[(0, 0, 1), (0, 2, 2), (2, 1, 4)]);
+        assert_eq!(reduce_to_column(&m), vec![(0, 3), (2, 4)]);
+        assert_eq!(reduce_scalar(&m), 7);
+    }
+
+    #[test]
+    fn min_plus_reduction_takes_min() {
+        let m = CsrMatrix::<MinPlusU32>::from_triples(1, 3, &[(0, 0, 9), (0, 1, 2), (0, 2, 5)]);
+        assert_eq!(reduce_to_column(&m), vec![(0, 2)]);
+    }
+}

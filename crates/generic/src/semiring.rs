@@ -1,0 +1,231 @@
+//! Semiring abstraction and the standard instances.
+//!
+//! A semiring `(T, ⊕, ⊗, 0, 1)` fixes what "multiply" and "add" mean for
+//! sparse kernels. GraphBLAS-style libraries are generic over this; the
+//! whole point of SPbLA is that fixing it to `({0,1}, ∨, ∧)` lets values
+//! vanish from storage entirely. The instances here are the ones common
+//! in graph analytics (and the ones the paper's future-work section names
+//! for Brahma.FSharp, e.g. min-plus).
+
+/// A semiring over the element type [`Semiring::Elem`].
+///
+/// Laws (exercised by property tests): `⊕` is associative and commutative
+/// with identity `zero()`; `⊗` is associative with identity `one()`;
+/// `⊗` distributes over `⊕`; `zero()` annihilates under `⊗`.
+pub trait Semiring: Copy + Send + Sync + 'static {
+    /// Stored element type.
+    type Elem: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static;
+
+    /// Additive identity (not stored in sparse structures).
+    fn zero() -> Self::Elem;
+    /// Multiplicative identity.
+    fn one() -> Self::Elem;
+    /// Semiring addition `⊕`.
+    fn add(a: Self::Elem, b: Self::Elem) -> Self::Elem;
+    /// Semiring multiplication `⊗`.
+    fn mul(a: Self::Elem, b: Self::Elem) -> Self::Elem;
+
+    /// Whether an element equals the additive identity (pruned from
+    /// sparse output).
+    fn is_zero(a: Self::Elem) -> bool {
+        a == Self::zero()
+    }
+}
+
+/// Standard arithmetic `(+, ×)` over `f32` — the cuSPARSE/CUSP default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlusTimesF32;
+
+impl Semiring for PlusTimesF32 {
+    type Elem = f32;
+    fn zero() -> f32 {
+        0.0
+    }
+    fn one() -> f32 {
+        1.0
+    }
+    fn add(a: f32, b: f32) -> f32 {
+        a + b
+    }
+    fn mul(a: f32, b: f32) -> f32 {
+        a * b
+    }
+}
+
+/// Standard arithmetic `(+, ×)` over `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlusTimesF64;
+
+impl Semiring for PlusTimesF64 {
+    type Elem = f64;
+    fn zero() -> f64 {
+        0.0
+    }
+    fn one() -> f64 {
+        1.0
+    }
+    fn add(a: f64, b: f64) -> f64 {
+        a + b
+    }
+    fn mul(a: f64, b: f64) -> f64 {
+        a * b
+    }
+}
+
+/// Wrapping integer arithmetic over `u32` (path counting mod 2³²).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlusTimesU32;
+
+impl Semiring for PlusTimesU32 {
+    type Elem = u32;
+    fn zero() -> u32 {
+        0
+    }
+    fn one() -> u32 {
+        1
+    }
+    fn add(a: u32, b: u32) -> u32 {
+        a.wrapping_add(b)
+    }
+    fn mul(a: u32, b: u32) -> u32 {
+        a.wrapping_mul(b)
+    }
+}
+
+/// Wrapping integer arithmetic over `u64` (triangle/path counting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlusTimesU64;
+
+impl Semiring for PlusTimesU64 {
+    type Elem = u64;
+    fn zero() -> u64 {
+        0
+    }
+    fn one() -> u64 {
+        1
+    }
+    fn add(a: u64, b: u64) -> u64 {
+        a.wrapping_add(b)
+    }
+    fn mul(a: u64, b: u64) -> u64 {
+        a.wrapping_mul(b)
+    }
+}
+
+/// Tropical `(min, +)` semiring over `u32` — shortest paths.
+/// `u32::MAX` plays +∞.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinPlusU32;
+
+impl Semiring for MinPlusU32 {
+    type Elem = u32;
+    fn zero() -> u32 {
+        u32::MAX
+    }
+    fn one() -> u32 {
+        0
+    }
+    fn add(a: u32, b: u32) -> u32 {
+        a.min(b)
+    }
+    fn mul(a: u32, b: u32) -> u32 {
+        a.saturating_add(b)
+    }
+}
+
+/// `(max, ×)` over non-negative `f64` — most-reliable-path style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxTimesF64;
+
+impl Semiring for MaxTimesF64 {
+    type Elem = f64;
+    fn zero() -> f64 {
+        0.0
+    }
+    fn one() -> f64 {
+        1.0
+    }
+    fn add(a: f64, b: f64) -> f64 {
+        a.max(b)
+    }
+    fn mul(a: f64, b: f64) -> f64 {
+        a * b
+    }
+}
+
+/// The Boolean semiring expressed *generically* (values stored as bytes):
+/// semantically identical to `spbla-core`, but paying the generic-library
+/// storage and arithmetic costs — the honest baseline for E8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoolOrAnd;
+
+impl Semiring for BoolOrAnd {
+    type Elem = u8;
+    fn zero() -> u8 {
+        0
+    }
+    fn one() -> u8 {
+        1
+    }
+    fn add(a: u8, b: u8) -> u8 {
+        a | b
+    }
+    fn mul(a: u8, b: u8) -> u8 {
+        a & b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_laws<S: Semiring>(samples: &[S::Elem]) {
+        for &a in samples {
+            assert_eq!(S::add(a, S::zero()), a, "additive identity");
+            assert_eq!(S::mul(a, S::one()), a, "multiplicative identity");
+            assert_eq!(S::mul(a, S::zero()), S::zero(), "annihilation");
+            for &b in samples {
+                assert_eq!(S::add(a, b), S::add(b, a), "add commutes");
+                for &c in samples {
+                    assert_eq!(
+                        S::add(S::add(a, b), c),
+                        S::add(a, S::add(b, c)),
+                        "add associates"
+                    );
+                    assert_eq!(
+                        S::mul(S::mul(a, b), c),
+                        S::mul(a, S::mul(b, c)),
+                        "mul associates"
+                    );
+                    assert_eq!(
+                        S::mul(a, S::add(b, c)),
+                        S::add(S::mul(a, b), S::mul(a, c)),
+                        "left distributivity"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plus_times_u32_laws() {
+        check_laws::<PlusTimesU32>(&[0, 1, 2, 7, 1000]);
+    }
+
+    #[test]
+    fn min_plus_laws() {
+        check_laws::<MinPlusU32>(&[u32::MAX, 0, 1, 5, 100]);
+    }
+
+    #[test]
+    fn bool_or_and_laws() {
+        check_laws::<BoolOrAnd>(&[0, 1]);
+    }
+
+    #[test]
+    fn float_semirings_behave_on_simple_values() {
+        assert_eq!(PlusTimesF32::add(1.5, 2.5), 4.0);
+        assert_eq!(MaxTimesF64::add(0.3, 0.7), 0.7);
+        assert_eq!(MaxTimesF64::mul(0.5, 0.5), 0.25);
+    }
+}

@@ -1,0 +1,123 @@
+//! Sparse matrix × dense vector over a semiring — the building block of
+//! Bellman–Ford (min-plus), PageRank-style iterations (plus-times), and
+//! the pull direction of traversals.
+
+use rayon::prelude::*;
+
+use crate::csr::CsrMatrix;
+use crate::semiring::Semiring;
+
+/// `y = M ⊗ x` with `y[i] = ⊕_j M[i,j] ⊗ x[j]` (dense in/out; absent
+/// matrix entries contribute the additive identity).
+///
+/// ```
+/// use spbla_generic::{spmv::spmv, CsrMatrix, MinPlusU32};
+/// // One relaxation step of shortest paths: edge 0→1 of weight 5.
+/// let m = CsrMatrix::<MinPlusU32>::from_triples(2, 2, &[(1, 0, 5)]);
+/// let dist = spmv(&m, &[0, u32::MAX]);
+/// assert_eq!(dist, vec![u32::MAX, 5]);
+/// ```
+pub fn spmv<S: Semiring>(m: &CsrMatrix<S>, x: &[S::Elem]) -> Vec<S::Elem> {
+    assert_eq!(
+        x.len(),
+        m.ncols() as usize,
+        "spmv dimension mismatch: {} vs {}",
+        x.len(),
+        m.ncols()
+    );
+    (0..m.nrows())
+        .into_par_iter()
+        .map(|i| {
+            let mut acc = S::zero();
+            for (&j, &v) in m.row_cols(i).iter().zip(m.row_vals(i)) {
+                acc = S::add(acc, S::mul(v, x[j as usize]));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Bellman–Ford single-source shortest paths by repeated min-plus
+/// relaxation: `d ← min(d, Aᵀ⊗d)` until fixpoint (edge weights on a
+/// `MinPlus`-semiring matrix, `A[u,v] = w(u→v)`). Returns `None` on a
+/// negative... — the `u32` tropical semiring has no negatives, so this
+/// always converges within `n` rounds.
+pub fn min_plus_sssp(adjacency: &CsrMatrix<crate::semiring::MinPlusU32>, source: u32) -> Vec<u32> {
+    let n = adjacency.nrows();
+    assert_eq!(n, adjacency.ncols());
+    // Pull formulation: dist[v] = min(dist[v], min_u dist[u] + w(u,v))
+    // i.e. relax over the transpose.
+    let t = crate::transpose::transpose(adjacency);
+    let mut dist = vec![u32::MAX; n as usize];
+    dist[source as usize] = 0;
+    for _ in 0..n {
+        let relaxed = spmv(&t, &dist);
+        let mut changed = false;
+        for (d, r) in dist.iter_mut().zip(relaxed) {
+            if r < *d {
+                *d = r;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{MinPlusU32, PlusTimesF64, PlusTimesU64};
+
+    #[test]
+    fn plus_times_spmv_counts() {
+        // Row sums when x = 1.
+        let m = CsrMatrix::<PlusTimesU64>::from_triples(
+            3,
+            3,
+            &[(0, 0, 2), (0, 2, 3), (2, 1, 4)],
+        );
+        let y = spmv(&m, &[1, 1, 1]);
+        assert_eq!(y, vec![5, 0, 4]);
+    }
+
+    #[test]
+    fn min_plus_spmv_relaxes() {
+        let m = CsrMatrix::<MinPlusU32>::from_triples(2, 2, &[(0, 1, 7)]);
+        // dist = [0, INF] pulled over transpose-free direction:
+        // y[0] = min over j of (m[0][j] + x[j]) = 7 + x[1].
+        let y = spmv(&m, &[0, 10]);
+        assert_eq!(y, vec![17, u32::MAX]);
+    }
+
+    #[test]
+    fn sssp_on_weighted_diamond() {
+        // 0 →(1) 1 →(1) 3, 0 →(5) 2 →(1) 3: shortest 0→3 is 2.
+        let m = CsrMatrix::<MinPlusU32>::from_triples(
+            4,
+            4,
+            &[(0, 1, 1), (1, 3, 1), (0, 2, 5), (2, 3, 1)],
+        );
+        let dist = min_plus_sssp(&m, 0);
+        assert_eq!(dist, vec![0, 1, 5, 2]);
+    }
+
+    #[test]
+    fn sssp_unreachable_stays_infinite() {
+        let m = CsrMatrix::<MinPlusU32>::from_triples(3, 3, &[(0, 1, 2)]);
+        let dist = min_plus_sssp(&m, 0);
+        assert_eq!(dist, vec![0, 2, u32::MAX]);
+    }
+
+    #[test]
+    fn pagerank_style_iteration_conserves_mass() {
+        // Column-stochastic 2-cycle: mass swaps, total conserved.
+        let m = CsrMatrix::<PlusTimesF64>::from_triples(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        let x = vec![0.25, 0.75];
+        let y = spmv(&m, &x);
+        assert_eq!(y, vec![0.75, 0.25]);
+        assert!((y.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,49 @@
+//! Valued transpose (counting sort over columns, values carried along).
+
+use crate::csr::{CsrMatrix, Index};
+use crate::semiring::Semiring;
+
+/// `Mᵀ`.
+pub fn transpose<S: Semiring>(m: &CsrMatrix<S>) -> CsrMatrix<S> {
+    let mut counts = vec![0 as Index; m.ncols() as usize + 1];
+    for &j in m.cols() {
+        counts[j as usize + 1] += 1;
+    }
+    for c in 0..m.ncols() as usize {
+        counts[c + 1] += counts[c];
+    }
+    let row_ptr = counts.clone();
+    let mut cols = vec![0 as Index; m.nnz()];
+    let mut vals = vec![S::zero(); m.nnz()];
+    let mut cursor = counts;
+    for i in 0..m.nrows() {
+        for (&j, &v) in m.row_cols(i).iter().zip(m.row_vals(i)) {
+            let p = cursor[j as usize] as usize;
+            cols[p] = i;
+            vals[p] = v;
+            cursor[j as usize] += 1;
+        }
+    }
+    CsrMatrix::from_raw(m.ncols(), m.nrows(), row_ptr, cols, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::PlusTimesU32;
+
+    #[test]
+    fn transpose_moves_values() {
+        let m = CsrMatrix::<PlusTimesU32>::from_triples(2, 3, &[(0, 2, 5), (1, 0, 7)]);
+        let t = transpose(&m);
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 0), 5);
+        assert_eq!(t.get(0, 1), 7);
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let m = CsrMatrix::<PlusTimesU32>::from_triples(3, 3, &[(0, 1, 1), (2, 0, 2), (2, 2, 3)]);
+        assert_eq!(transpose(&transpose(&m)), m);
+    }
+}

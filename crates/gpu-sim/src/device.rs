@@ -1,0 +1,256 @@
+//! The simulated device: capacity accounting and launch statistics.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::error::{DeviceError, Result};
+
+/// Configuration of a simulated device.
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// Global-memory capacity in bytes. Allocations beyond this fail with
+    /// [`DeviceError::OutOfMemory`]. Defaults to 8 GiB.
+    pub memory_capacity: usize,
+    /// Number of streaming multiprocessors; reported in stats and used as
+    /// the default grid-saturation hint. Defaults to the CPU parallelism.
+    pub sm_count: u32,
+    /// Threads per block used by helpers when the caller does not specify
+    /// a block size. Defaults to 128 (cuBool's launch default).
+    pub default_block_dim: u32,
+    /// Shared memory per block in bytes; shared allocations beyond this
+    /// fail a debug assertion (kernels are expected to bin their work so
+    /// shared tables fit, mirroring Nsparse). Defaults to 48 KiB.
+    pub shared_mem_per_block: usize,
+    /// When true, the device runs its launches on a dedicated thread
+    /// pool of `sm_count` workers instead of the global pool — this
+    /// makes `sm_count` the device's actual compute width, enabling
+    /// strong-scaling experiments ("how fast would a device with k SMs
+    /// run this"). Defaults to false (global pool).
+    pub dedicated_pool: bool,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig {
+            memory_capacity: 8 << 30,
+            sm_count: std::thread::available_parallelism()
+                .map(|n| n.get() as u32)
+                .unwrap_or(8),
+            default_block_dim: 128,
+            shared_mem_per_block: 48 << 10,
+            dedicated_pool: false,
+        }
+    }
+}
+
+/// Counters observable after running workloads on a device.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Bytes currently allocated in device global memory.
+    pub bytes_in_use: usize,
+    /// High-water mark of `bytes_in_use`.
+    pub peak_bytes: usize,
+    /// Number of device allocations performed.
+    pub allocations: u64,
+    /// Number of kernel launches.
+    pub launches: u64,
+    /// Total blocks executed across all launches.
+    pub blocks_executed: u64,
+    /// Bytes copied host→device.
+    pub h2d_bytes: u64,
+    /// Bytes copied device→host.
+    pub d2h_bytes: u64,
+}
+
+pub(crate) struct DeviceInner {
+    pub(crate) config: DeviceConfig,
+    pub(crate) pool: Option<rayon::ThreadPool>,
+    bytes_in_use: AtomicUsize,
+    peak_bytes: AtomicUsize,
+    allocations: AtomicU64,
+    launches: AtomicU64,
+    blocks_executed: AtomicU64,
+    h2d_bytes: AtomicU64,
+    d2h_bytes: AtomicU64,
+}
+
+impl DeviceInner {
+    pub(crate) fn alloc(&self, bytes: usize) -> Result<()> {
+        let mut cur = self.bytes_in_use.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(bytes);
+            if next > self.config.memory_capacity {
+                return Err(DeviceError::OutOfMemory {
+                    requested: bytes,
+                    in_use: cur,
+                    capacity: self.config.memory_capacity,
+                });
+            }
+            match self.bytes_in_use.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.allocations.fetch_add(1, Ordering::Relaxed);
+                    self.peak_bytes.fetch_max(next, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    pub(crate) fn free(&self, bytes: usize) {
+        self.bytes_in_use.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_launch(&self, blocks: u64) {
+        self.launches.fetch_add(1, Ordering::Relaxed);
+        self.blocks_executed.fetch_add(blocks, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_h2d(&self, bytes: u64) {
+        self.h2d_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_d2h(&self, bytes: u64) {
+        self.d2h_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+}
+
+/// A handle to a simulated GPGPU device. Cheap to clone; all clones share
+/// the same memory accounting and statistics.
+#[derive(Clone)]
+pub struct Device {
+    pub(crate) inner: Arc<DeviceInner>,
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Device::new(DeviceConfig::default())
+    }
+}
+
+impl Device {
+    /// Create a device with the given configuration.
+    pub fn new(config: DeviceConfig) -> Self {
+        let pool = if config.dedicated_pool {
+            Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(config.sm_count.max(1) as usize)
+                    .build()
+                    .expect("dedicated device pool builds"),
+            )
+        } else {
+            None
+        };
+        Device {
+            inner: Arc::new(DeviceInner {
+                config,
+                pool,
+                bytes_in_use: AtomicUsize::new(0),
+                peak_bytes: AtomicUsize::new(0),
+                allocations: AtomicU64::new(0),
+                launches: AtomicU64::new(0),
+                blocks_executed: AtomicU64::new(0),
+                h2d_bytes: AtomicU64::new(0),
+                d2h_bytes: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Create a device whose global memory is capped at `bytes` — used by
+    /// OOM failure-injection tests.
+    pub fn with_memory_limit(bytes: usize) -> Self {
+        Device::new(DeviceConfig {
+            memory_capacity: bytes,
+            ..DeviceConfig::default()
+        })
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.inner.config
+    }
+
+    /// Snapshot of the device counters.
+    pub fn stats(&self) -> DeviceStats {
+        let i = &self.inner;
+        DeviceStats {
+            bytes_in_use: i.bytes_in_use.load(Ordering::Relaxed),
+            peak_bytes: i.peak_bytes.load(Ordering::Relaxed),
+            allocations: i.allocations.load(Ordering::Relaxed),
+            launches: i.launches.load(Ordering::Relaxed),
+            blocks_executed: i.blocks_executed.load(Ordering::Relaxed),
+            h2d_bytes: i.h2d_bytes.load(Ordering::Relaxed),
+            d2h_bytes: i.d2h_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset the peak-bytes watermark to the current usage, so a single
+    /// experiment's footprint can be measured on a long-lived device.
+    pub fn reset_peak(&self) {
+        let cur = self.inner.bytes_in_use.load(Ordering::Relaxed);
+        self.inner.peak_bytes.store(cur, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Device")
+            .field("config", &self.inner.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_accounting_tracks_peak() {
+        let dev = Device::with_memory_limit(1000);
+        dev.inner.alloc(400).unwrap();
+        dev.inner.alloc(500).unwrap();
+        dev.inner.free(500);
+        let s = dev.stats();
+        assert_eq!(s.bytes_in_use, 400);
+        assert_eq!(s.peak_bytes, 900);
+        assert_eq!(s.allocations, 2);
+    }
+
+    #[test]
+    fn alloc_over_capacity_fails() {
+        let dev = Device::with_memory_limit(100);
+        dev.inner.alloc(64).unwrap();
+        let err = dev.inner.alloc(64).unwrap_err();
+        assert!(matches!(err, DeviceError::OutOfMemory { .. }));
+        // The failed allocation must not be charged.
+        assert_eq!(dev.stats().bytes_in_use, 64);
+    }
+
+    #[test]
+    fn dedicated_pool_width_matches_sm_count() {
+        let dev = Device::new(DeviceConfig {
+            sm_count: 3,
+            dedicated_pool: true,
+            ..DeviceConfig::default()
+        });
+        let width = dev.inner.pool.as_ref().expect("pool built").current_num_threads();
+        assert_eq!(width, 3);
+        // Default devices share the global pool.
+        assert!(Device::default().inner.pool.is_none());
+    }
+
+    #[test]
+    fn reset_peak_rebases_to_current() {
+        let dev = Device::with_memory_limit(1000);
+        dev.inner.alloc(800).unwrap();
+        dev.inner.free(800);
+        dev.reset_peak();
+        assert_eq!(dev.stats().peak_bytes, 0);
+    }
+}

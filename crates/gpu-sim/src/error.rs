@@ -1,0 +1,44 @@
+//! Device error type.
+
+use std::fmt;
+
+/// Errors raised by the simulated device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// An allocation would exceed the configured global-memory size.
+    OutOfMemory {
+        /// Bytes requested by the failing allocation.
+        requested: usize,
+        /// Bytes currently allocated on the device.
+        in_use: usize,
+        /// Configured device capacity.
+        capacity: usize,
+    },
+    /// A launch was configured with a zero-sized grid or block.
+    InvalidLaunch(String),
+    /// Output partition handed to [`crate::Device::launch`] was not a
+    /// disjoint ascending cover of the output buffer.
+    BadPartition(String),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfMemory {
+                requested,
+                in_use,
+                capacity,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} B with {in_use} B in use of {capacity} B"
+            ),
+            DeviceError::InvalidLaunch(msg) => write!(f, "invalid kernel launch: {msg}"),
+            DeviceError::BadPartition(msg) => write!(f, "bad output partition: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, DeviceError>;

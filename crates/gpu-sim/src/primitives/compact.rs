@@ -1,0 +1,67 @@
+//! Stream compaction (Thrust `copy_if`): keep flagged elements, preserving
+//! order, via flag scan + scatter.
+
+use rayon::prelude::*;
+
+use crate::device::Device;
+use crate::error::Result;
+use crate::primitives::scan::exclusive_scan;
+use crate::primitives::scatter::ScatterBuf;
+
+/// Return the elements of `data` whose flag is nonzero, preserving order.
+pub fn compact_flagged<T: Copy + Default + Send + Sync>(
+    device: &Device,
+    data: &[T],
+    flags: &[u8],
+) -> Result<Vec<T>> {
+    assert_eq!(data.len(), flags.len(), "data/flags length mismatch");
+    let mut offsets: Vec<usize> = flags.iter().map(|&f| (f != 0) as usize).collect();
+    let kept = exclusive_scan(device, &mut offsets)?;
+    let out = ScatterBuf::<T>::new(kept);
+    device.inner.count_launch(1);
+    data.par_iter()
+        .zip(flags.par_iter())
+        .zip(offsets.par_iter())
+        .for_each(|((&v, &f), &o)| {
+            if f != 0 {
+                out.write(o, v);
+            }
+        });
+    Ok(out.into_vec())
+}
+
+/// Return the *indices* at which `flags` is nonzero, ascending.
+pub fn compact_indices(device: &Device, flags: &[u8]) -> Result<Vec<usize>> {
+    let idx: Vec<usize> = (0..flags.len()).collect();
+    compact_flagged(device, &idx, flags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_flagged_in_order() {
+        let dev = Device::default();
+        let data: Vec<u32> = (0..10_000).collect();
+        let flags: Vec<u8> = data.iter().map(|&v| (v % 3 == 0) as u8).collect();
+        let out = compact_flagged(&dev, &data, &flags).unwrap();
+        let expect: Vec<u32> = data.iter().copied().filter(|v| v % 3 == 0).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn indices_variant() {
+        let dev = Device::default();
+        let flags = vec![0u8, 1, 0, 1, 1, 0];
+        assert_eq!(compact_indices(&dev, &flags).unwrap(), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn all_dropped_and_all_kept() {
+        let dev = Device::default();
+        let data = vec![1u32, 2, 3];
+        assert!(compact_flagged(&dev, &data, &[0, 0, 0]).unwrap().is_empty());
+        assert_eq!(compact_flagged(&dev, &data, &[1, 1, 1]).unwrap(), data);
+    }
+}

@@ -1,0 +1,74 @@
+//! Device-wide histogram (bincount): per-chunk local histograms merged
+//! by a tree reduction — the standard GPU formulation (shared-memory
+//! bins per block, then a global merge).
+
+use rayon::prelude::*;
+
+use crate::device::Device;
+
+/// Count occurrences of each value in `data` (`values < bins`).
+///
+/// # Panics
+/// If any value is `>= bins` (debug builds assert; release builds would
+/// index out of bounds, so the check is unconditional).
+pub fn histogram(device: &Device, data: &[u32], bins: usize) -> Vec<usize> {
+    if data.is_empty() {
+        device.inner.count_launch(1);
+        return vec![0; bins];
+    }
+    let chunk = data
+        .len()
+        .div_ceil(rayon::current_num_threads().max(1) * 2)
+        .max(1);
+    let nchunks = data.len().div_ceil(chunk);
+    device.inner.count_launch(nchunks as u64);
+    data.par_chunks(chunk)
+        .map(|c| {
+            let mut h = vec![0usize; bins];
+            for &v in c {
+                assert!((v as usize) < bins, "value {v} out of histogram range {bins}");
+                h[v as usize] += 1;
+            }
+            h
+        })
+        .reduce(
+            || vec![0usize; bins],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_reference() {
+        let dev = Device::default();
+        let data: Vec<u32> = (0..100_000).map(|i| (i * 7 + 1) % 97).collect();
+        let got = histogram(&dev, &data, 97);
+        let mut expect = vec![0usize; 97];
+        for &v in &data {
+            expect[v as usize] += 1;
+        }
+        assert_eq!(got, expect);
+        assert_eq!(got.iter().sum::<usize>(), data.len());
+    }
+
+    #[test]
+    fn empty_input() {
+        let dev = Device::default();
+        assert_eq!(histogram(&dev, &[], 5), vec![0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of histogram range")]
+    fn out_of_range_rejected() {
+        let dev = Device::default();
+        histogram(&dev, &[10], 5);
+    }
+}

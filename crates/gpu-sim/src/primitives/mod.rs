@@ -1,0 +1,22 @@
+//! Thrust-style device-wide primitives.
+//!
+//! These are the building blocks cuBool gets from NVIDIA Thrust (scan,
+//! reduce, sort, compaction) and clBool hand-rolls in OpenCL. Each
+//! primitive is itself expressed as one or more kernel launches on the
+//! simulated device so that launch and memory counters stay meaningful.
+
+pub mod compact;
+pub mod histogram;
+pub mod merge;
+pub mod reduce;
+pub mod scan;
+pub mod scatter;
+pub mod sort;
+
+pub use compact::{compact_flagged, compact_indices};
+pub use histogram::histogram;
+pub use merge::{merge_path_partition, MergePoint};
+pub use reduce::{reduce_max, reduce_sum};
+pub use scan::{exclusive_scan, inclusive_scan};
+pub use scatter::ScatterBuf;
+pub use sort::{sort_u64, sort_u64_by_key_u32};

@@ -1,0 +1,31 @@
+//! Device-wide reductions.
+
+use rayon::prelude::*;
+
+use crate::device::Device;
+
+/// Sum of all elements (tree reduction; one logical launch).
+pub fn reduce_sum(device: &Device, data: &[usize]) -> usize {
+    device.inner.count_launch(1);
+    data.par_iter().sum()
+}
+
+/// Maximum element, or `None` for an empty input.
+pub fn reduce_max(device: &Device, data: &[usize]) -> Option<usize> {
+    device.inner.count_launch(1);
+    data.par_iter().copied().max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_max() {
+        let dev = Device::default();
+        let v: Vec<usize> = (1..=1000).collect();
+        assert_eq!(reduce_sum(&dev, &v), 500_500);
+        assert_eq!(reduce_max(&dev, &v), Some(1000));
+        assert_eq!(reduce_max(&dev, &[]), None);
+    }
+}

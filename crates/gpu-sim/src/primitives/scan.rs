@@ -1,0 +1,118 @@
+//! Parallel prefix sums (the workhorse of every two-pass sparse kernel).
+
+use rayon::prelude::*;
+
+use crate::device::Device;
+use crate::error::Result;
+
+/// Sequential-cutoff below which a serial scan beats the parallel one.
+const SERIAL_CUTOFF: usize = 1 << 14;
+
+/// In-place exclusive prefix sum over `data`, returning the grand total.
+///
+/// Three-phase Blelloch-style decomposition: per-chunk local sums, a scan
+/// of the chunk sums, then a per-chunk rewrite with offsets. Chunks map to
+/// blocks, so the launch counter advances by two.
+pub fn exclusive_scan(device: &Device, data: &mut [usize]) -> Result<usize> {
+    let n = data.len();
+    if n == 0 {
+        return Ok(0);
+    }
+    if n <= SERIAL_CUTOFF {
+        device.inner.count_launch(1);
+        let mut acc = 0usize;
+        for v in data.iter_mut() {
+            let x = *v;
+            *v = acc;
+            acc += x;
+        }
+        return Ok(acc);
+    }
+
+    let chunk = n.div_ceil(rayon::current_num_threads().max(1) * 4).max(1);
+    // Phase 1: local sums per chunk.
+    let mut partials: Vec<usize> = data.par_chunks(chunk).map(|c| c.iter().sum()).collect();
+    device.inner.count_launch(partials.len() as u64);
+    // Phase 2: scan the partials (small, serial).
+    let mut acc = 0usize;
+    for p in partials.iter_mut() {
+        let x = *p;
+        *p = acc;
+        acc += x;
+    }
+    // Phase 3: local exclusive scan with offset.
+    device.inner.count_launch(partials.len() as u64);
+    data.par_chunks_mut(chunk)
+        .zip(partials.par_iter())
+        .for_each(|(c, &offset)| {
+            let mut local = offset;
+            for v in c.iter_mut() {
+                let x = *v;
+                *v = local;
+                local += x;
+            }
+        });
+    Ok(acc)
+}
+
+/// In-place inclusive prefix sum, returning the grand total.
+pub fn inclusive_scan(device: &Device, data: &mut [usize]) -> Result<usize> {
+    let originals: Vec<usize> = data.to_vec();
+    let total = exclusive_scan(device, data)?;
+    data.par_iter_mut()
+        .zip(originals.par_iter())
+        .for_each(|(d, &o)| *d += o);
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_exclusive(v: &[usize]) -> (Vec<usize>, usize) {
+        let mut out = Vec::with_capacity(v.len());
+        let mut acc = 0;
+        for &x in v {
+            out.push(acc);
+            acc += x;
+        }
+        (out, acc)
+    }
+
+    #[test]
+    fn empty_scan() {
+        let dev = Device::default();
+        let mut v: Vec<usize> = vec![];
+        assert_eq!(exclusive_scan(&dev, &mut v).unwrap(), 0);
+    }
+
+    #[test]
+    fn small_scan_matches_reference() {
+        let dev = Device::default();
+        let mut v = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        let (expect, total) = reference_exclusive(&v);
+        assert_eq!(exclusive_scan(&dev, &mut v).unwrap(), total);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn large_scan_matches_reference() {
+        let dev = Device::default();
+        let mut v: Vec<usize> = (0..100_000).map(|i| (i * 7 + 3) % 13).collect();
+        let (expect, total) = reference_exclusive(&v);
+        assert_eq!(exclusive_scan(&dev, &mut v).unwrap(), total);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn inclusive_is_exclusive_shifted() {
+        let dev = Device::default();
+        let src: Vec<usize> = (0..50_000).map(|i| i % 5).collect();
+        let mut inc = src.clone();
+        inclusive_scan(&dev, &mut inc).unwrap();
+        let (exc, _) = reference_exclusive(&src);
+        for i in 0..src.len() {
+            assert_eq!(inc[i], exc[i] + src[i]);
+        }
+    }
+}

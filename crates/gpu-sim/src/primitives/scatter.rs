@@ -1,0 +1,100 @@
+//! A shared scatter buffer for kernels whose blocks write disjoint but
+//! interleaved positions (radix-sort scatter, ESC expansion).
+//!
+//! Real GPU kernels scatter through global memory at offsets derived from
+//! a prior scan; distinct threads never collide. `ScatterBuf` encodes that
+//! contract: writes go through a shared `&self`, and in debug builds every
+//! slot is checked for double-writes so a broken offset computation fails
+//! loudly instead of corrupting output.
+
+use std::cell::UnsafeCell;
+
+/// A write-only shared view over a `Vec<T>` allowing disjoint scattered
+/// writes from parallel blocks.
+pub struct ScatterBuf<T> {
+    data: Vec<UnsafeCell<T>>,
+    #[cfg(debug_assertions)]
+    written: Vec<std::sync::atomic::AtomicU8>,
+}
+
+// SAFETY: all mutation goes through `write`, whose contract requires
+// distinct indices across concurrent callers (checked in debug builds).
+unsafe impl<T: Send> Sync for ScatterBuf<T> {}
+unsafe impl<T: Send> Send for ScatterBuf<T> {}
+
+impl<T: Default + Clone> ScatterBuf<T> {
+    /// Create a buffer of `len` default-initialised slots.
+    pub fn new(len: usize) -> Self {
+        ScatterBuf {
+            data: (0..len).map(|_| UnsafeCell::new(T::default())).collect(),
+            #[cfg(debug_assertions)]
+            written: (0..len).map(|_| std::sync::atomic::AtomicU8::new(0)).collect(),
+        }
+    }
+}
+
+impl<T> ScatterBuf<T> {
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Write `value` into slot `idx`.
+    ///
+    /// # Contract
+    /// Each index must be written by at most one thread over the lifetime
+    /// of the buffer (enforced in debug builds). Out-of-bounds panics.
+    #[inline]
+    pub fn write(&self, idx: usize, value: T) {
+        #[cfg(debug_assertions)]
+        {
+            let prev = self.written[idx].swap(1, std::sync::atomic::Ordering::Relaxed);
+            assert_eq!(prev, 0, "ScatterBuf double write at index {idx}");
+        }
+        let cell = &self.data[idx];
+        // SAFETY: contract guarantees exclusive access to this slot.
+        unsafe { *cell.get() = value };
+    }
+
+    /// Consume the buffer, returning the underlying vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data.into_iter().map(UnsafeCell::into_inner).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn parallel_disjoint_scatter() {
+        let buf = ScatterBuf::<u32>::new(10_000);
+        (0..10_000u32).into_par_iter().for_each(|i| {
+            // Scatter with a permutation to exercise interleaving.
+            let pos = ((i as usize) * 7919) % 10_000;
+            buf.write(pos, i);
+        });
+        let v = buf.into_vec();
+        let mut seen = vec![false; 10_000];
+        for (pos, &val) in v.iter().enumerate() {
+            assert_eq!(((val as usize) * 7919) % 10_000, pos);
+            assert!(!seen[val as usize]);
+            seen[val as usize] = true;
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double write")]
+    fn double_write_detected_in_debug() {
+        let buf = ScatterBuf::<u32>::new(4);
+        buf.write(1, 10);
+        buf.write(1, 11);
+    }
+}

@@ -1,0 +1,198 @@
+//! Parallel LSD radix sort on 64-bit keys.
+//!
+//! clBool's COO pipeline (and the ESC SpGEMM reconstruction) sort packed
+//! `(row << 32) | col` keys. The sort is a classic GPU LSD radix: for each
+//! 8-bit digit, per-block histograms, a digit-major/block-minor exclusive
+//! scan, and a scatter at scanned offsets (disjoint by construction, so it
+//! goes through [`ScatterBuf`]). Passes whose digit is constant across all
+//! keys are skipped, which makes sorting of low-range keys cheap.
+
+use rayon::prelude::*;
+
+use crate::device::Device;
+use crate::primitives::scatter::ScatterBuf;
+
+const RADIX_BITS: usize = 8;
+const RADIX: usize = 1 << RADIX_BITS;
+const PASSES: usize = 64 / RADIX_BITS;
+
+fn digit(key: u64, pass: usize) -> usize {
+    ((key >> (pass * RADIX_BITS)) & (RADIX as u64 - 1)) as usize
+}
+
+/// Sort `keys` ascending, in place.
+pub fn sort_u64(device: &Device, keys: &mut Vec<u64>) {
+    let mut payload: Vec<u32> = Vec::new();
+    sort_impl(device, keys, &mut payload);
+}
+
+/// Sort `keys` ascending, applying the same permutation to `vals`.
+///
+/// # Panics
+/// If `keys.len() != vals.len()`.
+pub fn sort_u64_by_key_u32(device: &Device, keys: &mut Vec<u64>, vals: &mut Vec<u32>) {
+    assert_eq!(keys.len(), vals.len(), "key/value length mismatch");
+    sort_impl(device, keys, vals);
+}
+
+fn sort_impl(device: &Device, keys: &mut Vec<u64>, vals: &mut Vec<u32>) {
+    let n = keys.len();
+    if n <= 1 {
+        return;
+    }
+    // Small inputs: a serial comparison sort is both faster and simpler.
+    if n < 1 << 13 {
+        device.inner.count_launch(1);
+        if vals.is_empty() {
+            keys.sort_unstable();
+        } else {
+            let mut perm: Vec<u32> = (0..n as u32).collect();
+            // Stable, matching the LSD radix passes below.
+            perm.sort_by_key(|&i| keys[i as usize]);
+            let old_keys = std::mem::take(keys);
+            let old_vals = std::mem::take(vals);
+            *keys = perm.iter().map(|&i| old_keys[i as usize]).collect();
+            *vals = perm.iter().map(|&i| old_vals[i as usize]).collect();
+        }
+        return;
+    }
+
+    let or_all: u64 = keys.par_iter().fold(|| 0u64, |a, &k| a | k).reduce(|| 0, |a, b| a | b);
+    let chunk = n.div_ceil(rayon::current_num_threads().max(1) * 4).max(1);
+    let nchunks = n.div_ceil(chunk);
+
+    for pass in 0..PASSES {
+        // Skip passes where every key shares the digit (common: packed
+        // row/col indices rarely use the full 64 bits).
+        if pass > 0 && (or_all >> (pass * RADIX_BITS)) == 0 {
+            break;
+        }
+        device.inner.count_launch(nchunks as u64 * 2);
+
+        // Phase 1: per-chunk digit histograms.
+        let hists: Vec<[u32; RADIX]> = keys
+            .par_chunks(chunk)
+            .map(|c| {
+                let mut h = [0u32; RADIX];
+                for &k in c {
+                    h[digit(k, pass)] += 1;
+                }
+                h
+            })
+            .collect();
+
+        // Phase 2: digit-major, chunk-minor exclusive scan of counts.
+        let mut offsets = vec![[0u32; RADIX]; nchunks];
+        let mut acc = 0u32;
+        for d in 0..RADIX {
+            for c in 0..nchunks {
+                offsets[c][d] = acc;
+                acc += hists[c][d];
+            }
+        }
+
+        // Phase 3: scatter each chunk's items to their scanned offsets.
+        let out_keys = ScatterBuf::<u64>::new(n);
+        if vals.is_empty() {
+            keys.par_chunks(chunk).zip(offsets.par_iter()).for_each(|(c, base)| {
+                let mut cursor = *base;
+                for &k in c {
+                    let d = digit(k, pass);
+                    out_keys.write(cursor[d] as usize, k);
+                    cursor[d] += 1;
+                }
+            });
+            *keys = out_keys.into_vec();
+        } else {
+            let out_vals = ScatterBuf::<u32>::new(n);
+            keys.par_chunks(chunk)
+                .zip(vals.par_chunks(chunk))
+                .zip(offsets.par_iter())
+                .for_each(|((ck, cv), base)| {
+                    let mut cursor = *base;
+                    for (&k, &v) in ck.iter().zip(cv.iter()) {
+                        let d = digit(k, pass);
+                        out_keys.write(cursor[d] as usize, k);
+                        out_vals.write(cursor[d] as usize, v);
+                        cursor[d] += 1;
+                    }
+                });
+            *keys = out_keys.into_vec();
+            *vals = out_vals.into_vec();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(n: usize, seed: u64) -> Vec<u64> {
+        // xorshift64*; deterministic, no dev-dependency needed here.
+        let mut s = seed.max(1);
+        (0..n)
+            .map(|_| {
+                s ^= s >> 12;
+                s ^= s << 25;
+                s ^= s >> 27;
+                s.wrapping_mul(0x2545F4914F6CDD1D)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sorts_small_input() {
+        let dev = Device::default();
+        let mut v = vec![5u64, 3, 9, 1, 1, 0];
+        sort_u64(&dev, &mut v);
+        assert_eq!(v, vec![0, 1, 1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn sorts_large_random_input() {
+        let dev = Device::default();
+        let mut v = pseudo_random(200_000, 42);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        sort_u64(&dev, &mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sorts_low_range_keys_with_skipped_passes() {
+        let dev = Device::default();
+        let mut v: Vec<u64> = pseudo_random(50_000, 7).iter().map(|k| k % 1000).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        sort_u64(&dev, &mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn payload_follows_keys() {
+        let dev = Device::default();
+        let mut keys = pseudo_random(100_000, 3).iter().map(|k| k % 10_000).collect::<Vec<_>>();
+        let mut vals: Vec<u32> = (0..keys.len() as u32).collect();
+        let reference: Vec<(u64, u32)> = {
+            let mut p: Vec<(u64, u32)> = keys.iter().copied().zip(vals.iter().copied()).collect();
+            p.sort_by_key(|&(k, v)| (k, v));
+            p
+        };
+        sort_u64_by_key_u32(&dev, &mut keys, &mut vals);
+        // Radix sort is stable, and vals started strictly increasing, so
+        // (key, val) pairs must match the reference sorted by both.
+        let got: Vec<(u64, u32)> = keys.into_iter().zip(vals).collect();
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let dev = Device::default();
+        let mut v: Vec<u64> = vec![];
+        sort_u64(&dev, &mut v);
+        assert!(v.is_empty());
+        let mut v = vec![17u64];
+        sort_u64(&dev, &mut v);
+        assert_eq!(v, vec![17]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests for the device-wide primitives: every parallel
+//! implementation must agree with its obvious sequential counterpart on
+//! arbitrary inputs, and launch/memory accounting must stay consistent.
+
+use proptest::prelude::*;
+
+use spbla_gpu_sim::primitives::compact::{compact_flagged, compact_indices};
+use spbla_gpu_sim::primitives::merge::{merge_path_partition, merge_path_partitions};
+use spbla_gpu_sim::primitives::reduce::{reduce_max, reduce_sum};
+use spbla_gpu_sim::primitives::scan::{exclusive_scan, inclusive_scan};
+use spbla_gpu_sim::primitives::sort::{sort_u64, sort_u64_by_key_u32};
+use spbla_gpu_sim::{Device, DeviceBuffer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exclusive_scan_matches_reference(v in proptest::collection::vec(0usize..1000, 0..4000)) {
+        let dev = Device::default();
+        let mut got = v.clone();
+        let total = exclusive_scan(&dev, &mut got).unwrap();
+        let mut acc = 0usize;
+        for (i, &x) in v.iter().enumerate() {
+            prop_assert_eq!(got[i], acc);
+            acc += x;
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn inclusive_scan_is_shifted_exclusive(v in proptest::collection::vec(0usize..100, 0..2000)) {
+        let dev = Device::default();
+        let mut inc = v.clone();
+        let t1 = inclusive_scan(&dev, &mut inc).unwrap();
+        let mut exc = v.clone();
+        let t2 = exclusive_scan(&dev, &mut exc).unwrap();
+        prop_assert_eq!(t1, t2);
+        for i in 0..v.len() {
+            prop_assert_eq!(inc[i], exc[i] + v[i]);
+        }
+    }
+
+    #[test]
+    fn sort_matches_std(mut v in proptest::collection::vec(any::<u64>(), 0..5000)) {
+        let dev = Device::default();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        sort_u64(&dev, &mut v);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn keyed_sort_is_stable_permutation(keys in proptest::collection::vec(0u64..64, 0..3000)) {
+        let dev = Device::default();
+        let mut k = keys.clone();
+        let mut vals: Vec<u32> = (0..keys.len() as u32).collect();
+        sort_u64_by_key_u32(&dev, &mut k, &mut vals);
+        //
+
+        // Keys sorted; payload is a permutation; stability: equal keys
+        // keep their original relative order (vals increasing).
+        prop_assert!(k.windows(2).all(|w| w[0] <= w[1]));
+        let mut seen = vec![false; vals.len()];
+        for &p in &vals {
+            prop_assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        for w in 0..k.len().saturating_sub(1) {
+            if k[w] == k[w + 1] {
+                prop_assert!(vals[w] < vals[w + 1], "stability violated at {w}");
+            }
+        }
+        // Payload still pairs with its original key.
+        for (i, &p) in vals.iter().enumerate() {
+            prop_assert_eq!(k[i], keys[p as usize]);
+        }
+    }
+
+    #[test]
+    fn compaction_matches_filter(
+        data in proptest::collection::vec(any::<u32>(), 0..2000),
+        seed in any::<u64>(),
+    ) {
+        let dev = Device::default();
+        let flags: Vec<u8> = data
+            .iter()
+            .enumerate()
+            .map(|(i, _)| ((seed >> (i % 64)) & 1) as u8)
+            .collect();
+        let got = compact_flagged(&dev, &data, &flags).unwrap();
+        let expect: Vec<u32> = data
+            .iter()
+            .zip(&flags)
+            .filter(|(_, &f)| f != 0)
+            .map(|(&d, _)| d)
+            .collect();
+        prop_assert_eq!(got, expect);
+        let idx = compact_indices(&dev, &flags).unwrap();
+        prop_assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(idx.len(), flags.iter().filter(|&&f| f != 0).count());
+    }
+
+    #[test]
+    fn reductions_match(v in proptest::collection::vec(0usize..10_000, 0..3000)) {
+        let dev = Device::default();
+        prop_assert_eq!(reduce_sum(&dev, &v), v.iter().sum::<usize>());
+        prop_assert_eq!(reduce_max(&dev, &v), v.iter().copied().max());
+    }
+
+    #[test]
+    fn merge_path_reconstructs_any_merge(
+        mut a in proptest::collection::vec(0u32..500, 0..400),
+        mut b in proptest::collection::vec(0u32..500, 0..400),
+        parts in 1usize..12,
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let points = merge_path_partitions(&a, &b, parts);
+        prop_assert_eq!(points.len(), parts + 1);
+        let mut merged: Vec<u32> = Vec::with_capacity(a.len() + b.len());
+        for w in points.windows(2) {
+            let (s, e) = (w[0], w[1]);
+            let (mut i, mut j) = (s.a_idx, s.b_idx);
+            while i < e.a_idx || j < e.b_idx {
+                if j >= e.b_idx || (i < e.a_idx && a[i] <= b[j]) {
+                    merged.push(a[i]);
+                    i += 1;
+                } else {
+                    merged.push(b[j]);
+                    j += 1;
+                }
+            }
+        }
+        let mut expect = [a.clone(), b.clone()].concat();
+        expect.sort_unstable();
+        prop_assert_eq!(merged, expect);
+        // Each diagonal's crossing point is consistent.
+        let mid = merge_path_partition(&a, &b, (a.len() + b.len()) / 2);
+        prop_assert_eq!(mid.a_idx + mid.b_idx, (a.len() + b.len()) / 2);
+    }
+
+    #[test]
+    fn buffer_accounting_balances(lens in proptest::collection::vec(1usize..4096, 1..20)) {
+        let dev = Device::default();
+        {
+            let buffers: Vec<DeviceBuffer<u32>> = lens
+                .iter()
+                .map(|&l| DeviceBuffer::zeroed(&dev, l).unwrap())
+                .collect();
+            let expect: usize = lens.iter().map(|&l| l * 4).sum();
+            prop_assert_eq!(dev.stats().bytes_in_use, expect);
+            drop(buffers);
+        }
+        prop_assert_eq!(dev.stats().bytes_in_use, 0);
+        prop_assert_eq!(dev.stats().allocations, lens.len() as u64);
+    }
+}
+
+#[test]
+fn launches_are_counted_monotonically() {
+    let dev = Device::default();
+    let before = dev.stats().launches;
+    let mut out = vec![0usize; 10_000];
+    dev.launch_map(&mut out, |i| i).unwrap();
+    let mut v: Vec<usize> = (0..50_000).map(|i| i % 7).collect();
+    exclusive_scan(&dev, &mut v).unwrap();
+    let mut keys: Vec<u64> = (0..20_000u64).rev().collect();
+    sort_u64(&dev, &mut keys);
+    assert!(dev.stats().launches > before);
+}

@@ -1,0 +1,233 @@
+//! Classic linear-algebra graph algorithms on SPbLA — the "library
+//! extension up to full GraphBLAS API" direction the paper's conclusion
+//! names as future work. Each algorithm is phrased in matrix/vector
+//! operations (with the generic semiring library supplying counting
+//! where Boolean structure is not enough).
+
+use spbla_core::{CsrBool, Instance, Matrix, Result};
+use spbla_generic::{spgemm, CsrMatrix, PlusTimesU64};
+
+use crate::bfs::reachable_set;
+
+/// Count triangles of an *undirected* graph given as a symmetric Boolean
+/// adjacency (no self loops): `Σ_{(i,j) ∈ A} (A²)[i,j] / 6`, computed
+/// with a counting product masked by the adjacency pattern.
+pub fn triangle_count(adjacency: &CsrBool) -> u64 {
+    let n = adjacency.nrows();
+    debug_assert_eq!(n, adjacency.ncols());
+    let triples: Vec<(u32, u32, u64)> = adjacency
+        .to_pairs()
+        .into_iter()
+        .map(|(i, j)| (i, j, 1))
+        .collect();
+    let a = CsrMatrix::<PlusTimesU64>::from_triples(n, n, &triples);
+    let paths2 = spgemm::mxm(&a, &a);
+    let mut wedges_on_edges = 0u64;
+    for (i, j) in adjacency.iter() {
+        wedges_on_edges += paths2.get(i, j);
+    }
+    // Each triangle contributes 6 closed wedges over its (directed) edges.
+    wedges_on_edges / 6
+}
+
+/// Strongly connected component ids (0-based, in discovery order) via
+/// forward–backward reachability: `SCC(v) = reach(v) ∩ reachᵀ(v)`.
+pub fn strongly_connected_components(adjacency: &Matrix, inst: &Instance) -> Result<Vec<u32>> {
+    let n = adjacency.nrows();
+    let transposed = adjacency.transpose()?;
+    let mut component = vec![u32::MAX; n as usize];
+    let mut next_id = 0u32;
+    for v in 0..n {
+        if component[v as usize] != u32::MAX {
+            continue;
+        }
+        let fwd = reachable_set(adjacency, v, inst)?;
+        let bwd = reachable_set(&transposed, v, inst)?;
+        // Intersection of two sorted lists.
+        let (mut x, mut y) = (0usize, 0usize);
+        while x < fwd.len() && y < bwd.len() {
+            match fwd[x].cmp(&bwd[y]) {
+                std::cmp::Ordering::Equal => {
+                    if component[fwd[x] as usize] == u32::MAX {
+                        component[fwd[x] as usize] = next_id;
+                    }
+                    x += 1;
+                    y += 1;
+                }
+                std::cmp::Ordering::Less => x += 1,
+                std::cmp::Ordering::Greater => y += 1,
+            }
+        }
+        next_id += 1;
+    }
+    Ok(component)
+}
+
+/// Weakly connected component ids via BFS over the symmetrised
+/// adjacency.
+pub fn weakly_connected_components(adjacency: &Matrix, inst: &Instance) -> Result<Vec<u32>> {
+    let sym = adjacency.ewise_add(&adjacency.transpose()?)?;
+    let n = sym.nrows();
+    let mut component = vec![u32::MAX; n as usize];
+    let mut next_id = 0u32;
+    for v in 0..n {
+        if component[v as usize] != u32::MAX {
+            continue;
+        }
+        for u in reachable_set(&sym, v, inst)? {
+            component[u as usize] = next_id;
+        }
+        next_id += 1;
+    }
+    Ok(component)
+}
+
+/// PageRank over the (+,×) semiring: `r ← (1−d)/n + d·Pᵀ r` with `P`
+/// row-stochastic, iterated until the L1 delta drops below `tol`.
+/// Dangling vertices distribute uniformly. Returns the rank vector.
+pub fn pagerank(adjacency: &CsrBool, damping: f64, tol: f64, max_iter: usize) -> Vec<f64> {
+    use spbla_generic::spmv::spmv;
+    use spbla_generic::PlusTimesF64;
+    let n = adjacency.nrows();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Column-stochastic transition matrix Pᵀ: entry (v, u) = 1/outdeg(u).
+    let mut triples: Vec<(u32, u32, f64)> = Vec::with_capacity(adjacency.nnz());
+    for u in 0..n {
+        let deg = adjacency.row_nnz(u);
+        if deg == 0 {
+            continue;
+        }
+        for &v in adjacency.row(u) {
+            triples.push((v, u, 1.0 / deg as f64));
+        }
+    }
+    let pt = CsrMatrix::<PlusTimesF64>::from_triples(n, n, &triples);
+    let dangling: Vec<u32> = (0..n).filter(|&u| adjacency.row_nnz(u) == 0).collect();
+
+    let mut rank = vec![1.0 / n as f64; n as usize];
+    for _ in 0..max_iter {
+        let pushed = spmv(&pt, &rank);
+        let dangling_mass: f64 = dangling.iter().map(|&u| rank[u as usize]).sum();
+        let base = (1.0 - damping) / n as f64 + damping * dangling_mass / n as f64;
+        let next: Vec<f64> = pushed.iter().map(|&p| base + damping * p).collect();
+        let delta: f64 = next
+            .iter()
+            .zip(&rank)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        rank = next;
+        if delta < tol {
+            break;
+        }
+    }
+    rank
+}
+
+/// Number of vertices reachable from every vertex (the paper's
+/// "reachability index size" diagnostic): row counts of the closure.
+pub fn reachability_histogram(adjacency: &Matrix) -> Result<Vec<usize>> {
+    let closure = adjacency.transitive_closure()?;
+    let csr = closure.to_csr();
+    Ok((0..csr.nrows()).map(|i| csr.row_nnz(i)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_triangles() {
+        // Triangle 0-1-2 plus a pendant edge 2-3, symmetric.
+        let edges = [
+            (0u32, 1u32),
+            (1, 0),
+            (1, 2),
+            (2, 1),
+            (0, 2),
+            (2, 0),
+            (2, 3),
+            (3, 2),
+        ];
+        let a = CsrBool::from_pairs(4, 4, &edges).unwrap();
+        assert_eq!(triangle_count(&a), 1);
+        // Complete graph K4 has 4 triangles.
+        let mut k4 = Vec::new();
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                if i != j {
+                    k4.push((i, j));
+                }
+            }
+        }
+        let a4 = CsrBool::from_pairs(4, 4, &k4).unwrap();
+        assert_eq!(triangle_count(&a4), 4);
+        // Triangle-free bipartite square.
+        let sq = CsrBool::from_pairs(
+            4,
+            4,
+            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2), (3, 0), (0, 3)],
+        )
+        .unwrap();
+        assert_eq!(triangle_count(&sq), 0);
+    }
+
+    #[test]
+    fn scc_on_two_cycles_and_bridge() {
+        let inst = Instance::cpu();
+        // Cycle {0,1,2}, bridge 2→3, cycle {3,4}.
+        let a = Matrix::from_pairs(
+            &inst,
+            5,
+            5,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)],
+        )
+        .unwrap();
+        let scc = strongly_connected_components(&a, &inst).unwrap();
+        assert_eq!(scc[0], scc[1]);
+        assert_eq!(scc[1], scc[2]);
+        assert_eq!(scc[3], scc[4]);
+        assert_ne!(scc[0], scc[3]);
+    }
+
+    #[test]
+    fn wcc_ignores_direction() {
+        let inst = Instance::cpu();
+        let a = Matrix::from_pairs(&inst, 6, 6, &[(0, 1), (2, 1), (4, 5)]).unwrap();
+        let wcc = weakly_connected_components(&a, &inst).unwrap();
+        assert_eq!(wcc[0], wcc[1]);
+        assert_eq!(wcc[1], wcc[2]);
+        assert_eq!(wcc[4], wcc[5]);
+        assert_ne!(wcc[0], wcc[4]);
+        assert_ne!(wcc[3], wcc[0]);
+        assert_ne!(wcc[3], wcc[4]);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_ranks_hubs() {
+        // Star: everyone links to 0.
+        let edges: Vec<(u32, u32)> = (1..6u32).map(|u| (u, 0)).collect();
+        let a = CsrBool::from_pairs(6, 6, &edges).unwrap();
+        let r = pagerank(&a, 0.85, 1e-10, 200);
+        let total: f64 = r.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "mass {total}");
+        for v in 1..6 {
+            assert!(r[0] > r[v], "hub must outrank leaf {v}");
+        }
+        // Uniform cycle: all ranks equal.
+        let cyc: Vec<(u32, u32)> = (0..4u32).map(|u| (u, (u + 1) % 4)).collect();
+        let c = CsrBool::from_pairs(4, 4, &cyc).unwrap();
+        let rc = pagerank(&c, 0.85, 1e-12, 500);
+        for v in 1..4 {
+            assert!((rc[0] - rc[v]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn histogram_of_chain() {
+        let inst = Instance::cpu();
+        let a = Matrix::from_pairs(&inst, 4, 4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(reachability_histogram(&a).unwrap(), vec![3, 2, 1, 0]);
+    }
+}

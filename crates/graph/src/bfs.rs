@@ -1,0 +1,144 @@
+//! Matrix breadth-first search — the standard GraphBLAS showcase, used
+//! by the examples and as another exerciser of `vxm`/vector operations.
+
+use spbla_core::{Instance, Matrix, Result, Vector};
+
+/// BFS levels from `source` over `adjacency` (square Boolean matrix).
+/// Returns `levels[v] = Some(depth)` for reached vertices.
+pub fn bfs_levels(adjacency: &Matrix, source: u32, inst: &Instance) -> Result<Vec<Option<u32>>> {
+    let n = adjacency.nrows();
+    let mut levels: Vec<Option<u32>> = vec![None; n as usize];
+    levels[source as usize] = Some(0);
+    let mut visited = Vector::from_indices(inst, n, &[source])?;
+    let mut frontier = visited.clone();
+    let mut depth = 0u32;
+    while frontier.nnz() > 0 {
+        depth += 1;
+        let next = adjacency.vxm(&frontier)?;
+        frontier = next.difference(&visited)?;
+        for &v in frontier.indices() {
+            levels[v as usize] = Some(depth);
+        }
+        visited = visited.ewise_add(&frontier)?;
+    }
+    Ok(levels)
+}
+
+/// The set of vertices reachable from `source` (any number of steps,
+/// including the source itself).
+pub fn reachable_set(adjacency: &Matrix, source: u32, inst: &Instance) -> Result<Vec<u32>> {
+    Ok(bfs_levels(adjacency, source, inst)?
+        .iter()
+        .enumerate()
+        .filter_map(|(v, l)| l.map(|_| v as u32))
+        .collect())
+}
+
+/// Multi-source BFS entirely in matrix form: the frontier is a
+/// `|sources| × n` Boolean matrix (one row per source) advanced with
+/// `mxm` against the adjacency — all sources progress in one multiply
+/// per level, the matrix-BFS formulation GraphBLAS papers showcase.
+/// Returns `levels[s][v] = Some(depth from sources[s])`.
+pub fn msbfs_levels(
+    adjacency: &Matrix,
+    sources: &[u32],
+    inst: &Instance,
+) -> Result<Vec<Vec<Option<u32>>>> {
+    let n = adjacency.nrows();
+    let s = sources.len() as u32;
+    let mut levels = vec![vec![None; n as usize]; sources.len()];
+    if sources.is_empty() {
+        return Ok(levels);
+    }
+    // Frontier F: row i = current frontier of source i; Visited likewise.
+    let seed: Vec<(u32, u32)> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as u32, v))
+        .collect();
+    let mut frontier = Matrix::from_pairs(inst, s, n, &seed)?;
+    let mut visited = frontier.duplicate()?;
+    for (i, &v) in sources.iter().enumerate() {
+        levels[i][v as usize] = Some(0);
+    }
+    let mut depth = 0u32;
+    while frontier.nnz() > 0 {
+        depth += 1;
+        let advanced = frontier.mxm(adjacency)?;
+        // fresh = advanced ∧ ¬visited, via pattern difference on host
+        // coordinates (a Boolean mask-complement op).
+        let visited_set: std::collections::HashSet<(u32, u32)> =
+            visited.read().into_iter().collect();
+        let fresh: Vec<(u32, u32)> = advanced
+            .read()
+            .into_iter()
+            .filter(|p| !visited_set.contains(p))
+            .collect();
+        frontier = Matrix::from_pairs(inst, s, n, &fresh)?;
+        for &(i, v) in &fresh {
+            levels[i as usize][v as usize] = Some(depth);
+        }
+        visited = visited.ewise_add(&frontier)?;
+    }
+    Ok(levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_on_diamond() {
+        // 0 → {1,2} → 3
+        for inst in [Instance::cpu(), Instance::cuda_sim(), Instance::cl_sim()] {
+            let a =
+                Matrix::from_pairs(&inst, 4, 4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+            let levels = bfs_levels(&a, 0, &inst).unwrap();
+            assert_eq!(levels, vec![Some(0), Some(1), Some(1), Some(2)]);
+        }
+    }
+
+    #[test]
+    fn unreachable_vertices_are_none() {
+        let inst = Instance::cpu();
+        let a = Matrix::from_pairs(&inst, 4, 4, &[(0, 1), (2, 3)]).unwrap();
+        let levels = bfs_levels(&a, 0, &inst).unwrap();
+        assert_eq!(levels[2], None);
+        assert_eq!(levels[3], None);
+        assert_eq!(reachable_set(&a, 0, &inst).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn msbfs_matches_per_source_bfs() {
+        for inst in [Instance::cpu(), Instance::cuda_sim(), Instance::cl_sim()] {
+            let a = Matrix::from_pairs(
+                &inst,
+                6,
+                6,
+                &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 4), (1, 4)],
+            )
+            .unwrap();
+            let sources = [0u32, 4, 3];
+            let multi = msbfs_levels(&a, &sources, &inst).unwrap();
+            for (i, &src) in sources.iter().enumerate() {
+                let single = bfs_levels(&a, src, &inst).unwrap();
+                assert_eq!(multi[i], single, "source {src} backend {:?}", inst.backend());
+            }
+        }
+    }
+
+    #[test]
+    fn msbfs_empty_sources() {
+        let inst = Instance::cpu();
+        let a = Matrix::from_pairs(&inst, 3, 3, &[(0, 1)]).unwrap();
+        assert!(msbfs_levels(&a, &[], &inst).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cycle_terminates() {
+        let inst = Instance::cpu();
+        let a = Matrix::from_pairs(&inst, 3, 3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let levels = bfs_levels(&a, 0, &inst).unwrap();
+        assert_eq!(levels, vec![Some(0), Some(1), Some(2)]);
+    }
+}

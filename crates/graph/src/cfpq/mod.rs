@@ -1,0 +1,18 @@
+//! Context-free path querying.
+//!
+//! Two linear-algebra algorithms plus an oracle:
+//!
+//! * [`tensor`] — the paper's contribution (`Tns`): Kronecker product of
+//!   the grammar's recursive state machine with the graph, transitive
+//!   closure, and extraction of derived nonterminal edges, iterated to a
+//!   fixpoint. Handles arbitrary grammars (no CNF) and keeps an
+//!   *all-paths* index.
+//! * [`azimov`] — the baseline (`Mtx`): Azimov's CNF matrix fixpoint
+//!   `T_A += T_B · T_C`, with single-path extraction via derivation
+//!   heights.
+//! * [`oracle`] — a worklist graph-CYK (Melski–Reps style) used to verify
+//!   both on small instances.
+
+pub mod azimov;
+pub mod oracle;
+pub mod tensor;

@@ -1,0 +1,164 @@
+//! Transitive-closure schedules.
+//!
+//! The paper singles out *incremental transitive closure* as the
+//! bottleneck between the tensor CFPQ algorithm and a truly subcubic
+//! solution; the CFPQ fixpoint recomputes a closure after each batch of
+//! new edges, so how that recomputation is scheduled dominates runtime.
+//! Three schedules are provided and ablated (E10.4).
+
+use spbla_core::{Matrix, Result};
+
+/// Closure by repeated squaring: `C ← C + C·C` until fixpoint —
+/// O(log diameter) multiplications of growing density.
+pub fn closure_squaring(adjacency: &Matrix) -> Result<Matrix> {
+    let mut c = adjacency.duplicate()?;
+    loop {
+        let before = c.nnz();
+        c = c.mxm_acc(&c, &c)?;
+        if c.nnz() == before {
+            return Ok(c);
+        }
+    }
+}
+
+/// Closure by single-step relaxation: `C ← C + C·A` until fixpoint —
+/// O(diameter) multiplications, each against the sparse original.
+pub fn closure_single_step(adjacency: &Matrix) -> Result<Matrix> {
+    let mut c = adjacency.duplicate()?;
+    loop {
+        let before = c.nnz();
+        c = c.mxm_acc(&c, adjacency)?;
+        if c.nnz() == before {
+            return Ok(c);
+        }
+    }
+}
+
+/// Incremental closure: given the closure `t` of some graph and a batch
+/// of new edges `delta`, compute the closure of the union.
+///
+/// New reachability can only arise from paths alternating old-closure
+/// segments and Δ-edges, so each round multiplies by the *sparse* Δ:
+/// `N ← (T + I)·Δ·(T + I)`, `T ← T + N`, repeated until Δ introduces no
+/// new pairs. When `nnz(Δ)` is small this does asymptotically less work
+/// than re-running [`closure_squaring`] from scratch — and this is the
+/// schedule the CFPQ loop uses between iterations.
+pub fn closure_incremental(t: &Matrix, delta: &Matrix) -> Result<Matrix> {
+    let n = t.nrows();
+    let identity = Matrix::identity(t.instance(), n)?;
+    let mut closure = t.ewise_add(delta)?;
+    loop {
+        let before = closure.nnz();
+        let reach = closure.ewise_add(&identity)?;
+        let through = reach.mxm(delta)?.mxm(&reach)?;
+        closure = closure.ewise_add(&through)?;
+        if closure.nnz() == before {
+            return Ok(closure);
+        }
+    }
+}
+
+/// Closure via the dense bit-parallel backend: convert, square to a
+/// fixpoint with word-parallel `mxm`, convert back. Quadratic memory,
+/// but on small-to-medium product spaces the 64-cells-per-instruction
+/// multiply wins by a wide margin (ablation E10.6); used when the
+/// `n² / 8` bytes fit a sensible budget.
+pub fn closure_dense_bit(adjacency: &Matrix) -> Result<Matrix> {
+    use spbla_core::format::bitmat::BitMatrix;
+    let n = adjacency.nrows();
+    let csr = adjacency.to_csr();
+    let mut c = BitMatrix::from_pairs(n, n, &csr.to_pairs())?;
+    loop {
+        let before = c.nnz();
+        let sq = c.mxm(&c)?;
+        c = c.ewise_add(&sq)?;
+        if c.nnz() == before {
+            break;
+        }
+    }
+    let out = spbla_core::CsrBool::from_pairs(n, n, &c.to_pairs())?;
+    Matrix::from_csr(adjacency.instance(), out)
+}
+
+/// Pick a closure strategy by size: dense bitset when the `n²/8`-byte
+/// matrix stays under 64 MiB, sparse squaring otherwise.
+pub fn closure_auto(adjacency: &Matrix) -> Result<Matrix> {
+    let n = adjacency.nrows() as usize;
+    let dense_bytes = n.div_ceil(64) * 8 * n;
+    if dense_bytes <= (64 << 20) {
+        closure_dense_bit(adjacency)
+    } else {
+        closure_squaring(adjacency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spbla_core::Instance;
+
+    fn path_graph(inst: &Instance, n: u32) -> Matrix {
+        let pairs: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Matrix::from_pairs(inst, n, n, &pairs).unwrap()
+    }
+
+    #[test]
+    fn schedules_agree_on_path() {
+        for inst in [Instance::cpu(), Instance::cuda_sim(), Instance::cl_sim()] {
+            let a = path_graph(&inst, 12);
+            let sq = closure_squaring(&a).unwrap().read();
+            let ss = closure_single_step(&a).unwrap().read();
+            assert_eq!(sq, ss);
+            assert_eq!(sq.len(), (11 * 12) / 2);
+        }
+    }
+
+    #[test]
+    fn closure_of_cycle_is_complete() {
+        let inst = Instance::cpu();
+        let a = Matrix::from_pairs(&inst, 4, 4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let c = closure_squaring(&a).unwrap();
+        assert_eq!(c.nnz(), 16);
+    }
+
+    #[test]
+    fn incremental_matches_from_scratch() {
+        let inst = Instance::cpu();
+        // Base: two disjoint paths 0→1→2 and 3→4→5.
+        let base =
+            Matrix::from_pairs(&inst, 6, 6, &[(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+        let t = closure_squaring(&base).unwrap();
+        // Delta: bridge 2→3.
+        let delta = Matrix::from_pairs(&inst, 6, 6, &[(2, 3)]).unwrap();
+        let inc = closure_incremental(&t, &delta).unwrap();
+        let full = closure_squaring(&base.ewise_add(&delta).unwrap()).unwrap();
+        assert_eq!(inc.read(), full.read());
+        // The bridge must connect the components transitively.
+        assert!(inc.get(0, 5));
+    }
+
+    #[test]
+    fn dense_bit_closure_matches_sparse() {
+        for inst in [Instance::cpu(), Instance::cuda_sim()] {
+            let pairs: Vec<(u32, u32)> = (0..60u32)
+                .map(|i| (i % 20, (i * 7 + 3) % 20))
+                .collect();
+            let a = Matrix::from_pairs(&inst, 20, 20, &pairs).unwrap();
+            let sparse = closure_squaring(&a).unwrap();
+            let dense = closure_dense_bit(&a).unwrap();
+            let auto = closure_auto(&a).unwrap();
+            assert_eq!(dense.read(), sparse.read());
+            assert_eq!(auto.read(), sparse.read());
+        }
+    }
+
+    #[test]
+    fn incremental_with_empty_delta_is_identity() {
+        let inst = Instance::cpu();
+        let base = Matrix::from_pairs(&inst, 4, 4, &[(0, 1), (1, 2)]).unwrap();
+        let t = closure_squaring(&base).unwrap();
+        let delta = Matrix::zeros(&inst, 4, 4).unwrap();
+        let inc = closure_incremental(&t, &delta).unwrap();
+        assert_eq!(inc.read(), t.read());
+    }
+}

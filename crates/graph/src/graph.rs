@@ -1,0 +1,160 @@
+//! Edge-labeled graphs as families of Boolean adjacency matrices.
+
+use rustc_hash::FxHashMap;
+
+use spbla_core::{CsrBool, Instance, Matrix, Result};
+use spbla_lang::{Symbol, SymbolTable};
+
+/// An edge-labeled directed graph: `n` vertices and, per label, the set
+/// of edges carrying it — exactly the "adjacency matrix in sparse
+/// format" form the paper's evaluation assumes is resident in memory.
+#[derive(Debug, Clone, Default)]
+pub struct LabeledGraph {
+    n: u32,
+    edges: FxHashMap<Symbol, Vec<(u32, u32)>>,
+}
+
+impl LabeledGraph {
+    /// An empty graph on `n` vertices.
+    pub fn new(n: u32) -> Self {
+        LabeledGraph {
+            n,
+            edges: FxHashMap::default(),
+        }
+    }
+
+    /// Build from `(from, label, to)` triples.
+    pub fn from_triples(n: u32, triples: impl IntoIterator<Item = (u32, Symbol, u32)>) -> Self {
+        let mut g = LabeledGraph::new(n);
+        for (u, l, v) in triples {
+            g.add_edge(u, l, v);
+        }
+        g
+    }
+
+    /// Add one edge (duplicates collapse when matrices are built).
+    pub fn add_edge(&mut self, from: u32, label: Symbol, to: u32) {
+        debug_assert!(from < self.n && to < self.n);
+        self.edges.entry(label).or_default().push((from, to));
+    }
+
+    /// Number of vertices.
+    pub fn n_vertices(&self) -> u32 {
+        self.n
+    }
+
+    /// Total number of edges (with multiplicity before dedup).
+    pub fn n_edges(&self) -> usize {
+        self.edges.values().map(Vec::len).sum()
+    }
+
+    /// Number of edges carrying `label`.
+    pub fn label_count(&self, label: Symbol) -> usize {
+        self.edges.get(&label).map_or(0, Vec::len)
+    }
+
+    /// All labels present, sorted by id.
+    pub fn labels(&self) -> Vec<Symbol> {
+        let mut out: Vec<Symbol> = self.edges.keys().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Labels sorted by descending frequency — the query generator picks
+    /// "the most frequent relations from the given graph".
+    pub fn labels_by_frequency(&self) -> Vec<(Symbol, usize)> {
+        let mut out: Vec<(Symbol, usize)> = self
+            .edges
+            .iter()
+            .map(|(&l, e)| (l, e.len()))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Edge list of one label.
+    pub fn edges_of(&self, label: Symbol) -> &[(u32, u32)] {
+        self.edges.get(&label).map_or(&[], Vec::as_slice)
+    }
+
+    /// The adjacency matrix of one label as a host CSR (empty matrix for
+    /// absent labels).
+    pub fn label_csr(&self, label: Symbol) -> CsrBool {
+        CsrBool::from_pairs(self.n, self.n, self.edges_of(label))
+            .expect("graph edges are in bounds by construction")
+    }
+
+    /// Upload the adjacency matrix of one label to an instance.
+    pub fn label_matrix(&self, inst: &Instance, label: Symbol) -> Result<Matrix> {
+        Matrix::from_csr(inst, self.label_csr(label))
+    }
+
+    /// Upload every label's matrix.
+    pub fn matrices(&self, inst: &Instance) -> Result<FxHashMap<Symbol, Matrix>> {
+        self.labels()
+            .into_iter()
+            .map(|l| Ok((l, self.label_matrix(inst, l)?)))
+            .collect()
+    }
+
+    /// The unlabeled adjacency matrix (union over all labels).
+    pub fn adjacency_csr(&self) -> CsrBool {
+        let all: Vec<(u32, u32)> = self.edges.values().flatten().copied().collect();
+        CsrBool::from_pairs(self.n, self.n, &all).expect("in bounds")
+    }
+
+    /// Extend the graph with the inverse of every edge under the
+    /// convention `label_r` (the `x̄` relations the CFPQ queries use).
+    pub fn with_inverses(&self, table: &mut SymbolTable) -> LabeledGraph {
+        let mut g = self.clone();
+        for (&l, edges) in &self.edges {
+            let inv = table.inverse(l);
+            for &(u, v) in edges {
+                g.add_edge(v, inv, u);
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_stats() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        let g = LabeledGraph::from_triples(4, [(0, a, 1), (1, a, 2), (2, b, 3)]);
+        assert_eq!(g.n_vertices(), 4);
+        assert_eq!(g.n_edges(), 3);
+        assert_eq!(g.label_count(a), 2);
+        assert_eq!(g.labels(), vec![a, b]);
+        assert_eq!(g.labels_by_frequency()[0].0, a);
+        assert_eq!(g.label_csr(a).nnz(), 2);
+        assert_eq!(g.adjacency_csr().nnz(), 3);
+    }
+
+    #[test]
+    fn inverse_edges() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let g = LabeledGraph::from_triples(3, [(0, a, 1)]);
+        let gi = g.with_inverses(&mut t);
+        let ar = t.get("a_r").unwrap();
+        assert_eq!(gi.edges_of(ar), &[(1, 0)]);
+        assert_eq!(gi.edges_of(a), &[(0, 1)]);
+    }
+
+    #[test]
+    fn matrices_upload_to_backends() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let g = LabeledGraph::from_triples(3, [(0, a, 1), (1, a, 2)]);
+        for inst in [Instance::cpu(), Instance::cuda_sim(), Instance::cl_sim()] {
+            let ms = g.matrices(&inst).unwrap();
+            assert_eq!(ms[&a].nnz(), 2);
+        }
+    }
+}

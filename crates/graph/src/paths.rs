@@ -1,0 +1,45 @@
+//! Path representation shared by RPQ and CFPQ extraction.
+
+use spbla_lang::Symbol;
+
+/// One labeled edge on an extracted path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathEdge {
+    /// Source vertex.
+    pub from: u32,
+    /// Edge label.
+    pub label: Symbol,
+    /// Target vertex.
+    pub to: u32,
+}
+
+/// Check that consecutive edges chain (`e.to == next.from`).
+pub fn is_well_formed(path: &[PathEdge]) -> bool {
+    path.windows(2).all(|w| w[0].to == w[1].from)
+}
+
+/// The word spelled by a path.
+pub fn word_of(path: &[PathEdge]) -> Vec<Symbol> {
+    path.iter().map(|e| e.label).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formedness() {
+        let a = Symbol(0);
+        let good = [
+            PathEdge { from: 0, label: a, to: 1 },
+            PathEdge { from: 1, label: a, to: 2 },
+        ];
+        let bad = [
+            PathEdge { from: 0, label: a, to: 1 },
+            PathEdge { from: 2, label: a, to: 3 },
+        ];
+        assert!(is_well_formed(&good));
+        assert!(!is_well_formed(&bad));
+        assert_eq!(word_of(&good), vec![a, a]);
+    }
+}

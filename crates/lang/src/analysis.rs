@@ -1,0 +1,157 @@
+//! Grammar analyses: generating/reachable symbols, useless-production
+//! elimination, and language emptiness — the sanitisation pass a query
+//! engine runs before handing a grammar to the CFPQ machinery (a useless
+//! nonterminal would still inflate the RSM's Kronecker factor).
+
+use rustc_hash::FxHashSet;
+
+use crate::cfg::{Grammar, NtId, SymbolOrNt};
+
+/// Nonterminals that derive at least one terminal string.
+pub fn generating_set(g: &Grammar) -> FxHashSet<NtId> {
+    let mut generating: FxHashSet<NtId> = FxHashSet::default();
+    loop {
+        let before = generating.len();
+        for (lhs, rhs) in g.productions() {
+            if rhs.iter().all(|s| match s {
+                SymbolOrNt::T(_) => true,
+                SymbolOrNt::N(n) => generating.contains(n),
+            }) {
+                generating.insert(*lhs);
+            }
+        }
+        if generating.len() == before {
+            return generating;
+        }
+    }
+}
+
+/// Nonterminals reachable from the start symbol.
+pub fn reachable_set(g: &Grammar) -> FxHashSet<NtId> {
+    let mut reachable: FxHashSet<NtId> = FxHashSet::default();
+    reachable.insert(g.start());
+    let mut stack = vec![g.start()];
+    while let Some(nt) = stack.pop() {
+        for rhs in g.productions_of(nt) {
+            for s in rhs {
+                if let SymbolOrNt::N(n) = s {
+                    if reachable.insert(*n) {
+                        stack.push(*n);
+                    }
+                }
+            }
+        }
+    }
+    reachable
+}
+
+/// Whether `L(G)` is empty (the start symbol generates nothing).
+pub fn is_empty_language(g: &Grammar) -> bool {
+    !generating_set(g).contains(&g.start())
+}
+
+/// Remove productions that mention non-generating or unreachable
+/// nonterminals (the classic two-pass reduction: generating first, then
+/// reachable). Nonterminal ids and names are preserved; only productions
+/// are dropped. Returns the reduced grammar and the number of dropped
+/// productions.
+pub fn eliminate_useless(g: &Grammar) -> (Grammar, usize) {
+    let generating = generating_set(g);
+    let keep1: Vec<(NtId, Vec<SymbolOrNt>)> = g
+        .productions()
+        .iter()
+        .filter(|(lhs, rhs)| {
+            generating.contains(lhs)
+                && rhs.iter().all(|s| match s {
+                    SymbolOrNt::T(_) => true,
+                    SymbolOrNt::N(n) => generating.contains(n),
+                })
+        })
+        .cloned()
+        .collect();
+    let intermediate = Grammar::new(
+        (0..g.n_nonterminals())
+            .map(|i| g.nt_name(NtId(i as u32)).to_string())
+            .collect(),
+        g.start(),
+        keep1,
+    );
+    let reachable = reachable_set(&intermediate);
+    let keep2: Vec<(NtId, Vec<SymbolOrNt>)> = intermediate
+        .productions()
+        .iter()
+        .filter(|(lhs, _)| reachable.contains(lhs))
+        .cloned()
+        .collect();
+    let dropped = g.productions().len() - keep2.len();
+    let reduced = Grammar::new(
+        (0..g.n_nonterminals())
+            .map(|i| g.nt_name(NtId(i as u32)).to_string())
+            .collect(),
+        g.start(),
+        keep2,
+    );
+    (reduced, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::CnfGrammar;
+    use crate::cyk::cyk_accepts;
+    use crate::symbol::SymbolTable;
+
+    #[test]
+    fn detects_non_generating() {
+        let mut t = SymbolTable::new();
+        // U never terminates; S has a terminating alternative.
+        let g = Grammar::parse("S -> a | U b\nU -> U a", &mut t).unwrap();
+        let gen = generating_set(&g);
+        assert!(gen.contains(&NtId(0)));
+        assert!(!gen.contains(&NtId(1)));
+        assert!(!is_empty_language(&g));
+    }
+
+    #[test]
+    fn detects_empty_language() {
+        let mut t = SymbolTable::new();
+        let g = Grammar::parse("S -> S a", &mut t).unwrap();
+        assert!(is_empty_language(&g));
+    }
+
+    #[test]
+    fn elimination_preserves_language() {
+        let mut t = SymbolTable::new();
+        // W unreachable, U non-generating.
+        let g = Grammar::parse(
+            "S -> a S b | a b | U c\n\
+             U -> U a\n\
+             W -> a",
+            &mut t,
+        )
+        .unwrap();
+        let (reduced, dropped) = eliminate_useless(&g);
+        assert_eq!(dropped, 3); // "S -> U c", "U -> U a", "W -> a"
+        let cnf_full = CnfGrammar::from_grammar(&g);
+        let cnf_red = CnfGrammar::from_grammar(&reduced);
+        let a = t.get("a").unwrap();
+        let b = t.get("b").unwrap();
+        let c = t.get("c").unwrap();
+        for word in [vec![a, b], vec![a, a, b, b], vec![a, c], vec![]] {
+            assert_eq!(
+                cyk_accepts(&cnf_full, &word),
+                cyk_accepts(&cnf_red, &word),
+                "word {word:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reachability_from_start() {
+        let mut t = SymbolTable::new();
+        let g = Grammar::parse("S -> A b\nA -> a\nZ -> c", &mut t).unwrap();
+        let r = reachable_set(&g);
+        assert!(r.contains(&NtId(0)) && r.contains(&NtId(1)));
+        assert!(!r.contains(&NtId(2)));
+    }
+}

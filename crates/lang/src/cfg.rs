@@ -1,0 +1,296 @@
+//! Context-free grammars.
+//!
+//! Text format (one rule per line, alternatives with `|`, tokens split on
+//! whitespace, `eps` is the empty word; the first left-hand side is the
+//! start symbol; identifiers appearing on some left-hand side are
+//! nonterminals, all others are terminals):
+//!
+//! ```text
+//! S -> subClassOf_r S subClassOf | subClassOf_r subClassOf
+//! ```
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::symbol::{Symbol, SymbolTable};
+
+/// Nonterminal id within a grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NtId(pub u32);
+
+impl NtId {
+    /// Raw id (usable as an array index).
+    pub fn id(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One right-hand-side element: a terminal or a nonterminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SymbolOrNt {
+    /// Terminal (graph edge label).
+    T(Symbol),
+    /// Nonterminal reference.
+    N(NtId),
+}
+
+/// A context-free grammar.
+#[derive(Debug, Clone)]
+pub struct Grammar {
+    nt_names: Vec<String>,
+    start: NtId,
+    /// `(lhs, rhs)`; an empty `rhs` is the ε-production.
+    productions: Vec<(NtId, Vec<SymbolOrNt>)>,
+}
+
+impl Grammar {
+    /// Parse the text format, interning terminals into `table`.
+    ///
+    /// ```
+    /// use spbla_lang::{Grammar, SymbolTable};
+    /// let mut table = SymbolTable::new();
+    /// let g = Grammar::parse("S -> a S b | eps", &mut table).unwrap();
+    /// assert_eq!(g.n_nonterminals(), 1);
+    /// assert_eq!(g.terminals().len(), 2);
+    /// assert!(g.nullable_set().contains(&g.start()));
+    /// ```
+    pub fn parse(input: &str, table: &mut SymbolTable) -> Result<Grammar, String> {
+        let mut lines: Vec<(&str, Vec<&str>)> = Vec::new();
+        for raw in input.lines() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (lhs, rhs) = line
+                .split_once("->")
+                .ok_or_else(|| format!("missing '->' in line: {line}"))?;
+            let lhs = lhs.trim();
+            if lhs.is_empty() {
+                return Err(format!("empty left-hand side in line: {line}"));
+            }
+            lines.push((lhs, rhs.split('|').map(str::trim).collect()));
+        }
+        if lines.is_empty() {
+            return Err("empty grammar".into());
+        }
+
+        // Nonterminals = all left-hand sides, in first-seen order.
+        let mut nt_names: Vec<String> = Vec::new();
+        let mut nt_ids: FxHashMap<String, NtId> = FxHashMap::default();
+        for (lhs, _) in &lines {
+            if !nt_ids.contains_key(*lhs) {
+                let id = NtId(nt_names.len() as u32);
+                nt_names.push(lhs.to_string());
+                nt_ids.insert(lhs.to_string(), id);
+            }
+        }
+
+        let mut productions = Vec::new();
+        for (lhs, alternatives) in &lines {
+            let lhs_id = nt_ids[*lhs];
+            for alt in alternatives {
+                let mut rhs = Vec::new();
+                if *alt != "eps" && !alt.is_empty() {
+                    for tok in alt.split_whitespace() {
+                        if tok == "eps" {
+                            return Err(format!("'eps' must stand alone, got: {alt}"));
+                        }
+                        rhs.push(match nt_ids.get(tok) {
+                            Some(&nt) => SymbolOrNt::N(nt),
+                            None => SymbolOrNt::T(table.intern(tok)),
+                        });
+                    }
+                }
+                productions.push((lhs_id, rhs));
+            }
+        }
+
+        Ok(Grammar {
+            nt_names,
+            start: NtId(0),
+            productions,
+        })
+    }
+
+    /// Build directly from parts (for programmatic construction).
+    pub fn new(
+        nt_names: Vec<String>,
+        start: NtId,
+        productions: Vec<(NtId, Vec<SymbolOrNt>)>,
+    ) -> Grammar {
+        debug_assert!(start.id() < nt_names.len());
+        Grammar {
+            nt_names,
+            start,
+            productions,
+        }
+    }
+
+    /// Number of nonterminals.
+    pub fn n_nonterminals(&self) -> usize {
+        self.nt_names.len()
+    }
+
+    /// Start nonterminal.
+    pub fn start(&self) -> NtId {
+        self.start
+    }
+
+    /// Name of a nonterminal.
+    pub fn nt_name(&self, nt: NtId) -> &str {
+        &self.nt_names[nt.id()]
+    }
+
+    /// All productions.
+    pub fn productions(&self) -> &[(NtId, Vec<SymbolOrNt>)] {
+        &self.productions
+    }
+
+    /// Productions of one nonterminal.
+    pub fn productions_of(&self, nt: NtId) -> impl Iterator<Item = &[SymbolOrNt]> {
+        self.productions
+            .iter()
+            .filter(move |(lhs, _)| *lhs == nt)
+            .map(|(_, rhs)| rhs.as_slice())
+    }
+
+    /// All distinct terminals.
+    pub fn terminals(&self) -> Vec<Symbol> {
+        let mut out: Vec<Symbol> = self
+            .productions
+            .iter()
+            .flat_map(|(_, rhs)| rhs.iter())
+            .filter_map(|s| match s {
+                SymbolOrNt::T(t) => Some(*t),
+                SymbolOrNt::N(_) => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Nonterminals that derive ε (fixpoint computation).
+    pub fn nullable_set(&self) -> FxHashSet<NtId> {
+        let mut nullable: FxHashSet<NtId> = FxHashSet::default();
+        loop {
+            let before = nullable.len();
+            for (lhs, rhs) in &self.productions {
+                if rhs.iter().all(|s| match s {
+                    SymbolOrNt::T(_) => false,
+                    SymbolOrNt::N(n) => nullable.contains(n),
+                }) {
+                    nullable.insert(*lhs);
+                }
+            }
+            if nullable.len() == before {
+                return nullable;
+            }
+        }
+    }
+
+    /// Total grammar size: Σ (1 + |rhs|) over productions — the metric
+    /// for the CNF-blow-up comparison (E10.5).
+    pub fn size(&self) -> usize {
+        self.productions.iter().map(|(_, rhs)| 1 + rhs.len()).sum()
+    }
+
+    /// Render in the same text format [`Grammar::parse`] accepts
+    /// (productions grouped per nonterminal, alternatives joined with
+    /// `|`, ε as `eps`).
+    pub fn display_with(&self, table: &SymbolTable) -> String {
+        let mut out = String::new();
+        for nt_idx in 0..self.n_nonterminals() {
+            let nt = NtId(nt_idx as u32);
+            let alts: Vec<String> = self
+                .productions_of(nt)
+                .map(|rhs| {
+                    if rhs.is_empty() {
+                        "eps".to_string()
+                    } else {
+                        rhs.iter()
+                            .map(|s| match s {
+                                SymbolOrNt::T(t) => table.name(*t).to_string(),
+                                SymbolOrNt::N(n) => self.nt_name(*n).to_string(),
+                            })
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    }
+                })
+                .collect();
+            if !alts.is_empty() {
+                out.push_str(self.nt_name(nt));
+                out.push_str(" -> ");
+                out.push_str(&alts.join(" | "));
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_same_generation_query() {
+        let mut t = SymbolTable::new();
+        let g = Grammar::parse(
+            "S -> subClassOf_r S subClassOf | subClassOf_r subClassOf",
+            &mut t,
+        )
+        .unwrap();
+        assert_eq!(g.n_nonterminals(), 1);
+        assert_eq!(g.productions().len(), 2);
+        assert_eq!(g.terminals().len(), 2);
+        assert!(g.nullable_set().is_empty());
+    }
+
+    #[test]
+    fn epsilon_and_multiple_nts() {
+        let mut t = SymbolTable::new();
+        let g = Grammar::parse(
+            "S -> a V d\n\
+             V -> a V | eps",
+            &mut t,
+        )
+        .unwrap();
+        assert_eq!(g.n_nonterminals(), 2);
+        let nullable = g.nullable_set();
+        assert!(nullable.contains(&NtId(1)));
+        assert!(!nullable.contains(&NtId(0)));
+    }
+
+    #[test]
+    fn parse_errors() {
+        let mut t = SymbolTable::new();
+        assert!(Grammar::parse("", &mut t).is_err());
+        assert!(Grammar::parse("S a b", &mut t).is_err());
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let mut t = SymbolTable::new();
+        for text in [
+            "S -> a S b | a b",
+            "S -> S S | a S b | eps",
+            "S -> a V d\nV -> a V | eps",
+            "S -> d_r V d\nV -> Ls M Rs\nLs -> L Ls | eps\nL -> S a_r | a_r\nM -> S | eps\nRs -> R Rs | eps\nR -> a S | a",
+        ] {
+            let g = Grammar::parse(text, &mut t).unwrap();
+            let printed = g.display_with(&t);
+            let reparsed = Grammar::parse(&printed, &mut t).unwrap();
+            assert_eq!(reparsed.n_nonterminals(), g.n_nonterminals());
+            assert_eq!(reparsed.productions(), g.productions());
+            assert_eq!(reparsed.start(), g.start());
+        }
+    }
+
+    #[test]
+    fn first_lhs_is_start_and_size_counts() {
+        let mut t = SymbolTable::new();
+        let g = Grammar::parse("A -> b B\nB -> c", &mut t).unwrap();
+        assert_eq!(g.nt_name(g.start()), "A");
+        assert_eq!(g.size(), (1 + 2) + (1 + 1));
+    }
+}

@@ -1,0 +1,288 @@
+//! Transformation to Chomsky Normal Form.
+//!
+//! Azimov's matrix CFPQ algorithm requires CNF; the paper's introduction
+//! notes the transformation "leads to the grammar size increase, and
+//! hence worsens performance, especially for regular queries" — the
+//! size delta is measured by ablation E10.5 against the RSM encoding.
+//!
+//! Pipeline: START → TERM → BIN → DEL → UNIT (standard order, preserving
+//! the language except that ε-membership is tracked by a flag).
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::cfg::{Grammar, NtId, SymbolOrNt};
+use crate::symbol::Symbol;
+
+/// A grammar in Chomsky Normal Form: only `A → a` and `A → B C` rules,
+/// plus a flag recording whether the start symbol derives ε.
+#[derive(Debug, Clone)]
+pub struct CnfGrammar {
+    nt_names: Vec<String>,
+    start: NtId,
+    terminal_rules: Vec<(NtId, Symbol)>,
+    binary_rules: Vec<(NtId, NtId, NtId)>,
+    start_nullable: bool,
+}
+
+impl CnfGrammar {
+    /// Number of nonterminals (after transformation).
+    pub fn n_nonterminals(&self) -> usize {
+        self.nt_names.len()
+    }
+
+    /// Start nonterminal.
+    pub fn start(&self) -> NtId {
+        self.start
+    }
+
+    /// Name of a nonterminal (fresh ones get synthetic names).
+    pub fn nt_name(&self, nt: NtId) -> &str {
+        &self.nt_names[nt.id()]
+    }
+
+    /// `A → a` rules.
+    pub fn terminal_rules(&self) -> &[(NtId, Symbol)] {
+        &self.terminal_rules
+    }
+
+    /// `A → B C` rules.
+    pub fn binary_rules(&self) -> &[(NtId, NtId, NtId)] {
+        &self.binary_rules
+    }
+
+    /// Whether the start symbol derives ε.
+    pub fn start_nullable(&self) -> bool {
+        self.start_nullable
+    }
+
+    /// Total size: terminal rules count 2, binary rules count 3 — the
+    /// blow-up metric (E10.5).
+    pub fn size(&self) -> usize {
+        self.terminal_rules.len() * 2 + self.binary_rules.len() * 3
+    }
+
+    /// Transform an arbitrary grammar to CNF.
+    pub fn from_grammar(g: &Grammar) -> CnfGrammar {
+        // Working representation: productions with Vec<SymbolOrNt>, fresh
+        // nonterminals appended on demand.
+        let mut nt_names: Vec<String> = (0..g.n_nonterminals())
+            .map(|i| g.nt_name(NtId(i as u32)).to_string())
+            .collect();
+        let mut prods: Vec<(NtId, Vec<SymbolOrNt>)> = g.productions().to_vec();
+
+        // START: fresh start so the start symbol never appears on a RHS.
+        let start = NtId(nt_names.len() as u32);
+        nt_names.push("S'".to_string());
+        prods.push((start, vec![SymbolOrNt::N(g.start())]));
+
+        // TERM: replace terminals inside length ≥ 2 bodies.
+        let mut term_nt: FxHashMap<Symbol, NtId> = FxHashMap::default();
+        let mut extra: Vec<(NtId, Vec<SymbolOrNt>)> = Vec::new();
+        for (_, rhs) in prods.iter_mut() {
+            if rhs.len() >= 2 {
+                for slot in rhs.iter_mut() {
+                    if let SymbolOrNt::T(t) = *slot {
+                        let nt = *term_nt.entry(t).or_insert_with(|| {
+                            let nt = NtId(nt_names.len() as u32);
+                            nt_names.push(format!("T<{}>", t.0));
+                            extra.push((nt, vec![SymbolOrNt::T(t)]));
+                            nt
+                        });
+                        *slot = SymbolOrNt::N(nt);
+                    }
+                }
+            }
+        }
+        prods.extend(extra);
+
+        // BIN: binarise length ≥ 3 bodies.
+        let mut binarised: Vec<(NtId, Vec<SymbolOrNt>)> = Vec::new();
+        for (lhs, rhs) in prods {
+            if rhs.len() <= 2 {
+                binarised.push((lhs, rhs));
+                continue;
+            }
+            let mut current = lhs;
+            for (i, &sym) in rhs.iter().take(rhs.len() - 2).enumerate() {
+                let fresh = NtId(nt_names.len() as u32);
+                nt_names.push(format!("B<{}.{}>", lhs.0, i));
+                binarised.push((current, vec![sym, SymbolOrNt::N(fresh)]));
+                current = fresh;
+            }
+            binarised.push((current, rhs[rhs.len() - 2..].to_vec()));
+        }
+        let prods = binarised;
+
+        // DEL: ε-elimination. Nullable = fixpoint over current prods.
+        let nullable: FxHashSet<NtId> = {
+            let mut set = FxHashSet::default();
+            loop {
+                let before = set.len();
+                for (lhs, rhs) in &prods {
+                    if rhs.iter().all(|s| match s {
+                        SymbolOrNt::T(_) => false,
+                        SymbolOrNt::N(n) => set.contains(n),
+                    }) {
+                        set.insert(*lhs);
+                    }
+                }
+                if set.len() == before {
+                    break set;
+                }
+            }
+        };
+        let start_nullable = nullable.contains(&start);
+        let mut expanded: FxHashSet<(NtId, Vec<SymbolOrNt>)> = FxHashSet::default();
+        for (lhs, rhs) in &prods {
+            // Bodies here have length ≤ 2, so expansion enumerates at
+            // most 4 subsets.
+            let mask_limit = 1usize << rhs.len();
+            for mask in 0..mask_limit {
+                let mut body = Vec::new();
+                let mut valid = true;
+                for (i, s) in rhs.iter().enumerate() {
+                    let keep = mask & (1 << i) != 0;
+                    if keep {
+                        body.push(*s);
+                    } else {
+                        match s {
+                            SymbolOrNt::N(n) if nullable.contains(n) => {}
+                            _ => {
+                                valid = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if valid && !body.is_empty() {
+                    expanded.insert((*lhs, body));
+                }
+            }
+        }
+
+        // UNIT: closure over unit pairs A →* B, then inline B's non-unit
+        // bodies into A.
+        let n = nt_names.len();
+        let mut unit_reach: Vec<FxHashSet<NtId>> = (0..n)
+            .map(|i| {
+                let mut s = FxHashSet::default();
+                s.insert(NtId(i as u32));
+                s
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for (lhs, rhs) in &expanded {
+                if let [SymbolOrNt::N(b)] = rhs.as_slice() {
+                    let reach_b: Vec<NtId> = unit_reach[b.id()].iter().copied().collect();
+                    for r in reach_b {
+                        if unit_reach[lhs.id()].insert(r) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let mut terminal_rules: FxHashSet<(NtId, Symbol)> = FxHashSet::default();
+        let mut binary_rules: FxHashSet<(NtId, NtId, NtId)> = FxHashSet::default();
+        for (a, reach) in unit_reach.iter().enumerate() {
+            let a_id = NtId(a as u32);
+            for b in reach.clone() {
+                for (lhs, rhs) in &expanded {
+                    if *lhs != b {
+                        continue;
+                    }
+                    match rhs.as_slice() {
+                        [SymbolOrNt::T(t)] => {
+                            terminal_rules.insert((a_id, *t));
+                        }
+                        [SymbolOrNt::N(x), SymbolOrNt::N(y)] => {
+                            binary_rules.insert((a_id, *x, *y));
+                        }
+                        [SymbolOrNt::N(_)] => {} // unit, already closed
+                        [SymbolOrNt::T(_), _] | [_, SymbolOrNt::T(_)] => {
+                            unreachable!("TERM pass removed embedded terminals")
+                        }
+                        _ => unreachable!("BIN pass bounded body length"),
+                    }
+                }
+            }
+        }
+
+        let mut terminal_rules: Vec<_> = terminal_rules.into_iter().collect();
+        terminal_rules.sort_unstable();
+        let mut binary_rules: Vec<_> = binary_rules.into_iter().collect();
+        binary_rules.sort_unstable();
+
+        CnfGrammar {
+            nt_names,
+            start,
+            terminal_rules,
+            binary_rules,
+            start_nullable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cyk::cyk_accepts;
+    use crate::symbol::SymbolTable;
+
+    #[test]
+    fn balanced_brackets_roundtrip() {
+        let mut t = SymbolTable::new();
+        let g = Grammar::parse("S -> a S b | S S | eps", &mut t).unwrap();
+        let cnf = CnfGrammar::from_grammar(&g);
+        assert!(cnf.start_nullable());
+        let a = t.get("a").unwrap();
+        let b = t.get("b").unwrap();
+        assert!(cyk_accepts(&cnf, &[]));
+        assert!(cyk_accepts(&cnf, &[a, b]));
+        assert!(cyk_accepts(&cnf, &[a, a, b, b]));
+        assert!(cyk_accepts(&cnf, &[a, b, a, b]));
+        assert!(!cyk_accepts(&cnf, &[b, a]));
+        assert!(!cyk_accepts(&cnf, &[a, a, b]));
+    }
+
+    #[test]
+    fn long_bodies_are_binarised() {
+        let mut t = SymbolTable::new();
+        let g = Grammar::parse("S -> a b c d", &mut t).unwrap();
+        let cnf = CnfGrammar::from_grammar(&g);
+        let (a, b, c, d) = (
+            t.get("a").unwrap(),
+            t.get("b").unwrap(),
+            t.get("c").unwrap(),
+            t.get("d").unwrap(),
+        );
+        assert!(cyk_accepts(&cnf, &[a, b, c, d]));
+        assert!(!cyk_accepts(&cnf, &[a, b, c]));
+        assert!(!cyk_accepts(&cnf, &[]));
+        assert!(cnf.binary_rules().iter().all(|_| true));
+    }
+
+    #[test]
+    fn unit_chains_collapse() {
+        let mut t = SymbolTable::new();
+        let g = Grammar::parse("S -> A\nA -> B\nB -> x", &mut t).unwrap();
+        let cnf = CnfGrammar::from_grammar(&g);
+        let x = t.get("x").unwrap();
+        assert!(cyk_accepts(&cnf, &[x]));
+        assert!(!cyk_accepts(&cnf, &[x, x]));
+    }
+
+    #[test]
+    fn cnf_size_exceeds_grammar_size_for_regular_like_query() {
+        // A regular-shaped query pays for CNF — the paper's motivation.
+        let mut t = SymbolTable::new();
+        let g = Grammar::parse("S -> a b c d e | a S", &mut t).unwrap();
+        let cnf = CnfGrammar::from_grammar(&g);
+        assert!(cnf.size() > g.size(), "{} vs {}", cnf.size(), g.size());
+    }
+}

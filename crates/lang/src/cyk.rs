@@ -1,0 +1,72 @@
+//! CYK string membership — the oracle validating the CNF transformation
+//! (and, in `spbla-graph`, the basis of the graph-CYK CFPQ oracle).
+
+use crate::cnf::CnfGrammar;
+use crate::symbol::Symbol;
+
+/// Does `word` belong to the language of `g`? Standard O(n³·|G|) dynamic
+/// programming over the CNF rules.
+pub fn cyk_accepts(g: &CnfGrammar, word: &[Symbol]) -> bool {
+    let n = word.len();
+    if n == 0 {
+        return g.start_nullable();
+    }
+    let nnt = g.n_nonterminals();
+    // table[len-1][i][nt]: does word[i .. i+len] derive from nt?
+    let mut table = vec![vec![vec![false; nnt]; n]; n];
+    for (i, &w) in word.iter().enumerate() {
+        for &(nt, t) in g.terminal_rules() {
+            if t == w {
+                table[0][i][nt.id()] = true;
+            }
+        }
+    }
+    for len in 2..=n {
+        for i in 0..=n - len {
+            for split in 1..len {
+                for &(a, b, c) in g.binary_rules() {
+                    if table[split - 1][i][b.id()] && table[len - split - 1][i + split][c.id()] {
+                        table[len - 1][i][a.id()] = true;
+                    }
+                }
+            }
+        }
+    }
+    table[n - 1][0][g.start().id()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Grammar;
+    use crate::symbol::SymbolTable;
+
+    #[test]
+    fn an_bn_language() {
+        let mut t = SymbolTable::new();
+        let g = Grammar::parse("S -> a S b | a b", &mut t).unwrap();
+        let cnf = CnfGrammar::from_grammar(&g);
+        let a = t.get("a").unwrap();
+        let b = t.get("b").unwrap();
+        for k in 1..=5usize {
+            let word: Vec<Symbol> = std::iter::repeat_n(a, k)
+                .chain(std::iter::repeat_n(b, k))
+                .collect();
+            assert!(cyk_accepts(&cnf, &word), "a^{k} b^{k}");
+        }
+        assert!(!cyk_accepts(&cnf, &[]));
+        assert!(!cyk_accepts(&cnf, &[a, a, b]));
+        assert!(!cyk_accepts(&cnf, &[b, a]));
+    }
+
+    #[test]
+    fn dyck_like_words() {
+        let mut t = SymbolTable::new();
+        let g = Grammar::parse("S -> S S | a S b | eps", &mut t).unwrap();
+        let cnf = CnfGrammar::from_grammar(&g);
+        let a = t.get("a").unwrap();
+        let b = t.get("b").unwrap();
+        assert!(cyk_accepts(&cnf, &[a, b, a, a, b, b]));
+        assert!(!cyk_accepts(&cnf, &[a, b, b, a]));
+    }
+}

@@ -1,0 +1,200 @@
+//! Brzozowski derivatives of regular expressions.
+//!
+//! The paper's related-work section cites a derivative-based RPQ
+//! evaluator (Nolé & Sartiani's Pregel solution) as the main competing
+//! style; `spbla-graph::rpq_derivative` implements that baseline on top
+//! of this module. Derivatives also give an independent regex matcher
+//! used as another semantics oracle in property tests.
+
+use crate::regex::Regex;
+use crate::symbol::Symbol;
+
+/// The derivative `∂_s r`: a regex accepting `{ w | s·w ∈ L(r) }`.
+pub fn derivative(r: &Regex, s: Symbol) -> Regex {
+    match r {
+        Regex::Empty | Regex::Epsilon => Regex::Empty,
+        Regex::Sym(t) => {
+            if *t == s {
+                Regex::Epsilon
+            } else {
+                Regex::Empty
+            }
+        }
+        Regex::Alt(a, b) => simplify_alt(derivative(a, s), derivative(b, s)),
+        Regex::Concat(a, b) => {
+            let left = simplify_concat(derivative(a, s), (**b).clone());
+            if a.nullable() {
+                simplify_alt(left, derivative(b, s))
+            } else {
+                left
+            }
+        }
+        Regex::Star(a) => simplify_concat(derivative(a, s), r.clone()),
+    }
+}
+
+/// Smart alternation: drops `∅` branches and collapses duplicates.
+fn simplify_alt(a: Regex, b: Regex) -> Regex {
+    match (a, b) {
+        (Regex::Empty, x) | (x, Regex::Empty) => x,
+        (x, y) if x == y => x,
+        (x, y) => x.alt(y),
+    }
+}
+
+/// Smart concatenation: `∅·r = ∅`, `ε·r = r`.
+fn simplify_concat(a: Regex, b: Regex) -> Regex {
+    match (a, b) {
+        (Regex::Empty, _) | (_, Regex::Empty) => Regex::Empty,
+        (Regex::Epsilon, x) | (x, Regex::Epsilon) => x,
+        (x, y) => x.concat(y),
+    }
+}
+
+/// Build the Brzozowski derivative automaton of `r` over `alphabet`: a
+/// deterministic, ε-free automaton whose states are the distinct
+/// residual regexes (finite thanks to the smart constructors). A third
+/// automaton construction next to Glushkov and Thompson — often smaller
+/// than the Glushkov NFA for alternation-heavy queries, never larger
+/// than the subset-construction DFA.
+pub fn derivative_automaton(r: &Regex, alphabet: &[Symbol]) -> crate::nfa::Nfa {
+    use rustc_hash::FxHashMap;
+    let mut states: Vec<Regex> = vec![r.clone()];
+    let mut ids: FxHashMap<Regex, u32> = FxHashMap::default();
+    ids.insert(r.clone(), 0);
+    let mut transitions: Vec<(u32, Symbol, u32)> = Vec::new();
+    let mut frontier = vec![0u32];
+    while let Some(q) = frontier.pop() {
+        for &s in alphabet {
+            let d = derivative(&states[q as usize], s);
+            if d == Regex::Empty {
+                continue;
+            }
+            let next = match ids.get(&d) {
+                Some(&id) => id,
+                None => {
+                    let id = states.len() as u32;
+                    ids.insert(d.clone(), id);
+                    states.push(d);
+                    frontier.push(id);
+                    id
+                }
+            };
+            transitions.push((q, s, next));
+        }
+    }
+    let finals: Vec<u32> = states
+        .iter()
+        .enumerate()
+        .filter(|(_, st)| st.nullable())
+        .map(|(i, _)| i as u32)
+        .collect();
+    crate::nfa::Nfa::new(states.len() as u32, vec![0], finals, transitions)
+}
+
+/// Match by repeated derivation: `w ∈ L(r)` iff `∂_w r` is nullable.
+pub fn matches_by_derivative(r: &Regex, word: &[Symbol]) -> bool {
+    let mut cur = r.clone();
+    for &s in word {
+        cur = derivative(&cur, s);
+        if cur == Regex::Empty {
+            return false;
+        }
+    }
+    cur.nullable()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolTable;
+
+    fn all_words(syms: &[Symbol], max_len: usize) -> Vec<Vec<Symbol>> {
+        let mut out: Vec<Vec<Symbol>> = vec![vec![]];
+        let mut frontier: Vec<Vec<Symbol>> = vec![vec![]];
+        for _ in 0..max_len {
+            let mut next = Vec::new();
+            for w in &frontier {
+                for &s in syms {
+                    let mut w2 = w.clone();
+                    w2.push(s);
+                    next.push(w2);
+                }
+            }
+            out.extend(next.iter().cloned());
+            frontier = next;
+        }
+        out
+    }
+
+    #[test]
+    fn agrees_with_backtracking_matcher() {
+        let mut t = SymbolTable::new();
+        let syms: Vec<Symbol> = ["a", "b", "c"].iter().map(|n| t.intern(n)).collect();
+        for q in [
+            "a*",
+            "a . b*",
+            "(a | b)+ . c",
+            "a? . b*",
+            "(a . b)+ | (c . a)+",
+            "(a . (b . c)*)+",
+        ] {
+            let r = Regex::parse(q, &mut t).unwrap();
+            for w in all_words(&syms, 4) {
+                assert_eq!(
+                    matches_by_derivative(&r, &w),
+                    r.matches(&w),
+                    "query {q} word {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_automaton_agrees_with_matcher() {
+        let mut t = SymbolTable::new();
+        let syms: Vec<Symbol> = ["a", "b", "c"].iter().map(|n| t.intern(n)).collect();
+        for q in ["a*", "a . b* . c", "(a | b)+", "a? . b*", "(a . b)+ | (c . a)+"] {
+            let r = Regex::parse(q, &mut t).unwrap();
+            let auto = derivative_automaton(&r, &syms);
+            for w in all_words(&syms, 4) {
+                assert_eq!(auto.accepts(&w), r.matches(&w), "query {q} word {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_automaton_is_deterministic() {
+        let mut t = SymbolTable::new();
+        let syms: Vec<Symbol> = ["a", "b"].iter().map(|n| t.intern(n)).collect();
+        let r = Regex::parse("(a | b)* . a", &mut t).unwrap();
+        let auto = derivative_automaton(&r, &syms);
+        // No two transitions share (from, symbol).
+        let mut seen = std::collections::HashSet::new();
+        for &(f, s, _) in auto.transitions() {
+            assert!(seen.insert((f, s)), "nondeterministic at ({f}, {s:?})");
+        }
+    }
+
+    #[test]
+    fn derivative_of_symbol() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        let r = Regex::Sym(a);
+        assert_eq!(derivative(&r, a), Regex::Epsilon);
+        assert_eq!(derivative(&r, b), Regex::Empty);
+    }
+
+    #[test]
+    fn simplification_keeps_terms_small() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let r = Regex::parse("(a | b)*", &mut t).unwrap();
+        // Deriving a star by its own symbol should stay compact (no
+        // unbounded nesting of ∅/ε wrappers).
+        let d1 = derivative(&r, a);
+        let d2 = derivative(&d1, a);
+        assert!(d2.positions() <= r.positions() * 2 + 2);
+    }
+}

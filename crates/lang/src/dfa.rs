@@ -1,0 +1,151 @@
+//! Deterministic automata via subset construction.
+
+use rustc_hash::FxHashMap;
+
+use crate::nfa::Nfa;
+use crate::symbol::Symbol;
+
+/// A DFA with a dense transition function. Primarily the membership
+/// oracle for tests, and a building block for minimisation experiments.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    n_states: u32,
+    start: u32,
+    finals: Vec<bool>,
+    /// `(state, symbol) → state`; missing = dead.
+    delta: FxHashMap<(u32, Symbol), u32>,
+    alphabet: Vec<Symbol>,
+}
+
+impl Dfa {
+    /// Subset construction from an ε-free NFA.
+    pub fn from_nfa(nfa: &Nfa) -> Dfa {
+        let by_symbol = nfa.transitions_by_symbol();
+        let alphabet = nfa.alphabet();
+        let mut subsets: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
+        let mut worklist: Vec<Vec<u32>> = Vec::new();
+        let mut finals: Vec<bool> = Vec::new();
+        let mut delta: FxHashMap<(u32, Symbol), u32> = FxHashMap::default();
+
+        let start_set: Vec<u32> = nfa.start_states().to_vec();
+        subsets.insert(start_set.clone(), 0);
+        worklist.push(start_set.clone());
+        finals.push(
+            start_set
+                .iter()
+                .any(|s| nfa.final_states().binary_search(s).is_ok()),
+        );
+
+        let mut head = 0usize;
+        while head < worklist.len() {
+            let current = worklist[head].clone();
+            let cur_id = subsets[&current];
+            head += 1;
+            for &sym in &alphabet {
+                let mut next: Vec<u32> = Vec::new();
+                if let Some(edges) = by_symbol.get(&sym) {
+                    for &(f, t) in edges {
+                        if current.binary_search(&f).is_ok() {
+                            next.push(t);
+                        }
+                    }
+                }
+                next.sort_unstable();
+                next.dedup();
+                if next.is_empty() {
+                    continue;
+                }
+                let id = *subsets.entry(next.clone()).or_insert_with(|| {
+                    let id = worklist.len() as u32;
+                    worklist.push(next.clone());
+                    finals.push(
+                        next.iter()
+                            .any(|s| nfa.final_states().binary_search(s).is_ok()),
+                    );
+                    id
+                });
+                delta.insert((cur_id, sym), id);
+            }
+        }
+
+        Dfa {
+            n_states: worklist.len() as u32,
+            start: 0,
+            finals,
+            delta,
+            alphabet,
+        }
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> u32 {
+        self.n_states
+    }
+
+    /// The alphabet observed during construction.
+    pub fn alphabet(&self) -> &[Symbol] {
+        &self.alphabet
+    }
+
+    /// One transition step (`None` = dead).
+    pub fn step(&self, state: u32, sym: Symbol) -> Option<u32> {
+        self.delta.get(&(state, sym)).copied()
+    }
+
+    /// Whether `state` is accepting.
+    pub fn is_final(&self, state: u32) -> bool {
+        self.finals[state as usize]
+    }
+
+    /// Run the automaton.
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        let mut q = self.start;
+        for &s in word {
+            match self.delta.get(&(q, s)) {
+                Some(&n) => q = n,
+                None => return false,
+            }
+        }
+        self.finals[q as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glushkov::glushkov;
+    use crate::regex::Regex;
+    use crate::symbol::SymbolTable;
+
+    #[test]
+    fn dfa_equals_nfa_on_small_words() {
+        let mut t = SymbolTable::new();
+        let r = Regex::parse("(a | b)* . c", &mut t).unwrap();
+        let nfa = glushkov(&r);
+        let dfa = Dfa::from_nfa(&nfa);
+        let syms: Vec<Symbol> = ["a", "b", "c"].iter().map(|n| t.intern(n)).collect();
+        let mut all = vec![vec![]];
+        for &x in &syms {
+            for &y in &syms {
+                all.push(vec![x, y]);
+                for &z in &syms {
+                    all.push(vec![x, y, z]);
+                }
+            }
+            all.push(vec![x]);
+        }
+        for w in &all {
+            assert_eq!(dfa.accepts(w), nfa.accepts(w), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn determinism_no_symbol_means_reject() {
+        let mut t = SymbolTable::new();
+        let r = Regex::parse("a", &mut t).unwrap();
+        let dfa = Dfa::from_nfa(&glushkov(&r));
+        let b = t.intern("b");
+        assert!(!dfa.accepts(&[b]));
+        assert!(!dfa.accepts(&[]));
+    }
+}

@@ -1,0 +1,182 @@
+//! Glushkov's position automaton (the construction Wang et al.'s
+//! provenance-aware RPQ uses, cited by the paper).
+//!
+//! States are the symbol *positions* of the regex plus a fresh start
+//! state; the automaton is ε-free by construction and has exactly
+//! `positions + 1` states — ideal for the matrix encoding, whose
+//! Kronecker factor size is the state count.
+
+use crate::nfa::Nfa;
+use crate::regex::Regex;
+use crate::symbol::Symbol;
+
+/// first/last/follow analysis result for a subexpression.
+struct Sets {
+    nullable: bool,
+    first: Vec<u32>,
+    last: Vec<u32>,
+}
+
+fn analyze(
+    r: &Regex,
+    next_pos: &mut u32,
+    pos_symbol: &mut Vec<Symbol>,
+    follow: &mut Vec<Vec<u32>>,
+) -> Sets {
+    match r {
+        Regex::Empty => Sets {
+            nullable: false,
+            first: vec![],
+            last: vec![],
+        },
+        Regex::Epsilon => Sets {
+            nullable: true,
+            first: vec![],
+            last: vec![],
+        },
+        Regex::Sym(s) => {
+            let p = *next_pos;
+            *next_pos += 1;
+            pos_symbol.push(*s);
+            follow.push(Vec::new());
+            Sets {
+                nullable: false,
+                first: vec![p],
+                last: vec![p],
+            }
+        }
+        Regex::Alt(a, b) => {
+            let sa = analyze(a, next_pos, pos_symbol, follow);
+            let sb = analyze(b, next_pos, pos_symbol, follow);
+            Sets {
+                nullable: sa.nullable || sb.nullable,
+                first: [sa.first, sb.first].concat(),
+                last: [sa.last, sb.last].concat(),
+            }
+        }
+        Regex::Concat(a, b) => {
+            let sa = analyze(a, next_pos, pos_symbol, follow);
+            let sb = analyze(b, next_pos, pos_symbol, follow);
+            for &l in &sa.last {
+                follow[l as usize].extend_from_slice(&sb.first);
+            }
+            Sets {
+                nullable: sa.nullable && sb.nullable,
+                first: if sa.nullable {
+                    [sa.first, sb.first.clone()].concat()
+                } else {
+                    sa.first
+                },
+                last: if sb.nullable {
+                    [sa.last, sb.last.clone()].concat()
+                } else {
+                    sb.last
+                },
+            }
+        }
+        Regex::Star(a) => {
+            let sa = analyze(a, next_pos, pos_symbol, follow);
+            for &l in &sa.last {
+                follow[l as usize].extend_from_slice(&sa.first);
+            }
+            Sets {
+                nullable: true,
+                first: sa.first,
+                last: sa.last,
+            }
+        }
+    }
+}
+
+/// Build the Glushkov automaton of `r`. State `0` is the start; state
+/// `p + 1` corresponds to position `p`.
+pub fn glushkov(r: &Regex) -> Nfa {
+    let mut next_pos = 0u32;
+    let mut pos_symbol: Vec<Symbol> = Vec::new();
+    let mut follow: Vec<Vec<u32>> = Vec::new();
+    let sets = analyze(r, &mut next_pos, &mut pos_symbol, &mut follow);
+
+    let n_states = next_pos + 1;
+    let mut transitions = Vec::new();
+    for &f in &sets.first {
+        transitions.push((0, pos_symbol[f as usize], f + 1));
+    }
+    for (p, follows) in follow.iter().enumerate() {
+        for &q in follows {
+            transitions.push((p as u32 + 1, pos_symbol[q as usize], q + 1));
+        }
+    }
+    let mut finals: Vec<u32> = sets.last.iter().map(|&l| l + 1).collect();
+    if sets.nullable {
+        finals.push(0);
+    }
+    Nfa::new(n_states, vec![0], finals, transitions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolTable;
+
+    fn words(symbols: &[Symbol], max_len: usize) -> Vec<Vec<Symbol>> {
+        let mut out: Vec<Vec<Symbol>> = vec![vec![]];
+        let mut frontier: Vec<Vec<Symbol>> = vec![vec![]];
+        for _ in 0..max_len {
+            let mut next = Vec::new();
+            for w in &frontier {
+                for &s in symbols {
+                    let mut w2 = w.clone();
+                    w2.push(s);
+                    next.push(w2);
+                }
+            }
+            out.extend(next.iter().cloned());
+            frontier = next;
+        }
+        out
+    }
+
+    #[test]
+    fn state_count_is_positions_plus_one() {
+        let mut t = SymbolTable::new();
+        let r = Regex::parse("(a | b)+ . c", &mut t).unwrap();
+        let nfa = glushkov(&r);
+        assert_eq!(nfa.n_states(), r.positions() as u32 + 1);
+    }
+
+    #[test]
+    fn agrees_with_regex_matcher_on_templates() {
+        let mut t = SymbolTable::new();
+        let templates = [
+            "a*",
+            "a . b*",
+            "(a | b)*",
+            "a . b* . c",
+            "a? . b*",
+            "(a . b)+ | (c . a)+",
+            "(a | b)+ . (c | a)+",
+            "(a . (b . c)*)+ | (a . c)+",
+        ];
+        for q in templates {
+            let r = Regex::parse(q, &mut t).unwrap();
+            let nfa = glushkov(&r);
+            let alphabet: Vec<Symbol> =
+                ["a", "b", "c"].iter().map(|n| t.intern(n)).collect();
+            for w in words(&alphabet, 4) {
+                assert_eq!(
+                    nfa.accepts(&w),
+                    r.matches(&w),
+                    "disagreement on {q} for word {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_language_has_no_finals() {
+        let nfa = glushkov(&Regex::Empty);
+        assert_eq!(nfa.n_states(), 1);
+        assert!(nfa.final_states().is_empty());
+        assert!(!nfa.accepts(&[]));
+    }
+}

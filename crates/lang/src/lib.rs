@@ -1,0 +1,40 @@
+//! # spbla-lang — formal-language substrate
+//!
+//! Everything the paper's path-querying applications need from formal
+//! language theory, built from scratch:
+//!
+//! * [`regex`] — regular expression AST and a parser for the query
+//!   template syntax of Table II (`(a|b)·c*`, `a?·b⁺`, …);
+//! * [`thompson`] / [`glushkov`] — NFA constructions (Glushkov's
+//!   position automaton is ε-free, which is what matrix RPQ wants);
+//! * [`dfa`] — subset construction, used as the membership oracle in
+//!   property tests;
+//! * [`cfg`] — context-free grammars with a small text format;
+//! * [`cnf`] — transformation to Chomsky Normal Form (the preprocessing
+//!   Azimov's algorithm requires; its size blow-up versus RSMs is one of
+//!   the paper's motivations);
+//! * [`rsm`] — recursive state machines built per-nonterminal, the
+//!   grammar encoding of the tensor (Kronecker) CFPQ algorithm;
+//! * [`cyk`] — string-membership CYK, the oracle for CNF correctness.
+
+pub mod analysis;
+pub mod cfg;
+pub mod cnf;
+pub mod cyk;
+pub mod derivative;
+pub mod dfa;
+pub mod glushkov;
+pub mod minimize;
+pub mod nfa;
+pub mod regex;
+pub mod rsm;
+pub mod symbol;
+pub mod thompson;
+
+pub use cfg::{Grammar, SymbolOrNt};
+pub use cnf::CnfGrammar;
+pub use dfa::Dfa;
+pub use nfa::Nfa;
+pub use regex::Regex;
+pub use rsm::Rsm;
+pub use symbol::{Symbol, SymbolTable};

@@ -1,0 +1,201 @@
+//! DFA minimisation (Hopcroft's partition refinement).
+//!
+//! Smaller automata mean smaller Kronecker factors in the RPQ index; the
+//! E10-adjacent question "does minimising the Glushkov automaton pay?"
+//! is answered by the `ablations` bench using this module.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+use crate::symbol::Symbol;
+
+/// A minimised DFA as an ε-free [`Nfa`] (deterministic by construction),
+/// convenient for feeding straight back into the matrix RPQ pipeline.
+pub fn minimize(dfa: &Dfa) -> Nfa {
+    let n = dfa.n_states() as usize;
+    let alphabet: Vec<Symbol> = dfa.alphabet().to_vec();
+
+    // Completed transition table with an explicit dead state `n`.
+    let dead = n;
+    let total = n + 1;
+    let mut delta = vec![vec![dead; alphabet.len()]; total];
+    for (si, row) in delta.iter_mut().enumerate().take(n) {
+        for (ai, &sym) in alphabet.iter().enumerate() {
+            row[ai] = dfa.step(si as u32, sym).map_or(dead, |t| t as usize);
+        }
+    }
+    for row in delta.iter_mut().skip(n) {
+        for slot in row.iter_mut() {
+            *slot = dead;
+        }
+    }
+
+    // Hopcroft partition refinement.
+    let finals: FxHashSet<usize> = (0..n).filter(|&s| dfa.is_final(s as u32)).collect();
+    let nonfinals: FxHashSet<usize> = (0..total).filter(|s| !finals.contains(s)).collect();
+    let mut partitions: Vec<FxHashSet<usize>> = Vec::new();
+    if !finals.is_empty() {
+        partitions.push(finals.clone());
+    }
+    if !nonfinals.is_empty() {
+        partitions.push(nonfinals);
+    }
+    let mut worklist: Vec<usize> = (0..partitions.len()).collect();
+
+    // Reverse transitions per symbol.
+    let mut reverse: Vec<FxHashMap<usize, Vec<usize>>> =
+        vec![FxHashMap::default(); alphabet.len()];
+    for (s, row) in delta.iter().enumerate() {
+        for (ai, &t) in row.iter().enumerate() {
+            reverse[ai].entry(t).or_default().push(s);
+        }
+    }
+
+    while let Some(splitter_idx) = worklist.pop() {
+        let splitter = partitions[splitter_idx].clone();
+        for rev in reverse.iter() {
+            // X = states leading into the splitter on this symbol.
+            let mut x: FxHashSet<usize> = FxHashSet::default();
+            for &t in &splitter {
+                if let Some(srcs) = rev.get(&t) {
+                    x.extend(srcs.iter().copied());
+                }
+            }
+            if x.is_empty() {
+                continue;
+            }
+            let mut p = 0;
+            while p < partitions.len() {
+                let inter: FxHashSet<usize> =
+                    partitions[p].intersection(&x).copied().collect();
+                if inter.is_empty() || inter.len() == partitions[p].len() {
+                    p += 1;
+                    continue;
+                }
+                let diff: FxHashSet<usize> =
+                    partitions[p].difference(&x).copied().collect();
+                // Replace partition p with the smaller half; push the
+                // larger as a new partition; schedule per Hopcroft.
+                let (small, large) = if inter.len() <= diff.len() {
+                    (inter, diff)
+                } else {
+                    (diff, inter)
+                };
+                partitions[p] = large;
+                partitions.push(small);
+                worklist.push(partitions.len() - 1);
+                p += 1;
+            }
+        }
+    }
+
+    // Build the quotient automaton, dropping the dead class.
+    let mut class_of = vec![usize::MAX; total];
+    for (ci, part) in partitions.iter().enumerate() {
+        for &s in part {
+            class_of[s] = ci;
+        }
+    }
+    let dead_class = class_of[dead];
+    // Renumber reachable classes except the dead one.
+    let mut renumber: FxHashMap<usize, u32> = FxHashMap::default();
+    let mut next_id = 0u32;
+    let mut id_of = |c: usize, renumber: &mut FxHashMap<usize, u32>| -> u32 {
+        *renumber.entry(c).or_insert_with(|| {
+            let id = next_id;
+            next_id += 1;
+            id
+        })
+    };
+
+    let start_class = class_of[0];
+    let start_id = id_of(start_class, &mut renumber);
+    let mut transitions: Vec<(u32, Symbol, u32)> = Vec::new();
+    let mut finals_out: Vec<u32> = Vec::new();
+    let mut emitted: FxHashSet<usize> = FxHashSet::default();
+    let mut stack = vec![start_class];
+    emitted.insert(start_class);
+    while let Some(c) = stack.pop() {
+        // Representative state of the class.
+        let rep = (0..total).find(|&s| class_of[s] == c).expect("non-empty class");
+        let cid = id_of(c, &mut renumber);
+        if rep < n && dfa.is_final(rep as u32) {
+            finals_out.push(cid);
+        }
+        for (ai, &sym) in alphabet.iter().enumerate() {
+            let t_class = class_of[delta[rep][ai]];
+            if t_class == dead_class {
+                continue;
+            }
+            let tid = id_of(t_class, &mut renumber);
+            transitions.push((cid, sym, tid));
+            if emitted.insert(t_class) {
+                stack.push(t_class);
+            }
+        }
+    }
+
+    Nfa::new(next_id, vec![start_id], finals_out, transitions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::Dfa;
+    use crate::glushkov::glushkov;
+    use crate::regex::Regex;
+    use crate::symbol::SymbolTable;
+
+    fn check_equiv(q: &str) {
+        let mut t = SymbolTable::new();
+        let r = Regex::parse(q, &mut t).unwrap();
+        let nfa = glushkov(&r);
+        let dfa = Dfa::from_nfa(&nfa);
+        let min = minimize(&dfa);
+        assert!(min.n_states() <= dfa.n_states(), "minimise grew {q}");
+        let syms: Vec<Symbol> = ["a", "b", "c"].iter().map(|n| t.intern(n)).collect();
+        // Exhaustive words ≤ 4.
+        let mut words: Vec<Vec<Symbol>> = vec![vec![]];
+        let mut frontier: Vec<Vec<Symbol>> = vec![vec![]];
+        for _ in 0..4 {
+            let mut next = Vec::new();
+            for w in &frontier {
+                for &s in &syms {
+                    let mut w2 = w.clone();
+                    w2.push(s);
+                    next.push(w2);
+                }
+            }
+            words.extend(next.iter().cloned());
+            frontier = next;
+        }
+        for w in &words {
+            assert_eq!(min.accepts(w), nfa.accepts(w), "query {q} word {w:?}");
+        }
+    }
+
+    #[test]
+    fn preserves_language() {
+        for q in [
+            "a*",
+            "(a | b)* . c",
+            "a . b* . c*",
+            "(a . b)+ | (c . a)+",
+            "a? . b*",
+            "(a | b | c)+",
+        ] {
+            check_equiv(q);
+        }
+    }
+
+    #[test]
+    fn collapses_redundant_states() {
+        let mut t = SymbolTable::new();
+        // (a|b)·(a|b) via Glushkov has 5 states; the minimal DFA has 3.
+        let r = Regex::parse("(a | b) . (a | b)", &mut t).unwrap();
+        let dfa = Dfa::from_nfa(&glushkov(&r));
+        let min = minimize(&dfa);
+        assert_eq!(min.n_states(), 3);
+    }
+}

@@ -1,0 +1,158 @@
+//! ε-free nondeterministic finite automata.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::symbol::Symbol;
+
+/// State id within an automaton.
+pub type State = u32;
+
+/// An ε-free NFA: the representation matrix-based RPQ consumes directly
+/// (one Boolean adjacency matrix per symbol).
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    n_states: u32,
+    start_states: Vec<State>,
+    final_states: Vec<State>,
+    /// `(from, symbol, to)` triples, deduplicated and sorted.
+    transitions: Vec<(State, Symbol, State)>,
+}
+
+impl Nfa {
+    /// Build from parts (sorted/deduplicated internally).
+    pub fn new(
+        n_states: u32,
+        start_states: Vec<State>,
+        final_states: Vec<State>,
+        mut transitions: Vec<(State, Symbol, State)>,
+    ) -> Self {
+        transitions.sort_unstable();
+        transitions.dedup();
+        let mut start = start_states;
+        start.sort_unstable();
+        start.dedup();
+        let mut finals = final_states;
+        finals.sort_unstable();
+        finals.dedup();
+        debug_assert!(transitions.iter().all(|&(f, _, t)| f < n_states && t < n_states));
+        debug_assert!(start.iter().all(|&s| s < n_states));
+        debug_assert!(finals.iter().all(|&s| s < n_states));
+        Nfa {
+            n_states,
+            start_states: start,
+            final_states: finals,
+            transitions,
+        }
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> u32 {
+        self.n_states
+    }
+
+    /// Start states (Glushkov gives one; Thompson-after-ε-removal may
+    /// keep one as well — the type allows sets for generality).
+    pub fn start_states(&self) -> &[State] {
+        &self.start_states
+    }
+
+    /// Final states.
+    pub fn final_states(&self) -> &[State] {
+        &self.final_states
+    }
+
+    /// All transitions, sorted.
+    pub fn transitions(&self) -> &[(State, Symbol, State)] {
+        &self.transitions
+    }
+
+    /// Distinct symbols on transitions.
+    pub fn alphabet(&self) -> Vec<Symbol> {
+        let mut out: Vec<Symbol> = self.transitions.iter().map(|&(_, s, _)| s).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Transitions grouped per symbol: `symbol → [(from, to)]` — the
+    /// shape the matrix encoding wants.
+    pub fn transitions_by_symbol(&self) -> FxHashMap<Symbol, Vec<(State, State)>> {
+        let mut map: FxHashMap<Symbol, Vec<(State, State)>> = FxHashMap::default();
+        for &(f, s, t) in &self.transitions {
+            map.entry(s).or_default().push((f, t));
+        }
+        map
+    }
+
+    /// Whether the automaton accepts the empty word.
+    pub fn accepts_epsilon(&self) -> bool {
+        self.start_states
+            .iter()
+            .any(|s| self.final_states.binary_search(s).is_ok())
+    }
+
+    /// Run the automaton on `word` (subset simulation).
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        let mut current: FxHashSet<State> = self.start_states.iter().copied().collect();
+        for &sym in word {
+            let mut next = FxHashSet::default();
+            for &(f, s, t) in &self.transitions {
+                if s == sym && current.contains(&f) {
+                    next.insert(t);
+                }
+            }
+            current = next;
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current
+            .iter()
+            .any(|s| self.final_states.binary_search(s).is_ok())
+    }
+
+    /// States reachable from the start set (over any symbol).
+    pub fn reachable_states(&self) -> FxHashSet<State> {
+        let mut seen: FxHashSet<State> = self.start_states.iter().copied().collect();
+        let mut stack: Vec<State> = self.start_states.to_vec();
+        while let Some(q) = stack.pop() {
+            for &(f, _, t) in &self.transitions {
+                if f == q && seen.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolTable;
+
+    #[test]
+    fn simulation_accepts_words() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        // a b* : states 0 -a-> 1, 1 -b-> 1.
+        let nfa = Nfa::new(2, vec![0], vec![1], vec![(0, a, 1), (1, b, 1)]);
+        assert!(nfa.accepts(&[a]));
+        assert!(nfa.accepts(&[a, b, b]));
+        assert!(!nfa.accepts(&[b]));
+        assert!(!nfa.accepts(&[]));
+        assert!(!nfa.accepts_epsilon());
+        assert_eq!(nfa.alphabet(), vec![a, b]);
+    }
+
+    #[test]
+    fn grouping_by_symbol() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let nfa = Nfa::new(3, vec![0], vec![2], vec![(0, a, 1), (1, a, 2)]);
+        let by = nfa.transitions_by_symbol();
+        assert_eq!(by[&a], vec![(0, 1), (1, 2)]);
+        assert_eq!(nfa.reachable_states().len(), 3);
+    }
+}

@@ -1,0 +1,382 @@
+//! Regular expression AST and the Table II template parser.
+//!
+//! Grammar of the text syntax (whitespace-insensitive):
+//!
+//! ```text
+//! alt    := concat ('|' concat)*
+//! concat := postfix (('.')? postfix)*        juxtaposition concatenates
+//! postfix:= atom ('*' | '+' | '?')*
+//! atom   := ident | '(' alt ')'
+//! ident  := [A-Za-z_][A-Za-z0-9_]*
+//! ```
+
+use crate::symbol::{Symbol, SymbolTable};
+
+/// A regular expression over interned symbols.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Regex {
+    /// The empty language ∅.
+    Empty,
+    /// The empty word ε.
+    Epsilon,
+    /// A single terminal symbol.
+    Sym(Symbol),
+    /// Concatenation `r · s`.
+    Concat(Box<Regex>, Box<Regex>),
+    /// Alternation `r | s`.
+    Alt(Box<Regex>, Box<Regex>),
+    /// Kleene star `r*`.
+    Star(Box<Regex>),
+}
+
+impl Regex {
+    /// `r · s`.
+    pub fn concat(self, other: Regex) -> Regex {
+        Regex::Concat(Box::new(self), Box::new(other))
+    }
+
+    /// `r | s`.
+    pub fn alt(self, other: Regex) -> Regex {
+        Regex::Alt(Box::new(self), Box::new(other))
+    }
+
+    /// `r*`.
+    pub fn star(self) -> Regex {
+        Regex::Star(Box::new(self))
+    }
+
+    /// `r⁺ = r · r*`.
+    pub fn plus(self) -> Regex {
+        self.clone().concat(self.star())
+    }
+
+    /// `r? = r | ε`.
+    pub fn opt(self) -> Regex {
+        self.alt(Regex::Epsilon)
+    }
+
+    /// Whether ε belongs to the language.
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Sym(_) => false,
+            Regex::Epsilon | Regex::Star(_) => true,
+            Regex::Concat(a, b) => a.nullable() && b.nullable(),
+            Regex::Alt(a, b) => a.nullable() || b.nullable(),
+        }
+    }
+
+    /// All distinct symbols appearing in the expression.
+    pub fn symbols(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.collect_symbols(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_symbols(&self, out: &mut Vec<Symbol>) {
+        match self {
+            Regex::Empty | Regex::Epsilon => {}
+            Regex::Sym(s) => out.push(*s),
+            Regex::Concat(a, b) | Regex::Alt(a, b) => {
+                a.collect_symbols(out);
+                b.collect_symbols(out);
+            }
+            Regex::Star(a) => a.collect_symbols(out),
+        }
+    }
+
+    /// Number of symbol occurrences (Glushkov positions).
+    pub fn positions(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Epsilon => 0,
+            Regex::Sym(_) => 1,
+            Regex::Concat(a, b) | Regex::Alt(a, b) => a.positions() + b.positions(),
+            Regex::Star(a) => a.positions(),
+        }
+    }
+
+    /// Parse the Table II template syntax, interning names in `table`.
+    ///
+    /// ```
+    /// use spbla_lang::{Regex, SymbolTable};
+    /// let mut table = SymbolTable::new();
+    /// let r = Regex::parse("knows . (likes | knows)*", &mut table).unwrap();
+    /// let knows = table.get("knows").unwrap();
+    /// let likes = table.get("likes").unwrap();
+    /// assert!(r.matches(&[knows, likes, knows]));
+    /// assert!(!r.matches(&[likes]));
+    /// ```
+    pub fn parse(input: &str, table: &mut SymbolTable) -> Result<Regex, String> {
+        let mut p = Parser {
+            chars: input.chars().collect(),
+            pos: 0,
+            table,
+        };
+        let r = p.alt()?;
+        p.skip_ws();
+        if p.pos != p.chars.len() {
+            return Err(format!("trailing input at position {}", p.pos));
+        }
+        Ok(r)
+    }
+
+    /// Naive recursive matcher — the semantics oracle for automata tests.
+    /// Exponential in pathological cases; test-sized inputs only.
+    pub fn matches(&self, word: &[Symbol]) -> bool {
+        match self {
+            Regex::Empty => false,
+            Regex::Epsilon => word.is_empty(),
+            Regex::Sym(s) => word == [*s],
+            Regex::Alt(a, b) => a.matches(word) || b.matches(word),
+            Regex::Concat(a, b) => {
+                (0..=word.len()).any(|k| a.matches(&word[..k]) && b.matches(&word[k..]))
+            }
+            Regex::Star(a) => {
+                if word.is_empty() {
+                    return true;
+                }
+                // Consume a non-empty prefix matched by `a`, recurse.
+                (1..=word.len()).any(|k| a.matches(&word[..k]) && self.matches(&word[k..]))
+            }
+        }
+    }
+}
+
+/// Pretty-printer emitting the same syntax [`Regex::parse`] accepts
+/// (`display_with(&table)`); `Display` is not implemented directly
+/// because symbol names live in the table.
+impl Regex {
+    /// Render with names resolved through `table`.
+    pub fn display_with(&self, table: &SymbolTable) -> String {
+        fn go(r: &Regex, table: &SymbolTable, out: &mut String, parent_prec: u8) {
+            // precedence: alt=0, concat=1, postfix=2, atom=3
+            let prec = match r {
+                Regex::Alt(..) => 0,
+                Regex::Concat(..) => 1,
+                Regex::Star(..) => 2,
+                _ => 3,
+            };
+            let need_parens = prec < parent_prec;
+            if need_parens {
+                out.push('(');
+            }
+            match r {
+                Regex::Empty => out.push_str("∅"),
+                Regex::Epsilon => out.push_str("eps"),
+                Regex::Sym(s) => out.push_str(table.name(*s)),
+                Regex::Alt(a, b) => {
+                    go(a, table, out, 0);
+                    out.push_str(" | ");
+                    go(b, table, out, 0);
+                }
+                Regex::Concat(a, b) => {
+                    go(a, table, out, 1);
+                    out.push_str(" . ");
+                    go(b, table, out, 2);
+                }
+                Regex::Star(a) => {
+                    go(a, table, out, 3);
+                    out.push('*');
+                }
+            }
+            if need_parens {
+                out.push(')');
+            }
+        }
+        let mut out = String::new();
+        go(self, table, &mut out, 0);
+        out
+    }
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    table: &'a mut SymbolTable,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.pos).copied()
+    }
+
+    fn alt(&mut self) -> Result<Regex, String> {
+        let mut r = self.concat()?;
+        while self.peek() == Some('|') {
+            self.pos += 1;
+            r = r.alt(self.concat()?);
+        }
+        Ok(r)
+    }
+
+    fn concat(&mut self) -> Result<Regex, String> {
+        let mut r = self.postfix()?;
+        loop {
+            match self.peek() {
+                Some('.') => {
+                    self.pos += 1;
+                    r = r.concat(self.postfix()?);
+                }
+                Some(c) if c == '(' || c.is_alphabetic() || c == '_' => {
+                    r = r.concat(self.postfix()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(r)
+    }
+
+    fn postfix(&mut self) -> Result<Regex, String> {
+        let mut r = self.atom()?;
+        loop {
+            match self.peek() {
+                Some('*') => {
+                    self.pos += 1;
+                    r = r.star();
+                }
+                Some('+') => {
+                    self.pos += 1;
+                    r = r.plus();
+                }
+                Some('?') => {
+                    self.pos += 1;
+                    r = r.opt();
+                }
+                _ => break,
+            }
+        }
+        Ok(r)
+    }
+
+    fn atom(&mut self) -> Result<Regex, String> {
+        match self.peek() {
+            Some('(') => {
+                self.pos += 1;
+                let r = self.alt()?;
+                if self.peek() != Some(')') {
+                    return Err(format!("expected ')' at position {}", self.pos));
+                }
+                self.pos += 1;
+                Ok(r)
+            }
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                let start = self.pos;
+                while self
+                    .chars
+                    .get(self.pos)
+                    .is_some_and(|&c| c.is_alphanumeric() || c == '_')
+                {
+                    self.pos += 1;
+                }
+                let name: String = self.chars[start..self.pos].iter().collect();
+                if name == "eps" {
+                    // Keyword for the empty word (matches the grammar
+                    // syntax and the pretty-printer's output).
+                    return Ok(Regex::Epsilon);
+                }
+                Ok(Regex::Sym(self.table.intern(&name)))
+            }
+            other => Err(format!("unexpected {other:?} at position {}", self.pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(t: &mut SymbolTable, n: &str) -> Symbol {
+        t.intern(n)
+    }
+
+    #[test]
+    fn parses_table_two_templates() {
+        let mut t = SymbolTable::new();
+        for q in [
+            "a*",
+            "a . b*",
+            "a . b* . c*",
+            "(a | b)*",
+            "(a | b | c | d | e)+",
+            "a . b* . c",
+            "a? . b*",
+            "(a . b)+ | (c . d)+",
+            "(a . (b . c)*)+ | (d . f)+",
+            "(a . b . (c . d)*)+ . (e | f)*",
+            "(a | b)+ . (c | d)+",
+            "a . b . (c | d | e)",
+        ] {
+            assert!(Regex::parse(q, &mut t).is_ok(), "failed to parse {q}");
+        }
+    }
+
+    #[test]
+    fn juxtaposition_concatenates() {
+        let mut t = SymbolTable::new();
+        let a = Regex::parse("a b c", &mut t).unwrap();
+        let b = Regex::parse("a . b . c", &mut t).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_errors_reported() {
+        let mut t = SymbolTable::new();
+        assert!(Regex::parse("(a", &mut t).is_err());
+        assert!(Regex::parse("a )", &mut t).is_err());
+        assert!(Regex::parse("*", &mut t).is_err());
+    }
+
+    #[test]
+    fn matcher_semantics() {
+        let mut t = SymbolTable::new();
+        let (a, b, c) = (sym(&mut t, "a"), sym(&mut t, "b"), sym(&mut t, "c"));
+        let r = Regex::parse("a . b* . c", &mut t).unwrap();
+        assert!(r.matches(&[a, c]));
+        assert!(r.matches(&[a, b, b, c]));
+        assert!(!r.matches(&[a, b]));
+        assert!(!r.matches(&[b, c]));
+        let plus = Regex::parse("(a | b)+", &mut t).unwrap();
+        assert!(!plus.matches(&[]));
+        assert!(plus.matches(&[a, b, a]));
+        assert!(!plus.matches(&[a, c]));
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let mut t = SymbolTable::new();
+        for q in [
+            "a*",
+            "a . b* . c*",
+            "(a | b | c)+",
+            "a? . b*",
+            "(a . (b . c)*)+ | (d . f)+",
+            "(a . b . (c . d)*)+ . (e | f)*",
+        ] {
+            let r = Regex::parse(q, &mut t).unwrap();
+            let printed = r.display_with(&t);
+            let reparsed = Regex::parse(&printed, &mut t)
+                .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+            assert_eq!(reparsed, r, "query {q} printed as {printed}");
+        }
+    }
+
+    #[test]
+    fn nullable_and_positions() {
+        let mut t = SymbolTable::new();
+        let r = Regex::parse("a? . b*", &mut t).unwrap();
+        assert!(r.nullable());
+        assert_eq!(r.positions(), 2);
+        let q = Regex::parse("(a | b)+ . c", &mut t).unwrap();
+        assert!(!q.nullable());
+        assert_eq!(q.positions(), 5); // r⁺ = r·r*, duplicating r's 2 positions
+        assert_eq!(q.symbols().len(), 3);
+    }
+}

@@ -1,0 +1,191 @@
+//! Recursive state machines — the grammar encoding of the tensor
+//! (Kronecker product) CFPQ algorithm.
+//!
+//! Each nonterminal owns a *box*: a finite automaton over mixed labels
+//! (terminals and nonterminal calls) accepting exactly its right-hand
+//! sides. Boxes share one global state numbering, so the whole machine
+//! is a single labeled graph — precisely the Kronecker factor of the
+//! `Tns` algorithm. Unlike CNF, the construction adds no fresh
+//! nonterminals and its size tracks the grammar (E10.5).
+
+use rustc_hash::FxHashMap;
+
+use crate::cfg::{Grammar, NtId, SymbolOrNt};
+use crate::nfa::State;
+
+/// One nonterminal's box.
+#[derive(Debug, Clone)]
+pub struct RsmBox {
+    /// Owning nonterminal.
+    pub nt: NtId,
+    /// Entry state.
+    pub start: State,
+    /// Accepting states.
+    pub finals: Vec<State>,
+}
+
+/// A recursive state machine.
+#[derive(Debug, Clone)]
+pub struct Rsm {
+    n_states: u32,
+    start_nt: NtId,
+    boxes: Vec<RsmBox>,
+    transitions: Vec<(State, SymbolOrNt, State)>,
+    /// `state → owning box` (for diagnostics and path extraction).
+    owner: Vec<NtId>,
+}
+
+impl Rsm {
+    /// Build the RSM of `g`: per production, a linear chain of states
+    /// from the box start to a box-final state; prefixes are shared via a
+    /// trie so common query prefixes do not duplicate states.
+    pub fn from_grammar(g: &Grammar) -> Rsm {
+        let mut n_states: u32 = 0;
+        let mut boxes = Vec::with_capacity(g.n_nonterminals());
+        let mut transitions: Vec<(State, SymbolOrNt, State)> = Vec::new();
+        let mut owner: Vec<NtId> = Vec::new();
+
+        for nt_idx in 0..g.n_nonterminals() {
+            let nt = NtId(nt_idx as u32);
+            let start = n_states;
+            n_states += 1;
+            owner.push(nt);
+            let mut finals: Vec<State> = Vec::new();
+            // Trie of outgoing edges for prefix sharing.
+            let mut edges: FxHashMap<(State, SymbolOrNt), State> = FxHashMap::default();
+            for rhs in g.productions_of(nt) {
+                if rhs.is_empty() {
+                    finals.push(start);
+                    continue;
+                }
+                let mut cur = start;
+                for &sym in rhs {
+                    cur = *edges.entry((cur, sym)).or_insert_with(|| {
+                        let s = n_states;
+                        n_states += 1;
+                        owner.push(nt);
+                        transitions.push((cur, sym, s));
+                        s
+                    });
+                }
+                finals.push(cur);
+            }
+            finals.sort_unstable();
+            finals.dedup();
+            boxes.push(RsmBox { nt, start, finals });
+        }
+
+        transitions.sort_unstable();
+        Rsm {
+            n_states,
+            start_nt: g.start(),
+            boxes,
+            transitions,
+            owner,
+        }
+    }
+
+    /// Total number of states across all boxes.
+    pub fn n_states(&self) -> u32 {
+        self.n_states
+    }
+
+    /// The start nonterminal.
+    pub fn start_nt(&self) -> NtId {
+        self.start_nt
+    }
+
+    /// All boxes, indexed by nonterminal id.
+    pub fn boxes(&self) -> &[RsmBox] {
+        &self.boxes
+    }
+
+    /// The box of nonterminal `nt`.
+    pub fn box_of(&self, nt: NtId) -> &RsmBox {
+        &self.boxes[nt.id()]
+    }
+
+    /// All transitions (sorted).
+    pub fn transitions(&self) -> &[(State, SymbolOrNt, State)] {
+        &self.transitions
+    }
+
+    /// Owning nonterminal of a state.
+    pub fn owner(&self, s: State) -> NtId {
+        self.owner[s as usize]
+    }
+
+    /// Nonterminals whose box accepts ε (start state is final).
+    pub fn epsilon_nonterminals(&self) -> Vec<NtId> {
+        self.boxes
+            .iter()
+            .filter(|b| b.finals.binary_search(&b.start).is_ok())
+            .map(|b| b.nt)
+            .collect()
+    }
+
+    /// Machine size: states + transitions (E10.5 metric, comparable to
+    /// [`Grammar::size`](crate::cfg::Grammar::size)).
+    pub fn size(&self) -> usize {
+        self.n_states as usize + self.transitions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::CnfGrammar;
+    use crate::symbol::SymbolTable;
+
+    #[test]
+    fn linear_chains_per_production() {
+        let mut t = SymbolTable::new();
+        let g = Grammar::parse("S -> a S b | a b", &mut t).unwrap();
+        let rsm = Rsm::from_grammar(&g);
+        // Shared prefix 'a': states = start + a-node + (S-node, b-node)
+        // + (b-node) = 5.
+        assert_eq!(rsm.n_states(), 5);
+        assert_eq!(rsm.boxes().len(), 1);
+        assert!(rsm.epsilon_nonterminals().is_empty());
+        // Both productions end in finals.
+        assert_eq!(rsm.box_of(NtId(0)).finals.len(), 2);
+    }
+
+    #[test]
+    fn epsilon_production_marks_start_final() {
+        let mut t = SymbolTable::new();
+        let g = Grammar::parse("S -> a S | eps", &mut t).unwrap();
+        let rsm = Rsm::from_grammar(&g);
+        assert_eq!(rsm.epsilon_nonterminals(), vec![NtId(0)]);
+        let b = rsm.box_of(NtId(0));
+        assert!(b.finals.contains(&b.start));
+    }
+
+    #[test]
+    fn multi_box_machine() {
+        let mut t = SymbolTable::new();
+        let g = Grammar::parse("S -> a V d\nV -> b V | c", &mut t).unwrap();
+        let rsm = Rsm::from_grammar(&g);
+        assert_eq!(rsm.boxes().len(), 2);
+        // Every state belongs to the box that created it.
+        for b in rsm.boxes() {
+            assert_eq!(rsm.owner(b.start), b.nt);
+        }
+        // S's box calls V: there is a transition labeled N(V).
+        use crate::cfg::SymbolOrNt::N;
+        assert!(rsm
+            .transitions()
+            .iter()
+            .any(|&(_, l, _)| l == N(NtId(1))));
+    }
+
+    #[test]
+    fn rsm_smaller_than_cnf_for_regular_query() {
+        let mut t = SymbolTable::new();
+        // Q11-like chain query as a grammar.
+        let g = Grammar::parse("S -> a b c d e", &mut t).unwrap();
+        let rsm = Rsm::from_grammar(&g);
+        let cnf = CnfGrammar::from_grammar(&g);
+        assert!(rsm.size() < cnf.size(), "{} vs {}", rsm.size(), cnf.size());
+    }
+}

@@ -1,0 +1,111 @@
+//! Interned terminal symbols (edge labels / grammar terminals).
+
+use rustc_hash::FxHashMap;
+
+/// An interned terminal symbol. Cheap to copy and compare; resolve the
+/// name through the [`SymbolTable`] that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// Raw id (usable as an array index).
+    pub fn id(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bidirectional name ↔ [`Symbol`] interner.
+///
+/// The convention `label_r` is used throughout the workspace for the
+/// inverse relation `label⁻¹` (the paper's `x̄`); [`SymbolTable::inverse`]
+/// applies it.
+#[derive(Debug, Default, Clone)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    ids: FxHashMap<String, Symbol>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Intern `name`, returning its stable symbol.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&s) = self.ids.get(name) {
+            return s;
+        }
+        let s = Symbol(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), s);
+        s
+    }
+
+    /// Look up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name of `s`.
+    pub fn name(&self, s: Symbol) -> &str {
+        &self.names[s.id()]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Intern the inverse relation of `s` (`name_r`, stripping a trailing
+    /// `_r` instead when present, so the operation is an involution).
+    pub fn inverse(&mut self, s: Symbol) -> Symbol {
+        let name = self.name(s).to_string();
+        match name.strip_suffix("_r") {
+            Some(base) => {
+                let base = base.to_string();
+                self.intern(&base)
+            }
+            None => self.intern(&format!("{name}_r")),
+        }
+    }
+
+    /// Iterate `(symbol, name)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Symbol(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_stable() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("subClassOf");
+        let b = t.intern("type");
+        assert_eq!(t.intern("subClassOf"), a);
+        assert_ne!(a, b);
+        assert_eq!(t.name(a), "subClassOf");
+        assert_eq!(t.get("type"), Some(b));
+        assert_eq!(t.get("missing"), None);
+    }
+
+    #[test]
+    fn inverse_is_involution() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("broaderTransitive");
+        let ar = t.inverse(a);
+        assert_eq!(t.name(ar), "broaderTransitive_r");
+        assert_eq!(t.inverse(ar), a);
+    }
+}

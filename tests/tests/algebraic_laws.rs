@@ -1,0 +1,114 @@
+//! Property tests of the algebraic identities the Boolean semiring
+//! guarantees — these are the invariants the CFPQ/RPQ algorithms lean
+//! on, so they are checked on every backend.
+
+use proptest::prelude::*;
+
+use spbla_core::{Instance, Matrix};
+use spbla_integration::all_backends;
+
+fn pairs(n: u32, max_nnz: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0..n, 0..n), 0..max_nnz)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// (A·B)ᵀ = Bᵀ·Aᵀ
+    #[test]
+    fn product_transpose_law(pa in pairs(10, 30), pb in pairs(10, 30)) {
+        for inst in all_backends() {
+            let a = Matrix::from_pairs(&inst, 10, 10, &pa).unwrap();
+            let b = Matrix::from_pairs(&inst, 10, 10, &pb).unwrap();
+            let lhs = a.mxm(&b).unwrap().transpose().unwrap();
+            let rhs = b.transpose().unwrap().mxm(&a.transpose().unwrap()).unwrap();
+            prop_assert_eq!(lhs.read(), rhs.read());
+        }
+    }
+
+    /// A·(B+C) = A·B + A·C (distributivity)
+    #[test]
+    fn distributivity(pa in pairs(9, 25), pb in pairs(9, 25), pc in pairs(9, 25)) {
+        for inst in all_backends() {
+            let a = Matrix::from_pairs(&inst, 9, 9, &pa).unwrap();
+            let b = Matrix::from_pairs(&inst, 9, 9, &pb).unwrap();
+            let c = Matrix::from_pairs(&inst, 9, 9, &pc).unwrap();
+            let lhs = a.mxm(&b.ewise_add(&c).unwrap()).unwrap();
+            let rhs = a.mxm(&b).unwrap().ewise_add(&a.mxm(&c).unwrap()).unwrap();
+            prop_assert_eq!(lhs.read(), rhs.read());
+        }
+    }
+
+    /// (A·B)·C = A·(B·C) (associativity)
+    #[test]
+    fn mxm_associativity(pa in pairs(8, 20), pb in pairs(8, 20), pc in pairs(8, 20)) {
+        for inst in all_backends() {
+            let a = Matrix::from_pairs(&inst, 8, 8, &pa).unwrap();
+            let b = Matrix::from_pairs(&inst, 8, 8, &pb).unwrap();
+            let c = Matrix::from_pairs(&inst, 8, 8, &pc).unwrap();
+            let lhs = a.mxm(&b).unwrap().mxm(&c).unwrap();
+            let rhs = a.mxm(&b.mxm(&c).unwrap()).unwrap();
+            prop_assert_eq!(lhs.read(), rhs.read());
+        }
+    }
+
+    /// Add is idempotent, commutative, associative over the Boolean
+    /// semiring.
+    #[test]
+    fn add_laws(pa in pairs(12, 40), pb in pairs(12, 40), pc in pairs(12, 40)) {
+        for inst in all_backends() {
+            let a = Matrix::from_pairs(&inst, 12, 12, &pa).unwrap();
+            let b = Matrix::from_pairs(&inst, 12, 12, &pb).unwrap();
+            let c = Matrix::from_pairs(&inst, 12, 12, &pc).unwrap();
+            prop_assert_eq!(a.ewise_add(&a).unwrap().read(), a.read());
+            prop_assert_eq!(
+                a.ewise_add(&b).unwrap().read(),
+                b.ewise_add(&a).unwrap().read()
+            );
+            let l = a.ewise_add(&b).unwrap().ewise_add(&c).unwrap();
+            let r = a.ewise_add(&b.ewise_add(&c).unwrap()).unwrap();
+            prop_assert_eq!(l.read(), r.read());
+        }
+    }
+
+    /// Kronecker mixed-product: (A⊗B)·(C⊗D) = (A·C)⊗(B·D).
+    #[test]
+    fn kron_mixed_product(
+        pa in pairs(4, 8), pb in pairs(4, 8), pc in pairs(4, 8), pd in pairs(4, 8)
+    ) {
+        for inst in all_backends() {
+            let a = Matrix::from_pairs(&inst, 4, 4, &pa).unwrap();
+            let b = Matrix::from_pairs(&inst, 4, 4, &pb).unwrap();
+            let c = Matrix::from_pairs(&inst, 4, 4, &pc).unwrap();
+            let d = Matrix::from_pairs(&inst, 4, 4, &pd).unwrap();
+            let lhs = a.kron(&b).unwrap().mxm(&c.kron(&d).unwrap()).unwrap();
+            let rhs = a.mxm(&c).unwrap().kron(&b.mxm(&d).unwrap()).unwrap();
+            prop_assert_eq!(lhs.read(), rhs.read());
+        }
+    }
+
+    /// Closure is idempotent: (A⁺)⁺ = A⁺, and A ⊆ A⁺.
+    #[test]
+    fn closure_idempotent(pa in pairs(8, 16)) {
+        let inst = Instance::cuda_sim();
+        let a = Matrix::from_pairs(&inst, 8, 8, &pa).unwrap();
+        let c1 = a.transitive_closure().unwrap();
+        let c2 = c1.transitive_closure().unwrap();
+        prop_assert_eq!(c1.read(), c2.read());
+        // A ⊆ A⁺
+        let union = c1.ewise_add(&a).unwrap();
+        prop_assert_eq!(union.read(), c1.read());
+    }
+
+    /// Identity behaves: I·A = A·I = A; A ⊗ I has nnz(A)·n entries.
+    #[test]
+    fn identity_laws(pa in pairs(7, 20)) {
+        for inst in all_backends() {
+            let a = Matrix::from_pairs(&inst, 7, 7, &pa).unwrap();
+            let i = Matrix::identity(&inst, 7).unwrap();
+            prop_assert_eq!(i.mxm(&a).unwrap().read(), a.read());
+            prop_assert_eq!(a.mxm(&i).unwrap().read(), a.read());
+            prop_assert_eq!(a.kron(&i).unwrap().nnz(), a.nnz() * 7);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests: every operation returns identical results on the CPU
+//! reference, the cuBool-style CSR backend, and the clBool-style COO
+//! backend — and matches the dense bit-matrix oracle.
+
+use proptest::prelude::*;
+
+use spbla_core::{DenseBool, Instance, Matrix};
+use spbla_integration::all_backends;
+
+fn pairs_strategy(n: u32, max_nnz: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0..n, 0..n), 0..max_nnz)
+}
+
+fn build_all(n: u32, pairs: &[(u32, u32)]) -> Vec<(Instance, Matrix)> {
+    all_backends()
+        .into_iter()
+        .map(|inst| {
+            let m = Matrix::from_pairs(&inst, n, n, pairs).expect("in bounds");
+            (inst, m)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mxm_equivalent(pa in pairs_strategy(12, 40), pb in pairs_strategy(12, 40)) {
+        let da = DenseBool::from_pairs(12, 12, &pa);
+        let db = DenseBool::from_pairs(12, 12, &pb);
+        let expect = da.mxm(&db).to_pairs();
+        for (inst, a) in build_all(12, &pa) {
+            let b = Matrix::from_pairs(&inst, 12, 12, &pb).unwrap();
+            prop_assert_eq!(a.mxm(&b).unwrap().read(), expect.clone(),
+                "backend {:?}", inst.backend());
+        }
+    }
+
+    #[test]
+    fn ewise_add_and_mult_equivalent(pa in pairs_strategy(15, 60), pb in pairs_strategy(15, 60)) {
+        let da = DenseBool::from_pairs(15, 15, &pa);
+        let db = DenseBool::from_pairs(15, 15, &pb);
+        let expect_add = da.ewise_add(&db).to_pairs();
+        let mut expect_mult: Vec<(u32, u32)> =
+            pa.iter().filter(|p| db.get(p.0, p.1) && da.get(p.0, p.1)).copied().collect();
+        expect_mult.sort_unstable();
+        expect_mult.dedup();
+        for (inst, a) in build_all(15, &pa) {
+            let b = Matrix::from_pairs(&inst, 15, 15, &pb).unwrap();
+            prop_assert_eq!(a.ewise_add(&b).unwrap().read(), expect_add.clone());
+            prop_assert_eq!(a.ewise_mult(&b).unwrap().read(), expect_mult.clone());
+        }
+    }
+
+    #[test]
+    fn kron_equivalent(pa in pairs_strategy(5, 10), pb in pairs_strategy(6, 12)) {
+        let da = DenseBool::from_pairs(5, 5, &pa);
+        let db = DenseBool::from_pairs(6, 6, &pb);
+        let expect = da.kron(&db).to_pairs();
+        for inst in all_backends() {
+            let a = Matrix::from_pairs(&inst, 5, 5, &pa).unwrap();
+            let b = Matrix::from_pairs(&inst, 6, 6, &pb).unwrap();
+            prop_assert_eq!(a.kron(&b).unwrap().read(), expect.clone());
+        }
+    }
+
+    #[test]
+    fn transpose_and_submatrix_equivalent(pa in pairs_strategy(14, 50)) {
+        let da = DenseBool::from_pairs(14, 14, &pa);
+        let expect_t = da.transpose().to_pairs();
+        for (inst, a) in build_all(14, &pa) {
+            prop_assert_eq!(a.transpose().unwrap().read(), expect_t.clone());
+            let sub = a.submatrix(3, 2, 8, 9).unwrap();
+            let mut expect_sub = Vec::new();
+            for i in 0..8u32 {
+                for j in 0..9u32 {
+                    if da.get(i + 3, j + 2) {
+                        expect_sub.push((i, j));
+                    }
+                }
+            }
+            prop_assert_eq!(sub.read(), expect_sub, "backend {:?}", inst.backend());
+        }
+    }
+
+    #[test]
+    fn reductions_equivalent(pa in pairs_strategy(13, 40)) {
+        let reference = Matrix::from_pairs(&Instance::cpu(), 13, 13, &pa).unwrap();
+        let rows = reference.reduce_to_column().unwrap();
+        let cols = reference.reduce_to_row().unwrap();
+        for (_inst, a) in build_all(13, &pa) {
+            let rc = a.reduce_to_column().unwrap();
+            let rr = a.reduce_to_row().unwrap();
+            prop_assert_eq!(rc.indices(), rows.indices());
+            prop_assert_eq!(rr.indices(), cols.indices());
+        }
+    }
+
+    #[test]
+    fn transitive_closure_equivalent(pa in pairs_strategy(9, 20)) {
+        let reference = Matrix::from_pairs(&Instance::cpu(), 9, 9, &pa).unwrap()
+            .transitive_closure().unwrap().read();
+        for (_inst, a) in build_all(9, &pa) {
+            prop_assert_eq!(a.transitive_closure().unwrap().read(), reference.clone());
+        }
+    }
+}
+
+#[test]
+fn large_random_mxm_matches_cpu() {
+    // One big deterministic case (beyond proptest's small sizes).
+    let pairs_a = spbla_integration::pseudo_pairs(300, 3000, 1);
+    let pairs_b = spbla_integration::pseudo_pairs(300, 3000, 2);
+    let cpu = Instance::cpu();
+    let (a0, b0) = (
+        Matrix::from_pairs(&cpu, 300, 300, &pairs_a).unwrap(),
+        Matrix::from_pairs(&cpu, 300, 300, &pairs_b).unwrap(),
+    );
+    let expect = a0.mxm(&b0).unwrap().read();
+    for inst in [Instance::cuda_sim(), Instance::cl_sim()] {
+        let a = Matrix::from_pairs(&inst, 300, 300, &pairs_a).unwrap();
+        let b = Matrix::from_pairs(&inst, 300, 300, &pairs_b).unwrap();
+        assert_eq!(a.mxm(&b).unwrap().read(), expect);
+    }
+}

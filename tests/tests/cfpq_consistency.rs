@@ -1,0 +1,122 @@
+//! CFPQ engine consistency: on random graphs and a pool of grammars, the
+//! tensor algorithm (`Tns`, with and without incremental closure),
+//! Azimov's matrix algorithm (`Mtx`), and the worklist graph-CYK oracle
+//! must all produce the same reachable-pair sets.
+
+use proptest::prelude::*;
+
+use spbla_core::Instance;
+use spbla_graph::cfpq::azimov::{AzimovIndex, AzimovOptions};
+use spbla_graph::cfpq::oracle::cfpq_pairs;
+use spbla_graph::cfpq::tensor::{TnsIndex, TnsOptions};
+use spbla_graph::LabeledGraph;
+use spbla_lang::{CnfGrammar, Grammar, Symbol, SymbolTable};
+
+fn grammar_pool(table: &mut SymbolTable, which: u8) -> Grammar {
+    let texts = [
+        // a^n b^n (classic)
+        "S -> a S b | a b",
+        // Dyck-like with ε
+        "S -> a S b | S S | eps",
+        // same-generation (G2 shape)
+        "S -> a_r S a | a",
+        // two nonterminals
+        "S -> a V b\nV -> c V | eps",
+        // right-linear (regular) grammar
+        "S -> a S | b S | c",
+        // nested alternation
+        "S -> a S a | b S b | a | b",
+    ];
+    Grammar::parse(texts[which as usize % texts.len()], table).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn engines_agree_with_oracle(
+        edges in proptest::collection::vec((0u32..7, 0u8..4, 0u32..7), 0..20),
+        which in 0u8..6,
+    ) {
+        let mut table = SymbolTable::new();
+        let grammar = grammar_pool(&mut table, which);
+        // Label pool covers the grammar's terminals.
+        let terminals = grammar.terminals();
+        let syms: Vec<Symbol> = (0..4)
+            .map(|i| terminals.get(i).copied().unwrap_or_else(|| table.intern(&format!("pad{i}"))))
+            .collect();
+        let graph = LabeledGraph::from_triples(
+            7,
+            edges.iter().map(|&(u, l, v)| (u, syms[l as usize], v)),
+        );
+        let cnf = CnfGrammar::from_grammar(&grammar);
+        let expect = cfpq_pairs(&graph, &cnf, cnf.start());
+
+        let inst = Instance::cpu();
+        let tns = TnsIndex::build(&graph, &grammar, &inst, &TnsOptions::default()).unwrap();
+        prop_assert_eq!(tns.reachable_pairs(), expect.clone(), "Tns vs oracle, grammar {}", which);
+
+        let tns_inc = TnsIndex::build(&graph, &grammar, &inst, &TnsOptions { incremental: true }).unwrap();
+        prop_assert_eq!(tns_inc.reachable_pairs(), expect.clone(), "Tns(inc) vs oracle");
+
+        let mtx = AzimovIndex::build(&graph, &cnf, &inst, &AzimovOptions::default()).unwrap();
+        prop_assert_eq!(mtx.reachable_pairs(), expect, "Mtx vs oracle, grammar {}", which);
+    }
+
+    #[test]
+    fn engines_agree_across_backends(
+        edges in proptest::collection::vec((0u32..6, 0u8..2, 0u32..6), 1..14),
+    ) {
+        let mut table = SymbolTable::new();
+        let grammar = Grammar::parse("S -> a S b | a b", &mut table).unwrap();
+        let a = table.get("a").unwrap();
+        let b = table.get("b").unwrap();
+        let syms = [a, b];
+        let graph = LabeledGraph::from_triples(
+            6,
+            edges.iter().map(|&(u, l, v)| (u, syms[l as usize], v)),
+        );
+        let reference = TnsIndex::build(
+            &graph, &grammar, &Instance::cpu(), &TnsOptions::default()
+        ).unwrap().reachable_pairs();
+        for inst in [Instance::cuda_sim(), Instance::cl_sim()] {
+            let idx = TnsIndex::build(&graph, &grammar, &inst, &TnsOptions::default()).unwrap();
+            prop_assert_eq!(idx.reachable_pairs(), reference.clone(), "{:?}", inst.backend());
+        }
+    }
+
+    #[test]
+    fn single_path_extraction_sound(
+        edges in proptest::collection::vec((0u32..6, 0u8..2, 0u32..6), 1..14),
+    ) {
+        let mut table = SymbolTable::new();
+        let grammar = Grammar::parse("S -> a S b | a b", &mut table).unwrap();
+        let a = table.get("a").unwrap();
+        let b = table.get("b").unwrap();
+        let syms = [a, b];
+        let graph = LabeledGraph::from_triples(
+            6,
+            edges.iter().map(|&(u, l, v)| (u, syms[l as usize], v)),
+        );
+        let cnf = CnfGrammar::from_grammar(&grammar);
+        let inst = Instance::cpu();
+        let idx = AzimovIndex::build(&graph, &cnf, &inst, &AzimovOptions { track_heights: true })
+            .unwrap();
+        for (u, v) in idx.reachable_pairs().into_iter().take(8) {
+            let p = idx.extract_single_path(u, v);
+            prop_assert!(p.is_some(), "derivable pair ({u},{v}) must have a path");
+            let p = p.unwrap();
+            prop_assert!(spbla_graph::paths::is_well_formed(&p));
+            if !p.is_empty() {
+                prop_assert_eq!(p.first().unwrap().from, u);
+                prop_assert_eq!(p.last().unwrap().to, v);
+                // Word must be a^k b^k.
+                let word = spbla_graph::paths::word_of(&p);
+                let k = word.iter().filter(|&&s| s == a).count();
+                prop_assert_eq!(word.len(), 2 * k);
+                prop_assert!(word[..k].iter().all(|&s| s == a));
+                prop_assert!(word[k..].iter().all(|&s| s == b));
+            }
+        }
+    }
+}

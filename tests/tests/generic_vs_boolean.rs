@@ -1,0 +1,98 @@
+//! The generic library instantiated at the Boolean semiring must produce
+//! exactly the structural pattern of `spbla-core` — the semantic
+//! foundation of the E8 performance comparison (same answers, different
+//! representation costs).
+
+use proptest::prelude::*;
+
+use spbla_core::{Instance, Matrix};
+use spbla_generic::{add, spgemm, transpose, BoolOrAnd, CsrMatrix, PlusTimesU64};
+
+fn pairs(n: u32, max_nnz: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0..n, 0..n), 0..max_nnz)
+}
+
+fn to_bool_triples(p: &[(u32, u32)]) -> Vec<(u32, u32, u8)> {
+    p.iter().map(|&(i, j)| (i, j, 1)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn generic_bool_mxm_matches_core(pa in pairs(12, 40), pb in pairs(12, 40)) {
+        let inst = Instance::cpu();
+        let a = Matrix::from_pairs(&inst, 12, 12, &pa).unwrap();
+        let b = Matrix::from_pairs(&inst, 12, 12, &pb).unwrap();
+        let expect = a.mxm(&b).unwrap().read();
+
+        let ga = CsrMatrix::<BoolOrAnd>::from_triples(12, 12, &to_bool_triples(&pa));
+        let gb = CsrMatrix::<BoolOrAnd>::from_triples(12, 12, &to_bool_triples(&pb));
+        prop_assert_eq!(spgemm::mxm(&ga, &gb).pattern(), expect);
+    }
+
+    #[test]
+    fn generic_bool_add_and_transpose_match_core(pa in pairs(12, 40), pb in pairs(12, 40)) {
+        let inst = Instance::cpu();
+        let a = Matrix::from_pairs(&inst, 12, 12, &pa).unwrap();
+        let b = Matrix::from_pairs(&inst, 12, 12, &pb).unwrap();
+
+        let ga = CsrMatrix::<BoolOrAnd>::from_triples(12, 12, &to_bool_triples(&pa));
+        let gb = CsrMatrix::<BoolOrAnd>::from_triples(12, 12, &to_bool_triples(&pb));
+        prop_assert_eq!(
+            add::ewise_add(&ga, &gb).pattern(),
+            a.ewise_add(&b).unwrap().read()
+        );
+        prop_assert_eq!(
+            transpose::transpose(&ga).pattern(),
+            a.transpose().unwrap().read()
+        );
+    }
+
+    /// Path counting over (+,×) must dominate the Boolean pattern: a
+    /// pair is Boolean-reachable iff its path count is nonzero.
+    #[test]
+    fn path_counts_support_boolean_pattern(pa in pairs(10, 25), pb in pairs(10, 25)) {
+        let inst = Instance::cpu();
+        let a = Matrix::from_pairs(&inst, 10, 10, &pa).unwrap();
+        let b = Matrix::from_pairs(&inst, 10, 10, &pb).unwrap();
+        let bool_pattern = a.mxm(&b).unwrap().read();
+
+        let ta: Vec<(u32, u32, u64)> = {
+            let mut v: Vec<(u32,u32)> = pa.clone(); v.sort_unstable(); v.dedup();
+            v.into_iter().map(|(i, j)| (i, j, 1u64)).collect()
+        };
+        let tb: Vec<(u32, u32, u64)> = {
+            let mut v: Vec<(u32,u32)> = pb.clone(); v.sort_unstable(); v.dedup();
+            v.into_iter().map(|(i, j)| (i, j, 1u64)).collect()
+        };
+        let ga = CsrMatrix::<PlusTimesU64>::from_triples(10, 10, &ta);
+        let gb = CsrMatrix::<PlusTimesU64>::from_triples(10, 10, &tb);
+        let counted = spgemm::mxm(&ga, &gb);
+        // u64 wrapping cannot hit zero here (counts ≤ 10 per pair).
+        prop_assert_eq!(counted.pattern(), bool_pattern);
+        for (_, _, c) in counted.to_triples() {
+            prop_assert!((1..=10).contains(&c));
+        }
+    }
+
+    /// Memory: the Boolean representation is never larger than the
+    /// valued one, and strictly smaller whenever entries exist.
+    #[test]
+    fn boolean_memory_dominates(pa in pairs(16, 60)) {
+        let inst = Instance::cpu();
+        let a = Matrix::from_pairs(&inst, 16, 16, &pa).unwrap();
+        let ga = CsrMatrix::<PlusTimesU64>::from_triples(
+            16,
+            16,
+            &{
+                let mut v: Vec<(u32,u32)> = pa.clone(); v.sort_unstable(); v.dedup();
+                v.into_iter().map(|(i, j)| (i, j, 1u64)).collect::<Vec<_>>()
+            },
+        );
+        prop_assert!(a.memory_bytes() <= ga.memory_bytes());
+        if a.nnz() > 0 {
+            prop_assert!(a.memory_bytes() < ga.memory_bytes());
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! End-to-end runs of the paper's evaluation pipelines at test scale:
+//! generate each synthetic dataset, run the actual queries of the
+//! evaluation (Table II templates, G1/G2/Geo/MA), and cross-check every
+//! engine against the oracles. This is the "would the benchmark produce
+//! a correct row" test.
+
+use spbla_core::Instance;
+use spbla_data::grammars::{grammar_g1, grammar_g2, grammar_geo, grammar_ma};
+use spbla_data::lubm::{lubm_like, LubmConfig};
+use spbla_data::queries::generate_queries;
+use spbla_data::{alias, rdf};
+use spbla_graph::cfpq::azimov::{AzimovIndex, AzimovOptions};
+use spbla_graph::cfpq::oracle::cfpq_pairs;
+use spbla_graph::cfpq::tensor::{TnsIndex, TnsOptions};
+use spbla_graph::rpq::{RpqIndex, RpqOptions};
+use spbla_graph::rpq_derivative::rpq_by_derivatives;
+use spbla_lang::{CnfGrammar, SymbolTable};
+
+#[test]
+fn lubm_rpq_pipeline_consistent() {
+    let mut table = SymbolTable::new();
+    let graph = lubm_like(1, &LubmConfig::default(), &mut table, 5);
+    let queries = generate_queries(&graph, &mut table, 4, 1, 99);
+    assert_eq!(queries.len(), 28);
+    let inst = Instance::cuda_sim();
+    // Spot-check a representative subset against the derivative baseline.
+    for (name, regex) in queries.iter().filter(|(n, _)| {
+        n.starts_with("Q1#") || n.starts_with("Q2#") || n.starts_with("Q8#") || n.starts_with("Q12#")
+    }) {
+        let idx = RpqIndex::build(&graph, regex, &inst, &RpqOptions::default()).unwrap();
+        let got = idx.reachable_pairs().unwrap();
+        let expect = rpq_by_derivatives(&graph, regex);
+        assert_eq!(got, expect, "query {name}");
+    }
+}
+
+#[test]
+fn same_generation_pipeline_consistent() {
+    let mut table = SymbolTable::new();
+    let g1 = grammar_g1(&mut table);
+    let g2 = grammar_g2(&mut table);
+    // Tiny eclass-like graph with inverse edges, as the suite builds it.
+    let graph = rdf::eclass_like(0.0008, &mut table, 3).with_inverses(&mut table);
+    let inst = Instance::cuda_sim();
+    for (name, grammar) in [("G1", &g1), ("G2", &g2)] {
+        let cnf = CnfGrammar::from_grammar(grammar);
+        let expect = cfpq_pairs(&graph, &cnf, cnf.start());
+        let tns = TnsIndex::build(&graph, grammar, &inst, &TnsOptions::default()).unwrap();
+        assert_eq!(tns.reachable_pairs(), expect, "{name} Tns");
+        let mtx = AzimovIndex::build(&graph, &cnf, &inst, &AzimovOptions::default()).unwrap();
+        assert_eq!(mtx.reachable_pairs(), expect, "{name} Mtx");
+        // Non-trivial workload: G1/G2 must actually answer something on
+        // a subClassOf hierarchy.
+        assert!(!expect.is_empty(), "{name} should have answers");
+    }
+}
+
+#[test]
+fn geospecies_geo_query_pipeline() {
+    let mut table = SymbolTable::new();
+    let geo = grammar_geo(&mut table);
+    let graph = rdf::geospecies_like(0.0005, &mut table, 4).with_inverses(&mut table);
+    let cnf = CnfGrammar::from_grammar(&geo);
+    let expect = cfpq_pairs(&graph, &cnf, cnf.start());
+    let inst = Instance::cpu();
+    let tns = TnsIndex::build(&graph, &geo, &inst, &TnsOptions::default()).unwrap();
+    assert_eq!(tns.reachable_pairs(), expect);
+    assert!(!expect.is_empty(), "Geo finds same-taxon pairs");
+    // And G2 on geospecies answers nothing (no subClassOf edges) — the
+    // `0*` cell of Table IV.
+    let g2 = grammar_g2(&mut table);
+    let tns_g2 = TnsIndex::build(&graph, &g2, &inst, &TnsOptions::default()).unwrap();
+    assert!(tns_g2.reachable_pairs().is_empty());
+}
+
+#[test]
+fn memory_alias_pipeline_consistent() {
+    let mut table = SymbolTable::new();
+    let ma = grammar_ma(&mut table);
+    let cfg = alias::AliasConfig {
+        units: 2,
+        vars_per_unit: 18,
+        ..alias::AliasConfig::default()
+    };
+    let graph = alias::alias_graph(&cfg, &mut table, 8).with_inverses(&mut table);
+    let cnf = CnfGrammar::from_grammar(&ma);
+    let expect = cfpq_pairs(&graph, &cnf, cnf.start());
+    for inst in [Instance::cpu(), Instance::cuda_sim(), Instance::cl_sim()] {
+        let tns = TnsIndex::build(&graph, &ma, &inst, &TnsOptions::default()).unwrap();
+        assert_eq!(tns.reachable_pairs(), expect, "{:?}", inst.backend());
+        let mtx = AzimovIndex::build(&graph, &cnf, &inst, &AzimovOptions::default()).unwrap();
+        assert_eq!(mtx.reachable_pairs(), expect);
+    }
+    assert!(!expect.is_empty(), "alias pairs exist");
+}
+
+#[test]
+fn alias_single_path_witnesses_are_ma_words() {
+    let mut table = SymbolTable::new();
+    let ma = grammar_ma(&mut table);
+    let cfg = alias::AliasConfig {
+        units: 2,
+        vars_per_unit: 15,
+        ..alias::AliasConfig::default()
+    };
+    let graph = alias::alias_graph(&cfg, &mut table, 9).with_inverses(&mut table);
+    let cnf = CnfGrammar::from_grammar(&ma);
+    let idx = AzimovIndex::build(
+        &graph,
+        &cnf,
+        &Instance::cpu(),
+        &AzimovOptions {
+            track_heights: true,
+        },
+    )
+    .unwrap();
+    let pairs = idx.reachable_pairs();
+    let mut checked = 0;
+    for &(u, v) in pairs.iter().take(12) {
+        let p = idx.extract_single_path(u, v).expect("witness exists");
+        assert!(spbla_graph::paths::is_well_formed(&p));
+        // Verify the witness word against the grammar with string CYK.
+        let word = spbla_graph::paths::word_of(&p);
+        assert!(
+            spbla_lang::cyk::cyk_accepts(&cnf, &word),
+            "witness word not in L(MA): {word:?}"
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "no alias pairs to check");
+}
