@@ -6,14 +6,18 @@
 //!    incremental after a delta);
 //! 4. CNF vs RSM grammar encodings inside the CFPQ engines (Tns on the
 //!    raw grammar vs Mtx paying the CNF blow-up on a regular query);
-//! 5. from-scratch vs incremental closure inside the Tns fixpoint.
+//! 5. from-scratch vs incremental closure inside the Tns fixpoint;
+//! 6. naive vs masked vs delta-driven fixpoint schedules on the LUBM
+//!    fixture (semi-naïve iteration with complemented-mask SpGEMM).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use spbla_bench::{naive_add_baseline, upload};
 use spbla_core::Instance;
 use spbla_data::random::{power_law_pairs, uniform_row_degree};
-use spbla_graph::closure::{closure_incremental, closure_single_step, closure_squaring};
+use spbla_graph::closure::{
+    closure_delta, closure_incremental, closure_masked, closure_single_step, closure_squaring,
+};
 use spbla_graph::cfpq::azimov::{AzimovIndex, AzimovOptions};
 use spbla_graph::cfpq::tensor::{TnsIndex, TnsOptions};
 use spbla_graph::LabeledGraph;
@@ -68,6 +72,9 @@ fn ablate_closure(c: &mut Criterion) {
     let a = upload(&inst, n, &pairs);
     group.bench_function("squaring", |b| {
         b.iter(|| closure_squaring(&a).unwrap().nnz())
+    });
+    group.bench_function("delta_compmask", |b| {
+        b.iter(|| closure_delta(&a).unwrap().nnz())
     });
     // Single-step has O(diameter) rounds — measured on a shorter chain
     // to keep the bench bounded.
@@ -206,6 +213,34 @@ fn ablate_masked_mxm(c: &mut Criterion) {
     group.finish();
 }
 
+fn ablate_fixpoint_schedule(c: &mut Criterion) {
+    // Naive vs masked vs delta-driven fixpoints on the LUBM fixture —
+    // the tentpole's E10.8 ablation. All three compute the identical
+    // closure; `report ablations` prints the DeviceStats (launches,
+    // allocations, accumulator insertions) behind the timing gap.
+    use spbla_bench::lubm_rung;
+    let mut group = c.benchmark_group("ablation_fixpoint_schedule");
+    group.sample_size(10);
+    let mut table = SymbolTable::new();
+    let graph = lubm_rung(2, &mut table);
+    let pairs = graph.adjacency_csr().to_pairs();
+    let n = graph.n_vertices();
+    for (backend, inst) in [("csr_hash", Instance::cuda_sim()), ("coo_esc", Instance::cl_sim())]
+    {
+        let a = upload(&inst, n, &pairs);
+        group.bench_with_input(BenchmarkId::new("naive_squaring", backend), &(), |b, ()| {
+            b.iter(|| closure_squaring(&a).unwrap().nnz())
+        });
+        group.bench_with_input(BenchmarkId::new("masked_squaring", backend), &(), |b, ()| {
+            b.iter(|| closure_masked(&a).unwrap().nnz())
+        });
+        group.bench_with_input(BenchmarkId::new("delta_compmask", backend), &(), |b, ()| {
+            b.iter(|| closure_delta(&a).unwrap().nnz())
+        });
+    }
+    group.finish();
+}
+
 fn ablate_automaton_kind(c: &mut Criterion) {
     // The automaton's state count is the Kronecker factor: compare the
     // four constructions on an alternation-heavy Table II template.
@@ -318,6 +353,7 @@ criterion_group!(
     ablate_tns_incremental,
     ablate_sparse_vs_dense,
     ablate_masked_mxm,
+    ablate_fixpoint_schedule,
     ablate_automaton_kind,
     ablate_rpq_strategy,
     ablate_device_scaling

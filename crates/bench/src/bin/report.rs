@@ -473,6 +473,45 @@ fn ablations() {
     });
     println!("6. backend  sparse-CSR {}s vs dense-bit {}s at density {:.3} (dense mem {} B vs sparse {} B)",
         secs(t_hash), secs(t_dense), 24.0 / n as f64, da.memory_bytes(), ha.memory_bytes());
+
+    // 7. fixpoint schedules on the LUBM fixture, with the device
+    //    counters behind the timing gap: each schedule runs on a fresh
+    //    simulated device so launches / allocations / accumulator
+    //    insertions are attributable per schedule.
+    use spbla_gpu_sim::Device;
+    use spbla_graph::closure::{closure_delta, closure_masked};
+    let mut ltable = SymbolTable::new();
+    let lubm = lubm_rung(2, &mut ltable);
+    let lpairs = lubm.adjacency_csr().to_pairs();
+    let ln = lubm.n_vertices();
+    println!("7. schedule naive vs masked vs delta closure on LUBM (n={ln}, nnz={}):", lpairs.len());
+    println!(
+        "   {:<16} {:>9} {:>10} {:>8} {:>13} {:>12}",
+        "schedule", "time", "closure", "launches", "allocations", "accum-insert"
+    );
+    type Schedule = fn(&Matrix) -> spbla_core::Result<Matrix>;
+    let schedules: [(&str, Schedule); 3] = [
+        ("naive_squaring", closure_squaring),
+        ("masked_squaring", closure_masked),
+        ("delta_compmask", closure_delta),
+    ];
+    for (sname, schedule) in schedules {
+        let dev = Device::default();
+        let inst = Instance::cuda_sim_on(dev.clone());
+        let a = upload(&inst, ln, &lpairs);
+        let before = dev.stats();
+        let (elapsed, nnz) = time_once(|| schedule(&a).unwrap().nnz());
+        let after = dev.stats();
+        println!(
+            "   {:<16} {:>8}s {:>10} {:>8} {:>13} {:>12}",
+            sname,
+            secs(elapsed),
+            nnz,
+            after.launches - before.launches,
+            after.allocations - before.allocations,
+            after.accum_insertions - before.accum_insertions,
+        );
+    }
 }
 
 // ---------------------------------------------------------------- E9

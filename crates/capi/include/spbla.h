@@ -60,6 +60,13 @@ spbla_Status spbla_Matrix_ExtractPairs(spbla_Matrix matrix, uint32_t *rows,
 
 /* Operations (the paper's op set) */
 spbla_Status spbla_MxM(spbla_Matrix a, spbla_Matrix b, spbla_Matrix *out);
+/* C = (A * B) & M — mask applied inside the SpGEMM kernel. */
+spbla_Status spbla_Matrix_MxM_Masked(spbla_Matrix a, spbla_Matrix b,
+                                     spbla_Matrix mask, spbla_Matrix *out);
+/* C = (A * B) & ~M — only product entries absent from M; the
+ * semi-naive fixpoint primitive. */
+spbla_Status spbla_Matrix_MxM_CompMasked(spbla_Matrix a, spbla_Matrix b,
+                                         spbla_Matrix mask, spbla_Matrix *out);
 spbla_Status spbla_EWiseAdd(spbla_Matrix a, spbla_Matrix b, spbla_Matrix *out);
 spbla_Status spbla_EWiseMult(spbla_Matrix a, spbla_Matrix b, spbla_Matrix *out);
 spbla_Status spbla_Kronecker(spbla_Matrix a, spbla_Matrix b, spbla_Matrix *out);

@@ -76,6 +76,20 @@ impl Registry {
         }
     }
 
+    pub(crate) fn with_three_matrices<R>(
+        &self,
+        a: SpblaMatrix,
+        b: SpblaMatrix,
+        c: SpblaMatrix,
+        f: impl FnOnce(&Matrix, &Matrix, &Matrix) -> R,
+    ) -> Option<R> {
+        let guard = self.matrices.lock();
+        match (guard.get(&a), guard.get(&b), guard.get(&c)) {
+            (Some(ma), Some(mb), Some(mc)) => Some(f(ma, mb, mc)),
+            _ => None,
+        }
+    }
+
     pub(crate) fn remove_instance(&self, h: SpblaInstance) -> bool {
         self.instances.lock().remove(&h).is_some()
     }

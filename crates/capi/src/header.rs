@@ -20,6 +20,8 @@ pub const EXPORTED_SYMBOLS: &[&str] = &[
     "spbla_Matrix_MemoryBytes",
     "spbla_Matrix_ExtractPairs",
     "spbla_MxM",
+    "spbla_Matrix_MxM_Masked",
+    "spbla_Matrix_MxM_CompMasked",
     "spbla_EWiseAdd",
     "spbla_EWiseMult",
     "spbla_Kronecker",

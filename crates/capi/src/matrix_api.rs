@@ -213,6 +213,51 @@ binary_op!(
     kron
 );
 
+/// `C = (A · B) ∧ M` — masked product; the mask is applied inside the
+/// SpGEMM kernel, so no unmasked intermediate product is materialised.
+///
+/// # Safety
+/// `out` must be a valid pointer.
+#[no_mangle]
+pub unsafe extern "C" fn spbla_Matrix_MxM_Masked(
+    a: SpblaMatrix,
+    b: SpblaMatrix,
+    mask: SpblaMatrix,
+    out: *mut SpblaMatrix,
+) -> SpblaStatus {
+    if out.is_null() {
+        return SpblaStatus::NullPointer;
+    }
+    match Registry::global().with_three_matrices(a, b, mask, |ma, mb, mm| ma.mxm_masked(mb, mm)) {
+        Some(r) => store_result(out, r),
+        None => SpblaStatus::InvalidHandle,
+    }
+}
+
+/// `C = (A · B) ∧ ¬M` — complemented-mask product: only entries of the
+/// product *not* already present in `M`. The primitive behind the
+/// semi-naïve fixpoint schedules; already-known candidates are rejected
+/// inside the SpGEMM kernel before they cost accumulator space.
+///
+/// # Safety
+/// `out` must be a valid pointer.
+#[no_mangle]
+pub unsafe extern "C" fn spbla_Matrix_MxM_CompMasked(
+    a: SpblaMatrix,
+    b: SpblaMatrix,
+    mask: SpblaMatrix,
+    out: *mut SpblaMatrix,
+) -> SpblaStatus {
+    if out.is_null() {
+        return SpblaStatus::NullPointer;
+    }
+    match Registry::global().with_three_matrices(a, b, mask, |ma, mb, mm| ma.mxm_compmask(mb, mm))
+    {
+        Some(r) => store_result(out, r),
+        None => SpblaStatus::InvalidHandle,
+    }
+}
+
 /// `C = Aᵀ`.
 ///
 /// # Safety
@@ -358,6 +403,42 @@ mod tests {
             assert_eq!(kn, 4);
 
             for h in [a, b, c, k] {
+                assert_eq!(spbla_Matrix_Free(h), SpblaStatus::Ok);
+            }
+            assert_eq!(spbla_Finalize(inst), SpblaStatus::Ok);
+        }
+    }
+
+    #[test]
+    fn masked_products_via_c() {
+        for backend in [
+            SpblaBackend::Cpu,
+            SpblaBackend::CpuDense,
+            SpblaBackend::CudaSim,
+            SpblaBackend::ClSim,
+        ] {
+            let inst = init(backend);
+            let a = build(inst, 3, 3, &[(0, 1), (1, 2), (0, 2)]);
+            let mask = build(inst, 3, 3, &[(0, 2)]);
+            // A² = {(0,2)}: the mask keeps it, its complement drops it.
+            let mut kept: SpblaMatrix = 0;
+            assert_eq!(
+                unsafe { spbla_Matrix_MxM_Masked(a, a, mask, &mut kept) },
+                SpblaStatus::Ok
+            );
+            assert_eq!(extract(kept), vec![(0, 2)]);
+            let mut fresh: SpblaMatrix = 0;
+            assert_eq!(
+                unsafe { spbla_Matrix_MxM_CompMasked(a, a, mask, &mut fresh) },
+                SpblaStatus::Ok
+            );
+            assert_eq!(extract(fresh), vec![]);
+            let mut bad: SpblaMatrix = 0;
+            assert_eq!(
+                unsafe { spbla_Matrix_MxM_CompMasked(a, a, 999_999, &mut bad) },
+                SpblaStatus::InvalidHandle
+            );
+            for h in [a, mask, kept, fresh] {
                 assert_eq!(spbla_Matrix_Free(h), SpblaStatus::Ok);
             }
             assert_eq!(spbla_Finalize(inst), SpblaStatus::Ok);

@@ -21,7 +21,7 @@ use spbla_data::stats::GraphStats;
 use spbla_graph::bfs::bfs_levels;
 use spbla_graph::cfpq::azimov::{AzimovIndex, AzimovOptions};
 use spbla_graph::cfpq::tensor::{TnsIndex, TnsOptions};
-use spbla_graph::closure::closure_squaring;
+use spbla_graph::closure::closure_delta;
 use spbla_graph::rpq::{RpqIndex, RpqOptions};
 use spbla_graph::rpq_bfs::rpq_from_sources;
 use spbla_graph::LabeledGraph;
@@ -292,7 +292,7 @@ fn cmd_closure(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let graph = load(args, &mut table)?;
     let inst = backend_instance(args.opt("backend"))?;
     let adjacency = spbla_core::Matrix::from_csr(&inst, graph.adjacency_csr())?;
-    let closure = closure_squaring(&adjacency)?;
+    let closure = closure_delta(&adjacency)?;
     writeln!(
         out,
         "closure: {} -> {} pairs ({} bytes)",

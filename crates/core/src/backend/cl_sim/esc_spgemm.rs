@@ -21,8 +21,50 @@ use crate::index::pack;
 
 use super::DeviceCoo;
 
+/// How a mask constrains the product's output structure.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MaskMode {
+    /// Keep only entries present in the mask (`C = (A·B) ∧ M`).
+    Keep,
+    /// Keep only entries absent from the mask (`C = (A·B) ∧ ¬M`).
+    Drop,
+}
+
 /// `C = A · B` over the Boolean semiring (ESC scheme).
 pub fn mxm(a: &DeviceCoo, b: &DeviceCoo) -> Result<DeviceCoo> {
+    mxm_inner(a, b, None)
+}
+
+/// `C = (A · B) ∧ mask`, filtered natively inside the ESC pipeline: the
+/// contraction of each A entry against its B row checks every candidate
+/// key against the sorted mask row, so rejected products are never packed
+/// into the expansion buffer — the format's known memory weakness.
+pub fn mxm_masked(a: &DeviceCoo, b: &DeviceCoo, mask: &DeviceCoo) -> Result<DeviceCoo> {
+    debug_assert_eq!(a.nrows(), mask.nrows());
+    debug_assert_eq!(b.ncols(), mask.ncols());
+    let device = a.device().clone();
+    if mask.nnz() == 0 {
+        return DeviceCoo::zeros(&device, a.nrows(), b.ncols());
+    }
+    mxm_inner(a, b, Some((mask, MaskMode::Keep)))
+}
+
+/// `C = (A · B) ∧ ¬mask` — only entries not already present in `mask`;
+/// the semi-naïve fixpoint primitive, see `spgemm_hash::mxm_compmask`.
+pub fn mxm_compmask(a: &DeviceCoo, b: &DeviceCoo, mask: &DeviceCoo) -> Result<DeviceCoo> {
+    debug_assert_eq!(a.nrows(), mask.nrows());
+    debug_assert_eq!(b.ncols(), mask.ncols());
+    if mask.nnz() == 0 {
+        return mxm_inner(a, b, None);
+    }
+    mxm_inner(a, b, Some((mask, MaskMode::Drop)))
+}
+
+fn mxm_inner(
+    a: &DeviceCoo,
+    b: &DeviceCoo,
+    filter: Option<(&DeviceCoo, MaskMode)>,
+) -> Result<DeviceCoo> {
     debug_assert_eq!(a.ncols(), b.nrows(), "caller validates dimensions");
     let device = a.device().clone();
     if a.nnz() == 0 || b.nnz() == 0 {
@@ -32,13 +74,31 @@ pub fn mxm(a: &DeviceCoo, b: &DeviceCoo) -> Result<DeviceCoo> {
     // Row offsets of B (derived, not stored — clBool keeps pure COO).
     let b_offsets = b.row_offsets();
 
-    // Expansion sizes per A entry.
+    // Sorted mask rows for the candidate filter.
+    let mask_offsets = filter.map(|(m, _)| m.row_offsets());
+    let keep = |i: u32, j: u32| -> bool {
+        match (filter, &mask_offsets) {
+            (Some((m, mode)), Some(mo)) => {
+                let mrow = &m.cols()[mo[i as usize]..mo[i as usize + 1]];
+                (mrow.binary_search(&j).is_ok()) == (mode == MaskMode::Keep)
+            }
+            _ => true,
+        }
+    };
+
+    // Contraction sizes per A entry: surviving candidates only, so the
+    // expansion buffer is sized post-filter.
     let a_rows = a.rows();
     let a_cols = a.cols();
+    let b_cols = b.cols();
     let mut sizes = vec![0usize; a.nnz()];
     device.launch_map(&mut sizes, |e| {
+        let i = a_rows[e];
         let k = a_cols[e] as usize;
-        b_offsets[k + 1] - b_offsets[k]
+        b_cols[b_offsets[k]..b_offsets[k + 1]]
+            .iter()
+            .filter(|&&j| keep(i, j))
+            .count()
     })?;
     let total = exclusive_scan(&device, &mut sizes)?;
     if total == 0 {
@@ -46,10 +106,12 @@ pub fn mxm(a: &DeviceCoo, b: &DeviceCoo) -> Result<DeviceCoo> {
     }
     let offsets = sizes; // exclusive offsets per A entry
 
-    // Expand: one block per A entry, writing its product keys.
+    // Every surviving candidate costs one expansion slot.
+    device.count_accum_insertions(total as u64);
+
+    // Expand: one block per A entry, writing its surviving product keys.
     let mut expanded = DeviceBuffer::<u64>::zeroed(&device, total)?;
     {
-        let b_cols = b.cols();
         let offs = &offsets;
         let cfg = LaunchCfg::grid(&device, a.nnz() as u32);
         device.launch(
@@ -65,9 +127,14 @@ pub fn mxm(a: &DeviceCoo, b: &DeviceCoo) -> Result<DeviceCoo> {
                 let i = a_rows[e];
                 let k = a_cols[e] as usize;
                 let brow = &b_cols[b_offsets[k]..b_offsets[k + 1]];
-                for (w, &j) in brow.iter().enumerate() {
-                    out[w] = pack(i, j);
+                let mut w = 0usize;
+                for &j in brow {
+                    if keep(i, j) {
+                        out[w] = pack(i, j);
+                        w += 1;
+                    }
                 }
+                debug_assert_eq!(w, out.len());
             },
         )?;
     }
@@ -135,6 +202,43 @@ mod tests {
         check(&[(0, 0)], &[], 2, 2, 2);
         // A entries referencing empty B rows only.
         check(&[(0, 1)], &[(0, 0)], 2, 2, 2);
+    }
+
+    #[test]
+    fn masked_and_compmask_partition_the_product() {
+        let dev = Device::default();
+        let pa: Vec<(u32, u32)> = (0..40).map(|i| (i % 10, (i * 3) % 10)).collect();
+        let pb: Vec<(u32, u32)> = (0..40).map(|i| (i % 10, (i * 7 + 1) % 10)).collect();
+        let pm: Vec<(u32, u32)> = (0..25).map(|i| (i % 10, (i * 5 + 2) % 10)).collect();
+        let da = DeviceCoo::upload(&dev, &CooBool::from_pairs(10, 10, &pa).unwrap()).unwrap();
+        let db = DeviceCoo::upload(&dev, &CooBool::from_pairs(10, 10, &pb).unwrap()).unwrap();
+        let dm = DeviceCoo::upload(&dev, &CooBool::from_pairs(10, 10, &pm).unwrap()).unwrap();
+        let product = mxm(&da, &db).unwrap().download().to_pairs();
+        let hm = CsrBool::from_pairs(10, 10, &pm).unwrap();
+        let kept = mxm_masked(&da, &db, &dm).unwrap().download().to_pairs();
+        let dropped = mxm_compmask(&da, &db, &dm).unwrap().download().to_pairs();
+        let expect_kept: Vec<(u32, u32)> =
+            product.iter().copied().filter(|&(i, j)| hm.get(i, j)).collect();
+        let expect_dropped: Vec<(u32, u32)> =
+            product.iter().copied().filter(|&(i, j)| !hm.get(i, j)).collect();
+        assert_eq!(kept, expect_kept);
+        assert_eq!(dropped, expect_dropped);
+        // Together the two filtered products partition the full product.
+        assert_eq!(kept.len() + dropped.len(), product.len());
+    }
+
+    #[test]
+    fn filtered_expansion_never_packs_rejected_keys() {
+        // With the full product as the complemented mask, nothing survives
+        // the contraction filter — no expansion slots are charged.
+        let dev = Device::default();
+        let pa: Vec<(u32, u32)> = (0..30).map(|i| (i % 6, (i * 5) % 6)).collect();
+        let da = DeviceCoo::upload(&dev, &CooBool::from_pairs(6, 6, &pa).unwrap()).unwrap();
+        let product = mxm(&da, &da).unwrap();
+        let before = dev.stats().accum_insertions;
+        let diff = mxm_compmask(&da, &da, &product).unwrap();
+        assert_eq!(diff.nnz(), 0);
+        assert_eq!(dev.stats().accum_insertions, before);
     }
 
     #[test]

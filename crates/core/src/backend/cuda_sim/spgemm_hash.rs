@@ -58,12 +58,35 @@ fn insert(table: &mut [Index], j: Index) -> bool {
 
 /// `C = A · B` over the Boolean semiring.
 pub fn mxm(a: &DeviceCsr, b: &DeviceCsr) -> Result<DeviceCsr> {
+    mxm_inner(a, b, None)
+}
+
+/// `C = (A · B) ∧ ¬mask` — only entries *not* already present in `mask`.
+///
+/// The complement is never materialised: candidate columns found in the
+/// mask row (binary search, the row is sorted) are rejected before hash
+/// insertion, so they cost neither accumulator space nor output. This is
+/// the primitive semi-naïve fixpoints are built on — with `mask` the
+/// closure-so-far, each round's product only surfaces *new* pairs.
+pub fn mxm_compmask(a: &DeviceCsr, b: &DeviceCsr, mask: &DeviceCsr) -> Result<DeviceCsr> {
+    debug_assert_eq!(a.nrows(), mask.nrows());
+    debug_assert_eq!(b.ncols(), mask.ncols());
+    if mask.nnz() == 0 {
+        return mxm_inner(a, b, None);
+    }
+    mxm_inner(a, b, Some(mask))
+}
+
+/// Shared two-phase hash SpGEMM; `reject` drops candidates whose column
+/// appears in the corresponding reject-matrix row (complemented mask).
+fn mxm_inner(a: &DeviceCsr, b: &DeviceCsr, reject: Option<&DeviceCsr>) -> Result<DeviceCsr> {
     debug_assert_eq!(a.ncols(), b.nrows(), "caller validates dimensions");
     let device = a.device().clone();
     let m = a.nrows();
     if m == 0 || a.nnz() == 0 || b.nnz() == 0 {
         return DeviceCsr::zeros(&device, m, b.ncols());
     }
+    let reject_row = |i: Index| reject.map_or(&[][..], |r| r.row(i));
 
     // Phase 1: per-row upper bounds (one map kernel).
     let mut ub = vec![0usize; m as usize];
@@ -108,11 +131,15 @@ pub fn mxm(a: &DeviceCsr, b: &DeviceCsr) -> Result<DeviceCsr> {
             },
             |ctx, out| {
                 let row = rows[ctx.block_idx() as usize];
+                let rrow = reject_row(row);
                 let mut table = ctx.shared_array::<Index>(tsize);
                 table.fill(EMPTY);
                 let mut count = 0usize;
                 for &k in a.row(row) {
                     for &j in b.row(k) {
+                        if !rrow.is_empty() && rrow.binary_search(&j).is_ok() {
+                            continue;
+                        }
                         if insert(&mut table, j) {
                             count += 1;
                         }
@@ -138,13 +165,16 @@ pub fn mxm(a: &DeviceCsr, b: &DeviceCsr) -> Result<DeviceCsr> {
             |ctx, out| {
                 let r = ctx.block_idx() as usize;
                 let row = rows[r];
+                let rrow = reject_row(row);
                 let slice = &temp_slice[offs[r]..offs[r] + ub[row as usize]];
                 let mut uniq = 0usize;
                 let mut prev = EMPTY;
                 for &j in slice {
                     if j != prev {
-                        uniq += 1;
                         prev = j;
+                        if rrow.is_empty() || rrow.binary_search(&j).is_err() {
+                            uniq += 1;
+                        }
                     }
                 }
                 out[0] = uniq;
@@ -183,17 +213,24 @@ pub fn mxm(a: &DeviceCsr, b: &DeviceCsr) -> Result<DeviceCsr> {
             },
             |ctx, out| {
                 let row = rows[ctx.block_idx() as usize];
+                let rrow = reject_row(row);
                 let mut table = ctx.shared_array::<Index>(tsize);
                 table.fill(EMPTY);
                 let mut w = 0usize;
+                let mut admitted = 0u64;
                 for &k in a.row(row) {
                     for &j in b.row(k) {
+                        if !rrow.is_empty() && rrow.binary_search(&j).is_ok() {
+                            continue;
+                        }
+                        admitted += 1;
                         if insert(&mut table, j) {
                             out[w] = j;
                             w += 1;
                         }
                     }
                 }
+                device.count_accum_insertions(admitted);
                 debug_assert_eq!(w, out.len());
                 out.sort_unstable();
             },
@@ -217,16 +254,22 @@ pub fn mxm(a: &DeviceCsr, b: &DeviceCsr) -> Result<DeviceCsr> {
             |ctx, out| {
                 let r = ctx.block_idx() as usize;
                 let row = rows[r];
+                let rrow = reject_row(row);
                 let slice = &temp_slice[offs[r]..offs[r] + ub[row as usize]];
                 let mut w = 0usize;
                 let mut prev = EMPTY;
                 for &j in slice {
                     if j != prev {
-                        out[w] = j;
-                        w += 1;
                         prev = j;
+                        if rrow.is_empty() || rrow.binary_search(&j).is_err() {
+                            out[w] = j;
+                            w += 1;
+                        }
                     }
                 }
+                // The gather buffer *is* this row's accumulator: every
+                // candidate was materialised before filtering.
+                device.count_accum_insertions(slice.len() as u64);
                 debug_assert_eq!(w, out.len());
             },
         )?;
@@ -299,9 +342,11 @@ pub fn mxm_masked(a: &DeviceCsr, b: &DeviceCsr, mask: &DeviceCsr) -> Result<Devi
             }
             let mut seen = ctx.shared_array::<bool>(mrow.len());
             let mut w = 0usize;
+            let mut admitted = 0u64;
             for &k in a.row(i) {
                 for &j in b.row(k) {
                     if let Ok(pos) = mrow.binary_search(&j) {
+                        admitted += 1;
                         if !seen[pos] {
                             seen[pos] = true;
                             out[w] = j;
@@ -310,6 +355,7 @@ pub fn mxm_masked(a: &DeviceCsr, b: &DeviceCsr, mask: &DeviceCsr) -> Result<Devi
                     }
                 }
             }
+            device.count_accum_insertions(admitted);
             debug_assert_eq!(w, out.len());
             out.sort_unstable();
         },
@@ -461,6 +507,88 @@ mod tests {
         let fused = mxm_masked(&da, &db, &dm).unwrap().download();
         let reference = ha.mxm(&hb).unwrap().ewise_mult(&hm).unwrap();
         assert_eq!(fused, reference);
+    }
+
+    #[test]
+    fn compmask_mxm_matches_post_subtraction() {
+        let dev = Device::default();
+        let pa: Vec<(u32, u32)> = (0..40).map(|i| (i % 10, (i * 3) % 10)).collect();
+        let pb: Vec<(u32, u32)> = (0..40).map(|i| (i % 10, (i * 7 + 1) % 10)).collect();
+        let pm: Vec<(u32, u32)> = (0..25).map(|i| (i % 10, (i * 5 + 2) % 10)).collect();
+        let ha = CsrBool::from_pairs(10, 10, &pa).unwrap();
+        let hb = CsrBool::from_pairs(10, 10, &pb).unwrap();
+        let hm = CsrBool::from_pairs(10, 10, &pm).unwrap();
+        let da = DeviceCsr::upload(&dev, &ha).unwrap();
+        let db = DeviceCsr::upload(&dev, &hb).unwrap();
+        let dm = DeviceCsr::upload(&dev, &hm).unwrap();
+        let fused = mxm_compmask(&da, &db, &dm).unwrap().download();
+        // Reference: full product minus mask entries.
+        let product = ha.mxm(&hb).unwrap();
+        let expect: Vec<(u32, u32)> = product
+            .to_pairs()
+            .into_iter()
+            .filter(|&(i, j)| !hm.get(i, j))
+            .collect();
+        assert_eq!(fused.to_pairs(), expect);
+    }
+
+    #[test]
+    fn compmask_mxm_empty_mask_is_plain_product() {
+        let dev = Device::default();
+        let ha = CsrBool::from_pairs(4, 4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let hm = CsrBool::zeros(4, 4);
+        let da = DeviceCsr::upload(&dev, &ha).unwrap();
+        let dm = DeviceCsr::upload(&dev, &hm).unwrap();
+        let got = mxm_compmask(&da, &da, &dm).unwrap().download();
+        assert_eq!(got, ha.mxm(&ha).unwrap());
+    }
+
+    #[test]
+    fn compmask_mxm_on_global_bin_rows() {
+        // Wide rows force the global-memory gather path; the mask must be
+        // honoured there too.
+        let n: u32 = 6000;
+        let dev = Device::default();
+        let a: Vec<(u32, u32)> = (0..3).map(|k| (0, k)).collect();
+        let mut b = Vec::new();
+        for k in 0..3u32 {
+            for j in 0..n {
+                if (j + k) % 2 == 0 {
+                    b.push((k, j));
+                }
+            }
+        }
+        let pm: Vec<(u32, u32)> = (0..n).step_by(3).map(|j| (0, j)).collect();
+        let ha = CsrBool::from_pairs(1, 3, &a).unwrap();
+        let hb = CsrBool::from_pairs(3, n, &b).unwrap();
+        let hm = CsrBool::from_pairs(1, n, &pm).unwrap();
+        let da = DeviceCsr::upload(&dev, &ha).unwrap();
+        let db = DeviceCsr::upload(&dev, &hb).unwrap();
+        let dm = DeviceCsr::upload(&dev, &hm).unwrap();
+        let got = mxm_compmask(&da, &db, &dm).unwrap().download();
+        let expect: Vec<(u32, u32)> = ha
+            .mxm(&hb)
+            .unwrap()
+            .to_pairs()
+            .into_iter()
+            .filter(|&(i, j)| !hm.get(i, j))
+            .collect();
+        assert_eq!(got.to_pairs(), expect);
+    }
+
+    #[test]
+    fn compmask_rejects_before_accumulation() {
+        // With the full product as mask, nothing is admitted to the
+        // accumulator and the insertion counter stays at zero.
+        let dev = Device::default();
+        let pa: Vec<(u32, u32)> = (0..30).map(|i| (i % 6, (i * 5) % 6)).collect();
+        let ha = CsrBool::from_pairs(6, 6, &pa).unwrap();
+        let da = DeviceCsr::upload(&dev, &ha).unwrap();
+        let product = mxm(&da, &da).unwrap();
+        let before = dev.stats().accum_insertions;
+        let diff = mxm_compmask(&da, &da, &product).unwrap();
+        assert_eq!(diff.nnz(), 0);
+        assert_eq!(dev.stats().accum_insertions, before);
     }
 
     #[test]

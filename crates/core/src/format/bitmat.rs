@@ -166,6 +166,64 @@ impl BitMatrix {
         Ok(c)
     }
 
+    /// Masked product `C = (A · B) ∧ M`, fused per row: the mask words
+    /// clear rejected bits before the row leaves the kernel, so no full
+    /// intermediate product is materialised.
+    pub fn mxm_masked(&self, other: &Self, mask: &Self) -> Result<Self> {
+        self.mxm_filtered(other, mask, false)
+    }
+
+    /// Complemented-mask product `C = (A · B) ∧ ¬M` (word-wise and-not).
+    pub fn mxm_compmask(&self, other: &Self, mask: &Self) -> Result<Self> {
+        self.mxm_filtered(other, mask, true)
+    }
+
+    fn mxm_filtered(&self, other: &Self, mask: &Self, complement: bool) -> Result<Self> {
+        if self.ncols != other.nrows {
+            return Err(SpblaError::DimensionMismatch {
+                op: "mxm_masked",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        if (self.nrows, other.ncols) != mask.shape() {
+            return Err(SpblaError::DimensionMismatch {
+                op: "mxm_masked",
+                lhs: (self.nrows, other.ncols),
+                rhs: mask.shape(),
+            });
+        }
+        let mut c = BitMatrix::zeros(self.nrows, other.ncols);
+        let wpr_out = c.words_per_row;
+        let out = &mut c.words;
+        out.par_chunks_mut(wpr_out.max(1))
+            .enumerate()
+            .for_each(|(i, dst)| {
+                let i = i as Index;
+                for (wi, &aw) in self.row_words(i).iter().enumerate() {
+                    let mut bits = aw;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros();
+                        let k = wi as Index * 64 + b;
+                        if k < other.nrows {
+                            for (d, &s) in dst.iter_mut().zip(other.row_words(k)) {
+                                *d |= s;
+                            }
+                        }
+                        bits &= bits - 1;
+                    }
+                }
+                for (d, &m) in dst.iter_mut().zip(mask.row_words(i)) {
+                    if complement {
+                        *d &= !m;
+                    } else {
+                        *d &= m;
+                    }
+                }
+            });
+        Ok(c)
+    }
+
     /// Word-wise element-wise or.
     pub fn ewise_add(&self, other: &Self) -> Result<Self> {
         self.check_same_shape(other, "ewise_add")?;

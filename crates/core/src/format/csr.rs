@@ -249,6 +249,73 @@ impl CsrBool {
         })
     }
 
+    /// Masked product `C = (A · B) ∧ M`: candidates outside the mask row
+    /// are rejected before touching the accumulator.
+    pub fn mxm_masked(&self, other: &Self, mask: &Self) -> Result<Self> {
+        self.mxm_filtered(other, mask, true)
+    }
+
+    /// Complemented-mask product `C = (A · B) ∧ ¬M`: only entries *not*
+    /// already present in `M` — the semi-naïve fixpoint primitive.
+    pub fn mxm_compmask(&self, other: &Self, mask: &Self) -> Result<Self> {
+        self.mxm_filtered(other, mask, false)
+    }
+
+    /// Gustavson product keeping only candidates whose presence in the
+    /// mask row equals `keep_present`.
+    fn mxm_filtered(&self, other: &Self, mask: &Self, keep_present: bool) -> Result<Self> {
+        if self.ncols != other.nrows {
+            return Err(SpblaError::DimensionMismatch {
+                op: "mxm_masked",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        if (self.nrows, other.ncols) != mask.shape() {
+            return Err(SpblaError::DimensionMismatch {
+                op: "mxm_masked",
+                lhs: (self.nrows, other.ncols),
+                rhs: mask.shape(),
+            });
+        }
+        let mut marker: Vec<bool> = vec![false; other.ncols as usize];
+        let mut row_ptr = Vec::with_capacity(self.nrows as usize + 1);
+        row_ptr.push(0 as Index);
+        let mut cols: Vec<Index> = Vec::new();
+        let mut scratch: Vec<Index> = Vec::new();
+        for i in 0..self.nrows {
+            let mrow = mask.row(i);
+            if keep_present && mrow.is_empty() {
+                row_ptr.push(cols.len() as Index);
+                continue;
+            }
+            scratch.clear();
+            for &k in self.row(i) {
+                for &j in other.row(k) {
+                    if mrow.binary_search(&j).is_ok() != keep_present {
+                        continue;
+                    }
+                    if !marker[j as usize] {
+                        marker[j as usize] = true;
+                        scratch.push(j);
+                    }
+                }
+            }
+            scratch.sort_unstable();
+            for &j in &scratch {
+                marker[j as usize] = false;
+            }
+            cols.extend_from_slice(&scratch);
+            row_ptr.push(cols.len() as Index);
+        }
+        Ok(CsrBool {
+            nrows: self.nrows,
+            ncols: other.ncols,
+            row_ptr,
+            cols,
+        })
+    }
+
     /// Element-wise Boolean sum `C = A + B` (set union), the paper's
     /// `A += B` building block.
     pub fn ewise_add(&self, other: &Self) -> Result<Self> {

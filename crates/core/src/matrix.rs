@@ -385,9 +385,14 @@ impl Matrix {
         Vector::from_sorted_indices(&self.instance, self.nrows(), out)
     }
 
-    /// The transitive closure `M⁺` of a square Boolean matrix: repeated
-    /// multiply-add to a fixpoint. A library-level convenience the
-    /// paper's applications use pervasively.
+    /// The transitive closure `M⁺` of a square Boolean matrix, computed
+    /// semi-naïvely: each round multiplies only the *delta* (pairs found
+    /// last round) against the closure, `N = (C·Δ) ∧ ¬C`, and stops when
+    /// the delta is empty. Equivalent to the naive `C += C·C` loop — a
+    /// shortest path's suffix half is always a last-round discovery, so
+    /// doubling is preserved — but each round's SpGEMM rejects
+    /// already-known pairs inside the kernel instead of recomputing the
+    /// whole product.
     ///
     /// ```
     /// use spbla_core::{Instance, Matrix};
@@ -405,13 +410,16 @@ impl Matrix {
             });
         }
         let mut closure = Matrix::wrap(&self.instance, self.clone_repr()?);
-        loop {
-            let before = closure.nnz();
-            closure = closure.mxm_acc(&closure, &closure)?;
-            if closure.nnz() == before {
-                return Ok(closure);
+        let mut delta = closure.duplicate()?;
+        while delta.nnz() > 0 {
+            let fresh = closure.mxm_compmask(&delta, &closure)?;
+            if fresh.nnz() == 0 {
+                break;
             }
+            closure = closure.ewise_add(&fresh)?;
+            delta = fresh;
         }
+        Ok(closure)
     }
 
     fn clone_repr(&self) -> Result<Repr> {
@@ -463,10 +471,47 @@ impl Matrix {
     /// `mxm` applications use to restrict results to a pattern (e.g.
     /// triangle counting masks by the adjacency itself).
     ///
-    /// On the CSR simulated-GPU backend the mask is applied *inside* the
-    /// SpGEMM kernel (candidates outside the mask row are never
-    /// inserted); other backends compute the product and intersect.
+    /// Every backend applies the mask *inside* its SpGEMM kernel —
+    /// candidates outside the mask row are rejected before they reach
+    /// the accumulator, so no full product is ever materialised.
     pub fn mxm_masked(&self, other: &Matrix, mask: &Matrix) -> Result<Matrix> {
+        self.check_masked_args(other, mask)?;
+        let repr = match (&self.repr, &other.repr, &mask.repr) {
+            (Repr::Cpu(a), Repr::Cpu(b), Repr::Cpu(m)) => Repr::Cpu(a.mxm_masked(b, m)?),
+            (Repr::Bit(a), Repr::Bit(b), Repr::Bit(m)) => Repr::Bit(a.mxm_masked(b, m)?),
+            (Repr::Cuda(a), Repr::Cuda(b), Repr::Cuda(m)) => {
+                Repr::Cuda(cuda_sim::spgemm_hash::mxm_masked(a, b, m)?)
+            }
+            (Repr::Cl(a), Repr::Cl(b), Repr::Cl(m)) => {
+                Repr::Cl(cl_sim::esc_spgemm::mxm_masked(a, b, m)?)
+            }
+            _ => return Err(SpblaError::BackendMismatch),
+        };
+        Ok(Matrix::wrap(&self.instance, repr))
+    }
+
+    /// Complemented-mask product `C = (A · B) ∧ ¬M` — only entries of the
+    /// product *not* already present in `M`. This is the semi-naïve
+    /// fixpoint primitive: with `M` the frontier accumulated so far, the
+    /// result is exactly the new discoveries, and the kernel rejects
+    /// already-known candidates before they cost accumulator space.
+    pub fn mxm_compmask(&self, other: &Matrix, mask: &Matrix) -> Result<Matrix> {
+        self.check_masked_args(other, mask)?;
+        let repr = match (&self.repr, &other.repr, &mask.repr) {
+            (Repr::Cpu(a), Repr::Cpu(b), Repr::Cpu(m)) => Repr::Cpu(a.mxm_compmask(b, m)?),
+            (Repr::Bit(a), Repr::Bit(b), Repr::Bit(m)) => Repr::Bit(a.mxm_compmask(b, m)?),
+            (Repr::Cuda(a), Repr::Cuda(b), Repr::Cuda(m)) => {
+                Repr::Cuda(cuda_sim::spgemm_hash::mxm_compmask(a, b, m)?)
+            }
+            (Repr::Cl(a), Repr::Cl(b), Repr::Cl(m)) => {
+                Repr::Cl(cl_sim::esc_spgemm::mxm_compmask(a, b, m)?)
+            }
+            _ => return Err(SpblaError::BackendMismatch),
+        };
+        Ok(Matrix::wrap(&self.instance, repr))
+    }
+
+    fn check_masked_args(&self, other: &Matrix, mask: &Matrix) -> Result<()> {
         self.check_same_instance(other)?;
         self.check_same_instance(mask)?;
         self.check_mul_dims(other)?;
@@ -477,13 +522,7 @@ impl Matrix {
                 rhs: mask.shape(),
             });
         }
-        if let (Repr::Cuda(a), Repr::Cuda(b), Repr::Cuda(mk)) =
-            (&self.repr, &other.repr, &mask.repr)
-        {
-            let repr = Repr::Cuda(cuda_sim::spgemm_hash::mxm_masked(a, b, mk)?);
-            return Ok(Matrix::wrap(&self.instance, repr));
-        }
-        self.mxm(other)?.ewise_mult(mask)
+        Ok(())
     }
 
     /// Pairs reachable in 1 ..= k steps: `A + A² + … + Aᵏ`.
@@ -629,6 +668,47 @@ mod tests {
         assert_eq!(a.mxm_masked(&a, &mask).unwrap().read(), vec![(0, 2)]);
         let empty_mask = Matrix::zeros(&inst, 3, 3).unwrap();
         assert_eq!(a.mxm_masked(&a, &empty_mask).unwrap().nnz(), 0);
+    }
+
+    #[test]
+    fn masked_and_compmask_native_on_all_backends() {
+        let pairs_a: Vec<(u32, u32)> = (0..30).map(|i| (i % 8, (i * 3 + 1) % 8)).collect();
+        let pairs_b: Vec<(u32, u32)> = (0..30).map(|i| (i % 8, (i * 5 + 2) % 8)).collect();
+        let pairs_m: Vec<(u32, u32)> = (0..20).map(|i| (i % 8, (i * 7 + 3) % 8)).collect();
+        let cpu = Instance::cpu();
+        let ca = Matrix::from_pairs(&cpu, 8, 8, &pairs_a).unwrap();
+        let cb = Matrix::from_pairs(&cpu, 8, 8, &pairs_b).unwrap();
+        let product = ca.mxm(&cb).unwrap().read();
+        let in_mask: std::collections::HashSet<(u32, u32)> = pairs_m.iter().copied().collect();
+        let expect_kept: Vec<(u32, u32)> = product
+            .iter()
+            .copied()
+            .filter(|p| in_mask.contains(p))
+            .collect();
+        let expect_new: Vec<(u32, u32)> = product
+            .iter()
+            .copied()
+            .filter(|p| !in_mask.contains(p))
+            .collect();
+        for inst in instances() {
+            let a = Matrix::from_pairs(&inst, 8, 8, &pairs_a).unwrap();
+            let b = Matrix::from_pairs(&inst, 8, 8, &pairs_b).unwrap();
+            let m = Matrix::from_pairs(&inst, 8, 8, &pairs_m).unwrap();
+            assert_eq!(a.mxm_masked(&b, &m).unwrap().read(), expect_kept);
+            assert_eq!(a.mxm_compmask(&b, &m).unwrap().read(), expect_new);
+            // Empty mask: masked yields nothing, compmask the full product.
+            let zero = Matrix::zeros(&inst, 8, 8).unwrap();
+            assert_eq!(a.mxm_masked(&b, &zero).unwrap().nnz(), 0);
+            assert_eq!(a.mxm_compmask(&b, &zero).unwrap().read(), product);
+        }
+    }
+
+    #[test]
+    fn compmask_rejects_bad_shapes() {
+        let inst = Instance::cpu();
+        let a = Matrix::from_pairs(&inst, 3, 3, &[(0, 1)]).unwrap();
+        let bad_mask = Matrix::zeros(&inst, 3, 4).unwrap();
+        assert!(a.mxm_compmask(&a, &bad_mask).is_err());
     }
 
     #[test]

@@ -60,6 +60,11 @@ pub struct DeviceStats {
     pub h2d_bytes: u64,
     /// Bytes copied device→host.
     pub d2h_bytes: u64,
+    /// Accumulator insertions performed by SpGEMM-style kernels: hash-table
+    /// probes that claimed a slot plus expansion entries materialised for
+    /// sorting. Masked/delta kernels advertise their savings here — fewer
+    /// insertions means fewer candidate products ever cost memory.
+    pub accum_insertions: u64,
 }
 
 pub(crate) struct DeviceInner {
@@ -72,6 +77,7 @@ pub(crate) struct DeviceInner {
     blocks_executed: AtomicU64,
     h2d_bytes: AtomicU64,
     d2h_bytes: AtomicU64,
+    accum_insertions: AtomicU64,
 }
 
 impl DeviceInner {
@@ -120,6 +126,18 @@ impl DeviceInner {
     }
 }
 
+impl Device {
+    /// Charge `n` accumulator insertions to this device. Called by SpGEMM
+    /// kernels once per claimed hash slot / emitted expansion entry, so
+    /// schedules can be compared by how many candidate products they ever
+    /// materialise.
+    pub fn count_accum_insertions(&self, n: u64) {
+        if n > 0 {
+            self.inner.accum_insertions.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+}
+
 /// A handle to a simulated GPGPU device. Cheap to clone; all clones share
 /// the same memory accounting and statistics.
 #[derive(Clone)]
@@ -157,6 +175,7 @@ impl Device {
                 blocks_executed: AtomicU64::new(0),
                 h2d_bytes: AtomicU64::new(0),
                 d2h_bytes: AtomicU64::new(0),
+                accum_insertions: AtomicU64::new(0),
             }),
         }
     }
@@ -186,6 +205,7 @@ impl Device {
             blocks_executed: i.blocks_executed.load(Ordering::Relaxed),
             h2d_bytes: i.h2d_bytes.load(Ordering::Relaxed),
             d2h_bytes: i.d2h_bytes.load(Ordering::Relaxed),
+            accum_insertions: i.accum_insertions.load(Ordering::Relaxed),
         }
     }
 

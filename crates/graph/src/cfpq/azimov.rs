@@ -2,7 +2,10 @@
 //!
 //! Preprocess the grammar to CNF, keep one Boolean matrix `T_A` per
 //! nonterminal, and iterate `T_A += T_B · T_C` over the binary rules
-//! until no matrix grows. Reachability is `T_S`; the single-path
+//! until no matrix grows — run semi-naïvely: each round multiplies only
+//! the deltas of the previous round, with a complemented-mask SpGEMM
+//! discarding already-known facts inside the kernel (same least
+//! fixpoint as the textbook loop). Reachability is `T_S`; the single-path
 //! semantics of the PyGraphBLAS implementation the paper compares against
 //! is reproduced through derivation heights recorded during the fixpoint.
 
@@ -47,7 +50,14 @@ impl AzimovIndex {
         let n = graph.n_vertices();
         let nnt = cnf.n_nonterminals();
 
-        // Base: terminal rules, plus the diagonal if S is nullable.
+        // Base: terminal rules, plus the diagonal if S is nullable. The
+        // identity is built once up front and shared, not re-made inside
+        // the loop.
+        let identity = if cnf.start_nullable() {
+            Some(Matrix::identity(inst, n)?)
+        } else {
+            None
+        };
         let mut matrices: Vec<Matrix> = Vec::with_capacity(nnt);
         for a in 0..nnt {
             let a_id = NtId(a as u32);
@@ -57,40 +67,71 @@ impl AzimovIndex {
                     m = m.ewise_add(&graph.label_matrix(inst, t)?)?;
                 }
             }
-            if a_id == cnf.start() && cnf.start_nullable() {
-                m = m.ewise_add(&Matrix::identity(inst, n)?)?;
+            if a_id == cnf.start() {
+                if let Some(identity) = &identity {
+                    m = m.ewise_add(identity)?;
+                }
             }
             matrices.push(m);
         }
-        // Fixpoint rounds with dirty tracking: a rule `A → B C` can only
-        // derive new facts if `B` or `C` grew in the previous round, so
-        // stable rules are skipped (the standard worklist refinement of
-        // Azimov's loop; semantics unchanged).
+        // Semi-naïve fixpoint: per nonterminal we track the delta Δ_X of
+        // facts discovered last round, and a rule `A → B C` contributes
+        // only `(Δ_B·T_C + T_B·Δ_C) ∧ ¬T_A` — the complemented-mask
+        // SpGEMM rejects already-known A-facts inside the kernel, so each
+        // round's cost is proportional to the product touching *new*
+        // facts, not the full `T_B·T_C`. Rules whose operands both have
+        // empty deltas are skipped entirely. Deltas are applied at the
+        // end of the round; the least fixpoint is the same as the naive
+        // Gauss–Seidel loop's.
         let mut iterations = 0usize;
-        let mut dirty: Vec<bool> = vec![true; nnt];
+        let mut deltas: Vec<Option<Matrix>> = matrices
+            .iter()
+            .map(|m| {
+                if m.is_empty() {
+                    Ok(None)
+                } else {
+                    m.duplicate().map(Some)
+                }
+            })
+            .collect::<Result<_>>()?;
         loop {
             iterations += 1;
-            let mut grew: Vec<bool> = vec![false; nnt];
-            let mut changed = false;
+            let mut fresh: Vec<Option<Matrix>> = (0..nnt).map(|_| None).collect();
             for &(a, b, c) in cnf.binary_rules() {
-                if !dirty[b.id()] && !dirty[c.id()] {
-                    continue;
+                let ta = &matrices[a.id()];
+                let mut new: Option<Matrix> = None;
+                if let Some(db) = &deltas[b.id()] {
+                    new = Some(db.mxm_compmask(&matrices[c.id()], ta)?);
                 }
-                let product = matrices[b.id()].mxm(&matrices[c.id()])?;
-                if product.is_empty() {
-                    continue;
+                if let Some(dc) = &deltas[c.id()] {
+                    let term = matrices[b.id()].mxm_compmask(dc, ta)?;
+                    new = Some(match new {
+                        Some(acc) => acc.ewise_add(&term)?,
+                        None => term,
+                    });
                 }
-                let updated = matrices[a.id()].ewise_add(&product)?;
-                if updated.nnz() != matrices[a.id()].nnz() {
-                    changed = true;
-                    grew[a.id()] = true;
-                    matrices[a.id()] = updated;
+                if let Some(new) = new {
+                    if !new.is_empty() {
+                        fresh[a.id()] = Some(match fresh[a.id()].take() {
+                            Some(acc) => acc.ewise_add(&new)?,
+                            None => new,
+                        });
+                    }
+                }
+            }
+            let mut changed = false;
+            for (delta, f) in deltas.iter_mut().zip(fresh.iter_mut()) {
+                *delta = f.take();
+                changed |= delta.is_some();
+            }
+            for (a, delta) in deltas.iter().enumerate() {
+                if let Some(f) = delta {
+                    matrices[a] = matrices[a].ewise_add(f)?;
                 }
             }
             if !changed {
                 break;
             }
-            dirty = grew;
         }
         // Minimal derivation heights, computed Jacobi-style over the
         // final fact set so every non-base fact has a rule whose children

@@ -24,7 +24,7 @@ use spbla_core::{CsrBool, Instance, Matrix, Result};
 use spbla_lang::cfg::{NtId, SymbolOrNt};
 use spbla_lang::{Grammar, Rsm, Symbol};
 
-use crate::closure::{closure_incremental, closure_squaring};
+use crate::closure::{closure_delta, closure_incremental};
 use crate::graph::LabeledGraph;
 use crate::paths::PathEdge;
 
@@ -158,7 +158,7 @@ impl TnsIndex {
                         let dg = nt_matrix(inst, &nt_edges[nt.id()])?;
                         m = m.ewise_add(&dr.kron(&dg)?)?;
                     }
-                    closure_squaring(&m)?
+                    closure_delta(&m)?
                 }
             };
 

@@ -4,12 +4,16 @@
 //! bottleneck between the tensor CFPQ algorithm and a truly subcubic
 //! solution; the CFPQ fixpoint recomputes a closure after each batch of
 //! new edges, so how that recomputation is scheduled dominates runtime.
-//! Three schedules are provided and ablated (E10.4).
+//! The schedules below are ablated against each other (E10.4, E10.8);
+//! [`closure_delta`] — semi-naïve iteration over the frontier with a
+//! complemented-mask SpGEMM — is the one the hot paths use.
 
 use spbla_core::{Matrix, Result};
 
 /// Closure by repeated squaring: `C ← C + C·C` until fixpoint —
-/// O(log diameter) multiplications of growing density.
+/// O(log diameter) multiplications of growing density. Kept as the
+/// naive baseline for the schedule ablation; the hot paths use
+/// [`closure_delta`].
 pub fn closure_squaring(adjacency: &Matrix) -> Result<Matrix> {
     let mut c = adjacency.duplicate()?;
     loop {
@@ -19,6 +23,46 @@ pub fn closure_squaring(adjacency: &Matrix) -> Result<Matrix> {
             return Ok(c);
         }
     }
+}
+
+/// Masked squaring: `C ← C + ((C·C) ∧ ¬C)` — the naive schedule's
+/// operands, but the complemented-mask SpGEMM discards already-known
+/// pairs inside the kernel instead of re-materialising them. The
+/// middle rung of the schedule ablation between [`closure_squaring`]
+/// and [`closure_delta`]: it saves accumulator insertions but still
+/// multiplies the full closure each round.
+pub fn closure_masked(adjacency: &Matrix) -> Result<Matrix> {
+    let mut c = adjacency.duplicate()?;
+    loop {
+        let fresh = c.mxm_compmask(&c, &c)?;
+        if fresh.nnz() == 0 {
+            return Ok(c);
+        }
+        c = c.ewise_add(&fresh)?;
+    }
+}
+
+/// Semi-naïve closure: track the frontier Δ of pairs discovered last
+/// round and compute only `N = (C·Δ) ∧ ¬C` each round, stopping when Δ
+/// is empty. One delta-sided multiply per round preserves the doubling
+/// of [`closure_squaring`]: a shortest path of length `m ∈ (2ᵏ, 2ᵏ⁺¹]`
+/// splits into a prefix of `⌊m/2⌋ ≤ 2ᵏ` (already in `C`) and a suffix
+/// of `⌈m/2⌉ ∈ (2ᵏ⁻¹, 2ᵏ]` (discovered exactly last round, so in `Δ`).
+/// The complemented-mask SpGEMM rejects already-known pairs inside the
+/// kernel, so per-round cost is proportional to the product touching
+/// *new* pairs rather than the full `C·C`.
+pub fn closure_delta(adjacency: &Matrix) -> Result<Matrix> {
+    let mut c = adjacency.duplicate()?;
+    let mut delta = adjacency.duplicate()?;
+    while delta.nnz() > 0 {
+        let fresh = c.mxm_compmask(&delta, &c)?;
+        if fresh.nnz() == 0 {
+            break;
+        }
+        c = c.ewise_add(&fresh)?;
+        delta = fresh;
+    }
+    Ok(c)
 }
 
 /// Closure by single-step relaxation: `C ← C + C·A` until fixpoint —
@@ -39,22 +83,28 @@ pub fn closure_single_step(adjacency: &Matrix) -> Result<Matrix> {
 ///
 /// New reachability can only arise from paths alternating old-closure
 /// segments and Δ-edges, so each round multiplies by the *sparse* Δ:
-/// `N ← (T + I)·Δ·(T + I)`, `T ← T + N`, repeated until Δ introduces no
-/// new pairs. When `nnz(Δ)` is small this does asymptotically less work
-/// than re-running [`closure_squaring`] from scratch — and this is the
-/// schedule the CFPQ loop uses between iterations.
+/// `N ← ((T + I)·Δ·(T + I)) ∧ ¬T`, `T ← T + N`, until `N` is empty.
+/// Every round's multiplier is the original Δ — never the (possibly
+/// dense) pairs it uncovered — so per-round cost stays proportional to
+/// `nnz(Δ)`; paths through several Δ-edges are still found because `T`
+/// grows between rounds. The identity is built once per call and reused
+/// across rounds, and the trailing multiply is a complemented-mask
+/// SpGEMM so already-known pairs are rejected inside the kernel and the
+/// empty-`N` termination check is free. When `nnz(Δ)` is small this
+/// does asymptotically less work than re-running [`closure_delta`] from
+/// scratch — and this is the schedule the CFPQ loop uses between
+/// iterations.
 pub fn closure_incremental(t: &Matrix, delta: &Matrix) -> Result<Matrix> {
     let n = t.nrows();
     let identity = Matrix::identity(t.instance(), n)?;
     let mut closure = t.ewise_add(delta)?;
     loop {
-        let before = closure.nnz();
         let reach = closure.ewise_add(&identity)?;
-        let through = reach.mxm(delta)?.mxm(&reach)?;
-        closure = closure.ewise_add(&through)?;
-        if closure.nnz() == before {
+        let through = reach.mxm(delta)?.mxm_compmask(&reach, &closure)?;
+        if through.nnz() == 0 {
             return Ok(closure);
         }
+        closure = closure.ewise_add(&through)?;
     }
 }
 
@@ -81,14 +131,14 @@ pub fn closure_dense_bit(adjacency: &Matrix) -> Result<Matrix> {
 }
 
 /// Pick a closure strategy by size: dense bitset when the `n²/8`-byte
-/// matrix stays under 64 MiB, sparse squaring otherwise.
+/// matrix stays under 64 MiB, sparse semi-naïve otherwise.
 pub fn closure_auto(adjacency: &Matrix) -> Result<Matrix> {
     let n = adjacency.nrows() as usize;
     let dense_bytes = n.div_ceil(64) * 8 * n;
     if dense_bytes <= (64 << 20) {
         closure_dense_bit(adjacency)
     } else {
-        closure_squaring(adjacency)
+        closure_delta(adjacency)
     }
 }
 
@@ -108,8 +158,33 @@ mod tests {
             let a = path_graph(&inst, 12);
             let sq = closure_squaring(&a).unwrap().read();
             let ss = closure_single_step(&a).unwrap().read();
+            let dl = closure_delta(&a).unwrap().read();
             assert_eq!(sq, ss);
+            assert_eq!(sq, dl);
             assert_eq!(sq.len(), (11 * 12) / 2);
+        }
+    }
+
+    #[test]
+    fn delta_matches_squaring_on_random_graphs() {
+        for inst in [
+            Instance::cpu(),
+            Instance::cpu_dense(),
+            Instance::cuda_sim(),
+            Instance::cl_sim(),
+        ] {
+            for seed in 0u32..4 {
+                let pairs: Vec<(u32, u32)> = (0..80u32)
+                    .map(|i| {
+                        let x = i.wrapping_mul(2654435761).wrapping_add(seed * 97);
+                        (x % 25, (x / 25) % 25)
+                    })
+                    .collect();
+                let a = Matrix::from_pairs(&inst, 25, 25, &pairs).unwrap();
+                let naive = closure_squaring(&a).unwrap().read();
+                assert_eq!(closure_delta(&a).unwrap().read(), naive);
+                assert_eq!(closure_masked(&a).unwrap().read(), naive);
+            }
         }
     }
 

@@ -13,15 +13,17 @@ use spbla_core::{CsrBool, Instance, Matrix, Result};
 use spbla_lang::glushkov::glushkov;
 use spbla_lang::{Nfa, Regex, Symbol};
 
-use crate::closure::{closure_single_step, closure_squaring};
+use crate::closure::{closure_delta, closure_single_step, closure_squaring};
 use crate::graph::LabeledGraph;
 use crate::paths::PathEdge;
 
 /// Closure schedule selection for index construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ClosureKind {
-    /// `C += C·C` doubling (default).
+    /// Semi-naïve frontier iteration `(C·Δ) ∧ ¬C` (default).
     #[default]
+    Delta,
+    /// `C += C·C` doubling.
     Squaring,
     /// `C += C·A` relaxation.
     SingleStep,
@@ -135,6 +137,7 @@ impl RpqIndex {
         }
 
         let closure = match options.closure {
+            ClosureKind::Delta => closure_delta(&m)?,
             ClosureKind::Squaring => closure_squaring(&m)?,
             ClosureKind::SingleStep => closure_single_step(&m)?,
         };

@@ -162,7 +162,7 @@ impl Regex {
                 out.push('(');
             }
             match r {
-                Regex::Empty => out.push_str("∅"),
+                Regex::Empty => out.push('∅'),
                 Regex::Epsilon => out.push_str("eps"),
                 Regex::Sym(s) => out.push_str(table.name(*s)),
                 Regex::Alt(a, b) => {

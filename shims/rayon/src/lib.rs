@@ -1,0 +1,343 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The simulated-GPU crate drives block execution through
+//! `into_par_iter().for_each(..)` and the primitives use `par_iter` /
+//! `par_chunks` adapter chains. This shim keeps the exact call-site API but
+//! executes adapter chains sequentially (they delegate to `Iterator`) and
+//! parallelises only the terminal `for_each` / `fold` on a direct parallel
+//! iterator, using scoped OS threads. Nested parallel sections run
+//! sequentially rather than spawning threads quadratically, mirroring how a
+//! work-stealing pool would absorb nested work.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    /// Width override installed by [`ThreadPool::install`].
+    static POOL_WIDTH: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set inside parallel workers so nested `for_each` stays sequential.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of threads parallel sections may use, matching
+/// `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    POOL_WIDTH.with(|w| w.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Run two closures and return both results (sequentially here).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// A "parallel" iterator: wraps a sequential iterator, delegates the whole
+/// `Iterator` vocabulary, and parallelises the terminal `for_each`.
+pub struct Par<I> {
+    inner: I,
+}
+
+impl<I: Iterator> Iterator for Par<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        self.inner.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<I: Iterator> Par<I> {
+    /// Indexed variant that keeps the parallel `for_each` available.
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par {
+            inner: self.inner.enumerate(),
+        }
+    }
+
+    /// Mapping adapter that stays a parallel iterator, so rayon-only
+    /// terminals (`reduce`, parallel `for_each`) remain reachable after it.
+    pub fn map<T, F: FnMut(I::Item) -> T>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par {
+            inner: self.inner.map(f),
+        }
+    }
+
+    /// Rayon-style identity-plus-operator reduction.
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: Fn(I::Item, I::Item) -> I::Item,
+    {
+        let mut acc = identity();
+        for item in self.inner {
+            acc = op(acc, item);
+        }
+        acc
+    }
+
+    /// Parallel consumption: items are collected and dispatched to scoped
+    /// worker threads (sequential when nested or when width is 1).
+    pub fn for_each<F>(self, f: F)
+    where
+        I::Item: Send,
+        F: Fn(I::Item) + Sync,
+    {
+        let items: Vec<I::Item> = self.inner.collect();
+        run_parallel(items, &f);
+    }
+
+    /// Rayon-style two-closure fold; the per-split accumulators collapse to
+    /// one here, so `reduce` just folds the identity back in.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> FoldResult<T>
+    where
+        ID: Fn() -> T,
+        F: Fn(T, I::Item) -> T,
+    {
+        let mut acc = identity();
+        for item in self.inner {
+            acc = fold_op(acc, item);
+        }
+        FoldResult { value: acc }
+    }
+}
+
+/// Result of [`Par::fold`], awaiting its `reduce`.
+pub struct FoldResult<T> {
+    value: T,
+}
+
+impl<T> FoldResult<T> {
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> T
+    where
+        ID: Fn() -> T,
+        F: Fn(T, T) -> T,
+    {
+        op(identity(), self.value)
+    }
+}
+
+fn run_parallel<T: Send, F: Fn(T) + Sync>(items: Vec<T>, f: &F) {
+    let width = current_num_threads().max(1);
+    let nested = IN_WORKER.with(|w| w.get());
+    if width <= 1 || items.len() <= 1 || nested {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(width);
+    let mut buckets: Vec<Vec<T>> = Vec::with_capacity(width);
+    let mut it = items.into_iter();
+    loop {
+        let bucket: Vec<T> = it.by_ref().take(chunk).collect();
+        if bucket.is_empty() {
+            break;
+        }
+        buckets.push(bucket);
+    }
+    std::thread::scope(|s| {
+        for bucket in buckets {
+            s.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                for item in bucket {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+/// Error from [`ThreadPoolBuilder::build`]; never produced by this shim.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A width marker: `install` scopes `current_num_threads` to this width.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        POOL_WIDTH.with(|w| {
+            let prev = w.replace(Some(self.num_threads));
+            let out = op();
+            w.set(prev);
+            out
+        })
+    }
+}
+
+/// Builder matching `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+pub mod prelude {
+    use super::Par;
+
+    /// `into_par_iter` for anything iterable (ranges, vectors, zips).
+    pub trait IntoParallelIterator: Sized {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Par<Self::Iter>;
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T {
+        type Item = T::Item;
+        type Iter = T::IntoIter;
+        fn into_par_iter(self) -> Par<T::IntoIter> {
+            Par { inner: self.into_iter() }
+        }
+    }
+
+    /// `par_iter` — shared-reference parallel iteration.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter(&'data self) -> Par<Self::Iter>;
+    }
+
+    impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
+    where
+        &'data T: IntoIterator,
+    {
+        type Item = <&'data T as IntoIterator>::Item;
+        type Iter = <&'data T as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Par<Self::Iter> {
+            Par { inner: self.into_iter() }
+        }
+    }
+
+    /// `par_iter_mut` — unique-reference parallel iteration.
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter_mut(&'data mut self) -> Par<Self::Iter>;
+    }
+
+    impl<'data, T: 'data + ?Sized> IntoParallelRefMutIterator<'data> for T
+    where
+        &'data mut T: IntoIterator,
+    {
+        type Item = <&'data mut T as IntoIterator>::Item;
+        type Iter = <&'data mut T as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'data mut self) -> Par<Self::Iter> {
+            Par { inner: self.into_iter() }
+        }
+    }
+
+    /// `par_chunks` on slices.
+    pub trait ParallelSlice<T> {
+        fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
+            Par { inner: self.chunks(chunk_size) }
+        }
+    }
+
+    /// `par_chunks_mut` on slices.
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+            Par { inner: self.chunks_mut(chunk_size) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallel_for_each_visits_everything() {
+        let count = AtomicUsize::new(0);
+        (0..10_000u32).into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn adapter_chains_behave_like_iterators() {
+        let v: Vec<u64> = (0..100).collect();
+        let s: u64 = v.par_iter().sum();
+        assert_eq!(s, 4950);
+        let or_all = v.par_iter().fold(|| 0u64, |a, &k| a | k).reduce(|| 0, |a, b| a | b);
+        assert_eq!(or_all, 127);
+        let mut w = vec![0u32; 8];
+        w.par_iter_mut().for_each(|x| *x = 7);
+        assert!(w.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn chunked_mutation_covers_slice() {
+        let mut data = vec![0usize; 1000];
+        data.par_chunks_mut(100).enumerate().for_each(|(b, slice)| {
+            for x in slice {
+                *x = b;
+            }
+        });
+        assert_eq!(data[999], 9);
+        assert_eq!(data[0], 0);
+        assert_eq!(data.par_chunks(100).count(), 10);
+    }
+
+    #[test]
+    fn install_scopes_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+    }
+}
