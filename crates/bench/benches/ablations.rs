@@ -15,11 +15,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spbla_bench::{naive_add_baseline, upload};
 use spbla_core::Instance;
 use spbla_data::random::{power_law_pairs, uniform_row_degree};
+use spbla_graph::cfpq::azimov::{AzimovIndex, AzimovOptions};
+use spbla_graph::cfpq::tensor::{TnsIndex, TnsOptions};
 use spbla_graph::closure::{
     closure_delta, closure_incremental, closure_masked, closure_single_step, closure_squaring,
 };
-use spbla_graph::cfpq::azimov::{AzimovIndex, AzimovOptions};
-use spbla_graph::cfpq::tensor::{TnsIndex, TnsOptions};
 use spbla_graph::LabeledGraph;
 use spbla_lang::{CnfGrammar, Grammar, SymbolTable};
 
@@ -149,7 +149,11 @@ fn ablate_tns_incremental(c: &mut Criterion) {
         g.add_edge(i, a, (i + 1) % 30);
     }
     for i in 0..30u32 {
-        g.add_edge(if i == 0 { 0 } else { 29 + i }, b, if i == 29 { 0 } else { 30 + i });
+        g.add_edge(
+            if i == 0 { 0 } else { 29 + i },
+            b,
+            if i == 29 { 0 } else { 30 + i },
+        );
     }
     let inst = Instance::cuda_sim();
     group.bench_function("from_scratch_each_round", |bch| {
@@ -225,15 +229,19 @@ fn ablate_fixpoint_schedule(c: &mut Criterion) {
     let graph = lubm_rung(2, &mut table);
     let pairs = graph.adjacency_csr().to_pairs();
     let n = graph.n_vertices();
-    for (backend, inst) in [("csr_hash", Instance::cuda_sim()), ("coo_esc", Instance::cl_sim())]
-    {
+    for (backend, inst) in [
+        ("csr_hash", Instance::cuda_sim()),
+        ("coo_esc", Instance::cl_sim()),
+    ] {
         let a = upload(&inst, n, &pairs);
         group.bench_with_input(BenchmarkId::new("naive_squaring", backend), &(), |b, ()| {
             b.iter(|| closure_squaring(&a).unwrap().nnz())
         });
-        group.bench_with_input(BenchmarkId::new("masked_squaring", backend), &(), |b, ()| {
-            b.iter(|| closure_masked(&a).unwrap().nnz())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("masked_squaring", backend),
+            &(),
+            |b, ()| b.iter(|| closure_masked(&a).unwrap().nnz()),
+        );
         group.bench_with_input(BenchmarkId::new("delta_compmask", backend), &(), |b, ()| {
             b.iter(|| closure_delta(&a).unwrap().nnz())
         });
@@ -252,7 +260,14 @@ fn ablate_automaton_kind(c: &mut Criterion) {
     let graph = lubm_rung(4, &mut table);
     let regex = spbla_data::queries::instantiate_template(
         spbla_data::queries::template("Q14").unwrap(),
-        &["type", "memberOf", "takesCourse", "subOrganizationOf", "teacherOf", "worksFor"],
+        &[
+            "type",
+            "memberOf",
+            "takesCourse",
+            "subOrganizationOf",
+            "teacherOf",
+            "worksFor",
+        ],
         &mut table,
     );
     let inst = Instance::cuda_sim();

@@ -26,21 +26,29 @@ fn bench_same_generation(c: &mut Criterion) {
         .filter(|(n, _)| n == "eclass_514en" || n == "go-hierarchy" || n == "enzyme")
     {
         for (qname, grammar, cnf) in [("G1", &g1, &cnf1), ("G2", &g2, &cnf2)] {
-            group.bench_with_input(BenchmarkId::new(format!("{qname}_tns"), name), &(), |b, ()| {
-                b.iter(|| {
-                    TnsIndex::build(graph, grammar, &inst, &TnsOptions::default())
-                        .unwrap()
-                        .index_nnz()
-                })
-            });
-            group.bench_with_input(BenchmarkId::new(format!("{qname}_mtx"), name), &(), |b, ()| {
-                b.iter(|| {
-                    AzimovIndex::build(graph, cnf, &inst, &AzimovOptions::default())
-                        .unwrap()
-                        .reachable_pairs()
-                        .len()
-                })
-            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("{qname}_tns"), name),
+                &(),
+                |b, ()| {
+                    b.iter(|| {
+                        TnsIndex::build(graph, grammar, &inst, &TnsOptions::default())
+                            .unwrap()
+                            .index_nnz()
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{qname}_mtx"), name),
+                &(),
+                |b, ()| {
+                    b.iter(|| {
+                        AzimovIndex::build(graph, cnf, &inst, &AzimovOptions::default())
+                            .unwrap()
+                            .reachable_pairs()
+                            .len()
+                    })
+                },
+            );
         }
     }
     group.finish();

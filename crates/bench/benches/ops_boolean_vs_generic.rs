@@ -20,15 +20,19 @@ fn bench_mxm(c: &mut Criterion) {
 
         let cuda = Instance::cuda_sim();
         let (ba, bb) = (upload(&cuda, n, &pa), upload(&cuda, n, &pb));
-        group.bench_with_input(BenchmarkId::new("boolean_csr_hash", &label), &(), |bch, ()| {
-            bch.iter(|| ba.mxm(&bb).unwrap().nnz())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("boolean_csr_hash", &label),
+            &(),
+            |bch, ()| bch.iter(|| ba.mxm(&bb).unwrap().nnz()),
+        );
 
         let cl = Instance::cl_sim();
         let (ca, cb) = (upload(&cl, n, &pa), upload(&cl, n, &pb));
-        group.bench_with_input(BenchmarkId::new("boolean_coo_esc", &label), &(), |bch, ()| {
-            bch.iter(|| ca.mxm(&cb).unwrap().nnz())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("boolean_coo_esc", &label),
+            &(),
+            |bch, ()| bch.iter(|| ca.mxm(&cb).unwrap().nnz()),
+        );
 
         let t32a: Vec<_> = pa.iter().map(|&(i, j)| (i, j, 1.0f32)).collect();
         let t32b: Vec<_> = pb.iter().map(|&(i, j)| (i, j, 1.0f32)).collect();

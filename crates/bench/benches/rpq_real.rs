@@ -17,10 +17,9 @@ fn bench_real(c: &mut Criterion) {
     for (name, graph) in &suite {
         // Three generated queries per graph (most-frequent labels).
         let queries = generate_queries(graph, &mut table, 4, 1, 7);
-        for (qname, regex) in queries
-            .iter()
-            .filter(|(n, _)| n.starts_with("Q2#") || n.starts_with("Q4^2#") || n.starts_with("Q9^2#"))
-        {
+        for (qname, regex) in queries.iter().filter(|(n, _)| {
+            n.starts_with("Q2#") || n.starts_with("Q4^2#") || n.starts_with("Q9^2#")
+        }) {
             group.bench_with_input(
                 BenchmarkId::new(qname.replace(['^', '#'], "_"), name),
                 &(),

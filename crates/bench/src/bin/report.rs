@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Subcommands: `table1 table2 fig2 fig3 table3 table4 paths
-//! boolean-vs-generic formats all`. Absolute numbers are CPU-simulator
+//! boolean-vs-generic formats ablations scaling all`. Absolute numbers are CPU-simulator
 //! scale; EXPERIMENTS.md records how each reproduced *shape* compares to
 //! the paper.
 
@@ -41,6 +41,7 @@ fn main() {
         "boolean-vs-generic" => boolean_vs_generic(),
         "formats" => formats(),
         "ablations" => ablations(),
+        "scaling" => scaling(),
         "all" => {
             table1();
             table2();
@@ -52,10 +53,11 @@ fn main() {
             boolean_vs_generic();
             formats();
             ablations();
+            scaling();
         }
         other => {
             eprintln!("unknown experiment: {other}");
-            eprintln!("known: table1 table2 fig2 fig3 table3 table4 paths boolean-vs-generic formats ablations all");
+            eprintln!("known: table1 table2 fig2 fig3 table3 table4 paths boolean-vs-generic formats ablations scaling all");
             std::process::exit(2);
         }
     }
@@ -233,8 +235,8 @@ fn cfpq_row(
             continue;
         }
         let tns = time_avg(RUNS, || {
-            let idx = TnsIndex::build(graph, grammar, inst, &TnsOptions::default())
-                .expect("tns builds");
+            let idx =
+                TnsIndex::build(graph, grammar, inst, &TnsOptions::default()).expect("tns builds");
             std::hint::black_box(idx.index_nnz());
         });
         let cnf = CnfGrammar::from_grammar(grammar);
@@ -284,7 +286,10 @@ fn paths() {
     let g1 = grammar_g1(&mut table);
     let inst = Instance::cuda_sim();
     let suite = cfpq_rdf_suite(&mut table, scale);
-    for (name, graph) in suite.iter().filter(|(n, _)| n == "go" || n == "eclass_514en") {
+    for (name, graph) in suite
+        .iter()
+        .filter(|(n, _)| n == "go" || n == "eclass_514en")
+    {
         let idx = TnsIndex::build(graph, &g1, &inst, &TnsOptions::default()).expect("tns");
         let pairs = idx.reachable_pairs();
         let sample: Vec<(u32, u32)> = pairs.iter().copied().take(20).collect();
@@ -361,8 +366,12 @@ fn boolean_vs_generic() {
     let t_gadd = time_avg(RUNS, || {
         std::hint::black_box(spbla_generic::add::ewise_add(&ga64, &gb64).nnz());
     });
-    println!("add:  boolean {:>9}s | generic f64 {:>9}s ({:.2}x)",
-        secs(t_badd), secs(t_gadd), t_gadd.as_secs_f64() / t_badd.as_secs_f64());
+    println!(
+        "add:  boolean {:>9}s | generic f64 {:>9}s ({:.2}x)",
+        secs(t_badd),
+        secs(t_gadd),
+        t_gadd.as_secs_f64() / t_badd.as_secs_f64()
+    );
 
     // Memory: result of the product under each representation.
     let c_bool = ba.mxm(&bb).expect("bool mxm");
@@ -390,8 +399,8 @@ fn boolean_vs_generic() {
 fn ablations() {
     header("E10 — design-choice ablations (text summary; criterion for stats)");
     use spbla_data::random::{two_cycles_graph, uniform_row_degree as urd};
-    use spbla_graph::closure::{closure_incremental, closure_squaring};
     use spbla_graph::cfpq::tensor::{TnsIndex as Tns, TnsOptions as TnsOpt};
+    use spbla_graph::closure::{closure_incremental, closure_squaring};
     use spbla_lang::{Grammar, Rsm};
 
     // 1. hash vs ESC SpGEMM.
@@ -407,8 +416,12 @@ fn ablations() {
     let t_esc = time_avg(RUNS, || {
         std::hint::black_box(ea.mxm(&eb).unwrap().nnz());
     });
-    println!("1. SpGEMM   hash(CSR) {}s vs ESC(COO) {}s ({:.2}x)",
-        secs(t_hash), secs(t_esc), t_esc.as_secs_f64() / t_hash.as_secs_f64());
+    println!(
+        "1. SpGEMM   hash(CSR) {}s vs ESC(COO) {}s ({:.2}x)",
+        secs(t_hash),
+        secs(t_esc),
+        t_esc.as_secs_f64() / t_hash.as_secs_f64()
+    );
 
     // 2. masked mxm fused vs post-intersection.
     let mask = upload(&cuda, n, &pa);
@@ -418,8 +431,12 @@ fn ablations() {
     let t_post = time_avg(RUNS, || {
         std::hint::black_box(ha.mxm(&ha).unwrap().ewise_mult(&mask).unwrap().nnz());
     });
-    println!("2. masked   fused {}s vs product+intersect {}s ({:.2}x)",
-        secs(t_fused), secs(t_post), t_post.as_secs_f64() / t_fused.as_secs_f64());
+    println!(
+        "2. masked   fused {}s vs product+intersect {}s ({:.2}x)",
+        secs(t_fused),
+        secs(t_post),
+        t_post.as_secs_f64() / t_fused.as_secs_f64()
+    );
 
     // 3. incremental closure after a 1-edge delta.
     let chain: Vec<(u32, u32)> = (0..199u32).map(|i| (i, i + 1)).collect();
@@ -433,16 +450,24 @@ fn ablations() {
     let t_scr = time_avg(RUNS, || {
         std::hint::black_box(closure_squaring(&merged).unwrap().nnz());
     });
-    println!("3. closure  incremental {}s vs from-scratch {}s ({:.0}x) after 1-edge delta",
-        secs(t_inc), secs(t_scr), t_scr.as_secs_f64() / t_inc.as_secs_f64());
+    println!(
+        "3. closure  incremental {}s vs from-scratch {}s ({:.0}x) after 1-edge delta",
+        secs(t_inc),
+        secs(t_scr),
+        t_scr.as_secs_f64() / t_inc.as_secs_f64()
+    );
 
     // 4. CNF vs RSM grammar size (the introduction's blow-up claim).
     let mut table = SymbolTable::new();
     let reg = Grammar::parse("S -> a b c d e | a S", &mut table).unwrap();
     let cnf = CnfGrammar::from_grammar(&reg);
     let rsm = Rsm::from_grammar(&reg);
-    println!("4. encoding RSM size {} vs CNF size {} ({:.1}x blow-up) on a regular query",
-        rsm.size(), cnf.size(), cnf.size() as f64 / rsm.size() as f64);
+    println!(
+        "4. encoding RSM size {} vs CNF size {} ({:.1}x blow-up) on a regular query",
+        rsm.size(),
+        cnf.size(),
+        cnf.size() as f64 / rsm.size() as f64
+    );
 
     // 5. Tns closure mode on the two-cycles worst case.
     let mut t2 = SymbolTable::new();
@@ -462,8 +487,11 @@ fn ablations() {
                 .iterations(),
         );
     });
-    println!("5. Tns loop incremental {}s vs from-scratch {}s (two-cycles 24/35)",
-        secs(t_tns_inc), secs(t_tns_scr));
+    println!(
+        "5. Tns loop incremental {}s vs from-scratch {}s (two-cycles 24/35)",
+        secs(t_tns_inc),
+        secs(t_tns_scr)
+    );
 
     // 6. sparse vs dense-bit backend at fixed density.
     let dense = Instance::cpu_dense();
@@ -484,10 +512,21 @@ fn ablations() {
     let lubm = lubm_rung(2, &mut ltable);
     let lpairs = lubm.adjacency_csr().to_pairs();
     let ln = lubm.n_vertices();
-    println!("7. schedule naive vs masked vs delta closure on LUBM (n={ln}, nnz={}):", lpairs.len());
     println!(
-        "   {:<16} {:>9} {:>10} {:>8} {:>13} {:>12}",
-        "schedule", "time", "closure", "launches", "allocations", "accum-insert"
+        "7. schedule naive vs masked vs delta closure on LUBM (n={ln}, nnz={}):",
+        lpairs.len()
+    );
+    println!(
+        "   {:<16} {:>9} {:>10} {:>8} {:>13} {:>12} {:>10} {:>10} {:>9}",
+        "schedule",
+        "time",
+        "closure",
+        "launches",
+        "allocations",
+        "accum-insert",
+        "h2d-bytes",
+        "d2h-bytes",
+        "d2d-bytes"
     );
     type Schedule = fn(&Matrix) -> spbla_core::Result<Matrix>;
     let schedules: [(&str, Schedule); 3] = [
@@ -503,14 +542,57 @@ fn ablations() {
         let (elapsed, nnz) = time_once(|| schedule(&a).unwrap().nnz());
         let after = dev.stats();
         println!(
-            "   {:<16} {:>8}s {:>10} {:>8} {:>13} {:>12}",
+            "   {:<16} {:>8}s {:>10} {:>8} {:>13} {:>12} {:>10} {:>10} {:>9}",
             sname,
             secs(elapsed),
             nnz,
             after.launches - before.launches,
             after.allocations - before.allocations,
             after.accum_insertions - before.accum_insertions,
+            after.h2d_bytes - before.h2d_bytes,
+            after.d2h_bytes - before.d2h_bytes,
+            after.d2d_bytes - before.d2d_bytes,
         );
+    }
+}
+
+// ---------------------------------------------------------------- E11
+fn scaling() {
+    header("E11 — multi-device strong scaling: distributed closure on LUBM");
+    println!("(the paper names multi-GPU as SPbLA's next step; the claim to check");
+    println!(" is that block-row sharding shrinks the *per-device* memory peak as");
+    println!(" the grid grows — the workload spreads instead of replicating — and");
+    println!(" that the delta schedule's communication volume stays below the");
+    println!(" naive one, since it only all-gathers each round's frontier)\n");
+    use spbla_multidev::{DeviceGrid, DistMatrix};
+    let mut ltable = SymbolTable::new();
+    let lubm = lubm_rung(2, &mut ltable);
+    let csr = lubm.adjacency_csr();
+    println!("LUBM fixture n={} nnz={}\n", lubm.n_vertices(), csr.nnz());
+    println!(
+        "{:<16} {:>8} {:>9} {:>9} {:>15} {:>13}",
+        "schedule", "devices", "time", "closure", "max-dev-peak-B", "total-d2d-B"
+    );
+    type DistSchedule = fn(&DistMatrix) -> spbla_core::Result<DistMatrix>;
+    let schedules: [(&str, DistSchedule); 2] = [
+        ("delta_compmask", DistMatrix::closure_delta),
+        ("naive_squaring", DistMatrix::closure_squaring),
+    ];
+    for (sname, schedule) in schedules {
+        for devices in [1usize, 2, 4, 8] {
+            let grid = DeviceGrid::new(devices);
+            let a = DistMatrix::from_csr(&grid, &csr).expect("shard fits");
+            let (elapsed, nnz) = time_once(|| schedule(&a).expect("closure runs").nnz());
+            println!(
+                "{:<16} {:>8} {:>8}s {:>9} {:>15} {:>13}",
+                sname,
+                devices,
+                secs(elapsed),
+                nnz,
+                grid.max_peak_bytes(),
+                grid.total_stats().d2d_bytes
+            );
+        }
     }
 }
 
@@ -519,7 +601,10 @@ fn formats() {
     header("§IV — CSR vs COO storage across sparsity (format-choice claim)");
     println!("(CSR = (m+1+nnz)·4 B; COO = 2·nnz·4 B; COO wins below 1 nnz/row)\n");
     let m: u32 = 100_000;
-    println!("{:>10} {:>12} {:>12}  winner", "nnz", "CSR bytes", "COO bytes");
+    println!(
+        "{:>10} {:>12} {:>12}  winner",
+        "nnz", "CSR bytes", "COO bytes"
+    );
     for nnz in [1_000usize, 10_000, 50_000, 100_000, 500_000, 1_000_000] {
         let pairs = spbla_data::random::random_pairs(m, nnz, 7);
         let csr = CsrBool::from_pairs(m, m, &pairs).expect("in bounds");
@@ -529,7 +614,11 @@ fn formats() {
             csr.nnz(),
             csr.memory_bytes(),
             coo.memory_bytes(),
-            if coo.memory_bytes() < csr.memory_bytes() { "COO" } else { "CSR" }
+            if coo.memory_bytes() < csr.memory_bytes() {
+                "COO"
+            } else {
+                "CSR"
+            }
         );
     }
     let _ = Matrix::zeros(&Instance::cpu(), 1, 1); // keep Matrix import honest

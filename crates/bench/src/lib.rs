@@ -65,11 +65,26 @@ pub fn lubm_rung(universities: usize, table: &mut SymbolTable) -> LabeledGraph {
 /// graph despite not being the largest), so its rung is kept smaller.
 pub fn rpq_rdf_suite(table: &mut SymbolTable, scale: f64) -> Vec<(String, LabeledGraph)> {
     vec![
-        ("uniprotkb".into(), rdf::uniprotkb_like(scale * 0.6, table, 1)),
-        ("proteomes".into(), rdf::proteomes_like(scale * 0.6, table, 2)),
-        ("taxonomy".into(), rdf::taxonomy_like(scale * 0.12, table, 3)),
-        ("geospecies".into(), rdf::geospecies_like(scale * 3.0, table, 4)),
-        ("mappingbased".into(), rdf::dbpedia_like(scale * 0.6, table, 5)),
+        (
+            "uniprotkb".into(),
+            rdf::uniprotkb_like(scale * 0.6, table, 1),
+        ),
+        (
+            "proteomes".into(),
+            rdf::proteomes_like(scale * 0.6, table, 2),
+        ),
+        (
+            "taxonomy".into(),
+            rdf::taxonomy_like(scale * 0.12, table, 3),
+        ),
+        (
+            "geospecies".into(),
+            rdf::geospecies_like(scale * 3.0, table, 4),
+        ),
+        (
+            "mappingbased".into(),
+            rdf::dbpedia_like(scale * 0.6, table, 5),
+        ),
     ]
 }
 
@@ -85,9 +100,15 @@ pub fn cfpq_rdf_suite(table: &mut SymbolTable, scale: f64) -> Vec<(String, Label
         // near-quadratic; keep its rung smaller so `report all` stays
         // laptop-sized (its *relative* cost still dominates, as in the
         // paper, where it is Mtx's worst RDF case).
-        ("go-hierarchy".into(), rdf::go_hierarchy_like(scale * 0.5, table, 15)),
+        (
+            "go-hierarchy".into(),
+            rdf::go_hierarchy_like(scale * 0.5, table, 15),
+        ),
         ("pathways".into(), rdf::pathways_like(1.0, table, 16)),
-        ("taxonomy".into(), rdf::taxonomy_like(scale * 0.2, table, 17)),
+        (
+            "taxonomy".into(),
+            rdf::taxonomy_like(scale * 0.2, table, 17),
+        ),
     ];
     raw.into_iter()
         .map(|(n, g)| {

@@ -146,8 +146,8 @@ pub unsafe extern "C" fn spbla_Matrix_MemoryBytes(
 mod tests {
     use super::*;
     use crate::matrix_api::{
-        spbla_Finalize, spbla_Initialize, spbla_Matrix_Build, spbla_Matrix_Free,
-        spbla_Matrix_New, SpblaBackend,
+        spbla_Finalize, spbla_Initialize, spbla_Matrix_Build, spbla_Matrix_Free, spbla_Matrix_New,
+        SpblaBackend,
     };
 
     fn make(backend: SpblaBackend, pairs: &[(u32, u32)], n: u32) -> (u64, u64) {
@@ -225,9 +225,7 @@ mod tests {
         );
         let mut count = 0usize;
         assert_eq!(
-            unsafe {
-                spbla_Matrix_ReduceToColumn(987_654_321, std::ptr::null_mut(), &mut count)
-            },
+            unsafe { spbla_Matrix_ReduceToColumn(987_654_321, std::ptr::null_mut(), &mut count) },
             SpblaStatus::InvalidHandle
         );
     }

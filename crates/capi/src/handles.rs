@@ -54,11 +54,7 @@ impl Registry {
     }
 
     /// Matrices are not `Clone`-cheap; callers get a closure window.
-    pub(crate) fn with_matrix<R>(
-        &self,
-        h: SpblaMatrix,
-        f: impl FnOnce(&Matrix) -> R,
-    ) -> Option<R> {
+    pub(crate) fn with_matrix<R>(&self, h: SpblaMatrix, f: impl FnOnce(&Matrix) -> R) -> Option<R> {
         let guard = self.matrices.lock();
         guard.get(&h).map(f)
     }

@@ -52,10 +52,22 @@ mod tests {
             ("SPBLA_OK", SpblaStatus::Ok as i32),
             ("SPBLA_NULL_POINTER", SpblaStatus::NullPointer as i32),
             ("SPBLA_INVALID_HANDLE", SpblaStatus::InvalidHandle as i32),
-            ("SPBLA_DIMENSION_MISMATCH", SpblaStatus::DimensionMismatch as i32),
-            ("SPBLA_INDEX_OUT_OF_BOUNDS", SpblaStatus::IndexOutOfBounds as i32),
-            ("SPBLA_BACKEND_MISMATCH", SpblaStatus::BackendMismatch as i32),
-            ("SPBLA_DEVICE_OUT_OF_MEMORY", SpblaStatus::DeviceOutOfMemory as i32),
+            (
+                "SPBLA_DIMENSION_MISMATCH",
+                SpblaStatus::DimensionMismatch as i32,
+            ),
+            (
+                "SPBLA_INDEX_OUT_OF_BOUNDS",
+                SpblaStatus::IndexOutOfBounds as i32,
+            ),
+            (
+                "SPBLA_BACKEND_MISMATCH",
+                SpblaStatus::BackendMismatch as i32,
+            ),
+            (
+                "SPBLA_DEVICE_OUT_OF_MEMORY",
+                SpblaStatus::DeviceOutOfMemory as i32,
+            ),
             ("SPBLA_ERROR", SpblaStatus::Error as i32),
         ];
         for (name, value) in pairs {
@@ -95,10 +107,7 @@ mod tests {
     #[test]
     fn symbol_list_matches_no_mangle_count() {
         // The source files define exactly the declared symbols.
-        let sources = concat!(
-            include_str!("matrix_api.rs"),
-            include_str!("extras_api.rs")
-        );
+        let sources = concat!(include_str!("matrix_api.rs"), include_str!("extras_api.rs"));
         let count = sources.matches("#[no_mangle]").count()
             + sources.matches("binary_op!(").count()
             // each binary_op! invocation expands to one #[no_mangle] fn,

@@ -99,9 +99,7 @@ pub unsafe extern "C" fn spbla_Matrix_Build(
         return SpblaStatus::NullPointer;
     }
     let reg = Registry::global();
-    let Some((inst, shape)) =
-        reg.with_matrix(matrix, |m| (m.instance().clone(), m.shape()))
-    else {
+    let Some((inst, shape)) = reg.with_matrix(matrix, |m| (m.instance().clone(), m.shape())) else {
         return SpblaStatus::InvalidHandle;
     };
     let rows = std::slice::from_raw_parts(rows, nvals);
@@ -251,8 +249,7 @@ pub unsafe extern "C" fn spbla_Matrix_MxM_CompMasked(
     if out.is_null() {
         return SpblaStatus::NullPointer;
     }
-    match Registry::global().with_three_matrices(a, b, mask, |ma, mb, mm| ma.mxm_compmask(mb, mm))
-    {
+    match Registry::global().with_three_matrices(a, b, mask, |ma, mb, mm| ma.mxm_compmask(mb, mm)) {
         Some(r) => store_result(out, r),
         None => SpblaStatus::InvalidHandle,
     }

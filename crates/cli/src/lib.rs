@@ -5,7 +5,7 @@
 //! spbla stats <graph.triples>
 //! spbla rpq <graph.triples> <regex> [--backend B] [--source V] [--limit K]
 //! spbla cfpq <graph.triples> <grammar-file|@G1|@G2|@Geo|@MA> [--engine tns|mtx] [--backend B]
-//! spbla closure <graph.triples> [--backend B]
+//! spbla closure <graph.triples> [--backend B] [--devices N]
 //! spbla bfs <graph.triples> <source>
 //! ```
 //!
@@ -21,7 +21,7 @@ use spbla_data::stats::GraphStats;
 use spbla_graph::bfs::bfs_levels;
 use spbla_graph::cfpq::azimov::{AzimovIndex, AzimovOptions};
 use spbla_graph::cfpq::tensor::{TnsIndex, TnsOptions};
-use spbla_graph::closure::closure_delta;
+use spbla_graph::closure::{closure_delta, closure_delta_dist};
 use spbla_graph::rpq::{RpqIndex, RpqOptions};
 use spbla_graph::rpq_bfs::rpq_from_sources;
 use spbla_graph::LabeledGraph;
@@ -124,10 +124,10 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "bfs" => cmd_bfs(&rest, out),
         "triangles" => cmd_triangles(&rest, out),
         "components" => cmd_components(&rest, out),
-        "help" | "--help" | "-h" => {
-            writeln!(out, "{USAGE}").map_err(CliError::from)
-        }
-        other => Err(CliError::usage(format!("unknown command '{other}'\n{USAGE}"))),
+        "help" | "--help" | "-h" => writeln!(out, "{USAGE}").map_err(CliError::from),
+        other => Err(CliError::usage(format!(
+            "unknown command '{other}'\n{USAGE}"
+        ))),
     }
 }
 
@@ -138,7 +138,7 @@ pub const USAGE: &str = "usage: spbla <command>\n\
   stats    <graph.triples>\n\
   rpq      <graph.triples> <regex> [--backend cpu|dense|cuda|cl] [--source V] [--limit K]\n\
   cfpq     <graph.triples> <grammar-file|@G1|@G2|@Geo|@MA> [--engine tns|mtx] [--backend B] [--limit K]\n\
-  closure  <graph.triples> [--backend B]\n\
+  closure  <graph.triples> [--backend B] [--devices N]   (N>1 shards over a device grid)\n\
   bfs      <graph.triples> <source>\n\
   triangles  <graph.triples>   (symmetrises, counts triangles)\n\
   components <graph.triples>   (weak + strong component counts)";
@@ -148,9 +148,15 @@ fn cmd_generate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         .positional
         .first()
         .ok_or_else(|| CliError::usage("generate: missing shape"))?;
-    let scale: f64 = args.opt("scale").unwrap_or("0.01").parse()
+    let scale: f64 = args
+        .opt("scale")
+        .unwrap_or("0.01")
+        .parse()
         .map_err(|e| CliError::usage(format!("bad --scale: {e}")))?;
-    let seed: u64 = args.opt("seed").unwrap_or("1").parse()
+    let seed: u64 = args
+        .opt("seed")
+        .unwrap_or("1")
+        .parse()
         .map_err(|e| CliError::usage(format!("bad --seed: {e}")))?;
     let mut table = SymbolTable::new();
     let mut graph = match shape.as_str() {
@@ -199,7 +205,10 @@ fn cmd_stats(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let mut table = SymbolTable::new();
     let graph = load(args, &mut table)?;
     let stats = GraphStats::of(
-        args.positional.first().map(String::as_str).unwrap_or("graph"),
+        args.positional
+            .first()
+            .map(String::as_str)
+            .unwrap_or("graph"),
         &graph,
         &table,
     );
@@ -219,11 +228,16 @@ fn cmd_rpq(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         .ok_or_else(|| CliError::usage("rpq: missing regex"))?;
     let regex = Regex::parse(pattern, &mut table).map_err(CliError::run)?;
     let inst = backend_instance(args.opt("backend"))?;
-    let limit: usize = args.opt("limit").unwrap_or("10").parse()
+    let limit: usize = args
+        .opt("limit")
+        .unwrap_or("10")
+        .parse()
         .map_err(|e| CliError::usage(format!("bad --limit: {e}")))?;
 
     if let Some(src) = args.opt("source") {
-        let src: u32 = src.parse().map_err(|e| CliError::usage(format!("bad --source: {e}")))?;
+        let src: u32 = src
+            .parse()
+            .map_err(|e| CliError::usage(format!("bad --source: {e}")))?;
         let reached = rpq_from_sources(&graph, &regex, &[src], &inst)?;
         writeln!(out, "{} vertices reachable from {src}", reached.len())?;
         for v in reached.iter().take(limit) {
@@ -264,12 +278,20 @@ fn cmd_cfpq(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         }
     };
     let inst = backend_instance(args.opt("backend"))?;
-    let limit: usize = args.opt("limit").unwrap_or("10").parse()
+    let limit: usize = args
+        .opt("limit")
+        .unwrap_or("10")
+        .parse()
         .map_err(|e| CliError::usage(format!("bad --limit: {e}")))?;
     let pairs = match args.opt("engine").unwrap_or("tns") {
         "tns" => {
             let idx = TnsIndex::build(&graph, &grammar, &inst, &TnsOptions::default())?;
-            writeln!(out, "tensor index: nnz {}, {} iterations", idx.index_nnz(), idx.iterations())?;
+            writeln!(
+                out,
+                "tensor index: nnz {}, {} iterations",
+                idx.index_nnz(),
+                idx.iterations()
+            )?;
             idx.reachable_pairs()
         }
         "mtx" => {
@@ -278,7 +300,11 @@ fn cmd_cfpq(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             writeln!(out, "matrix index: {} iterations", idx.iterations())?;
             idx.reachable_pairs()
         }
-        other => return Err(CliError::usage(format!("unknown engine '{other}' (tns | mtx)"))),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown engine '{other}' (tns | mtx)"
+            )))
+        }
     };
     writeln!(out, "{} pairs", pairs.len())?;
     for (u, v) in pairs.iter().take(limit) {
@@ -290,6 +316,41 @@ fn cmd_cfpq(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 fn cmd_closure(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let mut table = SymbolTable::new();
     let graph = load(args, &mut table)?;
+    if let Some(devices) = args.opt("devices") {
+        let devices: usize = devices
+            .parse()
+            .map_err(|e| CliError::usage(format!("bad --devices: {e}")))?;
+        if devices == 0 {
+            return Err(CliError::usage("--devices must be at least 1"));
+        }
+        let backend = match args.opt("backend").unwrap_or("cuda") {
+            "cuda" => spbla_core::Backend::CudaSim,
+            "cl" => spbla_core::Backend::ClSim,
+            other => {
+                return Err(CliError::usage(format!(
+                    "backend '{other}' has no device; --devices needs cuda or cl"
+                )))
+            }
+        };
+        let grid = spbla_multidev::DeviceGrid::uniform(
+            devices,
+            backend,
+            spbla_multidev::DeviceConfig::default(),
+        )?;
+        let csr = graph.adjacency_csr();
+        let closure = closure_delta_dist(&csr, &grid)?;
+        let stats = grid.total_stats();
+        writeln!(
+            out,
+            "closure: {} -> {} pairs on {devices} devices \
+             (max per-device peak {} bytes, d2d {} bytes)",
+            csr.nnz(),
+            closure.nnz(),
+            grid.max_peak_bytes(),
+            stats.d2d_bytes
+        )?;
+        return Ok(());
+    }
     let inst = backend_instance(args.opt("backend"))?;
     let adjacency = spbla_core::Matrix::from_csr(&inst, graph.adjacency_csr())?;
     let closure = closure_delta(&adjacency)?;
@@ -365,24 +426,16 @@ mod tests {
     }
 
     fn temp_graph() -> std::path::PathBuf {
-        let path = std::env::temp_dir().join(format!(
-            "spbla_cli_test_{}.triples",
-            std::process::id()
-        ));
-        std::fs::write(
-            &path,
-            "# vertices 4\n0 a 1\n1 a 2\n2 b 3\n",
-        )
-        .unwrap();
+        let path =
+            std::env::temp_dir().join(format!("spbla_cli_test_{}.triples", std::process::id()));
+        std::fs::write(&path, "# vertices 4\n0 a 1\n1 a 2\n2 b 3\n").unwrap();
         path
     }
 
     #[test]
     fn generate_then_stats_roundtrip() {
-        let out_path = std::env::temp_dir().join(format!(
-            "spbla_cli_gen_{}.triples",
-            std::process::id()
-        ));
+        let out_path =
+            std::env::temp_dir().join(format!("spbla_cli_gen_{}.triples", std::process::id()));
         let msg = run_str(&[
             "generate",
             "enzyme",
@@ -430,6 +483,20 @@ mod tests {
         let p = path.to_str().unwrap();
         let c = run_str(&["closure", p]).unwrap();
         assert!(c.contains("closure: 3 -> 6 pairs"), "{c}");
+        // Distributed run reports the same pair count plus grid counters.
+        let d = run_str(&["closure", p, "--devices", "2"]).unwrap();
+        assert!(d.contains("closure: 3 -> 6 pairs on 2 devices"), "{d}");
+        assert!(d.contains("d2d"), "{d}");
+        assert_eq!(
+            run_str(&["closure", p, "--devices", "0"]).unwrap_err().code,
+            2
+        );
+        assert_eq!(
+            run_str(&["closure", p, "--devices", "2", "--backend", "cpu"])
+                .unwrap_err()
+                .code,
+            2
+        );
         let b = run_str(&["bfs", p, "0"]).unwrap();
         assert!(b.contains("reached 4 vertices, eccentricity 3"), "{b}");
         std::fs::remove_file(&path).ok();
@@ -444,7 +511,10 @@ mod tests {
         let tr = run_str(&["triangles", p]).unwrap();
         assert!(tr.contains("0 triangles"), "{tr}");
         let comp = run_str(&["components", p]).unwrap();
-        assert!(comp.contains("1 weak components, 4 strong components"), "{comp}");
+        assert!(
+            comp.contains("1 weak components, 4 strong components"),
+            "{comp}"
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -454,7 +524,9 @@ mod tests {
         assert_eq!(run_str(&["frobnicate"]).unwrap_err().code, 2);
         assert_eq!(run_str(&["rpq"]).unwrap_err().code, 2);
         assert_eq!(
-            run_str(&["rpq", "/nonexistent/file", "a"]).unwrap_err().code,
+            run_str(&["rpq", "/nonexistent/file", "a"])
+                .unwrap_err()
+                .code,
             1
         );
         let path = temp_graph();

@@ -119,7 +119,11 @@ fn mxm_inner(
             expanded.as_mut_slice(),
             |blk| {
                 let e = blk as usize;
-                let end = if e + 1 < offs.len() { offs[e + 1] } else { total };
+                let end = if e + 1 < offs.len() {
+                    offs[e + 1]
+                } else {
+                    total
+                };
                 offs[e]..end
             },
             |ctx, out| {
@@ -217,10 +221,16 @@ mod tests {
         let hm = CsrBool::from_pairs(10, 10, &pm).unwrap();
         let kept = mxm_masked(&da, &db, &dm).unwrap().download().to_pairs();
         let dropped = mxm_compmask(&da, &db, &dm).unwrap().download().to_pairs();
-        let expect_kept: Vec<(u32, u32)> =
-            product.iter().copied().filter(|&(i, j)| hm.get(i, j)).collect();
-        let expect_dropped: Vec<(u32, u32)> =
-            product.iter().copied().filter(|&(i, j)| !hm.get(i, j)).collect();
+        let expect_kept: Vec<(u32, u32)> = product
+            .iter()
+            .copied()
+            .filter(|&(i, j)| hm.get(i, j))
+            .collect();
+        let expect_dropped: Vec<(u32, u32)> = product
+            .iter()
+            .copied()
+            .filter(|&(i, j)| !hm.get(i, j))
+            .collect();
         assert_eq!(kept, expect_kept);
         assert_eq!(dropped, expect_dropped);
         // Together the two filtered products partition the full product.
@@ -246,8 +256,11 @@ mod tests {
         let dev = Device::default();
         let a = DeviceCoo::upload(&dev, &CooBool::from_pairs(2, 2, &[(0, 0), (1, 0)]).unwrap())
             .unwrap();
-        let b = DeviceCoo::upload(&dev, &CooBool::from_pairs(2, 3, &[(0, 0), (0, 1), (0, 2)]).unwrap())
-            .unwrap();
+        let b = DeviceCoo::upload(
+            &dev,
+            &CooBool::from_pairs(2, 3, &[(0, 0), (0, 1), (0, 2)]).unwrap(),
+        )
+        .unwrap();
         // Both A entries expand B row 0 (3 keys each).
         assert_eq!(expansion_bytes(&a, &b), 6 * 8);
     }

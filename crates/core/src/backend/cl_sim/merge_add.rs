@@ -44,7 +44,10 @@ pub fn ewise_add(a: &DeviceCoo, b: &DeviceCoo) -> Result<DeviceCoo> {
                 (s.a_idx + s.b_idx)..(e.a_idx + e.b_idx)
             },
             |ctx, out| {
-                let (s, e) = (pts[ctx.block_idx() as usize], pts[ctx.block_idx() as usize + 1]);
+                let (s, e) = (
+                    pts[ctx.block_idx() as usize],
+                    pts[ctx.block_idx() as usize + 1],
+                );
                 let (mut x, mut y, mut w) = (s.a_idx, s.b_idx, 0usize);
                 while x < e.a_idx || y < e.b_idx {
                     if y >= e.b_idx || (x < e.a_idx && sa[x] <= sb[y]) {

@@ -73,7 +73,12 @@ impl DeviceCoo {
 
     /// Download to a host COO matrix (counted as D2H traffic).
     pub fn download(&self) -> CooBool {
-        CooBool::from_raw(self.nrows, self.ncols, self.rows.to_host(), self.cols.to_host())
+        CooBool::from_raw(
+            self.nrows,
+            self.ncols,
+            self.rows.to_host(),
+            self.cols.to_host(),
+        )
     }
 
     /// Number of rows.

@@ -171,7 +171,10 @@ mod tests {
         let da = upload(&dev, &pa, 2, 2);
         let db = upload(&dev, &pb, 3, 2);
         let got = kron(&da, &db).unwrap().download().to_pairs();
-        let expect = pair_csr(&pa, 2, 2).kron(&pair_csr(&pb, 3, 2)).unwrap().to_pairs();
+        let expect = pair_csr(&pa, 2, 2)
+            .kron(&pair_csr(&pb, 3, 2))
+            .unwrap()
+            .to_pairs();
         assert_eq!(got, expect);
     }
 

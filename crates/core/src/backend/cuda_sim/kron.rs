@@ -125,9 +125,6 @@ mod tests {
         let dev = Device::default();
         let big = CsrBool::zeros(1 << 20, 1 << 20);
         let d = DeviceCsr::upload(&dev, &big).unwrap();
-        assert!(matches!(
-            kron(&d, &d),
-            Err(SpblaError::InvalidDimension(_))
-        ));
+        assert!(matches!(kron(&d, &d), Err(SpblaError::InvalidDimension(_))));
     }
 }

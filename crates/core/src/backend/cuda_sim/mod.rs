@@ -62,7 +62,12 @@ impl DeviceCsr {
 
     /// Download to a host CSR matrix (counted as D2H traffic).
     pub fn download(&self) -> CsrBool {
-        CsrBool::from_raw(self.nrows, self.ncols, self.row_ptr.to_host(), self.cols.to_host())
+        CsrBool::from_raw(
+            self.nrows,
+            self.ncols,
+            self.row_ptr.to_host(),
+            self.cols.to_host(),
+        )
     }
 
     /// Number of rows.

@@ -133,8 +133,9 @@ pub fn reduce_to_row(m: &DeviceCsr) -> Result<Vec<Index>> {
     let mut flags = vec![0u8; m.ncols() as usize];
     // Column marking scatters; flags are monotone (0→1 only) so racing
     // blocks are benign — model with per-entry atomic stores.
-    let cells: Vec<std::sync::atomic::AtomicU8> =
-        (0..m.ncols() as usize).map(|_| std::sync::atomic::AtomicU8::new(0)).collect();
+    let cells: Vec<std::sync::atomic::AtomicU8> = (0..m.ncols() as usize)
+        .map(|_| std::sync::atomic::AtomicU8::new(0))
+        .collect();
     let cfg = LaunchCfg::cover(m.nnz(), device.config().default_block_dim);
     if m.nnz() > 0 {
         device.launch_read(cfg, |ctx| {

@@ -40,7 +40,11 @@ pub fn vxm(m: &DeviceCsr, set: &[Index]) -> Result<Vec<Index>> {
             gathered.as_mut_slice(),
             |blk| {
                 let k = blk as usize;
-                let end = if k + 1 < offs.len() { offs[k + 1] } else { total };
+                let end = if k + 1 < offs.len() {
+                    offs[k + 1]
+                } else {
+                    total
+                };
                 offs[k]..end
             },
             |ctx, out| {

@@ -391,7 +391,10 @@ mod tests {
         let pb: Vec<(u32, u32)> = (0..200).map(|i| (i, (i * 7) % 200)).collect();
         let ba = BitMatrix::from_pairs(1, 200, &pa).unwrap();
         let bb = BitMatrix::from_pairs(200, 200, &pb).unwrap();
-        let expect = csr(&pa, 1, 200).mxm(&csr(&pb, 200, 200)).unwrap().to_pairs();
+        let expect = csr(&pa, 1, 200)
+            .mxm(&csr(&pb, 200, 200))
+            .unwrap()
+            .to_pairs();
         assert_eq!(ba.mxm(&bb).unwrap().to_pairs(), expect);
     }
 

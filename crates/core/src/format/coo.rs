@@ -121,7 +121,11 @@ impl CooBool {
 
     /// All `true` coordinates in row-major order.
     pub fn to_pairs(&self) -> Vec<Pair> {
-        self.rows.iter().copied().zip(self.cols.iter().copied()).collect()
+        self.rows
+            .iter()
+            .copied()
+            .zip(self.cols.iter().copied())
+            .collect()
     }
 
     /// Entries as packed row-major `u64` keys (sorted ascending).

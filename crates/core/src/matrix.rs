@@ -41,9 +41,11 @@ impl Matrix {
     fn from_csr_host(instance: &Instance, host: CsrBool) -> Result<Matrix> {
         let repr = match instance.backend() {
             Backend::Cpu => Repr::Cpu(host),
-            Backend::CpuDense => {
-                Repr::Bit(BitMatrix::from_pairs(host.nrows(), host.ncols(), &host.to_pairs())?)
-            }
+            Backend::CpuDense => Repr::Bit(BitMatrix::from_pairs(
+                host.nrows(),
+                host.ncols(),
+                &host.to_pairs(),
+            )?),
             Backend::CudaSim => {
                 let dev = instance.device().expect("cuda-sim instance has a device");
                 Repr::Cuda(DeviceCsr::upload(dev, &host)?)
@@ -645,7 +647,10 @@ mod tests {
         for inst in instances() {
             // Path 0→1→2→3.
             let p = Matrix::from_pairs(&inst, 4, 4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
-            assert_eq!(p.power(0).unwrap().read(), Matrix::identity(&inst, 4).unwrap().read());
+            assert_eq!(
+                p.power(0).unwrap().read(),
+                Matrix::identity(&inst, 4).unwrap().read()
+            );
             assert_eq!(p.power(2).unwrap().read(), vec![(0, 2), (1, 3)]);
             assert_eq!(p.power(3).unwrap().read(), vec![(0, 3)]);
             assert_eq!(p.power(4).unwrap().nnz(), 0);

@@ -65,12 +65,15 @@ pub fn lubm_like(
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Pre-compute vertex budget.
-    let per_dept =
-        1 + config.faculty + config.students + config.courses + config.faculty * config.publications;
+    let per_dept = 1
+        + config.faculty
+        + config.students
+        + config.courses
+        + config.faculty * config.publications;
     // Class vertices (types targets): a fixed tiny ontology layer.
     const N_CLASSES: u32 = 16;
-    let n = N_CLASSES as u64
-        + universities as u64 * (1 + config.departments as u64 * per_dept as u64);
+    let n =
+        N_CLASSES as u64 + universities as u64 * (1 + config.departments as u64 * per_dept as u64);
     let n = u32::try_from(n).expect("LUBM scale too large for u32 vertices");
 
     let mut g = LabeledGraph::new(n);

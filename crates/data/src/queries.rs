@@ -22,38 +22,146 @@ pub struct QueryTemplate {
 
 /// All templates of Table II, in the paper's order.
 pub const TEMPLATES: [QueryTemplate; 28] = [
-    QueryTemplate { name: "Q1", arity: 1, pattern: "{0}*" },
-    QueryTemplate { name: "Q2", arity: 2, pattern: "{0} . {1}*" },
-    QueryTemplate { name: "Q3", arity: 3, pattern: "{0} . {1}* . {2}*" },
-    QueryTemplate { name: "Q4^2", arity: 2, pattern: "({0} | {1})*" },
-    QueryTemplate { name: "Q4^3", arity: 3, pattern: "({0} | {1} | {2})*" },
-    QueryTemplate { name: "Q4^4", arity: 4, pattern: "({0} | {1} | {2} | {3})*" },
-    QueryTemplate { name: "Q4^5", arity: 5, pattern: "({0} | {1} | {2} | {3} | {4})*" },
-    QueryTemplate { name: "Q5", arity: 3, pattern: "{0} . {1}* . {2}" },
-    QueryTemplate { name: "Q6", arity: 2, pattern: "{0}* . {1}*" },
-    QueryTemplate { name: "Q7", arity: 3, pattern: "{0} . {1} . {2}*" },
-    QueryTemplate { name: "Q8", arity: 2, pattern: "{0}? . {1}*" },
-    QueryTemplate { name: "Q9^2", arity: 2, pattern: "({0} | {1})+" },
-    QueryTemplate { name: "Q9^3", arity: 3, pattern: "({0} | {1} | {2})+" },
-    QueryTemplate { name: "Q9^4", arity: 4, pattern: "({0} | {1} | {2} | {3})+" },
-    QueryTemplate { name: "Q9^5", arity: 5, pattern: "({0} | {1} | {2} | {3} | {4})+" },
-    QueryTemplate { name: "Q10^2", arity: 3, pattern: "({0} | {1}) . {2}*" },
-    QueryTemplate { name: "Q10^3", arity: 4, pattern: "({0} | {1} | {2}) . {3}*" },
-    QueryTemplate { name: "Q10^4", arity: 5, pattern: "({0} | {1} | {2} | {3}) . {4}*" },
-    QueryTemplate { name: "Q10^5", arity: 6, pattern: "({0} | {1} | {2} | {3} | {4}) . {5}*" },
-    QueryTemplate { name: "Q11^2", arity: 2, pattern: "{0} . {1}" },
-    QueryTemplate { name: "Q11^3", arity: 3, pattern: "{0} . {1} . {2}" },
-    QueryTemplate { name: "Q11^4", arity: 4, pattern: "{0} . {1} . {2} . {3}" },
-    QueryTemplate { name: "Q11^5", arity: 5, pattern: "{0} . {1} . {2} . {3} . {4}" },
-    QueryTemplate { name: "Q12", arity: 4, pattern: "({0} . {1})+ | ({2} . {3})+" },
-    QueryTemplate { name: "Q13", arity: 5, pattern: "({0} . ({1} . {2})*)+ | ({3} . {4})+" },
+    QueryTemplate {
+        name: "Q1",
+        arity: 1,
+        pattern: "{0}*",
+    },
+    QueryTemplate {
+        name: "Q2",
+        arity: 2,
+        pattern: "{0} . {1}*",
+    },
+    QueryTemplate {
+        name: "Q3",
+        arity: 3,
+        pattern: "{0} . {1}* . {2}*",
+    },
+    QueryTemplate {
+        name: "Q4^2",
+        arity: 2,
+        pattern: "({0} | {1})*",
+    },
+    QueryTemplate {
+        name: "Q4^3",
+        arity: 3,
+        pattern: "({0} | {1} | {2})*",
+    },
+    QueryTemplate {
+        name: "Q4^4",
+        arity: 4,
+        pattern: "({0} | {1} | {2} | {3})*",
+    },
+    QueryTemplate {
+        name: "Q4^5",
+        arity: 5,
+        pattern: "({0} | {1} | {2} | {3} | {4})*",
+    },
+    QueryTemplate {
+        name: "Q5",
+        arity: 3,
+        pattern: "{0} . {1}* . {2}",
+    },
+    QueryTemplate {
+        name: "Q6",
+        arity: 2,
+        pattern: "{0}* . {1}*",
+    },
+    QueryTemplate {
+        name: "Q7",
+        arity: 3,
+        pattern: "{0} . {1} . {2}*",
+    },
+    QueryTemplate {
+        name: "Q8",
+        arity: 2,
+        pattern: "{0}? . {1}*",
+    },
+    QueryTemplate {
+        name: "Q9^2",
+        arity: 2,
+        pattern: "({0} | {1})+",
+    },
+    QueryTemplate {
+        name: "Q9^3",
+        arity: 3,
+        pattern: "({0} | {1} | {2})+",
+    },
+    QueryTemplate {
+        name: "Q9^4",
+        arity: 4,
+        pattern: "({0} | {1} | {2} | {3})+",
+    },
+    QueryTemplate {
+        name: "Q9^5",
+        arity: 5,
+        pattern: "({0} | {1} | {2} | {3} | {4})+",
+    },
+    QueryTemplate {
+        name: "Q10^2",
+        arity: 3,
+        pattern: "({0} | {1}) . {2}*",
+    },
+    QueryTemplate {
+        name: "Q10^3",
+        arity: 4,
+        pattern: "({0} | {1} | {2}) . {3}*",
+    },
+    QueryTemplate {
+        name: "Q10^4",
+        arity: 5,
+        pattern: "({0} | {1} | {2} | {3}) . {4}*",
+    },
+    QueryTemplate {
+        name: "Q10^5",
+        arity: 6,
+        pattern: "({0} | {1} | {2} | {3} | {4}) . {5}*",
+    },
+    QueryTemplate {
+        name: "Q11^2",
+        arity: 2,
+        pattern: "{0} . {1}",
+    },
+    QueryTemplate {
+        name: "Q11^3",
+        arity: 3,
+        pattern: "{0} . {1} . {2}",
+    },
+    QueryTemplate {
+        name: "Q11^4",
+        arity: 4,
+        pattern: "{0} . {1} . {2} . {3}",
+    },
+    QueryTemplate {
+        name: "Q11^5",
+        arity: 5,
+        pattern: "{0} . {1} . {2} . {3} . {4}",
+    },
+    QueryTemplate {
+        name: "Q12",
+        arity: 4,
+        pattern: "({0} . {1})+ | ({2} . {3})+",
+    },
+    QueryTemplate {
+        name: "Q13",
+        arity: 5,
+        pattern: "({0} . ({1} . {2})*)+ | ({3} . {4})+",
+    },
     QueryTemplate {
         name: "Q14",
         arity: 6,
         pattern: "({0} . {1} . ({2} . {3})*)+ . ({4} | {5})*",
     },
-    QueryTemplate { name: "Q15", arity: 4, pattern: "({0} | {1})+ . ({2} | {3})+" },
-    QueryTemplate { name: "Q16", arity: 5, pattern: "{0} . {1} . ({2} | {3} | {4})" },
+    QueryTemplate {
+        name: "Q15",
+        arity: 4,
+        pattern: "({0} | {1})+ . ({2} | {3})+",
+    },
+    QueryTemplate {
+        name: "Q16",
+        arity: 5,
+        pattern: "{0} . {1} . ({2} | {3} | {4})",
+    },
 ];
 
 /// Template names in paper order.
@@ -70,11 +178,7 @@ pub fn template(name: &str) -> Option<&'static QueryTemplate> {
 ///
 /// # Panics
 /// If fewer labels than the template's arity are supplied.
-pub fn instantiate_template(
-    t: &QueryTemplate,
-    labels: &[&str],
-    table: &mut SymbolTable,
-) -> Regex {
+pub fn instantiate_template(t: &QueryTemplate, labels: &[&str], table: &mut SymbolTable) -> Regex {
     assert!(
         labels.len() >= t.arity,
         "template {} needs {} labels, got {}",
@@ -151,7 +255,11 @@ mod tests {
     #[test]
     fn q14_shape() {
         let mut t = SymbolTable::new();
-        let r = instantiate_template(template("Q14").unwrap(), &["a", "b", "c", "d", "e", "f"], &mut t);
+        let r = instantiate_template(
+            template("Q14").unwrap(),
+            &["a", "b", "c", "d", "e", "f"],
+            &mut t,
+        );
         let (a, b) = (t.get("a").unwrap(), t.get("b").unwrap());
         let e = t.get("e").unwrap();
         assert!(r.matches(&[a, b]));

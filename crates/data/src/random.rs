@@ -48,12 +48,7 @@ pub fn power_law_pairs(n: u32, nnz: usize, alpha: f64, seed: u64) -> Vec<(u32, u
 /// A random edge-labeled graph: `nnz` edges spread over `labels`
 /// according to a geometric-ish frequency split (first labels are the
 /// most frequent, like real RDF predicates).
-pub fn random_labeled_graph(
-    n: u32,
-    nnz: usize,
-    labels: &[Symbol],
-    seed: u64,
-) -> LabeledGraph {
+pub fn random_labeled_graph(n: u32, nnz: usize, labels: &[Symbol], seed: u64) -> LabeledGraph {
     assert!(!labels.is_empty());
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = LabeledGraph::new(n);

@@ -84,7 +84,11 @@ pub fn taxonomy_like(scale: f64, table: &mut SymbolTable, seed: u64) -> LabeledG
         // 30%) carry no out-edges, as in the real dumps — without this
         // the rank/type relations close a supercritical loop whose
         // closure is quadratic.
-        let src = if v < entity_end { v } else { rng.gen_range(classes..entity_end) };
+        let src = if v < entity_end {
+            v
+        } else {
+            rng.gen_range(classes..entity_end)
+        };
         g.add_edge(src, ty, rng.gen_range(0..classes.max(1)));
     }
     sprinkle(&mut g, n, (n as f64 * 0.8) as usize, rank, 1.0, &mut rng);
@@ -123,8 +127,14 @@ pub fn go_like(scale: f64, table: &mut SymbolTable, seed: u64) -> LabeledGraph {
     // class layer has only `subClassOf` out-edges, which keeps star-query
     // closures shallow instead of quadratic.
     for _ in 0..(n as f64 * 0.21) as usize {
-        { let entity_end = ((n as u64 * 7) / 10).max(classes as u64 + 1) as u32;
-            g.add_edge(rng.gen_range(classes..entity_end), ty, rng.gen_range(0..classes.max(1))); }
+        {
+            let entity_end = ((n as u64 * 7) / 10).max(classes as u64 + 1) as u32;
+            g.add_edge(
+                rng.gen_range(classes..entity_end),
+                ty,
+                rng.gen_range(0..classes.max(1)),
+            );
+        }
     }
     sprinkle(&mut g, n, (n as f64 * 1.4) as usize, rel, 0.95, &mut rng);
     g
@@ -141,8 +151,14 @@ pub fn eclass_like(scale: f64, table: &mut SymbolTable, seed: u64) -> LabeledGra
     let classes = (n as f64 * 0.38) as u32;
     hierarchy(&mut g, 0..classes, sco, 0.45, &mut rng);
     for _ in 0..(n as f64 * 0.30) as usize {
-        { let entity_end = ((n as u64 * 7) / 10).max(classes as u64 + 1) as u32;
-            g.add_edge(rng.gen_range(classes..entity_end), ty, rng.gen_range(0..classes.max(1))); }
+        {
+            let entity_end = ((n as u64 * 7) / 10).max(classes as u64 + 1) as u32;
+            g.add_edge(
+                rng.gen_range(classes..entity_end),
+                ty,
+                rng.gen_range(0..classes.max(1)),
+            );
+        }
     }
     sprinkle(&mut g, n, (n as f64 * 1.5) as usize, misc, 1.0, &mut rng);
     g
@@ -159,8 +175,14 @@ pub fn enzyme_like(scale: f64, table: &mut SymbolTable, seed: u64) -> LabeledGra
     let classes = (n as f64 * 0.17) as u32;
     hierarchy(&mut g, 0..classes, sco, 0.5, &mut rng);
     for _ in 0..(n as f64 * 0.31) as usize {
-        { let entity_end = ((n as u64 * 7) / 10).max(classes as u64 + 1) as u32;
-            g.add_edge(rng.gen_range(classes..entity_end), ty, rng.gen_range(0..classes.max(1))); }
+        {
+            let entity_end = ((n as u64 * 7) / 10).max(classes as u64 + 1) as u32;
+            g.add_edge(
+                rng.gen_range(classes..entity_end),
+                ty,
+                rng.gen_range(0..classes.max(1)),
+            );
+        }
     }
     sprinkle(&mut g, n, (n as f64 * 1.4) as usize, misc, 1.0, &mut rng);
     g
@@ -176,8 +198,14 @@ pub fn pathways_like(scale: f64, table: &mut SymbolTable, seed: u64) -> LabeledG
     let classes = (n as f64 * 0.3) as u32;
     hierarchy(&mut g, 0..classes, sco, 0.5, &mut rng);
     for _ in 0..n as usize {
-        { let entity_end = ((n as u64 * 7) / 10).max(classes as u64 + 1) as u32;
-            g.add_edge(rng.gen_range(classes..entity_end), ty, rng.gen_range(0..classes.max(1))); }
+        {
+            let entity_end = ((n as u64 * 7) / 10).max(classes as u64 + 1) as u32;
+            g.add_edge(
+                rng.gen_range(classes..entity_end),
+                ty,
+                rng.gen_range(0..classes.max(1)),
+            );
+        }
     }
     g
 }
@@ -195,8 +223,14 @@ pub fn geospecies_like(scale: f64, table: &mut SymbolTable, seed: u64) -> Labele
     let taxa = (n as f64 * 0.046) as u32; // ~20.8k/450k
     hierarchy(&mut g, 0..taxa, bt, 0.3, &mut rng);
     for _ in 0..(n as f64 * 0.197) as usize {
-        { let entity_end = ((n as u64 * 7) / 10).max(taxa as u64 + 1) as u32;
-            g.add_edge(rng.gen_range(taxa..entity_end), ty, rng.gen_range(0..taxa.max(1))); }
+        {
+            let entity_end = ((n as u64 * 7) / 10).max(taxa as u64 + 1) as u32;
+            g.add_edge(
+                rng.gen_range(taxa..entity_end),
+                ty,
+                rng.gen_range(0..taxa.max(1)),
+            );
+        }
     }
     sprinkle(&mut g, n, (n as f64 * 2.0) as usize, near, 0.9, &mut rng);
     sprinkle(&mut g, n, (n as f64 * 2.6) as usize, misc, 1.0, &mut rng);
@@ -243,9 +277,7 @@ pub fn dbpedia_like(scale: f64, table: &mut SymbolTable, seed: u64) -> LabeledGr
     let mut g = LabeledGraph::new(n);
     let total_edges = (n as f64 * 3.04) as usize;
     // 24 predicates, frequency halving.
-    let labels: Vec<Symbol> = (0..24)
-        .map(|i| table.intern(&format!("dbp{i}")))
-        .collect();
+    let labels: Vec<Symbol> = (0..24).map(|i| table.intern(&format!("dbp{i}"))).collect();
     let entity_end = ((n as u64 * 7) / 10).max(1) as u32;
     for _ in 0..total_edges {
         let mut li = 0usize;

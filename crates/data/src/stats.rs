@@ -67,10 +67,7 @@ mod tests {
         let s = GraphStats::of("toy", &g, &t);
         assert_eq!(s.vertices, 20);
         assert_eq!(s.edges, 100);
-        assert_eq!(
-            s.label_counts.iter().map(|(_, c)| c).sum::<usize>(),
-            100
-        );
+        assert_eq!(s.label_counts.iter().map(|(_, c)| c).sum::<usize>(), 100);
         assert_eq!(s.label("missing"), 0);
         assert!(format!("{s}").contains("toy"));
     }

@@ -177,7 +177,10 @@ impl<S: Semiring> CsrMatrix<S> {
 
     /// The structural pattern (coordinates of stored entries).
     pub fn pattern(&self) -> Vec<(Index, Index)> {
-        self.to_triples().into_iter().map(|(i, j, _)| (i, j)).collect()
+        self.to_triples()
+            .into_iter()
+            .map(|(i, j, _)| (i, j))
+            .collect()
     }
 
     /// Storage footprint in bytes: `(m + 1 + nnz) · 4 + nnz ·

@@ -74,11 +74,7 @@ mod tests {
     #[test]
     fn plus_times_spmv_counts() {
         // Row sums when x = 1.
-        let m = CsrMatrix::<PlusTimesU64>::from_triples(
-            3,
-            3,
-            &[(0, 0, 2), (0, 2, 3), (2, 1, 4)],
-        );
+        let m = CsrMatrix::<PlusTimesU64>::from_triples(3, 3, &[(0, 0, 2), (0, 2, 3), (2, 1, 4)]);
         let y = spmv(&m, &[1, 1, 1]);
         assert_eq!(y, vec![5, 0, 4]);
     }

@@ -60,6 +60,10 @@ pub struct DeviceStats {
     pub h2d_bytes: u64,
     /// Bytes copied device→host.
     pub d2h_bytes: u64,
+    /// Bytes sent to a peer device (device→device traffic). Charged to
+    /// the *source* device by the multi-device communicator, so summing
+    /// across a grid gives total communication volume exactly once.
+    pub d2d_bytes: u64,
     /// Accumulator insertions performed by SpGEMM-style kernels: hash-table
     /// probes that claimed a slot plus expansion entries materialised for
     /// sorting. Masked/delta kernels advertise their savings here — fewer
@@ -77,6 +81,7 @@ pub(crate) struct DeviceInner {
     blocks_executed: AtomicU64,
     h2d_bytes: AtomicU64,
     d2h_bytes: AtomicU64,
+    d2d_bytes: AtomicU64,
     accum_insertions: AtomicU64,
 }
 
@@ -123,6 +128,17 @@ impl DeviceInner {
 
     pub(crate) fn count_d2h(&self, bytes: u64) {
         self.d2h_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+}
+
+impl Device {
+    /// Charge `bytes` of peer (device→device) traffic to this device.
+    /// Called by a multi-device communicator on the *sending* side of
+    /// every peer copy, broadcast and all-gather round.
+    pub fn count_d2d(&self, bytes: u64) {
+        if bytes > 0 {
+            self.inner.d2d_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
     }
 }
 
@@ -175,6 +191,7 @@ impl Device {
                 blocks_executed: AtomicU64::new(0),
                 h2d_bytes: AtomicU64::new(0),
                 d2h_bytes: AtomicU64::new(0),
+                d2d_bytes: AtomicU64::new(0),
                 accum_insertions: AtomicU64::new(0),
             }),
         }
@@ -205,6 +222,7 @@ impl Device {
             blocks_executed: i.blocks_executed.load(Ordering::Relaxed),
             h2d_bytes: i.h2d_bytes.load(Ordering::Relaxed),
             d2h_bytes: i.d2h_bytes.load(Ordering::Relaxed),
+            d2d_bytes: i.d2d_bytes.load(Ordering::Relaxed),
             accum_insertions: i.accum_insertions.load(Ordering::Relaxed),
         }
     }
@@ -259,10 +277,24 @@ mod tests {
             dedicated_pool: true,
             ..DeviceConfig::default()
         });
-        let width = dev.inner.pool.as_ref().expect("pool built").current_num_threads();
+        let width = dev
+            .inner
+            .pool
+            .as_ref()
+            .expect("pool built")
+            .current_num_threads();
         assert_eq!(width, 3);
         // Default devices share the global pool.
         assert!(Device::default().inner.pool.is_none());
+    }
+
+    #[test]
+    fn d2d_traffic_accumulates_on_sender() {
+        let dev = Device::default();
+        dev.count_d2d(128);
+        dev.count_d2d(0); // free
+        dev.count_d2d(72);
+        assert_eq!(dev.stats().d2d_bytes, 200);
     }
 
     #[test]

@@ -36,10 +36,15 @@ impl LaunchCfg {
     }
 
     /// Enough blocks of `block_dim` threads to cover `n` work items.
+    ///
+    /// `n == 0` yields a valid one-block launch (a no-op grid) rather
+    /// than a zero-block grid that `Device::launch*` would reject as
+    /// `InvalidLaunch` — kernels covering empty matrices need no
+    /// special-casing at the call site.
     pub fn cover(n: usize, block_dim: u32) -> Self {
         let bd = block_dim.max(1) as usize;
         LaunchCfg {
-            grid: n.div_ceil(bd) as u32,
+            grid: n.div_ceil(bd).max(1) as u32,
             block_dim: block_dim.max(1),
         }
     }
@@ -221,7 +226,13 @@ impl Device {
 
     /// Launch a kernel that owns one output *chunk of fixed size* per
     /// block, covering `out` (last block may get a short chunk).
-    pub fn launch_chunks<T, F>(&self, block_dim: u32, out: &mut [T], chunk: usize, kernel: F) -> Result<()>
+    pub fn launch_chunks<T, F>(
+        &self,
+        block_dim: u32,
+        out: &mut [T],
+        chunk: usize,
+        kernel: F,
+    ) -> Result<()>
     where
         T: Send,
         F: Fn(&mut BlockCtx, usize, &mut [T]) + Sync,
@@ -237,10 +248,12 @@ impl Device {
         Self::check_cfg(cfg)?;
         self.inner.count_launch(cfg.grid as u64);
         self.run(|| {
-            out.par_chunks_mut(chunk).enumerate().for_each(|(b, slice)| {
-                let mut ctx = self.make_ctx(b as u32, cfg);
-                kernel(&mut ctx, b * chunk, slice);
-            });
+            out.par_chunks_mut(chunk)
+                .enumerate()
+                .for_each(|(b, slice)| {
+                    let mut ctx = self.make_ctx(b as u32, cfg);
+                    kernel(&mut ctx, b * chunk, slice);
+                });
         });
         Ok(())
     }
@@ -278,7 +291,10 @@ mod tests {
     fn partitioned_launch_gives_disjoint_slices() {
         let dev = Device::default();
         let mut out = vec![0u32; 64];
-        let cfg = LaunchCfg { grid: 8, block_dim: 4 };
+        let cfg = LaunchCfg {
+            grid: 8,
+            block_dim: 4,
+        };
         dev.launch(
             cfg,
             &mut out,
@@ -299,7 +315,10 @@ mod tests {
     fn overlapping_partition_rejected() {
         let dev = Device::default();
         let mut out = vec![0u32; 10];
-        let cfg = LaunchCfg { grid: 2, block_dim: 1 };
+        let cfg = LaunchCfg {
+            grid: 2,
+            block_dim: 1,
+        };
         let err = dev
             .launch(cfg, &mut out, |_b| 0..6, |_c, _s| {})
             .unwrap_err();
@@ -310,18 +329,48 @@ mod tests {
     fn zero_grid_rejected() {
         let dev = Device::default();
         let err = dev
-            .launch_read(LaunchCfg { grid: 0, block_dim: 1 }, |_c| {})
+            .launch_read(
+                LaunchCfg {
+                    grid: 0,
+                    block_dim: 1,
+                },
+                |_c| {},
+            )
             .unwrap_err();
         assert!(matches!(err, DeviceError::InvalidLaunch(_)));
     }
 
     #[test]
+    fn cover_of_zero_items_is_a_valid_noop_launch() {
+        let dev = Device::default();
+        let cfg = LaunchCfg::cover(0, 128);
+        assert_eq!(cfg.grid, 1);
+        // The empty cover must launch cleanly and touch nothing.
+        let visited = std::sync::atomic::AtomicU32::new(0);
+        dev.launch_read(cfg, |ctx| {
+            ctx.grid_stride(0, |_| {
+                visited.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            });
+        })
+        .unwrap();
+        assert_eq!(visited.load(std::sync::atomic::Ordering::Relaxed), 0);
+        // Partitioned launches over an empty output work too.
+        let mut out: Vec<u32> = Vec::new();
+        dev.launch(cfg, &mut out, |_b| 0..0, |_ctx, _slice| {})
+            .unwrap();
+    }
+
+    #[test]
     fn grid_stride_covers_everything_once() {
         let dev = Device::default();
-        let cfg = LaunchCfg { grid: 7, block_dim: 3 };
+        let cfg = LaunchCfg {
+            grid: 7,
+            block_dim: 3,
+        };
         let n = 1000usize;
-        let counts: Vec<std::sync::atomic::AtomicU32> =
-            (0..n).map(|_| std::sync::atomic::AtomicU32::new(0)).collect();
+        let counts: Vec<std::sync::atomic::AtomicU32> = (0..n)
+            .map(|_| std::sync::atomic::AtomicU32::new(0))
+            .collect();
         dev.launch_read(cfg, |ctx| {
             ctx.grid_stride(n, |i| {
                 counts[i].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -338,9 +387,15 @@ mod tests {
     fn shared_memory_budget_enforced() {
         let dev = Device::default();
         let limit = dev.config().shared_mem_per_block;
-        dev.launch_read(LaunchCfg { grid: 1, block_dim: 1 }, |ctx| {
-            let _big = ctx.shared_array::<u8>(limit + 1);
-        })
+        dev.launch_read(
+            LaunchCfg {
+                grid: 1,
+                block_dim: 1,
+            },
+            |ctx| {
+                let _big = ctx.shared_array::<u8>(limit + 1);
+            },
+        )
         .unwrap();
     }
 
@@ -348,7 +403,10 @@ mod tests {
     fn gaps_in_partition_are_allowed() {
         let dev = Device::default();
         let mut out = vec![9u8; 10];
-        let cfg = LaunchCfg { grid: 2, block_dim: 1 };
+        let cfg = LaunchCfg {
+            grid: 2,
+            block_dim: 1,
+        };
         dev.launch(
             cfg,
             &mut out,

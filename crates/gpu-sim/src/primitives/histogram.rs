@@ -26,7 +26,10 @@ pub fn histogram(device: &Device, data: &[u32], bins: usize) -> Vec<usize> {
         .map(|c| {
             let mut h = vec![0usize; bins];
             for &v in c {
-                assert!((v as usize) < bins, "value {v} out of histogram range {bins}");
+                assert!(
+                    (v as usize) < bins,
+                    "value {v} out of histogram range {bins}"
+                );
                 h[v as usize] += 1;
             }
             h

@@ -105,7 +105,10 @@ mod tests {
     fn diagonal_zero_and_full() {
         let a = [1u32, 4, 6];
         let b = [2u32, 3, 5];
-        assert_eq!(merge_path_partition(&a, &b, 0), MergePoint { a_idx: 0, b_idx: 0 });
+        assert_eq!(
+            merge_path_partition(&a, &b, 0),
+            MergePoint { a_idx: 0, b_idx: 0 }
+        );
         let end = merge_path_partition(&a, &b, 6);
         assert_eq!(end, MergePoint { a_idx: 3, b_idx: 3 });
     }

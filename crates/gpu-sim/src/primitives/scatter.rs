@@ -28,7 +28,9 @@ impl<T: Default + Clone> ScatterBuf<T> {
         ScatterBuf {
             data: (0..len).map(|_| UnsafeCell::new(T::default())).collect(),
             #[cfg(debug_assertions)]
-            written: (0..len).map(|_| std::sync::atomic::AtomicU8::new(0)).collect(),
+            written: (0..len)
+                .map(|_| std::sync::atomic::AtomicU8::new(0))
+                .collect(),
         }
     }
 }

@@ -57,7 +57,10 @@ fn sort_impl(device: &Device, keys: &mut Vec<u64>, vals: &mut Vec<u32>) {
         return;
     }
 
-    let or_all: u64 = keys.par_iter().fold(|| 0u64, |a, &k| a | k).reduce(|| 0, |a, b| a | b);
+    let or_all: u64 = keys
+        .par_iter()
+        .fold(|| 0u64, |a, &k| a | k)
+        .reduce(|| 0, |a, b| a | b);
     let chunk = n.div_ceil(rayon::current_num_threads().max(1) * 4).max(1);
     let nchunks = n.div_ceil(chunk);
 
@@ -94,14 +97,16 @@ fn sort_impl(device: &Device, keys: &mut Vec<u64>, vals: &mut Vec<u32>) {
         // Phase 3: scatter each chunk's items to their scanned offsets.
         let out_keys = ScatterBuf::<u64>::new(n);
         if vals.is_empty() {
-            keys.par_chunks(chunk).zip(offsets.par_iter()).for_each(|(c, base)| {
-                let mut cursor = *base;
-                for &k in c {
-                    let d = digit(k, pass);
-                    out_keys.write(cursor[d] as usize, k);
-                    cursor[d] += 1;
-                }
-            });
+            keys.par_chunks(chunk)
+                .zip(offsets.par_iter())
+                .for_each(|(c, base)| {
+                    let mut cursor = *base;
+                    for &k in c {
+                        let d = digit(k, pass);
+                        out_keys.write(cursor[d] as usize, k);
+                        cursor[d] += 1;
+                    }
+                });
             *keys = out_keys.into_vec();
         } else {
             let out_vals = ScatterBuf::<u32>::new(n);
@@ -171,7 +176,10 @@ mod tests {
     #[test]
     fn payload_follows_keys() {
         let dev = Device::default();
-        let mut keys = pseudo_random(100_000, 3).iter().map(|k| k % 10_000).collect::<Vec<_>>();
+        let mut keys = pseudo_random(100_000, 3)
+            .iter()
+            .map(|k| k % 10_000)
+            .collect::<Vec<_>>();
         let mut vals: Vec<u32> = (0..keys.len() as u32).collect();
         let reference: Vec<(u64, u32)> = {
             let mut p: Vec<(u64, u32)> = keys.iter().copied().zip(vals.iter().copied()).collect();

@@ -112,11 +112,7 @@ pub fn pagerank(adjacency: &CsrBool, damping: f64, tol: f64, max_iter: usize) ->
         let dangling_mass: f64 = dangling.iter().map(|&u| rank[u as usize]).sum();
         let base = (1.0 - damping) / n as f64 + damping * dangling_mass / n as f64;
         let next: Vec<f64> = pushed.iter().map(|&p| base + damping * p).collect();
-        let delta: f64 = next
-            .iter()
-            .zip(&rank)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = next.iter().zip(&rank).map(|(a, b)| (a - b).abs()).sum();
         rank = next;
         if delta < tol {
             break;
@@ -167,7 +163,16 @@ mod tests {
         let sq = CsrBool::from_pairs(
             4,
             4,
-            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2), (3, 0), (0, 3)],
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (2, 3),
+                (3, 2),
+                (3, 0),
+                (0, 3),
+            ],
         )
         .unwrap();
         assert_eq!(triangle_count(&sq), 0);

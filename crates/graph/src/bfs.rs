@@ -91,8 +91,7 @@ mod tests {
     fn levels_on_diamond() {
         // 0 → {1,2} → 3
         for inst in [Instance::cpu(), Instance::cuda_sim(), Instance::cl_sim()] {
-            let a =
-                Matrix::from_pairs(&inst, 4, 4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+            let a = Matrix::from_pairs(&inst, 4, 4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
             let levels = bfs_levels(&a, 0, &inst).unwrap();
             assert_eq!(levels, vec![Some(0), Some(1), Some(1), Some(2)]);
         }
@@ -122,7 +121,12 @@ mod tests {
             let multi = msbfs_levels(&a, &sources, &inst).unwrap();
             for (i, &src) in sources.iter().enumerate() {
                 let single = bfs_levels(&a, src, &inst).unwrap();
-                assert_eq!(multi[i], single, "source {src} backend {:?}", inst.backend());
+                assert_eq!(
+                    multi[i],
+                    single,
+                    "source {src} backend {:?}",
+                    inst.backend()
+                );
             }
         }
     }

@@ -263,7 +263,11 @@ impl AzimovIndex {
                     if lhs == a {
                         if let Some(m) = self.terminals.get(&t) {
                             if m.get(u, v) {
-                                out.push(PathEdge { from: u, label: t, to: v });
+                                out.push(PathEdge {
+                                    from: u,
+                                    label: t,
+                                    to: v,
+                                });
                                 return Some(());
                             }
                         }
@@ -275,7 +279,11 @@ impl AzimovIndex {
                 if lhs == a {
                     if let Some(m) = self.terminals.get(&t) {
                         if m.get(u, v) {
-                            out.push(PathEdge { from: u, label: t, to: v });
+                            out.push(PathEdge {
+                                from: u,
+                                label: t,
+                                to: v,
+                            });
                             return Some(());
                         }
                     }
@@ -320,10 +328,8 @@ mod tests {
         let cnf = CnfGrammar::from_grammar(&g);
         let a = t.get("a").unwrap();
         let b = t.get("b").unwrap();
-        let graph = LabeledGraph::from_triples(
-            4,
-            [(0, a, 1), (1, a, 0), (0, b, 2), (2, b, 3), (3, b, 0)],
-        );
+        let graph =
+            LabeledGraph::from_triples(4, [(0, a, 1), (1, a, 0), (0, b, 2), (2, b, 3), (3, b, 0)]);
         (t, cnf, graph)
     }
 

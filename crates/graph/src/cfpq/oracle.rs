@@ -42,8 +42,8 @@ pub fn all_facts(graph: &LabeledGraph, cnf: &CnfGrammar) -> FxHashSet<(NtId, u32
     }
 
     let add = |fact: (NtId, u32, u32),
-                   facts: &mut FxHashSet<(NtId, u32, u32)>,
-                   worklist: &mut Vec<(NtId, u32, u32)>| {
+               facts: &mut FxHashSet<(NtId, u32, u32)>,
+               worklist: &mut Vec<(NtId, u32, u32)>| {
         if facts.insert(fact) {
             worklist.push(fact);
         }
@@ -102,16 +102,8 @@ mod tests {
         let cnf = CnfGrammar::from_grammar(&g);
         let a = t.get("a").unwrap();
         let b = t.get("b").unwrap();
-        let graph = LabeledGraph::from_triples(
-            4,
-            [
-                (0, a, 1),
-                (1, a, 0),
-                (0, b, 2),
-                (2, b, 3),
-                (3, b, 0),
-            ],
-        );
+        let graph =
+            LabeledGraph::from_triples(4, [(0, a, 1), (1, a, 0), (0, b, 2), (2, b, 3), (3, b, 0)]);
         let pairs = cfpq_pairs(&graph, &cnf, cnf.start());
         // Known answer set for this standard example.
         assert!(pairs.contains(&(0, 0)));

@@ -278,7 +278,16 @@ impl TnsIndex {
         }
         let b = self.rsm.box_of(nt);
         let mut prefix = Vec::new();
-        self.walk_box(&mut walk, nt, b.start, u, v, max_count, &mut prefix, &mut results);
+        self.walk_box(
+            &mut walk,
+            nt,
+            b.start,
+            u,
+            v,
+            max_count,
+            &mut prefix,
+            &mut results,
+        );
         results
     }
 
@@ -390,9 +399,7 @@ impl TnsIndex {
                             let len_before = prefix.len();
                             prefix.extend_from_slice(&sp);
                             if prefix.len() <= walk.max_len {
-                                self.walk_box(
-                                    walk, nt, q2, x2, target, max_count, prefix, results,
-                                );
+                                self.walk_box(walk, nt, q2, x2, target, max_count, prefix, results);
                             }
                             prefix.truncate(len_before);
                             if results.len() >= max_count || walk.steps == 0 {
@@ -452,10 +459,8 @@ mod tests {
         let g = Grammar::parse("S -> a S b | a b", &mut t).unwrap();
         let a = t.get("a").unwrap();
         let b = t.get("b").unwrap();
-        let graph = LabeledGraph::from_triples(
-            4,
-            [(0, a, 1), (1, a, 0), (0, b, 2), (2, b, 3), (3, b, 0)],
-        );
+        let graph =
+            LabeledGraph::from_triples(4, [(0, a, 1), (1, a, 0), (0, b, 2), (2, b, 3), (3, b, 0)]);
         (t, g, graph)
     }
 
@@ -466,7 +471,12 @@ mod tests {
         let expect = cfpq_pairs(&graph, &cnf, cnf.start());
         for inst in [Instance::cpu(), Instance::cuda_sim(), Instance::cl_sim()] {
             let tns = TnsIndex::build(&graph, &g, &inst, &TnsOptions::default()).unwrap();
-            assert_eq!(tns.reachable_pairs(), expect, "backend {:?}", inst.backend());
+            assert_eq!(
+                tns.reachable_pairs(),
+                expect,
+                "backend {:?}",
+                inst.backend()
+            );
             let mtx = AzimovIndex::build(&graph, &cnf, &inst, &AzimovOptions::default()).unwrap();
             assert_eq!(tns.reachable_pairs(), mtx.reachable_pairs());
         }
@@ -477,13 +487,8 @@ mod tests {
         let (_t, g, graph) = an_bn_setup();
         let inst = Instance::cpu();
         let from_scratch = TnsIndex::build(&graph, &g, &inst, &TnsOptions::default()).unwrap();
-        let incremental = TnsIndex::build(
-            &graph,
-            &g,
-            &inst,
-            &TnsOptions { incremental: true },
-        )
-        .unwrap();
+        let incremental =
+            TnsIndex::build(&graph, &g, &inst, &TnsOptions { incremental: true }).unwrap();
         assert_eq!(
             from_scratch.reachable_pairs(),
             incremental.reachable_pairs()
@@ -546,8 +551,9 @@ mod tests {
             assert_eq!(w.len(), 2 * k);
         }
         // Non-derivable pair yields None.
-        assert!(tns.extract_single_path(3, 3, 8).is_none()
-            || tns.reachable_pairs().contains(&(3, 3)));
+        assert!(
+            tns.extract_single_path(3, 3, 8).is_none() || tns.reachable_pairs().contains(&(3, 3))
+        );
     }
 
     #[test]
@@ -565,10 +571,7 @@ mod tests {
         let a = t.get("a").unwrap();
         // 0 -d-> 1, 2 -d-> 3, 1 -a-> ... wait: build: 1 <- d - 0 means
         // d_r edge 1→0 needed; supply edges directly.
-        let graph = LabeledGraph::from_triples(
-            4,
-            [(1, dr, 0), (0, a, 2), (2, d, 3), (1, d, 0)],
-        );
+        let graph = LabeledGraph::from_triples(4, [(1, dr, 0), (0, a, 2), (2, d, 3), (1, d, 0)]);
         let cnf = CnfGrammar::from_grammar(&g);
         let expect = cfpq_pairs(&graph, &cnf, cnf.start());
         let tns = TnsIndex::build(&graph, &g, &Instance::cpu(), &TnsOptions::default()).unwrap();

@@ -8,7 +8,8 @@
 //! [`closure_delta`] — semi-naïve iteration over the frontier with a
 //! complemented-mask SpGEMM — is the one the hot paths use.
 
-use spbla_core::{Matrix, Result};
+use spbla_core::{CsrBool, Matrix, Result};
+use spbla_multidev::{DeviceGrid, DistMatrix};
 
 /// Closure by repeated squaring: `C ← C + C·C` until fixpoint —
 /// O(log diameter) multiplications of growing density. Kept as the
@@ -63,6 +64,29 @@ pub fn closure_delta(adjacency: &Matrix) -> Result<Matrix> {
         delta = fresh;
     }
     Ok(c)
+}
+
+/// Distributed semi-naïve closure: shard the adjacency by block-rows
+/// over `grid` and run the [`closure_delta`] schedule with distributed
+/// kernels — each round's complement-masked SpGEMM all-gathers only the
+/// round's *frontier* shards (never the dense closure), and the union
+/// into `C` stays shard-local. The gathered result is bit-identical to
+/// the single-device [`closure_delta`] on any device count.
+pub fn closure_delta_dist(adjacency: &CsrBool, grid: &DeviceGrid) -> Result<CsrBool> {
+    let sharded = DistMatrix::from_csr(grid, adjacency)?;
+    Ok(sharded.closure_delta()?.gather())
+}
+
+/// [`closure_delta_dist`] on a fresh grid of `devices` default CSR
+/// devices; returns the closure and the grid so callers can audit the
+/// per-device counters the run produced.
+pub fn closure_delta_on_devices(
+    adjacency: &CsrBool,
+    devices: usize,
+) -> Result<(CsrBool, DeviceGrid)> {
+    let grid = DeviceGrid::new(devices);
+    let closure = closure_delta_dist(adjacency, &grid)?;
+    Ok((closure, grid))
 }
 
 /// Closure by single-step relaxation: `C ← C + C·A` until fixpoint —
@@ -189,6 +213,27 @@ mod tests {
     }
 
     #[test]
+    fn distributed_closure_matches_single_device() {
+        let pairs: Vec<(u32, u32)> = (0..90u32)
+            .map(|i| {
+                let x = i.wrapping_mul(2654435761).wrapping_add(17);
+                (x % 30, (x / 30) % 30)
+            })
+            .collect();
+        let inst = Instance::cuda_sim();
+        let a = Matrix::from_pairs(&inst, 30, 30, &pairs).unwrap();
+        let single = closure_delta(&a).unwrap().read();
+        let csr = spbla_core::CsrBool::from_pairs(30, 30, &pairs).unwrap();
+        for devices in [1, 2, 4, 8] {
+            let (dist, grid) = closure_delta_on_devices(&csr, devices).unwrap();
+            assert_eq!(dist.to_pairs(), single, "{devices} devices");
+            if devices > 1 {
+                assert!(grid.total_stats().d2d_bytes > 0);
+            }
+        }
+    }
+
+    #[test]
     fn closure_of_cycle_is_complete() {
         let inst = Instance::cpu();
         let a = Matrix::from_pairs(&inst, 4, 4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
@@ -200,8 +245,7 @@ mod tests {
     fn incremental_matches_from_scratch() {
         let inst = Instance::cpu();
         // Base: two disjoint paths 0→1→2 and 3→4→5.
-        let base =
-            Matrix::from_pairs(&inst, 6, 6, &[(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+        let base = Matrix::from_pairs(&inst, 6, 6, &[(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
         let t = closure_squaring(&base).unwrap();
         // Delta: bridge 2→3.
         let delta = Matrix::from_pairs(&inst, 6, 6, &[(2, 3)]).unwrap();
@@ -215,9 +259,7 @@ mod tests {
     #[test]
     fn dense_bit_closure_matches_sparse() {
         for inst in [Instance::cpu(), Instance::cuda_sim()] {
-            let pairs: Vec<(u32, u32)> = (0..60u32)
-                .map(|i| (i % 20, (i * 7 + 3) % 20))
-                .collect();
+            let pairs: Vec<(u32, u32)> = (0..60u32).map(|i| (i % 20, (i * 7 + 3) % 20)).collect();
             let a = Matrix::from_pairs(&inst, 20, 20, &pairs).unwrap();
             let sparse = closure_squaring(&a).unwrap();
             let dense = closure_dense_bit(&a).unwrap();

@@ -63,11 +63,7 @@ impl LabeledGraph {
     /// Labels sorted by descending frequency — the query generator picks
     /// "the most frequent relations from the given graph".
     pub fn labels_by_frequency(&self) -> Vec<(Symbol, usize)> {
-        let mut out: Vec<(Symbol, usize)> = self
-            .edges
-            .iter()
-            .map(|(&l, e)| (l, e.len()))
-            .collect();
+        let mut out: Vec<(Symbol, usize)> = self.edges.iter().map(|(&l, e)| (l, e.len())).collect();
         out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }

@@ -31,12 +31,28 @@ mod tests {
     fn well_formedness() {
         let a = Symbol(0);
         let good = [
-            PathEdge { from: 0, label: a, to: 1 },
-            PathEdge { from: 1, label: a, to: 2 },
+            PathEdge {
+                from: 0,
+                label: a,
+                to: 1,
+            },
+            PathEdge {
+                from: 1,
+                label: a,
+                to: 2,
+            },
         ];
         let bad = [
-            PathEdge { from: 0, label: a, to: 1 },
-            PathEdge { from: 2, label: a, to: 3 },
+            PathEdge {
+                from: 0,
+                label: a,
+                to: 1,
+            },
+            PathEdge {
+                from: 2,
+                label: a,
+                to: 3,
+            },
         ];
         assert!(is_well_formed(&good));
         assert!(!is_well_formed(&bad));

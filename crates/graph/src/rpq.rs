@@ -170,9 +170,9 @@ impl RpqIndex {
         let mut out: Vec<(u32, u32)> = Vec::new();
         for &q0 in &self.starts {
             for &qf in &self.finals {
-                let block =
-                    self.closure
-                        .submatrix(q0 * self.n, qf * self.n, self.n, self.n)?;
+                let block = self
+                    .closure
+                    .submatrix(q0 * self.n, qf * self.n, self.n, self.n)?;
                 out.extend(block.read());
             }
         }
@@ -227,7 +227,16 @@ impl RpqIndex {
         let mut stack: Vec<PathEdge> = Vec::new();
         let mut steps = budget;
         for &q0 in &self.starts.clone() {
-            self.dfs(q0, u, v, max_len, max_count, &mut steps, &mut stack, &mut results);
+            self.dfs(
+                q0,
+                u,
+                v,
+                max_len,
+                max_count,
+                &mut steps,
+                &mut stack,
+                &mut results,
+            );
             if results.len() >= max_count {
                 break;
             }
@@ -324,8 +333,16 @@ mod tests {
         let (mut t, g) = setup();
         let r = Regex::parse("(a | b)+", &mut t).unwrap();
         let inst = Instance::cpu();
-        let sq = RpqIndex::build(&g, &r, &inst, &RpqOptions { closure: ClosureKind::Squaring, ..RpqOptions::default() })
-            .unwrap();
+        let sq = RpqIndex::build(
+            &g,
+            &r,
+            &inst,
+            &RpqOptions {
+                closure: ClosureKind::Squaring,
+                ..RpqOptions::default()
+            },
+        )
+        .unwrap();
         let ss = RpqIndex::build(
             &g,
             &r,
@@ -370,8 +387,14 @@ mod tests {
                 assert_eq!(a, &answers[0], "query {q}");
             }
             // Size ordering: minimised <= Glushkov <= Thompson.
-            assert!(states[3] <= states[0], "minimised bigger than Glushkov on {q}");
-            assert!(states[0] <= states[1], "Glushkov bigger than Thompson on {q}");
+            assert!(
+                states[3] <= states[0],
+                "minimised bigger than Glushkov on {q}"
+            );
+            assert!(
+                states[0] <= states[1],
+                "Glushkov bigger than Thompson on {q}"
+            );
         }
     }
 

@@ -103,7 +103,14 @@ mod tests {
         let b = t.intern("b");
         let g = LabeledGraph::from_triples(
             6,
-            [(0, a, 1), (1, b, 2), (2, b, 3), (1, a, 3), (3, a, 4), (5, b, 0)],
+            [
+                (0, a, 1),
+                (1, b, 2),
+                (2, b, 3),
+                (1, a, 3),
+                (3, a, 4),
+                (5, b, 0),
+            ],
         );
         (t, g)
     }

@@ -142,10 +142,8 @@ mod tests {
         let mut t = SymbolTable::new();
         let a = t.intern("a");
         let b = t.intern("b");
-        let g = LabeledGraph::from_triples(
-            5,
-            [(0, a, 1), (1, b, 2), (2, b, 3), (1, a, 3), (3, a, 0)],
-        );
+        let g =
+            LabeledGraph::from_triples(5, [(0, a, 1), (1, b, 2), (2, b, 3), (1, a, 3), (3, a, 0)]);
         (t, g)
     }
 
@@ -166,7 +164,10 @@ mod tests {
         let r = Regex::parse("(a | b)* . a . (a | b)", &mut t).unwrap();
         let states = derivative_state_count(&g, &r);
         assert!(states >= 2);
-        assert!(states < 64, "derivative space should stay small, got {states}");
+        assert!(
+            states < 64,
+            "derivative space should stay small, got {states}"
+        );
     }
 
     #[test]

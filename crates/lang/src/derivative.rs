@@ -154,7 +154,13 @@ mod tests {
     fn derivative_automaton_agrees_with_matcher() {
         let mut t = SymbolTable::new();
         let syms: Vec<Symbol> = ["a", "b", "c"].iter().map(|n| t.intern(n)).collect();
-        for q in ["a*", "a . b* . c", "(a | b)+", "a? . b*", "(a . b)+ | (c . a)+"] {
+        for q in [
+            "a*",
+            "a . b* . c",
+            "(a | b)+",
+            "a? . b*",
+            "(a . b)+ | (c . a)+",
+        ] {
             let r = Regex::parse(q, &mut t).unwrap();
             let auto = derivative_automaton(&r, &syms);
             for w in all_words(&syms, 4) {

@@ -160,8 +160,7 @@ mod tests {
         for q in templates {
             let r = Regex::parse(q, &mut t).unwrap();
             let nfa = glushkov(&r);
-            let alphabet: Vec<Symbol> =
-                ["a", "b", "c"].iter().map(|n| t.intern(n)).collect();
+            let alphabet: Vec<Symbol> = ["a", "b", "c"].iter().map(|n| t.intern(n)).collect();
             for w in words(&alphabet, 4) {
                 assert_eq!(
                     nfa.accepts(&w),

@@ -44,8 +44,7 @@ pub fn minimize(dfa: &Dfa) -> Nfa {
     let mut worklist: Vec<usize> = (0..partitions.len()).collect();
 
     // Reverse transitions per symbol.
-    let mut reverse: Vec<FxHashMap<usize, Vec<usize>>> =
-        vec![FxHashMap::default(); alphabet.len()];
+    let mut reverse: Vec<FxHashMap<usize, Vec<usize>>> = vec![FxHashMap::default(); alphabet.len()];
     for (s, row) in delta.iter().enumerate() {
         for (ai, &t) in row.iter().enumerate() {
             reverse[ai].entry(t).or_default().push(s);
@@ -67,14 +66,12 @@ pub fn minimize(dfa: &Dfa) -> Nfa {
             }
             let mut p = 0;
             while p < partitions.len() {
-                let inter: FxHashSet<usize> =
-                    partitions[p].intersection(&x).copied().collect();
+                let inter: FxHashSet<usize> = partitions[p].intersection(&x).copied().collect();
                 if inter.is_empty() || inter.len() == partitions[p].len() {
                     p += 1;
                     continue;
                 }
-                let diff: FxHashSet<usize> =
-                    partitions[p].difference(&x).copied().collect();
+                let diff: FxHashSet<usize> = partitions[p].difference(&x).copied().collect();
                 // Replace partition p with the smaller half; push the
                 // larger as a new partition; schedule per Hopcroft.
                 let (small, large) = if inter.len() <= diff.len() {
@@ -118,7 +115,9 @@ pub fn minimize(dfa: &Dfa) -> Nfa {
     emitted.insert(start_class);
     while let Some(c) = stack.pop() {
         // Representative state of the class.
-        let rep = (0..total).find(|&s| class_of[s] == c).expect("non-empty class");
+        let rep = (0..total)
+            .find(|&s| class_of[s] == c)
+            .expect("non-empty class");
         let cid = id_of(c, &mut renumber);
         if rep < n && dfa.is_final(rep as u32) {
             finals_out.push(cid);

@@ -34,7 +34,9 @@ impl Nfa {
         let mut finals = final_states;
         finals.sort_unstable();
         finals.dedup();
-        debug_assert!(transitions.iter().all(|&(f, _, t)| f < n_states && t < n_states));
+        debug_assert!(transitions
+            .iter()
+            .all(|&(f, _, t)| f < n_states && t < n_states));
         debug_assert!(start.iter().all(|&s| s < n_states));
         debug_assert!(finals.iter().all(|&s| s < n_states));
         Nfa {

@@ -173,10 +173,7 @@ mod tests {
         }
         // S's box calls V: there is a transition labeled N(V).
         use crate::cfg::SymbolOrNt::N;
-        assert!(rsm
-            .transitions()
-            .iter()
-            .any(|&(_, l, _)| l == N(NtId(1))));
+        assert!(rsm.transitions().iter().any(|&(_, l, _)| l == N(NtId(1))));
     }
 
     #[test]

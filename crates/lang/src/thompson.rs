@@ -144,7 +144,13 @@ mod tests {
     #[test]
     fn agrees_with_glushkov() {
         let mut t = SymbolTable::new();
-        let templates = ["a*", "a . b* . c", "(a | b)+", "a? . b*", "(a . b)+ | (c . a)+"];
+        let templates = [
+            "a*",
+            "a . b* . c",
+            "(a | b)+",
+            "a? . b*",
+            "(a . b)+ | (c . a)+",
+        ];
         let syms: Vec<Symbol> = ["a", "b", "c"].iter().map(|n| t.intern(n)).collect();
         for q in templates {
             let r = Regex::parse(q, &mut t).unwrap();

@@ -45,7 +45,9 @@ fn enumerate_language(g: &Grammar, max_len: usize, cap: usize) -> Vec<Vec<Symbol
             .iter()
             .position(|s| matches!(s, SymbolOrNt::N(_)))
             .unwrap();
-        let SymbolOrNt::N(nt) = form[pos] else { unreachable!() };
+        let SymbolOrNt::N(nt) = form[pos] else {
+            unreachable!()
+        };
         for rhs in g.productions_of(nt) {
             let mut next = Vec::with_capacity(form.len() + rhs.len());
             next.extend_from_slice(&form[..pos]);
@@ -150,13 +152,10 @@ fn enumeration_oracle_sanity() {
     let a = t.get("a").unwrap();
     let b = t.get("b").unwrap();
     let lang = enumerate_language(&g, 6, 10_000);
-    let expect: std::collections::BTreeSet<Vec<Symbol>> = [
-        vec![a, b],
-        vec![a, a, b, b],
-        vec![a, a, a, b, b, b],
-    ]
-    .into_iter()
-    .collect();
+    let expect: std::collections::BTreeSet<Vec<Symbol>> =
+        [vec![a, b], vec![a, a, b, b], vec![a, a, a, b, b, b]]
+            .into_iter()
+            .collect();
     let got: std::collections::BTreeSet<Vec<Symbol>> = lang.into_iter().collect();
     assert_eq!(got, expect);
 }

@@ -1,0 +1,198 @@
+//! The device grid: N independent simulated devices, one instance each.
+
+use std::sync::Arc;
+
+use spbla_core::{Backend, Instance, Result, SpblaError};
+use spbla_gpu_sim::{Device, DeviceConfig, DeviceStats};
+
+use crate::comm::Comm;
+
+#[derive(Debug)]
+struct GridInner {
+    instances: Vec<Instance>,
+}
+
+/// A grid of N simulated devices. Each slot is an [`Instance`] owning
+/// its *own* [`Device`] — separate memory capacity, allocation pool and
+/// statistics — so distributed schedules can be audited per device.
+/// Cheap to clone; clones share the same devices.
+#[derive(Debug, Clone)]
+pub struct DeviceGrid {
+    inner: Arc<GridInner>,
+}
+
+impl DeviceGrid {
+    /// A grid of `n` cuBool-style (CSR) devices with default capacity.
+    pub fn new(n: usize) -> Self {
+        DeviceGrid::uniform(n, Backend::CudaSim, DeviceConfig::default())
+            .expect("cuda-sim grid always builds")
+    }
+
+    /// A grid of `n` identical devices running `backend`. Only the
+    /// device-backed backends can form a grid.
+    pub fn uniform(n: usize, backend: Backend, config: DeviceConfig) -> Result<Self> {
+        DeviceGrid::with_configs(backend, vec![config; n])
+    }
+
+    /// A grid with one device per entry of `configs` — heterogeneous
+    /// capacities are how out-of-memory failure injection and ragged
+    /// real-world fleets are modelled.
+    pub fn with_configs(backend: Backend, configs: Vec<DeviceConfig>) -> Result<Self> {
+        if configs.is_empty() {
+            return Err(SpblaError::InvalidDimension(
+                "device grid needs at least one device".into(),
+            ));
+        }
+        let instances = configs
+            .into_iter()
+            .map(|cfg| {
+                let device = Device::new(cfg);
+                match backend {
+                    Backend::CudaSim => Ok(Instance::cuda_sim_on(device)),
+                    Backend::ClSim => Ok(Instance::cl_sim_on(device)),
+                    other => Err(SpblaError::InvalidDimension(format!(
+                        "backend {other} has no device; grids need cuda-sim or cl-sim"
+                    ))),
+                }
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(DeviceGrid {
+            inner: Arc::new(GridInner { instances }),
+        })
+    }
+
+    /// Number of devices in the grid.
+    pub fn len(&self) -> usize {
+        self.inner.instances.len()
+    }
+
+    /// Whether the grid is empty (never true for a constructed grid).
+    pub fn is_empty(&self) -> bool {
+        self.inner.instances.is_empty()
+    }
+
+    /// The instance owning device `i`.
+    pub fn instance(&self, i: usize) -> &Instance {
+        &self.inner.instances[i]
+    }
+
+    /// The device in slot `i`.
+    pub fn device(&self, i: usize) -> &Device {
+        self.inner.instances[i]
+            .device()
+            .expect("grid instances are device-backed")
+    }
+
+    /// The communicator for this grid.
+    pub fn comm(&self) -> Comm<'_> {
+        Comm::new(self)
+    }
+
+    /// Per-device counter snapshots, in slot order.
+    pub fn stats(&self) -> Vec<DeviceStats> {
+        (0..self.len()).map(|i| self.device(i).stats()).collect()
+    }
+
+    /// Counters summed across the grid (peaks are summed too: the total
+    /// is "bytes of silicon touched", not a concurrent high-water mark).
+    pub fn total_stats(&self) -> DeviceStats {
+        let mut total = DeviceStats::default();
+        for s in self.stats() {
+            total.bytes_in_use += s.bytes_in_use;
+            total.peak_bytes += s.peak_bytes;
+            total.allocations += s.allocations;
+            total.launches += s.launches;
+            total.blocks_executed += s.blocks_executed;
+            total.h2d_bytes += s.h2d_bytes;
+            total.d2h_bytes += s.d2h_bytes;
+            total.d2d_bytes += s.d2d_bytes;
+            total.accum_insertions += s.accum_insertions;
+        }
+        total
+    }
+
+    /// The largest per-device peak across the grid — the number that
+    /// must shrink as the grid grows for a schedule to claim it scales
+    /// past a single device's memory.
+    pub fn max_peak_bytes(&self) -> usize {
+        self.stats().iter().map(|s| s.peak_bytes).max().unwrap_or(0)
+    }
+
+    /// Rebase every device's peak watermark to its current usage.
+    pub fn reset_peaks(&self) {
+        for i in 0..self.len() {
+            self.device(i).reset_peak();
+        }
+    }
+
+    /// Whether two grid handles refer to the same grid.
+    pub fn same_as(&self, other: &DeviceGrid) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+/// Balanced contiguous block-row partition: `nrows` rows over `parts`
+/// devices, first `nrows % parts` shards one row taller. Returns the
+/// `parts + 1` shard boundaries (shard `i` owns `offsets[i]..offsets[i+1]`;
+/// shards past `nrows` are empty).
+pub fn block_row_offsets(nrows: u32, parts: usize) -> Vec<u32> {
+    let p = parts.max(1) as u32;
+    let base = nrows / p;
+    let extra = nrows % p;
+    let mut offsets = Vec::with_capacity(parts + 1);
+    let mut cursor = 0u32;
+    offsets.push(0);
+    for i in 0..p {
+        cursor += base + u32::from(i < extra);
+        offsets.push(cursor);
+    }
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_builds_independent_devices() {
+        let grid = DeviceGrid::new(3);
+        assert_eq!(grid.len(), 3);
+        // Each slot has its own device and instance.
+        assert!(!grid.instance(0).same_as(grid.instance(1)));
+        grid.device(0).count_d2d(100);
+        assert_eq!(grid.device(1).stats().d2d_bytes, 0);
+        assert_eq!(grid.total_stats().d2d_bytes, 100);
+    }
+
+    #[test]
+    fn heterogeneous_capacities_are_per_device() {
+        let grid = DeviceGrid::with_configs(
+            Backend::CudaSim,
+            vec![
+                DeviceConfig {
+                    memory_capacity: 1 << 10,
+                    ..DeviceConfig::default()
+                },
+                DeviceConfig::default(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(grid.device(0).config().memory_capacity, 1 << 10);
+        assert_eq!(grid.device(1).config().memory_capacity, 8 << 30);
+    }
+
+    #[test]
+    fn cpu_backends_cannot_form_grids() {
+        assert!(DeviceGrid::uniform(2, Backend::Cpu, DeviceConfig::default()).is_err());
+        assert!(DeviceGrid::with_configs(Backend::CudaSim, vec![]).is_err());
+    }
+
+    #[test]
+    fn block_rows_are_balanced_and_ragged_tail_is_empty() {
+        assert_eq!(block_row_offsets(10, 3), vec![0, 4, 7, 10]);
+        assert_eq!(block_row_offsets(12, 4), vec![0, 3, 6, 9, 12]);
+        // More devices than rows: trailing shards own zero rows.
+        assert_eq!(block_row_offsets(2, 4), vec![0, 1, 2, 2, 2]);
+        assert_eq!(block_row_offsets(0, 2), vec![0, 0, 0]);
+    }
+}

@@ -1,0 +1,50 @@
+//! # spbla-multidev — sharded Boolean linear algebra over a device grid
+//!
+//! SPbLA names multi-GPU support and out-of-VRAM processing as the
+//! library's next step. This crate is that layer for the simulated
+//! substrate: it scales a workload across N independent [`Device`]s —
+//! each with its own memory capacity, allocation pool, and counters —
+//! by partitioning the *matrix*, not the algorithm (the GraphBLAST
+//! argument: linear-algebra graph kernels distribute by data).
+//!
+//! Three pieces:
+//!
+//! * [`DeviceGrid`] — N simulated devices, each wrapped in its own
+//!   [`Instance`], so every shard's allocations, launches and transfer
+//!   bytes are attributable per device;
+//! * [`Comm`] — the explicit communicator (peer copy, broadcast,
+//!   all-gather, merge-reduce). Every byte that crosses a device
+//!   boundary is charged to the *sender's* `d2d_bytes` counter, so a
+//!   schedule's communication volume is `sum(d2d_bytes)` over the grid;
+//! * [`DistMatrix`] — a Boolean matrix sharded by contiguous block-rows
+//!   with the full kernel set distributed over the grid: SpGEMM (plain,
+//!   masked, complement-masked), element-wise add/intersect, Kronecker
+//!   product, reductions, and the delta-driven transitive closure.
+//!
+//! The SpGEMM schedule is round-robin all-gather: device `i` owns the
+//! block-rows `A_i` of the left operand and accumulates
+//! `C_i = ⋁_k A_i[:, rows(k)] · B_k`, fetching one remote shard `B_k`
+//! per round so at most one remote shard is ever resident — per-device
+//! peak memory shrinks as the grid grows even though every shard is
+//! eventually seen.
+//!
+//! ```
+//! use spbla_multidev::{DeviceGrid, DistMatrix};
+//!
+//! let grid = DeviceGrid::new(3);
+//! let a = DistMatrix::from_pairs(&grid, 4, 4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+//! let closure = a.closure_delta().unwrap();
+//! assert_eq!(closure.nnz(), 6); // transitive closure of the 4-path
+//! assert!(grid.total_stats().d2d_bytes > 0); // the rounds were metered
+//! ```
+
+pub mod comm;
+pub mod dist;
+pub mod grid;
+
+pub use comm::Comm;
+pub use dist::DistMatrix;
+pub use grid::DeviceGrid;
+
+pub use spbla_core::{Result, SpblaError};
+pub use spbla_gpu_sim::{Device, DeviceConfig, DeviceStats};

@@ -35,15 +35,22 @@ fn main() {
     let inst = Instance::cuda_sim();
 
     let t0 = std::time::Instant::now();
-    let tns = TnsIndex::build(&graph, &grammar, &inst, &TnsOptions::default())
-        .expect("tensor CFPQ runs");
+    let tns =
+        TnsIndex::build(&graph, &grammar, &inst, &TnsOptions::default()).expect("tensor CFPQ runs");
     let tns_time = t0.elapsed();
     let tns_pairs = tns.reachable_pairs();
 
     let cnf = CnfGrammar::from_grammar(&grammar);
     let t1 = std::time::Instant::now();
-    let mtx = AzimovIndex::build(&graph, &cnf, &inst, &AzimovOptions { track_heights: true })
-        .expect("Azimov CFPQ runs");
+    let mtx = AzimovIndex::build(
+        &graph,
+        &cnf,
+        &inst,
+        &AzimovOptions {
+            track_heights: true,
+        },
+    )
+    .expect("Azimov CFPQ runs");
     let mtx_time = t1.elapsed();
     let mtx_pairs = mtx.reachable_pairs();
 

@@ -41,8 +41,8 @@ fn main() {
         Instance::cl_sim(),
     ] {
         let t0 = Instant::now();
-        let idx = RpqIndex::build(&graph, &regex, &inst, &RpqOptions::default())
-            .expect("index builds");
+        let idx =
+            RpqIndex::build(&graph, &regex, &inst, &RpqOptions::default()).expect("index builds");
         let pairs = idx.reachable_pairs().expect("pairs");
         println!(
             "  index [{:<9}] {:>6} pairs, nnz {:>7}, {:>9.2?}",

@@ -30,7 +30,12 @@ fn demo(inst: &Instance) -> spbla_core::Result<()> {
     // Kronecker product grows a templated graph.
     let template = Matrix::from_pairs(inst, 2, 2, &[(0, 1), (1, 0)])?;
     let grown = template.kron(&a)?;
-    println!("template ⊗ A: {}x{}, nnz {}", grown.nrows(), grown.ncols(), grown.nnz());
+    println!(
+        "template ⊗ A: {}x{}, nnz {}",
+        grown.nrows(),
+        grown.ncols(),
+        grown.nnz()
+    );
 
     // Structure ops: transpose, submatrix, reduce.
     let t = a.transpose()?;

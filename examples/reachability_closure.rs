@@ -13,7 +13,9 @@ use spbla_lang::SymbolTable;
 fn main() {
     let mut table = SymbolTable::new();
     let graph = geospecies_like(0.002, &mut table, 11);
-    let bt = table.get("broaderTransitive").expect("generator interns bt");
+    let bt = table
+        .get("broaderTransitive")
+        .expect("generator interns bt");
     println!(
         "geospecies-like graph: {} vertices, {} edges, {} broaderTransitive",
         graph.n_vertices(),

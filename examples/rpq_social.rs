@@ -43,8 +43,8 @@ fn main() {
         let refs: Vec<&str> = labels.iter().map(|s| &**s).collect();
         let regex = instantiate_template(t, &refs, &mut table);
         let start = std::time::Instant::now();
-        let idx = RpqIndex::build(&graph, &regex, &inst, &RpqOptions::default())
-            .expect("index builds");
+        let idx =
+            RpqIndex::build(&graph, &regex, &inst, &RpqOptions::default()).expect("index builds");
         let pairs = idx.reachable_pairs().expect("pairs extract");
         println!(
             "{tname:<6} {} automaton states, index nnz {:>8}, {:>7} pairs, {:>8.2?}",

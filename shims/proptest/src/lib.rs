@@ -17,7 +17,9 @@ pub mod test_runner {
 
     impl TestCaseError {
         pub fn fail(message: impl Into<String>) -> Self {
-            TestCaseError { message: message.into() }
+            TestCaseError {
+                message: message.into(),
+            }
         }
     }
 
@@ -35,7 +37,9 @@ pub mod test_runner {
 
     impl TestRng {
         pub fn from_seed(seed: u64) -> Self {
-            TestRng { state: seed ^ 0x6A09_E667_F3BC_C909 }
+            TestRng {
+                state: seed ^ 0x6A09_E667_F3BC_C909,
+            }
         }
 
         pub fn next_u64(&mut self) -> u64 {
@@ -69,7 +73,10 @@ pub mod test_runner {
                 seed ^= b as u64;
                 seed = seed.wrapping_mul(0x1_0000_0000_01B3);
             }
-            TestRunner { cases: config.cases, base_seed: seed }
+            TestRunner {
+                cases: config.cases,
+                base_seed: seed,
+            }
         }
 
         pub fn cases(&self) -> u32 {
@@ -77,7 +84,11 @@ pub mod test_runner {
         }
 
         pub fn rng_for(&self, case: u32) -> TestRng {
-            TestRng::from_seed(self.base_seed.wrapping_add(case as u64).wrapping_mul(0x2545_F491_4F6C_DD1D))
+            TestRng::from_seed(
+                self.base_seed
+                    .wrapping_add(case as u64)
+                    .wrapping_mul(0x2545_F491_4F6C_DD1D),
+            )
         }
     }
 }
@@ -192,7 +203,9 @@ pub mod strategy {
 
     /// Uniform over the whole domain of `T`.
     pub fn any<T: Arbitrary>() -> Any<T> {
-        Any { _marker: std::marker::PhantomData }
+        Any {
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -233,7 +246,11 @@ pub mod collection {
     /// `proptest::collection::vec(element, len_range)`.
     pub fn vec<S: Strategy>(element: S, len: impl IntoSizeRange) -> VecStrategy<S> {
         let (min_len, max_len) = len.bounds();
-        VecStrategy { element, min_len, max_len }
+        VecStrategy {
+            element,
+            min_len,
+            max_len,
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -357,9 +374,10 @@ macro_rules! prop_assert_ne {
     ($left:expr, $right:expr) => {{
         let (l, r) = (&$left, &$right);
         if *l == *r {
-            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
-                format!("assertion failed: `left != right`\n  both: {:?}", l),
-            ));
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left != right`\n  both: {:?}",
+                l
+            )));
         }
     }};
 }

@@ -230,7 +230,9 @@ pub mod prelude {
         type Item = T::Item;
         type Iter = T::IntoIter;
         fn into_par_iter(self) -> Par<T::IntoIter> {
-            Par { inner: self.into_iter() }
+            Par {
+                inner: self.into_iter(),
+            }
         }
     }
 
@@ -248,7 +250,9 @@ pub mod prelude {
         type Item = <&'data T as IntoIterator>::Item;
         type Iter = <&'data T as IntoIterator>::IntoIter;
         fn par_iter(&'data self) -> Par<Self::Iter> {
-            Par { inner: self.into_iter() }
+            Par {
+                inner: self.into_iter(),
+            }
         }
     }
 
@@ -266,7 +270,9 @@ pub mod prelude {
         type Item = <&'data mut T as IntoIterator>::Item;
         type Iter = <&'data mut T as IntoIterator>::IntoIter;
         fn par_iter_mut(&'data mut self) -> Par<Self::Iter> {
-            Par { inner: self.into_iter() }
+            Par {
+                inner: self.into_iter(),
+            }
         }
     }
 
@@ -277,7 +283,9 @@ pub mod prelude {
 
     impl<T> ParallelSlice<T> for [T] {
         fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
-            Par { inner: self.chunks(chunk_size) }
+            Par {
+                inner: self.chunks(chunk_size),
+            }
         }
     }
 
@@ -288,7 +296,9 @@ pub mod prelude {
 
     impl<T> ParallelSliceMut<T> for [T] {
         fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
-            Par { inner: self.chunks_mut(chunk_size) }
+            Par {
+                inner: self.chunks_mut(chunk_size),
+            }
         }
     }
 }
@@ -313,7 +323,10 @@ mod tests {
         let v: Vec<u64> = (0..100).collect();
         let s: u64 = v.par_iter().sum();
         assert_eq!(s, 4950);
-        let or_all = v.par_iter().fold(|| 0u64, |a, &k| a | k).reduce(|| 0, |a, b| a | b);
+        let or_all = v
+            .par_iter()
+            .fold(|| 0u64, |a, &k| a | k)
+            .reduce(|| 0, |a, b| a | b);
         assert_eq!(or_all, 127);
         let mut w = vec![0u32; 8];
         w.par_iter_mut().for_each(|x| *x = 7);

@@ -40,10 +40,7 @@ fn concurrent_workflows_do_not_interfere() {
                     let mut un = 0u64;
                     assert_eq!(unsafe { spbla_EWiseAdd(a, sq, &mut un) }, SpblaStatus::Ok);
                     let mut nv = 0usize;
-                    assert_eq!(
-                        unsafe { spbla_Matrix_Nvals(un, &mut nv) },
-                        SpblaStatus::Ok
-                    );
+                    assert_eq!(unsafe { spbla_Matrix_Nvals(un, &mut nv) }, SpblaStatus::Ok);
                     // Cycle ∪ cycle² has exactly 2n entries (n ≥ 3).
                     assert_eq!(nv, 2 * n as usize, "thread {t}");
                     assert_eq!(spbla_Matrix_Free(sq), SpblaStatus::Ok);

@@ -9,10 +9,10 @@ use proptest::prelude::*;
 use spbla_core::{Instance, Matrix};
 use spbla_data::lubm::{lubm_like, LubmConfig};
 use spbla_data::rdf;
+use spbla_gpu_sim::Device;
 use spbla_graph::cfpq::azimov::{AzimovIndex, AzimovOptions};
 use spbla_graph::closure::{closure_delta, closure_masked, closure_squaring};
 use spbla_graph::LabeledGraph;
-use spbla_gpu_sim::Device;
 use spbla_integration::{all_backends, pseudo_pairs};
 use spbla_lang::{CnfGrammar, Grammar, SymbolTable};
 
@@ -132,11 +132,7 @@ fn delta_closure_matches_naive_on_lubm_and_rdf_fixtures() {
 /// Naive Azimov fixpoint (the pre-rework schedule): full products, no
 /// masks, Gauss–Seidel updates — the ground truth the semi-naïve loop
 /// must reproduce exactly.
-fn naive_azimov(
-    graph: &LabeledGraph,
-    cnf: &CnfGrammar,
-    inst: &Instance,
-) -> Vec<Vec<(u32, u32)>> {
+fn naive_azimov(graph: &LabeledGraph, cnf: &CnfGrammar, inst: &Instance) -> Vec<Vec<(u32, u32)>> {
     let n = graph.n_vertices();
     let nnt = cnf.n_nonterminals();
     let mut matrices: Vec<Matrix> = Vec::with_capacity(nnt);
@@ -207,11 +203,8 @@ fn semi_naive_azimov_matches_naive_on_lubm_fixture() {
     let mut table = SymbolTable::new();
     let graph = lubm_fixture(&mut table);
     // A transitive query over the LUBM hierarchy labels.
-    let grammar = Grammar::parse(
-        "S -> subOrganizationOf | subOrganizationOf S",
-        &mut table,
-    )
-    .unwrap();
+    let grammar =
+        Grammar::parse("S -> subOrganizationOf | subOrganizationOf S", &mut table).unwrap();
     let cnf = CnfGrammar::from_grammar(&grammar);
     for inst in [Instance::cpu(), Instance::cuda_sim(), Instance::cl_sim()] {
         let idx = AzimovIndex::build(&graph, &cnf, &inst, &AzimovOptions::default()).unwrap();
@@ -227,8 +220,7 @@ fn delta_schedule_does_strictly_less_kernel_work_on_lubm() {
     let pairs = graph.adjacency_csr().to_pairs();
     let n = graph.n_vertices();
 
-    let run = |schedule: fn(&Matrix) -> spbla_core::Result<Matrix>| -> (Vec<(u32, u32)>, u64, u64)
-    {
+    let run = |schedule: fn(&Matrix) -> spbla_core::Result<Matrix>| -> (Vec<(u32, u32)>, u64, u64) {
         let dev = Device::default();
         let inst = Instance::cuda_sim_on(dev.clone());
         let a = Matrix::from_pairs(&inst, n, n, &pairs).unwrap();

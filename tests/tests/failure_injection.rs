@@ -1,8 +1,9 @@
 //! Failure injection: device OOM, dimension mismatches, bounds errors —
 //! everything must surface as typed errors, never panics or corruption.
 
-use spbla_core::{Instance, Matrix, SpblaError};
-use spbla_gpu_sim::Device;
+use spbla_core::{Backend, CsrBool, Instance, Matrix, SpblaError};
+use spbla_gpu_sim::{Device, DeviceConfig};
+use spbla_multidev::{DeviceGrid, DistMatrix};
 
 #[test]
 fn device_oom_surfaces_as_error() {
@@ -105,6 +106,71 @@ fn kron_overflow_rejected() {
         big.kron(&big),
         Err(SpblaError::InvalidDimension(_))
     ));
+}
+
+/// A grid where one device is far too small: sharding a matrix over it
+/// must fail with the typed device error, and every shard uploaded
+/// before the failure must be freed — no poisoned partial state.
+#[test]
+fn undersized_device_in_grid_fails_cleanly() {
+    let grid = DeviceGrid::with_configs(
+        Backend::CudaSim,
+        vec![
+            DeviceConfig::default(),
+            DeviceConfig {
+                memory_capacity: 256, // a few dozen entries at most
+                ..DeviceConfig::default()
+            },
+            DeviceConfig::default(),
+        ],
+    )
+    .unwrap();
+    let n = 900u32;
+    let pairs: Vec<(u32, u32)> = (0..n)
+        .flat_map(|i| [(i, (i + 1) % n), (i, (i * 7) % n)])
+        .collect();
+    let err = DistMatrix::from_pairs(&grid, n, n, &pairs).unwrap_err();
+    assert!(matches!(err, SpblaError::Device(_)), "got {err}");
+    for (i, s) in grid.stats().iter().enumerate() {
+        assert_eq!(s.bytes_in_use, 0, "device {i} holds a poisoned shard");
+    }
+}
+
+/// The operands fit the small device but the distributed closure's
+/// intermediates do not: the error is typed, and afterwards each device
+/// holds exactly what it held before the failed operation.
+#[test]
+fn grid_oom_mid_closure_releases_temporaries() {
+    let grid = DeviceGrid::with_configs(
+        Backend::CudaSim,
+        vec![
+            DeviceConfig::default(),
+            DeviceConfig {
+                memory_capacity: 24 << 10,
+                ..DeviceConfig::default()
+            },
+        ],
+    )
+    .unwrap();
+    // Dense-ish band: the closure is much denser than the input.
+    let n = 700u32;
+    let pairs: Vec<(u32, u32)> = (0..n)
+        .flat_map(|i| (1..6u32).map(move |d| (i, (i + d) % n)))
+        .collect();
+    let csr = CsrBool::from_pairs(n, n, &pairs).unwrap();
+    let d = match DistMatrix::from_csr(&grid, &csr) {
+        Ok(d) => d,
+        Err(_) => return, // the shard alone may not fit; acceptable
+    };
+    let before: Vec<usize> = grid.stats().iter().map(|s| s.bytes_in_use).collect();
+    match d.closure_delta() {
+        Ok(c) => drop(c),
+        Err(e) => {
+            assert!(matches!(e, SpblaError::Device(_)), "got {e}");
+            let after: Vec<usize> = grid.stats().iter().map(|s| s.bytes_in_use).collect();
+            assert_eq!(after, before, "leaked distributed temporaries");
+        }
+    }
 }
 
 #[test]

@@ -25,7 +25,10 @@ fn lubm_rpq_pipeline_consistent() {
     let inst = Instance::cuda_sim();
     // Spot-check a representative subset against the derivative baseline.
     for (name, regex) in queries.iter().filter(|(n, _)| {
-        n.starts_with("Q1#") || n.starts_with("Q2#") || n.starts_with("Q8#") || n.starts_with("Q12#")
+        n.starts_with("Q1#")
+            || n.starts_with("Q2#")
+            || n.starts_with("Q8#")
+            || n.starts_with("Q12#")
     }) {
         let idx = RpqIndex::build(&graph, regex, &inst, &RpqOptions::default()).unwrap();
         let got = idx.reachable_pairs().unwrap();

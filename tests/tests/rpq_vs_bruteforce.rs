@@ -24,18 +24,19 @@ fn brute_force_pairs(graph: &LabeledGraph, nfa: &Nfa) -> Vec<(u32, u32)> {
     for src in 0..graph.n_vertices() {
         let mut seen: HashSet<(u32, u32)> = HashSet::new();
         let mut stack: Vec<(u32, u32)> = Vec::new();
-        let push_steps = |q: u32, v: u32, seen: &mut HashSet<(u32, u32)>, stack: &mut Vec<(u32, u32)>| {
-            for &(f, sym, t) in nfa.transitions() {
-                if f != q {
-                    continue;
-                }
-                for &(a, b) in graph.edges_of(sym) {
-                    if a == v && seen.insert((t, b)) {
-                        stack.push((t, b));
+        let push_steps =
+            |q: u32, v: u32, seen: &mut HashSet<(u32, u32)>, stack: &mut Vec<(u32, u32)>| {
+                for &(f, sym, t) in nfa.transitions() {
+                    if f != q {
+                        continue;
+                    }
+                    for &(a, b) in graph.edges_of(sym) {
+                        if a == v && seen.insert((t, b)) {
+                            stack.push((t, b));
+                        }
                     }
                 }
-            }
-        };
+            };
         for &q0 in nfa.start_states() {
             push_steps(q0, src, &mut seen, &mut stack);
         }
