@@ -42,6 +42,7 @@ fn main() {
         "formats" => formats(),
         "ablations" => ablations(),
         "scaling" => scaling(),
+        "serving" => serving(),
         "all" => {
             table1();
             table2();
@@ -54,10 +55,11 @@ fn main() {
             formats();
             ablations();
             scaling();
+            serving();
         }
         other => {
             eprintln!("unknown experiment: {other}");
-            eprintln!("known: table1 table2 fig2 fig3 table3 table4 paths boolean-vs-generic formats ablations scaling all");
+            eprintln!("known: table1 table2 fig2 fig3 table3 table4 paths boolean-vs-generic formats ablations scaling serving all");
             std::process::exit(2);
         }
     }
@@ -591,6 +593,122 @@ fn scaling() {
                 nnz,
                 grid.max_peak_bytes(),
                 grid.total_stats().d2d_bytes
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- E12
+fn serving() {
+    header("E12 — serving-layer ablation: same-plan batching × plan cache × grid width");
+    println!("(closed loop: 8 clients, 96 mixed requests on the LUBM fixture, 3/4 of");
+    println!(" them same-plan single-source RPQs; the claims to check are that");
+    println!(" batching cuts kernel launches — one multi-source chain instead of one");
+    println!(" chain per request — and that the plan cache converts per-request");
+    println!(" compilations into hits; neither may change any answer)\n");
+    use spbla_engine::{Engine, EngineConfig, Query};
+    use spbla_multidev::DeviceGrid;
+    use std::sync::Arc;
+
+    const CLIENTS: usize = 8;
+    const REQUESTS: usize = 96;
+    const SRC_Q: &str = "memberOf . subOrganizationOf*";
+
+    println!(
+        "{:<8} {:<6} {:<6} {:>8} {:>9} {:>8} {:>11} {:>13} {:>10} {:>5}",
+        "devices",
+        "batch",
+        "cache",
+        "time",
+        "launches",
+        "batches",
+        "plan-h/m",
+        "resid-h/m/e",
+        "req/s",
+        "hwm"
+    );
+    let mut checksum: Option<u64> = None;
+    for devices in [1usize, 2, 4] {
+        for (batching, plan_cache) in [(true, true), (false, true), (true, false), (false, false)] {
+            let engine = Engine::new(
+                DeviceGrid::new(devices),
+                EngineConfig {
+                    queue_capacity: 1024,
+                    batching,
+                    plan_cache,
+                    ..EngineConfig::default()
+                },
+            );
+            let graph = engine.with_symbols(|table| lubm_rung(1, table));
+            let n_vertices = graph.n_vertices();
+            engine.add_graph("lubm", graph);
+            let workload: Vec<Query> = (0..REQUESTS)
+                .map(|i| match i % 8 {
+                    3 => Query::Rpq("headOf . subOrganizationOf".into()),
+                    7 => Query::Cfpq("S -> subOrganizationOf S | subOrganizationOf".into()),
+                    _ => Query::RpqFromSource {
+                        text: SRC_Q.into(),
+                        source: (i as u32 * 131) % n_vertices,
+                    },
+                })
+                .collect();
+            let engine = Arc::new(engine);
+            let workload = Arc::new(workload);
+            let started = std::time::Instant::now();
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    let engine = Arc::clone(&engine);
+                    let workload = Arc::clone(&workload);
+                    std::thread::spawn(move || {
+                        let mut answers = 0u64;
+                        for (i, q) in workload.iter().enumerate() {
+                            if i % CLIENTS != c {
+                                continue;
+                            }
+                            let done = engine
+                                .submit("lubm", q.clone())
+                                .expect("queue sized for the workload")
+                                .wait();
+                            match done.result.expect("request completes") {
+                                spbla_engine::QueryResult::Pairs(p) => answers += p.len() as u64,
+                                spbla_engine::QueryResult::Reachable(r) => {
+                                    answers += r.len() as u64
+                                }
+                            }
+                        }
+                        answers
+                    })
+                })
+                .collect();
+            let answers: u64 = handles
+                .into_iter()
+                .map(|h| h.join().expect("client ok"))
+                .sum();
+            let wall = started.elapsed();
+            // Every configuration must produce the same answer volume —
+            // the ablations change cost, never results.
+            match checksum {
+                None => checksum = Some(answers),
+                Some(expect) => assert_eq!(answers, expect, "ablation changed answers!"),
+            }
+            let engine = Arc::try_unwrap(engine).unwrap_or_else(|_| unreachable!("clients joined"));
+            let stats = engine.shutdown();
+            let launches: u64 = stats.devices.iter().map(|d| d.launches).sum();
+            println!(
+                "{:<8} {:<6} {:<6} {:>7}s {:>9} {:>8} {:>11} {:>13} {:>10.1} {:>5}",
+                devices,
+                if batching { "on" } else { "off" },
+                if plan_cache { "on" } else { "off" },
+                secs(wall),
+                launches,
+                stats.batches,
+                format!("{}/{}", stats.plan_hits, stats.plan_misses),
+                format!(
+                    "{}/{}/{}",
+                    stats.residency_hits, stats.residency_misses, stats.residency_evictions
+                ),
+                REQUESTS as f64 / wall.as_secs_f64().max(1e-9),
+                stats.queue_depth_hwm,
             );
         }
     }

@@ -17,6 +17,8 @@ extern "C" {
 
 typedef uint64_t spbla_Instance;
 typedef uint64_t spbla_Matrix;
+typedef uint64_t spbla_Engine;
+typedef uint64_t spbla_Ticket;
 
 typedef enum spbla_Status {
     SPBLA_OK                  = 0,
@@ -26,7 +28,12 @@ typedef enum spbla_Status {
     SPBLA_INDEX_OUT_OF_BOUNDS = 4,
     SPBLA_BACKEND_MISMATCH    = 5,
     SPBLA_DEVICE_OUT_OF_MEMORY = 6,
-    SPBLA_ERROR               = 7
+    SPBLA_ERROR               = 7,
+    SPBLA_OVERLOADED          = 8,  /* admission queue full; retry     */
+    SPBLA_DEADLINE_EXCEEDED   = 9,  /* request budget elapsed          */
+    SPBLA_CANCELLED           = 10, /* cancelled via its ticket        */
+    SPBLA_UNKNOWN_GRAPH       = 11, /* no catalog graph with that name */
+    SPBLA_PLAN_ERROR          = 12  /* query text did not compile      */
 } spbla_Status;
 
 typedef enum spbla_Backend {
@@ -76,6 +83,55 @@ spbla_Status spbla_SubMatrix(spbla_Matrix a, uint32_t i, uint32_t j,
 spbla_Status spbla_TransitiveClosure(spbla_Matrix matrix, spbla_Matrix *out);
 spbla_Status spbla_Matrix_ReduceToColumn(spbla_Matrix matrix, uint32_t *indices,
                                          size_t *count);
+
+/* Serving engine — concurrent query serving over a device grid.
+ *
+ * Submit functions return a ticket; spbla_Ticket_Wait blocks and its
+ * status IS the request outcome. On SPBLA_OK read the answer with the
+ * usual two-call protocol via spbla_Ticket_ExtractPairs (single-source
+ * results store the reachable vertex in BOTH coordinate arrays).
+ * deadline_ms = 0 means no deadline. */
+
+typedef struct spbla_EngineStats {
+    uint64_t submitted;
+    uint64_t completed;
+    uint64_t rejected;            /* bounced by admission control      */
+    uint64_t deadline_exceeded;
+    uint64_t cancelled;
+    uint64_t failed;
+    uint64_t plan_hits;           /* plan-cache hits                   */
+    uint64_t plan_misses;
+    uint64_t residency_hits;      /* catalog device-residency hits     */
+    uint64_t residency_misses;
+    uint64_t residency_evictions;
+    uint64_t queue_depth_hwm;     /* admission-queue high-water mark   */
+    uint64_t batches;             /* coalesced multi-source executions */
+    uint64_t batched_requests;
+    uint64_t launches;            /* kernel launches over all devices  */
+} spbla_EngineStats;
+
+spbla_Status spbla_Engine_New(uint32_t n_devices, spbla_Engine *out);
+spbla_Status spbla_Engine_LoadGraph(spbla_Engine engine, const char *name,
+                                    const char *path);
+spbla_Status spbla_Engine_SubmitRpq(spbla_Engine engine, const char *graph,
+                                    const char *regex, spbla_Ticket *out);
+spbla_Status spbla_Engine_SubmitRpqFromSource(spbla_Engine engine,
+                                              const char *graph,
+                                              const char *regex,
+                                              uint32_t source,
+                                              uint64_t deadline_ms,
+                                              spbla_Ticket *out);
+spbla_Status spbla_Engine_SubmitCfpq(spbla_Engine engine, const char *graph,
+                                     const char *grammar, spbla_Ticket *out);
+spbla_Status spbla_Engine_SubmitClosure(spbla_Engine engine, const char *graph,
+                                        spbla_Ticket *out);
+spbla_Status spbla_Ticket_Cancel(spbla_Ticket ticket);
+spbla_Status spbla_Ticket_Wait(spbla_Ticket ticket);
+spbla_Status spbla_Ticket_ExtractPairs(spbla_Ticket ticket, uint32_t *rows,
+                                       uint32_t *cols, size_t *nvals);
+spbla_Status spbla_Ticket_Free(spbla_Ticket ticket);
+spbla_Status spbla_Engine_Stats(spbla_Engine engine, spbla_EngineStats *out);
+spbla_Status spbla_Engine_Free(spbla_Engine engine);
 
 #ifdef __cplusplus
 } /* extern "C" */

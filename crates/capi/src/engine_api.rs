@@ -1,0 +1,578 @@
+//! `extern "C"` surface of the serving engine: opaque engine and ticket
+//! handles over [`spbla_engine::Engine`], in the same cuBool style as
+//! the matrix API — status returns, out-parameters, and a two-call
+//! extract protocol for reading answers.
+//!
+//! Lifecycle: `spbla_Engine_New` → `spbla_Engine_LoadGraph` →
+//! `spbla_Engine_Submit*` (each returns a ticket) → `spbla_Ticket_Wait`
+//! (blocks; the status *is* the request outcome) →
+//! `spbla_Ticket_ExtractPairs` → `spbla_Ticket_Free` →
+//! `spbla_Engine_Free` (drains the queue and joins the workers).
+
+use std::ffi::CStr;
+use std::os::raw::c_char;
+use std::time::Duration;
+
+use spbla_data::io::load_graph;
+use spbla_engine::{Engine, EngineConfig, Query, QueryResult};
+use spbla_multidev::DeviceGrid;
+
+use crate::handles::{Registry, SpblaEngine, SpblaTicket};
+use crate::status::SpblaStatus;
+
+/// Engine-wide counters, C layout. Mirrors `spbla_engine::EngineStats`
+/// with the per-device launch counters already summed.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpblaEngineStats {
+    /// Requests admitted to the queue.
+    pub submitted: u64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests bounced by admission control.
+    pub rejected: u64,
+    /// Requests that missed their deadline.
+    pub deadline_exceeded: u64,
+    /// Requests cancelled via their ticket.
+    pub cancelled: u64,
+    /// Requests that failed in execution.
+    pub failed: u64,
+    /// Plan-cache hits.
+    pub plan_hits: u64,
+    /// Plan-cache misses (compilations).
+    pub plan_misses: u64,
+    /// Catalog residency hits.
+    pub residency_hits: u64,
+    /// Catalog residency misses (uploads).
+    pub residency_misses: u64,
+    /// Catalog LRU evictions.
+    pub residency_evictions: u64,
+    /// High-water mark of the admission-queue depth.
+    pub queue_depth_hwm: u64,
+    /// Coalesced multi-source executions.
+    pub batches: u64,
+    /// Requests served inside those coalesced executions.
+    pub batched_requests: u64,
+    /// Kernel launches summed over every device.
+    pub launches: u64,
+}
+
+/// # Safety
+/// `p` must be null or a valid NUL-terminated C string.
+unsafe fn cstr<'a>(p: *const c_char) -> Result<&'a str, SpblaStatus> {
+    if p.is_null() {
+        return Err(SpblaStatus::NullPointer);
+    }
+    CStr::from_ptr(p).to_str().map_err(|_| SpblaStatus::Error)
+}
+
+fn submit(
+    engine: SpblaEngine,
+    graph: &str,
+    query: Query,
+    deadline_ms: u64,
+    out: *mut SpblaTicket,
+) -> SpblaStatus {
+    let deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
+    let result =
+        Registry::global().with_engine(engine, |e| e.submit_with_deadline(graph, query, deadline));
+    match result {
+        Some(Ok(ticket)) => {
+            // Safety: caller contract — `out` checked non-null upstream.
+            unsafe { *out = Registry::global().insert_ticket(ticket) };
+            SpblaStatus::Ok
+        }
+        Some(Err(e)) => SpblaStatus::from(&e),
+        None => SpblaStatus::InvalidHandle,
+    }
+}
+
+/// Create a serving engine over `n_devices` simulated devices.
+///
+/// # Safety
+/// `out` must be a valid pointer.
+#[no_mangle]
+pub unsafe extern "C" fn spbla_Engine_New(n_devices: u32, out: *mut SpblaEngine) -> SpblaStatus {
+    if out.is_null() {
+        return SpblaStatus::NullPointer;
+    }
+    if n_devices == 0 {
+        return SpblaStatus::Error;
+    }
+    let engine = Engine::new(DeviceGrid::new(n_devices as usize), EngineConfig::default());
+    *out = Registry::global().insert_engine(engine);
+    SpblaStatus::Ok
+}
+
+/// Register the triples file at `path` as catalog graph `name`.
+///
+/// # Safety
+/// `name` and `path` must be valid NUL-terminated C strings.
+#[no_mangle]
+pub unsafe extern "C" fn spbla_Engine_LoadGraph(
+    engine: SpblaEngine,
+    name: *const c_char,
+    path: *const c_char,
+) -> SpblaStatus {
+    let (name, path) = match (cstr(name), cstr(path)) {
+        (Ok(n), Ok(p)) => (n, p),
+        (Err(s), _) | (_, Err(s)) => return s,
+    };
+    let loaded = Registry::global().with_engine(engine, |e| {
+        e.with_symbols(|table| load_graph(path, table))
+            .map(|graph| e.add_graph(name, graph))
+    });
+    match loaded {
+        Some(Ok(())) => SpblaStatus::Ok,
+        Some(Err(_)) => SpblaStatus::Error,
+        None => SpblaStatus::InvalidHandle,
+    }
+}
+
+/// Submit an all-pairs RPQ over catalog graph `graph`.
+///
+/// # Safety
+/// `graph` and `regex` must be valid C strings; `out` a valid pointer.
+#[no_mangle]
+pub unsafe extern "C" fn spbla_Engine_SubmitRpq(
+    engine: SpblaEngine,
+    graph: *const c_char,
+    regex: *const c_char,
+    out: *mut SpblaTicket,
+) -> SpblaStatus {
+    if out.is_null() {
+        return SpblaStatus::NullPointer;
+    }
+    let (graph, regex) = match (cstr(graph), cstr(regex)) {
+        (Ok(g), Ok(r)) => (g, r),
+        (Err(s), _) | (_, Err(s)) => return s,
+    };
+    submit(engine, graph, Query::Rpq(regex.to_string()), 0, out)
+}
+
+/// Submit a single-source RPQ (the batchable form). `deadline_ms = 0`
+/// means no deadline.
+///
+/// # Safety
+/// `graph` and `regex` must be valid C strings; `out` a valid pointer.
+#[no_mangle]
+pub unsafe extern "C" fn spbla_Engine_SubmitRpqFromSource(
+    engine: SpblaEngine,
+    graph: *const c_char,
+    regex: *const c_char,
+    source: u32,
+    deadline_ms: u64,
+    out: *mut SpblaTicket,
+) -> SpblaStatus {
+    if out.is_null() {
+        return SpblaStatus::NullPointer;
+    }
+    let (graph, regex) = match (cstr(graph), cstr(regex)) {
+        (Ok(g), Ok(r)) => (g, r),
+        (Err(s), _) | (_, Err(s)) => return s,
+    };
+    submit(
+        engine,
+        graph,
+        Query::RpqFromSource {
+            text: regex.to_string(),
+            source,
+        },
+        deadline_ms,
+        out,
+    )
+}
+
+/// Submit a CFPQ over catalog graph `graph`.
+///
+/// # Safety
+/// `graph` and `grammar` must be valid C strings; `out` a valid pointer.
+#[no_mangle]
+pub unsafe extern "C" fn spbla_Engine_SubmitCfpq(
+    engine: SpblaEngine,
+    graph: *const c_char,
+    grammar: *const c_char,
+    out: *mut SpblaTicket,
+) -> SpblaStatus {
+    if out.is_null() {
+        return SpblaStatus::NullPointer;
+    }
+    let (graph, grammar) = match (cstr(graph), cstr(grammar)) {
+        (Ok(g), Ok(r)) => (g, r),
+        (Err(s), _) | (_, Err(s)) => return s,
+    };
+    submit(engine, graph, Query::Cfpq(grammar.to_string()), 0, out)
+}
+
+/// Submit a transitive-closure query over catalog graph `graph`.
+///
+/// # Safety
+/// `graph` must be a valid C string; `out` a valid pointer.
+#[no_mangle]
+pub unsafe extern "C" fn spbla_Engine_SubmitClosure(
+    engine: SpblaEngine,
+    graph: *const c_char,
+    out: *mut SpblaTicket,
+) -> SpblaStatus {
+    if out.is_null() {
+        return SpblaStatus::NullPointer;
+    }
+    let graph = match cstr(graph) {
+        Ok(g) => g,
+        Err(s) => return s,
+    };
+    submit(engine, graph, Query::Closure, 0, out)
+}
+
+/// Request cooperative cancellation of a pending ticket.
+#[no_mangle]
+pub extern "C" fn spbla_Ticket_Cancel(ticket: SpblaTicket) -> SpblaStatus {
+    match Registry::global().with_ticket(ticket, |t| t.cancel()) {
+        Some(()) => SpblaStatus::Ok,
+        None => SpblaStatus::InvalidHandle,
+    }
+}
+
+/// Block until the request completes; the return status is the request
+/// outcome (`SPBLA_OK`, `SPBLA_DEADLINE_EXCEEDED`, `SPBLA_CANCELLED`,
+/// …). On `SPBLA_OK` the answer is stored for
+/// `spbla_Ticket_ExtractPairs`. Waiting a ticket twice is
+/// `SPBLA_INVALID_HANDLE`.
+#[no_mangle]
+pub extern "C" fn spbla_Ticket_Wait(ticket: SpblaTicket) -> SpblaStatus {
+    // Take the ticket out of the registry first: the blocking wait must
+    // not hold any registry lock.
+    let Some(t) = Registry::global().take_ticket(ticket) else {
+        return SpblaStatus::InvalidHandle;
+    };
+    match t.wait().result {
+        Ok(result) => {
+            let pairs = match result {
+                QueryResult::Pairs(p) => p,
+                // Single-source answers: both coordinates hold the
+                // reachable vertex (documented in the header).
+                QueryResult::Reachable(vs) => vs.into_iter().map(|v| (v, v)).collect(),
+            };
+            Registry::global()
+                .ticket_results
+                .lock()
+                .insert(ticket, pairs);
+            SpblaStatus::Ok
+        }
+        Err(e) => SpblaStatus::from(&e),
+    }
+}
+
+/// Read a waited ticket's answer with the two-call protocol: pass null
+/// buffers to query the count, then buffers of that capacity.
+///
+/// # Safety
+/// `nvals` must be valid; `rows`/`cols`, when non-null, must have
+/// `*nvals` writable elements.
+#[no_mangle]
+pub unsafe extern "C" fn spbla_Ticket_ExtractPairs(
+    ticket: SpblaTicket,
+    rows: *mut u32,
+    cols: *mut u32,
+    nvals: *mut usize,
+) -> SpblaStatus {
+    if nvals.is_null() {
+        return SpblaStatus::NullPointer;
+    }
+    let guard = Registry::global().ticket_results.lock();
+    let Some(pairs) = guard.get(&ticket) else {
+        return SpblaStatus::InvalidHandle;
+    };
+    if rows.is_null() || cols.is_null() {
+        *nvals = pairs.len();
+        return SpblaStatus::Ok;
+    }
+    if *nvals < pairs.len() {
+        return SpblaStatus::Error;
+    }
+    for (k, &(i, j)) in pairs.iter().enumerate() {
+        *rows.add(k) = i;
+        *cols.add(k) = j;
+    }
+    *nvals = pairs.len();
+    SpblaStatus::Ok
+}
+
+/// Release a ticket handle (waited or not; an unwaited request still
+/// runs to completion inside the engine).
+#[no_mangle]
+pub extern "C" fn spbla_Ticket_Free(ticket: SpblaTicket) -> SpblaStatus {
+    let had_ticket = Registry::global().take_ticket(ticket).is_some();
+    let had_result = Registry::global()
+        .ticket_results
+        .lock()
+        .remove(&ticket)
+        .is_some();
+    if had_ticket || had_result {
+        SpblaStatus::Ok
+    } else {
+        SpblaStatus::InvalidHandle
+    }
+}
+
+/// Snapshot the engine-wide counters.
+///
+/// # Safety
+/// `out` must be a valid pointer.
+#[no_mangle]
+pub unsafe extern "C" fn spbla_Engine_Stats(
+    engine: SpblaEngine,
+    out: *mut SpblaEngineStats,
+) -> SpblaStatus {
+    if out.is_null() {
+        return SpblaStatus::NullPointer;
+    }
+    match Registry::global().with_engine(engine, |e| e.stats()) {
+        Some(s) => {
+            *out = SpblaEngineStats {
+                submitted: s.submitted,
+                completed: s.completed,
+                rejected: s.rejected,
+                deadline_exceeded: s.deadline_exceeded,
+                cancelled: s.cancelled,
+                failed: s.failed,
+                plan_hits: s.plan_hits,
+                plan_misses: s.plan_misses,
+                residency_hits: s.residency_hits,
+                residency_misses: s.residency_misses,
+                residency_evictions: s.residency_evictions,
+                queue_depth_hwm: s.queue_depth_hwm as u64,
+                batches: s.batches,
+                batched_requests: s.batched_requests,
+                launches: s.devices.iter().map(|d| d.launches).sum(),
+            };
+            SpblaStatus::Ok
+        }
+        None => SpblaStatus::InvalidHandle,
+    }
+}
+
+/// Tear the engine down: drains the admission queue, joins the workers,
+/// releases the devices.
+#[no_mangle]
+pub extern "C" fn spbla_Engine_Free(engine: SpblaEngine) -> SpblaStatus {
+    // Remove first, then drop outside the registry lock — dropping
+    // joins the worker threads, which may still be serving requests.
+    match Registry::global().remove_engine(engine) {
+        Some(e) => {
+            drop(e);
+            SpblaStatus::Ok
+        }
+        None => SpblaStatus::InvalidHandle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> std::ffi::CString {
+        std::ffi::CString::new(s).unwrap()
+    }
+
+    fn temp_graph() -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("spbla_capi_engine_{}.triples", std::process::id()));
+        std::fs::write(&path, "# vertices 4\n0 a 1\n1 a 2\n2 a 3\n").unwrap();
+        path
+    }
+
+    #[test]
+    fn engine_round_trip_via_c() {
+        let path = temp_graph();
+        let mut engine = 0u64;
+        assert_eq!(unsafe { spbla_Engine_New(2, &mut engine) }, SpblaStatus::Ok);
+        assert_ne!(engine, 0);
+        assert_eq!(
+            unsafe {
+                spbla_Engine_LoadGraph(engine, c("g").as_ptr(), c(path.to_str().unwrap()).as_ptr())
+            },
+            SpblaStatus::Ok
+        );
+
+        // All-pairs closure: chain 0→1→2→3 has 6 closure pairs.
+        let mut ticket = 0u64;
+        assert_eq!(
+            unsafe { spbla_Engine_SubmitClosure(engine, c("g").as_ptr(), &mut ticket) },
+            SpblaStatus::Ok
+        );
+        assert_eq!(spbla_Ticket_Wait(ticket), SpblaStatus::Ok);
+        let mut count = 0usize;
+        assert_eq!(
+            unsafe {
+                spbla_Ticket_ExtractPairs(
+                    ticket,
+                    std::ptr::null_mut(),
+                    std::ptr::null_mut(),
+                    &mut count,
+                )
+            },
+            SpblaStatus::Ok
+        );
+        assert_eq!(count, 6);
+        let mut rows = vec![0u32; count];
+        let mut cols = vec![0u32; count];
+        assert_eq!(
+            unsafe {
+                spbla_Ticket_ExtractPairs(ticket, rows.as_mut_ptr(), cols.as_mut_ptr(), &mut count)
+            },
+            SpblaStatus::Ok
+        );
+        assert_eq!(
+            rows.iter().zip(cols.iter()).filter(|&(r, c)| r < c).count(),
+            6
+        );
+        assert_eq!(spbla_Ticket_Free(ticket), SpblaStatus::Ok);
+        assert_eq!(spbla_Ticket_Free(ticket), SpblaStatus::InvalidHandle);
+
+        // Single-source RPQ: both coordinate arrays hold the vertices.
+        let mut t2 = 0u64;
+        assert_eq!(
+            unsafe {
+                spbla_Engine_SubmitRpqFromSource(
+                    engine,
+                    c("g").as_ptr(),
+                    c("a*").as_ptr(),
+                    1,
+                    0,
+                    &mut t2,
+                )
+            },
+            SpblaStatus::Ok
+        );
+        assert_eq!(spbla_Ticket_Wait(t2), SpblaStatus::Ok);
+        let mut n2 = 0usize;
+        assert_eq!(
+            unsafe {
+                spbla_Ticket_ExtractPairs(t2, std::ptr::null_mut(), std::ptr::null_mut(), &mut n2)
+            },
+            SpblaStatus::Ok
+        );
+        assert_eq!(n2, 3); // 1, 2, 3
+        assert_eq!(spbla_Ticket_Free(t2), SpblaStatus::Ok);
+
+        // Engine stats reflect the two completed requests.
+        let mut stats = SpblaEngineStats::default();
+        assert_eq!(
+            unsafe { spbla_Engine_Stats(engine, &mut stats) },
+            SpblaStatus::Ok
+        );
+        assert_eq!(stats.completed, 2);
+        assert!(stats.launches > 0);
+
+        assert_eq!(spbla_Engine_Free(engine), SpblaStatus::Ok);
+        assert_eq!(spbla_Engine_Free(engine), SpblaStatus::InvalidHandle);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn typed_statuses_surface_through_c() {
+        let path = temp_graph();
+        // A long chain whose closure keeps the single worker busy while
+        // queued requests get cancelled / expire.
+        let big = std::env::temp_dir().join(format!(
+            "spbla_capi_engine_big_{}.triples",
+            std::process::id()
+        ));
+        let mut triples = String::from("# vertices 200\n");
+        for i in 0..199 {
+            triples.push_str(&format!("{i} a {}\n", i + 1));
+        }
+        std::fs::write(&big, triples).unwrap();
+
+        let mut engine = 0u64;
+        assert_eq!(unsafe { spbla_Engine_New(1, &mut engine) }, SpblaStatus::Ok);
+        for (name, p) in [("g", &path), ("big", &big)] {
+            assert_eq!(
+                unsafe {
+                    spbla_Engine_LoadGraph(
+                        engine,
+                        c(name).as_ptr(),
+                        c(p.to_str().unwrap()).as_ptr(),
+                    )
+                },
+                SpblaStatus::Ok
+            );
+        }
+        let mut ticket = 0u64;
+        // Unknown graph fails at submit.
+        assert_eq!(
+            unsafe { spbla_Engine_SubmitClosure(engine, c("nope").as_ptr(), &mut ticket) },
+            SpblaStatus::UnknownGraph
+        );
+        // Malformed query fails at submit.
+        assert_eq!(
+            unsafe {
+                spbla_Engine_SubmitRpq(engine, c("g").as_ptr(), c("((").as_ptr(), &mut ticket)
+            },
+            SpblaStatus::PlanError
+        );
+        // Cancellation: occupy the only worker, cancel a queued request.
+        let mut blocker = 0u64;
+        assert_eq!(
+            unsafe { spbla_Engine_SubmitClosure(engine, c("big").as_ptr(), &mut blocker) },
+            SpblaStatus::Ok
+        );
+        let mut victim = 0u64;
+        assert_eq!(
+            unsafe {
+                spbla_Engine_SubmitRpqFromSource(
+                    engine,
+                    c("g").as_ptr(),
+                    c("a*").as_ptr(),
+                    0,
+                    0,
+                    &mut victim,
+                )
+            },
+            SpblaStatus::Ok
+        );
+        assert_eq!(spbla_Ticket_Cancel(victim), SpblaStatus::Ok);
+        assert_eq!(spbla_Ticket_Wait(victim), SpblaStatus::Cancelled);
+        assert_eq!(spbla_Ticket_Wait(blocker), SpblaStatus::Ok);
+        spbla_Ticket_Free(blocker);
+        // Deadline: a 1 ms budget expires while queued behind a fresh
+        // blocker closure.
+        assert_eq!(
+            unsafe { spbla_Engine_SubmitClosure(engine, c("big").as_ptr(), &mut blocker) },
+            SpblaStatus::Ok
+        );
+        assert_eq!(
+            unsafe {
+                spbla_Engine_SubmitRpqFromSource(
+                    engine,
+                    c("g").as_ptr(),
+                    c("a*").as_ptr(),
+                    0,
+                    1,
+                    &mut ticket,
+                )
+            },
+            SpblaStatus::Ok
+        );
+        assert_eq!(spbla_Ticket_Wait(ticket), SpblaStatus::DeadlineExceeded);
+        assert_eq!(spbla_Ticket_Wait(blocker), SpblaStatus::Ok);
+        spbla_Ticket_Free(blocker);
+        // The pool survived: a normal request still succeeds.
+        assert_eq!(
+            unsafe { spbla_Engine_SubmitClosure(engine, c("g").as_ptr(), &mut ticket) },
+            SpblaStatus::Ok
+        );
+        assert_eq!(spbla_Ticket_Wait(ticket), SpblaStatus::Ok);
+        spbla_Ticket_Free(ticket);
+        // Null pointers are rejected.
+        assert_eq!(
+            unsafe { spbla_Engine_SubmitClosure(engine, std::ptr::null(), &mut ticket) },
+            SpblaStatus::NullPointer
+        );
+        assert_eq!(spbla_Ticket_Cancel(987_654_321), SpblaStatus::InvalidHandle);
+        assert_eq!(spbla_Engine_Free(engine), SpblaStatus::Ok);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&big).ok();
+    }
+}

@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::Mutex;
 
 use spbla_core::{Instance, Matrix};
+use spbla_engine::{Engine, Ticket};
 
 /// Opaque instance handle (0 is never valid).
 pub type SpblaInstance = u64;
@@ -17,11 +18,21 @@ pub type SpblaInstance = u64;
 /// Opaque matrix handle (0 is never valid).
 pub type SpblaMatrix = u64;
 
+/// Opaque serving-engine handle (0 is never valid).
+pub type SpblaEngine = u64;
+
+/// Opaque request-ticket handle (0 is never valid).
+pub type SpblaTicket = u64;
+
 static NEXT_HANDLE: AtomicU64 = AtomicU64::new(1);
 
 pub(crate) struct Registry {
     pub(crate) instances: Mutex<HashMap<SpblaInstance, Instance>>,
     pub(crate) matrices: Mutex<HashMap<SpblaMatrix, Matrix>>,
+    pub(crate) engines: Mutex<HashMap<SpblaEngine, Engine>>,
+    pub(crate) tickets: Mutex<HashMap<SpblaTicket, Ticket>>,
+    /// Pairs stored by `spbla_Ticket_Wait` for the two-call extract.
+    pub(crate) ticket_results: Mutex<HashMap<SpblaTicket, Vec<(u32, u32)>>>,
 }
 
 impl Registry {
@@ -30,6 +41,9 @@ impl Registry {
         REGISTRY.get_or_init(|| Registry {
             instances: Mutex::new(HashMap::new()),
             matrices: Mutex::new(HashMap::new()),
+            engines: Mutex::new(HashMap::new()),
+            tickets: Mutex::new(HashMap::new()),
+            ticket_results: Mutex::new(HashMap::new()),
         })
     }
 
@@ -92,6 +106,40 @@ impl Registry {
 
     pub(crate) fn remove_matrix(&self, h: SpblaMatrix) -> bool {
         self.matrices.lock().remove(&h).is_some()
+    }
+
+    pub(crate) fn insert_engine(&self, e: Engine) -> SpblaEngine {
+        let h = Self::fresh_handle();
+        self.engines.lock().insert(h, e);
+        h
+    }
+
+    pub(crate) fn with_engine<R>(&self, h: SpblaEngine, f: impl FnOnce(&Engine) -> R) -> Option<R> {
+        let guard = self.engines.lock();
+        guard.get(&h).map(f)
+    }
+
+    /// Removing hands the `Engine` back so the caller can drop it (and
+    /// join its workers) *outside* the registry lock.
+    pub(crate) fn remove_engine(&self, h: SpblaEngine) -> Option<Engine> {
+        self.engines.lock().remove(&h)
+    }
+
+    pub(crate) fn insert_ticket(&self, t: Ticket) -> SpblaTicket {
+        let h = Self::fresh_handle();
+        self.tickets.lock().insert(h, t);
+        h
+    }
+
+    pub(crate) fn with_ticket<R>(&self, h: SpblaTicket, f: impl FnOnce(&Ticket) -> R) -> Option<R> {
+        let guard = self.tickets.lock();
+        guard.get(&h).map(f)
+    }
+
+    /// Taking the ticket out lets `spbla_Ticket_Wait` block on it with
+    /// no registry lock held.
+    pub(crate) fn take_ticket(&self, h: SpblaTicket) -> Option<Ticket> {
+        self.tickets.lock().remove(&h)
     }
 }
 

@@ -29,6 +29,18 @@ pub const EXPORTED_SYMBOLS: &[&str] = &[
     "spbla_SubMatrix",
     "spbla_TransitiveClosure",
     "spbla_Matrix_ReduceToColumn",
+    "spbla_Engine_New",
+    "spbla_Engine_LoadGraph",
+    "spbla_Engine_SubmitRpq",
+    "spbla_Engine_SubmitRpqFromSource",
+    "spbla_Engine_SubmitCfpq",
+    "spbla_Engine_SubmitClosure",
+    "spbla_Ticket_Cancel",
+    "spbla_Ticket_Wait",
+    "spbla_Ticket_ExtractPairs",
+    "spbla_Ticket_Free",
+    "spbla_Engine_Stats",
+    "spbla_Engine_Free",
 ];
 
 #[cfg(test)]
@@ -69,6 +81,14 @@ mod tests {
                 SpblaStatus::DeviceOutOfMemory as i32,
             ),
             ("SPBLA_ERROR", SpblaStatus::Error as i32),
+            ("SPBLA_OVERLOADED", SpblaStatus::Overloaded as i32),
+            (
+                "SPBLA_DEADLINE_EXCEEDED",
+                SpblaStatus::DeadlineExceeded as i32,
+            ),
+            ("SPBLA_CANCELLED", SpblaStatus::Cancelled as i32),
+            ("SPBLA_UNKNOWN_GRAPH", SpblaStatus::UnknownGraph as i32),
+            ("SPBLA_PLAN_ERROR", SpblaStatus::PlanError as i32),
         ];
         for (name, value) in pairs {
             let needle = format!("{name} ");
@@ -107,7 +127,11 @@ mod tests {
     #[test]
     fn symbol_list_matches_no_mangle_count() {
         // The source files define exactly the declared symbols.
-        let sources = concat!(include_str!("matrix_api.rs"), include_str!("extras_api.rs"));
+        let sources = concat!(
+            include_str!("matrix_api.rs"),
+            include_str!("extras_api.rs"),
+            include_str!("engine_api.rs")
+        );
         let count = sources.matches("#[no_mangle]").count()
             + sources.matches("binary_op!(").count()
             // each binary_op! invocation expands to one #[no_mangle] fn,

@@ -16,11 +16,13 @@
 //! ...
 //! ```
 
+pub mod engine_api;
 pub mod extras_api;
 pub mod handles;
 pub mod header;
 pub mod matrix_api;
 pub mod status;
 
-pub use handles::{SpblaInstance, SpblaMatrix};
+pub use engine_api::SpblaEngineStats;
+pub use handles::{SpblaEngine, SpblaInstance, SpblaMatrix, SpblaTicket};
 pub use status::SpblaStatus;

@@ -22,6 +22,16 @@ pub enum SpblaStatus {
     DeviceOutOfMemory = 6,
     /// Any other library error.
     Error = 7,
+    /// The engine's admission queue was full (retry later).
+    Overloaded = 8,
+    /// The request's deadline elapsed before it finished.
+    DeadlineExceeded = 9,
+    /// The request was cancelled via its ticket.
+    Cancelled = 10,
+    /// No catalog graph is registered under that name.
+    UnknownGraph = 11,
+    /// The query text did not parse or compile.
+    PlanError = 12,
 }
 
 impl From<&SpblaError> for SpblaStatus {
@@ -35,6 +45,21 @@ impl From<&SpblaError> for SpblaStatus {
             }
             SpblaError::Device(_) => SpblaStatus::Error,
             _ => SpblaStatus::Error,
+        }
+    }
+}
+
+impl From<&spbla_engine::EngineError> for SpblaStatus {
+    fn from(e: &spbla_engine::EngineError) -> SpblaStatus {
+        use spbla_engine::EngineError;
+        match e {
+            EngineError::Overloaded { .. } => SpblaStatus::Overloaded,
+            EngineError::DeadlineExceeded { .. } => SpblaStatus::DeadlineExceeded,
+            EngineError::Cancelled => SpblaStatus::Cancelled,
+            EngineError::UnknownGraph(_) => SpblaStatus::UnknownGraph,
+            EngineError::PlanError(_) => SpblaStatus::PlanError,
+            EngineError::ShuttingDown => SpblaStatus::Error,
+            EngineError::Exec(e) => SpblaStatus::from(e),
         }
     }
 }
@@ -53,5 +78,33 @@ mod tests {
             capacity: 0,
         });
         assert_eq!(SpblaStatus::from(&d), SpblaStatus::DeviceOutOfMemory);
+    }
+
+    #[test]
+    fn engine_error_mapping() {
+        use spbla_engine::EngineError;
+        assert_eq!(
+            SpblaStatus::from(&EngineError::Overloaded { capacity: 4 }),
+            SpblaStatus::Overloaded
+        );
+        assert_eq!(
+            SpblaStatus::from(&EngineError::DeadlineExceeded {
+                elapsed_ms: 5,
+                budget_ms: 1
+            }),
+            SpblaStatus::DeadlineExceeded
+        );
+        assert_eq!(
+            SpblaStatus::from(&EngineError::Cancelled),
+            SpblaStatus::Cancelled
+        );
+        assert_eq!(
+            SpblaStatus::from(&EngineError::UnknownGraph("g".into())),
+            SpblaStatus::UnknownGraph
+        );
+        assert_eq!(
+            SpblaStatus::from(&EngineError::PlanError("bad".into())),
+            SpblaStatus::PlanError
+        );
     }
 }

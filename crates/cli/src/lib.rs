@@ -7,6 +7,7 @@
 //! spbla cfpq <graph.triples> <grammar-file|@G1|@G2|@Geo|@MA> [--engine tns|mtx] [--backend B]
 //! spbla closure <graph.triples> [--backend B] [--devices N]
 //! spbla bfs <graph.triples> <source>
+//! spbla engine [graph.triples] [--devices N] [--clients C] [--requests R]
 //! ```
 //!
 //! The logic lives in this library crate so it is unit-testable; the
@@ -122,6 +123,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "cfpq" => cmd_cfpq(&rest, out),
         "closure" => cmd_closure(&rest, out),
         "bfs" => cmd_bfs(&rest, out),
+        "engine" => cmd_engine(&rest, out),
         "triangles" => cmd_triangles(&rest, out),
         "components" => cmd_components(&rest, out),
         "help" | "--help" | "-h" => writeln!(out, "{USAGE}").map_err(CliError::from),
@@ -141,7 +143,10 @@ pub const USAGE: &str = "usage: spbla <command>\n\
   closure  <graph.triples> [--backend B] [--devices N]   (N>1 shards over a device grid)\n\
   bfs      <graph.triples> <source>\n\
   triangles  <graph.triples>   (symmetrises, counts triangles)\n\
-  components <graph.triples>   (weak + strong component counts)";
+  components <graph.triples>   (weak + strong component counts)\n\
+  engine   [graph.triples] [--devices N] [--clients C] [--requests R] [--seed S]\n\
+           [--queue CAP] [--batching on|off] [--plan-cache on|off] [--deadline-ms MS]\n\
+           (closed-loop mixed RPQ/CFPQ serving; generates a LUBM fixture if no graph given)";
 
 fn cmd_generate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let shape = args
@@ -414,6 +419,205 @@ fn cmd_bfs(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+fn opt_parse<T: std::str::FromStr>(args: &Args, key: &str, default: T) -> Result<T, CliError>
+where
+    T::Err: std::fmt::Display,
+{
+    match args.opt(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|e| CliError::usage(format!("bad --{key}: {e}"))),
+    }
+}
+
+fn opt_on_off(args: &Args, key: &str, default: bool) -> Result<bool, CliError> {
+    match args.opt(key) {
+        None => Ok(default),
+        Some("on") => Ok(true),
+        Some("off") => Ok(false),
+        Some(other) => Err(CliError::usage(format!("bad --{key} '{other}' (on | off)"))),
+    }
+}
+
+fn cmd_engine(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use spbla_engine::{Engine, EngineConfig, Query};
+
+    let devices: usize = opt_parse(args, "devices", 2)?;
+    if devices == 0 {
+        return Err(CliError::usage("--devices must be at least 1"));
+    }
+    let clients: usize = opt_parse(args, "clients", 4)?;
+    if clients == 0 {
+        return Err(CliError::usage("--clients must be at least 1"));
+    }
+    let requests: usize = opt_parse(args, "requests", 64)?;
+    let seed: u64 = opt_parse(args, "seed", 1)?;
+    let queue_capacity: usize = opt_parse(args, "queue", 256)?;
+    let batching = opt_on_off(args, "batching", true)?;
+    let plan_cache = opt_on_off(args, "plan-cache", true)?;
+    let deadline = args
+        .opt("deadline-ms")
+        .map(|v| {
+            v.parse::<u64>()
+                .map(std::time::Duration::from_millis)
+                .map_err(|e| CliError::usage(format!("bad --deadline-ms: {e}")))
+        })
+        .transpose()?;
+
+    let engine = Engine::new(
+        spbla_multidev::DeviceGrid::new(devices),
+        EngineConfig {
+            queue_capacity,
+            plan_cache,
+            batching,
+            ..EngineConfig::default()
+        },
+    );
+    let graph = match args.positional.first() {
+        Some(path) => engine.with_symbols(|table| load_graph(path, table))?,
+        None => engine.with_symbols(|table| {
+            spbla_data::lubm::lubm_like(1, &spbla_data::lubm::LubmConfig::default(), table, seed)
+        }),
+    };
+    let n_vertices = graph.n_vertices();
+    // The two busiest labels drive the query templates, so the workload
+    // adapts to whatever graph was loaded.
+    let (l1, l2) = engine.with_symbols(|table| {
+        let mut labels: Vec<(usize, String)> = graph
+            .labels()
+            .into_iter()
+            .map(|s| (graph.label_count(s), table.name(s).to_string()))
+            .collect();
+        labels.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        let l1 = labels
+            .first()
+            .map(|(_, n)| n.clone())
+            .ok_or_else(|| CliError::run("graph has no labelled edges"))?;
+        let l2 = labels.get(1).map_or_else(|| l1.clone(), |(_, n)| n.clone());
+        Ok::<_, CliError>((l1, l2))
+    })?;
+    engine.add_graph("g", graph);
+
+    // Mixed closed-loop workload: mostly batchable single-source RPQs,
+    // with all-pairs RPQ and CFPQ requests sprinkled in.
+    let mut rng = seed | 1;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let workload: Vec<Query> = (0..requests)
+        .map(|i| match i % 8 {
+            3 => Query::Rpq(format!("{l1} . {l2}")),
+            7 => Query::Cfpq(format!("S -> {l1} S | {l1}")),
+            _ => Query::RpqFromSource {
+                text: format!("{l1}*"),
+                source: (next() % u64::from(n_vertices.max(1))) as u32,
+            },
+        })
+        .collect();
+
+    let engine = std::sync::Arc::new(engine);
+    let workload = std::sync::Arc::new(workload);
+    let started = std::time::Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let engine = std::sync::Arc::clone(&engine);
+            let workload = std::sync::Arc::clone(&workload);
+            std::thread::spawn(move || {
+                let mut ok = 0u64;
+                let mut errors = 0u64;
+                let mut lat_sum = std::time::Duration::ZERO;
+                let mut lat_max = std::time::Duration::ZERO;
+                for (i, query) in workload.iter().enumerate() {
+                    if i % clients != c {
+                        continue;
+                    }
+                    // Closed loop: submit, await, then move on; retry
+                    // briefly when admission control pushes back.
+                    let ticket = loop {
+                        match engine.submit_with_deadline("g", query.clone(), deadline) {
+                            Ok(t) => break Some(t),
+                            Err(spbla_engine::EngineError::Overloaded { .. }) => {
+                                std::thread::yield_now();
+                            }
+                            Err(_) => break None,
+                        }
+                    };
+                    let Some(ticket) = ticket else {
+                        errors += 1;
+                        continue;
+                    };
+                    let done = ticket.wait();
+                    match done.result {
+                        Ok(_) => {
+                            ok += 1;
+                            lat_sum += done.metrics.latency;
+                            lat_max = lat_max.max(done.metrics.latency);
+                        }
+                        Err(_) => errors += 1,
+                    }
+                }
+                (ok, errors, lat_sum, lat_max)
+            })
+        })
+        .collect();
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    let mut lat_sum = std::time::Duration::ZERO;
+    let mut lat_max = std::time::Duration::ZERO;
+    for h in handles {
+        let (o, e, s, m) = h.join().expect("client thread survives");
+        ok += o;
+        errors += e;
+        lat_sum += s;
+        lat_max = lat_max.max(m);
+    }
+    let wall = started.elapsed();
+    let engine =
+        std::sync::Arc::try_unwrap(engine).unwrap_or_else(|_| unreachable!("all clients joined"));
+    let stats = engine.shutdown();
+
+    writeln!(
+        out,
+        "served {requests} requests from {clients} clients on {devices} devices in {:.2}s \
+         ({:.1} req/s)",
+        wall.as_secs_f64(),
+        ok as f64 / wall.as_secs_f64().max(1e-9)
+    )?;
+    writeln!(
+        out,
+        "  completed {ok}, errors {errors} (deadline-exceeded {}, cancelled {}, failed {})",
+        stats.deadline_exceeded, stats.cancelled, stats.failed
+    )?;
+    if ok > 0 {
+        writeln!(
+            out,
+            "  latency mean {:.2} ms, max {:.2} ms",
+            lat_sum.as_secs_f64() * 1000.0 / ok as f64,
+            lat_max.as_secs_f64() * 1000.0
+        )?;
+    }
+    writeln!(
+        out,
+        "  plan cache {} hits / {} misses; residency {} hits / {} misses / {} evictions",
+        stats.plan_hits,
+        stats.plan_misses,
+        stats.residency_hits,
+        stats.residency_misses,
+        stats.residency_evictions
+    )?;
+    let launches: u64 = stats.devices.iter().map(|d| d.launches).sum();
+    writeln!(
+        out,
+        "  queue depth high-water {}, batches {} ({} requests coalesced), {} kernel launches",
+        stats.queue_depth_hwm, stats.batches, stats.batched_requests, launches
+    )?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -514,6 +718,74 @@ mod tests {
         assert!(
             comp.contains("1 weak components, 4 strong components"),
             "{comp}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn engine_serves_closed_loop() {
+        let path = temp_graph();
+        let p = path.to_str().unwrap();
+        let out = run_str(&[
+            "engine",
+            p,
+            "--devices",
+            "2",
+            "--clients",
+            "2",
+            "--requests",
+            "8",
+        ])
+        .unwrap();
+        assert!(
+            out.contains("served 8 requests from 2 clients on 2 devices"),
+            "{out}"
+        );
+        assert!(out.contains("completed 8, errors 0"), "{out}");
+        assert!(out.contains("plan cache"), "{out}");
+        assert!(out.contains("queue depth high-water"), "{out}");
+        // Ablation flags parse and still serve everything.
+        let ablated = run_str(&[
+            "engine",
+            p,
+            "--devices",
+            "1",
+            "--clients",
+            "2",
+            "--requests",
+            "6",
+            "--batching",
+            "off",
+            "--plan-cache",
+            "off",
+        ])
+        .unwrap();
+        assert!(ablated.contains("completed 6, errors 0"), "{ablated}");
+        assert!(ablated.contains("batches 0"), "{ablated}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn engine_flags_are_validated() {
+        let path = temp_graph();
+        let p = path.to_str().unwrap();
+        assert_eq!(
+            run_str(&["engine", p, "--devices", "0"]).unwrap_err().code,
+            2
+        );
+        assert_eq!(
+            run_str(&["engine", p, "--clients", "0"]).unwrap_err().code,
+            2
+        );
+        assert_eq!(
+            run_str(&["engine", p, "--batching", "maybe"])
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            run_str(&["engine", "/nonexistent/file"]).unwrap_err().code,
+            1
         );
         std::fs::remove_file(&path).ok();
     }

@@ -1,0 +1,270 @@
+//! The graph catalog: named host-resident graphs plus per-device
+//! residency of their decomposed Boolean matrices.
+//!
+//! A registered graph lives on the host as a [`LabeledGraph`] (one edge
+//! list per label — the decomposed form the paper's evaluation assumes).
+//! Execution wants the label matrices *on the serving device*; uploading
+//! them per request would swamp the PCIe counters, so each device keeps
+//! an LRU set of resident graphs bounded by a byte budget. Eviction
+//! drops the catalog's [`Arc`] — device memory is actually released when
+//! the last in-flight request using that residency finishes, so evicting
+//! under a running query can never corrupt it, and [`spbla_gpu_sim::DeviceStats`]
+//! meters the release the moment it happens.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rustc_hash::FxHashMap;
+
+use spbla_core::{Instance, Matrix};
+use spbla_graph::LabeledGraph;
+use spbla_lang::Symbol;
+
+use crate::error::EngineError;
+
+/// A graph's matrices resident on one device.
+#[derive(Debug)]
+pub struct Resident {
+    /// One adjacency matrix per label.
+    pub labels: FxHashMap<Symbol, Matrix>,
+    /// The unlabeled adjacency (union over labels) for closure queries.
+    pub adjacency: Matrix,
+    /// Vertex count.
+    pub n_vertices: u32,
+    /// Device bytes this residency holds.
+    pub bytes: usize,
+}
+
+struct DeviceResidency {
+    /// LRU order: least-recent first, most-recent last.
+    order: Vec<String>,
+    map: FxHashMap<String, Arc<Resident>>,
+    bytes: usize,
+}
+
+/// Named graphs plus per-device LRU residency.
+pub struct Catalog {
+    host: Mutex<FxHashMap<String, Arc<LabeledGraph>>>,
+    residency: Vec<Mutex<DeviceResidency>>,
+    /// Per-device residency budget in bytes.
+    budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Catalog {
+    /// A catalog serving `n_devices` devices, each holding at most
+    /// `budget` bytes of resident graph matrices.
+    pub fn new(n_devices: usize, budget: usize) -> Catalog {
+        Catalog {
+            host: Mutex::new(FxHashMap::default()),
+            residency: (0..n_devices)
+                .map(|_| {
+                    Mutex::new(DeviceResidency {
+                        order: Vec::new(),
+                        map: FxHashMap::default(),
+                        bytes: 0,
+                    })
+                })
+                .collect(),
+            budget,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Register (or replace) a named graph. Replacing drops any stale
+    /// residency on every device.
+    pub fn add(&self, name: &str, graph: LabeledGraph) {
+        let replaced = self
+            .host
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(name.to_string(), Arc::new(graph))
+            .is_some();
+        if replaced {
+            for slot in &self.residency {
+                let mut res = slot.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(old) = res.map.remove(name) {
+                    res.bytes -= old.bytes;
+                    res.order.retain(|n| n != name);
+                }
+            }
+        }
+    }
+
+    /// The host-resident graph, if registered.
+    pub fn host_graph(&self, name: &str) -> Result<Arc<LabeledGraph>, EngineError> {
+        self.host
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownGraph(name.to_string()))
+    }
+
+    /// Registered graph names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .host
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// The graph's matrices resident on device `dev`, uploading (and
+    /// LRU-evicting colder graphs past the budget) on miss. Upload
+    /// failures are typed and leave the residency untouched.
+    pub fn resident(
+        &self,
+        name: &str,
+        dev: usize,
+        inst: &Instance,
+    ) -> Result<Arc<Resident>, EngineError> {
+        let host = self.host_graph(name)?;
+        let mut res = self.residency[dev]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if let Some(r) = res.map.get(name) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let r = Arc::clone(r);
+            // Move to most-recent.
+            res.order.retain(|n| n != name);
+            res.order.push(name.to_string());
+            return Ok(r);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+
+        // Build the residency (outside no lock — only this device's
+        // worker takes this mutex, so holding it cannot stall peers).
+        let mut labels = FxHashMap::default();
+        let mut bytes = 0usize;
+        for sym in host.labels() {
+            let m = host
+                .label_matrix(inst, sym)
+                .map_err(EngineError::from_exec)?;
+            bytes += m.memory_bytes();
+            labels.insert(sym, m);
+        }
+        let adjacency =
+            Matrix::from_csr(inst, host.adjacency_csr()).map_err(EngineError::from_exec)?;
+        bytes += adjacency.memory_bytes();
+        let resident = Arc::new(Resident {
+            labels,
+            adjacency,
+            n_vertices: host.n_vertices(),
+            bytes,
+        });
+
+        // Evict least-recent entries until the newcomer fits. A graph
+        // larger than the whole budget still gets inserted (the device
+        // may hold it transiently); it will be the first evicted.
+        while res.bytes + bytes > self.budget && !res.order.is_empty() {
+            let victim = res.order.remove(0);
+            if let Some(old) = res.map.remove(&victim) {
+                res.bytes -= old.bytes;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        res.bytes += bytes;
+        res.order.push(name.to_string());
+        res.map.insert(name.to_string(), Arc::clone(&resident));
+        Ok(resident)
+    }
+
+    /// (hits, misses, evictions) so far.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Resident bytes currently accounted on device `dev`.
+    pub fn resident_bytes(&self, dev: usize) -> usize {
+        self.residency[dev]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spbla_lang::SymbolTable;
+
+    fn graph(n: u32, label: Symbol) -> LabeledGraph {
+        LabeledGraph::from_triples(n, (0..n - 1).map(|i| (i, label, i + 1)))
+    }
+
+    #[test]
+    fn hit_miss_and_unknown() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let cat = Catalog::new(1, usize::MAX);
+        cat.add("g", graph(10, a));
+        let inst = Instance::cuda_sim();
+        assert!(matches!(
+            cat.resident("nope", 0, &inst),
+            Err(EngineError::UnknownGraph(_))
+        ));
+        let r1 = cat.resident("g", 0, &inst).unwrap();
+        let r2 = cat.resident("g", 0, &inst).unwrap();
+        assert!(Arc::ptr_eq(&r1, &r2));
+        assert_eq!(cat.counters(), (1, 1, 0));
+        assert_eq!(r1.n_vertices, 10);
+    }
+
+    #[test]
+    fn lru_evicts_coldest_within_budget() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let inst = Instance::cuda_sim();
+        // Budget that fits roughly two of the three graphs.
+        let probe = {
+            let cat = Catalog::new(1, usize::MAX);
+            cat.add("p", graph(64, a));
+            cat.resident("p", 0, &inst).unwrap().bytes
+        };
+        let cat = Catalog::new(1, probe * 2 + probe / 2);
+        for name in ["g1", "g2", "g3"] {
+            cat.add(name, graph(64, a));
+        }
+        cat.resident("g1", 0, &inst).unwrap();
+        cat.resident("g2", 0, &inst).unwrap();
+        cat.resident("g3", 0, &inst).unwrap(); // evicts g1 (coldest)
+        let (_, _, evictions) = cat.counters();
+        assert!(evictions >= 1, "expected an eviction");
+        // g2 was touched more recently than g1: it must still be a hit.
+        cat.resident("g2", 0, &inst).unwrap();
+        let (hits, _, _) = cat.counters();
+        assert!(hits >= 1);
+        // g1 re-resides as a miss.
+        cat.resident("g1", 0, &inst).unwrap();
+        let (_, misses, _) = cat.counters();
+        assert_eq!(misses, 4); // g1, g2, g3, then g1 again after eviction
+        assert!(cat.resident_bytes(0) <= probe * 2 + probe / 2);
+    }
+
+    #[test]
+    fn replacement_drops_stale_residency() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let inst = Instance::cuda_sim();
+        let cat = Catalog::new(2, usize::MAX);
+        cat.add("g", graph(8, a));
+        let old = cat.resident("g", 0, &inst).unwrap();
+        cat.add("g", graph(16, a));
+        let new = cat.resident("g", 0, &inst).unwrap();
+        assert!(!Arc::ptr_eq(&old, &new));
+        assert_eq!(new.n_vertices, 16);
+    }
+}

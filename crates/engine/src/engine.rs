@@ -1,0 +1,707 @@
+//! The engine: admission queue, device-pinned workers, tickets.
+//!
+//! One worker thread per grid device pulls from a single bounded
+//! admission queue (work-stealing degenerate case: the queue *is* the
+//! shared pool; a device is never idle while requests wait). Admission
+//! is non-blocking — a full queue rejects with
+//! [`EngineError::Overloaded`] instead of applying back-pressure by
+//! blocking, so a closed-loop client can implement its own retry
+//! policy. Deadlines ride on [`StopToken`]s armed on the worker's
+//! device for the duration of one request: fixpoint loops observe the
+//! token between kernel launches and unwind with a typed error, buffer
+//! RAII releasing device memory on the way out.
+//!
+//! Same-plan batching: when a worker dequeues a deadline-less
+//! single-source RPQ, it sweeps the queue for other deadline-less
+//! single-source RPQs on the *same graph and same canonical plan key*
+//! and runs them as one multi-source batch
+//! ([`spbla_graph::rpq_batch::rpq_from_each_source_mats`]) — one
+//! kernel-launch chain instead of one per request, with per-source
+//! provenance keeping every client's answer its own.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use spbla_core::Instance;
+use spbla_gpu_sim::{DeviceStats, StopToken};
+use spbla_graph::cfpq::azimov::{AzimovIndex, AzimovOptions};
+use spbla_graph::closure::closure_delta;
+use spbla_graph::rpq_batch::{rpq_all_pairs_mats, rpq_from_each_source_mats};
+use spbla_graph::LabeledGraph;
+use spbla_lang::SymbolTable;
+use spbla_multidev::DeviceGrid;
+
+use crate::catalog::Catalog;
+use crate::error::EngineError;
+use crate::planner::{Plan, PlanKind, Planner};
+
+/// Engine construction knobs; the defaults serve, the flags ablate.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Bounded admission-queue capacity; a full queue rejects
+    /// ([`EngineError::Overloaded`]) without blocking.
+    pub queue_capacity: usize,
+    /// Per-device catalog residency budget in bytes. `None` defaults to
+    /// half the smallest device's memory capacity.
+    pub residency_budget: Option<usize>,
+    /// Memoise plans under their canonical key (E12 ablation flag).
+    pub plan_cache: bool,
+    /// Coalesce queued same-plan single-source RPQs (E12 ablation flag).
+    pub batching: bool,
+    /// Largest multi-source batch one dequeue may coalesce.
+    pub max_batch: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            queue_capacity: 256,
+            residency_budget: None,
+            plan_cache: true,
+            batching: true,
+            max_batch: 32,
+        }
+    }
+}
+
+/// A query against a named catalog graph.
+#[derive(Debug, Clone)]
+pub enum Query {
+    /// All-pairs RPQ: every `(u, v)` connected by a word of the regex.
+    Rpq(String),
+    /// Single-source RPQ: vertices reachable from `source`. The form
+    /// the scheduler batches.
+    RpqFromSource {
+        /// Regex text.
+        text: String,
+        /// Bound source vertex.
+        source: u32,
+    },
+    /// CFPQ (Azimov's matrix algorithm): every `(u, v)` connected by a
+    /// path deriving the grammar's start nonterminal.
+    Cfpq(String),
+    /// Transitive closure of the unlabeled adjacency.
+    Closure,
+}
+
+/// A completed query's answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryResult {
+    /// Vertex pairs (all-pairs forms).
+    Pairs(Vec<(u32, u32)>),
+    /// Reachable vertices (single-source form).
+    Reachable(Vec<u32>),
+}
+
+/// Per-request observability, measured by the serving worker.
+#[derive(Debug, Clone, Default)]
+pub struct RequestMetrics {
+    /// Submit → dequeue.
+    pub queue_wait: Duration,
+    /// Submit → completion.
+    pub latency: Duration,
+    /// Kernel launches this request's execution performed (for a
+    /// coalesced batch: the batch's launches, shared by its members —
+    /// the whole point of batching is that this is *not* additive).
+    pub launches: u64,
+    /// Host→device bytes moved during execution (shared for a batch).
+    pub h2d_bytes: u64,
+    /// How many requests ran in the same batched execution (1 = solo).
+    pub batch_size: u32,
+    /// Grid slot of the device that served the request.
+    pub device: usize,
+}
+
+/// Result + metrics handed to the ticket holder.
+#[derive(Debug)]
+pub struct Completed {
+    /// The answer, or the typed failure.
+    pub result: Result<QueryResult, EngineError>,
+    /// Serving measurements.
+    pub metrics: RequestMetrics,
+}
+
+struct TicketSlot {
+    done: Mutex<Option<Completed>>,
+    cv: Condvar,
+}
+
+/// Handle to an admitted request. Await with [`Ticket::wait`]; drop to
+/// fire-and-forget (the request still runs).
+pub struct Ticket {
+    slot: Arc<TicketSlot>,
+    token: StopToken,
+}
+
+impl Ticket {
+    /// Block until the request completes.
+    pub fn wait(self) -> Completed {
+        let mut done = self.slot.done.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(completed) = done.take() {
+                return completed;
+            }
+            done = self.slot.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Request cooperative cancellation: takes effect before execution
+    /// starts, or (for non-batched requests) at the next kernel-launch
+    /// boundary mid-execution.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+}
+
+enum Payload {
+    RpqAllPairs,
+    RpqFromSource(u32),
+    Cfpq,
+    Closure,
+}
+
+struct PendingRequest {
+    graph: String,
+    plan: Arc<Plan>,
+    payload: Payload,
+    token: StopToken,
+    has_deadline: bool,
+    submitted: Instant,
+    slot: Arc<TicketSlot>,
+}
+
+struct SchedState {
+    queue: VecDeque<PendingRequest>,
+    shutdown: bool,
+    depth_hwm: usize,
+}
+
+struct EngineInner {
+    grid: DeviceGrid,
+    catalog: Catalog,
+    planner: Planner,
+    table: Mutex<SymbolTable>,
+    config: EngineConfig,
+    state: Mutex<SchedState>,
+    available: Condvar,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    in_flight: AtomicUsize,
+}
+
+/// Engine-wide observability snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Requests admitted to the queue.
+    pub submitted: u64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests bounced by admission control ([`EngineError::Overloaded`]).
+    pub rejected: u64,
+    /// Requests that missed their deadline.
+    pub deadline_exceeded: u64,
+    /// Requests cancelled by their ticket holder.
+    pub cancelled: u64,
+    /// Requests that failed in execution.
+    pub failed: u64,
+    /// Plan-cache hits.
+    pub plan_hits: u64,
+    /// Plan-cache misses (compilations).
+    pub plan_misses: u64,
+    /// Catalog residency hits.
+    pub residency_hits: u64,
+    /// Catalog residency misses (uploads).
+    pub residency_misses: u64,
+    /// Catalog LRU evictions.
+    pub residency_evictions: u64,
+    /// High-water mark of the admission-queue depth.
+    pub queue_depth_hwm: usize,
+    /// Coalesced multi-source executions (batch size ≥ 2).
+    pub batches: u64,
+    /// Requests served inside those coalesced executions.
+    pub batched_requests: u64,
+    /// Per-device counters, in grid-slot order.
+    pub devices: Vec<DeviceStats>,
+}
+
+/// The multi-tenant query engine. Owns a [`DeviceGrid`] and serves
+/// RPQ / CFPQ / closure requests concurrently; see the module docs.
+pub struct Engine {
+    inner: Arc<EngineInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Spin up one worker per grid device.
+    pub fn new(grid: DeviceGrid, config: EngineConfig) -> Engine {
+        let budget = config.residency_budget.unwrap_or_else(|| {
+            (0..grid.len())
+                .map(|i| grid.device(i).config().memory_capacity / 2)
+                .min()
+                .unwrap_or(4 << 30)
+        });
+        let n = grid.len();
+        let inner = Arc::new(EngineInner {
+            catalog: Catalog::new(n, budget),
+            planner: Planner::new(config.plan_cache),
+            table: Mutex::new(SymbolTable::new()),
+            config,
+            grid,
+            state: Mutex::new(SchedState {
+                queue: VecDeque::new(),
+                shutdown: false,
+                depth_hwm: 0,
+            }),
+            available: Condvar::new(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+        });
+        let workers = (0..n)
+            .map(|dev| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("spbla-engine-{dev}"))
+                    .spawn(move || worker_loop(&inner, dev))
+                    .expect("engine worker spawns")
+            })
+            .collect();
+        Engine { inner, workers }
+    }
+
+    /// Register a named graph, building it against the engine's shared
+    /// symbol table so query labels and graph labels agree.
+    pub fn add_graph_with(&self, name: &str, build: impl FnOnce(&mut SymbolTable) -> LabeledGraph) {
+        let graph = {
+            let mut table = self.inner.table.lock().unwrap_or_else(|e| e.into_inner());
+            build(&mut table)
+        };
+        self.add_graph(name, graph);
+    }
+
+    /// Register a named graph built elsewhere. The graph's labels must
+    /// have been interned through this engine's symbol table (see
+    /// [`Engine::with_symbols`]) or queries will not match them.
+    pub fn add_graph(&self, name: &str, graph: LabeledGraph) {
+        self.inner.catalog.add(name, graph);
+    }
+
+    /// Run `f` against the engine's symbol table (e.g. to pre-intern or
+    /// resolve label names).
+    pub fn with_symbols<R>(&self, f: impl FnOnce(&mut SymbolTable) -> R) -> R {
+        let mut table = self.inner.table.lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut table)
+    }
+
+    /// Registered graph names.
+    pub fn graph_names(&self) -> Vec<String> {
+        self.inner.catalog.names()
+    }
+
+    /// Submit a query with no deadline.
+    pub fn submit(&self, graph: &str, query: Query) -> Result<Ticket, EngineError> {
+        self.submit_with_deadline(graph, query, None)
+    }
+
+    /// Submit a query; with `Some(budget)` the request fails typed
+    /// ([`EngineError::DeadlineExceeded`]) once `budget` elapses,
+    /// whether it is still queued or between kernel launches.
+    /// Non-blocking: planning happens on the caller thread, then the
+    /// request is enqueued or rejected immediately.
+    pub fn submit_with_deadline(
+        &self,
+        graph: &str,
+        query: Query,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, EngineError> {
+        let inner = &self.inner;
+        // Fail fast on unknown graphs — before planning or queueing.
+        inner.catalog.host_graph(graph)?;
+        let (plan, payload) = match &query {
+            Query::Rpq(text) => (
+                inner.planner.plan_rpq(text, &inner.table)?,
+                Payload::RpqAllPairs,
+            ),
+            Query::RpqFromSource { text, source } => (
+                inner.planner.plan_rpq(text, &inner.table)?,
+                Payload::RpqFromSource(*source),
+            ),
+            Query::Cfpq(grammar) => (
+                inner.planner.plan_cfpq(grammar, &inner.table)?,
+                Payload::Cfpq,
+            ),
+            Query::Closure => (inner.planner.plan_closure()?, Payload::Closure),
+        };
+        let token = match deadline {
+            Some(budget) => StopToken::with_deadline(budget),
+            None => StopToken::new(),
+        };
+        let slot = Arc::new(TicketSlot {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        let request = PendingRequest {
+            graph: graph.to_string(),
+            plan,
+            payload,
+            token: token.clone(),
+            has_deadline: deadline.is_some(),
+            submitted: Instant::now(),
+            slot: Arc::clone(&slot),
+        };
+        {
+            let mut st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            if st.shutdown {
+                return Err(EngineError::ShuttingDown);
+            }
+            if st.queue.len() >= inner.config.queue_capacity {
+                inner.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(EngineError::Overloaded {
+                    capacity: inner.config.queue_capacity,
+                });
+            }
+            st.queue.push_back(request);
+            st.depth_hwm = st.depth_hwm.max(st.queue.len());
+            inner.submitted.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.available.notify_one();
+        Ok(Ticket { slot, token })
+    }
+
+    /// Engine-wide counters plus per-device stats.
+    pub fn stats(&self) -> EngineStats {
+        let inner = &self.inner;
+        let (plan_hits, plan_misses) = inner.planner.counters();
+        let (residency_hits, residency_misses, residency_evictions) = inner.catalog.counters();
+        EngineStats {
+            submitted: inner.submitted.load(Ordering::Relaxed),
+            completed: inner.completed.load(Ordering::Relaxed),
+            rejected: inner.rejected.load(Ordering::Relaxed),
+            deadline_exceeded: inner.deadline_exceeded.load(Ordering::Relaxed),
+            cancelled: inner.cancelled.load(Ordering::Relaxed),
+            failed: inner.failed.load(Ordering::Relaxed),
+            plan_hits,
+            plan_misses,
+            residency_hits,
+            residency_misses,
+            residency_evictions,
+            queue_depth_hwm: inner
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .depth_hwm,
+            batches: inner.batches.load(Ordering::Relaxed),
+            batched_requests: inner.batched_requests.load(Ordering::Relaxed),
+            devices: inner.grid.stats(),
+        }
+    }
+
+    /// Number of devices the engine serves over.
+    pub fn n_devices(&self) -> usize {
+        self.inner.grid.len()
+    }
+
+    /// Drain the queue, stop the workers, and return the final stats.
+    /// Every admitted request is served before shutdown completes.
+    pub fn shutdown(mut self) -> EngineStats {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+
+    fn begin_shutdown(&self) {
+        let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.shutdown = true;
+        drop(st);
+        self.inner.available.notify_all();
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Arc<EngineInner>, dev: usize) {
+    loop {
+        let batch = {
+            let mut st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(first) = st.queue.pop_front() {
+                    break collect_batch(inner, &mut st, first);
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = inner.available.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        inner.in_flight.fetch_add(1, Ordering::Relaxed);
+        execute(inner, dev, batch);
+        inner.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Sweep the queue for requests coalescible with `first`: deadline-less
+/// single-source RPQs on the same graph and canonical plan key. Key
+/// equality (not `Arc` identity) keeps batching effective even with the
+/// plan cache ablated off.
+fn collect_batch(
+    inner: &EngineInner,
+    st: &mut SchedState,
+    first: PendingRequest,
+) -> Vec<PendingRequest> {
+    let batchable = inner.config.batching
+        && !first.has_deadline
+        && matches!(first.payload, Payload::RpqFromSource(_));
+    let mut batch = vec![first];
+    if !batchable {
+        return batch;
+    }
+    let mut i = 0;
+    while i < st.queue.len() && batch.len() < inner.config.max_batch {
+        let candidate = &st.queue[i];
+        let matches = !candidate.has_deadline
+            && matches!(candidate.payload, Payload::RpqFromSource(_))
+            && candidate.graph == batch[0].graph
+            && candidate.plan.key == batch[0].plan.key;
+        if matches {
+            batch.push(st.queue.remove(i).expect("index in bounds"));
+        } else {
+            i += 1;
+        }
+    }
+    batch
+}
+
+fn execute(inner: &EngineInner, dev: usize, mut batch: Vec<PendingRequest>) {
+    let dequeued = Instant::now();
+    let device = inner.grid.device(dev).clone();
+    let inst = inner.grid.instance(dev).clone();
+    let before = device.stats();
+
+    // Requests cancelled (or expired) while queued finish without
+    // touching the device.
+    batch.retain(|req| match req.token.should_stop() {
+        Some(e) => {
+            finish(
+                inner,
+                req,
+                Err(EngineError::from_exec(e.into())),
+                &before,
+                &before,
+                dequeued,
+                1,
+                dev,
+            );
+            false
+        }
+        None => true,
+    });
+    if batch.is_empty() {
+        return;
+    }
+
+    if batch.len() > 1 {
+        inner.batches.fetch_add(1, Ordering::Relaxed);
+        inner
+            .batched_requests
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        execute_coalesced(inner, dev, &inst, batch, &before, dequeued, &device);
+        return;
+    }
+
+    let req = batch.pop().expect("one request");
+    // Arm the request's token for the duration of execution: fixpoints
+    // observe it between launches. Cleared before the ticket fires so
+    // the device returns to the pool unarmed.
+    device.install_stop_token(req.token.clone());
+    let result = run_one(inner, dev, &inst, &req);
+    device.clear_stop_token();
+    let after = device.stats();
+    finish(inner, &req, result, &before, &after, dequeued, 1, dev);
+}
+
+fn execute_coalesced(
+    inner: &EngineInner,
+    dev: usize,
+    inst: &Instance,
+    batch: Vec<PendingRequest>,
+    before: &DeviceStats,
+    dequeued: Instant,
+    device: &spbla_gpu_sim::Device,
+) {
+    let sources: Vec<u32> = batch
+        .iter()
+        .map(|req| match req.payload {
+            Payload::RpqFromSource(s) => s,
+            _ => unreachable!("collect_batch only coalesces single-source RPQs"),
+        })
+        .collect();
+    let PlanKind::Rpq(nfa) = &batch[0].plan.kind else {
+        unreachable!("single-source payload implies an RPQ plan")
+    };
+    let outcome = inner
+        .catalog
+        .resident(&batch[0].graph, dev, inst)
+        .and_then(|resident| {
+            rpq_from_each_source_mats(&resident.labels, resident.n_vertices, nfa, &sources, inst)
+                .map_err(EngineError::from_exec)
+        });
+    let after = device.stats();
+    let size = batch.len() as u32;
+    match outcome {
+        Ok(rows) => {
+            for (req, row) in batch.iter().zip(rows) {
+                finish(
+                    inner,
+                    req,
+                    Ok(QueryResult::Reachable(row)),
+                    before,
+                    &after,
+                    dequeued,
+                    size,
+                    dev,
+                );
+            }
+        }
+        Err(e) => {
+            for req in &batch {
+                finish(
+                    inner,
+                    req,
+                    Err(clone_error(&e)),
+                    before,
+                    &after,
+                    dequeued,
+                    size,
+                    dev,
+                );
+            }
+        }
+    }
+}
+
+/// Duplicate a batch-wide error for each member (the underlying device
+/// and core errors are `Clone`; the engine-level wrappers are rebuilt).
+fn clone_error(e: &EngineError) -> EngineError {
+    match e {
+        EngineError::Overloaded { capacity } => EngineError::Overloaded {
+            capacity: *capacity,
+        },
+        EngineError::DeadlineExceeded {
+            elapsed_ms,
+            budget_ms,
+        } => EngineError::DeadlineExceeded {
+            elapsed_ms: *elapsed_ms,
+            budget_ms: *budget_ms,
+        },
+        EngineError::Cancelled => EngineError::Cancelled,
+        EngineError::UnknownGraph(name) => EngineError::UnknownGraph(name.clone()),
+        EngineError::PlanError(msg) => EngineError::PlanError(msg.clone()),
+        EngineError::ShuttingDown => EngineError::ShuttingDown,
+        EngineError::Exec(e) => EngineError::Exec(e.clone()),
+    }
+}
+
+fn run_one(
+    inner: &EngineInner,
+    dev: usize,
+    inst: &Instance,
+    req: &PendingRequest,
+) -> Result<QueryResult, EngineError> {
+    match (&req.plan.kind, &req.payload) {
+        (PlanKind::Rpq(nfa), Payload::RpqAllPairs) => {
+            let resident = inner.catalog.resident(&req.graph, dev, inst)?;
+            rpq_all_pairs_mats(&resident.labels, resident.n_vertices, nfa, inst)
+                .map(QueryResult::Pairs)
+                .map_err(EngineError::from_exec)
+        }
+        (PlanKind::Rpq(nfa), Payload::RpqFromSource(source)) => {
+            let resident = inner.catalog.resident(&req.graph, dev, inst)?;
+            rpq_from_each_source_mats(&resident.labels, resident.n_vertices, nfa, &[*source], inst)
+                .map(|mut rows| QueryResult::Reachable(rows.pop().unwrap_or_default()))
+                .map_err(EngineError::from_exec)
+        }
+        (PlanKind::Cfpq(cnf), Payload::Cfpq) => {
+            // Azimov's fixpoint uploads its nonterminal matrices itself;
+            // it runs from the host graph, not the residency.
+            let host = inner.catalog.host_graph(&req.graph)?;
+            AzimovIndex::build(&host, cnf, inst, &AzimovOptions::default())
+                .map(|idx| {
+                    let mut pairs = idx.reachable_pairs();
+                    pairs.sort_unstable();
+                    pairs.dedup();
+                    QueryResult::Pairs(pairs)
+                })
+                .map_err(EngineError::from_exec)
+        }
+        (PlanKind::Closure, Payload::Closure) => {
+            let resident = inner.catalog.resident(&req.graph, dev, inst)?;
+            closure_delta(&resident.adjacency)
+                .map(|c| {
+                    let mut pairs = c.read();
+                    pairs.sort_unstable();
+                    QueryResult::Pairs(pairs)
+                })
+                .map_err(EngineError::from_exec)
+        }
+        _ => unreachable!("payload always matches its plan kind"),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    inner: &EngineInner,
+    req: &PendingRequest,
+    result: Result<QueryResult, EngineError>,
+    before: &DeviceStats,
+    after: &DeviceStats,
+    dequeued: Instant,
+    batch_size: u32,
+    dev: usize,
+) {
+    match &result {
+        Ok(_) => inner.completed.fetch_add(1, Ordering::Relaxed),
+        Err(EngineError::DeadlineExceeded { .. }) => {
+            inner.deadline_exceeded.fetch_add(1, Ordering::Relaxed)
+        }
+        Err(EngineError::Cancelled) => inner.cancelled.fetch_add(1, Ordering::Relaxed),
+        Err(_) => inner.failed.fetch_add(1, Ordering::Relaxed),
+    };
+    let completed = Completed {
+        result,
+        metrics: RequestMetrics {
+            queue_wait: dequeued.duration_since(req.submitted),
+            latency: req.submitted.elapsed(),
+            launches: after.launches - before.launches,
+            h2d_bytes: after.h2d_bytes - before.h2d_bytes,
+            batch_size,
+            device: dev,
+        },
+    };
+    let mut done = req.slot.done.lock().unwrap_or_else(|e| e.into_inner());
+    *done = Some(completed);
+    req.slot.cv.notify_all();
+}

@@ -1,0 +1,77 @@
+//! Typed engine errors — everything a client of the serving layer can
+//! observe, including admission-control rejection and deadline misses.
+
+use spbla_core::SpblaError;
+use spbla_gpu_sim::DeviceError;
+
+/// Errors surfaced to engine clients.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The bounded admission queue is full; the request was **not**
+    /// enqueued. Back off and resubmit — nothing blocks.
+    Overloaded {
+        /// Queue capacity the request bounced off.
+        capacity: usize,
+    },
+    /// The request's deadline elapsed (in queue or mid-execution; a
+    /// request stopped between kernel launches reports the launch-time
+    /// numbers from the device's stop token).
+    DeadlineExceeded {
+        /// Milliseconds elapsed when the deadline was detected.
+        elapsed_ms: u64,
+        /// The request's budget in milliseconds.
+        budget_ms: u64,
+    },
+    /// The client cancelled the ticket before completion.
+    Cancelled,
+    /// No graph with this name in the catalog.
+    UnknownGraph(String),
+    /// The query text failed to parse.
+    PlanError(String),
+    /// The engine is shutting down; the request was not served.
+    ShuttingDown,
+    /// Execution failed on the device (OOM, dimension errors, …).
+    Exec(SpblaError),
+}
+
+impl EngineError {
+    /// Map an execution error, promoting the cooperative-cancellation
+    /// device errors to their first-class engine forms.
+    pub(crate) fn from_exec(e: SpblaError) -> EngineError {
+        match e {
+            SpblaError::Device(DeviceError::Cancelled) => EngineError::Cancelled,
+            SpblaError::Device(DeviceError::DeadlineExceeded {
+                elapsed_ms,
+                budget_ms,
+            }) => EngineError::DeadlineExceeded {
+                elapsed_ms,
+                budget_ms,
+            },
+            other => EngineError::Exec(other),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Overloaded { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            EngineError::DeadlineExceeded {
+                elapsed_ms,
+                budget_ms,
+            } => write!(
+                f,
+                "deadline exceeded: {elapsed_ms} ms elapsed of a {budget_ms} ms budget"
+            ),
+            EngineError::Cancelled => write!(f, "request cancelled"),
+            EngineError::UnknownGraph(name) => write!(f, "unknown graph '{name}'"),
+            EngineError::PlanError(msg) => write!(f, "query failed to plan: {msg}"),
+            EngineError::ShuttingDown => write!(f, "engine shutting down"),
+            EngineError::Exec(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

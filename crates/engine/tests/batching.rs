@@ -1,0 +1,91 @@
+//! Deterministic same-plan batching: block the single worker with a
+//! slow closure, queue eight identical-plan single-source RPQs behind
+//! it, and check they coalesce into one multi-source execution whose
+//! kernel-launch count beats the unbatched run of the same workload.
+
+use spbla_engine::{Engine, EngineConfig, EngineStats, Query, QueryResult};
+use spbla_graph::LabeledGraph;
+use spbla_multidev::DeviceGrid;
+
+const N_SINGLES: u32 = 8;
+
+fn run(batching: bool) -> (Vec<Vec<u32>>, Vec<u32>, EngineStats) {
+    let engine = Engine::new(
+        DeviceGrid::new(1),
+        EngineConfig {
+            batching,
+            ..EngineConfig::default()
+        },
+    );
+    // A long chain whose closure keeps the worker busy far longer than
+    // the submissions below take, so the singles pile up in the queue.
+    engine.add_graph_with("blocker", |table| {
+        let e = table.intern("e");
+        LabeledGraph::from_triples(400, (0..399).map(|i| (i, e, i + 1)))
+    });
+    // A small chain the single-source RPQs run on.
+    engine.add_graph_with("chain", |table| {
+        let a = table.intern("a");
+        LabeledGraph::from_triples(64, (0..63).map(|i| (i, a, i + 1)))
+    });
+
+    let blocker = engine.submit("blocker", Query::Closure).unwrap();
+    let singles: Vec<_> = (0..N_SINGLES)
+        .map(|i| {
+            engine
+                .submit(
+                    "chain",
+                    Query::RpqFromSource {
+                        text: "a*".into(),
+                        source: i * 7,
+                    },
+                )
+                .unwrap()
+        })
+        .collect();
+
+    blocker.wait().result.expect("closure completes");
+    let mut rows = Vec::new();
+    let mut sizes = Vec::new();
+    for ticket in singles {
+        let done = ticket.wait();
+        sizes.push(done.metrics.batch_size);
+        match done.result.expect("single-source RPQ completes") {
+            QueryResult::Reachable(r) => rows.push(r),
+            other => panic!("expected Reachable, got {other:?}"),
+        }
+    }
+    let stats = engine.shutdown();
+    (rows, sizes, stats)
+}
+
+#[test]
+fn batching_coalesces_and_reduces_launches() {
+    let (rows_on, sizes_on, stats_on) = run(true);
+    let (rows_off, sizes_off, stats_off) = run(false);
+
+    // Same answers either way.
+    assert_eq!(rows_on, rows_off);
+    for (i, row) in rows_on.iter().enumerate() {
+        let src = i as u32 * 7;
+        assert_eq!(row, &(src..64).collect::<Vec<u32>>());
+    }
+
+    // All eight queued singles ran as one coalesced execution.
+    assert_eq!(stats_on.batches, 1, "{stats_on:?}");
+    assert_eq!(stats_on.batched_requests, u64::from(N_SINGLES));
+    assert!(sizes_on.iter().all(|&s| s == N_SINGLES), "{sizes_on:?}");
+
+    // Ablated off: every request its own execution.
+    assert_eq!(stats_off.batches, 0);
+    assert!(sizes_off.iter().all(|&s| s == 1), "{sizes_off:?}");
+
+    // The coalesced run does one launch chain instead of eight.
+    let launches = |s: &EngineStats| s.devices.iter().map(|d| d.launches).sum::<u64>();
+    assert!(
+        launches(&stats_on) < launches(&stats_off),
+        "batched {} launches, unbatched {}",
+        launches(&stats_on),
+        launches(&stats_off)
+    );
+}

@@ -1,9 +1,10 @@
 //! The simulated device: capacity accounting and launch statistics.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::error::{DeviceError, Result};
+use crate::stop::StopToken;
 
 /// Configuration of a simulated device.
 #[derive(Debug, Clone)]
@@ -74,6 +75,9 @@ pub struct DeviceStats {
 pub(crate) struct DeviceInner {
     pub(crate) config: DeviceConfig,
     pub(crate) pool: Option<rayon::ThreadPool>,
+    /// Fast-path flag: launches only take the `stop` lock when armed.
+    stop_armed: AtomicBool,
+    stop: parking_lot::Mutex<Option<crate::stop::StopToken>>,
     bytes_in_use: AtomicUsize,
     peak_bytes: AtomicUsize,
     allocations: AtomicU64,
@@ -184,6 +188,8 @@ impl Device {
             inner: Arc::new(DeviceInner {
                 config,
                 pool,
+                stop_armed: AtomicBool::new(false),
+                stop: parking_lot::Mutex::new(None),
                 bytes_in_use: AtomicUsize::new(0),
                 peak_bytes: AtomicUsize::new(0),
                 allocations: AtomicU64::new(0),
@@ -232,6 +238,44 @@ impl Device {
     pub fn reset_peak(&self) {
         let cur = self.inner.bytes_in_use.load(Ordering::Relaxed);
         self.inner.peak_bytes.store(cur, Ordering::Relaxed);
+    }
+
+    /// Arm cooperative cancellation: until [`Device::clear_stop_token`],
+    /// every launch entry point checks `token` first and refuses with
+    /// the token's typed error once it is cancelled or past deadline.
+    /// Installing a new token replaces the previous one.
+    pub fn install_stop_token(&self, token: StopToken) {
+        *self.inner.stop.lock() = Some(token);
+        self.inner.stop_armed.store(true, Ordering::Release);
+    }
+
+    /// Disarm cancellation (e.g. when a request finishes and the device
+    /// returns to the pool).
+    pub fn clear_stop_token(&self) {
+        self.inner.stop_armed.store(false, Ordering::Release);
+        *self.inner.stop.lock() = None;
+    }
+
+    /// The cheap between-launches check: `None` when no token is armed
+    /// (one relaxed atomic load) or the armed token is still live.
+    pub fn should_stop(&self) -> Option<DeviceError> {
+        if !self.inner.stop_armed.load(Ordering::Acquire) {
+            return None;
+        }
+        self.inner
+            .stop
+            .lock()
+            .as_ref()
+            .and_then(StopToken::should_stop)
+    }
+
+    /// [`Device::should_stop`] as a `Result`, for `?`-chaining between
+    /// kernel launches inside fixpoint loops.
+    pub fn check_stop(&self) -> Result<()> {
+        match self.should_stop() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 }
 

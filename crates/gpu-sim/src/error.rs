@@ -19,6 +19,18 @@ pub enum DeviceError {
     /// Output partition handed to [`crate::Device::launch`] was not a
     /// disjoint ascending cover of the output buffer.
     BadPartition(String),
+    /// The installed [`crate::StopToken`] was cancelled; the launch was
+    /// refused before executing any block. Cooperative cancellation
+    /// (the serving layer's kill switch) surfaces here.
+    Cancelled,
+    /// The installed [`crate::StopToken`]'s deadline elapsed before this
+    /// launch started.
+    DeadlineExceeded {
+        /// Milliseconds elapsed since the token was armed.
+        elapsed_ms: u64,
+        /// The token's budget in milliseconds.
+        budget_ms: u64,
+    },
 }
 
 impl fmt::Display for DeviceError {
@@ -34,6 +46,14 @@ impl fmt::Display for DeviceError {
             ),
             DeviceError::InvalidLaunch(msg) => write!(f, "invalid kernel launch: {msg}"),
             DeviceError::BadPartition(msg) => write!(f, "bad output partition: {msg}"),
+            DeviceError::Cancelled => write!(f, "launch cancelled by stop token"),
+            DeviceError::DeadlineExceeded {
+                elapsed_ms,
+                budget_ms,
+            } => write!(
+                f,
+                "deadline exceeded: {elapsed_ms} ms elapsed of a {budget_ms} ms budget"
+            ),
         }
     }
 }

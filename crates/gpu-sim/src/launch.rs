@@ -150,6 +150,7 @@ impl Device {
         F: Fn(&mut BlockCtx) + Sync,
     {
         Self::check_cfg(cfg)?;
+        self.check_stop()?;
         self.inner.count_launch(cfg.grid as u64);
         self.run(|| {
             (0..cfg.grid).into_par_iter().for_each(|b| {
@@ -184,6 +185,7 @@ impl Device {
         F: Fn(&mut BlockCtx, &mut [T]) + Sync,
     {
         Self::check_cfg(cfg)?;
+        self.check_stop()?;
         // Materialise and validate the partition.
         let mut ranges = Vec::with_capacity(cfg.grid as usize);
         let mut cursor = 0usize;
@@ -246,6 +248,7 @@ impl Device {
             block_dim: block_dim.max(1),
         };
         Self::check_cfg(cfg)?;
+        self.check_stop()?;
         self.inner.count_launch(cfg.grid as u64);
         self.run(|| {
             out.par_chunks_mut(chunk)

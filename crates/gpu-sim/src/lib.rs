@@ -34,8 +34,10 @@ pub mod device;
 pub mod error;
 pub mod launch;
 pub mod primitives;
+pub mod stop;
 
 pub use buffer::DeviceBuffer;
 pub use device::{Device, DeviceConfig, DeviceStats};
 pub use error::{DeviceError, Result};
 pub use launch::{BlockCtx, LaunchCfg};
+pub use stop::StopToken;

@@ -1,0 +1,132 @@
+//! Cooperative cancellation for long device workloads.
+//!
+//! Fixpoint algorithms (closures, CFPQ iterations) run unbounded chains
+//! of kernel launches; a serving layer needs to stop one mid-flight
+//! without tearing the device down. A [`StopToken`] is armed on a
+//! [`crate::Device`] before the work starts; every launch entry point
+//! performs a cheap `should_stop` check *between* launches (never
+//! inside a running kernel, mirroring how real GPUs cannot preempt a
+//! grid) and refuses with a typed [`DeviceError`] once the token is
+//! cancelled or its deadline has elapsed. The error unwinds through the
+//! caller's `?` chain; buffer RAII releases device memory on the way
+//! out, so the device pool is immediately reusable.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::DeviceError;
+
+#[derive(Debug)]
+struct StopState {
+    cancelled: AtomicBool,
+    /// When the token was armed (deadline reference point).
+    armed_at: Instant,
+    /// Wall-clock budget measured from `armed_at`, if any.
+    budget: Option<Duration>,
+}
+
+/// A cloneable cancellation handle. Clones share state: cancelling any
+/// clone stops every device the token is installed on at its next
+/// launch boundary.
+#[derive(Debug, Clone)]
+pub struct StopToken {
+    state: Arc<StopState>,
+}
+
+impl Default for StopToken {
+    fn default() -> Self {
+        StopToken::new()
+    }
+}
+
+impl StopToken {
+    /// A token with no deadline; stops only on explicit [`cancel`].
+    ///
+    /// [`cancel`]: StopToken::cancel
+    pub fn new() -> Self {
+        StopToken {
+            state: Arc::new(StopState {
+                cancelled: AtomicBool::new(false),
+                armed_at: Instant::now(),
+                budget: None,
+            }),
+        }
+    }
+
+    /// A token whose [`StopToken::should_stop`] trips once `budget` of
+    /// wall time has elapsed from creation.
+    pub fn with_deadline(budget: Duration) -> Self {
+        StopToken {
+            state: Arc::new(StopState {
+                cancelled: AtomicBool::new(false),
+                armed_at: Instant::now(),
+                budget: Some(budget),
+            }),
+        }
+    }
+
+    /// Request cancellation. Idempotent; takes effect at the next
+    /// launch boundary of any device the token is installed on.
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`cancel`](StopToken::cancel) has been called (does not
+    /// consider the deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.state.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// The typed error this token currently mandates, if any: explicit
+    /// cancellation wins over the deadline.
+    pub fn should_stop(&self) -> Option<DeviceError> {
+        if self.state.cancelled.load(Ordering::Relaxed) {
+            return Some(DeviceError::Cancelled);
+        }
+        if let Some(budget) = self.state.budget {
+            let elapsed = self.state.armed_at.elapsed();
+            if elapsed > budget {
+                return Some(DeviceError::DeadlineExceeded {
+                    elapsed_ms: elapsed.as_millis() as u64,
+                    budget_ms: budget.as_millis() as u64,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let t = StopToken::new();
+        let u = t.clone();
+        assert!(t.should_stop().is_none());
+        u.cancel();
+        assert!(matches!(t.should_stop(), Some(DeviceError::Cancelled)));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_trips_after_budget() {
+        let t = StopToken::with_deadline(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(matches!(
+            t.should_stop(),
+            Some(DeviceError::DeadlineExceeded { .. })
+        ));
+        // Explicit cancellation takes precedence in the report.
+        t.cancel();
+        assert!(matches!(t.should_stop(), Some(DeviceError::Cancelled)));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let t = StopToken::with_deadline(Duration::from_secs(3600));
+        assert!(t.should_stop().is_none());
+    }
+}

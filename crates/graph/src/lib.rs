@@ -23,6 +23,7 @@ pub mod closure;
 pub mod graph;
 pub mod paths;
 pub mod rpq;
+pub mod rpq_batch;
 pub mod rpq_bfs;
 pub mod rpq_derivative;
 

@@ -1,0 +1,259 @@
+//! Batched multi-source RPQ with per-source provenance.
+//!
+//! [`crate::rpq_bfs::rpq_from_sources_nfa`] answers "which vertices are
+//! reachable from *any* source" — a union, useless for a serving layer
+//! that has coalesced b independent single-source requests into one run
+//! and must hand each client *its own* answer. This module keeps one
+//! `b × n` Boolean matrix per automaton state (row i = the frontier of
+//! source i), pushes all b BFS waves with a single `mxm` per
+//! automaton edge, and reads per-source answers back out of the rows.
+//! One batched run costs one kernel-launch chain instead of b — the
+//! engine's same-plan batching is exactly this substitution.
+//!
+//! There is no dedicated difference kernel on the simulated backends;
+//! the frontier subtraction `next ∧ ¬visited` uses the complemented-mask
+//! SpGEMM with a `b × b` identity as the left factor:
+//! `I_b ·⟨¬visited⟩ next`.
+
+use rustc_hash::FxHashMap;
+
+use spbla_core::{Instance, Matrix, Result};
+use spbla_lang::{Nfa, Symbol};
+
+use crate::closure::closure_delta;
+use crate::graph::LabeledGraph;
+
+/// Per-source reachability: `result[i]` is the sorted set of vertices
+/// reachable from `sources[i]` along a word of the automaton's language
+/// (ε-acceptance makes every source its own answer). All b sources are
+/// advanced in lock-step through shared `b × n` frontier matrices.
+pub fn rpq_from_each_source_nfa(
+    graph: &LabeledGraph,
+    nfa: &Nfa,
+    sources: &[u32],
+    inst: &Instance,
+) -> Result<Vec<Vec<u32>>> {
+    let by_symbol = nfa.transitions_by_symbol();
+    let mut mats: FxHashMap<Symbol, Matrix> = FxHashMap::default();
+    for &sym in by_symbol.keys() {
+        if graph.label_count(sym) > 0 {
+            mats.insert(sym, graph.label_matrix(inst, sym)?);
+        }
+    }
+    rpq_from_each_source_mats(&mats, graph.n_vertices(), nfa, sources, inst)
+}
+
+/// [`rpq_from_each_source_nfa`] over label matrices already resident on
+/// `inst`'s device — the entry point the engine catalog uses, so a
+/// cache-resident graph is never re-uploaded per request.
+pub fn rpq_from_each_source_mats(
+    mats: &FxHashMap<Symbol, Matrix>,
+    n: u32,
+    nfa: &Nfa,
+    sources: &[u32],
+    inst: &Instance,
+) -> Result<Vec<Vec<u32>>> {
+    let b = sources.len() as u32;
+    if b == 0 {
+        return Ok(Vec::new());
+    }
+    let k = nfa.n_states() as usize;
+    let by_symbol = nfa.transitions_by_symbol();
+
+    // Row i carries source i's wave.
+    let seed: Vec<(u32, u32)> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (i as u32, s))
+        .collect();
+    let src = Matrix::from_pairs(inst, b, n, &seed)?;
+    let eye_b = Matrix::identity(inst, b)?;
+
+    let mut visited: Vec<Matrix> = Vec::with_capacity(k);
+    let mut frontier: Vec<Matrix> = Vec::with_capacity(k);
+    for q in 0..k {
+        let is_start = nfa.start_states().binary_search(&(q as u32)).is_ok();
+        visited.push(if is_start {
+            src.duplicate()?
+        } else {
+            Matrix::zeros(inst, b, n)?
+        });
+        frontier.push(visited[q].duplicate()?);
+    }
+
+    let mut answers = Matrix::zeros(inst, b, n)?;
+    if nfa.accepts_epsilon() {
+        answers = answers.ewise_add(&src)?;
+    }
+
+    loop {
+        let mut next: Vec<Matrix> = Vec::with_capacity(k);
+        for _ in 0..k {
+            next.push(Matrix::zeros(inst, b, n)?);
+        }
+        for (sym, mat) in mats {
+            let Some(edges) = by_symbol.get(sym) else {
+                continue;
+            };
+            for &(f, t) in edges {
+                if frontier[f as usize].nnz() == 0 {
+                    continue;
+                }
+                let pushed = frontier[f as usize].mxm(mat)?;
+                if pushed.nnz() > 0 {
+                    next[t as usize] = next[t as usize].ewise_add(&pushed)?;
+                }
+            }
+        }
+        let mut any = false;
+        for q in 0..k {
+            if next[q].nnz() == 0 {
+                frontier[q] = next[q].duplicate()?;
+                continue;
+            }
+            // fresh = next ∧ ¬visited, via I_b ·⟨¬visited⟩ next.
+            let fresh = eye_b.mxm_compmask(&next[q], &visited[q])?;
+            if fresh.nnz() > 0 {
+                any = true;
+                visited[q] = visited[q].ewise_add(&fresh)?;
+                if nfa.final_states().binary_search(&(q as u32)).is_ok() {
+                    answers = answers.ewise_add(&fresh)?;
+                }
+            }
+            frontier[q] = fresh;
+        }
+        if !any {
+            break;
+        }
+    }
+
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); b as usize];
+    for (row, col) in answers.read() {
+        out[row as usize].push(col);
+    }
+    for answer in &mut out {
+        answer.sort_unstable();
+        answer.dedup();
+    }
+    Ok(out)
+}
+
+/// All-pairs RPQ from resident label matrices: `M = Σ_s A_s ⊗ G_s`,
+/// delta closure, then the `(q₀, q_f)` blocks — the same index
+/// [`crate::rpq::RpqIndex`] builds, but constructed from matrices the
+/// catalog already holds on the device instead of re-uploading the
+/// graph per request.
+pub fn rpq_all_pairs_mats(
+    mats: &FxHashMap<Symbol, Matrix>,
+    n: u32,
+    nfa: &Nfa,
+    inst: &Instance,
+) -> Result<Vec<(u32, u32)>> {
+    let k = nfa.n_states();
+    let mut m = Matrix::zeros(inst, k * n, k * n)?;
+    for (sym, edges) in nfa.transitions_by_symbol() {
+        let Some(g) = mats.get(&sym) else {
+            continue; // label absent from the graph: A_s ⊗ 0 = 0
+        };
+        if g.nnz() == 0 {
+            continue;
+        }
+        let a = Matrix::from_pairs(inst, k, k, &edges)?;
+        m = m.ewise_add(&a.kron(g)?)?;
+    }
+    let closure = closure_delta(&m)?;
+
+    let mut out: Vec<(u32, u32)> = Vec::new();
+    for &q0 in nfa.start_states() {
+        for &qf in nfa.final_states() {
+            let block = closure.submatrix(q0 * n, qf * n, n, n)?;
+            out.extend(block.read());
+        }
+    }
+    if nfa.accepts_epsilon() {
+        out.extend((0..n).map(|v| (v, v)));
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rpq::{RpqIndex, RpqOptions};
+    use crate::rpq_bfs::rpq_from_sources_nfa;
+    use spbla_lang::glushkov::glushkov;
+    use spbla_lang::{Regex, SymbolTable};
+
+    fn setup() -> (SymbolTable, LabeledGraph) {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        let g = LabeledGraph::from_triples(
+            6,
+            [
+                (0, a, 1),
+                (1, b, 2),
+                (2, b, 3),
+                (1, a, 3),
+                (3, a, 4),
+                (5, b, 0),
+            ],
+        );
+        (t, g)
+    }
+
+    #[test]
+    fn batched_equals_one_by_one() {
+        let (mut t, g) = setup();
+        for q in ["a . b*", "(a | b)+", "a*", "a? . b*", "b . a . b"] {
+            let r = Regex::parse(q, &mut t).unwrap();
+            let nfa = glushkov(&r);
+            for inst in [Instance::cpu(), Instance::cuda_sim(), Instance::cl_sim()] {
+                let sources: Vec<u32> = (0..g.n_vertices()).collect();
+                let batched = rpq_from_each_source_nfa(&g, &nfa, &sources, &inst).unwrap();
+                for (i, &src) in sources.iter().enumerate() {
+                    let single = rpq_from_sources_nfa(&g, &nfa, &[src], &inst).unwrap();
+                    assert_eq!(batched[i], single, "query {q} source {src}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_sources_get_identical_rows() {
+        let (mut t, g) = setup();
+        let r = Regex::parse("a . b*", &mut t).unwrap();
+        let nfa = glushkov(&r);
+        let inst = Instance::cpu();
+        let res = rpq_from_each_source_nfa(&g, &nfa, &[0, 1, 0], &inst).unwrap();
+        assert_eq!(res[0], res[2]);
+        assert_ne!(res[0], res[1]);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let (mut t, g) = setup();
+        let r = Regex::parse("a", &mut t).unwrap();
+        let nfa = glushkov(&r);
+        assert!(rpq_from_each_source_nfa(&g, &nfa, &[], &Instance::cpu())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn all_pairs_from_mats_matches_index() {
+        let (mut t, g) = setup();
+        for q in ["a . b*", "(a | b)+", "a? . b*"] {
+            let r = Regex::parse(q, &mut t).unwrap();
+            let nfa = glushkov(&r);
+            for inst in [Instance::cpu(), Instance::cuda_sim(), Instance::cl_sim()] {
+                let mats = g.matrices(&inst).unwrap();
+                let from_mats = rpq_all_pairs_mats(&mats, g.n_vertices(), &nfa, &inst).unwrap();
+                let idx = RpqIndex::build(&g, &r, &inst, &RpqOptions::default()).unwrap();
+                assert_eq!(from_mats, idx.reachable_pairs().unwrap(), "query {q}");
+            }
+        }
+    }
+}

@@ -194,6 +194,64 @@ impl Grammar {
         self.productions.iter().map(|(_, rhs)| 1 + rhs.len()).sum()
     }
 
+    /// Canonical cache key. Nonterminals are renamed to `@0`, `@1`, …
+    /// (start first, then first occurrence scanning productions
+    /// left-to-right, then any unreferenced leftovers in declaration
+    /// order), alternatives of each nonterminal are sorted, and the
+    /// result is rendered one nonterminal per line. Two grammar texts
+    /// share a key iff they parse to the same productions modulo
+    /// whitespace, nonterminal naming, and alternative order — so
+    /// `S -> a | b` and `T -> b | a` hit the same plan-cache entry,
+    /// while grammars with different shapes never alias (`@` is
+    /// outside the terminal identifier charset, so a terminal can
+    /// never collide with a canonical nonterminal name).
+    pub fn canonical(&self, table: &SymbolTable) -> String {
+        let mut order = vec![u32::MAX; self.n_nonterminals()];
+        let mut next = 0u32;
+        fn touch(order: &mut [u32], next: &mut u32, nt: NtId) {
+            if order[nt.id()] == u32::MAX {
+                order[nt.id()] = *next;
+                *next += 1;
+            }
+        }
+        touch(&mut order, &mut next, self.start);
+        for (lhs, rhs) in &self.productions {
+            touch(&mut order, &mut next, *lhs);
+            for s in rhs {
+                if let SymbolOrNt::N(n) = s {
+                    touch(&mut order, &mut next, *n);
+                }
+            }
+        }
+        for id in 0..self.n_nonterminals() {
+            touch(&mut order, &mut next, NtId(id as u32));
+        }
+
+        // Alternatives per canonical nonterminal, rendered then sorted.
+        let mut alts: Vec<Vec<String>> = vec![Vec::new(); self.n_nonterminals()];
+        for (lhs, rhs) in &self.productions {
+            let rendered = if rhs.is_empty() {
+                "ε".to_string()
+            } else {
+                rhs.iter()
+                    .map(|s| match s {
+                        SymbolOrNt::T(t) => table.name(*t).to_string(),
+                        SymbolOrNt::N(n) => format!("@{}", order[n.id()]),
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            alts[order[lhs.id()] as usize].push(rendered);
+        }
+        let mut out = String::new();
+        for (idx, mut list) in alts.into_iter().enumerate() {
+            list.sort_unstable();
+            list.dedup();
+            out.push_str(&format!("@{idx} -> {}\n", list.join(" | ")));
+        }
+        out
+    }
+
     /// Render in the same text format [`Grammar::parse`] accepts
     /// (productions grouped per nonterminal, alternatives joined with
     /// `|`, ε as `eps`).

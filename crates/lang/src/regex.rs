@@ -143,6 +143,49 @@ impl Regex {
     }
 }
 
+impl Regex {
+    /// Canonical cache key: a fully parenthesized rendering in which
+    /// every operator application is delimited, so the mapping from AST
+    /// to string is injective (two regexes share a key iff their parsed
+    /// ASTs are equal). Because [`Regex::parse`] is
+    /// whitespace-insensitive and desugars `+`/`?` eagerly, any two
+    /// spellings of the same query — extra blanks, explicit `.` versus
+    /// juxtaposition, `a+` versus `a . a*` — normalize to one key.
+    /// Terminal names use the identifier charset, which excludes every
+    /// delimiter used here (`(`, `)`, `.`, `|`, `*`, `ε`, `∅`).
+    pub fn canonical(&self, table: &SymbolTable) -> String {
+        fn go(r: &Regex, table: &SymbolTable, out: &mut String) {
+            match r {
+                Regex::Empty => out.push('∅'),
+                Regex::Epsilon => out.push('ε'),
+                Regex::Sym(s) => out.push_str(table.name(*s)),
+                Regex::Concat(a, b) => {
+                    out.push('(');
+                    go(a, table, out);
+                    out.push('.');
+                    go(b, table, out);
+                    out.push(')');
+                }
+                Regex::Alt(a, b) => {
+                    out.push('(');
+                    go(a, table, out);
+                    out.push('|');
+                    go(b, table, out);
+                    out.push(')');
+                }
+                Regex::Star(a) => {
+                    out.push('(');
+                    go(a, table, out);
+                    out.push_str(")*");
+                }
+            }
+        }
+        let mut out = String::new();
+        go(self, table, &mut out);
+        out
+    }
+}
+
 /// Pretty-printer emitting the same syntax [`Regex::parse`] accepts
 /// (`display_with(&table)`); `Display` is not implemented directly
 /// because symbol names live in the table.

@@ -1,0 +1,294 @@
+//! Serving-layer stress: concurrent mixed RPQ/CFPQ workloads over
+//! 1/2/4-device grids must return answers bit-identical to sequential
+//! library execution, admission control must reject cleanly, deadlines
+//! and cancellation must surface typed errors without poisoning the
+//! device pool, and the whole thing must not deadlock (the tests
+//! finishing *is* the deadlock check).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use spbla_core::Instance;
+use spbla_data::lubm::{lubm_like, LubmConfig};
+use spbla_engine::{Engine, EngineConfig, EngineError, Query, QueryResult};
+use spbla_graph::cfpq::azimov::{AzimovIndex, AzimovOptions};
+use spbla_graph::closure::closure_delta;
+use spbla_graph::rpq_batch::rpq_from_each_source_nfa;
+use spbla_graph::{LabeledGraph, RpqIndex, RpqOptions};
+use spbla_lang::dfa::Dfa;
+use spbla_lang::glushkov::glushkov;
+use spbla_lang::minimize::minimize;
+use spbla_lang::{CnfGrammar, Grammar, Regex, SymbolTable};
+use spbla_multidev::DeviceGrid;
+
+const RPQ_TEMPLATES: [&str; 3] = [
+    "memberOf . subOrganizationOf",
+    "headOf . subOrganizationOf | worksFor . subOrganizationOf",
+    "advisor . worksFor",
+];
+const SRC_TEMPLATE: &str = "memberOf . subOrganizationOf*";
+const CFPQ_GRAMMAR: &str =
+    "S -> subOrganizationOf_r S subOrganizationOf | subOrganizationOf_r subOrganizationOf";
+
+fn lubm_fixture(table: &mut SymbolTable) -> LabeledGraph {
+    lubm_like(1, &LubmConfig::default(), table, 0xCAFE).with_inverses(table)
+}
+
+/// Sequential oracle: the same queries executed one at a time with the
+/// plain library API on a fresh single instance.
+struct Expected {
+    rpq: Vec<Vec<(u32, u32)>>,
+    reachable: Vec<Vec<u32>>,
+    cfpq: Vec<(u32, u32)>,
+    closure: Vec<(u32, u32)>,
+    sources: Vec<u32>,
+}
+
+fn sequential_oracle() -> Expected {
+    let mut table = SymbolTable::new();
+    let graph = lubm_fixture(&mut table);
+    let inst = Instance::cuda_sim();
+    let rpq = RPQ_TEMPLATES
+        .iter()
+        .map(|q| {
+            let r = Regex::parse(q, &mut table).unwrap();
+            RpqIndex::build(&graph, &r, &inst, &RpqOptions::default())
+                .unwrap()
+                .reachable_pairs()
+                .unwrap()
+        })
+        .collect();
+    let sources: Vec<u32> = (0..24).map(|i| (i * 17) % graph.n_vertices()).collect();
+    let r = Regex::parse(SRC_TEMPLATE, &mut table).unwrap();
+    let nfa = minimize(&Dfa::from_nfa(&glushkov(&r)));
+    let reachable = rpq_from_each_source_nfa(&graph, &nfa, &sources, &inst).unwrap();
+    let g = Grammar::parse(CFPQ_GRAMMAR, &mut table).unwrap();
+    let idx = AzimovIndex::build(
+        &graph,
+        &CnfGrammar::from_grammar(&g),
+        &inst,
+        &AzimovOptions::default(),
+    )
+    .unwrap();
+    let mut cfpq = idx.reachable_pairs();
+    cfpq.sort_unstable();
+    cfpq.dedup();
+    let adj = spbla_core::Matrix::from_csr(&inst, graph.adjacency_csr()).unwrap();
+    let mut closure = closure_delta(&adj).unwrap().read();
+    closure.sort_unstable();
+    Expected {
+        rpq,
+        reachable,
+        cfpq,
+        closure,
+        sources,
+    }
+}
+
+fn engine_on(n_devices: usize, config: EngineConfig) -> Engine {
+    let engine = Engine::new(DeviceGrid::new(n_devices), config);
+    engine.add_graph_with("lubm", lubm_fixture);
+    engine
+}
+
+/// ≥ 64 concurrent mixed requests from 8 client threads, on 1-, 2- and
+/// 4-device grids, answers compared element-for-element against the
+/// sequential oracle.
+#[test]
+fn concurrent_mixed_load_is_bit_identical_to_sequential() {
+    let expected = Arc::new(sequential_oracle());
+    for n_devices in [1usize, 2, 4] {
+        let engine = Arc::new(engine_on(
+            n_devices,
+            EngineConfig {
+                queue_capacity: 1024,
+                ..EngineConfig::default()
+            },
+        ));
+
+        // The workload: (query, expected result), ≥64 entries.
+        let mut workload: Vec<(Query, QueryResult)> = Vec::new();
+        for (i, src) in expected.sources.iter().enumerate() {
+            workload.push((
+                Query::RpqFromSource {
+                    text: SRC_TEMPLATE.into(),
+                    source: *src,
+                },
+                QueryResult::Reachable(expected.reachable[i].clone()),
+            ));
+        }
+        for round in 0..10 {
+            for (qi, q) in RPQ_TEMPLATES.iter().enumerate() {
+                workload.push((
+                    Query::Rpq((*q).into()),
+                    QueryResult::Pairs(expected.rpq[qi].clone()),
+                ));
+            }
+            workload.push((
+                Query::Cfpq(CFPQ_GRAMMAR.into()),
+                QueryResult::Pairs(expected.cfpq.clone()),
+            ));
+            if round % 2 == 0 {
+                workload.push((Query::Closure, QueryResult::Pairs(expected.closure.clone())));
+            }
+        }
+        assert!(workload.len() >= 64, "workload has {}", workload.len());
+
+        let workload = Arc::new(workload);
+        let n_clients = 8usize;
+        let handles: Vec<_> = (0..n_clients)
+            .map(|c| {
+                let engine = Arc::clone(&engine);
+                let workload = Arc::clone(&workload);
+                std::thread::spawn(move || {
+                    // Client c serves workload indices ≡ c (mod n_clients).
+                    for (i, (query, want)) in workload.iter().enumerate() {
+                        if i % n_clients != c {
+                            continue;
+                        }
+                        let ticket = engine.submit("lubm", query.clone()).unwrap();
+                        let done = ticket.wait();
+                        let got = done
+                            .result
+                            .unwrap_or_else(|e| panic!("request {i} on {c} failed: {e}"));
+                        assert_eq!(&got, want, "request {i} diverged from sequential");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread survives");
+        }
+
+        let stats = Arc::try_unwrap(engine)
+            .unwrap_or_else(|_| panic!("all clients done"))
+            .shutdown();
+        assert_eq!(
+            stats.completed,
+            workload.len() as u64,
+            "on {n_devices} devices"
+        );
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.rejected, 0);
+        assert!(stats.queue_depth_hwm >= 1);
+        // On one device the queue necessarily backs up behind the
+        // single worker, so the early same-plan single-source burst
+        // must have coalesced. (On wider grids batching is
+        // timing-dependent; the deterministic check lives in the
+        // engine crate's own tests.)
+        if n_devices == 1 {
+            assert!(stats.batches >= 1, "no batching: {stats:?}");
+        }
+    }
+}
+
+/// A full admission queue rejects with typed `Overloaded`, nothing
+/// blocks, and every admitted request still completes.
+#[test]
+fn overload_rejects_cleanly() {
+    let engine = engine_on(
+        1,
+        EngineConfig {
+            queue_capacity: 2,
+            batching: false,
+            ..EngineConfig::default()
+        },
+    );
+    // Occupy the single worker with a slow request, then flood.
+    let slow = engine.submit("lubm", Query::Closure).unwrap();
+    let mut accepted = vec![slow];
+    let mut rejected = 0u32;
+    for i in 0..32 {
+        match engine.submit(
+            "lubm",
+            Query::RpqFromSource {
+                text: SRC_TEMPLATE.into(),
+                source: i,
+            },
+        ) {
+            Ok(t) => accepted.push(t),
+            Err(EngineError::Overloaded { capacity }) => {
+                assert_eq!(capacity, 2);
+                rejected += 1;
+            }
+            Err(other) => panic!("unexpected rejection: {other}"),
+        }
+    }
+    assert!(rejected > 0, "queue of 2 never overflowed under 32 submits");
+    for t in accepted {
+        t.wait().result.expect("admitted requests complete");
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.rejected as u32, rejected);
+    assert_eq!(stats.failed, 0);
+}
+
+/// An expired deadline surfaces the typed error and the engine keeps
+/// serving — the device pool is not poisoned.
+#[test]
+fn deadline_exceeded_is_typed_and_pool_survives() {
+    let engine = engine_on(2, EngineConfig::default());
+    let doomed = engine
+        .submit_with_deadline("lubm", Query::Closure, Some(Duration::ZERO))
+        .unwrap();
+    match doomed.wait().result {
+        Err(EngineError::DeadlineExceeded { budget_ms, .. }) => assert_eq!(budget_ms, 0),
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    // Same engine, same devices: a normal request succeeds afterwards.
+    let ok = engine.submit("lubm", Query::Closure).unwrap();
+    assert!(ok.wait().result.is_ok());
+    let stats = engine.shutdown();
+    assert_eq!(stats.deadline_exceeded, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+/// Cancelling a queued ticket yields typed `Cancelled`; later requests
+/// are unaffected.
+#[test]
+fn cancellation_is_typed() {
+    let engine = engine_on(
+        1,
+        EngineConfig {
+            batching: false,
+            ..EngineConfig::default()
+        },
+    );
+    // Keep the only worker busy so the victim stays queued.
+    let busy = engine.submit("lubm", Query::Closure).unwrap();
+    let victim = engine
+        .submit(
+            "lubm",
+            Query::RpqFromSource {
+                text: SRC_TEMPLATE.into(),
+                source: 0,
+            },
+        )
+        .unwrap();
+    victim.cancel();
+    assert!(matches!(victim.wait().result, Err(EngineError::Cancelled)));
+    assert!(busy.wait().result.is_ok());
+    let after = engine.submit("lubm", Query::Closure).unwrap();
+    assert!(after.wait().result.is_ok());
+    let stats = engine.shutdown();
+    assert_eq!(stats.cancelled, 1);
+}
+
+/// Unknown graphs and malformed queries fail fast at submit.
+#[test]
+fn submit_time_errors_are_typed() {
+    let engine = engine_on(1, EngineConfig::default());
+    assert!(matches!(
+        engine.submit("nope", Query::Closure),
+        Err(EngineError::UnknownGraph(_))
+    ));
+    assert!(matches!(
+        engine.submit("lubm", Query::Rpq("((".into())),
+        Err(EngineError::PlanError(_))
+    ));
+    assert!(matches!(
+        engine.submit("lubm", Query::Cfpq("no arrow".into())),
+        Err(EngineError::PlanError(_))
+    ));
+    engine.shutdown();
+}

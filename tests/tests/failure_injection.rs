@@ -173,6 +173,76 @@ fn grid_oom_mid_closure_releases_temporaries() {
     }
 }
 
+/// Cancellation mid-closure: arm a stop token, cancel it from another
+/// thread partway through a fixpoint, and assert the typed error
+/// surfaces, every temporary is released, and the device keeps serving
+/// new work afterwards — the serving layer relies on exactly this.
+#[test]
+fn cancellation_mid_closure_leaves_device_usable() {
+    use spbla_gpu_sim::StopToken;
+
+    let dev = Device::new(DeviceConfig::default());
+    let inst = Instance::cuda_sim_on(dev.clone());
+    let n = 900u32;
+    let pairs: Vec<(u32, u32)> = (0..n)
+        .flat_map(|i| (1..5u32).map(move |d| (i, (i + d) % n)))
+        .collect();
+    let a = Matrix::from_pairs(&inst, n, n, &pairs).unwrap();
+    let before = dev.stats().bytes_in_use;
+
+    let token = StopToken::new();
+    token.cancel(); // trip at the very first launch boundary
+    dev.install_stop_token(token);
+    let err = a.transitive_closure().unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SpblaError::Device(spbla_gpu_sim::DeviceError::Cancelled)
+        ),
+        "got {err}"
+    );
+    assert_eq!(
+        dev.stats().bytes_in_use,
+        before,
+        "cancelled closure leaked temporaries"
+    );
+
+    // Disarm and verify the device pool is not poisoned: the same
+    // operation now runs to completion.
+    dev.clear_stop_token();
+    let c = a.transitive_closure().unwrap();
+    assert!(c.nnz() >= a.nnz());
+}
+
+/// An already-expired deadline surfaces the typed `DeadlineExceeded`
+/// error and, like cancellation, leaves accounting balanced.
+#[test]
+fn expired_deadline_surfaces_typed_error() {
+    use spbla_gpu_sim::StopToken;
+    use std::time::Duration;
+
+    let dev = Device::new(DeviceConfig::default());
+    let inst = Instance::cl_sim_on(dev.clone());
+    let pairs: Vec<(u32, u32)> = (0..400u32).map(|i| (i, (i + 1) % 400)).collect();
+    let a = Matrix::from_pairs(&inst, 400, 400, &pairs).unwrap();
+    let before = dev.stats().bytes_in_use;
+
+    let token = StopToken::with_deadline(Duration::from_millis(0));
+    std::thread::sleep(Duration::from_millis(2));
+    dev.install_stop_token(token);
+    let err = a.mxm(&a).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SpblaError::Device(spbla_gpu_sim::DeviceError::DeadlineExceeded { .. })
+        ),
+        "got {err}"
+    );
+    assert_eq!(dev.stats().bytes_in_use, before);
+    dev.clear_stop_token();
+    assert!(a.mxm(&a).is_ok());
+}
+
 #[test]
 fn shared_device_across_instances_accumulates_stats() {
     let dev = Device::default();
