@@ -3,13 +3,18 @@
 //! ```text
 //! cargo run --release -p spbla-bench --bin report -- all
 //! cargo run --release -p spbla-bench --bin report -- table4
+//! cargo run --release -p spbla-bench --bin report -- stream --json BENCH_stream.json
 //! SPBLA_BENCH_SCALE=0.05 cargo run --release -p spbla-bench --bin report -- fig3
 //! ```
 //!
 //! Subcommands: `table1 table2 fig2 fig3 table3 table4 paths
-//! boolean-vs-generic formats ablations scaling all`. Absolute numbers are CPU-simulator
-//! scale; EXPERIMENTS.md records how each reproduced *shape* compares to
-//! the paper.
+//! boolean-vs-generic formats ablations scaling serving stream all`.
+//! `--json FILE` additionally writes the machine-readable records the
+//! run produced (one JSON object per experiment configuration, with the
+//! device counters: launches, accumulator insertions, h2d/d2h/d2d bytes
+//! and peak memory). Absolute numbers are CPU-simulator scale;
+//! EXPERIMENTS.md records how each reproduced *shape* compares to the
+//! paper.
 
 use std::time::Duration;
 
@@ -28,8 +33,83 @@ use spbla_lang::{CnfGrammar, SymbolTable};
 
 const RUNS: usize = 3; // paper averages over 5; 3 keeps `all` snappy
 
+/// One machine-readable record of an experiment configuration; the
+/// `--json FILE` sink renders these by hand (no serde in the tree).
+struct JsonRecord {
+    experiment: String,
+    config: Vec<(String, String)>,
+    launches: u64,
+    insertions: u64,
+    h2d_bytes: u64,
+    d2h_bytes: u64,
+    d2d_bytes: u64,
+    peak_bytes: usize,
+}
+
+impl JsonRecord {
+    fn render(&self) -> String {
+        let config: String = self
+            .config
+            .iter()
+            .map(|(k, v)| {
+                // Numbers stay numbers, everything else is quoted.
+                if v.parse::<f64>().is_ok() {
+                    format!(r#""{k}": {v}"#)
+                } else {
+                    format!(r#""{k}": "{v}""#)
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            r#"{{"experiment": "{}", {config}, "launches": {}, "insertions": {}, "h2d_bytes": {}, "d2h_bytes": {}, "d2d_bytes": {}, "peak_bytes": {}}}"#,
+            self.experiment,
+            self.launches,
+            self.insertions,
+            self.h2d_bytes,
+            self.d2h_bytes,
+            self.d2d_bytes,
+            self.peak_bytes
+        )
+    }
+}
+
+fn write_json(path: &str, records: &[JsonRecord]) {
+    let body: Vec<String> = records
+        .iter()
+        .map(|r| format!("  {}", r.render()))
+        .collect();
+    let text = format!("[\n{}\n]\n", body.join(",\n"));
+    std::fs::write(path, text).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("\nwrote {} JSON records to {path}", records.len());
+}
+
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut subcommand: Option<String> = None;
+    let mut json: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => match it.next() {
+                Some(path) => json = Some(path.clone()),
+                None => {
+                    eprintln!("--json requires a file path");
+                    std::process::exit(2);
+                }
+            },
+            other if subcommand.is_none() => subcommand = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let arg = subcommand.unwrap_or_else(|| "all".into());
+    let mut records: Vec<JsonRecord> = Vec::new();
     match arg.as_str() {
         "table1" => table1(),
         "table2" => table2(),
@@ -43,6 +123,7 @@ fn main() {
         "ablations" => ablations(),
         "scaling" => scaling(),
         "serving" => serving(),
+        "stream" => stream(&mut records),
         "all" => {
             table1();
             table2();
@@ -56,12 +137,16 @@ fn main() {
             ablations();
             scaling();
             serving();
+            stream(&mut records);
         }
         other => {
             eprintln!("unknown experiment: {other}");
-            eprintln!("known: table1 table2 fig2 fig3 table3 table4 paths boolean-vs-generic formats ablations scaling serving all");
+            eprintln!("known: table1 table2 fig2 fig3 table3 table4 paths boolean-vs-generic formats ablations scaling serving stream all");
             std::process::exit(2);
         }
+    }
+    if let Some(path) = json {
+        write_json(&path, &records);
     }
 }
 
@@ -674,6 +759,9 @@ fn serving() {
                                 spbla_engine::QueryResult::Reachable(r) => {
                                     answers += r.len() as u64
                                 }
+                                spbla_engine::QueryResult::Applied(_) => {
+                                    unreachable!("workload submits no updates")
+                                }
                             }
                         }
                         answers
@@ -711,6 +799,196 @@ fn serving() {
                 stats.queue_depth_hwm,
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------- E13
+fn stream(records: &mut Vec<JsonRecord>) {
+    header("E13 — streaming updates: incremental closure maintenance vs per-batch recompute");
+    println!("(LUBM base with a deep citation thread; a stream of single-triple insert");
+    println!(" batches then small delete batches, replayed identically through the");
+    println!(" incremental view — frontier restart for inserts, DRed over-delete and");
+    println!(" rederive for deletes — and through a per-batch full recompute; the claims");
+    println!(" to check are bit-identical checksums at every version and, over the");
+    println!(" insert phase, incremental maintenance paying ≤ 1/3 of recompute's kernel");
+    println!(" launches AND accumulator insertions)\n");
+    use spbla_multidev::DeviceGrid;
+    use spbla_stream::{GraphStream, MaintainConfig, MaintainMode, UpdateBatch};
+
+    const INSERT_BATCHES: usize = 24;
+    const DELETE_BATCHES: usize = 5;
+    /// Citation-thread depth grafted onto the LUBM base: per-batch full
+    /// recompute re-derives this chain's closure from scratch every
+    /// version (log_φ(CHAIN) fixpoint rounds), while the incremental
+    /// path only touches each batch's frontier.
+    const CHAIN: u32 = 60;
+
+    let mut table = SymbolTable::new();
+    let mut graph = lubm_rung(1, &mut table);
+    let cites = table.intern("cites");
+    let n = graph.n_vertices();
+    // The chain threads the tail of the vertex range (the last
+    // department's publications/courses/students — low in-degree, and
+    // never the 16 ontology-class hubs at the front).
+    for v in n - CHAIN..n - 1 {
+        graph.add_edge(v, cites, v + 1);
+    }
+    let labels: Vec<_> = graph.labels().into_iter().filter(|&l| l != cites).collect();
+    println!(
+        "LUBM fixture n={n} nnz={} (+{CHAIN}-deep citation thread); {INSERT_BATCHES} 1-edge insert batches + {DELETE_BATCHES} 2-edge delete batches\n",
+        graph.n_edges()
+    );
+
+    // Deterministic stream, generated once and replayed by every
+    // (devices, mode) configuration. Inserts are fine-grained (one
+    // triple per batch — RDF-stream granularity) between instance-level
+    // vertices; deletes target edges that exist at their version
+    // (tracked by a host mirror).
+    let mut rng: u64 = 0xE13 | 1;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    const N_CLASSES: u64 = 16;
+    let mut mirror = graph.clone();
+    let mut batches: Vec<UpdateBatch> = Vec::new();
+    for _ in 0..INSERT_BATCHES {
+        let mut b = UpdateBatch::new();
+        loop {
+            let l = labels[(next() % labels.len() as u64) as usize];
+            let u = (N_CLASSES + next() % (n as u64 - N_CLASSES)) as u32;
+            let v = (N_CLASSES + next() % (n as u64 - N_CLASSES)) as u32;
+            if u != v && !mirror.edges_of(l).contains(&(u, v)) {
+                b.insert(u, l, v);
+                break;
+            }
+        }
+        b.apply_to(&mut mirror);
+        batches.push(b);
+    }
+    for _ in 0..DELETE_BATCHES {
+        let mut b = UpdateBatch::new();
+        for _ in 0..2 {
+            let l = labels[(next() % labels.len() as u64) as usize];
+            let edges = mirror.edges_of(l);
+            if edges.is_empty() {
+                continue;
+            }
+            let (u, v) = edges[(next() % edges.len() as u64) as usize];
+            b.delete(u, l, v);
+        }
+        b.apply_to(&mut mirror);
+        batches.push(b);
+    }
+
+    println!(
+        "{:<8} {:<12} {:>9} {:>13} {:>11} {:>13} {:>9}",
+        "devices", "mode", "time", "ins-launches", "ins-accum", "total-accum", "peak-B"
+    );
+    for devices in [1usize, 2, 4] {
+        // (per-version checksums, insert-phase Δstats, total Δstats, peak)
+        let run = |mode: MaintainMode| {
+            let grid = DeviceGrid::new(devices);
+            let mut stream = GraphStream::new(&grid, &graph).expect("store builds");
+            stream
+                .track_closure(MaintainConfig {
+                    mode,
+                    ..MaintainConfig::default()
+                })
+                .expect("view builds");
+            let base = grid.total_stats();
+            let mut checksums = Vec::with_capacity(batches.len());
+            let (elapsed, mid) = time_once(|| {
+                for b in batches.iter().take(INSERT_BATCHES) {
+                    stream.apply(b.clone()).expect("insert batch applies");
+                    checksums.push(stream.closure_view().expect("tracked").checksum());
+                }
+                grid.total_stats()
+            });
+            for b in batches.iter().skip(INSERT_BATCHES) {
+                stream.apply(b.clone()).expect("delete batch applies");
+                checksums.push(stream.closure_view().expect("tracked").checksum());
+            }
+            let end = grid.total_stats();
+            let inserts_only = (
+                mid.launches - base.launches,
+                mid.accum_insertions - base.accum_insertions,
+            );
+            let total = (
+                end.launches - base.launches,
+                end.accum_insertions - base.accum_insertions,
+                end.h2d_bytes - base.h2d_bytes,
+                end.d2h_bytes - base.d2h_bytes,
+                end.d2d_bytes - base.d2d_bytes,
+            );
+            (
+                checksums,
+                elapsed,
+                inserts_only,
+                total,
+                grid.max_peak_bytes(),
+            )
+        };
+        let (cs_inc, t_inc, ins_inc, tot_inc, peak_inc) = run(MaintainMode::Incremental);
+        let (cs_rec, t_rec, ins_rec, tot_rec, peak_rec) = run(MaintainMode::Recompute);
+
+        // Bit-identical results at every version, delete batches included
+        // (DRed rederivation must agree with recompute exactly).
+        assert_eq!(
+            cs_inc, cs_rec,
+            "incremental maintenance diverged from recompute on {devices} devices"
+        );
+        // The headline ratios, over the insert phase.
+        assert!(
+            ins_inc.0 * 3 <= ins_rec.0,
+            "launch ratio blown on {devices} devices: {} vs {}",
+            ins_inc.0,
+            ins_rec.0
+        );
+        assert!(
+            ins_inc.1 * 3 <= ins_rec.1,
+            "insertion ratio blown on {devices} devices: {} vs {}",
+            ins_inc.1,
+            ins_rec.1
+        );
+        for (mode, t, ins, tot, peak) in [
+            ("incremental", t_inc, ins_inc, tot_inc, peak_inc),
+            ("recompute", t_rec, ins_rec, tot_rec, peak_rec),
+        ] {
+            println!(
+                "{:<8} {:<12} {:>8}s {:>13} {:>11} {:>13} {:>9}",
+                devices,
+                mode,
+                secs(t),
+                ins.0,
+                ins.1,
+                tot.1,
+                peak
+            );
+            records.push(JsonRecord {
+                experiment: "E13-stream".into(),
+                config: vec![
+                    ("devices".into(), devices.to_string()),
+                    ("mode".into(), mode.into()),
+                    ("insert_batches".into(), INSERT_BATCHES.to_string()),
+                    ("delete_batches".into(), DELETE_BATCHES.to_string()),
+                ],
+                launches: tot.0,
+                insertions: tot.1,
+                h2d_bytes: tot.2,
+                d2h_bytes: tot.3,
+                d2d_bytes: tot.4,
+                peak_bytes: peak,
+            });
+        }
+        println!(
+            "         checksums identical at all {} versions; insert-phase ratios: launches {:.3}, insertions {:.3}\n",
+            cs_inc.len(),
+            ins_inc.0 as f64 / ins_rec.0.max(1) as f64,
+            ins_inc.1 as f64 / ins_rec.1.max(1) as f64
+        );
     }
 }
 

@@ -125,6 +125,17 @@ spbla_Status spbla_Engine_SubmitCfpq(spbla_Engine engine, const char *graph,
                                      const char *grammar, spbla_Ticket *out);
 spbla_Status spbla_Engine_SubmitClosure(spbla_Engine engine, const char *graph,
                                         spbla_Ticket *out);
+/* Apply n same-label edge updates (inserts when is_delete == 0, deletes
+ * otherwise) as one atomic batch; blocks until the new graph version is
+ * live and writes its number to out_version. Queries admitted earlier
+ * keep reading the version they pinned at submission. */
+spbla_Status spbla_Graph_ApplyBatch(spbla_Engine engine, const char *graph,
+                                    const char *label, const uint32_t *from,
+                                    const uint32_t *to, size_t n,
+                                    uint32_t is_delete, uint64_t *out_version);
+/* Latest version number of a catalog graph (0 before any batch). */
+spbla_Status spbla_Graph_Version(spbla_Engine engine, const char *graph,
+                                 uint64_t *out_version);
 spbla_Status spbla_Ticket_Cancel(spbla_Ticket ticket);
 spbla_Status spbla_Ticket_Wait(spbla_Ticket ticket);
 spbla_Status spbla_Ticket_ExtractPairs(spbla_Ticket ticket, uint32_t *rows,

@@ -16,6 +16,7 @@ use std::time::Duration;
 use spbla_data::io::load_graph;
 use spbla_engine::{Engine, EngineConfig, Query, QueryResult};
 use spbla_multidev::DeviceGrid;
+use spbla_stream::UpdateBatch;
 
 use crate::handles::{Registry, SpblaEngine, SpblaTicket};
 use crate::status::SpblaStatus;
@@ -224,6 +225,87 @@ pub unsafe extern "C" fn spbla_Engine_SubmitClosure(
     submit(engine, graph, Query::Closure, 0, out)
 }
 
+/// Apply a batch of same-label edge updates to catalog graph `graph`
+/// and block until the new version is live: `n` edges
+/// `(from[k], label, to[k])`, inserted when `is_delete` is zero and
+/// deleted otherwise. Writes the produced version number to
+/// `out_version`. Queries admitted before the call keep reading the
+/// version they pinned at submission.
+///
+/// # Safety
+/// `graph` and `label` must be valid NUL-terminated C strings; `from`
+/// and `to` must have `n` readable elements (null only if `n == 0`);
+/// `out_version` must be a valid pointer.
+#[no_mangle]
+pub unsafe extern "C" fn spbla_Graph_ApplyBatch(
+    engine: SpblaEngine,
+    graph: *const c_char,
+    label: *const c_char,
+    from: *const u32,
+    to: *const u32,
+    n: usize,
+    is_delete: u32,
+    out_version: *mut u64,
+) -> SpblaStatus {
+    if out_version.is_null() || (n > 0 && (from.is_null() || to.is_null())) {
+        return SpblaStatus::NullPointer;
+    }
+    let (graph, label) = match (cstr(graph), cstr(label)) {
+        (Ok(g), Ok(l)) => (g, l),
+        (Err(s), _) | (_, Err(s)) => return s,
+    };
+    let outcome = Registry::global().with_engine(engine, |e| {
+        let sym = e.with_symbols(|table| table.intern(label));
+        let mut batch = UpdateBatch::new();
+        for k in 0..n {
+            // Safety: caller contract — `from`/`to` hold `n` elements.
+            let (u, v) = (*from.add(k), *to.add(k));
+            if is_delete == 0 {
+                batch.insert(u, sym, v);
+            } else {
+                batch.delete(u, sym, v);
+            }
+        }
+        e.apply_batch(graph, batch)
+    });
+    match outcome {
+        Some(Ok(version)) => {
+            *out_version = version;
+            SpblaStatus::Ok
+        }
+        Some(Err(e)) => SpblaStatus::from(&e),
+        None => SpblaStatus::InvalidHandle,
+    }
+}
+
+/// Read the latest version number of catalog graph `graph` (0 until the
+/// first applied batch).
+///
+/// # Safety
+/// `graph` must be a valid C string; `out_version` a valid pointer.
+#[no_mangle]
+pub unsafe extern "C" fn spbla_Graph_Version(
+    engine: SpblaEngine,
+    graph: *const c_char,
+    out_version: *mut u64,
+) -> SpblaStatus {
+    if out_version.is_null() {
+        return SpblaStatus::NullPointer;
+    }
+    let graph = match cstr(graph) {
+        Ok(g) => g,
+        Err(s) => return s,
+    };
+    match Registry::global().with_engine(engine, |e| e.graph_version(graph)) {
+        Some(Ok(version)) => {
+            *out_version = version;
+            SpblaStatus::Ok
+        }
+        Some(Err(e)) => SpblaStatus::from(&e),
+        None => SpblaStatus::InvalidHandle,
+    }
+}
+
 /// Request cooperative cancellation of a pending ticket.
 #[no_mangle]
 pub extern "C" fn spbla_Ticket_Cancel(ticket: SpblaTicket) -> SpblaStatus {
@@ -252,6 +334,10 @@ pub extern "C" fn spbla_Ticket_Wait(ticket: SpblaTicket) -> SpblaStatus {
                 // Single-source answers: both coordinates hold the
                 // reachable vertex (documented in the header).
                 QueryResult::Reachable(vs) => vs.into_iter().map(|v| (v, v)).collect(),
+                // Updates carry no pairs; the produced version is read
+                // via `spbla_Graph_Version` (or `spbla_Graph_ApplyBatch`,
+                // which returns it directly).
+                QueryResult::Applied(_) => Vec::new(),
             };
             Registry::global()
                 .ticket_results
@@ -467,6 +553,113 @@ mod tests {
 
         assert_eq!(spbla_Engine_Free(engine), SpblaStatus::Ok);
         assert_eq!(spbla_Engine_Free(engine), SpblaStatus::InvalidHandle);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn update_batches_version_the_graph_via_c() {
+        let path = temp_graph();
+        let mut engine = 0u64;
+        assert_eq!(unsafe { spbla_Engine_New(1, &mut engine) }, SpblaStatus::Ok);
+        assert_eq!(
+            unsafe {
+                spbla_Engine_LoadGraph(engine, c("g").as_ptr(), c(path.to_str().unwrap()).as_ptr())
+            },
+            SpblaStatus::Ok
+        );
+        let mut version = u64::MAX;
+        assert_eq!(
+            unsafe { spbla_Graph_Version(engine, c("g").as_ptr(), &mut version) },
+            SpblaStatus::Ok
+        );
+        assert_eq!(version, 0);
+
+        // Insert 3→0, closing the 4-chain into a cycle.
+        let from = [3u32];
+        let to = [0u32];
+        assert_eq!(
+            unsafe {
+                spbla_Graph_ApplyBatch(
+                    engine,
+                    c("g").as_ptr(),
+                    c("a").as_ptr(),
+                    from.as_ptr(),
+                    to.as_ptr(),
+                    1,
+                    0,
+                    &mut version,
+                )
+            },
+            SpblaStatus::Ok
+        );
+        assert_eq!(version, 1);
+
+        // The closure now sees all 16 pairs of the cycle.
+        let mut ticket = 0u64;
+        assert_eq!(
+            unsafe { spbla_Engine_SubmitClosure(engine, c("g").as_ptr(), &mut ticket) },
+            SpblaStatus::Ok
+        );
+        assert_eq!(spbla_Ticket_Wait(ticket), SpblaStatus::Ok);
+        let mut count = 0usize;
+        assert_eq!(
+            unsafe {
+                spbla_Ticket_ExtractPairs(
+                    ticket,
+                    std::ptr::null_mut(),
+                    std::ptr::null_mut(),
+                    &mut count,
+                )
+            },
+            SpblaStatus::Ok
+        );
+        assert_eq!(count, 16);
+        spbla_Ticket_Free(ticket);
+
+        // Deleting it again restores the chain (version 2, 6 pairs).
+        assert_eq!(
+            unsafe {
+                spbla_Graph_ApplyBatch(
+                    engine,
+                    c("g").as_ptr(),
+                    c("a").as_ptr(),
+                    from.as_ptr(),
+                    to.as_ptr(),
+                    1,
+                    1,
+                    &mut version,
+                )
+            },
+            SpblaStatus::Ok
+        );
+        assert_eq!(version, 2);
+        assert_eq!(
+            unsafe { spbla_Graph_Version(engine, c("g").as_ptr(), &mut version) },
+            SpblaStatus::Ok
+        );
+        assert_eq!(version, 2);
+
+        // Unknown graph and null pointers surface typed statuses.
+        assert_eq!(
+            unsafe { spbla_Graph_Version(engine, c("nope").as_ptr(), &mut version) },
+            SpblaStatus::UnknownGraph
+        );
+        assert_eq!(
+            unsafe {
+                spbla_Graph_ApplyBatch(
+                    engine,
+                    c("g").as_ptr(),
+                    c("a").as_ptr(),
+                    std::ptr::null(),
+                    std::ptr::null(),
+                    1,
+                    0,
+                    &mut version,
+                )
+            },
+            SpblaStatus::NullPointer
+        );
+        assert_eq!(spbla_Engine_Free(engine), SpblaStatus::Ok);
         std::fs::remove_file(&path).ok();
     }
 

@@ -124,6 +124,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "closure" => cmd_closure(&rest, out),
         "bfs" => cmd_bfs(&rest, out),
         "engine" => cmd_engine(&rest, out),
+        "stream" => cmd_stream(&rest, out),
         "triangles" => cmd_triangles(&rest, out),
         "components" => cmd_components(&rest, out),
         "help" | "--help" | "-h" => writeln!(out, "{USAGE}").map_err(CliError::from),
@@ -146,7 +147,11 @@ pub const USAGE: &str = "usage: spbla <command>\n\
   components <graph.triples>   (weak + strong component counts)\n\
   engine   [graph.triples] [--devices N] [--clients C] [--requests R] [--seed S]\n\
            [--queue CAP] [--batching on|off] [--plan-cache on|off] [--deadline-ms MS]\n\
-           (closed-loop mixed RPQ/CFPQ serving; generates a LUBM fixture if no graph given)";
+           (closed-loop mixed RPQ/CFPQ serving; generates a LUBM fixture if no graph given)\n\
+  stream   [graph.triples] [--devices N] [--batches B] [--batch-size K] [--deletes on|off]\n\
+           [--seed S] [--mode incremental|recompute|both]\n\
+           (replay a random update stream through the versioned store; --mode both\n\
+            cross-checks incremental maintenance against per-batch recompute)";
 
 fn cmd_generate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let shape = args
@@ -618,6 +623,140 @@ fn cmd_engine(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_stream(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use spbla_lang::Symbol;
+    use spbla_multidev::DeviceGrid;
+    use spbla_stream::{GraphStream, MaintainConfig, MaintainMode, UpdateBatch};
+
+    let devices: usize = opt_parse(args, "devices", 2)?;
+    if devices == 0 {
+        return Err(CliError::usage("--devices must be at least 1"));
+    }
+    let batches: usize = opt_parse(args, "batches", 20)?;
+    let batch_size: usize = opt_parse(args, "batch-size", 4)?;
+    let seed: u64 = opt_parse(args, "seed", 1)?;
+    let deletes = opt_on_off(args, "deletes", true)?;
+    let mode = args.opt("mode").unwrap_or("both");
+    if !matches!(mode, "incremental" | "recompute" | "both") {
+        return Err(CliError::usage(format!(
+            "bad --mode '{mode}' (incremental | recompute | both)"
+        )));
+    }
+
+    let mut table = SymbolTable::new();
+    let graph = match args.positional.first() {
+        Some(path) => load_graph(path, &mut table)?,
+        None => spbla_data::lubm::lubm_like(
+            1,
+            &spbla_data::lubm::LubmConfig::default(),
+            &mut table,
+            seed,
+        ),
+    };
+    let labels: Vec<Symbol> = graph.labels();
+    if labels.is_empty() {
+        return Err(CliError::run("graph has no labelled edges"));
+    }
+    let n = graph.n_vertices();
+
+    // Pre-generate the whole stream so every mode replays the identical
+    // batches: mostly inserts, with deletes of existing edges mixed in
+    // when enabled. A host mirror tracks the evolving edge set so
+    // deletes target edges that actually exist.
+    let mut rng = seed | 1;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut mirror = graph.clone();
+    let stream_batches: Vec<UpdateBatch> = (0..batches)
+        .map(|_| {
+            let mut batch = UpdateBatch::new();
+            for _ in 0..batch_size {
+                let delete = deletes && next() % 4 == 0;
+                if delete {
+                    // Delete a random existing edge of a random label.
+                    let l = labels[(next() % labels.len() as u64) as usize];
+                    let edges = mirror.edges_of(l);
+                    if !edges.is_empty() {
+                        let (u, v) = edges[(next() % edges.len() as u64) as usize];
+                        batch.delete(u, l, v);
+                        continue;
+                    }
+                }
+                let l = labels[(next() % labels.len() as u64) as usize];
+                let (u, v) = ((next() % n as u64) as u32, (next() % n as u64) as u32);
+                batch.insert(u, l, v);
+            }
+            batch.apply_to(&mut mirror);
+            batch
+        })
+        .collect();
+
+    // One grid per replayed mode so launch meters don't mix.
+    let run_mode =
+        |maintain: MaintainMode| -> Result<(Vec<u64>, u64, spbla_stream::MaintainStats), CliError> {
+            let grid = DeviceGrid::new(devices);
+            let mut stream = GraphStream::new(&grid, &graph)?;
+            stream.track_closure(MaintainConfig {
+                mode: maintain,
+                ..MaintainConfig::default()
+            })?;
+            let base = grid.total_stats().launches;
+            let mut checksums = Vec::with_capacity(stream_batches.len());
+            for batch in &stream_batches {
+                stream.apply(batch.clone())?;
+                checksums.push(stream.closure_view().expect("tracked").checksum());
+            }
+            let launches = grid.total_stats().launches - base;
+            let stats = stream.closure_view().expect("tracked").stats();
+            Ok((checksums, launches, stats))
+        };
+
+    writeln!(
+        out,
+        "stream: {} vertices / {} edges, {batches} batches of {batch_size} ops on {devices} devices",
+        n,
+        graph.n_edges()
+    )?;
+    let incremental = (mode != "recompute")
+        .then(|| run_mode(MaintainMode::Incremental))
+        .transpose()?;
+    let recompute = (mode != "incremental")
+        .then(|| run_mode(MaintainMode::Recompute))
+        .transpose()?;
+    if let Some((_, launches, stats)) = &incremental {
+        writeln!(
+            out,
+            "  incremental: {launches} launches ({} insert batches, {} DRed batches, \
+             {} fallbacks, {} recomputes)",
+            stats.incremental_inserts, stats.dred_deletes, stats.fallbacks, stats.recomputes
+        )?;
+    }
+    if let Some((_, launches, stats)) = &recompute {
+        writeln!(
+            out,
+            "  recompute:   {launches} launches ({} recomputes)",
+            stats.recomputes
+        )?;
+    }
+    if let (Some((a, la, _)), Some((b, lb, _))) = (&incremental, &recompute) {
+        if a != b {
+            return Err(CliError::run(
+                "checksum mismatch: incremental maintenance diverged from recompute",
+            ));
+        }
+        writeln!(
+            out,
+            "  checksums identical at every version; launch ratio {:.2}",
+            *la as f64 / (*lb).max(1) as f64
+        )?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -786,6 +925,56 @@ mod tests {
         assert_eq!(
             run_str(&["engine", "/nonexistent/file"]).unwrap_err().code,
             1
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_replays_and_cross_checks() {
+        let path = temp_graph();
+        let p = path.to_str().unwrap();
+        let out = run_str(&[
+            "stream",
+            p,
+            "--devices",
+            "2",
+            "--batches",
+            "6",
+            "--batch-size",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("6 batches of 3 ops on 2 devices"), "{out}");
+        assert!(out.contains("incremental:"), "{out}");
+        assert!(out.contains("recompute:"), "{out}");
+        assert!(
+            out.contains("checksums identical at every version"),
+            "{out}"
+        );
+        // Single-mode runs skip the cross-check.
+        let inc = run_str(&[
+            "stream",
+            p,
+            "--batches",
+            "3",
+            "--mode",
+            "incremental",
+            "--deletes",
+            "off",
+        ])
+        .unwrap();
+        assert!(inc.contains("incremental:"), "{inc}");
+        assert!(!inc.contains("recompute:"), "{inc}");
+        // Flag validation.
+        assert_eq!(
+            run_str(&["stream", p, "--mode", "telepathy"])
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            run_str(&["stream", p, "--devices", "0"]).unwrap_err().code,
+            2
         );
         std::fs::remove_file(&path).ok();
     }

@@ -267,6 +267,17 @@ impl Matrix {
         Ok(Matrix::wrap(&self.instance, repr))
     }
 
+    /// Element-wise Boolean difference `C = A ∧ ¬B` (set difference).
+    /// No backend ships a dedicated and-not kernel, so this rides the
+    /// complement-masked SpGEMM with an identity right operand:
+    /// `(A · I) ∧ ¬B` — one launch, same metering as the fixpoint
+    /// primitive it is usually paired with.
+    pub fn ewise_andnot(&self, other: &Matrix) -> Result<Matrix> {
+        self.check_same_shape(other, "ewise_andnot")?;
+        let identity = Matrix::identity(&self.instance, self.ncols())?;
+        self.mxm_compmask(&identity, other)
+    }
+
     /// Kronecker product `K = A ⊗ B`.
     pub fn kron(&self, other: &Matrix) -> Result<Matrix> {
         self.check_same_instance(other)?;
@@ -586,6 +597,27 @@ mod tests {
         }
         assert_eq!(results[0], results[1]);
         assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn ewise_andnot_is_set_difference() {
+        for inst in instances() {
+            let a = Matrix::from_pairs(&inst, 3, 4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+            let b = Matrix::from_pairs(&inst, 3, 4, &[(1, 2), (2, 0)]).unwrap();
+            let c = a.ewise_andnot(&b).unwrap();
+            assert_eq!(c.read(), vec![(0, 1), (2, 3)]);
+            // Subtracting a disjoint set is the identity.
+            let d = c.ewise_andnot(&b).unwrap();
+            assert_eq!(d.read(), c.read());
+        }
+        // Shape mismatch is rejected before any kernel runs.
+        let inst = Instance::cpu();
+        let a = Matrix::from_pairs(&inst, 2, 2, &[(0, 0)]).unwrap();
+        let b = Matrix::from_pairs(&inst, 2, 3, &[(0, 0)]).unwrap();
+        assert!(matches!(
+            a.ewise_andnot(&b),
+            Err(SpblaError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -1,15 +1,25 @@
-//! The graph catalog: named host-resident graphs plus per-device
-//! residency of their decomposed Boolean matrices.
+//! The graph catalog: named, *versioned* host-resident graphs plus
+//! per-device residency of their decomposed Boolean matrices.
 //!
-//! A registered graph lives on the host as a [`LabeledGraph`] (one edge
-//! list per label — the decomposed form the paper's evaluation assumes).
-//! Execution wants the label matrices *on the serving device*; uploading
-//! them per request would swamp the PCIe counters, so each device keeps
-//! an LRU set of resident graphs bounded by a byte budget. Eviction
-//! drops the catalog's [`Arc`] — device memory is actually released when
-//! the last in-flight request using that residency finishes, so evicting
-//! under a running query can never corrupt it, and [`spbla_gpu_sim::DeviceStats`]
-//! meters the release the moment it happens.
+//! A registered graph lives on the host as a history of
+//! [`LabeledGraph`] versions (one edge list per label — the decomposed
+//! form the paper's evaluation assumes). Mutations arrive as
+//! [`UpdateBatch`]es and produce a new version; queries *pin* the
+//! version current at submission and read it consistently for their
+//! whole lifetime, however many batches a writer applies meanwhile.
+//! Unpinned historical versions are pruned as soon as the next batch
+//! lands.
+//!
+//! Execution wants the label matrices *on the serving device*;
+//! uploading them per request would swamp the PCIe counters, so each
+//! device keeps an LRU set of resident `(graph, version)` entries
+//! bounded by a byte budget. Eviction skips entries whose version is
+//! pinned — reclaiming a snapshot out from under an admitted query
+//! would un-version it — and drops the catalog's [`Arc`] otherwise;
+//! device memory is actually released when the last in-flight request
+//! using that residency finishes, so evicting under a running query can
+//! never corrupt it, and [`spbla_gpu_sim::DeviceStats`] meters the
+//! release the moment it happens.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -19,10 +29,11 @@ use rustc_hash::FxHashMap;
 use spbla_core::{Instance, Matrix};
 use spbla_graph::LabeledGraph;
 use spbla_lang::Symbol;
+use spbla_stream::UpdateBatch;
 
 use crate::error::EngineError;
 
-/// A graph's matrices resident on one device.
+/// A graph version's matrices resident on one device.
 #[derive(Debug)]
 pub struct Resident {
     /// One adjacency matrix per label.
@@ -35,16 +46,55 @@ pub struct Resident {
     pub bytes: usize,
 }
 
+/// One named graph's version history and pin counts.
+struct VersionedHost {
+    /// Latest version number.
+    current: u64,
+    /// Retained versions, ascending; always contains `current`.
+    versions: Vec<(u64, Arc<LabeledGraph>)>,
+    /// Outstanding pins per version (absent = zero).
+    pins: FxHashMap<u64, u64>,
+}
+
+impl VersionedHost {
+    fn get(&self, version: u64) -> Option<Arc<LabeledGraph>> {
+        self.versions
+            .iter()
+            .find(|(v, _)| *v == version)
+            .map(|(_, g)| Arc::clone(g))
+    }
+
+    fn latest(&self) -> Arc<LabeledGraph> {
+        self.get(self.current).expect("current version is retained")
+    }
+
+    /// Drop unpinned non-current versions, returning the version
+    /// numbers that were pruned (their residency must go too).
+    fn prune(&mut self) -> Vec<u64> {
+        let current = self.current;
+        let pins = &self.pins;
+        let mut pruned = Vec::new();
+        self.versions.retain(|(v, _)| {
+            let keep = *v == current || pins.get(v).copied().unwrap_or(0) > 0;
+            if !keep {
+                pruned.push(*v);
+            }
+            keep
+        });
+        pruned
+    }
+}
+
 struct DeviceResidency {
     /// LRU order: least-recent first, most-recent last.
-    order: Vec<String>,
-    map: FxHashMap<String, Arc<Resident>>,
+    order: Vec<(String, u64)>,
+    map: FxHashMap<(String, u64), Arc<Resident>>,
     bytes: usize,
 }
 
-/// Named graphs plus per-device LRU residency.
+/// Named versioned graphs plus per-device LRU residency.
 pub struct Catalog {
-    host: Mutex<FxHashMap<String, Arc<LabeledGraph>>>,
+    host: Mutex<FxHashMap<String, VersionedHost>>,
     residency: Vec<Mutex<DeviceResidency>>,
     /// Per-device residency budget in bytes.
     budget: usize,
@@ -75,34 +125,156 @@ impl Catalog {
         }
     }
 
-    /// Register (or replace) a named graph. Replacing drops any stale
-    /// residency on every device.
+    /// Register (or replace) a named graph as version 0. Replacing
+    /// forgets the old history and drops any stale residency on every
+    /// device.
     pub fn add(&self, name: &str, graph: LabeledGraph) {
         let replaced = self
             .host
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .insert(name.to_string(), Arc::new(graph))
+            .insert(
+                name.to_string(),
+                VersionedHost {
+                    current: 0,
+                    versions: vec![(0, Arc::new(graph))],
+                    pins: FxHashMap::default(),
+                },
+            )
             .is_some();
         if replaced {
-            for slot in &self.residency {
-                let mut res = slot.lock().unwrap_or_else(|e| e.into_inner());
-                if let Some(old) = res.map.remove(name) {
+            self.drop_residency(name);
+        }
+    }
+
+    /// Drop every residency entry for `name`, all versions, on every
+    /// device. Called with the host lock *released* (residency locks
+    /// are only ever taken alone or after the host lock, never before).
+    fn drop_residency(&self, name: &str) {
+        for slot in &self.residency {
+            let mut res = slot.lock().unwrap_or_else(|e| e.into_inner());
+            let stale: Vec<(String, u64)> =
+                res.map.keys().filter(|(n, _)| n == name).cloned().collect();
+            for key in stale {
+                if let Some(old) = res.map.remove(&key) {
                     res.bytes -= old.bytes;
-                    res.order.retain(|n| n != name);
+                    res.order.retain(|k| k != &key);
                 }
             }
         }
     }
 
-    /// The host-resident graph, if registered.
+    /// Drop residency for exactly the given `(name, version)` pairs.
+    fn drop_residency_versions(&self, name: &str, versions: &[u64]) {
+        if versions.is_empty() {
+            return;
+        }
+        for slot in &self.residency {
+            let mut res = slot.lock().unwrap_or_else(|e| e.into_inner());
+            for &v in versions {
+                let key = (name.to_string(), v);
+                if let Some(old) = res.map.remove(&key) {
+                    res.bytes -= old.bytes;
+                    res.order.retain(|k| k != &key);
+                }
+            }
+        }
+    }
+
+    /// The latest host-resident version, if the graph is registered.
     pub fn host_graph(&self, name: &str) -> Result<Arc<LabeledGraph>, EngineError> {
         self.host
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .get(name)
-            .cloned()
+            .map(VersionedHost::latest)
             .ok_or_else(|| EngineError::UnknownGraph(name.to_string()))
+    }
+
+    /// A specific retained host-resident version.
+    pub fn host_graph_at(
+        &self,
+        name: &str,
+        version: u64,
+    ) -> Result<Arc<LabeledGraph>, EngineError> {
+        self.host
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownGraph(name.to_string()))?
+            .get(version)
+            .ok_or_else(|| EngineError::UnknownGraph(format!("{name}@v{version}")))
+    }
+
+    /// The latest version number of a registered graph.
+    pub fn current_version(&self, name: &str) -> Result<u64, EngineError> {
+        self.host
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .map(|h| h.current)
+            .ok_or_else(|| EngineError::UnknownGraph(name.to_string()))
+    }
+
+    /// Pin the latest version and return its number. While pinned, the
+    /// version's host graph is retained and its residency is exempt
+    /// from eviction.
+    pub fn pin_latest(&self, name: &str) -> Result<u64, EngineError> {
+        let mut host = self.host.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = host
+            .get_mut(name)
+            .ok_or_else(|| EngineError::UnknownGraph(name.to_string()))?;
+        let version = entry.current;
+        *entry.pins.entry(version).or_insert(0) += 1;
+        Ok(version)
+    }
+
+    /// Release one pin on `version`. Fully-unpinned historical versions
+    /// are pruned (host and residency) on the spot.
+    pub fn unpin(&self, name: &str, version: u64) {
+        let pruned = {
+            let mut host = self.host.lock().unwrap_or_else(|e| e.into_inner());
+            let Some(entry) = host.get_mut(name) else {
+                return;
+            };
+            if let Some(count) = entry.pins.get_mut(&version) {
+                *count -= 1;
+                if *count == 0 {
+                    entry.pins.remove(&version);
+                }
+            }
+            entry.prune()
+        };
+        self.drop_residency_versions(name, &pruned);
+    }
+
+    /// Apply an update batch to the latest version, producing (and
+    /// returning) the next version number. Serialised by the host lock:
+    /// concurrent writers never lose an update. Unpinned predecessor
+    /// versions are pruned immediately.
+    pub fn apply_batch(&self, name: &str, batch: &UpdateBatch) -> Result<u64, EngineError> {
+        let (version, pruned) = {
+            let mut host = self.host.lock().unwrap_or_else(|e| e.into_inner());
+            let entry = host
+                .get_mut(name)
+                .ok_or_else(|| EngineError::UnknownGraph(name.to_string()))?;
+            let mut next = (*entry.latest()).clone();
+            if let Some(max) = batch.max_vertex() {
+                if max >= next.n_vertices() {
+                    return Err(EngineError::PlanError(format!(
+                        "update references vertex {max} but graph {name} has {}",
+                        next.n_vertices()
+                    )));
+                }
+            }
+            batch.apply_to(&mut next);
+            entry.current += 1;
+            let version = entry.current;
+            entry.versions.push((version, Arc::new(next)));
+            (version, entry.prune())
+        };
+        self.drop_residency_versions(name, &pruned);
+        Ok(version)
     }
 
     /// Registered graph names, sorted.
@@ -118,31 +290,62 @@ impl Catalog {
         out
     }
 
-    /// The graph's matrices resident on device `dev`, uploading (and
-    /// LRU-evicting colder graphs past the budget) on miss. Upload
-    /// failures are typed and leave the residency untouched.
+    /// The latest version's matrices resident on device `dev`.
     pub fn resident(
         &self,
         name: &str,
         dev: usize,
         inst: &Instance,
     ) -> Result<Arc<Resident>, EngineError> {
-        let host = self.host_graph(name)?;
+        let version = self.current_version(name)?;
+        self.resident_at(name, version, dev, inst)
+    }
+
+    /// A pinned-or-retained version's matrices resident on device
+    /// `dev`, uploading (and LRU-evicting colder *unpinned* entries
+    /// past the budget) on miss. Upload failures are typed and leave
+    /// the residency untouched.
+    pub fn resident_at(
+        &self,
+        name: &str,
+        version: u64,
+        dev: usize,
+        inst: &Instance,
+    ) -> Result<Arc<Resident>, EngineError> {
+        let host = self.host_graph_at(name, version)?;
+        // Snapshot the pinned set *before* taking the residency lock —
+        // the host lock is never taken inside a residency lock (that
+        // order would deadlock against unpin/apply_batch). A pin that
+        // lands after this snapshot only risks one spurious eviction;
+        // the request holding that pin re-uploads on its own miss.
+        let pinned: Vec<(String, u64)> = {
+            let hosts = self.host.lock().unwrap_or_else(|e| e.into_inner());
+            hosts
+                .iter()
+                .flat_map(|(n, h)| {
+                    h.pins
+                        .iter()
+                        .filter(|(_, &c)| c > 0)
+                        .map(move |(&v, _)| (n.clone(), v))
+                })
+                .collect()
+        };
+        let key = (name.to_string(), version);
         let mut res = self.residency[dev]
             .lock()
             .unwrap_or_else(|e| e.into_inner());
-        if let Some(r) = res.map.get(name) {
+        if let Some(r) = res.map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             let r = Arc::clone(r);
             // Move to most-recent.
-            res.order.retain(|n| n != name);
-            res.order.push(name.to_string());
+            res.order.retain(|k| k != &key);
+            res.order.push(key);
             return Ok(r);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
 
-        // Build the residency (outside no lock — only this device's
-        // worker takes this mutex, so holding it cannot stall peers).
+        // Build the residency (holding only this device's lock — only
+        // this device's worker takes this mutex, so peers never stall).
         let mut labels = FxHashMap::default();
         let mut bytes = 0usize;
         for sym in host.labels() {
@@ -162,19 +365,28 @@ impl Catalog {
             bytes,
         });
 
-        // Evict least-recent entries until the newcomer fits. A graph
-        // larger than the whole budget still gets inserted (the device
-        // may hold it transiently); it will be the first evicted.
-        while res.bytes + bytes > self.budget && !res.order.is_empty() {
-            let victim = res.order.remove(0);
+        // Evict least-recent *unpinned* entries until the newcomer
+        // fits. Pinned versions are skipped: an admitted query holds
+        // them and eviction must never reclaim a pinned snapshot. An
+        // entry larger than what eviction can free still gets inserted
+        // (the device may hold it transiently); it will be the first
+        // evicted later.
+        let mut scan = 0;
+        while res.bytes + bytes > self.budget && scan < res.order.len() {
+            let victim = res.order[scan].clone();
+            if pinned.contains(&victim) {
+                scan += 1;
+                continue;
+            }
+            res.order.remove(scan);
             if let Some(old) = res.map.remove(&victim) {
                 res.bytes -= old.bytes;
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
         res.bytes += bytes;
-        res.order.push(name.to_string());
-        res.map.insert(name.to_string(), Arc::clone(&resident));
+        res.order.push(key.clone());
+        res.map.insert(key, Arc::clone(&resident));
         Ok(resident)
     }
 
@@ -193,6 +405,16 @@ impl Catalog {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .bytes
+    }
+
+    /// Number of retained host versions of a graph (pinned + latest).
+    pub fn retained_versions(&self, name: &str) -> usize {
+        self.host
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .map(|h| h.versions.len())
+            .unwrap_or(0)
     }
 }
 
@@ -266,5 +488,105 @@ mod tests {
         let new = cat.resident("g", 0, &inst).unwrap();
         assert!(!Arc::ptr_eq(&old, &new));
         assert_eq!(new.n_vertices, 16);
+    }
+
+    #[test]
+    fn apply_batch_versions_and_prunes() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let cat = Catalog::new(1, usize::MAX);
+        cat.add("g", graph(8, a));
+        assert_eq!(cat.current_version("g").unwrap(), 0);
+
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, a, 7);
+        assert_eq!(cat.apply_batch("g", &batch).unwrap(), 1);
+        assert_eq!(cat.current_version("g").unwrap(), 1);
+        // v0 was unpinned: pruned.
+        assert_eq!(cat.retained_versions("g"), 1);
+        assert!(cat.host_graph_at("g", 0).is_err());
+        assert!(cat.host_graph("g").unwrap().edges_of(a).contains(&(0, 7)));
+
+        // Pinned predecessors survive further batches.
+        let pinned = cat.pin_latest("g").unwrap();
+        assert_eq!(pinned, 1);
+        let mut batch = UpdateBatch::new();
+        batch.delete(0, a, 7);
+        assert_eq!(cat.apply_batch("g", &batch).unwrap(), 2);
+        assert_eq!(cat.retained_versions("g"), 2);
+        let old = cat.host_graph_at("g", 1).unwrap();
+        assert!(old.edges_of(a).contains(&(0, 7)));
+        assert!(!cat.host_graph("g").unwrap().edges_of(a).contains(&(0, 7)));
+
+        // Unpinning reclaims it.
+        cat.unpin("g", 1);
+        assert_eq!(cat.retained_versions("g"), 1);
+        assert!(cat.host_graph_at("g", 1).is_err());
+
+        // Out-of-bounds updates are rejected without a version bump.
+        let mut bad = UpdateBatch::new();
+        bad.insert(0, a, 99);
+        assert!(cat.apply_batch("g", &bad).is_err());
+        assert_eq!(cat.current_version("g").unwrap(), 2);
+    }
+
+    #[test]
+    fn eviction_skips_pinned_versions() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let inst = Instance::cuda_sim();
+        let probe = {
+            let cat = Catalog::new(1, usize::MAX);
+            cat.add("p", graph(64, a));
+            cat.resident("p", 0, &inst).unwrap().bytes
+        };
+        // Budget fits two graphs.
+        let cat = Catalog::new(1, probe * 2 + probe / 2);
+        for name in ["g1", "g2", "g3"] {
+            cat.add(name, graph(64, a));
+        }
+        // Pin g1@0 — the LRU-coldest after the first two uploads.
+        cat.pin_latest("g1").unwrap();
+        cat.resident("g1", 0, &inst).unwrap();
+        cat.resident("g2", 0, &inst).unwrap();
+        cat.resident("g3", 0, &inst).unwrap(); // must evict g2, not pinned g1
+        let r1 = cat.resident("g1", 0, &inst).unwrap();
+        let (hits, _, _) = cat.counters();
+        assert!(hits >= 1, "pinned g1 stayed resident");
+        assert_eq!(r1.n_vertices, 64);
+        let (_, misses_before, _) = cat.counters();
+        cat.resident("g2", 0, &inst).unwrap(); // g2 was the victim: re-upload
+        let (_, misses_after, _) = cat.counters();
+        assert_eq!(misses_after, misses_before + 1);
+        cat.unpin("g1", 0);
+    }
+
+    #[test]
+    fn versioned_residency_is_per_version() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let inst = Instance::cuda_sim();
+        let cat = Catalog::new(1, usize::MAX);
+        cat.add("g", graph(8, a));
+        let v0 = cat.pin_latest("g").unwrap();
+        let r0 = cat.resident_at("g", v0, 0, &inst).unwrap();
+
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, a, 7);
+        let v1 = cat.apply_batch("g", &batch).unwrap();
+        let r1 = cat.resident_at("g", v1, 0, &inst).unwrap();
+        assert!(!Arc::ptr_eq(&r0, &r1));
+        assert_eq!(r0.adjacency.nnz() + 1, r1.adjacency.nnz());
+
+        // The pinned v0 residency is still a hit.
+        let (hits_before, _, _) = cat.counters();
+        let r0b = cat.resident_at("g", v0, 0, &inst).unwrap();
+        assert!(Arc::ptr_eq(&r0, &r0b));
+        let (hits_after, _, _) = cat.counters();
+        assert_eq!(hits_after, hits_before + 1);
+
+        // Unpinning v0 drops both its host version and its residency.
+        cat.unpin("g", v0);
+        assert!(cat.resident_at("g", v0, 0, &inst).is_err());
     }
 }

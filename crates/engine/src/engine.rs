@@ -33,6 +33,7 @@ use spbla_graph::rpq_batch::{rpq_all_pairs_mats, rpq_from_each_source_mats};
 use spbla_graph::LabeledGraph;
 use spbla_lang::SymbolTable;
 use spbla_multidev::DeviceGrid;
+use spbla_stream::UpdateBatch;
 
 use crate::catalog::Catalog;
 use crate::error::EngineError;
@@ -85,6 +86,10 @@ pub enum Query {
     Cfpq(String),
     /// Transitive closure of the unlabeled adjacency.
     Closure,
+    /// Graph mutation: apply an edge-update batch, producing the next
+    /// version. Rides the same admission queue as queries; admitted
+    /// reads keep their pinned version regardless of interleaving.
+    Update(UpdateBatch),
 }
 
 /// A completed query's answer.
@@ -94,6 +99,8 @@ pub enum QueryResult {
     Pairs(Vec<(u32, u32)>),
     /// Reachable vertices (single-source form).
     Reachable(Vec<u32>),
+    /// The version an update batch produced.
+    Applied(u64),
 }
 
 /// Per-request observability, measured by the serving worker.
@@ -113,6 +120,10 @@ pub struct RequestMetrics {
     pub batch_size: u32,
     /// Grid slot of the device that served the request.
     pub device: usize,
+    /// Graph version the request observed: the version pinned at
+    /// submission for reads, the version produced for updates (0 when
+    /// an update fails before producing one).
+    pub version: u64,
 }
 
 /// Result + metrics handed to the ticket holder.
@@ -161,6 +172,7 @@ enum Payload {
     RpqFromSource(u32),
     Cfpq,
     Closure,
+    Update(UpdateBatch),
 }
 
 struct PendingRequest {
@@ -171,6 +183,9 @@ struct PendingRequest {
     has_deadline: bool,
     submitted: Instant,
     slot: Arc<TicketSlot>,
+    /// Version pinned at submission — `Some` for reads (released in
+    /// `finish`), `None` for updates (they act on the latest version).
+    version: Option<u64>,
 }
 
 struct SchedState {
@@ -332,20 +347,34 @@ impl Engine {
         let inner = &self.inner;
         // Fail fast on unknown graphs — before planning or queueing.
         inner.catalog.host_graph(graph)?;
-        let (plan, payload) = match &query {
-            Query::Rpq(text) => (
+        let (plan, payload) = match query {
+            Query::Rpq(ref text) => (
                 inner.planner.plan_rpq(text, &inner.table)?,
                 Payload::RpqAllPairs,
             ),
-            Query::RpqFromSource { text, source } => (
+            Query::RpqFromSource { ref text, source } => (
                 inner.planner.plan_rpq(text, &inner.table)?,
-                Payload::RpqFromSource(*source),
+                Payload::RpqFromSource(source),
             ),
-            Query::Cfpq(grammar) => (
+            Query::Cfpq(ref grammar) => (
                 inner.planner.plan_cfpq(grammar, &inner.table)?,
                 Payload::Cfpq,
             ),
             Query::Closure => (inner.planner.plan_closure()?, Payload::Closure),
+            Query::Update(batch) => (inner.planner.plan_update()?, Payload::Update(batch)),
+        };
+        // Reads pin the version current at admission: however many
+        // update batches land while this request queues, it reads a
+        // consistent snapshot. Updates act on whatever is latest when
+        // they execute, so they pin nothing.
+        let version = match payload {
+            Payload::Update(_) => None,
+            _ => Some(inner.catalog.pin_latest(graph)?),
+        };
+        let unpin = |inner: &EngineInner| {
+            if let Some(v) = version {
+                inner.catalog.unpin(graph, v);
+            }
         };
         let token = match deadline {
             Some(budget) => StopToken::with_deadline(budget),
@@ -363,14 +392,19 @@ impl Engine {
             has_deadline: deadline.is_some(),
             submitted: Instant::now(),
             slot: Arc::clone(&slot),
+            version,
         };
         {
             let mut st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
             if st.shutdown {
+                drop(st);
+                unpin(inner);
                 return Err(EngineError::ShuttingDown);
             }
             if st.queue.len() >= inner.config.queue_capacity {
                 inner.rejected.fetch_add(1, Ordering::Relaxed);
+                drop(st);
+                unpin(inner);
                 return Err(EngineError::Overloaded {
                     capacity: inner.config.queue_capacity,
                 });
@@ -381,6 +415,24 @@ impl Engine {
         }
         inner.available.notify_one();
         Ok(Ticket { slot, token })
+    }
+
+    /// The latest version number of a registered graph.
+    pub fn graph_version(&self, name: &str) -> Result<u64, EngineError> {
+        self.inner.catalog.current_version(name)
+    }
+
+    /// Apply an update batch and block until it lands, returning the
+    /// version it produced. Convenience over
+    /// `submit(name, Query::Update(batch))` + [`Ticket::wait`].
+    pub fn apply_batch(&self, name: &str, batch: UpdateBatch) -> Result<u64, EngineError> {
+        let ticket = self.submit(name, Query::Update(batch))?;
+        match ticket.wait().result? {
+            QueryResult::Applied(v) => Ok(v),
+            other => Err(EngineError::PlanError(format!(
+                "update produced an unexpected result: {other:?}"
+            ))),
+        }
     }
 
     /// Engine-wide counters plus per-device stats.
@@ -485,7 +537,8 @@ fn collect_batch(
         let matches = !candidate.has_deadline
             && matches!(candidate.payload, Payload::RpqFromSource(_))
             && candidate.graph == batch[0].graph
-            && candidate.plan.key == batch[0].plan.key;
+            && candidate.plan.key == batch[0].plan.key
+            && candidate.version == batch[0].version;
         if matches {
             batch.push(st.queue.remove(i).expect("index in bounds"));
         } else {
@@ -562,9 +615,10 @@ fn execute_coalesced(
     let PlanKind::Rpq(nfa) = &batch[0].plan.kind else {
         unreachable!("single-source payload implies an RPQ plan")
     };
+    let version = batch[0].version.expect("reads always pin a version");
     let outcome = inner
         .catalog
-        .resident(&batch[0].graph, dev, inst)
+        .resident_at(&batch[0].graph, version, dev, inst)
         .and_then(|resident| {
             rpq_from_each_source_mats(&resident.labels, resident.n_vertices, nfa, &sources, inst)
                 .map_err(EngineError::from_exec)
@@ -631,23 +685,25 @@ fn run_one(
     inst: &Instance,
     req: &PendingRequest,
 ) -> Result<QueryResult, EngineError> {
+    let version = req.version;
+    let pinned = || version.expect("reads always pin a version");
     match (&req.plan.kind, &req.payload) {
         (PlanKind::Rpq(nfa), Payload::RpqAllPairs) => {
-            let resident = inner.catalog.resident(&req.graph, dev, inst)?;
+            let resident = inner.catalog.resident_at(&req.graph, pinned(), dev, inst)?;
             rpq_all_pairs_mats(&resident.labels, resident.n_vertices, nfa, inst)
                 .map(QueryResult::Pairs)
                 .map_err(EngineError::from_exec)
         }
         (PlanKind::Rpq(nfa), Payload::RpqFromSource(source)) => {
-            let resident = inner.catalog.resident(&req.graph, dev, inst)?;
+            let resident = inner.catalog.resident_at(&req.graph, pinned(), dev, inst)?;
             rpq_from_each_source_mats(&resident.labels, resident.n_vertices, nfa, &[*source], inst)
                 .map(|mut rows| QueryResult::Reachable(rows.pop().unwrap_or_default()))
                 .map_err(EngineError::from_exec)
         }
         (PlanKind::Cfpq(cnf), Payload::Cfpq) => {
             // Azimov's fixpoint uploads its nonterminal matrices itself;
-            // it runs from the host graph, not the residency.
-            let host = inner.catalog.host_graph(&req.graph)?;
+            // it runs from the pinned host version, not the residency.
+            let host = inner.catalog.host_graph_at(&req.graph, pinned())?;
             AzimovIndex::build(&host, cnf, inst, &AzimovOptions::default())
                 .map(|idx| {
                     let mut pairs = idx.reachable_pairs();
@@ -658,7 +714,7 @@ fn run_one(
                 .map_err(EngineError::from_exec)
         }
         (PlanKind::Closure, Payload::Closure) => {
-            let resident = inner.catalog.resident(&req.graph, dev, inst)?;
+            let resident = inner.catalog.resident_at(&req.graph, pinned(), dev, inst)?;
             closure_delta(&resident.adjacency)
                 .map(|c| {
                     let mut pairs = c.read();
@@ -666,6 +722,14 @@ fn run_one(
                     QueryResult::Pairs(pairs)
                 })
                 .map_err(EngineError::from_exec)
+        }
+        (PlanKind::Update, Payload::Update(batch)) => {
+            // Serialised by the catalog's host lock: concurrent workers
+            // can both be here and neither loses its batch.
+            inner
+                .catalog
+                .apply_batch(&req.graph, batch)
+                .map(QueryResult::Applied)
         }
         _ => unreachable!("payload always matches its plan kind"),
     }
@@ -690,6 +754,16 @@ fn finish(
         Err(EngineError::Cancelled) => inner.cancelled.fetch_add(1, Ordering::Relaxed),
         Err(_) => inner.failed.fetch_add(1, Ordering::Relaxed),
     };
+    // The request is done with its snapshot: release the pin so pruning
+    // and eviction can reclaim the version. Updates pinned nothing.
+    if let Some(v) = req.version {
+        inner.catalog.unpin(&req.graph, v);
+    }
+    let version = match (&result, req.version) {
+        (_, Some(v)) => v,
+        (Ok(QueryResult::Applied(v)), None) => *v,
+        _ => 0,
+    };
     let completed = Completed {
         result,
         metrics: RequestMetrics {
@@ -699,6 +773,7 @@ fn finish(
             h2d_bytes: after.h2d_bytes - before.h2d_bytes,
             batch_size,
             device: dev,
+            version,
         },
     };
     let mut done = req.slot.done.lock().unwrap_or_else(|e| e.into_inner());

@@ -32,6 +32,8 @@ pub enum PlanKind {
     Cfpq(CnfGrammar),
     /// Transitive closure of the unlabeled adjacency matrix.
     Closure,
+    /// Graph mutation: apply an update batch to the latest version.
+    Update,
 }
 
 /// A compiled, immutable, shareable plan.
@@ -98,6 +100,12 @@ impl Planner {
     /// The (single) closure plan.
     pub fn plan_closure(&self) -> Result<Arc<Plan>, EngineError> {
         self.get_or_build("closure".to_string(), || PlanKind::Closure)
+    }
+
+    /// The (single) update plan — mutations ride the same admission
+    /// queue as queries, so they need a plan like everyone else.
+    pub fn plan_update(&self) -> Result<Arc<Plan>, EngineError> {
+        self.get_or_build("update".to_string(), || PlanKind::Update)
     }
 
     fn get_or_build(

@@ -38,6 +38,18 @@ impl LabeledGraph {
         self.edges.entry(label).or_default().push((from, to));
     }
 
+    /// Remove every `label` edge matching the predicate; drops the label
+    /// from the vocabulary when its edge list empties so `labels()` never
+    /// reports phantom labels.
+    pub fn remove_edges(&mut self, label: Symbol, mut pred: impl FnMut((u32, u32)) -> bool) {
+        if let Some(edges) = self.edges.get_mut(&label) {
+            edges.retain(|&e| !pred(e));
+            if edges.is_empty() {
+                self.edges.remove(&label);
+            }
+        }
+    }
+
     /// Number of vertices.
     pub fn n_vertices(&self) -> u32 {
         self.n
@@ -130,6 +142,18 @@ mod tests {
         assert_eq!(g.labels_by_frequency()[0].0, a);
         assert_eq!(g.label_csr(a).nnz(), 2);
         assert_eq!(g.adjacency_csr().nnz(), 3);
+    }
+
+    #[test]
+    fn remove_edges_drops_empty_labels() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        let mut g = LabeledGraph::from_triples(4, [(0, a, 1), (1, a, 2), (2, b, 3)]);
+        g.remove_edges(a, |e| e == (0, 1));
+        assert_eq!(g.edges_of(a), &[(1, 2)]);
+        g.remove_edges(b, |_| true);
+        assert_eq!(g.labels(), vec![a]);
     }
 
     #[test]

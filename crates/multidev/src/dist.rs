@@ -350,6 +350,90 @@ impl DistMatrix {
         self.ewise(other, "dist ewise_mult")
     }
 
+    /// Element-wise Boolean difference `C = A ∧ ¬B` (set difference).
+    /// Once `other` is aligned to this partition the subtraction is
+    /// purely shard-local: each device runs the single-device and-not
+    /// (a complement-masked multiply by its own identity) with no peer
+    /// traffic.
+    pub fn ewise_andnot(&self, other: &DistMatrix) -> Result<DistMatrix> {
+        self.check_same_grid(other)?;
+        if self.shape() != other.shape() {
+            return Err(SpblaError::DimensionMismatch {
+                op: "dist ewise_andnot",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let resharded;
+        let other = if self.offsets == other.offsets {
+            other
+        } else {
+            resharded = other.reshard(self.offsets.clone())?;
+            &resharded
+        };
+        let shards = self
+            .shards
+            .iter()
+            .zip(other.shards.iter())
+            .map(|(a, b)| a.ewise_andnot(b))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(DistMatrix {
+            grid: self.grid.clone(),
+            offsets: self.offsets.clone(),
+            ncols: self.ncols,
+            shards,
+        })
+    }
+
+    /// Apply an edge-update batch shard-locally: each device folds the
+    /// inserts and deletes that land in its row range into its own
+    /// shard (`S' = (S ∪ ins) ∧ ¬del`) and untouched shards are deep
+    /// copies — no peer traffic, which is what makes high-frequency
+    /// update streams viable on a grid. Pairs use *global* row indices.
+    pub fn apply_updates(&self, inserts: &[Pair], deletes: &[Pair]) -> Result<DistMatrix> {
+        let oob = |pairs: &[Pair]| {
+            pairs
+                .iter()
+                .find(|&&(r, c)| r >= self.nrows() || c >= self.ncols)
+                .copied()
+        };
+        if let Some((row, col)) = oob(inserts).or_else(|| oob(deletes)) {
+            return Err(SpblaError::IndexOutOfBounds {
+                row,
+                col,
+                shape: self.shape(),
+            });
+        }
+        let mut shards = Vec::with_capacity(self.grid.len());
+        for i in 0..self.grid.len() {
+            let (lo, hi) = (self.offsets[i], self.offsets[i + 1]);
+            let local = |pairs: &[Pair]| -> Vec<Pair> {
+                pairs
+                    .iter()
+                    .filter(|&&(r, _)| r >= lo && r < hi)
+                    .map(|&(r, c)| (r - lo, c))
+                    .collect()
+            };
+            let (ins_i, del_i) = (local(inserts), local(deletes));
+            let mut shard = self.shards[i].duplicate()?;
+            if !ins_i.is_empty() {
+                let add = Matrix::from_pairs(self.grid.instance(i), hi - lo, self.ncols, &ins_i)?;
+                shard = shard.ewise_add(&add)?;
+            }
+            if !del_i.is_empty() {
+                let del = Matrix::from_pairs(self.grid.instance(i), hi - lo, self.ncols, &del_i)?;
+                shard = shard.ewise_andnot(&del)?;
+            }
+            shards.push(shard);
+        }
+        Ok(DistMatrix {
+            grid: self.grid.clone(),
+            offsets: self.offsets.clone(),
+            ncols: self.ncols,
+            shards,
+        })
+    }
+
     /// Distributed Kronecker product `K = A ⊗ B`. Device `i` all-gathers
     /// `B` once and computes `A_i ⊗ B`, whose rows are the contiguous
     /// global range `offsets[i]·nrows(B) .. offsets[i+1]·nrows(B)` — so
@@ -656,6 +740,61 @@ mod tests {
             g_naive.total_stats().d2d_bytes,
             g_delta.total_stats().d2d_bytes
         );
+    }
+
+    #[test]
+    fn ewise_andnot_matches_host_difference() {
+        let n = 13u32;
+        let pa = pseudo_pairs(n, 45, 41);
+        let pb = pseudo_pairs(n, 30, 42);
+        let sa: std::collections::BTreeSet<Pair> = pa.iter().copied().collect();
+        let sb: std::collections::BTreeSet<Pair> = pb.iter().copied().collect();
+        let expect: Vec<Pair> = sa.difference(&sb).copied().collect();
+        for devices in [1, 3] {
+            let grid = DeviceGrid::new(devices);
+            let a = DistMatrix::from_pairs(&grid, n, n, &pa).unwrap();
+            let b = DistMatrix::from_pairs(&grid, n, n, &pb).unwrap();
+            let d2d_before = grid.total_stats().d2d_bytes;
+            let c = a.ewise_andnot(&b).unwrap();
+            assert_eq!(c.gather().to_pairs(), expect, "{devices} devices");
+            // Aligned partitions: the and-not is shard-local.
+            assert_eq!(grid.total_stats().d2d_bytes, d2d_before);
+        }
+    }
+
+    #[test]
+    fn apply_updates_is_shard_local() {
+        let n = 16u32;
+        let base = pseudo_pairs(n, 40, 51);
+        let ins = [(0u32, 15u32), (7, 7), (15, 0)];
+        let del: Vec<Pair> = base.iter().take(5).copied().collect();
+        let mut expect: std::collections::BTreeSet<Pair> = base.iter().copied().collect();
+        expect.extend(ins);
+        for d in &del {
+            expect.remove(d);
+        }
+        let expect: Vec<Pair> = expect.into_iter().collect();
+        for devices in [1, 2, 4] {
+            let grid = DeviceGrid::new(devices);
+            let m = DistMatrix::from_pairs(&grid, n, n, &base).unwrap();
+            let d2d_before = grid.total_stats().d2d_bytes;
+            let updated = m.apply_updates(&ins, &del).unwrap();
+            assert_eq!(updated.gather().to_pairs(), expect, "{devices} devices");
+            assert_eq!(
+                grid.total_stats().d2d_bytes,
+                d2d_before,
+                "batch application must not move data between devices"
+            );
+            // The original is untouched (copy-on-write discipline).
+            assert_eq!(m.nnz(), CsrBool::from_pairs(n, n, &base).unwrap().nnz());
+        }
+        // Out-of-bounds pairs are rejected.
+        let grid = DeviceGrid::new(2);
+        let m = DistMatrix::from_pairs(&grid, n, n, &base).unwrap();
+        assert!(matches!(
+            m.apply_updates(&[(n, 0)], &[]),
+            Err(SpblaError::IndexOutOfBounds { .. })
+        ));
     }
 
     #[test]

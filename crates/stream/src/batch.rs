@@ -1,0 +1,253 @@
+//! Edge-update batches and the append-only update log.
+//!
+//! A batch is the unit of admission: writers accumulate inserts and
+//! deletes, then apply the whole batch atomically against a
+//! [`crate::VersionedGraph`], producing exactly one new version. Batch
+//! semantics are `G' = (G ∪ inserts) \ deletes` — when one batch both
+//! inserts and deletes the same edge, the delete wins, matching the
+//! "last writer in the batch" intuition without imposing an intra-batch
+//! order.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use spbla_graph::LabeledGraph;
+use spbla_lang::Symbol;
+
+/// One edge mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Insert edge `(from, label, to)`; inserting a present edge is a
+    /// no-op.
+    Insert(u32, Symbol, u32),
+    /// Delete edge `(from, label, to)`; deleting an absent edge is a
+    /// no-op.
+    Delete(u32, Symbol, u32),
+}
+
+/// One label's net batch effect: `(label, inserted edges, deleted
+/// edges)`, both sorted and disjoint.
+pub type LabelDelta = (Symbol, Vec<(u32, u32)>, Vec<(u32, u32)>);
+
+/// A batch of edge inserts/deletes applied as one atomic version step.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateBatch {
+    ops: Vec<UpdateOp>,
+}
+
+impl UpdateBatch {
+    /// An empty batch.
+    pub fn new() -> UpdateBatch {
+        UpdateBatch::default()
+    }
+
+    /// Queue an edge insert.
+    pub fn insert(&mut self, from: u32, label: Symbol, to: u32) -> &mut Self {
+        self.ops.push(UpdateOp::Insert(from, label, to));
+        self
+    }
+
+    /// Queue an edge delete.
+    pub fn delete(&mut self, from: u32, label: Symbol, to: u32) -> &mut Self {
+        self.ops.push(UpdateOp::Delete(from, label, to));
+        self
+    }
+
+    /// The queued operations, in submission order.
+    pub fn ops(&self) -> &[UpdateOp] {
+        &self.ops
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Largest vertex id referenced, if any — lets callers validate the
+    /// batch against a fixed vertex universe before applying it.
+    pub fn max_vertex(&self) -> Option<u32> {
+        self.ops
+            .iter()
+            .map(|op| match *op {
+                UpdateOp::Insert(u, _, v) | UpdateOp::Delete(u, _, v) => u.max(v),
+            })
+            .max()
+    }
+
+    /// Labels the batch touches, sorted by id. New labels (never seen by
+    /// the store) are how the label vocabulary grows.
+    pub fn labels(&self) -> Vec<Symbol> {
+        let set: FxHashSet<Symbol> = self
+            .ops
+            .iter()
+            .map(|op| match *op {
+                UpdateOp::Insert(_, l, _) | UpdateOp::Delete(_, l, _) => l,
+            })
+            .collect();
+        let mut out: Vec<Symbol> = set.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Net effect per label under the batch semantics
+    /// `G' = (G ∪ inserts) \ deletes`: for every touched label the
+    /// deduplicated insert set minus the delete set, and the
+    /// deduplicated delete set. Both sets are sorted; they are disjoint.
+    pub fn net_per_label(&self) -> Vec<LabelDelta> {
+        let mut ins: FxHashMap<Symbol, FxHashSet<(u32, u32)>> = FxHashMap::default();
+        let mut del: FxHashMap<Symbol, FxHashSet<(u32, u32)>> = FxHashMap::default();
+        for op in &self.ops {
+            match *op {
+                UpdateOp::Insert(u, l, v) => {
+                    ins.entry(l).or_default().insert((u, v));
+                }
+                UpdateOp::Delete(u, l, v) => {
+                    del.entry(l).or_default().insert((u, v));
+                }
+            }
+        }
+        self.labels()
+            .into_iter()
+            .map(|l| {
+                let d = del.remove(&l).unwrap_or_default();
+                let mut i: Vec<(u32, u32)> = ins
+                    .remove(&l)
+                    .unwrap_or_default()
+                    .into_iter()
+                    .filter(|e| !d.contains(e))
+                    .collect();
+                let mut d: Vec<(u32, u32)> = d.into_iter().collect();
+                i.sort_unstable();
+                d.sort_unstable();
+                (l, i, d)
+            })
+            .collect()
+    }
+
+    /// Apply the batch to a host-resident [`LabeledGraph`] in place
+    /// (the engine catalog's host side of the same version step).
+    pub fn apply_to(&self, graph: &mut LabeledGraph) {
+        for (label, inserts, deletes) in self.net_per_label() {
+            for &(u, v) in &inserts {
+                if !graph.edges_of(label).contains(&(u, v)) {
+                    graph.add_edge(u, label, v);
+                }
+            }
+            if !deletes.is_empty() {
+                graph.remove_edges(label, |e| deletes.binary_search(&e).is_ok());
+            }
+        }
+    }
+}
+
+/// Append-only record of applied batches: `entries[k]` produced version
+/// `base_version + k + 1`. Replaying the log over the base snapshot
+/// reconstructs every version — the recovery story and the replay
+/// workload driver share this type.
+#[derive(Debug, Default)]
+pub struct UpdateLog {
+    base_version: u64,
+    entries: Vec<UpdateBatch>,
+}
+
+impl UpdateLog {
+    /// An empty log whose replays start from `base_version`.
+    pub fn new(base_version: u64) -> UpdateLog {
+        UpdateLog {
+            base_version,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Version the log's replay starts from.
+    pub fn base_version(&self) -> u64 {
+        self.base_version
+    }
+
+    /// Version after replaying the whole log.
+    pub fn head_version(&self) -> u64 {
+        self.base_version + self.entries.len() as u64
+    }
+
+    /// Record a batch that produced `head_version() + 1`.
+    pub fn record(&mut self, batch: UpdateBatch) {
+        self.entries.push(batch);
+    }
+
+    /// Number of recorded batches.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no batch has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The batches that advance the graph past `version`, i.e. those a
+    /// replica at `version` still has to replay.
+    pub fn since(&self, version: u64) -> &[UpdateBatch] {
+        let skip = version.saturating_sub(self.base_version) as usize;
+        &self.entries[skip.min(self.entries.len())..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spbla_lang::SymbolTable;
+
+    #[test]
+    fn net_semantics_delete_wins_within_batch() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        let mut batch = UpdateBatch::new();
+        batch
+            .insert(0, a, 1)
+            .insert(0, a, 1) // duplicate collapses
+            .delete(0, a, 1) // delete wins over the insert above
+            .insert(2, a, 3)
+            .delete(4, b, 5);
+        assert_eq!(batch.len(), 5);
+        assert_eq!(batch.labels(), vec![a, b]);
+        assert_eq!(batch.max_vertex(), Some(5));
+        let net = batch.net_per_label();
+        assert_eq!(net.len(), 2);
+        assert_eq!(net[0], (a, vec![(2, 3)], vec![(0, 1)]));
+        assert_eq!(net[1], (b, vec![], vec![(4, 5)]));
+    }
+
+    #[test]
+    fn apply_to_host_graph_round_trips() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let mut g = LabeledGraph::from_triples(4, [(0, a, 1), (1, a, 2)]);
+        let mut batch = UpdateBatch::new();
+        batch.insert(2, a, 3).delete(0, a, 1).insert(1, a, 2);
+        batch.apply_to(&mut g);
+        let mut edges = g.edges_of(a).to_vec();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn log_since_replays_the_suffix() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let mut log = UpdateLog::new(1);
+        for k in 0..3 {
+            let mut b = UpdateBatch::new();
+            b.insert(k, a, k + 1);
+            log.record(b);
+        }
+        assert_eq!(log.head_version(), 4);
+        assert_eq!(log.since(1).len(), 3);
+        assert_eq!(log.since(3).len(), 1);
+        assert_eq!(log.since(9).len(), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! A replay session: one versioned store, its update log, and the
+//! incremental views riding the stream.
+
+use rustc_hash::FxHashMap;
+
+use spbla_core::Result;
+use spbla_graph::LabeledGraph;
+use spbla_lang::Nfa;
+use spbla_multidev::DeviceGrid;
+
+use crate::{
+    AppliedBatch, ClosureView, MaintainConfig, RpqView, UpdateBatch, UpdateLog, VersionedGraph,
+};
+
+/// The stream façade: applies each batch to the store, fans the delta
+/// out to every registered view, and records the batch in the log so
+/// the whole history stays replayable.
+#[derive(Debug)]
+pub struct GraphStream {
+    store: VersionedGraph,
+    log: UpdateLog,
+    closure: Option<ClosureView>,
+    rpq_views: FxHashMap<String, RpqView>,
+}
+
+impl GraphStream {
+    /// Open a stream over `graph` loaded onto `grid` as version 0.
+    pub fn new(grid: &DeviceGrid, graph: &LabeledGraph) -> Result<GraphStream> {
+        let store = VersionedGraph::new(grid, graph)?;
+        Ok(GraphStream {
+            log: UpdateLog::new(store.version()),
+            store,
+            closure: None,
+            rpq_views: FxHashMap::default(),
+        })
+    }
+
+    /// The underlying versioned store.
+    pub fn store(&self) -> &VersionedGraph {
+        &self.store
+    }
+
+    /// The append-only log of applied batches.
+    pub fn log(&self) -> &UpdateLog {
+        &self.log
+    }
+
+    /// Latest version.
+    pub fn version(&self) -> u64 {
+        self.store.version()
+    }
+
+    /// Register a label-union reachability (reflexive closure) view,
+    /// built at the current version.
+    pub fn track_closure(&mut self, config: MaintainConfig) -> Result<()> {
+        let snap = self.store.pin();
+        let pairs = snap.adjacency_pairs();
+        self.closure = Some(ClosureView::new(
+            self.store.grid(),
+            snap.n_vertices(),
+            &pairs,
+            config,
+        )?);
+        Ok(())
+    }
+
+    /// Register a named RPQ view, built at the current version.
+    pub fn track_rpq(&mut self, name: &str, nfa: &Nfa, config: MaintainConfig) -> Result<()> {
+        let view = RpqView::new(self.store.grid(), nfa, &self.store.pin(), config)?;
+        self.rpq_views.insert(name.to_string(), view);
+        Ok(())
+    }
+
+    /// The tracked closure view, if registered.
+    pub fn closure_view(&self) -> Option<&ClosureView> {
+        self.closure.as_ref()
+    }
+
+    /// A tracked RPQ view by name.
+    pub fn rpq_view(&self, name: &str) -> Option<&RpqView> {
+        self.rpq_views.get(name)
+    }
+
+    /// Apply one batch: store first, then every view, then the log.
+    /// No-op batches touch nothing and do not advance the version.
+    pub fn apply(&mut self, batch: UpdateBatch) -> Result<AppliedBatch> {
+        let prev = self.store.pin();
+        let applied = self.store.apply(&batch)?;
+        if applied.is_noop() {
+            return Ok(applied);
+        }
+        if let Some(view) = &mut self.closure {
+            if !applied.adj_inserted.is_empty() || !applied.adj_deleted.is_empty() {
+                view.apply(&applied.adj_inserted, &applied.adj_deleted)?;
+            }
+        }
+        for view in self.rpq_views.values_mut() {
+            view.apply(&prev, &applied)?;
+        }
+        self.log.record(batch);
+        Ok(applied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spbla_lang::glushkov::glushkov;
+    use spbla_lang::{Regex, SymbolTable};
+
+    #[test]
+    fn stream_keeps_views_and_log_in_lockstep() {
+        let grid = DeviceGrid::new(2);
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let g = LabeledGraph::from_triples(5, [(0, a, 1), (1, a, 2)]);
+        let regex = Regex::parse("a+", &mut t).unwrap();
+
+        let mut stream = GraphStream::new(&grid, &g).unwrap();
+        stream.track_closure(MaintainConfig::default()).unwrap();
+        stream
+            .track_rpq("a-plus", &glushkov(&regex), MaintainConfig::default())
+            .unwrap();
+
+        let mut batch = UpdateBatch::new();
+        batch.insert(2, a, 3);
+        let applied = stream.apply(batch).unwrap();
+        assert_eq!(applied.version, 1);
+        assert_eq!(stream.version(), 1);
+        assert_eq!(stream.log().len(), 1);
+        assert_eq!(stream.log().head_version(), 1);
+
+        // Both views saw the delta.
+        assert!(stream.closure_view().unwrap().pairs().contains(&(0, 3)));
+        assert!(stream.rpq_view("a-plus").unwrap().pairs().contains(&(0, 3)));
+
+        // A no-op batch leaves everything untouched.
+        let mut noop = UpdateBatch::new();
+        noop.insert(2, a, 3).delete(4, a, 0);
+        let applied = stream.apply(noop).unwrap();
+        assert!(applied.is_noop());
+        assert_eq!(stream.version(), 1);
+        assert_eq!(stream.log().len(), 1);
+    }
+}

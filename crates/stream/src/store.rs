@@ -1,0 +1,485 @@
+//! Copy-on-write versioned graph store.
+//!
+//! A [`VersionedGraph`] holds a history of immutable [`GraphSnapshot`]s.
+//! Every applied [`UpdateBatch`] produces one new snapshot that shares
+//! (via `Arc`) the per-label host CSRs and device-resident
+//! [`DistMatrix`] shards of every label the batch did not touch —
+//! copy-on-write at label granularity. Readers pin a snapshot and see a
+//! consistent version for as long as they hold it; the store prunes a
+//! historical snapshot only once nobody pins it.
+
+use std::sync::{Arc, Mutex};
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use spbla_core::{CsrBool, Pair, Result, SpblaError};
+use spbla_graph::LabeledGraph;
+use spbla_lang::Symbol;
+use spbla_multidev::{DeviceGrid, DistMatrix};
+
+use crate::UpdateBatch;
+
+/// One immutable version of the graph: per-label host CSR plus the
+/// device-resident sharded matrix, both shared with neighbouring
+/// versions for untouched labels.
+#[derive(Debug)]
+pub struct GraphSnapshot {
+    version: u64,
+    n: u32,
+    labels_host: FxHashMap<Symbol, Arc<CsrBool>>,
+    labels_dev: FxHashMap<Symbol, Arc<DistMatrix>>,
+}
+
+impl GraphSnapshot {
+    /// Version number (0 for the initial load).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of vertices (fixed across versions).
+    pub fn n_vertices(&self) -> u32 {
+        self.n
+    }
+
+    /// Labels present in this version, sorted by id.
+    pub fn labels(&self) -> Vec<Symbol> {
+        let mut out: Vec<Symbol> = self.labels_host.keys().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Host adjacency of one label, if present.
+    pub fn label_host(&self, label: Symbol) -> Option<&Arc<CsrBool>> {
+        self.labels_host.get(&label)
+    }
+
+    /// Device-resident adjacency of one label, if present.
+    pub fn label_dev(&self, label: Symbol) -> Option<&Arc<DistMatrix>> {
+        self.labels_dev.get(&label)
+    }
+
+    /// Total edges across all labels.
+    pub fn n_edges(&self) -> usize {
+        self.labels_host.values().map(|c| c.nnz()).sum()
+    }
+
+    /// Whether edge `(u, v)` carries `label` in this version.
+    pub fn has_edge(&self, u: u32, label: Symbol, v: u32) -> bool {
+        self.labels_host.get(&label).is_some_and(|c| c.get(u, v))
+    }
+
+    /// The label-union adjacency `⋃_ℓ A_ℓ` as host pairs, sorted.
+    pub fn adjacency_pairs(&self) -> Vec<Pair> {
+        let set: FxHashSet<Pair> = self.labels_host.values().flat_map(|c| c.iter()).collect();
+        let mut out: Vec<Pair> = set.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Materialise this version as a host [`LabeledGraph`] — the oracle
+    /// input for full-recompute comparisons.
+    pub fn to_labeled_graph(&self) -> LabeledGraph {
+        let mut g = LabeledGraph::new(self.n);
+        for (&label, csr) in &self.labels_host {
+            for (u, v) in csr.iter() {
+                g.add_edge(u, label, v);
+            }
+        }
+        g
+    }
+
+    fn adjacency_has(&self, e: Pair) -> bool {
+        self.labels_host.values().any(|c| c.get(e.0, e.1))
+    }
+}
+
+/// Effect summary of one applied batch, phrased in the deltas the
+/// incremental views need.
+#[derive(Debug)]
+pub struct AppliedBatch {
+    /// Version produced by the batch.
+    pub version: u64,
+    /// Per touched label: edges actually added / actually removed
+    /// (no-op operations are filtered out), both sorted.
+    pub label_deltas: Vec<(Symbol, Vec<Pair>, Vec<Pair>)>,
+    /// Edges new in the label-union adjacency (no label had them
+    /// before, some label has them now), sorted.
+    pub adj_inserted: Vec<Pair>,
+    /// Edges gone from the label-union adjacency (some label had them,
+    /// none retains them), sorted.
+    pub adj_deleted: Vec<Pair>,
+    /// The snapshot the batch produced.
+    pub snapshot: Arc<GraphSnapshot>,
+}
+
+impl AppliedBatch {
+    /// Whether the batch changed nothing anywhere.
+    pub fn is_noop(&self) -> bool {
+        self.label_deltas.is_empty()
+    }
+}
+
+/// The versioned store: a device grid plus a pin-aware snapshot
+/// history. One writer applies batches (serialised by the internal
+/// lock); any number of readers pin versions concurrently.
+#[derive(Debug)]
+pub struct VersionedGraph {
+    grid: DeviceGrid,
+    n: u32,
+    history: Mutex<Vec<Arc<GraphSnapshot>>>,
+}
+
+impl VersionedGraph {
+    /// Load `graph` onto `grid` as version 0.
+    pub fn new(grid: &DeviceGrid, graph: &LabeledGraph) -> Result<VersionedGraph> {
+        let n = graph.n_vertices();
+        let mut labels_host = FxHashMap::default();
+        let mut labels_dev = FxHashMap::default();
+        for label in graph.labels() {
+            let csr = graph.label_csr(label);
+            let dev = DistMatrix::from_csr(grid, &csr)?;
+            labels_host.insert(label, Arc::new(csr));
+            labels_dev.insert(label, Arc::new(dev));
+        }
+        let base = GraphSnapshot {
+            version: 0,
+            n,
+            labels_host,
+            labels_dev,
+        };
+        Ok(VersionedGraph {
+            grid: grid.clone(),
+            n,
+            history: Mutex::new(vec![Arc::new(base)]),
+        })
+    }
+
+    /// The device grid the store shards over.
+    pub fn grid(&self) -> &DeviceGrid {
+        &self.grid
+    }
+
+    /// Number of vertices (fixed for the store's lifetime).
+    pub fn n_vertices(&self) -> u32 {
+        self.n
+    }
+
+    /// Latest version number.
+    pub fn version(&self) -> u64 {
+        self.history.lock().unwrap().last().unwrap().version()
+    }
+
+    /// Pin the latest snapshot: the returned `Arc` keeps that version
+    /// alive (exempt from pruning) until dropped.
+    pub fn pin(&self) -> Arc<GraphSnapshot> {
+        self.history.lock().unwrap().last().unwrap().clone()
+    }
+
+    /// Pin a specific historical version, if it is still retained.
+    pub fn pin_version(&self, version: u64) -> Option<Arc<GraphSnapshot>> {
+        self.history
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|s| s.version() == version)
+            .cloned()
+    }
+
+    /// Number of snapshots currently retained.
+    pub fn history_len(&self) -> usize {
+        self.history.lock().unwrap().len()
+    }
+
+    /// Apply one batch atomically, producing the next version. The
+    /// per-label device matrices of touched labels are rebuilt
+    /// shard-locally ([`DistMatrix::apply_updates`]); untouched labels
+    /// are shared with the previous snapshot. Historical snapshots
+    /// nobody pins are pruned on the way out.
+    pub fn apply(&self, batch: &UpdateBatch) -> Result<AppliedBatch> {
+        if let Some(max) = batch.max_vertex() {
+            if max >= self.n {
+                // Surface the first offending endpoint for the error.
+                let (row, col) = batch
+                    .ops()
+                    .iter()
+                    .map(|op| match *op {
+                        crate::UpdateOp::Insert(u, _, v) | crate::UpdateOp::Delete(u, _, v) => {
+                            (u, v)
+                        }
+                    })
+                    .find(|&(u, v)| u >= self.n || v >= self.n)
+                    .unwrap();
+                return Err(SpblaError::IndexOutOfBounds {
+                    row,
+                    col,
+                    shape: (self.n, self.n),
+                });
+            }
+        }
+
+        let mut history = self.history.lock().unwrap();
+        let prev = history.last().unwrap().clone();
+
+        let mut labels_host = prev.labels_host.clone();
+        let mut labels_dev = prev.labels_dev.clone();
+        let mut label_deltas = Vec::new();
+        let mut candidates: FxHashSet<Pair> = FxHashSet::default();
+
+        for (label, inserts, deletes) in batch.net_per_label() {
+            let old = prev.labels_host.get(&label);
+            let real_ins: Vec<Pair> = inserts
+                .into_iter()
+                .filter(|&(u, v)| !old.is_some_and(|c| c.get(u, v)))
+                .collect();
+            let real_del: Vec<Pair> = deletes
+                .into_iter()
+                .filter(|&(u, v)| old.is_some_and(|c| c.get(u, v)))
+                .collect();
+            if real_ins.is_empty() && real_del.is_empty() {
+                continue;
+            }
+            candidates.extend(real_ins.iter().copied());
+            candidates.extend(real_del.iter().copied());
+
+            let mut pairs: FxHashSet<Pair> = old.map(|c| c.iter().collect()).unwrap_or_default();
+            pairs.extend(real_ins.iter().copied());
+            for e in &real_del {
+                pairs.remove(e);
+            }
+            if pairs.is_empty() {
+                labels_host.remove(&label);
+                labels_dev.remove(&label);
+            } else {
+                let mut pairs: Vec<Pair> = pairs.into_iter().collect();
+                pairs.sort_unstable();
+                let csr = CsrBool::from_pairs(self.n, self.n, &pairs)?;
+                let dev = match prev.labels_dev.get(&label) {
+                    Some(dev) => dev.apply_updates(&real_ins, &real_del)?,
+                    None => DistMatrix::from_csr(&self.grid, &csr)?,
+                };
+                labels_host.insert(label, Arc::new(csr));
+                labels_dev.insert(label, Arc::new(dev));
+            }
+            label_deltas.push((label, real_ins, real_del));
+        }
+
+        let next = Arc::new(GraphSnapshot {
+            version: prev.version() + 1,
+            n: self.n,
+            labels_host,
+            labels_dev,
+        });
+
+        // Adjacency-union delta: membership of each touched edge before
+        // vs after, computed host-side so view maintenance spends zero
+        // kernel launches discovering what changed.
+        let mut adj_inserted = Vec::new();
+        let mut adj_deleted = Vec::new();
+        for &e in &candidates {
+            let before = prev.adjacency_has(e);
+            let after = next.adjacency_has(e);
+            if !before && after {
+                adj_inserted.push(e);
+            } else if before && !after {
+                adj_deleted.push(e);
+            }
+        }
+        adj_inserted.sort_unstable();
+        adj_deleted.sort_unstable();
+
+        if label_deltas.is_empty() {
+            // No-op batch: no new version, nothing to prune.
+            return Ok(AppliedBatch {
+                version: prev.version(),
+                label_deltas,
+                adj_inserted,
+                adj_deleted,
+                snapshot: prev,
+            });
+        }
+
+        history.push(next.clone());
+        // Prune history: keep the latest and anything pinned outside the
+        // store. After `drop(prev)` the vector holds exactly one Arc per
+        // snapshot, so a strong count above one means an external pin.
+        drop(prev);
+        let len = history.len();
+        let mut keep = Vec::with_capacity(len);
+        for (i, snap) in history.drain(..).enumerate() {
+            if i + 1 == len || Arc::strong_count(&snap) > 1 {
+                keep.push(snap);
+            }
+        }
+        *history = keep;
+
+        Ok(AppliedBatch {
+            version: next.version(),
+            label_deltas,
+            adj_inserted,
+            adj_deleted,
+            snapshot: next,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spbla_lang::SymbolTable;
+
+    fn grid(n: usize) -> DeviceGrid {
+        DeviceGrid::new(n)
+    }
+
+    #[test]
+    fn cow_shares_untouched_labels() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        let g = LabeledGraph::from_triples(6, [(0, a, 1), (1, a, 2), (2, b, 3)]);
+        let store = VersionedGraph::new(&grid(2), &g).unwrap();
+        let v0 = store.pin();
+
+        let mut batch = UpdateBatch::new();
+        batch.insert(3, a, 4);
+        let applied = store.apply(&batch).unwrap();
+        assert_eq!(applied.version, 1);
+        assert_eq!(applied.label_deltas.len(), 1);
+        assert_eq!(applied.adj_inserted, vec![(3, 4)]);
+        assert!(applied.adj_deleted.is_empty());
+
+        // Label `b` was untouched: both versions share the same Arc.
+        let v1 = applied.snapshot.clone();
+        assert!(Arc::ptr_eq(
+            v0.label_host(b).unwrap(),
+            v1.label_host(b).unwrap()
+        ));
+        assert!(Arc::ptr_eq(
+            v0.label_dev(b).unwrap(),
+            v1.label_dev(b).unwrap()
+        ));
+        // Label `a` was rebuilt.
+        assert!(!Arc::ptr_eq(
+            v0.label_host(a).unwrap(),
+            v1.label_host(a).unwrap()
+        ));
+        assert_eq!(v1.label_host(a).unwrap().nnz(), 3);
+        assert_eq!(v0.label_host(a).unwrap().nnz(), 2);
+        // Device side agrees with host side.
+        assert_eq!(
+            v1.label_dev(a).unwrap().gather().to_pairs(),
+            v1.label_host(a).unwrap().to_pairs()
+        );
+    }
+
+    #[test]
+    fn pinned_versions_survive_pruning() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let g = LabeledGraph::from_triples(8, [(0, a, 1)]);
+        let store = VersionedGraph::new(&grid(1), &g).unwrap();
+
+        let pinned = store.pin(); // pin version 0
+        for k in 1..4 {
+            let mut batch = UpdateBatch::new();
+            batch.insert(k, a, k + 1);
+            store.apply(&batch).unwrap();
+        }
+        assert_eq!(store.version(), 3);
+        // Version 0 is pinned, versions 1 and 2 were pruned.
+        assert_eq!(store.history_len(), 2);
+        assert!(store.pin_version(0).is_some());
+        assert!(store.pin_version(1).is_none());
+        assert_eq!(pinned.n_edges(), 1);
+
+        drop(pinned);
+        let mut batch = UpdateBatch::new();
+        batch.insert(6, a, 7);
+        store.apply(&batch).unwrap();
+        // The unpinned version 0 is now reclaimed too.
+        assert_eq!(store.history_len(), 1);
+        assert!(store.pin_version(0).is_none());
+    }
+
+    #[test]
+    fn label_vocabulary_grows_and_shrinks() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let c = t.intern("c");
+        let g = LabeledGraph::from_triples(5, [(0, a, 1)]);
+        let store = VersionedGraph::new(&grid(2), &g).unwrap();
+
+        let mut batch = UpdateBatch::new();
+        batch.insert(1, c, 2); // brand-new label
+        let applied = store.apply(&batch).unwrap();
+        assert_eq!(applied.snapshot.labels(), vec![a, c]);
+        assert_eq!(
+            applied.snapshot.label_dev(c).unwrap().gather().to_pairs(),
+            vec![(1, 2)]
+        );
+
+        let mut batch = UpdateBatch::new();
+        batch.delete(1, c, 2); // label empties out again
+        let applied = store.apply(&batch).unwrap();
+        assert_eq!(applied.snapshot.labels(), vec![a]);
+        assert_eq!(applied.adj_deleted, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn adjacency_delta_respects_multi_label_overlap() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        // Edge (0,1) carries both labels.
+        let g = LabeledGraph::from_triples(4, [(0, a, 1), (0, b, 1)]);
+        let store = VersionedGraph::new(&grid(1), &g).unwrap();
+
+        // Deleting only the `a` copy leaves the union adjacency intact.
+        let mut batch = UpdateBatch::new();
+        batch.delete(0, a, 1);
+        let applied = store.apply(&batch).unwrap();
+        assert!(applied.adj_deleted.is_empty());
+        assert_eq!(applied.label_deltas.len(), 1);
+
+        // Deleting the `b` copy too now removes it from the union.
+        let mut batch = UpdateBatch::new();
+        batch.delete(0, b, 1);
+        let applied = store.apply(&batch).unwrap();
+        assert_eq!(applied.adj_deleted, vec![(0, 1)]);
+
+        // Re-inserting under one label is a union-level insert.
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, b, 1);
+        let applied = store.apply(&batch).unwrap();
+        assert_eq!(applied.adj_inserted, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn noop_batch_does_not_advance_version() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let g = LabeledGraph::from_triples(4, [(0, a, 1)]);
+        let store = VersionedGraph::new(&grid(1), &g).unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, a, 1).delete(2, a, 3); // both are no-ops
+        let applied = store.apply(&batch).unwrap();
+        assert!(applied.is_noop());
+        assert_eq!(applied.version, 0);
+        assert_eq!(store.version(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_batch_is_rejected() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let g = LabeledGraph::from_triples(4, [(0, a, 1)]);
+        let store = VersionedGraph::new(&grid(1), &g).unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, a, 9);
+        assert!(matches!(
+            store.apply(&batch),
+            Err(SpblaError::IndexOutOfBounds { .. })
+        ));
+        assert_eq!(store.version(), 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Snapshot pinning under concurrent writes: a query submitted against
+//! version `v` must answer from `v` even when a writer has advanced the
+//! graph to `v+2` by the time it executes, the version it observed must
+//! be reported in its metrics, and eviction must never reclaim a pinned
+//! snapshot's residency.
+
+use std::sync::Arc;
+
+use spbla_core::{Instance, Matrix};
+use spbla_engine::{Catalog, Engine, EngineConfig, Query, QueryResult};
+use spbla_graph::closure::closure_delta;
+use spbla_graph::LabeledGraph;
+use spbla_lang::{Symbol, SymbolTable};
+use spbla_multidev::DeviceGrid;
+use spbla_stream::UpdateBatch;
+
+/// The engine's `Query::Closure` answer for one host graph, computed
+/// with the plain library API.
+fn closure_oracle(graph: &LabeledGraph, inst: &Instance) -> Vec<(u32, u32)> {
+    let adj = Matrix::from_csr(inst, graph.adjacency_csr()).unwrap();
+    let mut pairs = closure_delta(&adj).unwrap().read();
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Base chain 0→1→2→3 on 5 vertices, plus the two update batches the
+/// tests stream in: first extend the chain to 4, then close the cycle
+/// back to 0 (which makes every ordered pair reachable).
+fn fixture(a: Symbol) -> (LabeledGraph, [UpdateBatch; 2]) {
+    let mut graph = LabeledGraph::new(5);
+    for u in 0..3 {
+        graph.add_edge(u, a, u + 1);
+    }
+    let mut b1 = UpdateBatch::new();
+    b1.insert(3, a, 4);
+    let mut b2 = UpdateBatch::new();
+    b2.insert(4, a, 0);
+    (graph, [b1, b2])
+}
+
+/// Oracle closure for every version 0..=2 of the fixture.
+fn expected_per_version(a: Symbol) -> Vec<Vec<(u32, u32)>> {
+    let inst = Instance::cuda_sim();
+    let (mut mirror, batches) = fixture(a);
+    let mut expected = vec![closure_oracle(&mirror, &inst)];
+    for b in &batches {
+        b.apply_to(&mut mirror);
+        expected.push(closure_oracle(&mirror, &inst));
+    }
+    expected
+}
+
+/// Readers hammer `Closure` while a writer advances the graph two
+/// versions. Every completed read must match the oracle *for the
+/// version its metrics report* — never a torn in-between state — and
+/// per reader the observed versions must be non-decreasing.
+#[test]
+fn concurrent_reads_are_version_consistent() {
+    let mut table = SymbolTable::new();
+    let a = table.intern("a");
+    let expected = Arc::new(expected_per_version(a));
+
+    for n_devices in [1usize, 2] {
+        let engine = Engine::new(DeviceGrid::new(n_devices), EngineConfig::default());
+        let (graph, batches) = fixture(a);
+        engine.add_graph("g", graph);
+        let engine = Arc::new(engine);
+
+        let writer = {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                for b in batches {
+                    let v = engine.apply_batch("g", b).expect("update lands");
+                    assert!(v >= 1);
+                }
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let expected = Arc::clone(&expected);
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    for _ in 0..12 {
+                        let ticket = engine.submit("g", Query::Closure).unwrap();
+                        let done = ticket.wait();
+                        let got = done.result.expect("read completes");
+                        let v = done.metrics.version;
+                        assert!(v >= last, "versions went backwards: {last} → {v}");
+                        last = v;
+                        assert_eq!(
+                            got,
+                            QueryResult::Pairs(expected[v as usize].clone()),
+                            "answer inconsistent with its own version v{v}"
+                        );
+                    }
+                })
+            })
+            .collect();
+        writer.join().expect("writer survives");
+        for r in readers {
+            r.join().expect("reader survives");
+        }
+
+        assert_eq!(engine.graph_version("g").unwrap(), 2);
+        let done = engine.submit("g", Query::Closure).unwrap().wait();
+        assert_eq!(done.metrics.version, 2);
+        assert_eq!(
+            done.result.unwrap(),
+            QueryResult::Pairs(expected[2].clone())
+        );
+        Arc::try_unwrap(engine)
+            .unwrap_or_else(|_| panic!("all clients done"))
+            .shutdown();
+    }
+}
+
+/// Deterministic pin plumbing: a ticket pinned at v0 answers from v0
+/// and says so, even after two updates land behind it; a fresh query
+/// then sees v2.
+#[test]
+fn pinned_read_survives_two_writes() {
+    let mut table = SymbolTable::new();
+    let a = table.intern("a");
+    let expected = expected_per_version(a);
+
+    let engine = Engine::new(DeviceGrid::new(1), EngineConfig::default());
+    let (graph, [b1, b2]) = fixture(a);
+    engine.add_graph("g", graph);
+
+    let pinned = engine.submit("g", Query::Closure).unwrap();
+    assert_eq!(engine.apply_batch("g", b1).unwrap(), 1);
+    assert_eq!(engine.apply_batch("g", b2).unwrap(), 2);
+
+    let done = pinned.wait();
+    assert_eq!(done.metrics.version, 0, "read must observe its pin");
+    assert_eq!(
+        done.result.unwrap(),
+        QueryResult::Pairs(expected[0].clone())
+    );
+
+    let fresh = engine.submit("g", Query::Closure).unwrap().wait();
+    assert_eq!(fresh.metrics.version, 2);
+    assert_eq!(
+        fresh.result.unwrap(),
+        QueryResult::Pairs(expected[2].clone())
+    );
+    engine.shutdown();
+}
+
+/// Catalog-level pin semantics: a pinned historical version stays
+/// host-retained and device-resident across two writes — even under a
+/// residency budget far too small for one snapshot, eviction must not
+/// reclaim it — and releasing the pin prunes it on the spot.
+#[test]
+fn eviction_never_reclaims_pinned_snapshot() {
+    let mut table = SymbolTable::new();
+    let a = table.intern("a");
+    let (graph, [b1, b2]) = fixture(a);
+    let inst = Instance::cuda_sim();
+
+    // A 1-byte budget: every upload overflows, so anything evictable
+    // *would* be evicted — only the pin keeps v0 resident.
+    let cat = Catalog::new(1, 1);
+    cat.add("g", graph);
+
+    let v0 = cat.pin_latest("g").unwrap();
+    assert_eq!(v0, 0);
+    cat.resident_at("g", v0, 0, &inst).unwrap();
+
+    assert_eq!(cat.apply_batch("g", &b1).unwrap(), 1);
+    assert_eq!(cat.apply_batch("g", &b2).unwrap(), 2);
+    // v1 was never pinned: superseded, it is pruned immediately.
+    assert_eq!(cat.retained_versions("g"), 2);
+    assert!(cat.host_graph_at("g", 1).is_err());
+
+    // Uploading v2 overflows the budget; the pinned v0 must survive.
+    cat.resident_at("g", 2, 0, &inst).unwrap();
+    let (hits_before, misses_before, _) = cat.counters();
+    cat.resident_at("g", v0, 0, &inst).unwrap();
+    let (hits_after, misses_after, _) = cat.counters();
+    assert_eq!(
+        (hits_after, misses_after),
+        (hits_before + 1, misses_before),
+        "pinned v0 was evicted: re-access missed instead of hitting"
+    );
+    assert_eq!(
+        cat.host_graph_at("g", v0).unwrap().n_edges(),
+        3,
+        "pinned host snapshot must still be the 3-edge chain"
+    );
+
+    // Releasing the pin prunes the historical version host and device.
+    cat.unpin("g", v0);
+    assert_eq!(cat.retained_versions("g"), 1);
+    assert!(cat.host_graph_at("g", v0).is_err());
+    assert!(cat.resident_at("g", v0, 0, &inst).is_err());
+    assert!(cat.host_graph_at("g", 2).is_ok());
+}

@@ -1,0 +1,229 @@
+//! Randomized update-stream equivalence: for random insert/delete batch
+//! sequences — on random graphs and on LUBM — the incrementally
+//! maintained closure and RPQ views must be bit-identical (checksummed)
+//! to per-batch from-scratch recomputation at every version, on 1- and
+//! 2-device grids. Maintenance-path coverage is steered through
+//! `fallback_fraction`: a huge budget forces the semi-naïve insert and
+//! DRed delete paths proper, a zero budget forces the fallback escape
+//! hatch on every non-trivial batch, and both must agree with the
+//! recompute baseline version by version.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use spbla_data::lubm::{lubm_like, LubmConfig};
+use spbla_graph::LabeledGraph;
+use spbla_lang::glushkov::glushkov;
+use spbla_lang::{Nfa, Regex, Symbol, SymbolTable};
+use spbla_multidev::DeviceGrid;
+use spbla_stream::{GraphStream, MaintainConfig, MaintainMode, UpdateBatch};
+
+/// Per-version (closure checksum, rpq checksum) trace of one replay.
+fn replay(
+    devices: usize,
+    graph: &LabeledGraph,
+    nfa: &Nfa,
+    batches: &[UpdateBatch],
+    config: MaintainConfig,
+) -> (Vec<(u64, u64)>, spbla_stream::MaintainStats) {
+    let grid = DeviceGrid::new(devices);
+    let mut stream = GraphStream::new(&grid, graph).expect("store builds");
+    stream.track_closure(config).expect("closure view builds");
+    stream.track_rpq("q", nfa, config).expect("rpq view builds");
+    let mut trace = Vec::with_capacity(batches.len());
+    for batch in batches {
+        stream.apply(batch.clone()).expect("batch applies");
+        trace.push((
+            stream.closure_view().expect("tracked").checksum(),
+            stream.rpq_view("q").expect("tracked").checksum(),
+        ));
+    }
+    (trace, stream.closure_view().expect("tracked").stats())
+}
+
+/// Random batch stream over `graph`'s vertex/label universe; deletes
+/// target edges that exist at their version (tracked by a host mirror).
+fn random_batches(
+    graph: &LabeledGraph,
+    labels: &[Symbol],
+    count: usize,
+    rng: &mut StdRng,
+) -> Vec<UpdateBatch> {
+    let n = graph.n_vertices();
+    let mut mirror = graph.clone();
+    let mut batches = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut batch = UpdateBatch::new();
+        for _ in 0..rng.gen_range(1usize..=3) {
+            let label = labels[rng.gen_range(0..labels.len())];
+            let existing = mirror.edges_of(label);
+            if !existing.is_empty() && rng.gen_bool(0.4) {
+                let (u, v) = existing[rng.gen_range(0..existing.len())];
+                batch.delete(u, label, v);
+            } else {
+                batch.insert(rng.gen_range(0..n), label, rng.gen_range(0..n));
+            }
+        }
+        batch.apply_to(&mut mirror);
+        batches.push(batch);
+    }
+    batches
+}
+
+fn configs() -> [(MaintainConfig, &'static str); 3] {
+    [
+        (
+            // Huge budget: the incremental insert and DRed delete paths
+            // proper, never the fallback.
+            MaintainConfig {
+                mode: MaintainMode::Incremental,
+                fallback_fraction: 10.0,
+            },
+            "incremental",
+        ),
+        (
+            // Zero budget: every batch with a non-empty frontier or
+            // over-delete set falls back to a full recompute.
+            MaintainConfig {
+                mode: MaintainMode::Incremental,
+                fallback_fraction: 0.0,
+            },
+            "fallback",
+        ),
+        (
+            MaintainConfig {
+                mode: MaintainMode::Recompute,
+                fallback_fraction: 0.25,
+            },
+            "recompute",
+        ),
+    ]
+}
+
+#[test]
+fn random_streams_match_recompute_at_every_version() {
+    for seed in [7u64, 21, 1984] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut table = SymbolTable::new();
+        let a = table.intern("a");
+        let b = table.intern("b");
+        let labels = [a, b];
+
+        let n = 14;
+        let mut graph = LabeledGraph::new(n);
+        for _ in 0..22 {
+            let label = labels[rng.gen_range(0usize..2)];
+            graph.add_edge(rng.gen_range(0..n), label, rng.gen_range(0..n));
+        }
+        let regex = Regex::parse("a . b*", &mut table).unwrap();
+        let nfa = glushkov(&regex);
+        let batches = random_batches(&graph, &labels, 12, &mut rng);
+
+        for devices in [1, 2] {
+            let runs: Vec<_> = configs()
+                .iter()
+                .map(|(cfg, name)| {
+                    let (trace, stats) = replay(devices, &graph, &nfa, &batches, *cfg);
+                    (trace, stats, *name)
+                })
+                .collect();
+            let (baseline, _, _) = &runs[runs.len() - 1];
+            for (trace, _, name) in &runs {
+                assert_eq!(
+                    trace, baseline,
+                    "{name} diverged from recompute (seed {seed}, {devices} devices)"
+                );
+            }
+            // The steering knobs really selected distinct paths.
+            let forced = &runs[0].1;
+            assert_eq!(forced.fallbacks, 0, "huge budget must never fall back");
+            let escape = &runs[1].1;
+            assert!(
+                escape.fallbacks > 0,
+                "zero budget must fall back on some batch (seed {seed})"
+            );
+            let recompute = &runs[2].1;
+            assert_eq!(recompute.incremental_inserts, 0);
+            assert_eq!(recompute.dred_deletes, 0);
+        }
+    }
+}
+
+#[test]
+fn dred_delete_path_is_exercised_and_agrees() {
+    // A delete-heavy stream on a dense-ish graph: every batch removes
+    // existing edges, so the forced-incremental run must absorb real
+    // over-deletions through DRed and still match recompute.
+    let mut rng = StdRng::seed_from_u64(0xD12ED);
+    let mut table = SymbolTable::new();
+    let a = table.intern("a");
+    let n = 10;
+    let mut graph = LabeledGraph::new(n);
+    for u in 0..n {
+        for d in 1..=3 {
+            graph.add_edge(u, a, (u + d) % n);
+        }
+    }
+    let regex = Regex::parse("a . a*", &mut table).unwrap();
+    let nfa = glushkov(&regex);
+
+    let mut mirror = graph.clone();
+    let mut batches = Vec::new();
+    for _ in 0..8 {
+        let mut batch = UpdateBatch::new();
+        let edges = mirror.edges_of(a);
+        let (u, v) = edges[rng.gen_range(0..edges.len())];
+        batch.delete(u, a, v);
+        batch.apply_to(&mut mirror);
+        batches.push(batch);
+    }
+
+    for devices in [1, 2] {
+        let forced = MaintainConfig {
+            mode: MaintainMode::Incremental,
+            fallback_fraction: 10.0,
+        };
+        let baseline = MaintainConfig {
+            mode: MaintainMode::Recompute,
+            fallback_fraction: 0.25,
+        };
+        let (inc, stats) = replay(devices, &graph, &nfa, &batches, forced);
+        let (rec, _) = replay(devices, &graph, &nfa, &batches, baseline);
+        assert_eq!(inc, rec, "DRed diverged on {devices} devices");
+        assert!(stats.dred_deletes > 0, "stream must hit the DRed path");
+        assert_eq!(stats.recomputes, 0, "huge budget must stay incremental");
+    }
+}
+
+#[test]
+fn lubm_stream_matches_recompute_at_every_version() {
+    let mut table = SymbolTable::new();
+    let config = LubmConfig {
+        departments: 1,
+        faculty: 3,
+        students: 8,
+        courses: 3,
+        publications: 1,
+    };
+    let graph = lubm_like(1, &config, &mut table, 0xBEEF);
+    let labels = graph.labels();
+    let regex = Regex::parse("memberOf . subOrganizationOf*", &mut table).unwrap();
+    let nfa = glushkov(&regex);
+
+    let mut rng = StdRng::seed_from_u64(0x10B);
+    let batches = random_batches(&graph, &labels, 10, &mut rng);
+
+    for devices in [1, 2] {
+        let traces: Vec<_> = configs()
+            .iter()
+            .map(|(cfg, name)| (replay(devices, &graph, &nfa, &batches, *cfg).0, *name))
+            .collect();
+        let (baseline, _) = &traces[traces.len() - 1];
+        for (trace, name) in &traces {
+            assert_eq!(
+                trace, baseline,
+                "{name} diverged from recompute on LUBM ({devices} devices)"
+            );
+        }
+    }
+}
