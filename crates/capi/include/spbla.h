@@ -144,6 +144,18 @@ spbla_Status spbla_Ticket_Free(spbla_Ticket ticket);
 spbla_Status spbla_Engine_Stats(spbla_Engine engine, spbla_EngineStats *out);
 spbla_Status spbla_Engine_Free(spbla_Engine engine);
 
+/* Observability: process-wide kernel tracing and metric dumps. Both
+ * dumps use the two-call protocol of spbla_Matrix_ExtractPairs: pass a
+ * null buffer to learn the required size in *len (trailing NUL
+ * included), then call again with a buffer of at least that size.
+ * spbla_Trace_Enable(capacity) turns tracing on with a ring of
+ * `capacity` spans (clearing any prior recording); capacity 0 turns it
+ * off. spbla_Trace_Dump writes chrome://tracing JSON.
+ * spbla_Metrics_Dump format: 0 = Prometheus text, 1 = JSON. */
+spbla_Status spbla_Trace_Enable(size_t capacity);
+spbla_Status spbla_Trace_Dump(char *buf, size_t *len);
+spbla_Status spbla_Metrics_Dump(int32_t format, char *buf, size_t *len);
+
 #ifdef __cplusplus
 } /* extern "C" */
 #endif

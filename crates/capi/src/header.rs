@@ -43,6 +43,9 @@ pub const EXPORTED_SYMBOLS: &[&str] = &[
     "spbla_Ticket_Free",
     "spbla_Engine_Stats",
     "spbla_Engine_Free",
+    "spbla_Trace_Enable",
+    "spbla_Trace_Dump",
+    "spbla_Metrics_Dump",
 ];
 
 #[cfg(test)]
@@ -132,7 +135,8 @@ mod tests {
         let sources = concat!(
             include_str!("matrix_api.rs"),
             include_str!("extras_api.rs"),
-            include_str!("engine_api.rs")
+            include_str!("engine_api.rs"),
+            include_str!("obs_api.rs")
         );
         let count = sources.matches("#[no_mangle]").count()
             + sources.matches("binary_op!(").count()

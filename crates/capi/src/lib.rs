@@ -21,6 +21,7 @@ pub mod extras_api;
 pub mod handles;
 pub mod header;
 pub mod matrix_api;
+pub mod obs_api;
 pub mod status;
 
 pub use engine_api::SpblaEngineStats;

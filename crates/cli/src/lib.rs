@@ -125,6 +125,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "bfs" => cmd_bfs(&rest, out),
         "engine" => cmd_engine(&rest, out),
         "stream" => cmd_stream(&rest, out),
+        "trace" => cmd_trace(&rest, out),
         "triangles" => cmd_triangles(&rest, out),
         "components" => cmd_components(&rest, out),
         "help" | "--help" | "-h" => writeln!(out, "{USAGE}").map_err(CliError::from),
@@ -151,7 +152,11 @@ pub const USAGE: &str = "usage: spbla <command>\n\
   stream   [graph.triples] [--devices N] [--batches B] [--batch-size K] [--deletes on|off]\n\
            [--seed S] [--mode incremental|recompute|both]\n\
            (replay a random update stream through the versioned store; --mode both\n\
-            cross-checks incremental maintenance against per-batch recompute)";
+            cross-checks incremental maintenance against per-batch recompute)\n\
+  trace    [graph.triples] [--regex R] [--backend cuda|cl] [--out FILE] [--capacity N]\n\
+           [--seed S]\n\
+           (run an RPQ with kernel tracing on and write a chrome://tracing JSON\n\
+            timeline; cross-checks span count against the device launch counter)";
 
 fn cmd_generate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let shape = args
@@ -623,6 +628,94 @@ fn cmd_engine(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_trace(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let out_path = args.opt("out").unwrap_or("trace.json").to_string();
+    let capacity: usize = opt_parse(args, "capacity", 65_536)?;
+    if capacity == 0 {
+        return Err(CliError::usage("--capacity must be at least 1"));
+    }
+    let seed: u64 = opt_parse(args, "seed", 1)?;
+    let inst = match args.opt("backend").unwrap_or("cuda") {
+        "cuda" => Instance::cuda_sim(),
+        "cl" => Instance::cl_sim(),
+        other => {
+            return Err(CliError::usage(format!(
+                "backend '{other}' has no launch counter to cross-check; \
+                 trace needs cuda or cl"
+            )))
+        }
+    };
+    let device = inst.device().expect("device-backed backend");
+
+    let mut table = SymbolTable::new();
+    let graph = match args.positional.first() {
+        Some(path) => load_graph(path, &mut table)?,
+        None => spbla_data::lubm::lubm_like(
+            1,
+            &spbla_data::lubm::LubmConfig::default(),
+            &mut table,
+            seed,
+        ),
+    };
+    let pattern = match args.opt("regex") {
+        Some(r) => r.to_string(),
+        // The LUBM fixture always has these labels; for a user graph
+        // fall back to a star over its busiest label.
+        None if args.positional.is_empty() => "memberOf . subOrganizationOf*".to_string(),
+        None => {
+            let busiest = graph
+                .labels()
+                .into_iter()
+                .max_by_key(|&s| graph.label_count(s))
+                .ok_or_else(|| CliError::run("graph has no labelled edges"))?;
+            format!("{}*", table.name(busiest))
+        }
+    };
+    let regex = Regex::parse(&pattern, &mut table).map_err(CliError::run)?;
+
+    let trace = spbla_obs::trace_global();
+    trace.enable(capacity);
+    let launches_before = device.stats().launches;
+    let result: Result<_, CliError> = (|| {
+        let idx = RpqIndex::build(&graph, &regex, &inst, &RpqOptions::default())?;
+        Ok((idx.reachable_pairs()?.len(), idx.index_nnz()))
+    })();
+    let launches = device.stats().launches - launches_before;
+    let snapshot = trace.snapshot();
+    let chrome_json = trace.render_chrome_json();
+    trace.disable();
+    let (pairs, nnz) = result?;
+
+    // Every counted launch on this device must appear as a kernel span
+    // on its track — the trace is only useful if it is complete.
+    let kernel_spans = snapshot
+        .spans
+        .iter()
+        .filter(|s| s.cat == "kernel" && s.track == device.ordinal())
+        .count() as u64;
+    std::fs::write(&out_path, chrome_json)
+        .map_err(|e| CliError::run(format!("writing {out_path}: {e}")))?;
+    writeln!(
+        out,
+        "rpq '{pattern}': {pairs} pairs (index nnz {nnz})\n\
+         traced {} spans ({} dropped) -> {out_path}\n\
+         kernel spans {kernel_spans} / device launches {launches}",
+        snapshot.spans.len(),
+        snapshot.dropped,
+    )?;
+    if snapshot.dropped > 0 {
+        writeln!(
+            out,
+            "warning: ring overflowed; raise --capacity for a complete timeline"
+        )?;
+    } else if kernel_spans != launches {
+        return Err(CliError::run(format!(
+            "trace incomplete: {kernel_spans} kernel spans but {launches} launches"
+        )));
+    }
+    Ok(())
+}
+
 fn cmd_stream(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     use spbla_lang::Symbol;
     use spbla_multidev::DeviceGrid;
@@ -976,6 +1069,31 @@ mod tests {
             run_str(&["stream", p, "--devices", "0"]).unwrap_err().code,
             2
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_writes_chrome_json_and_cross_checks_launches() {
+        let path = temp_graph();
+        let p = path.to_str().unwrap();
+        let trace_path =
+            std::env::temp_dir().join(format!("spbla_cli_trace_{}.json", std::process::id()));
+        let out = run_str(&["trace", p, "--out", trace_path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("kernel spans"), "{out}");
+        let json = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"cat\":\"kernel\""), "{json}");
+        // Flag validation: cpu backends have no launch counter.
+        assert_eq!(
+            run_str(&["trace", p, "--backend", "cpu"]).unwrap_err().code,
+            2
+        );
+        assert_eq!(
+            run_str(&["trace", p, "--capacity", "0"]).unwrap_err().code,
+            2
+        );
+        std::fs::remove_file(&trace_path).ok();
         std::fs::remove_file(&path).ok();
     }
 

@@ -10,6 +10,21 @@ use std::sync::Arc;
 
 use spbla_gpu_sim::{Device, DeviceConfig};
 
+use crate::error::{Result, SpblaError};
+
+/// Byte footprint of a dense bit-matrix of `nrows × ncols` (rows padded
+/// to whole 64-bit words), with overflow reported as a typed error
+/// rather than wrapped arithmetic. Backend selection and admission
+/// checks must route shape sizing through here: a wrapping estimate
+/// reads as "tiny", which silently green-lights an impossible dense
+/// allocation.
+pub fn dense_bits_bytes(nrows: u64, ncols: u64) -> Result<u64> {
+    let row_bytes = ncols.div_ceil(64).checked_mul(8);
+    row_bytes
+        .and_then(|rb| rb.checked_mul(nrows))
+        .ok_or(SpblaError::FootprintOverflow { nrows, ncols })
+}
+
 /// Which implementation executes the operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Backend {
@@ -24,14 +39,22 @@ pub enum Backend {
     ClSim,
 }
 
+impl Backend {
+    /// Short static name, also used as the `backend` label on
+    /// per-kernel metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Backend::Cpu => "cpu",
+            Backend::CpuDense => "cpu-dense",
+            Backend::CudaSim => "cuda-sim",
+            Backend::ClSim => "cl-sim",
+        }
+    }
+}
+
 impl std::fmt::Display for Backend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Backend::Cpu => write!(f, "cpu"),
-            Backend::CpuDense => write!(f, "cpu-dense"),
-            Backend::CudaSim => write!(f, "cuda-sim"),
-            Backend::ClSim => write!(f, "cl-sim"),
-        }
+        f.write_str(self.label())
     }
 }
 
@@ -112,8 +135,12 @@ impl Instance {
         } else {
             0.0
         };
-        let dense_bytes = (nrows as usize).div_ceil(64) * 8 * nrows as usize;
-        if density >= 0.02 && dense_bytes <= (64 << 20) {
+        // Overflowing footprints mean "does not fit" — fall through to
+        // the sparse backends rather than picking dense on wrapped math.
+        let dense_fits = dense_bits_bytes(nrows as u64, nrows as u64)
+            .map(|bytes| bytes <= (64 << 20))
+            .unwrap_or(false);
+        if density >= 0.02 && dense_fits {
             return Instance::cpu_dense();
         }
         let device = Device::new(config);
@@ -166,6 +193,35 @@ mod tests {
         // Huge dense bitset would exceed the budget → falls back to CSR.
         let big = Instance::auto_for(DeviceConfig::default(), 200_000, 1_000_000_000);
         assert_ne!(big.backend(), Backend::CpuDense);
+    }
+
+    #[test]
+    fn dense_bytes_checked_at_overflow_boundary() {
+        // Small shapes: exact padded-row arithmetic.
+        assert_eq!(dense_bits_bytes(1, 1).unwrap(), 8);
+        assert_eq!(dense_bits_bytes(1000, 1000).unwrap(), 16 * 8 * 1000);
+        assert_eq!(dense_bits_bytes(0, u64::MAX).unwrap(), 0);
+        // Largest row count that still fits for a one-word-wide matrix:
+        // 8 * nrows ≤ u64::MAX ⇔ nrows ≤ u64::MAX / 8.
+        let max_rows = u64::MAX / 8;
+        assert_eq!(dense_bits_bytes(max_rows, 64).unwrap(), max_rows * 8);
+        // One past the boundary must fail typed, not wrap.
+        assert_eq!(
+            dense_bits_bytes(max_rows + 1, 64).unwrap_err(),
+            SpblaError::FootprintOverflow {
+                nrows: max_rows + 1,
+                ncols: 64
+            }
+        );
+        // Wide shapes overflow through the nrows product.
+        assert!(matches!(
+            dense_bits_bytes(u64::MAX, u64::MAX),
+            Err(SpblaError::FootprintOverflow { .. })
+        ));
+        // auto_for keeps working at shapes whose usize math used to be
+        // the only guard: it must fall back to a sparse backend.
+        let inst = Instance::auto_for(DeviceConfig::default(), u32::MAX, usize::MAX);
+        assert_ne!(inst.backend(), Backend::CpuDense);
     }
 
     #[test]

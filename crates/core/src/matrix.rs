@@ -1,5 +1,8 @@
 //! The `Matrix` handle — the library's main primitive.
 
+use spbla_gpu_sim::with_kernel_label;
+use spbla_obs::{labeled, metrics_global, trace_global};
+
 use crate::backend::cl_sim::{self, DeviceCoo};
 use crate::backend::cuda_sim::{self, DeviceCsr};
 use crate::error::{Result, SpblaError};
@@ -16,6 +19,51 @@ enum Repr {
     Bit(BitMatrix),
     Cuda(DeviceCsr),
     Cl(DeviceCoo),
+}
+
+/// Run one kernel-level op under observability: an `"op"` trace span on
+/// the owning device's track, a kernel label (so device launch spans
+/// emitted inside carry the op's name rather than a generic one), and
+/// per-backend per-kernel histograms — rows, nnz in/out, accumulator
+/// insertions — in the global [`MetricsRegistry`](spbla_obs::MetricsRegistry).
+///
+/// When tracing is disabled the span is skipped entirely (one relaxed
+/// atomic load); histograms are always on but amortise to a handful of
+/// atomic adds per *operation*, not per element.
+fn observe_op<R>(
+    instance: &Instance,
+    kernel: &'static str,
+    rows: u64,
+    nnz_in: u64,
+    f: impl FnOnce() -> Result<R>,
+    nnz_out: impl FnOnce(&R) -> u64,
+) -> Result<R> {
+    let device = instance.device();
+    let track = device.map_or(0, |d| d.ordinal());
+    let mut span = trace_global().span(kernel, "op", track);
+    let insertions_before = device.map_or(0, |d| d.stats().accum_insertions);
+    let out = with_kernel_label(kernel, f)?;
+    let produced = nnz_out(&out);
+    let inserted = device
+        .map_or(0, |d| d.stats().accum_insertions)
+        .saturating_sub(insertions_before);
+    if let Some(span) = span.as_mut() {
+        span.arg("rows", rows);
+        span.arg("nnz_in", nnz_in);
+        span.arg("nnz_out", produced);
+        span.arg("insertions", inserted);
+    }
+    let labels = [("backend", instance.backend().label()), ("kernel", kernel)];
+    let reg = metrics_global();
+    reg.histogram(&labeled("spbla_kernel_rows", &labels))
+        .observe(rows);
+    reg.histogram(&labeled("spbla_kernel_nnz_in", &labels))
+        .observe(nnz_in);
+    reg.histogram(&labeled("spbla_kernel_nnz_out", &labels))
+        .observe(produced);
+    reg.histogram(&labeled("spbla_kernel_insertions", &labels))
+        .observe(inserted);
+    Ok(out)
 }
 
 /// A sparse Boolean matrix owned by an [`Instance`].
@@ -181,6 +229,13 @@ impl Matrix {
         Matrix::from_csr_host(instance, self.to_csr())
     }
 
+    /// Open a parent `"op"` span for a composite operation (fixpoints,
+    /// powers); the leaf ops it calls nest underneath automatically.
+    fn composite_span(&self, name: &'static str) -> Option<spbla_obs::SpanGuard<'static>> {
+        let track = self.instance.device().map_or(0, |d| d.ordinal());
+        trace_global().span(name, "op", track)
+    }
+
     fn check_same_instance(&self, other: &Matrix) -> Result<()> {
         if !self.instance.same_as(&other.instance) {
             return Err(SpblaError::BackendMismatch);
@@ -222,14 +277,24 @@ impl Matrix {
     pub fn mxm(&self, other: &Matrix) -> Result<Matrix> {
         self.check_same_instance(other)?;
         self.check_mul_dims(other)?;
-        let repr = match (&self.repr, &other.repr) {
-            (Repr::Cpu(a), Repr::Cpu(b)) => Repr::Cpu(a.mxm(b)?),
-            (Repr::Bit(a), Repr::Bit(b)) => Repr::Bit(a.mxm(b)?),
-            (Repr::Cuda(a), Repr::Cuda(b)) => Repr::Cuda(cuda_sim::spgemm_hash::mxm(a, b)?),
-            (Repr::Cl(a), Repr::Cl(b)) => Repr::Cl(cl_sim::esc_spgemm::mxm(a, b)?),
-            _ => return Err(SpblaError::BackendMismatch),
-        };
-        Ok(Matrix::wrap(&self.instance, repr))
+        let nnz_in = (self.nnz() + other.nnz()) as u64;
+        observe_op(
+            &self.instance,
+            "mxm",
+            self.nrows() as u64,
+            nnz_in,
+            || {
+                let repr = match (&self.repr, &other.repr) {
+                    (Repr::Cpu(a), Repr::Cpu(b)) => Repr::Cpu(a.mxm(b)?),
+                    (Repr::Bit(a), Repr::Bit(b)) => Repr::Bit(a.mxm(b)?),
+                    (Repr::Cuda(a), Repr::Cuda(b)) => Repr::Cuda(cuda_sim::spgemm_hash::mxm(a, b)?),
+                    (Repr::Cl(a), Repr::Cl(b)) => Repr::Cl(cl_sim::esc_spgemm::mxm(a, b)?),
+                    _ => return Err(SpblaError::BackendMismatch),
+                };
+                Ok(Matrix::wrap(&self.instance, repr))
+            },
+            |m| m.nnz() as u64,
+        )
     }
 
     /// Multiply-add `C = self + A · B` — the paper's `C += M × N` form.
@@ -243,28 +308,52 @@ impl Matrix {
     pub fn ewise_add(&self, other: &Matrix) -> Result<Matrix> {
         self.check_same_instance(other)?;
         self.check_same_shape(other, "ewise_add")?;
-        let repr = match (&self.repr, &other.repr) {
-            (Repr::Cpu(a), Repr::Cpu(b)) => Repr::Cpu(a.ewise_add(b)?),
-            (Repr::Bit(a), Repr::Bit(b)) => Repr::Bit(a.ewise_add(b)?),
-            (Repr::Cuda(a), Repr::Cuda(b)) => Repr::Cuda(cuda_sim::merge_add::ewise_add(a, b)?),
-            (Repr::Cl(a), Repr::Cl(b)) => Repr::Cl(cl_sim::merge_add::ewise_add(a, b)?),
-            _ => return Err(SpblaError::BackendMismatch),
-        };
-        Ok(Matrix::wrap(&self.instance, repr))
+        let nnz_in = (self.nnz() + other.nnz()) as u64;
+        observe_op(
+            &self.instance,
+            "ewise_add",
+            self.nrows() as u64,
+            nnz_in,
+            || {
+                let repr = match (&self.repr, &other.repr) {
+                    (Repr::Cpu(a), Repr::Cpu(b)) => Repr::Cpu(a.ewise_add(b)?),
+                    (Repr::Bit(a), Repr::Bit(b)) => Repr::Bit(a.ewise_add(b)?),
+                    (Repr::Cuda(a), Repr::Cuda(b)) => {
+                        Repr::Cuda(cuda_sim::merge_add::ewise_add(a, b)?)
+                    }
+                    (Repr::Cl(a), Repr::Cl(b)) => Repr::Cl(cl_sim::merge_add::ewise_add(a, b)?),
+                    _ => return Err(SpblaError::BackendMismatch),
+                };
+                Ok(Matrix::wrap(&self.instance, repr))
+            },
+            |m| m.nnz() as u64,
+        )
     }
 
     /// Element-wise Boolean product `C = A ∧ B` (set intersection).
     pub fn ewise_mult(&self, other: &Matrix) -> Result<Matrix> {
         self.check_same_instance(other)?;
         self.check_same_shape(other, "ewise_mult")?;
-        let repr = match (&self.repr, &other.repr) {
-            (Repr::Cpu(a), Repr::Cpu(b)) => Repr::Cpu(a.ewise_mult(b)?),
-            (Repr::Bit(a), Repr::Bit(b)) => Repr::Bit(a.ewise_mult(b)?),
-            (Repr::Cuda(a), Repr::Cuda(b)) => Repr::Cuda(cuda_sim::merge_add::ewise_mult(a, b)?),
-            (Repr::Cl(a), Repr::Cl(b)) => Repr::Cl(cl_sim::merge_add::ewise_mult(a, b)?),
-            _ => return Err(SpblaError::BackendMismatch),
-        };
-        Ok(Matrix::wrap(&self.instance, repr))
+        let nnz_in = (self.nnz() + other.nnz()) as u64;
+        observe_op(
+            &self.instance,
+            "ewise_mult",
+            self.nrows() as u64,
+            nnz_in,
+            || {
+                let repr = match (&self.repr, &other.repr) {
+                    (Repr::Cpu(a), Repr::Cpu(b)) => Repr::Cpu(a.ewise_mult(b)?),
+                    (Repr::Bit(a), Repr::Bit(b)) => Repr::Bit(a.ewise_mult(b)?),
+                    (Repr::Cuda(a), Repr::Cuda(b)) => {
+                        Repr::Cuda(cuda_sim::merge_add::ewise_mult(a, b)?)
+                    }
+                    (Repr::Cl(a), Repr::Cl(b)) => Repr::Cl(cl_sim::merge_add::ewise_mult(a, b)?),
+                    _ => return Err(SpblaError::BackendMismatch),
+                };
+                Ok(Matrix::wrap(&self.instance, repr))
+            },
+            |m| m.nnz() as u64,
+        )
     }
 
     /// Element-wise Boolean difference `C = A ∧ ¬B` (set difference).
@@ -281,58 +370,106 @@ impl Matrix {
     /// Kronecker product `K = A ⊗ B`.
     pub fn kron(&self, other: &Matrix) -> Result<Matrix> {
         self.check_same_instance(other)?;
-        let repr = match (&self.repr, &other.repr) {
-            (Repr::Cpu(a), Repr::Cpu(b)) => Repr::Cpu(a.kron(b)?),
-            (Repr::Bit(a), Repr::Bit(b)) => Repr::Bit(a.kron(b)?),
-            (Repr::Cuda(a), Repr::Cuda(b)) => Repr::Cuda(cuda_sim::kron::kron(a, b)?),
-            (Repr::Cl(a), Repr::Cl(b)) => Repr::Cl(cl_sim::structure::kron(a, b)?),
-            _ => return Err(SpblaError::BackendMismatch),
-        };
-        Ok(Matrix::wrap(&self.instance, repr))
+        let nnz_in = (self.nnz() + other.nnz()) as u64;
+        observe_op(
+            &self.instance,
+            "kron",
+            self.nrows() as u64,
+            nnz_in,
+            || {
+                let repr = match (&self.repr, &other.repr) {
+                    (Repr::Cpu(a), Repr::Cpu(b)) => Repr::Cpu(a.kron(b)?),
+                    (Repr::Bit(a), Repr::Bit(b)) => Repr::Bit(a.kron(b)?),
+                    (Repr::Cuda(a), Repr::Cuda(b)) => Repr::Cuda(cuda_sim::kron::kron(a, b)?),
+                    (Repr::Cl(a), Repr::Cl(b)) => Repr::Cl(cl_sim::structure::kron(a, b)?),
+                    _ => return Err(SpblaError::BackendMismatch),
+                };
+                Ok(Matrix::wrap(&self.instance, repr))
+            },
+            |m| m.nnz() as u64,
+        )
     }
 
     /// Transpose `Mᵀ`.
     pub fn transpose(&self) -> Result<Matrix> {
-        let repr = match &self.repr {
-            Repr::Cpu(m) => Repr::Cpu(m.transpose()),
-            Repr::Bit(m) => Repr::Bit(m.transpose()),
-            Repr::Cuda(m) => Repr::Cuda(cuda_sim::structure::transpose(m)?),
-            Repr::Cl(m) => Repr::Cl(cl_sim::structure::transpose(m)?),
-        };
-        Ok(Matrix::wrap(&self.instance, repr))
+        observe_op(
+            &self.instance,
+            "transpose",
+            self.nrows() as u64,
+            self.nnz() as u64,
+            || {
+                let repr = match &self.repr {
+                    Repr::Cpu(m) => Repr::Cpu(m.transpose()),
+                    Repr::Bit(m) => Repr::Bit(m.transpose()),
+                    Repr::Cuda(m) => Repr::Cuda(cuda_sim::structure::transpose(m)?),
+                    Repr::Cl(m) => Repr::Cl(cl_sim::structure::transpose(m)?),
+                };
+                Ok(Matrix::wrap(&self.instance, repr))
+            },
+            |m| m.nnz() as u64,
+        )
     }
 
     /// Extract `M[i0 .. i0+nrows, j0 .. j0+ncols]`.
     pub fn submatrix(&self, i0: Index, j0: Index, nrows: Index, ncols: Index) -> Result<Matrix> {
-        let repr = match &self.repr {
-            Repr::Cpu(m) => Repr::Cpu(m.submatrix(i0, j0, nrows, ncols)?),
-            Repr::Bit(m) => Repr::Bit(m.submatrix(i0, j0, nrows, ncols)?),
-            Repr::Cuda(m) => Repr::Cuda(cuda_sim::structure::submatrix(m, i0, j0, nrows, ncols)?),
-            Repr::Cl(m) => Repr::Cl(cl_sim::structure::submatrix(m, i0, j0, nrows, ncols)?),
-        };
-        Ok(Matrix::wrap(&self.instance, repr))
+        observe_op(
+            &self.instance,
+            "submatrix",
+            nrows as u64,
+            self.nnz() as u64,
+            || {
+                let repr = match &self.repr {
+                    Repr::Cpu(m) => Repr::Cpu(m.submatrix(i0, j0, nrows, ncols)?),
+                    Repr::Bit(m) => Repr::Bit(m.submatrix(i0, j0, nrows, ncols)?),
+                    Repr::Cuda(m) => {
+                        Repr::Cuda(cuda_sim::structure::submatrix(m, i0, j0, nrows, ncols)?)
+                    }
+                    Repr::Cl(m) => Repr::Cl(cl_sim::structure::submatrix(m, i0, j0, nrows, ncols)?),
+                };
+                Ok(Matrix::wrap(&self.instance, repr))
+            },
+            |m| m.nnz() as u64,
+        )
     }
 
     /// `V = reduceToColumn(M)`: the Boolean or along each row.
     pub fn reduce_to_column(&self) -> Result<Vector> {
-        let indices = match &self.repr {
-            Repr::Cpu(m) => m.reduce_to_column(),
-            Repr::Bit(m) => m.reduce_to_column(),
-            Repr::Cuda(m) => cuda_sim::structure::reduce_to_column(m)?,
-            Repr::Cl(m) => cl_sim::structure::reduce_to_column(m)?,
-        };
-        Vector::from_sorted_indices(&self.instance, self.nrows(), indices)
+        observe_op(
+            &self.instance,
+            "reduce_to_column",
+            self.nrows() as u64,
+            self.nnz() as u64,
+            || {
+                let indices = match &self.repr {
+                    Repr::Cpu(m) => m.reduce_to_column(),
+                    Repr::Bit(m) => m.reduce_to_column(),
+                    Repr::Cuda(m) => cuda_sim::structure::reduce_to_column(m)?,
+                    Repr::Cl(m) => cl_sim::structure::reduce_to_column(m)?,
+                };
+                Vector::from_sorted_indices(&self.instance, self.nrows(), indices)
+            },
+            |v| v.indices().len() as u64,
+        )
     }
 
     /// The Boolean or along each column.
     pub fn reduce_to_row(&self) -> Result<Vector> {
-        let indices = match &self.repr {
-            Repr::Cpu(m) => m.reduce_to_row(),
-            Repr::Bit(m) => m.reduce_to_row(),
-            Repr::Cuda(m) => cuda_sim::structure::reduce_to_row(m)?,
-            Repr::Cl(m) => cl_sim::structure::reduce_to_row(m)?,
-        };
-        Vector::from_sorted_indices(&self.instance, self.ncols(), indices)
+        observe_op(
+            &self.instance,
+            "reduce_to_row",
+            self.nrows() as u64,
+            self.nnz() as u64,
+            || {
+                let indices = match &self.repr {
+                    Repr::Cpu(m) => m.reduce_to_row(),
+                    Repr::Bit(m) => m.reduce_to_row(),
+                    Repr::Cuda(m) => cuda_sim::structure::reduce_to_row(m)?,
+                    Repr::Cl(m) => cl_sim::structure::reduce_to_row(m)?,
+                };
+                Vector::from_sorted_indices(&self.instance, self.ncols(), indices)
+            },
+            |v| v.indices().len() as u64,
+        )
     }
 
     /// Sparse-vector × matrix product `out = v · M` (frontier push).
@@ -344,23 +481,32 @@ impl Matrix {
                 rhs: self.shape(),
             });
         }
-        let out = match &self.repr {
-            Repr::Cpu(m) => m.vxm(v.indices()),
-            Repr::Bit(m) => m.vxm(v.indices()),
-            Repr::Cuda(m) => cuda_sim::vector_ops::vxm(m, v.indices())?,
-            Repr::Cl(m) => {
-                let offs = m.row_offsets();
-                let mc = m.cols();
-                let mut cols: Vec<Index> = Vec::new();
-                for &i in v.indices() {
-                    cols.extend_from_slice(&mc[offs[i as usize]..offs[i as usize + 1]]);
-                }
-                cols.sort_unstable();
-                cols.dedup();
-                cols
-            }
-        };
-        Vector::from_sorted_indices(&self.instance, self.ncols(), out)
+        observe_op(
+            &self.instance,
+            "vxm",
+            self.nrows() as u64,
+            (self.nnz() + v.indices().len()) as u64,
+            || {
+                let out = match &self.repr {
+                    Repr::Cpu(m) => m.vxm(v.indices()),
+                    Repr::Bit(m) => m.vxm(v.indices()),
+                    Repr::Cuda(m) => cuda_sim::vector_ops::vxm(m, v.indices())?,
+                    Repr::Cl(m) => {
+                        let offs = m.row_offsets();
+                        let mc = m.cols();
+                        let mut cols: Vec<Index> = Vec::new();
+                        for &i in v.indices() {
+                            cols.extend_from_slice(&mc[offs[i as usize]..offs[i as usize + 1]]);
+                        }
+                        cols.sort_unstable();
+                        cols.dedup();
+                        cols
+                    }
+                };
+                Vector::from_sorted_indices(&self.instance, self.ncols(), out)
+            },
+            |v| v.indices().len() as u64,
+        )
     }
 
     /// Matrix × sparse-vector product `out = M · v` (pull direction):
@@ -373,29 +519,38 @@ impl Matrix {
                 rhs: (v.len(), 1),
             });
         }
-        let out: Vec<Index> = match &self.repr {
-            Repr::Cpu(m) => (0..m.nrows())
-                .filter(|&i| m.row(i).iter().any(|j| v.get(*j)))
-                .collect(),
-            Repr::Bit(m) => (0..m.nrows())
-                .filter(|&i| v.indices().iter().any(|&j| m.get(i, j)))
-                .collect(),
-            Repr::Cuda(m) => (0..m.nrows())
-                .filter(|&i| m.row(i).iter().any(|j| v.get(*j)))
-                .collect(),
-            Repr::Cl(m) => {
-                let offs = m.row_offsets();
-                let cols = m.cols();
-                (0..m.nrows())
-                    .filter(|&i| {
-                        cols[offs[i as usize]..offs[i as usize + 1]]
-                            .iter()
-                            .any(|j| v.get(*j))
-                    })
-                    .collect()
-            }
-        };
-        Vector::from_sorted_indices(&self.instance, self.nrows(), out)
+        observe_op(
+            &self.instance,
+            "mxv",
+            self.nrows() as u64,
+            (self.nnz() + v.indices().len()) as u64,
+            || {
+                let out: Vec<Index> = match &self.repr {
+                    Repr::Cpu(m) => (0..m.nrows())
+                        .filter(|&i| m.row(i).iter().any(|j| v.get(*j)))
+                        .collect(),
+                    Repr::Bit(m) => (0..m.nrows())
+                        .filter(|&i| v.indices().iter().any(|&j| m.get(i, j)))
+                        .collect(),
+                    Repr::Cuda(m) => (0..m.nrows())
+                        .filter(|&i| m.row(i).iter().any(|j| v.get(*j)))
+                        .collect(),
+                    Repr::Cl(m) => {
+                        let offs = m.row_offsets();
+                        let cols = m.cols();
+                        (0..m.nrows())
+                            .filter(|&i| {
+                                cols[offs[i as usize]..offs[i as usize + 1]]
+                                    .iter()
+                                    .any(|j| v.get(*j))
+                            })
+                            .collect()
+                    }
+                };
+                Vector::from_sorted_indices(&self.instance, self.nrows(), out)
+            },
+            |v| v.indices().len() as u64,
+        )
     }
 
     /// The transitive closure `M⁺` of a square Boolean matrix, computed
@@ -422,6 +577,7 @@ impl Matrix {
                 rhs: self.shape(),
             });
         }
+        let _span = self.composite_span("transitive_closure");
         let mut closure = Matrix::wrap(&self.instance, self.clone_repr()?);
         let mut delta = closure.duplicate()?;
         while delta.nnz() > 0 {
@@ -465,6 +621,7 @@ impl Matrix {
                 rhs: self.shape(),
             });
         }
+        let _span = self.composite_span("power");
         let mut result = Matrix::identity(&self.instance, self.nrows())?;
         let mut base = self.duplicate()?;
         let mut e = k;
@@ -489,18 +646,28 @@ impl Matrix {
     /// the accumulator, so no full product is ever materialised.
     pub fn mxm_masked(&self, other: &Matrix, mask: &Matrix) -> Result<Matrix> {
         self.check_masked_args(other, mask)?;
-        let repr = match (&self.repr, &other.repr, &mask.repr) {
-            (Repr::Cpu(a), Repr::Cpu(b), Repr::Cpu(m)) => Repr::Cpu(a.mxm_masked(b, m)?),
-            (Repr::Bit(a), Repr::Bit(b), Repr::Bit(m)) => Repr::Bit(a.mxm_masked(b, m)?),
-            (Repr::Cuda(a), Repr::Cuda(b), Repr::Cuda(m)) => {
-                Repr::Cuda(cuda_sim::spgemm_hash::mxm_masked(a, b, m)?)
-            }
-            (Repr::Cl(a), Repr::Cl(b), Repr::Cl(m)) => {
-                Repr::Cl(cl_sim::esc_spgemm::mxm_masked(a, b, m)?)
-            }
-            _ => return Err(SpblaError::BackendMismatch),
-        };
-        Ok(Matrix::wrap(&self.instance, repr))
+        let nnz_in = (self.nnz() + other.nnz() + mask.nnz()) as u64;
+        observe_op(
+            &self.instance,
+            "mxm_masked",
+            self.nrows() as u64,
+            nnz_in,
+            || {
+                let repr = match (&self.repr, &other.repr, &mask.repr) {
+                    (Repr::Cpu(a), Repr::Cpu(b), Repr::Cpu(m)) => Repr::Cpu(a.mxm_masked(b, m)?),
+                    (Repr::Bit(a), Repr::Bit(b), Repr::Bit(m)) => Repr::Bit(a.mxm_masked(b, m)?),
+                    (Repr::Cuda(a), Repr::Cuda(b), Repr::Cuda(m)) => {
+                        Repr::Cuda(cuda_sim::spgemm_hash::mxm_masked(a, b, m)?)
+                    }
+                    (Repr::Cl(a), Repr::Cl(b), Repr::Cl(m)) => {
+                        Repr::Cl(cl_sim::esc_spgemm::mxm_masked(a, b, m)?)
+                    }
+                    _ => return Err(SpblaError::BackendMismatch),
+                };
+                Ok(Matrix::wrap(&self.instance, repr))
+            },
+            |m| m.nnz() as u64,
+        )
     }
 
     /// Complemented-mask product `C = (A · B) ∧ ¬M` — only entries of the
@@ -510,18 +677,28 @@ impl Matrix {
     /// already-known candidates before they cost accumulator space.
     pub fn mxm_compmask(&self, other: &Matrix, mask: &Matrix) -> Result<Matrix> {
         self.check_masked_args(other, mask)?;
-        let repr = match (&self.repr, &other.repr, &mask.repr) {
-            (Repr::Cpu(a), Repr::Cpu(b), Repr::Cpu(m)) => Repr::Cpu(a.mxm_compmask(b, m)?),
-            (Repr::Bit(a), Repr::Bit(b), Repr::Bit(m)) => Repr::Bit(a.mxm_compmask(b, m)?),
-            (Repr::Cuda(a), Repr::Cuda(b), Repr::Cuda(m)) => {
-                Repr::Cuda(cuda_sim::spgemm_hash::mxm_compmask(a, b, m)?)
-            }
-            (Repr::Cl(a), Repr::Cl(b), Repr::Cl(m)) => {
-                Repr::Cl(cl_sim::esc_spgemm::mxm_compmask(a, b, m)?)
-            }
-            _ => return Err(SpblaError::BackendMismatch),
-        };
-        Ok(Matrix::wrap(&self.instance, repr))
+        let nnz_in = (self.nnz() + other.nnz() + mask.nnz()) as u64;
+        observe_op(
+            &self.instance,
+            "mxm_compmask",
+            self.nrows() as u64,
+            nnz_in,
+            || {
+                let repr = match (&self.repr, &other.repr, &mask.repr) {
+                    (Repr::Cpu(a), Repr::Cpu(b), Repr::Cpu(m)) => Repr::Cpu(a.mxm_compmask(b, m)?),
+                    (Repr::Bit(a), Repr::Bit(b), Repr::Bit(m)) => Repr::Bit(a.mxm_compmask(b, m)?),
+                    (Repr::Cuda(a), Repr::Cuda(b), Repr::Cuda(m)) => {
+                        Repr::Cuda(cuda_sim::spgemm_hash::mxm_compmask(a, b, m)?)
+                    }
+                    (Repr::Cl(a), Repr::Cl(b), Repr::Cl(m)) => {
+                        Repr::Cl(cl_sim::esc_spgemm::mxm_compmask(a, b, m)?)
+                    }
+                    _ => return Err(SpblaError::BackendMismatch),
+                };
+                Ok(Matrix::wrap(&self.instance, repr))
+            },
+            |m| m.nnz() as u64,
+        )
     }
 
     fn check_masked_args(&self, other: &Matrix, mask: &Matrix) -> Result<()> {
@@ -547,6 +724,7 @@ impl Matrix {
                 rhs: self.shape(),
             });
         }
+        let _span = self.composite_span("reachable_within");
         let mut acc = self.duplicate()?;
         let mut walk = self.duplicate()?;
         for _ in 1..k {
@@ -628,6 +806,20 @@ mod tests {
             let b = Matrix::from_pairs(&inst, 2, 2, &[(0, 1)]).unwrap();
             let r = c.mxm_acc(&a, &b).unwrap();
             assert_eq!(r.read(), vec![(0, 1), (1, 1)]);
+        }
+    }
+
+    #[test]
+    fn ops_record_kernel_histograms() {
+        for inst in instances() {
+            let labels = [("backend", inst.backend().label()), ("kernel", "mxm")];
+            let h = metrics_global().histogram(&labeled("spbla_kernel_nnz_out", &labels));
+            let before = h.count();
+            let a = Matrix::from_pairs(&inst, 2, 2, &[(0, 0), (0, 1)]).unwrap();
+            let b = Matrix::from_pairs(&inst, 2, 2, &[(1, 1)]).unwrap();
+            assert_eq!(a.mxm(&b).unwrap().nnz(), 1);
+            // Other tests may run mxm concurrently; ours adds at least one.
+            assert!(h.count() > before);
         }
     }
 

@@ -21,8 +21,9 @@
 //! never corrupt it, and [`spbla_gpu_sim::DeviceStats`] meters the
 //! release the moment it happens.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+use spbla_obs::Counter;
 
 use rustc_hash::FxHashMap;
 
@@ -98,15 +99,33 @@ pub struct Catalog {
     residency: Vec<Mutex<DeviceResidency>>,
     /// Per-device residency budget in bytes.
     budget: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl Catalog {
     /// A catalog serving `n_devices` devices, each holding at most
     /// `budget` bytes of resident graph matrices.
     pub fn new(n_devices: usize, budget: usize) -> Catalog {
+        Catalog::with_counters(
+            n_devices,
+            budget,
+            Counter::default(),
+            Counter::default(),
+            Counter::default(),
+        )
+    }
+
+    /// Build with caller-provided counter cells (the engine passes
+    /// registry-owned counters; see [`crate::Engine`]).
+    pub fn with_counters(
+        n_devices: usize,
+        budget: usize,
+        hits: Counter,
+        misses: Counter,
+        evictions: Counter,
+    ) -> Catalog {
         Catalog {
             host: Mutex::new(FxHashMap::default()),
             residency: (0..n_devices)
@@ -119,9 +138,9 @@ impl Catalog {
                 })
                 .collect(),
             budget,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits,
+            misses,
+            evictions,
         }
     }
 
@@ -335,14 +354,14 @@ impl Catalog {
             .lock()
             .unwrap_or_else(|e| e.into_inner());
         if let Some(r) = res.map.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc(1);
             let r = Arc::clone(r);
             // Move to most-recent.
             res.order.retain(|k| k != &key);
             res.order.push(key);
             return Ok(r);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc(1);
 
         // Build the residency (holding only this device's lock — only
         // this device's worker takes this mutex, so peers never stall).
@@ -381,7 +400,7 @@ impl Catalog {
             res.order.remove(scan);
             if let Some(old) = res.map.remove(&victim) {
                 res.bytes -= old.bytes;
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evictions.inc(1);
             }
         }
         res.bytes += bytes;
@@ -392,11 +411,7 @@ impl Catalog {
 
     /// (hits, misses, evictions) so far.
     pub fn counters(&self) -> (u64, u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-            self.evictions.load(Ordering::Relaxed),
-        )
+        (self.hits.get(), self.misses.get(), self.evictions.get())
     }
 
     /// Resident bytes currently accounted on device `dev`.

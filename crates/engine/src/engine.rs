@@ -33,6 +33,7 @@ use spbla_graph::rpq_batch::{rpq_all_pairs_mats, rpq_from_each_source_mats};
 use spbla_graph::LabeledGraph;
 use spbla_lang::SymbolTable;
 use spbla_multidev::DeviceGrid;
+use spbla_obs::{labeled, metrics_global, trace_global, Counter, Gauge, Histogram};
 use spbla_stream::UpdateBatch;
 
 use crate::catalog::Catalog;
@@ -175,6 +176,17 @@ enum Payload {
     Update(UpdateBatch),
 }
 
+/// Stable name for span labels.
+fn payload_name(p: &Payload) -> &'static str {
+    match p {
+        Payload::RpqAllPairs => "rpq",
+        Payload::RpqFromSource(_) => "rpq_from_source",
+        Payload::Cfpq => "cfpq",
+        Payload::Closure => "closure",
+        Payload::Update(_) => "update",
+    }
+}
+
 struct PendingRequest {
     graph: String,
     plan: Arc<Plan>,
@@ -194,6 +206,62 @@ struct SchedState {
     depth_hwm: usize,
 }
 
+/// Registry-owned engine accounting: every cell lives in the global
+/// [`spbla_obs::MetricsRegistry`] under
+/// `spbla_engine_*{engine="<id>"}`, so `EngineStats` is a *view* over
+/// the same values Prometheus/JSON exports see — no parallel
+/// bookkeeping that can drift. Each engine gets a process-unique id so
+/// engines constructed back-to-back (the E12 sweep) never alias.
+struct EngineMetrics {
+    submitted: Counter,
+    completed: Counter,
+    rejected: Counter,
+    deadline_exceeded: Counter,
+    cancelled: Counter,
+    failed: Counter,
+    batches: Counter,
+    batched_requests: Counter,
+    queue_depth_hwm: Gauge,
+    queue_wait_us: Histogram,
+    latency_us: Histogram,
+    request_launches: Histogram,
+    plan_hits: Counter,
+    plan_misses: Counter,
+    residency_hits: Counter,
+    residency_misses: Counter,
+    residency_evictions: Counter,
+}
+
+static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(1);
+
+impl EngineMetrics {
+    fn register() -> EngineMetrics {
+        let id = NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed).to_string();
+        let reg = metrics_global();
+        let labels = [("engine", id.as_str())];
+        let counter = |family: &str| reg.counter(&labeled(family, &labels));
+        EngineMetrics {
+            submitted: counter("spbla_engine_submitted_total"),
+            completed: counter("spbla_engine_completed_total"),
+            rejected: counter("spbla_engine_rejected_total"),
+            deadline_exceeded: counter("spbla_engine_deadline_exceeded_total"),
+            cancelled: counter("spbla_engine_cancelled_total"),
+            failed: counter("spbla_engine_failed_total"),
+            batches: counter("spbla_engine_batches_total"),
+            batched_requests: counter("spbla_engine_batched_requests_total"),
+            queue_depth_hwm: reg.gauge(&labeled("spbla_engine_queue_depth_hwm", &labels)),
+            queue_wait_us: reg.histogram(&labeled("spbla_engine_queue_wait_us", &labels)),
+            latency_us: reg.histogram(&labeled("spbla_engine_latency_us", &labels)),
+            request_launches: reg.histogram(&labeled("spbla_engine_request_launches", &labels)),
+            plan_hits: counter("spbla_engine_plan_hits_total"),
+            plan_misses: counter("spbla_engine_plan_misses_total"),
+            residency_hits: counter("spbla_engine_residency_hits_total"),
+            residency_misses: counter("spbla_engine_residency_misses_total"),
+            residency_evictions: counter("spbla_engine_residency_evictions_total"),
+        }
+    }
+}
+
 struct EngineInner {
     grid: DeviceGrid,
     catalog: Catalog,
@@ -202,14 +270,7 @@ struct EngineInner {
     config: EngineConfig,
     state: Mutex<SchedState>,
     available: Condvar,
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    rejected: AtomicU64,
-    deadline_exceeded: AtomicU64,
-    cancelled: AtomicU64,
-    failed: AtomicU64,
-    batches: AtomicU64,
-    batched_requests: AtomicU64,
+    metrics: EngineMetrics,
     in_flight: AtomicUsize,
 }
 
@@ -265,9 +326,20 @@ impl Engine {
                 .unwrap_or(4 << 30)
         });
         let n = grid.len();
+        let metrics = EngineMetrics::register();
         let inner = Arc::new(EngineInner {
-            catalog: Catalog::new(n, budget),
-            planner: Planner::new(config.plan_cache),
+            catalog: Catalog::with_counters(
+                n,
+                budget,
+                metrics.residency_hits.clone(),
+                metrics.residency_misses.clone(),
+                metrics.residency_evictions.clone(),
+            ),
+            planner: Planner::with_counters(
+                config.plan_cache,
+                metrics.plan_hits.clone(),
+                metrics.plan_misses.clone(),
+            ),
             table: Mutex::new(SymbolTable::new()),
             config,
             grid,
@@ -277,14 +349,7 @@ impl Engine {
                 depth_hwm: 0,
             }),
             available: Condvar::new(),
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            deadline_exceeded: AtomicU64::new(0),
-            cancelled: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            batched_requests: AtomicU64::new(0),
+            metrics,
             in_flight: AtomicUsize::new(0),
         });
         let workers = (0..n)
@@ -347,6 +412,8 @@ impl Engine {
         let inner = &self.inner;
         // Fail fast on unknown graphs — before planning or queueing.
         inner.catalog.host_graph(graph)?;
+        let trace = trace_global();
+        let plan_start = trace.now_ns();
         let (plan, payload) = match query {
             Query::Rpq(ref text) => (
                 inner.planner.plan_rpq(text, &inner.table)?,
@@ -363,6 +430,14 @@ impl Engine {
             Query::Closure => (inner.planner.plan_closure()?, Payload::Closure),
             Query::Update(batch) => (inner.planner.plan_update()?, Payload::Update(batch)),
         };
+        trace.leaf(
+            format!("plan:{}", payload_name(&payload)),
+            "phase",
+            0,
+            plan_start,
+            trace.now_ns().saturating_sub(plan_start),
+            &[],
+        );
         // Reads pin the version current at admission: however many
         // update batches land while this request queues, it reads a
         // consistent snapshot. Updates act on whatever is latest when
@@ -402,7 +477,7 @@ impl Engine {
                 return Err(EngineError::ShuttingDown);
             }
             if st.queue.len() >= inner.config.queue_capacity {
-                inner.rejected.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.rejected.inc(1);
                 drop(st);
                 unpin(inner);
                 return Err(EngineError::Overloaded {
@@ -411,7 +486,8 @@ impl Engine {
             }
             st.queue.push_back(request);
             st.depth_hwm = st.depth_hwm.max(st.queue.len());
-            inner.submitted.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.queue_depth_hwm.fetch_max(st.depth_hwm as u64);
+            inner.metrics.submitted.inc(1);
         }
         inner.available.notify_one();
         Ok(Ticket { slot, token })
@@ -435,32 +511,38 @@ impl Engine {
         }
     }
 
-    /// Engine-wide counters plus per-device stats.
+    /// Engine-wide counters plus per-device stats. A thin view over the
+    /// engine's registry-owned cells: every number here equals what the
+    /// global metrics exporters report for this engine's label.
     pub fn stats(&self) -> EngineStats {
         let inner = &self.inner;
-        let (plan_hits, plan_misses) = inner.planner.counters();
-        let (residency_hits, residency_misses, residency_evictions) = inner.catalog.counters();
+        let m = &inner.metrics;
         EngineStats {
-            submitted: inner.submitted.load(Ordering::Relaxed),
-            completed: inner.completed.load(Ordering::Relaxed),
-            rejected: inner.rejected.load(Ordering::Relaxed),
-            deadline_exceeded: inner.deadline_exceeded.load(Ordering::Relaxed),
-            cancelled: inner.cancelled.load(Ordering::Relaxed),
-            failed: inner.failed.load(Ordering::Relaxed),
-            plan_hits,
-            plan_misses,
-            residency_hits,
-            residency_misses,
-            residency_evictions,
-            queue_depth_hwm: inner
-                .state
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .depth_hwm,
-            batches: inner.batches.load(Ordering::Relaxed),
-            batched_requests: inner.batched_requests.load(Ordering::Relaxed),
+            submitted: m.submitted.get(),
+            completed: m.completed.get(),
+            rejected: m.rejected.get(),
+            deadline_exceeded: m.deadline_exceeded.get(),
+            cancelled: m.cancelled.get(),
+            failed: m.failed.get(),
+            plan_hits: m.plan_hits.get(),
+            plan_misses: m.plan_misses.get(),
+            residency_hits: m.residency_hits.get(),
+            residency_misses: m.residency_misses.get(),
+            residency_evictions: m.residency_evictions.get(),
+            queue_depth_hwm: m.queue_depth_hwm.get() as usize,
+            batches: m.batches.get(),
+            batched_requests: m.batched_requests.get(),
             devices: inner.grid.stats(),
         }
+    }
+
+    /// Process-wide device ordinals of this engine's grid, in slot
+    /// order — the keys under which the devices' counters appear in the
+    /// global metrics registry (`spbla_dev_*{dev="<ordinal>"}`).
+    pub fn device_ordinals(&self) -> Vec<u64> {
+        (0..self.inner.grid.len())
+            .map(|i| self.inner.grid.device(i).ordinal())
+            .collect()
     }
 
     /// Number of devices the engine serves over.
@@ -534,11 +616,17 @@ fn collect_batch(
     let mut i = 0;
     while i < st.queue.len() && batch.len() < inner.config.max_batch {
         let candidate = &st.queue[i];
+        // An already-cancelled candidate is left in the queue: sweeping
+        // it into the batch would either run work nobody wants or (the
+        // old bug) attribute the batch's launch/byte deltas to a ticket
+        // that reports `Cancelled`. Its own dequeue finishes it with
+        // zero deltas.
         let matches = !candidate.has_deadline
             && matches!(candidate.payload, Payload::RpqFromSource(_))
             && candidate.graph == batch[0].graph
             && candidate.plan.key == batch[0].plan.key
-            && candidate.version == batch[0].version;
+            && candidate.version == batch[0].version
+            && candidate.token.should_stop().is_none();
         if matches {
             batch.push(st.queue.remove(i).expect("index in bounds"));
         } else {
@@ -577,15 +665,23 @@ fn execute(inner: &EngineInner, dev: usize, mut batch: Vec<PendingRequest>) {
     }
 
     if batch.len() > 1 {
-        inner.batches.fetch_add(1, Ordering::Relaxed);
-        inner
-            .batched_requests
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
         execute_coalesced(inner, dev, &inst, batch, &before, dequeued, &device);
         return;
     }
 
     let req = batch.pop().expect("one request");
+    let mut span = trace_global().span(
+        format!("request:{}", payload_name(&req.payload)),
+        "request",
+        device.ordinal(),
+    );
+    if let Some(span) = span.as_mut() {
+        span.arg(
+            "queue_wait_us",
+            dequeued.duration_since(req.submitted).as_micros() as u64,
+        );
+        span.arg("batch_size", 1);
+    }
     // Arm the request's token for the duration of execution: fixpoints
     // observe it between launches. Cleared before the ticket fires so
     // the device returns to the pool unarmed.
@@ -593,6 +689,7 @@ fn execute(inner: &EngineInner, dev: usize, mut batch: Vec<PendingRequest>) {
     let result = run_one(inner, dev, &inst, &req);
     device.clear_stop_token();
     let after = device.stats();
+    drop(span);
     finish(inner, &req, result, &before, &after, dequeued, 1, dev);
 }
 
@@ -605,6 +702,42 @@ fn execute_coalesced(
     dequeued: Instant,
     device: &spbla_gpu_sim::Device,
 ) {
+    // Re-check every member's token at the execution boundary: a
+    // request cancelled *after* being coalesced must neither run nor
+    // receive the batch's launch/byte deltas — it finishes typed, with
+    // zero deltas, and its source is excluded so the survivors' metrics
+    // reflect only work actually done for them.
+    let (batch, stopped): (Vec<_>, Vec<_>) = batch
+        .into_iter()
+        .partition(|req| req.token.should_stop().is_none());
+    for req in &stopped {
+        let e = req.token.should_stop().expect("partitioned as stopped");
+        finish(
+            inner,
+            req,
+            Err(EngineError::from_exec(e.into())),
+            before,
+            before,
+            dequeued,
+            1,
+            dev,
+        );
+    }
+    if batch.is_empty() {
+        return;
+    }
+    if batch.len() > 1 {
+        inner.metrics.batches.inc(1);
+        inner.metrics.batched_requests.inc(batch.len() as u64);
+    }
+    let mut span = trace_global().span("request:rpq_batch", "request", device.ordinal());
+    if let Some(span) = span.as_mut() {
+        span.arg("batch_size", batch.len() as u64);
+        span.arg(
+            "queue_wait_us",
+            dequeued.duration_since(batch[0].submitted).as_micros() as u64,
+        );
+    }
     let sources: Vec<u32> = batch
         .iter()
         .map(|req| match req.payload {
@@ -624,6 +757,7 @@ fn execute_coalesced(
                 .map_err(EngineError::from_exec)
         });
     let after = device.stats();
+    drop(span);
     let size = batch.len() as u32;
     match outcome {
         Ok(rows) => {
@@ -747,12 +881,10 @@ fn finish(
     dev: usize,
 ) {
     match &result {
-        Ok(_) => inner.completed.fetch_add(1, Ordering::Relaxed),
-        Err(EngineError::DeadlineExceeded { .. }) => {
-            inner.deadline_exceeded.fetch_add(1, Ordering::Relaxed)
-        }
-        Err(EngineError::Cancelled) => inner.cancelled.fetch_add(1, Ordering::Relaxed),
-        Err(_) => inner.failed.fetch_add(1, Ordering::Relaxed),
+        Ok(_) => inner.metrics.completed.inc(1),
+        Err(EngineError::DeadlineExceeded { .. }) => inner.metrics.deadline_exceeded.inc(1),
+        Err(EngineError::Cancelled) => inner.metrics.cancelled.inc(1),
+        Err(_) => inner.metrics.failed.inc(1),
     };
     // The request is done with its snapshot: release the pin so pruning
     // and eviction can reclaim the version. Updates pinned nothing.
@@ -764,12 +896,21 @@ fn finish(
         (Ok(QueryResult::Applied(v)), None) => *v,
         _ => 0,
     };
+    let queue_wait = dequeued.duration_since(req.submitted);
+    let latency = req.submitted.elapsed();
+    let launches = after.launches - before.launches;
+    inner
+        .metrics
+        .queue_wait_us
+        .observe(queue_wait.as_micros() as u64);
+    inner.metrics.latency_us.observe(latency.as_micros() as u64);
+    inner.metrics.request_launches.observe(launches);
     let completed = Completed {
         result,
         metrics: RequestMetrics {
-            queue_wait: dequeued.duration_since(req.submitted),
-            latency: req.submitted.elapsed(),
-            launches: after.launches - before.launches,
+            queue_wait,
+            latency,
+            launches,
             h2d_bytes: after.h2d_bytes - before.h2d_bytes,
             batch_size,
             device: dev,

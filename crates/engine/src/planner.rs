@@ -11,10 +11,10 @@
 //! (the canonical forms are injective). The canonical key is also the
 //! scheduler's same-plan batching key.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use rustc_hash::FxHashMap;
+use spbla_obs::Counter;
 
 use spbla_lang::dfa::Dfa;
 use spbla_lang::glushkov::glushkov;
@@ -51,17 +51,24 @@ pub struct Plan {
 pub struct Planner {
     enabled: bool,
     cache: Mutex<FxHashMap<String, Arc<Plan>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
 }
 
 impl Planner {
     pub fn new(enabled: bool) -> Planner {
+        Planner::with_counters(enabled, Counter::default(), Counter::default())
+    }
+
+    /// Build with caller-provided counter cells — the engine hands in
+    /// registry-owned counters so hit/miss accounting lands in the
+    /// global [`spbla_obs::MetricsRegistry`] with no second bookkeeping.
+    pub fn with_counters(enabled: bool, hits: Counter, misses: Counter) -> Planner {
         Planner {
             enabled,
             cache: Mutex::new(FxHashMap::default()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits,
+            misses,
         }
     }
 
@@ -120,11 +127,11 @@ impl Planner {
                 .unwrap_or_else(|e| e.into_inner())
                 .get(&key)
             {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc(1);
                 return Ok(Arc::clone(plan));
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc(1);
         let plan = Arc::new(Plan {
             key: key.clone(),
             kind: build(),
@@ -143,10 +150,7 @@ impl Planner {
 
     /// (hits, misses) so far.
     pub fn counters(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+        (self.hits.get(), self.misses.get())
     }
 
     /// Number of cached plans.

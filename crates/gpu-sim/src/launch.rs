@@ -152,7 +152,7 @@ impl Device {
         Self::check_cfg(cfg)?;
         self.check_stop()?;
         self.inner.count_launch(cfg.grid as u64);
-        self.run(|| {
+        self.traced_run(cfg, || {
             (0..cfg.grid).into_par_iter().for_each(|b| {
                 let mut ctx = self.make_ctx(b, cfg);
                 kernel(&mut ctx);
@@ -168,6 +168,31 @@ impl Device {
             Some(pool) => pool.install(f),
             None => f(),
         }
+    }
+
+    /// [`Device::run`], recording a `kernel` span when tracing is on.
+    /// Every launch entry point funnels through here after its
+    /// `count_launch`, so the trace carries exactly one kernel span per
+    /// counted launch — the invariant the `spbla trace` export relies on.
+    fn traced_run<R: Send>(&self, cfg: LaunchCfg, f: impl FnOnce() -> R + Send) -> R {
+        let t = spbla_obs::trace_global();
+        if !t.is_enabled() {
+            return self.run(f);
+        }
+        let start = t.now_ns();
+        let out = self.run(f);
+        t.leaf(
+            crate::device::kernel_label(),
+            "kernel",
+            self.ordinal(),
+            start,
+            t.now_ns().saturating_sub(start),
+            &[
+                ("grid", cfg.grid as u64),
+                ("block_dim", cfg.block_dim as u64),
+            ],
+        );
+        out
     }
 
     /// Launch a kernel where block `b` exclusively owns the output range
@@ -217,7 +242,7 @@ impl Device {
             offset = r.end;
         }
 
-        self.run(|| {
+        self.traced_run(cfg, || {
             slices.into_par_iter().for_each(|(b, slice)| {
                 let mut ctx = self.make_ctx(b, cfg);
                 kernel(&mut ctx, slice);
@@ -250,7 +275,7 @@ impl Device {
         Self::check_cfg(cfg)?;
         self.check_stop()?;
         self.inner.count_launch(cfg.grid as u64);
-        self.run(|| {
+        self.traced_run(cfg, || {
             out.par_chunks_mut(chunk)
                 .enumerate()
                 .for_each(|(b, slice)| {

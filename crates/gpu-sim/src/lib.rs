@@ -37,7 +37,7 @@ pub mod primitives;
 pub mod stop;
 
 pub use buffer::DeviceBuffer;
-pub use device::{Device, DeviceConfig, DeviceStats};
+pub use device::{with_kernel_label, Device, DeviceConfig, DeviceStats};
 pub use error::{DeviceError, Result};
 pub use launch::{BlockCtx, LaunchCfg};
 pub use stop::StopToken;

@@ -18,15 +18,16 @@ pub fn compact_flagged<T: Copy + Default + Send + Sync>(
     let mut offsets: Vec<usize> = flags.iter().map(|&f| (f != 0) as usize).collect();
     let kept = exclusive_scan(device, &mut offsets)?;
     let out = ScatterBuf::<T>::new(kept);
-    device.inner.count_launch(1);
-    data.par_iter()
-        .zip(flags.par_iter())
-        .zip(offsets.par_iter())
-        .for_each(|((&v, &f), &o)| {
-            if f != 0 {
-                out.write(o, v);
-            }
-        });
+    device.primitive_launch("compact_scatter", 1, || {
+        data.par_iter()
+            .zip(flags.par_iter())
+            .zip(offsets.par_iter())
+            .for_each(|((&v, &f), &o)| {
+                if f != 0 {
+                    out.write(o, v);
+                }
+            });
+    });
     Ok(out.into_vec())
 }
 

@@ -13,36 +13,36 @@ use crate::device::Device;
 /// index out of bounds, so the check is unconditional).
 pub fn histogram(device: &Device, data: &[u32], bins: usize) -> Vec<usize> {
     if data.is_empty() {
-        device.inner.count_launch(1);
-        return vec![0; bins];
+        return device.primitive_launch("histogram", 1, || vec![0; bins]);
     }
     let chunk = data
         .len()
         .div_ceil(rayon::current_num_threads().max(1) * 2)
         .max(1);
     let nchunks = data.len().div_ceil(chunk);
-    device.inner.count_launch(nchunks as u64);
-    data.par_chunks(chunk)
-        .map(|c| {
-            let mut h = vec![0usize; bins];
-            for &v in c {
-                assert!(
-                    (v as usize) < bins,
-                    "value {v} out of histogram range {bins}"
-                );
-                h[v as usize] += 1;
-            }
-            h
-        })
-        .reduce(
-            || vec![0usize; bins],
-            |mut a, b| {
-                for (x, y) in a.iter_mut().zip(b) {
-                    *x += y;
+    device.primitive_launch("histogram", nchunks as u64, || {
+        data.par_chunks(chunk)
+            .map(|c| {
+                let mut h = vec![0usize; bins];
+                for &v in c {
+                    assert!(
+                        (v as usize) < bins,
+                        "value {v} out of histogram range {bins}"
+                    );
+                    h[v as usize] += 1;
                 }
-                a
-            },
-        )
+                h
+            })
+            .reduce(
+                || vec![0usize; bins],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            )
+    })
 }
 
 #[cfg(test)]

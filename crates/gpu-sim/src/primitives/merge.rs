@@ -14,18 +14,25 @@ pub struct MergePoint {
 
 /// Find the merge-path crossing of diagonal `diag` (`0 ..= a.len()+b.len()`)
 /// for the stable merge of sorted `a` and `b` where ties consume `a` first.
+///
+/// Out-of-range diagonals are clamped to the final point (debug builds
+/// still assert) so a miscomputed caller diagonal can never turn into
+/// out-of-bounds segment indices downstream.
 pub fn merge_path_partition<T: Ord>(a: &[T], b: &[T], diag: usize) -> MergePoint {
     debug_assert!(diag <= a.len() + b.len(), "diagonal out of range");
+    let diag = diag.min(a.len() + b.len());
     // Binary search over i = elements taken from `a`, j = diag - i.
     let mut lo = diag.saturating_sub(b.len());
     let mut hi = diag.min(a.len());
     while lo < hi {
         let i = (lo + hi) / 2;
         let j = diag - i;
-        // Crossing condition: a[i] should be merged before b[j-1] iff
-        // a[i] < b[j-1]; we need the first i where a[i] >= b[j-1] fails...
-        // Standard formulation: path is below (i,j) if a[i] < b[j-1].
-        if i < a.len() && j > 0 && a[i] < b[j - 1] {
+        // The path crosses below (i, j) iff a[i] is merged before b[j-1].
+        // With a-first tie consumption that is a[i] <= b[j-1]: a strict
+        // `<` here silently flips ties to b-first, contradicting the
+        // contract above (observable as (0, 1) instead of (1, 0) for
+        // a = b = [x], diag = 1 — invisible to value-only checks).
+        if i < a.len() && j > 0 && a[i] <= b[j - 1] {
             lo = i + 1;
         } else {
             hi = i;
@@ -43,7 +50,9 @@ pub fn merge_path_partitions<T: Ord>(a: &[T], b: &[T], parts: usize) -> Vec<Merg
     let total = a.len() + b.len();
     let parts = parts.max(1);
     (0..=parts)
-        .map(|p| merge_path_partition(a, b, p * total / parts))
+        // Widen before multiplying: `p * total` overflows usize for
+        // near-capacity merges long before the merge itself would.
+        .map(|p| merge_path_partition(a, b, (p as u128 * total as u128 / parts as u128) as usize))
         .collect()
 }
 
@@ -99,6 +108,50 @@ mod tests {
         let a = vec![5u32; 100]; // heavy duplicates
         let b = vec![5u32; 37];
         check_partition(&a, &b, 8);
+    }
+
+    #[test]
+    fn ties_consume_a_first() {
+        // Regression: a strict `<` in the crossing condition returns
+        // (0, 1) here — b-first ties — which value-only merge checks
+        // cannot distinguish but index consumers can.
+        assert_eq!(
+            merge_path_partition(&[5u32], &[5u32], 1),
+            MergePoint { a_idx: 1, b_idx: 0 }
+        );
+        // All-duplicates: every diagonal drains `a` before touching `b`.
+        let a = [7u32; 4];
+        let b = [7u32; 3];
+        for diag in 0..=7usize {
+            let p = merge_path_partition(&a, &b, diag);
+            assert_eq!(p.a_idx, diag.min(a.len()));
+            assert_eq!(p.b_idx, diag.saturating_sub(a.len()));
+        }
+    }
+
+    #[test]
+    fn empty_slices_at_every_diagonal() {
+        let v = [1u32, 2, 3];
+        for diag in 0..=3usize {
+            assert_eq!(
+                merge_path_partition(&[], &v, diag),
+                MergePoint {
+                    a_idx: 0,
+                    b_idx: diag
+                }
+            );
+            assert_eq!(
+                merge_path_partition(&v, &[], diag),
+                MergePoint {
+                    a_idx: diag,
+                    b_idx: 0
+                }
+            );
+        }
+        assert_eq!(
+            merge_path_partition::<u32>(&[], &[], 0),
+            MergePoint { a_idx: 0, b_idx: 0 }
+        );
     }
 
     #[test]

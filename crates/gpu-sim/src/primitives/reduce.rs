@@ -6,14 +6,12 @@ use crate::device::Device;
 
 /// Sum of all elements (tree reduction; one logical launch).
 pub fn reduce_sum(device: &Device, data: &[usize]) -> usize {
-    device.inner.count_launch(1);
-    data.par_iter().sum()
+    device.primitive_launch("reduce_sum", 1, || data.par_iter().sum())
 }
 
 /// Maximum element, or `None` for an empty input.
 pub fn reduce_max(device: &Device, data: &[usize]) -> Option<usize> {
-    device.inner.count_launch(1);
-    data.par_iter().copied().max()
+    device.primitive_launch("reduce_max", 1, || data.par_iter().copied().max())
 }
 
 #[cfg(test)]

@@ -19,20 +19,23 @@ pub fn exclusive_scan(device: &Device, data: &mut [usize]) -> Result<usize> {
         return Ok(0);
     }
     if n <= SERIAL_CUTOFF {
-        device.inner.count_launch(1);
-        let mut acc = 0usize;
-        for v in data.iter_mut() {
-            let x = *v;
-            *v = acc;
-            acc += x;
-        }
-        return Ok(acc);
+        return Ok(device.primitive_launch("scan_serial", 1, || {
+            let mut acc = 0usize;
+            for v in data.iter_mut() {
+                let x = *v;
+                *v = acc;
+                acc += x;
+            }
+            acc
+        }));
     }
 
     let chunk = n.div_ceil(rayon::current_num_threads().max(1) * 4).max(1);
+    let nchunks = n.div_ceil(chunk) as u64;
     // Phase 1: local sums per chunk.
-    let mut partials: Vec<usize> = data.par_chunks(chunk).map(|c| c.iter().sum()).collect();
-    device.inner.count_launch(partials.len() as u64);
+    let mut partials: Vec<usize> = device.primitive_launch("scan_partials", nchunks, || {
+        data.par_chunks(chunk).map(|c| c.iter().sum()).collect()
+    });
     // Phase 2: scan the partials (small, serial).
     let mut acc = 0usize;
     for p in partials.iter_mut() {
@@ -41,17 +44,18 @@ pub fn exclusive_scan(device: &Device, data: &mut [usize]) -> Result<usize> {
         acc += x;
     }
     // Phase 3: local exclusive scan with offset.
-    device.inner.count_launch(partials.len() as u64);
-    data.par_chunks_mut(chunk)
-        .zip(partials.par_iter())
-        .for_each(|(c, &offset)| {
-            let mut local = offset;
-            for v in c.iter_mut() {
-                let x = *v;
-                *v = local;
-                local += x;
-            }
-        });
+    device.primitive_launch("scan_apply", nchunks, || {
+        data.par_chunks_mut(chunk)
+            .zip(partials.par_iter())
+            .for_each(|(c, &offset)| {
+                let mut local = offset;
+                for v in c.iter_mut() {
+                    let x = *v;
+                    *v = local;
+                    local += x;
+                }
+            });
+    });
     Ok(acc)
 }
 

@@ -42,18 +42,19 @@ fn sort_impl(device: &Device, keys: &mut Vec<u64>, vals: &mut Vec<u32>) {
     }
     // Small inputs: a serial comparison sort is both faster and simpler.
     if n < 1 << 13 {
-        device.inner.count_launch(1);
-        if vals.is_empty() {
-            keys.sort_unstable();
-        } else {
-            let mut perm: Vec<u32> = (0..n as u32).collect();
-            // Stable, matching the LSD radix passes below.
-            perm.sort_by_key(|&i| keys[i as usize]);
-            let old_keys = std::mem::take(keys);
-            let old_vals = std::mem::take(vals);
-            *keys = perm.iter().map(|&i| old_keys[i as usize]).collect();
-            *vals = perm.iter().map(|&i| old_vals[i as usize]).collect();
-        }
+        device.primitive_launch("sort_small", 1, || {
+            if vals.is_empty() {
+                keys.sort_unstable();
+            } else {
+                let mut perm: Vec<u32> = (0..n as u32).collect();
+                // Stable, matching the LSD radix passes below.
+                perm.sort_by_key(|&i| keys[i as usize]);
+                let old_keys = std::mem::take(keys);
+                let old_vals = std::mem::take(vals);
+                *keys = perm.iter().map(|&i| old_keys[i as usize]).collect();
+                *vals = perm.iter().map(|&i| old_vals[i as usize]).collect();
+            }
+        });
         return;
     }
 
@@ -70,61 +71,61 @@ fn sort_impl(device: &Device, keys: &mut Vec<u64>, vals: &mut Vec<u32>) {
         if pass > 0 && (or_all >> (pass * RADIX_BITS)) == 0 {
             break;
         }
-        device.inner.count_launch(nchunks as u64 * 2);
-
-        // Phase 1: per-chunk digit histograms.
-        let hists: Vec<[u32; RADIX]> = keys
-            .par_chunks(chunk)
-            .map(|c| {
-                let mut h = [0u32; RADIX];
-                for &k in c {
-                    h[digit(k, pass)] += 1;
-                }
-                h
-            })
-            .collect();
-
-        // Phase 2: digit-major, chunk-minor exclusive scan of counts.
-        let mut offsets = vec![[0u32; RADIX]; nchunks];
-        let mut acc = 0u32;
-        for d in 0..RADIX {
-            for c in 0..nchunks {
-                offsets[c][d] = acc;
-                acc += hists[c][d];
-            }
-        }
-
-        // Phase 3: scatter each chunk's items to their scanned offsets.
-        let out_keys = ScatterBuf::<u64>::new(n);
-        if vals.is_empty() {
-            keys.par_chunks(chunk)
-                .zip(offsets.par_iter())
-                .for_each(|(c, base)| {
-                    let mut cursor = *base;
+        device.primitive_launch("sort_pass", nchunks as u64 * 2, || {
+            // Phase 1: per-chunk digit histograms.
+            let hists: Vec<[u32; RADIX]> = keys
+                .par_chunks(chunk)
+                .map(|c| {
+                    let mut h = [0u32; RADIX];
                     for &k in c {
-                        let d = digit(k, pass);
-                        out_keys.write(cursor[d] as usize, k);
-                        cursor[d] += 1;
+                        h[digit(k, pass)] += 1;
                     }
-                });
-            *keys = out_keys.into_vec();
-        } else {
-            let out_vals = ScatterBuf::<u32>::new(n);
-            keys.par_chunks(chunk)
-                .zip(vals.par_chunks(chunk))
-                .zip(offsets.par_iter())
-                .for_each(|((ck, cv), base)| {
-                    let mut cursor = *base;
-                    for (&k, &v) in ck.iter().zip(cv.iter()) {
-                        let d = digit(k, pass);
-                        out_keys.write(cursor[d] as usize, k);
-                        out_vals.write(cursor[d] as usize, v);
-                        cursor[d] += 1;
-                    }
-                });
-            *keys = out_keys.into_vec();
-            *vals = out_vals.into_vec();
-        }
+                    h
+                })
+                .collect();
+
+            // Phase 2: digit-major, chunk-minor exclusive scan of counts.
+            let mut offsets = vec![[0u32; RADIX]; nchunks];
+            let mut acc = 0u32;
+            for d in 0..RADIX {
+                for c in 0..nchunks {
+                    offsets[c][d] = acc;
+                    acc += hists[c][d];
+                }
+            }
+
+            // Phase 3: scatter each chunk's items to their scanned offsets.
+            let out_keys = ScatterBuf::<u64>::new(n);
+            if vals.is_empty() {
+                keys.par_chunks(chunk)
+                    .zip(offsets.par_iter())
+                    .for_each(|(c, base)| {
+                        let mut cursor = *base;
+                        for &k in c {
+                            let d = digit(k, pass);
+                            out_keys.write(cursor[d] as usize, k);
+                            cursor[d] += 1;
+                        }
+                    });
+                *keys = out_keys.into_vec();
+            } else {
+                let out_vals = ScatterBuf::<u32>::new(n);
+                keys.par_chunks(chunk)
+                    .zip(vals.par_chunks(chunk))
+                    .zip(offsets.par_iter())
+                    .for_each(|((ck, cv), base)| {
+                        let mut cursor = *base;
+                        for (&k, &v) in ck.iter().zip(cv.iter()) {
+                            let d = digit(k, pass);
+                            out_keys.write(cursor[d] as usize, k);
+                            out_vals.write(cursor[d] as usize, v);
+                            cursor[d] += 1;
+                        }
+                    });
+                *keys = out_keys.into_vec();
+                *vals = out_vals.into_vec();
+            }
+        });
     }
 }
 

@@ -140,6 +140,30 @@ proptest! {
     }
 
     #[test]
+    fn merge_path_crossing_matches_scalar_reference(
+        mut a in proptest::collection::vec(0u8..8, 0..64),
+        mut b in proptest::collection::vec(0u8..8, 0..64),
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        // Tiny value range forces heavy duplicate runs; check the exact
+        // (a_idx, b_idx) crossing — not just merged values — against a
+        // scalar stable merge that consumes `a` first on ties.
+        for diag in 0..=(a.len() + b.len()) {
+            let got = merge_path_partition(&a, &b, diag);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i + j < diag {
+                if i < a.len() && (j >= b.len() || a[i] <= b[j]) {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+            }
+            prop_assert_eq!(got, spbla_gpu_sim::primitives::merge::MergePoint { a_idx: i, b_idx: j });
+        }
+    }
+
+    #[test]
     fn buffer_accounting_balances(lens in proptest::collection::vec(1usize..4096, 1..20)) {
         let dev = Device::default();
         {

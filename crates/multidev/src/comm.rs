@@ -11,6 +11,7 @@
 //! `d2d_bytes` is the *logical* peer traffic on top of that accounting.
 
 use spbla_core::{Matrix, Result};
+use spbla_obs::trace_global;
 
 use crate::dist::DistMatrix;
 use crate::grid::DeviceGrid;
@@ -37,7 +38,13 @@ impl<'g> Comm<'g> {
         if src == dst {
             return m.duplicate();
         }
-        self.grid.device(src).count_d2d(m.memory_bytes() as u64);
+        let bytes = m.memory_bytes() as u64;
+        let mut span = trace_global().span("peer_copy", "comm", self.grid.device(src).ordinal());
+        if let Some(span) = span.as_mut() {
+            span.arg("bytes", bytes);
+            span.arg("dst", self.grid.device(dst).ordinal());
+        }
+        self.grid.device(src).count_d2d(bytes);
         m.to_instance(self.grid.instance(dst))
     }
 
@@ -45,6 +52,7 @@ impl<'g> Comm<'g> {
     /// included (as a duplicate). Meters `(p - 1) ×` the matrix bytes
     /// on the root.
     pub fn broadcast(&self, m: &Matrix, src: usize) -> Result<Vec<Matrix>> {
+        let _span = trace_global().span("broadcast", "comm", self.grid.device(src).ordinal());
         (0..self.grid.len())
             .map(|dst| self.peer_copy(m, src, dst))
             .collect()
@@ -54,6 +62,10 @@ impl<'g> Comm<'g> {
     /// target a round-robin schedule avoids holding. Every remote shard
     /// is metered from its owner.
     pub fn all_gather(&self, dist: &DistMatrix, dst: usize) -> Result<Matrix> {
+        let mut span = trace_global().span("all_gather", "comm", self.grid.device(dst).ordinal());
+        if let Some(span) = span.as_mut() {
+            span.arg("nnz", dist.nnz() as u64);
+        }
         let mut pairs = Vec::with_capacity(dist.nnz());
         for (j, shard) in dist.shards().iter().enumerate() {
             if shard.is_empty() {
@@ -72,6 +84,11 @@ impl<'g> Comm<'g> {
     /// the listed devices down to one matrix on `root`. Each non-root
     /// partial is metered from its owner as it moves.
     pub fn merge_reduce(&self, parts: &[(usize, &Matrix)], root: usize) -> Result<Matrix> {
+        let mut span =
+            trace_global().span("merge_reduce", "comm", self.grid.device(root).ordinal());
+        if let Some(span) = span.as_mut() {
+            span.arg("parts", parts.len() as u64);
+        }
         let mut acc: Option<Matrix> = None;
         for &(slot, m) in parts {
             let local = self.peer_copy(m, slot, root)?;

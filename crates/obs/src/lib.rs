@@ -1,0 +1,110 @@
+//! Observability: tracing and metrics for the simulated GPGPU stack.
+//!
+//! Everything the paper's evaluation counts — kernel launches, transfer
+//! bytes, accumulator insertions, request latencies — flows through the
+//! two facilities in this crate:
+//!
+//! * a [`MetricsRegistry`] of named counters, gauges and log₂-bucket
+//!   histograms, exportable as Prometheus text or JSON. The simulated
+//!   devices own their counters *inside* the registry, so
+//!   `DeviceStats`-style snapshots are views over registry values, not a
+//!   parallel bookkeeping scheme that can drift;
+//! * a [`Trace`] ring buffer of spans with parent/child ids, recording
+//!   each kernel launch, transfer and engine request so a request's full
+//!   kernel tree is reconstructable (and loadable in `chrome://tracing`
+//!   via [`Trace::render_chrome_json`]).
+//!
+//! Both are deliberately dependency-free (std only) so they can sit at
+//! the very bottom of the workspace dependency graph, below `gpu-sim`.
+//!
+//! # Cost discipline
+//!
+//! Counters and histograms are lock-free atomics; the registry mutex is
+//! only taken when a handle is first resolved by name (call sites cache
+//! handles). The trace fast path is a single relaxed atomic load when
+//! disabled — enabling tracing is opt-in per process ([`trace_global`]
+//! starts disabled), so steady-state kernels pay nothing for it.
+//!
+//! # Naming scheme
+//!
+//! Metric names follow Prometheus conventions with inline labels:
+//! `family{key="value",...}`. The families this workspace emits:
+//!
+//! * `spbla_dev_*{dev="N"}` — per-device counters/gauges (launches,
+//!   blocks, h2d/d2h/d2d bytes, accumulator insertions, allocations,
+//!   bytes in use, peak bytes), `N` the process-wide device ordinal;
+//! * `spbla_kernel_*{backend="B",kernel="K"}` — per-backend per-kernel
+//!   histograms (rows, nnz in/out, insertions, duration);
+//! * `spbla_engine_*` — serving-engine request accounting.
+
+mod metrics;
+mod trace;
+
+pub use metrics::{
+    metrics_global, Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricSample,
+    MetricsRegistry, SampleValue,
+};
+pub use trace::{trace_global, SpanGuard, SpanRecord, Trace, TraceSnapshot};
+
+/// Escape a string for inclusion inside a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Build a labeled metric name: `family{k1="v1",k2="v2"}`.
+pub fn labeled(family: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return family.to_string();
+    }
+    let mut out = String::with_capacity(family.len() + 16 * labels.len());
+    out.push_str(family);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labeled_names() {
+        assert_eq!(labeled("f", &[]), "f");
+        assert_eq!(
+            labeled("spbla_dev_launches_total", &[("dev", "3")]),
+            "spbla_dev_launches_total{dev=\"3\"}"
+        );
+        assert_eq!(
+            labeled("h", &[("a", "x"), ("b", "y")]),
+            "h{a=\"x\",b=\"y\"}"
+        );
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,499 @@
+//! The metrics registry: named counters, gauges and log₂ histograms.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json_escape;
+
+/// A monotonically increasing counter. Cheap to clone; clones share the
+/// cell, so a call site can resolve its handle once and increment
+/// lock-free thereafter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn inc(&self, n: u64) {
+        if n > 0 {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable value (bytes in use, queue depth, watermarks).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n`.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        self.cell.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Raise the value to at least `v` (high-water marks).
+    #[inline]
+    pub fn fetch_max(&self, v: u64) {
+        self.cell.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Compare-and-swap, for owners that gate updates on an invariant
+    /// (the device allocator's capacity check runs directly against its
+    /// registry-owned gauge so there is exactly one source of truth).
+    #[inline]
+    pub fn compare_exchange_weak(&self, current: u64, new: u64) -> Result<u64, u64> {
+        self.cell
+            .compare_exchange_weak(current, new, Ordering::Relaxed, Ordering::Relaxed)
+    }
+}
+
+const HIST_BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// `buckets[i]` counts values whose bit length is `i` — bucket 0 is
+    /// exactly zero, bucket `i ≥ 1` covers `[2^(i-1), 2^i - 1]`.
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A histogram over `u64` values with power-of-two buckets: constant
+/// memory, lock-free observation, and quantile estimates good to a
+/// factor of two (tightened by the exact max).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+/// Point-in-time view of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Median estimate (log₂-bucket upper bound, capped by `max`).
+    pub p50: u64,
+    /// 95th-percentile estimate (same precision).
+    pub p95: u64,
+}
+
+impl Histogram {
+    /// Record one value.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let i = (u64::BITS - v.leading_zeros()) as usize;
+        self.inner.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+        self.inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// observation (0 ≤ `q` ≤ 1), capped by the exact maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot_at(q).1
+    }
+
+    fn snapshot_at(&self, q: f64) -> (u64, u64) {
+        let count = self.count();
+        if count == 0 {
+            return (0, 0);
+        }
+        let max = self.inner.max.load(Ordering::Relaxed);
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.inner.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                let bound = if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                return (count, bound.min(max));
+            }
+        }
+        (count, max)
+    }
+
+    /// Full snapshot with p50/p95.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.inner.max.load(Ordering::Relaxed),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+        }
+    }
+}
+
+/// What kind of metric a name resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Settable gauge.
+    Gauge,
+    /// Log₂-bucket histogram.
+    Histogram,
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A sampled metric value, as exported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SampleValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram summary.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named sample out of [`MetricsRegistry::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSample {
+    /// Full metric name, labels included.
+    pub name: String,
+    /// The value at snapshot time.
+    pub value: SampleValue,
+}
+
+/// Named metrics, get-or-create by name. Handles are cheap clones of the
+/// underlying cells — resolve once, then update lock-free.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry (tests; production code uses [`metrics_global`]).
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Get or create the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` already names a gauge or histogram — metric names are
+    /// a process-wide schema and a kind clash is a programming error.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name} is a {other:?}, not a counter"),
+        }
+    }
+
+    /// Get or create the gauge `name` (panics on kind clash).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name} is a {other:?}, not a gauge"),
+        }
+    }
+
+    /// Get or create the histogram `name` (panics on kind clash).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::default()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name} is a {other:?}, not a histogram"),
+        }
+    }
+
+    /// The kind registered under `name`, if any.
+    pub fn kind(&self, name: &str) -> Option<MetricKind> {
+        self.lock().get(name).map(|m| match m {
+            Metric::Counter(_) => MetricKind::Counter,
+            Metric::Gauge(_) => MetricKind::Gauge,
+            Metric::Histogram(_) => MetricKind::Histogram,
+        })
+    }
+
+    /// Point-in-time values of every registered metric, name-sorted.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        self.lock()
+            .iter()
+            .map(|(name, m)| MetricSample {
+                name: name.clone(),
+                value: match m {
+                    Metric::Counter(c) => SampleValue::Counter(c.get()),
+                    Metric::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SampleValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect()
+    }
+
+    /// Snapshot restricted to names starting with `prefix` (family or
+    /// family-group scans without string post-filtering at call sites).
+    pub fn snapshot_prefixed(&self, prefix: &str) -> Vec<MetricSample> {
+        self.snapshot()
+            .into_iter()
+            .filter(|s| s.name.starts_with(prefix))
+            .collect()
+    }
+
+    /// Prometheus text exposition. Histograms export `_count`, `_sum`
+    /// and `quantile`-labeled summary samples.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = String::new();
+        for sample in self.snapshot() {
+            let (family, labels) = split_labels(&sample.name);
+            if family != last_family {
+                let kind = match sample.value {
+                    SampleValue::Counter(_) => "counter",
+                    SampleValue::Gauge(_) => "gauge",
+                    SampleValue::Histogram(_) => "summary",
+                };
+                out.push_str(&format!("# TYPE {family} {kind}\n"));
+                last_family = family.to_string();
+            }
+            match sample.value {
+                SampleValue::Counter(v) | SampleValue::Gauge(v) => {
+                    out.push_str(&format!("{}{} {v}\n", family, labels));
+                }
+                SampleValue::Histogram(h) => {
+                    out.push_str(&format!("{family}_count{labels} {}\n", h.count));
+                    out.push_str(&format!("{family}_sum{labels} {}\n", h.sum));
+                    for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("1", h.max)] {
+                        let ql = with_label(labels, "quantile", q);
+                        out.push_str(&format!("{family}{ql} {v}\n"));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON export: an array of `{name, type, ...}` objects.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, sample) in self.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let name = json_escape(&sample.name);
+            match &sample.value {
+                SampleValue::Counter(v) => {
+                    out.push_str(&format!(
+                        "{{\"name\":\"{name}\",\"type\":\"counter\",\"value\":{v}}}"
+                    ));
+                }
+                SampleValue::Gauge(v) => {
+                    out.push_str(&format!(
+                        "{{\"name\":\"{name}\",\"type\":\"gauge\",\"value\":{v}}}"
+                    ));
+                }
+                SampleValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"name\":\"{name}\",\"type\":\"histogram\",\"count\":{},\
+                         \"sum\":{},\"p50\":{},\"p95\":{},\"max\":{}}}",
+                        h.count, h.sum, h.p50, h.p95, h.max
+                    ));
+                }
+            }
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Split `family{labels}` into `("family", "{labels}")` (labels may be
+/// empty).
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => name.split_at(i),
+        None => (name, ""),
+    }
+}
+
+/// Insert an extra label into a (possibly empty) `{...}` suffix.
+fn with_label(labels: &str, key: &str, value: &str) -> String {
+    if labels.is_empty() {
+        format!("{{{key}=\"{value}\"}}")
+    } else {
+        format!(
+            "{},{key}=\"{value}\"}}",
+            &labels[..labels.len() - 1] // strip trailing '}'
+        )
+    }
+}
+
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The process-wide registry every layer of the workspace records into.
+pub fn metrics_global() -> &'static MetricsRegistry {
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("hits_total");
+        c.inc(3);
+        reg.counter("hits_total").inc(2); // same cell by name
+        assert_eq!(c.get(), 5);
+
+        let g = reg.gauge("depth");
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        g.fetch_max(7); // below current: no-op
+        assert_eq!(g.get(), 12);
+        g.fetch_max(40);
+        assert_eq!(g.get(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_clash_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 1, 2, 3, 7, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 114);
+        let s = h.snapshot();
+        assert_eq!(s.max, 100);
+        // Median observation is 2 → bucket [2,3] → bound 3.
+        assert_eq!(s.p50, 3);
+        // p95 lands in the top bucket, capped by the exact max.
+        assert_eq!(s.p95, 100);
+        // Empty histogram is all zeros.
+        assert_eq!(
+            Histogram::default().snapshot(),
+            HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                max: 0,
+                p50: 0,
+                p95: 0
+            }
+        );
+    }
+
+    #[test]
+    fn prometheus_and_json_exports() {
+        let reg = MetricsRegistry::new();
+        reg.counter("spbla_dev_launches_total{dev=\"0\"}").inc(4);
+        reg.gauge("spbla_dev_bytes_in_use{dev=\"0\"}").set(128);
+        reg.histogram("spbla_kernel_rows{kernel=\"mxm\"}")
+            .observe(9);
+        let prom = reg.render_prometheus();
+        assert!(prom.contains("# TYPE spbla_dev_launches_total counter"));
+        assert!(prom.contains("spbla_dev_launches_total{dev=\"0\"} 4"));
+        assert!(prom.contains("spbla_dev_bytes_in_use{dev=\"0\"} 128"));
+        assert!(prom.contains("spbla_kernel_rows_count{kernel=\"mxm\"} 1"));
+        assert!(prom.contains("spbla_kernel_rows{kernel=\"mxm\",quantile=\"0.5\"} 9"));
+
+        let json = reg.render_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"type\":\"counter\",\"value\":4"));
+        assert!(json.contains("\"count\":1"));
+    }
+
+    #[test]
+    fn snapshot_prefix_filters() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total").inc(1);
+        reg.counter("b_total").inc(1);
+        let only_a = reg.snapshot_prefixed("a_");
+        assert_eq!(only_a.len(), 1);
+        assert_eq!(only_a[0].name, "a_total");
+    }
+}

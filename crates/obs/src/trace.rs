@@ -1,0 +1,374 @@
+//! The span trace: a lock-cheap ring buffer of timed, parented spans.
+
+use std::borrow::Cow;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json_escape;
+
+/// One recorded span. `parent == 0` means a root span; ids are unique
+/// and monotonic per [`Trace`], so `(id, parent)` edges reconstruct the
+/// full tree of a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique span id (never 0).
+    pub id: u64,
+    /// Enclosing span's id, or 0 for a root.
+    pub parent: u64,
+    /// Span name (kernel, op, transfer or request label).
+    pub name: Cow<'static, str>,
+    /// Category: `"kernel"`, `"xfer"`, `"op"`, `"request"`, `"phase"`.
+    pub cat: &'static str,
+    /// Timeline track: the device ordinal for device work, 0 for host.
+    pub track: u64,
+    /// Start, nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Numeric attributes (byte counts, nnz, block counts, ...).
+    pub args: Vec<(&'static str, u64)>,
+}
+
+struct TraceBuf {
+    spans: VecDeque<SpanRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// A ring buffer of spans. Disabled by default: the fast path for every
+/// instrumentation point is one relaxed atomic load. Enabling installs a
+/// bounded buffer; once full, the oldest spans are dropped (and
+/// counted), so tracing never grows without bound.
+pub struct Trace {
+    enabled: AtomicBool,
+    next_id: AtomicU64,
+    epoch: Instant,
+    buf: Mutex<TraceBuf>,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new()
+    }
+}
+
+/// Point-in-time copy of the trace contents.
+#[derive(Debug, Clone)]
+pub struct TraceSnapshot {
+    /// Recorded spans, oldest first.
+    pub spans: Vec<SpanRecord>,
+    /// Spans evicted because the ring was full.
+    pub dropped: u64,
+}
+
+thread_local! {
+    /// The innermost open span on this thread — new spans parent to it.
+    static CURRENT_PARENT: Cell<u64> = const { Cell::new(0) };
+}
+
+impl Trace {
+    /// A disabled trace with the default ring capacity.
+    pub fn new() -> Self {
+        Trace {
+            enabled: AtomicBool::new(false),
+            next_id: AtomicU64::new(1),
+            epoch: Instant::now(),
+            buf: Mutex::new(TraceBuf {
+                spans: VecDeque::new(),
+                capacity: 1 << 16,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Start recording into a fresh ring of `capacity` spans.
+    pub fn enable(&self, capacity: usize) {
+        let mut buf = self.buf.lock().unwrap_or_else(|e| e.into_inner());
+        buf.spans.clear();
+        buf.capacity = capacity.max(1);
+        buf.dropped = 0;
+        drop(buf);
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Stop recording (the buffered spans remain readable).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    /// Whether spans are being recorded — the one-load fast path every
+    /// instrumentation point checks first.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since the trace epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// The current thread's innermost open span id (0 if none).
+    pub fn current_parent(&self) -> u64 {
+        CURRENT_PARENT.with(|c| c.get())
+    }
+
+    /// Open a span: allocates an id, parents it to the thread's current
+    /// span, and makes it the current span until the guard drops (which
+    /// records the span with its measured duration). Returns `None`
+    /// when tracing is disabled — the caller pays nothing.
+    pub fn span(
+        &self,
+        name: impl Into<Cow<'static, str>>,
+        cat: &'static str,
+        track: u64,
+    ) -> Option<SpanGuard<'_>> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let prev = CURRENT_PARENT.with(|c| c.replace(id));
+        Some(SpanGuard {
+            trace: self,
+            record: SpanRecord {
+                id,
+                parent: prev,
+                name: name.into(),
+                cat,
+                track,
+                start_ns: self.now_ns(),
+                dur_ns: 0,
+                args: Vec::new(),
+            },
+            prev_parent: prev,
+        })
+    }
+
+    /// Record a leaf span after the fact (the caller measured
+    /// `start_ns`/`dur_ns` itself, e.g. around a parallel kernel body).
+    /// Parents to the thread's current span. No-op when disabled.
+    pub fn leaf(
+        &self,
+        name: impl Into<Cow<'static, str>>,
+        cat: &'static str,
+        track: u64,
+        start_ns: u64,
+        dur_ns: u64,
+        args: &[(&'static str, u64)],
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.push(SpanRecord {
+            id,
+            parent: self.current_parent(),
+            name: name.into(),
+            cat,
+            track,
+            start_ns,
+            dur_ns,
+            args: args.to_vec(),
+        });
+    }
+
+    fn push(&self, record: SpanRecord) {
+        let mut buf = self.buf.lock().unwrap_or_else(|e| e.into_inner());
+        if buf.spans.len() >= buf.capacity {
+            buf.spans.pop_front();
+            buf.dropped += 1;
+        }
+        buf.spans.push_back(record);
+    }
+
+    /// Copy out everything recorded so far.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let buf = self.buf.lock().unwrap_or_else(|e| e.into_inner());
+        TraceSnapshot {
+            spans: buf.spans.iter().cloned().collect(),
+            dropped: buf.dropped,
+        }
+    }
+
+    /// Number of recorded spans in `cat`.
+    pub fn count_category(&self, cat: &str) -> usize {
+        self.buf
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .spans
+            .iter()
+            .filter(|s| s.cat == cat)
+            .count()
+    }
+
+    /// Render the buffer as chrome://tracing "Trace Event Format" JSON
+    /// (complete events; `ts`/`dur` in microseconds). Load the output in
+    /// `chrome://tracing` or https://ui.perfetto.dev.
+    pub fn render_chrome_json(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, s) in snap.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{}.{:03},\
+                 \"dur\":{}.{:03},\"pid\":0,\"tid\":{},\"args\":{{\"id\":{},\"parent\":{}",
+                json_escape(&s.name),
+                json_escape(s.cat),
+                s.start_ns / 1_000,
+                s.start_ns % 1_000,
+                s.dur_ns / 1_000,
+                s.dur_ns % 1_000,
+                s.track,
+                s.id,
+                s.parent,
+            ));
+            for (k, v) in &s.args {
+                out.push_str(&format!(",\"{}\":{v}", json_escape(k)));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// RAII handle for an open span; records it (with measured duration) and
+/// restores the thread's previous parent on drop.
+pub struct SpanGuard<'t> {
+    trace: &'t Trace,
+    record: SpanRecord,
+    prev_parent: u64,
+}
+
+impl SpanGuard<'_> {
+    /// The span's id (to parent work recorded on other threads).
+    pub fn id(&self) -> u64 {
+        self.record.id
+    }
+
+    /// Attach a numeric attribute.
+    pub fn arg(&mut self, key: &'static str, value: u64) {
+        self.record.args.push((key, value));
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        CURRENT_PARENT.with(|c| c.set(self.prev_parent));
+        let mut record = std::mem::replace(
+            &mut self.record,
+            SpanRecord {
+                id: 0,
+                parent: 0,
+                name: Cow::Borrowed(""),
+                cat: "",
+                track: 0,
+                start_ns: 0,
+                dur_ns: 0,
+                args: Vec::new(),
+            },
+        );
+        record.dur_ns = self.trace.now_ns().saturating_sub(record.start_ns);
+        self.trace.push(record);
+    }
+}
+
+static GLOBAL: OnceLock<Trace> = OnceLock::new();
+
+/// The process-wide trace. Disabled until something (the CLI `trace`
+/// subcommand, the C API, a test) calls [`Trace::enable`] on it.
+pub fn trace_global() -> &'static Trace {
+    GLOBAL.get_or_init(Trace::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let t = Trace::new();
+        assert!(t.span("op", "op", 0).is_none());
+        t.leaf("k", "kernel", 1, 0, 10, &[]);
+        assert!(t.snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_parent_ids_link() {
+        let t = Trace::new();
+        t.enable(64);
+        {
+            let outer = t.span("request", "request", 0).unwrap();
+            let outer_id = outer.id();
+            {
+                let mut inner = t.span("mxm", "op", 1).unwrap();
+                inner.arg("nnz", 42);
+                t.leaf("gemm", "kernel", 1, t.now_ns(), 5, &[("blocks", 8)]);
+                assert_eq!(t.current_parent(), inner.id());
+            }
+            assert_eq!(t.current_parent(), outer_id);
+        }
+        assert_eq!(t.current_parent(), 0);
+        let snap = t.snapshot();
+        assert_eq!(snap.spans.len(), 3);
+        // Order of record is leaf, inner (drop), outer (drop).
+        let leaf = &snap.spans[0];
+        let inner = &snap.spans[1];
+        let outer = &snap.spans[2];
+        assert_eq!(leaf.name, "gemm");
+        assert_eq!(leaf.parent, inner.id);
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.args, vec![("nnz", 42)]);
+        assert_eq!(leaf.args, vec![("blocks", 8)]);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let t = Trace::new();
+        t.enable(2);
+        for i in 0..5u64 {
+            t.leaf(format!("s{i}"), "op", 0, i, 1, &[]);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.dropped, 3);
+        assert_eq!(snap.spans[0].name, "s3");
+        assert_eq!(snap.spans[1].name, "s4");
+    }
+
+    #[test]
+    fn chrome_export_is_wellformed() {
+        let t = Trace::new();
+        t.enable(16);
+        {
+            let mut g = t.span("closure", "op", 2).unwrap();
+            g.arg("nnz_out", 7);
+        }
+        let json = t.render_chrome_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"closure\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"tid\":2"));
+        assert!(json.contains("\"nnz_out\":7"));
+    }
+
+    #[test]
+    fn disable_keeps_buffer_readable() {
+        let t = Trace::new();
+        t.enable(8);
+        t.leaf("k", "kernel", 0, 0, 1, &[]);
+        t.disable();
+        assert!(!t.is_enabled());
+        assert_eq!(t.snapshot().spans.len(), 1);
+        // Re-enabling clears the ring.
+        t.enable(8);
+        assert!(t.snapshot().spans.is_empty());
+    }
+}

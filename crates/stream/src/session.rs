@@ -84,17 +84,26 @@ impl GraphStream {
     /// Apply one batch: store first, then every view, then the log.
     /// No-op batches touch nothing and do not advance the version.
     pub fn apply(&mut self, batch: UpdateBatch) -> Result<AppliedBatch> {
+        let mut span = spbla_obs::trace_global().span("stream:apply", "op", 0);
+        if let Some(span) = span.as_mut() {
+            span.arg("ops", batch.len() as u64);
+        }
         let prev = self.store.pin();
         let applied = self.store.apply(&batch)?;
         if applied.is_noop() {
             return Ok(applied);
         }
+        if let Some(span) = span.as_mut() {
+            span.arg("version", applied.version);
+        }
         if let Some(view) = &mut self.closure {
             if !applied.adj_inserted.is_empty() || !applied.adj_deleted.is_empty() {
+                let _inner = spbla_obs::trace_global().span("stream:closure_view", "op", 0);
                 view.apply(&applied.adj_inserted, &applied.adj_deleted)?;
             }
         }
         for view in self.rpq_views.values_mut() {
+            let _inner = spbla_obs::trace_global().span("stream:rpq_view", "op", 0);
             view.apply(&prev, &applied)?;
         }
         self.log.record(batch);

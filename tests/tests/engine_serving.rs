@@ -274,6 +274,82 @@ fn cancellation_is_typed() {
     assert_eq!(stats.cancelled, 1);
 }
 
+/// Two clients submit coalescible same-plan single-source RPQs behind a
+/// busy worker; one cancels while queued. The cancelled ticket must
+/// finish typed `Cancelled` with *zero* launch/byte deltas, and the
+/// surviving ticket's `RequestMetrics` must equal a solo reference run
+/// — the batch sweep must not pull a cancelled request into the batch
+/// and attribute the batch's work to it (or inflate the survivor's).
+#[test]
+fn cancelled_batch_member_does_not_skew_survivors() {
+    let submit_src = |engine: &Engine, source: u32| {
+        engine
+            .submit(
+                "lubm",
+                Query::RpqFromSource {
+                    text: SRC_TEMPLATE.into(),
+                    source,
+                },
+            )
+            .unwrap()
+    };
+
+    // Reference: the survivor's launches when served strictly solo,
+    // with residency warmed the same way (closure first).
+    let reference = {
+        let engine = engine_on(
+            1,
+            EngineConfig {
+                batching: false,
+                ..EngineConfig::default()
+            },
+        );
+        engine
+            .submit("lubm", Query::Closure)
+            .unwrap()
+            .wait()
+            .result
+            .unwrap();
+        let done = submit_src(&engine, 3).wait();
+        done.result.unwrap();
+        engine.shutdown();
+        done.metrics.launches
+    };
+    assert!(reference > 0, "solo reference run launched nothing");
+
+    // Race under batching: both requests queue behind the closure and
+    // are coalescible (same graph, plan key, version, no deadline);
+    // client B cancels while queued.
+    let engine = engine_on(1, EngineConfig::default());
+    let busy = engine.submit("lubm", Query::Closure).unwrap();
+    let survivor = submit_src(&engine, 3); // client A
+    let victim = submit_src(&engine, 7); // client B
+    victim.cancel();
+
+    assert!(busy.wait().result.is_ok());
+    let cancelled = victim.wait();
+    assert!(matches!(cancelled.result, Err(EngineError::Cancelled)));
+    assert_eq!(
+        cancelled.metrics.launches, 0,
+        "cancelled member was charged for batch work"
+    );
+    assert_eq!(cancelled.metrics.h2d_bytes, 0);
+    assert_eq!(cancelled.metrics.batch_size, 1);
+
+    let served = survivor.wait();
+    assert!(served.result.is_ok());
+    assert_eq!(served.metrics.batch_size, 1);
+    assert_eq!(
+        served.metrics.launches, reference,
+        "survivor's metrics skewed by a cancelled batch member"
+    );
+
+    let stats = engine.shutdown();
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.completed, 2); // busy + survivor
+    assert_eq!(stats.batches, 0, "a cancelled request was coalesced");
+}
+
 /// Unknown graphs and malformed queries fail fast at submit.
 #[test]
 fn submit_time_errors_are_typed() {
