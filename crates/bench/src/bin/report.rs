@@ -8,9 +8,15 @@
 //! ```
 //!
 //! Subcommands: `table1 table2 fig2 fig3 table3 table4 paths
-//! boolean-vs-generic formats ablations scaling serving stream obs all`.
+//! boolean-vs-generic formats ablations scaling serving stream obs
+//! fusion all`.
 //! `obs` additionally writes `BENCH_obs.json` (per-kernel p50/p95 from
 //! the profiling histograms plus the measured tracing overhead).
+//! `fusion` writes `BENCH_fusion.json` (fused vs unfused delta-closure
+//! launches, intermediate-product bytes elided, push/pull direction
+//! decisions on LUBM, 1/2/4-device closure checksums) and exits
+//! non-zero unless the fused schedule launches ≥ 25% fewer kernels —
+//! the CI smoke gate.
 //! `--json FILE` additionally writes the machine-readable records the
 //! run produced (one JSON object per experiment configuration, with the
 //! device counters: launches, accumulator insertions, h2d/d2h/d2d bytes
@@ -127,6 +133,7 @@ fn main() {
         "serving" => serving(&mut records),
         "stream" => stream(&mut records),
         "obs" => obs(&mut records),
+        "fusion" => fusion(&mut records),
         "all" => {
             table1();
             table2();
@@ -142,10 +149,11 @@ fn main() {
             serving(&mut records);
             stream(&mut records);
             obs(&mut records);
+            fusion(&mut records);
         }
         other => {
             eprintln!("unknown experiment: {other}");
-            eprintln!("known: table1 table2 fig2 fig3 table3 table4 paths boolean-vs-generic formats ablations scaling serving stream obs all");
+            eprintln!("known: table1 table2 fig2 fig3 table3 table4 paths boolean-vs-generic formats ablations scaling serving stream obs fusion all");
             std::process::exit(2);
         }
     }
@@ -1179,6 +1187,188 @@ fn obs(records: &mut Vec<JsonRecord>) {
         d2d_bytes: s.d2d_bytes,
         peak_bytes: s.peak_bytes,
     });
+}
+
+// ---------------------------------------------------------------- E14
+fn fusion(records: &mut Vec<JsonRecord>) {
+    header("FUSION — fused accumulating masked SpGEMM vs the unfused composition (E14 gate)");
+    println!("(the claims to check: the fused delta closure launches ≥25% fewer");
+    println!(" kernels than the unfused mxm_compmask + ewise_add + nnz loop, never");
+    println!(" materialises the intermediate product, and the gathered closure is");
+    println!(" bit-identical on 1/2/4-device grids; push/pull decisions are counted)\n");
+    use spbla_graph::closure::{closure_delta, closure_delta_on_devices};
+    use spbla_graph::rpq_bfs::rpq_from_sources;
+    use spbla_lang::Regex;
+
+    let mut table = SymbolTable::new();
+    let g = lubm_rung(2, &mut table);
+    let n = g.n_vertices();
+    let adj = g.adjacency_csr();
+    let pairs = adj.to_pairs();
+    println!("LUBM rung: n={n}, nnz={}", adj.nnz());
+
+    // The schedule the fused kernel replaces, spelled out: one
+    // standalone complement-masked product per round (the intermediate
+    // this PR elides), a separate union launch, and an nnz-reduction
+    // termination probe against an unprimed handle.
+    let unfused_closure = |m: &Matrix| -> (Matrix, usize) {
+        let mut c = m.duplicate().expect("duplicate");
+        let mut delta = m.duplicate().expect("duplicate");
+        let mut intermediate_bytes = 0usize;
+        loop {
+            let fresh = c.mxm_compmask(&delta, &c).expect("masked product");
+            intermediate_bytes += fresh.memory_bytes();
+            if fresh.nnz() == 0 {
+                break;
+            }
+            c = c.ewise_add(&fresh).expect("union");
+            delta = fresh;
+        }
+        (c, intermediate_bytes)
+    };
+
+    let inst = Instance::cuda_sim();
+    let m = upload(&inst, n, &pairs);
+    let device = inst.device().expect("cuda-sim has a device");
+
+    let s0 = device.stats();
+    let (c_unfused, elided_bytes) = unfused_closure(&m);
+    let s1 = device.stats();
+    let c_fused = closure_delta(&m).expect("fused closure");
+    let s2 = device.stats();
+    let unfused_launches = s1.launches - s0.launches;
+    let fused_launches = s2.launches - s1.launches;
+    let fused_insertions = s2.accum_insertions - s1.accum_insertions;
+    assert_eq!(
+        c_fused.read(),
+        c_unfused.read(),
+        "fused and unfused closures diverge"
+    );
+    let t_unfused = time_avg(RUNS, || {
+        unfused_closure(&m);
+    });
+    let t_fused = time_avg(RUNS, || {
+        closure_delta(&m).expect("fused closure");
+    });
+    let reduction_pct = 100.0 * (1.0 - fused_launches as f64 / unfused_launches.max(1) as f64);
+    println!(
+        "unfused delta closure: {unfused_launches} launches, {elided_bytes} intermediate bytes, {}s",
+        secs(t_unfused)
+    );
+    println!(
+        "fused delta closure:   {fused_launches} launches, 0 intermediate bytes, {}s",
+        secs(t_fused)
+    );
+    println!("launch reduction: {reduction_pct:.1}% (gate: >= 25%)");
+
+    // Push/pull direction decisions on a LUBM traversal: single-source
+    // frontiers stay under the 1/32 density crossover (push row
+    // gathers); saturating the sources from every vertex tips the
+    // frontier over it (pull bit-word sweeps).
+    let dir_count = |name: &str| {
+        spbla_obs::metrics_global()
+            .counter(&spbla_obs::labeled(name, &[("backend", "cuda-sim")]))
+            .get()
+    };
+    let (push0, pull0) = (
+        dir_count("spbla_frontier_push_total"),
+        dir_count("spbla_frontier_pull_total"),
+    );
+    let query = Regex::parse("memberOf . subOrganizationOf*", &mut table).expect("query parses");
+    for src in 0..8u32 {
+        rpq_from_sources(&g, &query, &[src * 97 % n], &inst).expect("rpq");
+    }
+    let everyone: Vec<u32> = (0..n).collect();
+    rpq_from_sources(&g, &query, &everyone, &inst).expect("rpq");
+    let push_decisions = dir_count("spbla_frontier_push_total") - push0;
+    let pull_decisions = dir_count("spbla_frontier_pull_total") - pull0;
+    println!("frontier direction decisions: {push_decisions} push, {pull_decisions} pull");
+
+    // The distributed schedule must gather bit-identically on every
+    // grid width — same pairs, same checksum.
+    let fnv = |pairs: &[(u32, u32)]| -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &(r, c) in pairs {
+            for b in r.to_le_bytes().into_iter().chain(c.to_le_bytes()) {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
+    };
+    let reference = c_fused.read();
+    let reference_sum = fnv(&reference);
+    let mut grid_sums: Vec<(usize, u64)> = Vec::new();
+    for devices in [1usize, 2, 4] {
+        let (closed, _grid) = closure_delta_on_devices(&adj, devices).expect("dist closure");
+        let sum = fnv(&closed.to_pairs());
+        assert_eq!(
+            closed.to_pairs(),
+            reference,
+            "{devices}-device closure diverges from single-device"
+        );
+        grid_sums.push((devices, sum));
+    }
+    println!(
+        "closure checksum {reference_sum:#018x} bit-identical on {} grids",
+        grid_sums
+            .iter()
+            .map(|(d, _)| d.to_string())
+            .collect::<Vec<_>>()
+            .join("/")
+    );
+
+    let grids_json = grid_sums
+        .iter()
+        .map(|(d, s)| format!(r#"    {{"devices": {d}, "checksum": "{s:#018x}"}}"#))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"graph\": \"LUBM\", \"n\": {n}, \"nnz\": {},\n  \
+         \"unfused\": {{\"launches\": {unfused_launches}, \"intermediate_bytes\": {elided_bytes}, \"seconds\": {}}},\n  \
+         \"fused\": {{\"launches\": {fused_launches}, \"insertions\": {fused_insertions}, \"intermediate_bytes\": 0, \"seconds\": {}}},\n  \
+         \"intermediate_bytes_elided\": {elided_bytes},\n  \
+         \"launch_reduction_pct\": {reduction_pct:.1},\n  \
+         \"push_decisions\": {push_decisions}, \"pull_decisions\": {pull_decisions},\n  \
+         \"closure_checksums\": [\n{grids_json}\n  ]\n}}\n",
+        adj.nnz(),
+        secs(t_unfused),
+        secs(t_fused),
+    );
+    std::fs::write("BENCH_fusion.json", json).unwrap_or_else(|e| {
+        eprintln!("cannot write BENCH_fusion.json: {e}");
+        std::process::exit(1);
+    });
+    println!("\nwrote BENCH_fusion.json");
+
+    let s = device.stats();
+    records.push(JsonRecord {
+        experiment: "fusion".into(),
+        config: vec![
+            ("unfused_launches".into(), unfused_launches.to_string()),
+            ("fused_launches".into(), fused_launches.to_string()),
+            ("launch_reduction_pct".into(), format!("{reduction_pct:.1}")),
+            ("intermediate_bytes_elided".into(), elided_bytes.to_string()),
+            ("push_decisions".into(), push_decisions.to_string()),
+            ("pull_decisions".into(), pull_decisions.to_string()),
+        ],
+        launches: s.launches,
+        insertions: s.accum_insertions,
+        h2d_bytes: s.h2d_bytes,
+        d2h_bytes: s.d2h_bytes,
+        d2d_bytes: s.d2d_bytes,
+        peak_bytes: s.peak_bytes,
+    });
+
+    // The CI smoke gate: fused must beat unfused by >= 25% launches.
+    if fused_launches * 4 > unfused_launches * 3 {
+        eprintln!(
+            "FUSION GATE FAILED: fused {fused_launches} launches vs unfused {unfused_launches} \
+             ({reduction_pct:.1}% reduction, need >= 25%)"
+        );
+        std::process::exit(2);
+    }
+    println!("fusion gate passed: {reduction_pct:.1}% >= 25% launch reduction");
 }
 
 // ---------------------------------------------------------------- E9

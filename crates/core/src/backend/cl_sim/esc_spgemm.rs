@@ -12,6 +12,7 @@
 //! 3. **compact**: adjacent-unique compaction yields sorted COO output
 //!    (Boolean semiring: duplicates collapse with no accumulation).
 
+use spbla_gpu_sim::primitives::merge::merge_path_partitions;
 use spbla_gpu_sim::primitives::scan::exclusive_scan;
 use spbla_gpu_sim::primitives::sort::sort_u64;
 use spbla_gpu_sim::{DeviceBuffer, LaunchCfg};
@@ -152,6 +153,82 @@ fn mxm_inner(
     drop(expanded);
 
     DeviceCoo::from_keys(&device, a.nrows(), b.ncols(), &keys)
+}
+
+/// Fused semi-naïve step `fresh = (A · B) ∧ ¬C; C' = C ∪ fresh` with `c`
+/// the accumulator. The Drop-filtered ESC product already guarantees
+/// `fresh ∩ C = ∅`, so the union is a merge-path merge of the two key
+/// streams with *no* adjacent-unique compaction (the flags launch and the
+/// compaction of `ewise_add` are elided) — and the fresh count is the
+/// product's own key count, no separate `nnz` reduction.
+///
+/// Returns `(C ∪ fresh, nnz(fresh), fresh if want_fresh)`.
+pub fn mxm_accum_compmask(
+    c: &DeviceCoo,
+    a: &DeviceCoo,
+    b: &DeviceCoo,
+    want_fresh: bool,
+) -> Result<(DeviceCoo, usize, Option<DeviceCoo>)> {
+    debug_assert_eq!(a.ncols(), b.nrows(), "caller validates dimensions");
+    debug_assert_eq!(a.nrows(), c.nrows());
+    debug_assert_eq!(b.ncols(), c.ncols());
+    let device = c.device().clone();
+    let fresh = if c.nnz() == 0 {
+        mxm_inner(a, b, None)?
+    } else {
+        mxm_inner(a, b, Some((c, MaskMode::Drop)))?
+    };
+    let fresh_nnz = fresh.nnz();
+    if fresh_nnz == 0 {
+        // Converged: a real fused kernel leaves C in place, so the
+        // unchanged accumulator costs no metered transfer — the copy
+        // below only exists because handles are immutable.
+        let keys = c.to_keys(&device)?;
+        let acc = DeviceCoo::from_keys(&device, c.nrows(), c.ncols(), keys.as_slice())?;
+        return Ok((acc, 0, want_fresh.then_some(fresh)));
+    }
+    if c.nnz() == 0 {
+        let keys = fresh.to_keys(&device)?;
+        let acc = DeviceCoo::from_keys(&device, c.nrows(), c.ncols(), keys.as_slice())?;
+        return Ok((acc, fresh_nnz, want_fresh.then_some(fresh)));
+    }
+    let ka = c.to_keys(&device)?;
+    let kb = fresh.to_keys(&device)?;
+    let mut merged = DeviceBuffer::<u64>::zeroed(&device, ka.len() + kb.len())?;
+    let parts = (device.config().sm_count as usize * 4).max(1);
+    let points = merge_path_partitions(ka.as_slice(), kb.as_slice(), parts);
+    {
+        let (sa, sb) = (ka.as_slice(), kb.as_slice());
+        let pts = &points;
+        let cfg = LaunchCfg::grid(&device, parts as u32);
+        device.launch(
+            cfg,
+            merged.as_mut_slice(),
+            |blk| {
+                let (s, e) = (pts[blk as usize], pts[blk as usize + 1]);
+                (s.a_idx + s.b_idx)..(e.a_idx + e.b_idx)
+            },
+            |ctx, out| {
+                let (s, e) = (
+                    pts[ctx.block_idx() as usize],
+                    pts[ctx.block_idx() as usize + 1],
+                );
+                let (mut x, mut y, mut w) = (s.a_idx, s.b_idx, 0usize);
+                while x < e.a_idx || y < e.b_idx {
+                    if y >= e.b_idx || (x < e.a_idx && sa[x] <= sb[y]) {
+                        out[w] = sa[x];
+                        x += 1;
+                    } else {
+                        out[w] = sb[y];
+                        y += 1;
+                    }
+                    w += 1;
+                }
+            },
+        )?;
+    }
+    let acc = DeviceCoo::from_keys(&device, c.nrows(), c.ncols(), merged.as_slice())?;
+    Ok((acc, fresh_nnz, want_fresh.then_some(fresh)))
 }
 
 /// Size of the ESC intermediate buffer for `A · B` in bytes — exposed for

@@ -142,6 +142,96 @@ pub fn reduce_to_row(mat: &DeviceCoo) -> Result<Vec<Index>> {
     Ok(uniq.into_iter().map(|k| k as Index).collect())
 }
 
+/// Frontier-push `vxm` for COO: gather sizes per frontier row (via the
+/// derived row offsets), scan, gather the column slices, sort, and
+/// adjacent-unique — the COO twin of `cuda_sim::vector_ops::vxm`.
+pub fn vxm(mat: &DeviceCoo, set: &[Index]) -> Result<Vec<Index>> {
+    let device = mat.device().clone();
+    if set.is_empty() || mat.nnz() == 0 {
+        return Ok(Vec::new());
+    }
+    let row_offs = mat.row_offsets();
+    let cols = mat.cols();
+    let mut sizes = vec![0usize; set.len()];
+    device.launch_map(&mut sizes, |k| {
+        let i = set[k] as usize;
+        row_offs[i + 1] - row_offs[i]
+    })?;
+    let total = exclusive_scan(&device, &mut sizes)?;
+    if total == 0 {
+        return Ok(Vec::new());
+    }
+    let offsets = sizes;
+    let mut gathered = DeviceBuffer::<Index>::zeroed(&device, total)?;
+    {
+        let offs = &offsets;
+        let cfg = LaunchCfg::grid(&device, set.len() as u32);
+        device.launch(
+            cfg,
+            gathered.as_mut_slice(),
+            |blk| {
+                let k = blk as usize;
+                let end = if k + 1 < offs.len() {
+                    offs[k + 1]
+                } else {
+                    total
+                };
+                offs[k]..end
+            },
+            |ctx, out| {
+                let i = set[ctx.block_idx() as usize] as usize;
+                out.copy_from_slice(&cols[row_offs[i]..row_offs[i + 1]]);
+            },
+        )?;
+    }
+    let mut keys: Vec<u64> = gathered.as_slice().iter().map(|&j| j as u64).collect();
+    drop(gathered);
+    sort_u64(&device, &mut keys);
+    let ks = &keys;
+    let mut flags = vec![0u8; ks.len()];
+    device.launch_map(&mut flags, |e| (e == 0 || ks[e] != ks[e - 1]) as u8)?;
+    let uniq = compact_flagged(&device, &keys, &flags)?;
+    Ok(uniq.into_iter().map(|k| k as Index).collect())
+}
+
+/// Frontier-pull `vxm` for COO: one sweep over the entries, OR-ing the
+/// columns whose row bit is set into a dense bitmap — a single kernel,
+/// no gather buffer, no sort.
+pub fn vxm_pull(mat: &DeviceCoo, frontier_words: &[u64]) -> Result<Vec<Index>> {
+    let device = mat.device().clone();
+    let words = (mat.ncols() as usize).div_ceil(64);
+    if words == 0 || mat.nnz() == 0 {
+        return Ok(Vec::new());
+    }
+    let rows = mat.rows();
+    let cols = mat.cols();
+    let mut acc = DeviceBuffer::<u64>::zeroed(&device, words)?;
+    let cfg = LaunchCfg::grid(&device, 1);
+    device.launch(
+        cfg,
+        acc.as_mut_slice(),
+        |_| 0..words,
+        |_, out| {
+            for (&i, &j) in rows.iter().zip(cols) {
+                let wi = i as usize / 64;
+                if wi < frontier_words.len() && frontier_words[wi] >> (i % 64) & 1 == 1 {
+                    out[j as usize / 64] |= 1u64 << (j % 64);
+                }
+            }
+        },
+    )?;
+    let mut out = Vec::new();
+    for (wi, &w) in acc.as_slice().iter().enumerate() {
+        let mut bits = w;
+        while bits != 0 {
+            let b = bits.trailing_zeros();
+            out.push(wi as Index * 64 + b);
+            bits &= bits - 1;
+        }
+    }
+    Ok(out)
+}
+
 /// Compute exclusive scan over host data on the device (helper re-export
 /// used by callers assembling pipelines).
 pub fn scan_offsets(device: &spbla_gpu_sim::Device, data: &mut [usize]) -> Result<usize> {

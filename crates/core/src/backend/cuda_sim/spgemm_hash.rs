@@ -363,6 +363,84 @@ pub fn mxm_masked(a: &DeviceCsr, b: &DeviceCsr, mask: &DeviceCsr) -> Result<Devi
     Ok(DeviceCsr::from_parts(m, b.ncols(), c_row_ptr, c_cols))
 }
 
+/// Fused semi-naïve step `fresh = (A · B) ∧ ¬C; C' = C ∪ fresh` with
+/// `c` the accumulator: the compmask product already rejects known
+/// entries in-kernel, so `fresh` and `c` are disjoint row-wise and the
+/// union needs no symbolic pass — `C'.row_ptr = C.row_ptr + fresh.row_ptr`
+/// is computed on the host from two resident row pointers and the merge
+/// is a single launch of per-row two-pointer merges. The fresh count
+/// falls out of the product's `row_ptr` (a free host read on the
+/// simulator, a single `cudaMemcpy` of one word on a real device) — no
+/// separate `nnz` reduction launch.
+///
+/// Returns `(C ∪ fresh, nnz(fresh), fresh if want_fresh)`.
+pub fn mxm_accum_compmask(
+    c: &DeviceCsr,
+    a: &DeviceCsr,
+    b: &DeviceCsr,
+    want_fresh: bool,
+) -> Result<(DeviceCsr, usize, Option<DeviceCsr>)> {
+    debug_assert_eq!(a.ncols(), b.nrows(), "caller validates dimensions");
+    debug_assert_eq!(a.nrows(), c.nrows());
+    debug_assert_eq!(b.ncols(), c.ncols());
+    let device = c.device().clone();
+    let m = c.nrows();
+    let fresh = mxm_inner(a, b, if c.nnz() > 0 { Some(c) } else { None })?;
+    let fresh_nnz = fresh.nnz();
+    if fresh_nnz == 0 {
+        // Converged: a real fused kernel leaves C in place, so the
+        // unchanged accumulator costs no metered transfer — the copy
+        // below only exists because handles are immutable.
+        let rp = DeviceBuffer::from_host(&device, c.row_ptr())?;
+        let cols = DeviceBuffer::from_host(&device, c.cols())?;
+        let acc = DeviceCsr::from_parts(m, c.ncols(), rp, cols);
+        return Ok((acc, 0, want_fresh.then_some(fresh)));
+    }
+    // C and fresh are disjoint: the union's row sizes are the sums of the
+    // operands', so the output row pointer needs no counting kernel.
+    let c_rp = c.row_ptr();
+    let f_rp = fresh.row_ptr();
+    let mut acc_row_ptr = DeviceBuffer::<Index>::zeroed(&device, m as usize + 1)?;
+    {
+        let rp = acc_row_ptr.as_mut_slice();
+        for i in 0..=m as usize {
+            rp[i] = c_rp[i] + f_rp[i];
+        }
+    }
+    let total = c.nnz() + fresh_nnz;
+    let mut acc_cols = DeviceBuffer::<Index>::zeroed(&device, total)?;
+    let rp_host: Vec<Index> = acc_row_ptr.as_slice().to_vec();
+    let rp = &rp_host;
+    let cfg = LaunchCfg::grid(&device, m);
+    device.launch(
+        cfg,
+        acc_cols.as_mut_slice(),
+        |blk| rp[blk as usize] as usize..rp[blk as usize + 1] as usize,
+        |ctx, out| {
+            let i = ctx.block_idx();
+            let (crow, frow) = (c.row(i), fresh.row(i));
+            let (mut x, mut y, mut w) = (0usize, 0usize, 0usize);
+            while x < crow.len() && y < frow.len() {
+                if crow[x] < frow[y] {
+                    out[w] = crow[x];
+                    x += 1;
+                } else {
+                    out[w] = frow[y];
+                    y += 1;
+                }
+                w += 1;
+            }
+            out[w..w + crow.len() - x].copy_from_slice(&crow[x..]);
+            w += crow.len() - x;
+            out[w..w + frow.len() - y].copy_from_slice(&frow[y..]);
+            w += frow.len() - y;
+            debug_assert_eq!(w, out.len());
+        },
+    )?;
+    let acc = DeviceCsr::from_parts(m, c.ncols(), acc_row_ptr, acc_cols);
+    Ok((acc, fresh_nnz, want_fresh.then_some(fresh)))
+}
+
 /// Entries per global-bin gather chunk (128 MiB of `Index`).
 const GLOBAL_CHUNK_ENTRIES: usize = 32 << 20;
 

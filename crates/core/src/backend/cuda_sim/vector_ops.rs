@@ -65,6 +65,51 @@ pub fn vxm(m: &DeviceCsr, set: &[Index]) -> Result<Vec<Index>> {
     Ok(uniq.into_iter().map(|k| k as Index).collect())
 }
 
+/// Frontier-pull `vxm`: the frontier arrives as dense bit-words and the
+/// reached columns accumulate into a dense `⌈n/64⌉`-word bitmap — one
+/// kernel (word-wise atomic ORs on a real device), no gather buffer, no
+/// sort, no compaction. Preferred for dense frontiers, where the push
+/// gather's multiset would dwarf the bitmap.
+pub fn vxm_pull(m: &DeviceCsr, frontier_words: &[u64]) -> Result<Vec<Index>> {
+    let device = m.device().clone();
+    let words = (m.ncols() as usize).div_ceil(64);
+    if words == 0 || m.nnz() == 0 {
+        return Ok(Vec::new());
+    }
+    let mut acc = DeviceBuffer::<u64>::zeroed(&device, words)?;
+    let cfg = LaunchCfg::grid(&device, 1);
+    device.launch(
+        cfg,
+        acc.as_mut_slice(),
+        |_| 0..words,
+        |_, out| {
+            for (wi, &w) in frontier_words.iter().enumerate() {
+                let mut bits = w;
+                while bits != 0 {
+                    let b = bits.trailing_zeros();
+                    let i = wi as Index * 64 + b;
+                    if i < m.nrows() {
+                        for &j in m.row(i) {
+                            out[j as usize / 64] |= 1u64 << (j % 64);
+                        }
+                    }
+                    bits &= bits - 1;
+                }
+            }
+        },
+    )?;
+    let mut out = Vec::new();
+    for (wi, &w) in acc.as_slice().iter().enumerate() {
+        let mut bits = w;
+        while bits != 0 {
+            let b = bits.trailing_zeros();
+            out.push(wi as Index * 64 + b);
+            bits &= bits - 1;
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

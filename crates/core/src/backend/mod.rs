@@ -10,3 +10,4 @@
 pub mod cl_sim;
 pub mod cpu;
 pub mod cuda_sim;
+pub mod dispatch;

@@ -224,6 +224,77 @@ impl BitMatrix {
         Ok(c)
     }
 
+    /// Fused semi-naïve step over the accumulator `self = C`: per row,
+    /// compute the product words, keep `fresh = prod ∧ ¬C`, OR them into
+    /// the accumulator, and popcount the fresh bits — one parallel sweep,
+    /// no standalone intermediate matrix.
+    ///
+    /// Returns `(C ∪ fresh, nnz(fresh), fresh if want_fresh)`.
+    pub fn mxm_accum_compmask(
+        &self,
+        a: &Self,
+        b: &Self,
+        want_fresh: bool,
+    ) -> Result<(Self, usize, Option<Self>)> {
+        if a.ncols != b.nrows {
+            return Err(SpblaError::DimensionMismatch {
+                op: "mxm_accum_compmask",
+                lhs: a.shape(),
+                rhs: b.shape(),
+            });
+        }
+        if (a.nrows, b.ncols) != self.shape() {
+            return Err(SpblaError::DimensionMismatch {
+                op: "mxm_accum_compmask",
+                lhs: (a.nrows, b.ncols),
+                rhs: self.shape(),
+            });
+        }
+        // Product row → `fr`, then fresh-filter against `dst` (the C row),
+        // accumulate, and popcount, all in one visit of each word.
+        let fused_row = |i: Index, dst: &mut [u64], fr: &mut [u64]| -> usize {
+            for (wi, &aw) in a.row_words(i).iter().enumerate() {
+                let mut bits = aw;
+                while bits != 0 {
+                    let bit = bits.trailing_zeros();
+                    let k = wi as Index * 64 + bit;
+                    if k < b.nrows {
+                        for (f, &s) in fr.iter_mut().zip(b.row_words(k)) {
+                            *f |= s;
+                        }
+                    }
+                    bits &= bits - 1;
+                }
+            }
+            let mut count = 0usize;
+            for (f, d) in fr.iter_mut().zip(dst.iter_mut()) {
+                *f &= !*d;
+                *d |= *f;
+                count += f.count_ones() as usize;
+            }
+            count
+        };
+        let mut acc = self.clone();
+        let wpr = acc.words_per_row.max(1);
+        let mut fresh = want_fresh.then(|| BitMatrix::zeros(self.nrows, self.ncols));
+        let fresh_nnz: usize = match fresh.as_mut() {
+            Some(fm) => acc
+                .words
+                .par_chunks_mut(wpr)
+                .zip(fm.words.par_chunks_mut(wpr))
+                .enumerate()
+                .map(|(i, (dst, fr))| fused_row(i as Index, dst, fr))
+                .sum(),
+            None => acc
+                .words
+                .par_chunks_mut(wpr)
+                .enumerate()
+                .map(|(i, dst)| fused_row(i as Index, dst, &mut vec![0u64; dst.len()]))
+                .sum(),
+        };
+        Ok((acc, fresh_nnz, fresh))
+    }
+
     /// Word-wise element-wise or.
     pub fn ewise_add(&self, other: &Self) -> Result<Self> {
         self.check_same_shape(other, "ewise_add")?;

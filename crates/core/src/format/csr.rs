@@ -316,6 +316,97 @@ impl CsrBool {
         })
     }
 
+    /// Fused semi-naïve step over the accumulator `self = C`: compute
+    /// `fresh = (a · b) ∧ ¬C`, merge `C ∪ fresh`, and count the fresh
+    /// entries — one pass per row, with the intermediate product living
+    /// only in the per-row scratch, never as a standalone matrix.
+    ///
+    /// Returns `(C ∪ fresh, nnz(fresh), fresh if want_fresh)`.
+    pub fn mxm_accum_compmask(
+        &self,
+        a: &Self,
+        b: &Self,
+        want_fresh: bool,
+    ) -> Result<(Self, usize, Option<Self>)> {
+        if a.ncols != b.nrows {
+            return Err(SpblaError::DimensionMismatch {
+                op: "mxm_accum_compmask",
+                lhs: a.shape(),
+                rhs: b.shape(),
+            });
+        }
+        if (a.nrows, b.ncols) != self.shape() {
+            return Err(SpblaError::DimensionMismatch {
+                op: "mxm_accum_compmask",
+                lhs: (a.nrows, b.ncols),
+                rhs: self.shape(),
+            });
+        }
+        let mut marker: Vec<bool> = vec![false; b.ncols as usize];
+        let mut acc_row_ptr = Vec::with_capacity(self.nrows as usize + 1);
+        acc_row_ptr.push(0 as Index);
+        let mut acc_cols: Vec<Index> = Vec::with_capacity(self.cols.len());
+        let mut fresh_row_ptr = want_fresh.then(|| {
+            let mut rp = Vec::with_capacity(self.nrows as usize + 1);
+            rp.push(0 as Index);
+            rp
+        });
+        let mut fresh_cols: Vec<Index> = Vec::new();
+        let mut fresh_nnz = 0usize;
+        let mut scratch: Vec<Index> = Vec::new();
+        for i in 0..self.nrows {
+            let crow = self.row(i);
+            scratch.clear();
+            for &k in a.row(i) {
+                for &j in b.row(k) {
+                    if crow.binary_search(&j).is_ok() {
+                        continue;
+                    }
+                    if !marker[j as usize] {
+                        marker[j as usize] = true;
+                        scratch.push(j);
+                    }
+                }
+            }
+            scratch.sort_unstable();
+            for &j in &scratch {
+                marker[j as usize] = false;
+            }
+            fresh_nnz += scratch.len();
+            // `crow` and `scratch` are disjoint sorted sets: plain merge.
+            let (mut x, mut y) = (0usize, 0usize);
+            while x < crow.len() && y < scratch.len() {
+                if crow[x] < scratch[y] {
+                    acc_cols.push(crow[x]);
+                    x += 1;
+                } else {
+                    acc_cols.push(scratch[y]);
+                    y += 1;
+                }
+            }
+            acc_cols.extend_from_slice(&crow[x..]);
+            acc_cols.extend_from_slice(&scratch[y..]);
+            acc_row_ptr.push(acc_cols.len() as Index);
+            if let Some(rp) = fresh_row_ptr.as_mut() {
+                fresh_cols.extend_from_slice(&scratch);
+                rp.push(fresh_cols.len() as Index);
+            }
+        }
+        let acc = CsrBool {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr: acc_row_ptr,
+            cols: acc_cols,
+        };
+        let fresh = fresh_row_ptr.map(|rp| CsrBool {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr: rp,
+            cols: fresh_cols,
+        });
+        Ok((acc, fresh_nnz, fresh))
+    }
+
     /// Element-wise Boolean sum `C = A + B` (set union), the paper's
     /// `A += B` building block.
     pub fn ewise_add(&self, other: &Self) -> Result<Self> {

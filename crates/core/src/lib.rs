@@ -51,5 +51,5 @@ pub use format::csr::CsrBool;
 pub use format::dense::DenseBool;
 pub use index::{Index, Pair};
 pub use instance::{dense_bits_bytes, Backend, Instance};
-pub use matrix::Matrix;
+pub use matrix::{FusedProduct, Matrix};
 pub use vector::Vector;

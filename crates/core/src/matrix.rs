@@ -1,10 +1,13 @@
 //! The `Matrix` handle — the library's main primitive.
 
+use std::sync::OnceLock;
+
 use spbla_gpu_sim::with_kernel_label;
 use spbla_obs::{labeled, metrics_global, trace_global};
 
 use crate::backend::cl_sim::{self, DeviceCoo};
 use crate::backend::cuda_sim::{self, DeviceCsr};
+use crate::backend::dispatch::KernelDispatch;
 use crate::error::{Result, SpblaError};
 use crate::format::bitmat::BitMatrix;
 use crate::format::coo::CooBool;
@@ -19,6 +22,46 @@ enum Repr {
     Bit(BitMatrix),
     Cuda(DeviceCsr),
     Cl(DeviceCoo),
+}
+
+/// Dispatch a same-backend binary kernel through [`KernelDispatch`]: one
+/// arm per representation, each calling the *same* trait expression, so
+/// every `Matrix` op is written once instead of four times.
+macro_rules! dispatch2 {
+    ($lhs:expr, $rhs:expr, |$a:ident, $b:ident| $body:expr) => {
+        match (&$lhs.repr, &$rhs.repr) {
+            (Repr::Cpu($a), Repr::Cpu($b)) => Ok(Repr::Cpu($body?)),
+            (Repr::Bit($a), Repr::Bit($b)) => Ok(Repr::Bit($body?)),
+            (Repr::Cuda($a), Repr::Cuda($b)) => Ok(Repr::Cuda($body?)),
+            (Repr::Cl($a), Repr::Cl($b)) => Ok(Repr::Cl($body?)),
+            _ => Err(SpblaError::BackendMismatch),
+        }
+    };
+}
+
+/// Ternary (masked) variant of [`dispatch2!`].
+macro_rules! dispatch3 {
+    ($lhs:expr, $rhs:expr, $third:expr, |$a:ident, $b:ident, $c:ident| $body:expr) => {
+        match (&$lhs.repr, &$rhs.repr, &$third.repr) {
+            (Repr::Cpu($a), Repr::Cpu($b), Repr::Cpu($c)) => Ok(Repr::Cpu($body?)),
+            (Repr::Bit($a), Repr::Bit($b), Repr::Bit($c)) => Ok(Repr::Bit($body?)),
+            (Repr::Cuda($a), Repr::Cuda($b), Repr::Cuda($c)) => Ok(Repr::Cuda($body?)),
+            (Repr::Cl($a), Repr::Cl($b), Repr::Cl($c)) => Ok(Repr::Cl($body?)),
+            _ => Err(SpblaError::BackendMismatch),
+        }
+    };
+}
+
+/// Unary variant: dispatch a kernel over a single representation.
+macro_rules! dispatch1 {
+    ($m:expr, |$a:ident| $body:expr) => {
+        match &$m.repr {
+            Repr::Cpu($a) => $body,
+            Repr::Bit($a) => $body,
+            Repr::Cuda($a) => $body,
+            Repr::Cl($a) => $body,
+        }
+    };
 }
 
 /// Run one kernel-level op under observability: an `"op"` trace span on
@@ -76,6 +119,27 @@ fn observe_op<R>(
 pub struct Matrix {
     instance: Instance,
     repr: Repr,
+    /// Cached `nnz`. A `Matrix` is immutable — every operation returns a
+    /// new handle — so set-once caching *is* mutation invalidation: the
+    /// only way to change the structure is to make a new handle with an
+    /// empty cache. Ops that know their output count (the fused
+    /// accumulate kernel, constructors) prime it at wrap time, making
+    /// the fixpoint loops' `nnz()` termination checks free of kernel
+    /// launches and host syncs.
+    nnz_cache: OnceLock<usize>,
+}
+
+/// Result of [`Matrix::mxm_accum_compmask`] — the accumulated matrix,
+/// the fresh-entry count (the fixpoint termination signal), and, when
+/// requested, the fresh entries themselves (the next round's delta).
+#[derive(Debug)]
+pub struct FusedProduct {
+    /// `C ∪ ((A · B) ∧ ¬C)`.
+    pub acc: Matrix,
+    /// `nnz((A · B) ∧ ¬C)` — zero means the fixpoint converged.
+    pub fresh_nnz: usize,
+    /// The fresh entries, materialised only when requested.
+    pub fresh: Option<Matrix>,
 }
 
 impl Matrix {
@@ -83,7 +147,16 @@ impl Matrix {
         Matrix {
             instance: instance.clone(),
             repr,
+            nnz_cache: OnceLock::new(),
         }
+    }
+
+    /// Wrap with a known `nnz`, priming the cache so later `nnz()` calls
+    /// cost nothing.
+    fn wrap_with_nnz(instance: &Instance, repr: Repr, nnz: usize) -> Matrix {
+        let m = Matrix::wrap(instance, repr);
+        let _ = m.nnz_cache.set(nnz);
+        m
     }
 
     fn from_csr_host(instance: &Instance, host: CsrBool) -> Result<Matrix> {
@@ -162,14 +235,17 @@ impl Matrix {
         (self.nrows(), self.ncols())
     }
 
-    /// Number of `true` cells.
+    /// Number of `true` cells. Cached on the handle after the first call
+    /// (the handle is immutable, so the count can never go stale); ops
+    /// that already know their output count prime the cache, so fixpoint
+    /// termination checks never launch a reduction.
     pub fn nnz(&self) -> usize {
-        match &self.repr {
+        *self.nnz_cache.get_or_init(|| match &self.repr {
             Repr::Cpu(m) => m.nnz(),
             Repr::Bit(m) => m.nnz(),
             Repr::Cuda(m) => m.nnz(),
             Repr::Cl(m) => m.nnz(),
-        }
+        })
     }
 
     /// Whether the matrix has no `true` cells.
@@ -284,13 +360,7 @@ impl Matrix {
             self.nrows() as u64,
             nnz_in,
             || {
-                let repr = match (&self.repr, &other.repr) {
-                    (Repr::Cpu(a), Repr::Cpu(b)) => Repr::Cpu(a.mxm(b)?),
-                    (Repr::Bit(a), Repr::Bit(b)) => Repr::Bit(a.mxm(b)?),
-                    (Repr::Cuda(a), Repr::Cuda(b)) => Repr::Cuda(cuda_sim::spgemm_hash::mxm(a, b)?),
-                    (Repr::Cl(a), Repr::Cl(b)) => Repr::Cl(cl_sim::esc_spgemm::mxm(a, b)?),
-                    _ => return Err(SpblaError::BackendMismatch),
-                };
+                let repr = dispatch2!(self, other, |a, b| a.k_mxm(b))?;
                 Ok(Matrix::wrap(&self.instance, repr))
             },
             |m| m.nnz() as u64,
@@ -315,15 +385,7 @@ impl Matrix {
             self.nrows() as u64,
             nnz_in,
             || {
-                let repr = match (&self.repr, &other.repr) {
-                    (Repr::Cpu(a), Repr::Cpu(b)) => Repr::Cpu(a.ewise_add(b)?),
-                    (Repr::Bit(a), Repr::Bit(b)) => Repr::Bit(a.ewise_add(b)?),
-                    (Repr::Cuda(a), Repr::Cuda(b)) => {
-                        Repr::Cuda(cuda_sim::merge_add::ewise_add(a, b)?)
-                    }
-                    (Repr::Cl(a), Repr::Cl(b)) => Repr::Cl(cl_sim::merge_add::ewise_add(a, b)?),
-                    _ => return Err(SpblaError::BackendMismatch),
-                };
+                let repr = dispatch2!(self, other, |a, b| a.k_ewise_add(b))?;
                 Ok(Matrix::wrap(&self.instance, repr))
             },
             |m| m.nnz() as u64,
@@ -341,15 +403,7 @@ impl Matrix {
             self.nrows() as u64,
             nnz_in,
             || {
-                let repr = match (&self.repr, &other.repr) {
-                    (Repr::Cpu(a), Repr::Cpu(b)) => Repr::Cpu(a.ewise_mult(b)?),
-                    (Repr::Bit(a), Repr::Bit(b)) => Repr::Bit(a.ewise_mult(b)?),
-                    (Repr::Cuda(a), Repr::Cuda(b)) => {
-                        Repr::Cuda(cuda_sim::merge_add::ewise_mult(a, b)?)
-                    }
-                    (Repr::Cl(a), Repr::Cl(b)) => Repr::Cl(cl_sim::merge_add::ewise_mult(a, b)?),
-                    _ => return Err(SpblaError::BackendMismatch),
-                };
+                let repr = dispatch2!(self, other, |a, b| a.k_ewise_mult(b))?;
                 Ok(Matrix::wrap(&self.instance, repr))
             },
             |m| m.nnz() as u64,
@@ -440,12 +494,7 @@ impl Matrix {
             self.nrows() as u64,
             self.nnz() as u64,
             || {
-                let indices = match &self.repr {
-                    Repr::Cpu(m) => m.reduce_to_column(),
-                    Repr::Bit(m) => m.reduce_to_column(),
-                    Repr::Cuda(m) => cuda_sim::structure::reduce_to_column(m)?,
-                    Repr::Cl(m) => cl_sim::structure::reduce_to_column(m)?,
-                };
+                let indices = dispatch1!(self, |m| m.k_reduce_to_column())?;
                 Vector::from_sorted_indices(&self.instance, self.nrows(), indices)
             },
             |v| v.indices().len() as u64,
@@ -460,12 +509,7 @@ impl Matrix {
             self.nrows() as u64,
             self.nnz() as u64,
             || {
-                let indices = match &self.repr {
-                    Repr::Cpu(m) => m.reduce_to_row(),
-                    Repr::Bit(m) => m.reduce_to_row(),
-                    Repr::Cuda(m) => cuda_sim::structure::reduce_to_row(m)?,
-                    Repr::Cl(m) => cl_sim::structure::reduce_to_row(m)?,
-                };
+                let indices = dispatch1!(self, |m| m.k_reduce_to_row())?;
                 Vector::from_sorted_indices(&self.instance, self.ncols(), indices)
             },
             |v| v.indices().len() as u64,
@@ -487,22 +531,7 @@ impl Matrix {
             self.nrows() as u64,
             (self.nnz() + v.indices().len()) as u64,
             || {
-                let out = match &self.repr {
-                    Repr::Cpu(m) => m.vxm(v.indices()),
-                    Repr::Bit(m) => m.vxm(v.indices()),
-                    Repr::Cuda(m) => cuda_sim::vector_ops::vxm(m, v.indices())?,
-                    Repr::Cl(m) => {
-                        let offs = m.row_offsets();
-                        let mc = m.cols();
-                        let mut cols: Vec<Index> = Vec::new();
-                        for &i in v.indices() {
-                            cols.extend_from_slice(&mc[offs[i as usize]..offs[i as usize + 1]]);
-                        }
-                        cols.sort_unstable();
-                        cols.dedup();
-                        cols
-                    }
-                };
+                let out = dispatch1!(self, |m| m.k_vxm(v.indices()))?;
                 Vector::from_sorted_indices(&self.instance, self.ncols(), out)
             },
             |v| v.indices().len() as u64,
@@ -553,6 +582,69 @@ impl Matrix {
         )
     }
 
+    /// Direction-optimised frontier step `out = v · M`.
+    ///
+    /// Sparse frontiers go **push** (row-gather SpMSpV: gather the
+    /// selected rows, sort, unique — work proportional to the gathered
+    /// multiset); dense frontiers go **pull** (one sweep accumulating
+    /// into a `⌈n/64⌉`-word bitmap — work proportional to nnz touched,
+    /// no sort). The crossover is [`Matrix::FRONTIER_PULL_DENSITY`]:
+    /// PR 5's `spbla_kernel_nnz_in` histograms for `vxm` on the LUBM BFS
+    /// ladder put the push path's sort ahead of the bitmap sweep until
+    /// roughly one frontier vertex per 32 rows, after which gather+sort
+    /// dominates. Each decision is counted in
+    /// `spbla_frontier_{push,pull}_total` so the threshold stays
+    /// observable in `spbla trace` and `report obs`.
+    pub fn frontier_step(&self, v: &Vector) -> Result<Vector> {
+        if v.len() != self.nrows() {
+            return Err(SpblaError::DimensionMismatch {
+                op: "frontier_step",
+                lhs: (1, v.len()),
+                rhs: self.shape(),
+            });
+        }
+        let frontier_nnz = v.indices().len();
+        let pull = frontier_nnz * Matrix::FRONTIER_PULL_DENSITY >= self.nrows() as usize
+            && frontier_nnz > 0;
+        let kernel = if pull {
+            "frontier_pull"
+        } else {
+            "frontier_push"
+        };
+        let counter = if pull {
+            "spbla_frontier_pull_total"
+        } else {
+            "spbla_frontier_push_total"
+        };
+        let labels = [("backend", self.instance.backend().label())];
+        metrics_global().counter(&labeled(counter, &labels)).inc(1);
+        observe_op(
+            &self.instance,
+            kernel,
+            self.nrows() as u64,
+            (self.nnz() + frontier_nnz) as u64,
+            || {
+                let out = if pull {
+                    let words = (self.nrows() as usize).div_ceil(64);
+                    let mut frontier_words = vec![0u64; words];
+                    for &i in v.indices() {
+                        frontier_words[i as usize / 64] |= 1u64 << (i % 64);
+                    }
+                    dispatch1!(self, |m| m.k_vxm_pull(&frontier_words))?
+                } else {
+                    dispatch1!(self, |m| m.k_vxm(v.indices()))?
+                };
+                Vector::from_sorted_indices(&self.instance, self.ncols(), out)
+            },
+            |v| v.indices().len() as u64,
+        )
+    }
+
+    /// Pull-direction denominator: the frontier goes pull once it holds
+    /// at least one vertex per `FRONTIER_PULL_DENSITY` rows (density
+    /// ≥ 1/32), calibrated against PR 5's `spbla_kernel_*` histograms.
+    pub const FRONTIER_PULL_DENSITY: usize = 32;
+
     /// The transitive closure `M⁺` of a square Boolean matrix, computed
     /// semi-naïvely: each round multiplies only the *delta* (pairs found
     /// last round) against the closure, `N = (C·Δ) ∧ ¬C`, and stops when
@@ -581,12 +673,12 @@ impl Matrix {
         let mut closure = Matrix::wrap(&self.instance, self.clone_repr()?);
         let mut delta = closure.duplicate()?;
         while delta.nnz() > 0 {
-            let fresh = closure.mxm_compmask(&delta, &closure)?;
-            if fresh.nnz() == 0 {
+            let step = closure.mxm_accum_compmask(&closure, &delta, true)?;
+            if step.fresh_nnz == 0 {
                 break;
             }
-            closure = closure.ewise_add(&fresh)?;
-            delta = fresh;
+            closure = step.acc;
+            delta = step.fresh.expect("fresh requested");
         }
         Ok(closure)
     }
@@ -653,17 +745,7 @@ impl Matrix {
             self.nrows() as u64,
             nnz_in,
             || {
-                let repr = match (&self.repr, &other.repr, &mask.repr) {
-                    (Repr::Cpu(a), Repr::Cpu(b), Repr::Cpu(m)) => Repr::Cpu(a.mxm_masked(b, m)?),
-                    (Repr::Bit(a), Repr::Bit(b), Repr::Bit(m)) => Repr::Bit(a.mxm_masked(b, m)?),
-                    (Repr::Cuda(a), Repr::Cuda(b), Repr::Cuda(m)) => {
-                        Repr::Cuda(cuda_sim::spgemm_hash::mxm_masked(a, b, m)?)
-                    }
-                    (Repr::Cl(a), Repr::Cl(b), Repr::Cl(m)) => {
-                        Repr::Cl(cl_sim::esc_spgemm::mxm_masked(a, b, m)?)
-                    }
-                    _ => return Err(SpblaError::BackendMismatch),
-                };
+                let repr = dispatch3!(self, other, mask, |a, b, m| a.k_mxm_masked(b, m))?;
                 Ok(Matrix::wrap(&self.instance, repr))
             },
             |m| m.nnz() as u64,
@@ -684,20 +766,68 @@ impl Matrix {
             self.nrows() as u64,
             nnz_in,
             || {
-                let repr = match (&self.repr, &other.repr, &mask.repr) {
-                    (Repr::Cpu(a), Repr::Cpu(b), Repr::Cpu(m)) => Repr::Cpu(a.mxm_compmask(b, m)?),
-                    (Repr::Bit(a), Repr::Bit(b), Repr::Bit(m)) => Repr::Bit(a.mxm_compmask(b, m)?),
-                    (Repr::Cuda(a), Repr::Cuda(b), Repr::Cuda(m)) => {
-                        Repr::Cuda(cuda_sim::spgemm_hash::mxm_compmask(a, b, m)?)
-                    }
-                    (Repr::Cl(a), Repr::Cl(b), Repr::Cl(m)) => {
-                        Repr::Cl(cl_sim::esc_spgemm::mxm_compmask(a, b, m)?)
-                    }
-                    _ => return Err(SpblaError::BackendMismatch),
-                };
+                let repr = dispatch3!(self, other, mask, |a, b, m| a.k_mxm_compmask(b, m))?;
                 Ok(Matrix::wrap(&self.instance, repr))
             },
             |m| m.nnz() as u64,
+        )
+    }
+
+    /// Fused semi-naïve step with `self` the accumulator:
+    /// `fresh = (a · b) ∧ ¬self`, `acc = self ∪ fresh`, plus the fresh
+    /// count — one kernel chain per backend. The intermediate product is
+    /// never materialised as a standalone matrix (candidates are
+    /// rejected against `self` inside the SpGEMM), the union skips the
+    /// duplicate-detection work of a general `ewise_add` (the operands
+    /// are disjoint by construction), and the returned count makes the
+    /// fixpoint termination check free — replacing the three-op
+    /// `mxm_compmask → ewise_add → nnz` composition. Both result
+    /// matrices carry primed `nnz` caches.
+    ///
+    /// Set `want_fresh` when the caller needs the delta for the next
+    /// round; with it `false` the fresh matrix is dropped inside the
+    /// kernel wrapper.
+    pub fn mxm_accum_compmask(
+        &self,
+        a: &Matrix,
+        b: &Matrix,
+        want_fresh: bool,
+    ) -> Result<FusedProduct> {
+        a.check_masked_args(b, self)?;
+        let self_nnz = self.nnz();
+        let nnz_in = (self_nnz + a.nnz() + b.nnz()) as u64;
+        observe_op(
+            &self.instance,
+            "mxm_accum_compmask",
+            self.nrows() as u64,
+            nnz_in,
+            || {
+                let (acc, fresh_nnz, fresh) = match (&self.repr, &a.repr, &b.repr) {
+                    (Repr::Cpu(c), Repr::Cpu(ra), Repr::Cpu(rb)) => {
+                        let r = c.k_mxm_accum_compmask(ra, rb, want_fresh)?;
+                        (Repr::Cpu(r.acc), r.fresh_nnz, r.fresh.map(Repr::Cpu))
+                    }
+                    (Repr::Bit(c), Repr::Bit(ra), Repr::Bit(rb)) => {
+                        let r = c.k_mxm_accum_compmask(ra, rb, want_fresh)?;
+                        (Repr::Bit(r.acc), r.fresh_nnz, r.fresh.map(Repr::Bit))
+                    }
+                    (Repr::Cuda(c), Repr::Cuda(ra), Repr::Cuda(rb)) => {
+                        let r = c.k_mxm_accum_compmask(ra, rb, want_fresh)?;
+                        (Repr::Cuda(r.acc), r.fresh_nnz, r.fresh.map(Repr::Cuda))
+                    }
+                    (Repr::Cl(c), Repr::Cl(ra), Repr::Cl(rb)) => {
+                        let r = c.k_mxm_accum_compmask(ra, rb, want_fresh)?;
+                        (Repr::Cl(r.acc), r.fresh_nnz, r.fresh.map(Repr::Cl))
+                    }
+                    _ => return Err(SpblaError::BackendMismatch),
+                };
+                Ok(FusedProduct {
+                    acc: Matrix::wrap_with_nnz(&self.instance, acc, self_nnz + fresh_nnz),
+                    fresh_nnz,
+                    fresh: fresh.map(|f| Matrix::wrap_with_nnz(&self.instance, f, fresh_nnz)),
+                })
+            },
+            |r| r.fresh_nnz as u64,
         )
     }
 

@@ -30,6 +30,7 @@ use spbla_gpu_sim::{DeviceStats, StopToken};
 use spbla_graph::cfpq::azimov::{AzimovIndex, AzimovOptions};
 use spbla_graph::closure::closure_delta;
 use spbla_graph::rpq_batch::{rpq_all_pairs_mats, rpq_from_each_source_mats};
+use spbla_graph::rpq_bfs::rpq_from_sources_mats;
 use spbla_graph::LabeledGraph;
 use spbla_lang::SymbolTable;
 use spbla_multidev::DeviceGrid;
@@ -38,7 +39,7 @@ use spbla_stream::UpdateBatch;
 
 use crate::catalog::Catalog;
 use crate::error::EngineError;
-use crate::planner::{Plan, PlanKind, Planner};
+use crate::planner::{Plan, PlanKind, Planner, FRONTIER_MAX_SOURCES};
 
 /// Engine construction knobs; the defaults serve, the flags ablate.
 #[derive(Debug, Clone)]
@@ -753,8 +754,33 @@ fn execute_coalesced(
         .catalog
         .resident_at(&batch[0].graph, version, dev, inst)
         .and_then(|resident| {
-            rpq_from_each_source_mats(&resident.labels, resident.n_vertices, nfa, &sources, inst)
+            // Small batches skip the b×n product machine: each source
+            // runs the sparse-vector frontier path (push/pull selected
+            // per round), which answers bit-identically.
+            if sources.len() <= FRONTIER_MAX_SOURCES {
+                sources
+                    .iter()
+                    .map(|&s| {
+                        rpq_from_sources_mats(
+                            &resident.labels,
+                            resident.n_vertices,
+                            nfa,
+                            &[s],
+                            inst,
+                        )
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(EngineError::from_exec)
+            } else {
+                rpq_from_each_source_mats(
+                    &resident.labels,
+                    resident.n_vertices,
+                    nfa,
+                    &sources,
+                    inst,
+                )
                 .map_err(EngineError::from_exec)
+            }
         });
     let after = device.stats();
     drop(span);
@@ -829,9 +855,11 @@ fn run_one(
                 .map_err(EngineError::from_exec)
         }
         (PlanKind::Rpq(nfa), Payload::RpqFromSource(source)) => {
+            // A lone source is always under FRONTIER_MAX_SOURCES: run
+            // the vector frontier path, not the product machine.
             let resident = inner.catalog.resident_at(&req.graph, pinned(), dev, inst)?;
-            rpq_from_each_source_mats(&resident.labels, resident.n_vertices, nfa, &[*source], inst)
-                .map(|mut rows| QueryResult::Reachable(rows.pop().unwrap_or_default()))
+            rpq_from_sources_mats(&resident.labels, resident.n_vertices, nfa, &[*source], inst)
+                .map(QueryResult::Reachable)
                 .map_err(EngineError::from_exec)
         }
         (PlanKind::Cfpq(cnf), Payload::Cfpq) => {

@@ -23,6 +23,17 @@ use spbla_lang::{CnfGrammar, Grammar, Nfa, Regex, SymbolTable};
 
 use crate::error::EngineError;
 
+/// Source-count ceiling under which the engine routes an RPQ batch to
+/// the vector frontier path
+/// ([`spbla_graph::rpq_bfs::rpq_from_sources_mats`]) instead of the
+/// batched `b × n` product-machine BFS. Tiny batches don't amortise
+/// the matrix machine's per-round launch chain, while the frontier
+/// path works in `O(touched edges)` per source and picks push or pull
+/// per round from the frontier's measured density; answers are
+/// bit-identical either way (both render sorted, deduplicated vertex
+/// sets).
+pub const FRONTIER_MAX_SOURCES: usize = 4;
+
 /// What a plan executes as.
 #[derive(Debug)]
 pub enum PlanKind {

@@ -10,6 +10,10 @@ use spbla_multidev::DeviceGrid;
 const N_SINGLES: u32 = 8;
 
 fn run(batching: bool) -> (Vec<Vec<u32>>, Vec<u32>, EngineStats) {
+    run_n(batching, N_SINGLES)
+}
+
+fn run_n(batching: bool, n_singles: u32) -> (Vec<Vec<u32>>, Vec<u32>, EngineStats) {
     let engine = Engine::new(
         DeviceGrid::new(1),
         EngineConfig {
@@ -30,7 +34,7 @@ fn run(batching: bool) -> (Vec<Vec<u32>>, Vec<u32>, EngineStats) {
     });
 
     let blocker = engine.submit("blocker", Query::Closure).unwrap();
-    let singles: Vec<_> = (0..N_SINGLES)
+    let singles: Vec<_> = (0..n_singles)
         .map(|i| {
             engine
                 .submit(
@@ -88,4 +92,24 @@ fn batching_coalesces_and_reduces_launches() {
         launches(&stats_on),
         launches(&stats_off)
     );
+}
+
+/// A coalesced batch at or under `FRONTIER_MAX_SOURCES` routes each
+/// source through the vector frontier path instead of the `b × n`
+/// product machine — the answers must be bit-identical to both the
+/// unbatched run and the closed form. (The 8-source test above covers
+/// the product-machine side of the same equivalence.)
+#[test]
+fn small_batches_take_the_frontier_path_bit_identically() {
+    let n = 3; // ≤ FRONTIER_MAX_SOURCES
+    let (rows_on, sizes_on, stats_on) = run_n(true, n);
+    let (rows_off, _, _) = run_n(false, n);
+    assert_eq!(rows_on, rows_off);
+    for (i, row) in rows_on.iter().enumerate() {
+        let src = i as u32 * 7;
+        assert_eq!(row, &(src..64).collect::<Vec<u32>>());
+    }
+    // The three queued singles still coalesced into one execution.
+    assert_eq!(stats_on.batches, 1, "{stats_on:?}");
+    assert!(sizes_on.iter().all(|&s| s == n), "{sizes_on:?}");
 }

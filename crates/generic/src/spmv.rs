@@ -1,11 +1,46 @@
 //! Sparse matrix × dense vector over a semiring — the building block of
 //! Bellman–Ford (min-plus), PageRank-style iterations (plus-times), and
-//! the pull direction of traversals.
+//! the pull direction of traversals. The sparse-operand dual
+//! ([`spmspv`]) is the push direction. Both record the standard
+//! `spbla_kernel_*` histogram cells under `backend="generic"`, so the
+//! push/pull density crossover is observable in `spbla trace` and
+//! `report obs` alongside the Boolean backends' frontier kernels.
 
 use rayon::prelude::*;
+use spbla_obs::{labeled, metrics_global, trace_global};
 
 use crate::csr::CsrMatrix;
 use crate::semiring::Semiring;
+
+/// Record one generic kernel invocation: an `"op"` trace span plus the
+/// same `spbla_kernel_{rows,nnz_in,nnz_out}` histogram cells the
+/// Boolean backends populate (there is no device accumulator here, so
+/// the insertions cell stays at zero observations).
+fn observe_kernel<R>(
+    kernel: &'static str,
+    rows: u64,
+    nnz_in: u64,
+    f: impl FnOnce() -> R,
+    nnz_out: impl FnOnce(&R) -> u64,
+) -> R {
+    let mut span = trace_global().span(kernel, "op", 0);
+    let out = f();
+    let produced = nnz_out(&out);
+    if let Some(span) = span.as_mut() {
+        span.arg("rows", rows);
+        span.arg("nnz_in", nnz_in);
+        span.arg("nnz_out", produced);
+    }
+    let labels = [("backend", "generic"), ("kernel", kernel)];
+    let reg = metrics_global();
+    reg.histogram(&labeled("spbla_kernel_rows", &labels))
+        .observe(rows);
+    reg.histogram(&labeled("spbla_kernel_nnz_in", &labels))
+        .observe(nnz_in);
+    reg.histogram(&labeled("spbla_kernel_nnz_out", &labels))
+        .observe(produced);
+    out
+}
 
 /// `y = M ⊗ x` with `y[i] = ⊕_j M[i,j] ⊗ x[j]` (dense in/out; absent
 /// matrix entries contribute the additive identity).
@@ -25,16 +60,63 @@ pub fn spmv<S: Semiring>(m: &CsrMatrix<S>, x: &[S::Elem]) -> Vec<S::Elem> {
         x.len(),
         m.ncols()
     );
-    (0..m.nrows())
-        .into_par_iter()
-        .map(|i| {
-            let mut acc = S::zero();
-            for (&j, &v) in m.row_cols(i).iter().zip(m.row_vals(i)) {
-                acc = S::add(acc, S::mul(v, x[j as usize]));
+    observe_kernel(
+        "spmv",
+        u64::from(m.nrows()),
+        m.nnz() as u64,
+        || {
+            (0..m.nrows())
+                .into_par_iter()
+                .map(|i| {
+                    let mut acc = S::zero();
+                    for (&j, &v) in m.row_cols(i).iter().zip(m.row_vals(i)) {
+                        acc = S::add(acc, S::mul(v, x[j as usize]));
+                    }
+                    acc
+                })
+                .collect::<Vec<_>>()
+        },
+        |y: &Vec<S::Elem>| y.iter().filter(|&&e| !S::is_zero(e)).count() as u64,
+    )
+}
+
+/// `y = x ⊗ M` with a *sparse* operand vector (push direction): only
+/// the rows of `M` selected by `x`'s support are gathered, so the cost
+/// is proportional to the touched edges rather than to `nnz(M)` — the
+/// generic-semiring analogue of the Boolean backends' push
+/// `vxm`/`frontier_step`. Input and output are sorted
+/// `(index, value)` runs with no explicit zeros.
+///
+/// ```
+/// use spbla_generic::{spmv::spmspv, CsrMatrix, MinPlusU32};
+/// let m = CsrMatrix::<MinPlusU32>::from_triples(3, 3, &[(0, 1, 5), (2, 1, 1)]);
+/// // Frontier {0}: only row 0 is touched.
+/// assert_eq!(spmspv(&m, &[(0, 0)]), vec![(1, 5)]);
+/// ```
+pub fn spmspv<S: Semiring>(m: &CsrMatrix<S>, x: &[(u32, S::Elem)]) -> Vec<(u32, S::Elem)> {
+    debug_assert!(x.windows(2).all(|w| w[0].0 < w[1].0), "sorted support");
+    observe_kernel(
+        "spmspv",
+        u64::from(m.nrows()),
+        x.len() as u64,
+        || {
+            let mut acc: rustc_hash::FxHashMap<u32, S::Elem> = rustc_hash::FxHashMap::default();
+            for &(i, xv) in x {
+                assert!(i < m.nrows(), "spmspv index {i} out of {}", m.nrows());
+                for (&j, &v) in m.row_cols(i).iter().zip(m.row_vals(i)) {
+                    let contrib = S::mul(xv, v);
+                    acc.entry(j)
+                        .and_modify(|e| *e = S::add(*e, contrib))
+                        .or_insert(contrib);
+                }
             }
-            acc
-        })
-        .collect()
+            let mut out: Vec<(u32, S::Elem)> =
+                acc.into_iter().filter(|&(_, v)| !S::is_zero(v)).collect();
+            out.sort_unstable_by_key(|&(j, _)| j);
+            out
+        },
+        |y: &Vec<(u32, S::Elem)>| y.len() as u64,
+    )
 }
 
 /// Bellman–Ford single-source shortest paths by repeated min-plus
@@ -105,6 +187,50 @@ mod tests {
         let m = CsrMatrix::<MinPlusU32>::from_triples(3, 3, &[(0, 1, 2)]);
         let dist = min_plus_sssp(&m, 0);
         assert_eq!(dist, vec![0, 2, u32::MAX]);
+    }
+
+    #[test]
+    fn spmspv_agrees_with_dense_spmv_over_transpose() {
+        // Push from a sparse frontier ≡ dense pull over the transpose
+        // with the frontier densified: y = x ⊗ M row-gathers, while
+        // spmv(Mᵀ, dense(x)) reduces columns — same semiring sums.
+        let m = CsrMatrix::<PlusTimesU64>::from_triples(
+            4,
+            4,
+            &[(0, 1, 2), (0, 3, 3), (2, 1, 4), (3, 0, 1)],
+        );
+        let t = crate::transpose::transpose(&m);
+        let x = [(0u32, 5u64), (2, 1)];
+        let mut dense = vec![0u64; 4];
+        for &(i, v) in &x {
+            dense[i as usize] = v;
+        }
+        let pulled = spmv(&t, &dense);
+        let pushed = spmspv(&m, &x);
+        let densified: Vec<u64> = (0..4)
+            .map(|j| pushed.iter().find(|&&(i, _)| i == j).map_or(0, |&(_, v)| v))
+            .collect();
+        assert_eq!(densified, pulled);
+        assert_eq!(pushed, vec![(1, 14), (3, 15)]);
+    }
+
+    #[test]
+    fn generic_kernels_register_histogram_cells() {
+        let m = CsrMatrix::<PlusTimesU64>::from_triples(2, 2, &[(0, 1, 1)]);
+        spmv(&m, &[1, 1]);
+        spmspv(&m, &[(0, 1)]);
+        let names: Vec<String> = spbla_obs::metrics_global()
+            .snapshot()
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
+        for kernel in ["spmv", "spmspv"] {
+            let cell = spbla_obs::labeled(
+                "spbla_kernel_rows",
+                &[("backend", "generic"), ("kernel", kernel)],
+            );
+            assert!(names.contains(&cell), "missing {cell} in {names:?}");
+        }
     }
 
     #[test]

@@ -76,13 +76,16 @@ impl AzimovIndex {
         }
         // Semi-naïve fixpoint: per nonterminal we track the delta Δ_X of
         // facts discovered last round, and a rule `A → B C` contributes
-        // only `(Δ_B·T_C + T_B·Δ_C) ∧ ¬T_A` — the complemented-mask
-        // SpGEMM rejects already-known A-facts inside the kernel, so each
-        // round's cost is proportional to the product touching *new*
-        // facts, not the full `T_B·T_C`. Rules whose operands both have
-        // empty deltas are skipped entirely. Deltas are applied at the
-        // end of the round; the least fixpoint is the same as the naive
-        // Gauss–Seidel loop's.
+        // only `(Δ_B·T_C + T_B·Δ_C) ∧ ¬T_A`. Each term runs through the
+        // fused `mxm_accum_compmask`: the growing `T_A` is both the
+        // complement mask (rejecting known A-facts inside the kernel) and
+        // the accumulator, so the product's fresh facts land in `T_A` in
+        // the same launch and successive terms sharing a LHS emit
+        // *disjoint* fresh pieces — their plain union is the round's
+        // delta, and the old end-of-round `T_A += Δ_A` pass disappears.
+        // Rules whose operands both have empty deltas are skipped
+        // entirely; termination reads the fused kernel's fresh-nnz signal
+        // instead of probing `nnz` on a materialised intermediate.
         let mut iterations = 0usize;
         let mut deltas: Vec<Option<Matrix>> = matrices
             .iter()
@@ -98,23 +101,31 @@ impl AzimovIndex {
             iterations += 1;
             let mut fresh: Vec<Option<Matrix>> = (0..nnt).map(|_| None).collect();
             for &(a, b, c) in cnf.binary_rules() {
-                let ta = &matrices[a.id()];
-                let mut new: Option<Matrix> = None;
-                if let Some(db) = &deltas[b.id()] {
-                    new = Some(db.mxm_compmask(&matrices[c.id()], ta)?);
-                }
-                if let Some(dc) = &deltas[c.id()] {
-                    let term = matrices[b.id()].mxm_compmask(dc, ta)?;
-                    new = Some(match new {
-                        Some(acc) => acc.ewise_add(&term)?,
-                        None => term,
-                    });
-                }
-                if let Some(new) = new {
-                    if !new.is_empty() {
+                if deltas[b.id()].is_some() {
+                    let step = {
+                        let db = deltas[b.id()].as_ref().expect("checked above");
+                        matrices[a.id()].mxm_accum_compmask(db, &matrices[c.id()], true)?
+                    };
+                    if step.fresh_nnz > 0 {
+                        matrices[a.id()] = step.acc;
+                        let f = step.fresh.expect("fresh requested");
                         fresh[a.id()] = Some(match fresh[a.id()].take() {
-                            Some(acc) => acc.ewise_add(&new)?,
-                            None => new,
+                            Some(acc) => acc.ewise_add(&f)?,
+                            None => f,
+                        });
+                    }
+                }
+                if deltas[c.id()].is_some() {
+                    let step = {
+                        let dc = deltas[c.id()].as_ref().expect("checked above");
+                        matrices[a.id()].mxm_accum_compmask(&matrices[b.id()], dc, true)?
+                    };
+                    if step.fresh_nnz > 0 {
+                        matrices[a.id()] = step.acc;
+                        let f = step.fresh.expect("fresh requested");
+                        fresh[a.id()] = Some(match fresh[a.id()].take() {
+                            Some(acc) => acc.ewise_add(&f)?,
+                            None => f,
                         });
                     }
                 }
@@ -123,11 +134,6 @@ impl AzimovIndex {
             for (delta, f) in deltas.iter_mut().zip(fresh.iter_mut()) {
                 *delta = f.take();
                 changed |= delta.is_some();
-            }
-            for (a, delta) in deltas.iter().enumerate() {
-                if let Some(f) = delta {
-                    matrices[a] = matrices[a].ewise_add(f)?;
-                }
             }
             if !changed {
                 break;

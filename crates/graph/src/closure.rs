@@ -35,11 +35,13 @@ pub fn closure_squaring(adjacency: &Matrix) -> Result<Matrix> {
 pub fn closure_masked(adjacency: &Matrix) -> Result<Matrix> {
     let mut c = adjacency.duplicate()?;
     loop {
-        let fresh = c.mxm_compmask(&c, &c)?;
-        if fresh.nnz() == 0 {
+        // Fused `(C·C) ∧ ¬C` + accumulate; no delta needed next round,
+        // so the fresh matrix is never materialised.
+        let step = c.mxm_accum_compmask(&c, &c, false)?;
+        if step.fresh_nnz == 0 {
             return Ok(c);
         }
-        c = c.ewise_add(&fresh)?;
+        c = step.acc;
     }
 }
 
@@ -56,12 +58,15 @@ pub fn closure_delta(adjacency: &Matrix) -> Result<Matrix> {
     let mut c = adjacency.duplicate()?;
     let mut delta = adjacency.duplicate()?;
     while delta.nnz() > 0 {
-        let fresh = c.mxm_compmask(&delta, &c)?;
-        if fresh.nnz() == 0 {
+        // One fused kernel per round: product, complement-mask,
+        // accumulate, and the termination count — the delta comes back
+        // as the kernel's fresh output, never as a standalone product.
+        let step = c.mxm_accum_compmask(&c, &delta, true)?;
+        if step.fresh_nnz == 0 {
             break;
         }
-        c = c.ewise_add(&fresh)?;
-        delta = fresh;
+        c = step.acc;
+        delta = step.fresh.expect("fresh requested");
     }
     Ok(c)
 }
@@ -124,11 +129,15 @@ pub fn closure_incremental(t: &Matrix, delta: &Matrix) -> Result<Matrix> {
     let mut closure = t.ewise_add(delta)?;
     loop {
         let reach = closure.ewise_add(&identity)?;
-        let through = reach.mxm(delta)?.mxm_compmask(&reach, &closure)?;
-        if through.nnz() == 0 {
+        let left = reach.mxm(delta)?;
+        // Fused `((T+I)·Δ·(T+I)) ∧ ¬T` + accumulate: the trailing
+        // multiply lands straight in the accumulator and the empty-`N`
+        // check is the kernel's own fresh count.
+        let step = closure.mxm_accum_compmask(&left, &reach, false)?;
+        if step.fresh_nnz == 0 {
             return Ok(closure);
         }
-        closure = closure.ewise_add(&through)?;
+        closure = step.acc;
     }
 }
 

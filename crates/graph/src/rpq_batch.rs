@@ -111,11 +111,14 @@ pub fn rpq_from_each_source_mats(
                 frontier[q] = next[q].duplicate()?;
                 continue;
             }
-            // fresh = next ∧ ¬visited, via I_b ·⟨¬visited⟩ next.
-            let fresh = eye_b.mxm_compmask(&next[q], &visited[q])?;
-            if fresh.nnz() > 0 {
+            // Fused fresh = (I_b · next) ∧ ¬visited + accumulate into
+            // visited, with the fresh matrix doubling as the next
+            // frontier — one kernel instead of compmask + ewise_add.
+            let step = visited[q].mxm_accum_compmask(&eye_b, &next[q], true)?;
+            let fresh = step.fresh.expect("fresh requested");
+            if step.fresh_nnz > 0 {
                 any = true;
-                visited[q] = visited[q].ewise_add(&fresh)?;
+                visited[q] = step.acc;
                 if nfa.final_states().binary_search(&(q as u32)).is_ok() {
                     answers = answers.ewise_add(&fresh)?;
                 }

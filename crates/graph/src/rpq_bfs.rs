@@ -7,9 +7,10 @@
 //! closure. Complements [`crate::rpq::RpqIndex`] the way `vxm`-BFS
 //! complements all-pairs transitive closure.
 
+use rustc_hash::FxHashMap;
 use spbla_core::{Instance, Matrix, Result, Vector};
 use spbla_lang::glushkov::glushkov;
-use spbla_lang::{Nfa, Regex};
+use spbla_lang::{Nfa, Regex, Symbol};
 
 use crate::graph::LabeledGraph;
 
@@ -32,17 +33,35 @@ pub fn rpq_from_sources_nfa(
     sources: &[u32],
     inst: &Instance,
 ) -> Result<Vec<u32>> {
-    let n = graph.n_vertices();
-    let k = nfa.n_states() as usize;
-
-    // Per-symbol matrices for labels present in both.
     let by_symbol = nfa.transitions_by_symbol();
-    let mut matrices: Vec<(spbla_lang::Symbol, Matrix)> = Vec::new();
-    for (&sym, _) in by_symbol.iter() {
+    let mut mats: FxHashMap<Symbol, Matrix> = FxHashMap::default();
+    for &sym in by_symbol.keys() {
         if graph.label_count(sym) > 0 {
-            matrices.push((sym, graph.label_matrix(inst, sym)?));
+            mats.insert(sym, graph.label_matrix(inst, sym)?);
         }
     }
+    rpq_from_sources_mats(&mats, graph.n_vertices(), nfa, sources, inst)
+}
+
+/// [`rpq_from_sources_nfa`] over label matrices already resident on
+/// `inst`'s device — the entry point the engine planner uses when it
+/// routes a small source set to the frontier path instead of the full
+/// product closure. Frontier pushes go through
+/// [`Matrix::frontier_step`], which picks push or pull per round from
+/// the frontier's measured density.
+pub fn rpq_from_sources_mats(
+    mats: &FxHashMap<Symbol, Matrix>,
+    n: u32,
+    nfa: &Nfa,
+    sources: &[u32],
+    inst: &Instance,
+) -> Result<Vec<u32>> {
+    let k = nfa.n_states() as usize;
+    let by_symbol = nfa.transitions_by_symbol();
+    let matrices: Vec<(Symbol, &Matrix)> = by_symbol
+        .keys()
+        .filter_map(|&sym| mats.get(&sym).map(|m| (sym, m)))
+        .collect();
 
     // visited[q] = vertices ever reached in automaton state q.
     let mut visited: Vec<Vector> = vec![Vector::zeros(inst, n); k];
@@ -66,7 +85,7 @@ pub fn rpq_from_sources_nfa(
                 if frontier[f as usize].nnz() == 0 {
                     continue;
                 }
-                let pushed = mat.vxm(&frontier[f as usize])?;
+                let pushed = mat.frontier_step(&frontier[f as usize])?;
                 if pushed.nnz() > 0 {
                     next[t as usize] = next[t as usize].ewise_add(&pushed)?;
                 }

@@ -31,6 +31,22 @@ enum MaskKind {
     Drop,
 }
 
+/// Result of the fused distributed accumulate-product
+/// [`DistMatrix::mxm_accum_compmask`]: the grown accumulator, the
+/// grid-total count of fresh cells (the fixpoint termination signal,
+/// read off the per-shard fused kernels — no extra `nnz` reduction),
+/// and the fresh cells themselves when requested.
+#[derive(Debug)]
+pub struct FusedDistProduct {
+    /// `C ∨ ((A·B) ∧ ¬C)`, sharded on `C`'s partition.
+    pub acc: DistMatrix,
+    /// Total fresh cells across all shards.
+    pub fresh_nnz: usize,
+    /// The fresh cells `(A·B) ∧ ¬C` as their own distributed matrix,
+    /// present iff `want_fresh` was set.
+    pub fresh: Option<DistMatrix>,
+}
+
 /// A sparse Boolean matrix sharded by block-rows across a device grid.
 #[derive(Debug)]
 pub struct DistMatrix {
@@ -305,6 +321,118 @@ impl DistMatrix {
         })
     }
 
+    /// Fused distributed `acc = C ∨ ((A·B) ∧ ¬C)` with `self` as `C`.
+    ///
+    /// Rides the same round-robin all-gather schedule as
+    /// [`DistMatrix::mxm_compmask`], but each round runs the
+    /// single-device *fused* kernel with the shard's **growing**
+    /// accumulator as the complement mask: round `k`'s fresh piece is
+    /// `(A_ik·B_k) \ (C_i ∪ F_{<k})`, so the pieces are pairwise
+    /// disjoint and their union is exactly `(⋁_k A_ik·B_k) ∧ ¬C_i` —
+    /// the per-round `ewise_add` fold of the unfused schedule, the
+    /// zero-initialised round accumulator, and the end-of-round
+    /// `C += fresh` union all disappear into the per-round launch. The
+    /// termination signal is the sum of the rounds' fresh-nnz counts;
+    /// no materialised intermediate product is ever reduced.
+    ///
+    /// `a` must share `self`'s partition (it is re-aligned when the
+    /// boundaries differ); `b`'s partition drives the round schedule.
+    pub fn mxm_accum_compmask(
+        &self,
+        a: &DistMatrix,
+        b: &DistMatrix,
+        want_fresh: bool,
+    ) -> Result<FusedDistProduct> {
+        self.check_same_grid(a)?;
+        self.check_same_grid(b)?;
+        if a.ncols != b.nrows() {
+            return Err(SpblaError::DimensionMismatch {
+                op: "dist mxm_accum_compmask",
+                lhs: a.shape(),
+                rhs: b.shape(),
+            });
+        }
+        if self.shape() != (a.nrows(), b.ncols) {
+            return Err(SpblaError::DimensionMismatch {
+                op: "dist mxm_accum_compmask acc",
+                lhs: (a.nrows(), b.ncols),
+                rhs: self.shape(),
+            });
+        }
+        let realigned;
+        let a = if self.offsets == a.offsets {
+            a
+        } else {
+            realigned = a.reshard(self.offsets.clone())?;
+            &realigned
+        };
+        let comm = self.grid.comm();
+        let mut acc_shards = Vec::with_capacity(self.grid.len());
+        let mut fresh_shards = Vec::with_capacity(self.grid.len());
+        let mut fresh_nnz = 0usize;
+        for i in 0..self.grid.len() {
+            let rows_i = self.offsets[i + 1] - self.offsets[i];
+            let a_i = &a.shards[i];
+            // Growing accumulator for this shard; `None` means still
+            // bit-identical to `C_i`, so convergence rounds never copy.
+            let mut cur: Option<Matrix> = None;
+            let mut pieces: Vec<Matrix> = Vec::new();
+            for k in 0..self.grid.len() {
+                let (blo, bhi) = (b.offsets[k], b.offsets[k + 1]);
+                if blo == bhi {
+                    continue;
+                }
+                let a_ik = a_i.submatrix(0, blo, rows_i, bhi - blo)?;
+                if a_ik.is_empty() {
+                    // No local column hits shard k — skip the fetch.
+                    continue;
+                }
+                let fetched;
+                let b_k = if k == i {
+                    &b.shards[k]
+                } else {
+                    fetched = comm.peer_copy(&b.shards[k], k, i)?;
+                    &fetched
+                };
+                let mask = cur.as_ref().unwrap_or(&self.shards[i]);
+                let step = mask.mxm_accum_compmask(&a_ik, b_k, want_fresh)?;
+                if step.fresh_nnz > 0 {
+                    cur = Some(step.acc);
+                    fresh_nnz += step.fresh_nnz;
+                    if let Some(f) = step.fresh {
+                        pieces.push(f);
+                    }
+                }
+            }
+            acc_shards.push(match cur {
+                Some(m) => m,
+                None => self.shards[i].duplicate()?,
+            });
+            if want_fresh {
+                // Disjoint pieces: the fold is a plain merge, no dedup.
+                let mut f = match pieces.pop() {
+                    Some(f) => f,
+                    None => Matrix::zeros(self.grid.instance(i), rows_i, b.ncols)?,
+                };
+                for p in &pieces {
+                    f = f.ewise_add(p)?;
+                }
+                fresh_shards.push(f);
+            }
+        }
+        let wrap = |shards: Vec<Matrix>| DistMatrix {
+            grid: self.grid.clone(),
+            offsets: self.offsets.clone(),
+            ncols: b.ncols,
+            shards,
+        };
+        Ok(FusedDistProduct {
+            acc: wrap(acc_shards),
+            fresh_nnz,
+            fresh: want_fresh.then(|| wrap(fresh_shards)),
+        })
+    }
+
     fn ewise(&self, other: &DistMatrix, op: &'static str) -> Result<DistMatrix> {
         self.check_same_grid(other)?;
         if self.shape() != other.shape() {
@@ -510,22 +638,24 @@ impl DistMatrix {
     }
 
     /// Distributed semi-naïve transitive closure: per-shard frontiers
-    /// `Δ_i`, one complement-masked distributed SpGEMM per round
-    /// (which all-gathers only the round's delta shards — the small
-    /// frontier, never the dense closure), purely local union into
-    /// `C_i`. Stops when the global frontier is empty. Bit-identical to
+    /// `Δ_i`, one *fused* complement-masked distributed SpGEMM per
+    /// round (which all-gathers only the round's delta shards — the
+    /// small frontier, never the dense closure). The fused kernel
+    /// accumulates fresh facts into `C_i` in the same launch and
+    /// returns the termination signal, so no round ever materialises
+    /// the intermediate product or re-reduces `nnz`. Bit-identical to
     /// the single-device `closure_delta`.
     pub fn closure_delta(&self) -> Result<DistMatrix> {
         self.check_square("dist closure")?;
         let mut c = self.duplicate()?;
         let mut delta = self.duplicate()?;
         while delta.nnz() > 0 {
-            let fresh = c.mxm_compmask(&delta, &c)?;
-            if fresh.nnz() == 0 {
+            let step = c.mxm_accum_compmask(&c, &delta, true)?;
+            if step.fresh_nnz == 0 {
                 break;
             }
-            c = c.ewise_add(&fresh)?;
-            delta = fresh;
+            c = step.acc;
+            delta = step.fresh.expect("fresh requested");
         }
         Ok(c)
     }

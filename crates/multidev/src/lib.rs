@@ -43,7 +43,7 @@ pub mod dist;
 pub mod grid;
 
 pub use comm::Comm;
-pub use dist::DistMatrix;
+pub use dist::{DistMatrix, FusedDistProduct};
 pub use grid::DeviceGrid;
 
 pub use spbla_core::{Result, SpblaError};

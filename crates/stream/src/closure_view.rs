@@ -173,29 +173,42 @@ impl ClosureView {
         let d = DistMatrix::from_pairs(&grid, n, n, inserted)?;
         // F = (R·D·R) ∧ ¬R: every closure pair the batch creates is a
         // chain of F edges (in-R hops collapse into their neighbours).
+        // The fused kernel lands F in the closure in the same launch as
+        // the masked product and reports its size for free — the old
+        // compmask + `is_empty` probe + `ewise_add` trio is one call.
         let l = self.closure.mxm(&d)?;
-        let f = l.mxm_compmask(&self.closure, &self.closure)?;
-        if f.is_empty() {
+        let step = self.closure.mxm_accum_compmask(&l, &self.closure, true)?;
+        if step.fresh_nnz == 0 {
             // The new edges were already implied: 2 launches, done.
             self.stats.incremental_inserts += 1;
             return Ok(());
         }
-        if self.exceeds_fallback(f.nnz()) {
+        if self.exceeds_fallback(step.fresh_nnz) {
             self.stats.fallbacks += 1;
             return self.recompute();
         }
+        let mut c = step.acc;
         // Single-edge batches skip the frontier fixpoint: with one new
         // edge `(u,v)`, `F = (R⁻¹u × vR) ∧ ¬R` and composing two F-pairs
         // `(a,b)·(b,d)` gives `a→u→v→b→u→v→d`, whose endpoints still lie
         // in `R⁻¹u × vR` — so F-chains never leave `F ∪ R`, and
         // `R' = R ∪ F` exactly. Multi-edge batches can chain *different*
-        // new edges (`R·D·R·D·R` pairs) and need the fixpoint.
+        // new edges (`R·D·R·D·R` pairs) and need the fixpoint — run
+        // semi-naïvely from the already-accumulated `R ∪ F` with F as
+        // the delta (`R·F ∪ F·R ⊆ R ∪ F`, so right-appending the delta
+        // reaches every F-chain).
         if inserted.len() > 1 {
-            let new = f.closure_delta()?;
-            self.closure = self.closure.ewise_add(&new)?;
-        } else {
-            self.closure = self.closure.ewise_add(&f)?;
+            let mut delta = step.fresh.expect("fresh requested");
+            loop {
+                let round = c.mxm_accum_compmask(&c, &delta, true)?;
+                if round.fresh_nnz == 0 {
+                    break;
+                }
+                c = round.acc;
+                delta = round.fresh.expect("fresh requested");
+            }
         }
+        self.closure = c;
         self.stats.incremental_inserts += 1;
         Ok(())
     }
@@ -228,11 +241,13 @@ impl ClosureView {
         let seeds = self.adjacency.ewise_mult(&over)?;
         let mut c = keep.ewise_add(&seeds)?;
         loop {
-            let fresh = c.mxm_compmask(&c, &c)?;
-            if fresh.is_empty() {
+            // Fused masked squaring: accumulate `(C·C) ∧ ¬C` into C and
+            // read the growth signal off the kernel.
+            let step = c.mxm_accum_compmask(&c, &c, false)?;
+            if step.fresh_nnz == 0 {
                 break;
             }
-            c = c.ewise_add(&fresh)?;
+            c = step.acc;
         }
         self.closure = c;
         self.stats.dred_deletes += 1;
