@@ -9,7 +9,7 @@
 //!
 //! Subcommands: `table1 table2 fig2 fig3 table3 table4 paths
 //! boolean-vs-generic formats ablations scaling serving stream obs
-//! fusion all`.
+//! fusion memory frontier all`.
 //! `obs` additionally writes `BENCH_obs.json` (per-kernel p50/p95 from
 //! the profiling histograms plus the measured tracing overhead).
 //! `fusion` writes `BENCH_fusion.json` (fused vs unfused delta-closure
@@ -17,6 +17,15 @@
 //! decisions on LUBM, 1/2/4-device closure checksums) and exits
 //! non-zero unless the fused schedule launches ≥ 25% fewer kernels —
 //! the CI smoke gate.
+//! `memory` writes `BENCH_memory.json` (adaptive tiled block storage vs
+//! flat CSR and dense-bit baselines: LUBM closure peak resident bytes,
+//! per-tile format census and switch counts, catalog residency under a
+//! fixed budget) and exits non-zero unless blocked storage cuts peak
+//! bytes ≥ 2× vs flat CSR and fits ≥ 1.5× more graphs — the CI
+//! memory-smoke gate.
+//! `frontier` writes `BENCH_frontier.json` (per-source frontier BFS vs
+//! batched product-machine latency across source counts — the sweep
+//! behind the planner's `FRONTIER_MAX_SOURCES` crossover).
 //! `--json FILE` additionally writes the machine-readable records the
 //! run produced (one JSON object per experiment configuration, with the
 //! device counters: launches, accumulator insertions, h2d/d2h/d2d bytes
@@ -134,6 +143,8 @@ fn main() {
         "stream" => stream(&mut records),
         "obs" => obs(&mut records),
         "fusion" => fusion(&mut records),
+        "memory" => memory(&mut records),
+        "frontier" => frontier(&mut records),
         "all" => {
             table1();
             table2();
@@ -150,10 +161,12 @@ fn main() {
             stream(&mut records);
             obs(&mut records);
             fusion(&mut records);
+            memory(&mut records);
+            frontier(&mut records);
         }
         other => {
             eprintln!("unknown experiment: {other}");
-            eprintln!("known: table1 table2 fig2 fig3 table3 table4 paths boolean-vs-generic formats ablations scaling serving stream obs fusion all");
+            eprintln!("known: table1 table2 fig2 fig3 table3 table4 paths boolean-vs-generic formats ablations scaling serving stream obs fusion memory frontier all");
             std::process::exit(2);
         }
     }
@@ -1369,6 +1382,365 @@ fn fusion(records: &mut Vec<JsonRecord>) {
         std::process::exit(2);
     }
     println!("fusion gate passed: {reduction_pct:.1}% >= 25% launch reduction");
+}
+
+// ---------------------------------------------------------------- E15
+/// FNV-1a over a sorted pair list — the bit-identity witness shared by
+/// the fusion and memory gates.
+fn fnv_pairs(pairs: &[(u32, u32)]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &(r, c) in pairs {
+        for b in r.to_le_bytes().into_iter().chain(c.to_le_bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn memory(records: &mut Vec<JsonRecord>) {
+    header("MEMORY — adaptive tiled block storage vs flat formats (E15 gate)");
+    println!("(the claims to check: per-tile dense-bit/CSR/COO storage with");
+    println!(" densify-time format switching answers the LUBM delta closure");
+    println!(" bit-identically while holding >= 2x fewer peak resident bytes than");
+    println!(" flat CSR, and fits >= 1.5x more graphs into the same catalog");
+    println!(" residency budget)\n");
+    use spbla_core::Backend;
+    use spbla_engine::Catalog;
+
+    // LUBM base plus a deep citation thread through the tail of the
+    // vertex range (as in E13): the thread's closure is a triangular
+    // block that *densifies* round over round — the workload the
+    // densify-time format switching exists for. The shallow ontology
+    // hierarchy alone converges while still COO-sparse everywhere.
+    const CHAIN: u32 = 192;
+    let mut table = SymbolTable::new();
+    let mut g = lubm_rung(2, &mut table);
+    let cites = table.intern("cites");
+    let n = g.n_vertices();
+    for v in n - CHAIN..n - 1 {
+        g.add_edge(v, cites, v + 1);
+    }
+    let adj = g.adjacency_csr();
+    let pairs = adj.to_pairs();
+    println!(
+        "LUBM fixture: n={n}, nnz={} (+{CHAIN}-deep citation thread)\n",
+        adj.nnz()
+    );
+
+    // Part A — the delta-closure working set (accumulator + delta),
+    // sampled after every fixpoint round; the peak is what a device
+    // must actually hold to finish the query.
+    struct ClosureRun {
+        peak: usize,
+        final_bytes: usize,
+        rounds: usize,
+        checksum: u64,
+        census: Option<(usize, usize, usize)>,
+    }
+    let run_closure = |inst: &Instance| -> ClosureRun {
+        let m = upload(inst, n, &pairs);
+        let mut c = m.duplicate().expect("duplicate");
+        let mut delta = m;
+        let mut peak = c.memory_bytes() + delta.memory_bytes();
+        let mut rounds = 0usize;
+        loop {
+            let step = c
+                .mxm_accum_compmask(&c, &delta, true)
+                .expect("fused closure step");
+            rounds += 1;
+            if step.fresh_nnz == 0 {
+                break;
+            }
+            c = step.acc;
+            delta = step.fresh.expect("fresh requested");
+            peak = peak.max(c.memory_bytes() + delta.memory_bytes());
+        }
+        ClosureRun {
+            peak,
+            final_bytes: c.memory_bytes(),
+            rounds,
+            checksum: fnv_pairs(&c.read()),
+            census: c.block_format_census(),
+        }
+    };
+
+    let switch_counter = spbla_obs::metrics_global().counter("spbla_block_format_switches_total");
+    let sw0 = switch_counter.get();
+    let blocked = run_closure(&Instance::blocked(Backend::CudaSim));
+    let switches = switch_counter.get() - sw0;
+    let flat = run_closure(&Instance::cuda_sim());
+    let dense = run_closure(&Instance::cpu_dense());
+    assert_eq!(
+        blocked.checksum, flat.checksum,
+        "blocked closure diverges from flat CSR"
+    );
+    assert_eq!(
+        blocked.checksum, dense.checksum,
+        "blocked closure diverges from dense-bit"
+    );
+    println!(
+        "{:<12} {:>14} {:>14} {:>7}",
+        "storage", "peak-bytes", "final-bytes", "rounds"
+    );
+    for (name, run) in [
+        ("blocked", &blocked),
+        ("flat_csr", &flat),
+        ("dense_bit", &dense),
+    ] {
+        println!(
+            "{:<12} {:>14} {:>14} {:>7}",
+            name, run.peak, run.final_bytes, run.rounds
+        );
+    }
+    let (td, tc, to) = blocked.census.expect("blocked repr reports a census");
+    let reduction_csr = flat.peak as f64 / blocked.peak.max(1) as f64;
+    let reduction_dense = dense.peak as f64 / blocked.peak.max(1) as f64;
+    println!(
+        "closure checksum {:#018x} bit-identical across storages; \
+         final tile census: {td} dense / {tc} csr / {to} coo; \
+         {switches} densify-time format switches",
+        blocked.checksum
+    );
+    println!(
+        "peak reduction: {reduction_csr:.2}x vs flat CSR (gate: >= 2.0), {reduction_dense:.2}x vs dense-bit"
+    );
+
+    // Part B — graphs resident under one catalog budget. Same budget,
+    // same LRU policy, same touch order: the only variable is the
+    // storage format beneath `Matrix::from_csr`.
+    const GRAPHS: usize = 12;
+    let base = g.clone();
+    let flat_probe = {
+        let cat = Catalog::new(1, usize::MAX);
+        cat.add("probe", base.clone());
+        cat.resident("probe", 0, &Instance::cuda_sim())
+            .expect("probe resides")
+            .bytes
+    };
+    let budget = flat_probe * 4 + flat_probe / 2; // fits ~4.5 flat graphs
+    let count_resident = |inst: &Instance| -> usize {
+        let cat = Catalog::new(1, budget);
+        for i in 0..GRAPHS {
+            cat.add(&format!("g{i}"), base.clone());
+        }
+        for i in 0..GRAPHS {
+            cat.resident(&format!("g{i}"), 0, inst).expect("resides");
+        }
+        cat.resident_count(0)
+    };
+    let flat_resident = count_resident(&Instance::cuda_sim());
+    let blocked_resident = count_resident(&Instance::blocked(Backend::CudaSim));
+    let residency_gain = blocked_resident as f64 / flat_resident.max(1) as f64;
+    println!(
+        "catalog: budget {budget} B ({GRAPHS} graphs offered): flat CSR holds {flat_resident}, \
+         blocked holds {blocked_resident} ({residency_gain:.2}x, gate: >= 1.5)"
+    );
+
+    let json = format!(
+        "{{\n  \"graph\": \"LUBM\", \"n\": {n}, \"nnz\": {},\n  \
+         \"closure\": {{\n    \
+         \"blocked\": {{\"peak_bytes\": {}, \"final_bytes\": {}, \"rounds\": {}}},\n    \
+         \"flat_csr\": {{\"peak_bytes\": {}, \"final_bytes\": {}, \"rounds\": {}}},\n    \
+         \"dense_bit\": {{\"peak_bytes\": {}, \"final_bytes\": {}, \"rounds\": {}}}\n  }},\n  \
+         \"checksum\": \"{:#018x}\",\n  \
+         \"peak_reduction_vs_csr\": {reduction_csr:.2},\n  \
+         \"peak_reduction_vs_dense\": {reduction_dense:.2},\n  \
+         \"tile_census\": {{\"dense\": {td}, \"csr\": {tc}, \"coo\": {to}}},\n  \
+         \"format_switches\": {switches},\n  \
+         \"catalog\": {{\"budget_bytes\": {budget}, \"graphs_offered\": {GRAPHS}, \
+         \"flat_resident\": {flat_resident}, \"blocked_resident\": {blocked_resident}, \
+         \"residency_gain\": {residency_gain:.2}}}\n}}\n",
+        adj.nnz(),
+        blocked.peak,
+        blocked.final_bytes,
+        blocked.rounds,
+        flat.peak,
+        flat.final_bytes,
+        flat.rounds,
+        dense.peak,
+        dense.final_bytes,
+        dense.rounds,
+        blocked.checksum,
+    );
+    std::fs::write("BENCH_memory.json", json).unwrap_or_else(|e| {
+        eprintln!("cannot write BENCH_memory.json: {e}");
+        std::process::exit(1);
+    });
+    println!("\nwrote BENCH_memory.json");
+
+    records.push(JsonRecord {
+        experiment: "memory".into(),
+        config: vec![
+            ("blocked_peak_bytes".into(), blocked.peak.to_string()),
+            ("flat_csr_peak_bytes".into(), flat.peak.to_string()),
+            ("dense_bit_peak_bytes".into(), dense.peak.to_string()),
+            (
+                "peak_reduction_vs_csr".into(),
+                format!("{reduction_csr:.2}"),
+            ),
+            ("format_switches".into(), switches.to_string()),
+            ("flat_resident".into(), flat_resident.to_string()),
+            ("blocked_resident".into(), blocked_resident.to_string()),
+        ],
+        launches: 0,
+        insertions: 0,
+        h2d_bytes: 0,
+        d2h_bytes: 0,
+        d2d_bytes: 0,
+        peak_bytes: blocked.peak,
+    });
+
+    // The CI memory-smoke gates.
+    let mut failed = false;
+    if reduction_csr < 2.0 {
+        eprintln!(
+            "MEMORY GATE FAILED: peak {reduction_csr:.2}x vs flat CSR, need >= 2.0 \
+             (blocked {} B vs flat {} B)",
+            blocked.peak, flat.peak
+        );
+        failed = true;
+    }
+    if residency_gain < 1.5 {
+        eprintln!(
+            "MEMORY GATE FAILED: residency gain {residency_gain:.2}x, need >= 1.5 \
+             (blocked {blocked_resident} vs flat {flat_resident} graphs)"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(2);
+    }
+    println!(
+        "memory gates passed: peak {reduction_csr:.2}x >= 2.0, residency {residency_gain:.2}x >= 1.5"
+    );
+}
+
+// ---------------------------------------------------------------- E16
+fn frontier(records: &mut Vec<JsonRecord>) {
+    header("FRONTIER — per-source frontier BFS vs batched product machine (crossover sweep)");
+    println!("(the measurement behind the planner's FRONTIER_MAX_SOURCES: below the");
+    println!(" crossover a batch answers faster as one sparse-vector frontier chase");
+    println!(" per source; above it the b x n product machine amortises its");
+    println!(" per-round launch chain; answers are bit-identical either way)\n");
+    use spbla_graph::rpq_batch::rpq_from_each_source_mats;
+    use spbla_graph::rpq_bfs::rpq_from_sources_mats;
+    use spbla_lang::glushkov::glushkov;
+    use spbla_lang::Regex;
+
+    let mut table = SymbolTable::new();
+    let g = lubm_rung(10, &mut table);
+    let n = g.n_vertices();
+    let query = Regex::parse("memberOf . subOrganizationOf*", &mut table).expect("query parses");
+    let nfa = glushkov(&query);
+    let inst = Instance::cuda_sim();
+    let mats = g.matrices(&inst).expect("labels upload");
+    println!(
+        "LUBM fixture: n={n}, nnz={}; query memberOf . subOrganizationOf*\n",
+        g.n_edges()
+    );
+
+    // Single-request latencies sit in the tens of microseconds; average
+    // over far more runs than the seconds-scale experiments need.
+    let runs = RUNS.max(30);
+    println!(
+        "{:<8} {:>12} {:>12} {:>8}  winner",
+        "sources", "frontier-us", "machine-us", "ratio"
+    );
+    let mut sweep: Vec<(usize, f64, f64)> = Vec::new();
+    let mut crossover: Option<usize> = None;
+    for &k in &[1usize, 2, 3, 4, 6, 8, 12, 16, 24] {
+        let sources: Vec<u32> = (0..k).map(|i| (i as u32 * 131) % n).collect();
+        // Bit-identity first: both paths must answer each source the same.
+        let per_source: Vec<Vec<u32>> = sources
+            .iter()
+            .map(|&s| rpq_from_sources_mats(&mats, n, &nfa, &[s], &inst).expect("frontier"))
+            .collect();
+        let batched = rpq_from_each_source_mats(&mats, n, &nfa, &sources, &inst).expect("machine");
+        assert_eq!(per_source, batched, "paths diverge at {k} sources");
+        let t_frontier = time_avg(runs, || {
+            for &s in &sources {
+                std::hint::black_box(
+                    rpq_from_sources_mats(&mats, n, &nfa, &[s], &inst)
+                        .expect("frontier")
+                        .len(),
+                );
+            }
+        });
+        let t_machine = time_avg(runs, || {
+            std::hint::black_box(
+                rpq_from_each_source_mats(&mats, n, &nfa, &sources, &inst)
+                    .expect("machine")
+                    .len(),
+            );
+        });
+        let (fs, ms) = (t_frontier.as_secs_f64(), t_machine.as_secs_f64());
+        println!(
+            "{:<8} {:>12.1} {:>12.1} {:>8.2}  {}",
+            k,
+            fs * 1e6,
+            ms * 1e6,
+            ms / fs.max(1e-12),
+            if fs <= ms { "frontier" } else { "machine" }
+        );
+        if fs > ms && crossover.is_none() {
+            crossover = Some(k);
+        }
+        sweep.push((k, fs, ms));
+    }
+    // The recommended constant: the largest swept batch size still won
+    // by the frontier path — i.e. one below the first machine win.
+    let recommend = match crossover {
+        Some(k) => sweep
+            .iter()
+            .map(|&(b, _, _)| b)
+            .take_while(|&b| b < k)
+            .last()
+            .unwrap_or(1),
+        None => sweep.last().map(|&(b, _, _)| b).unwrap_or(1),
+    };
+    println!(
+        "\nfirst machine win at {} sources -> FRONTIER_MAX_SOURCES = {recommend}",
+        crossover.map_or("never".into(), |k| k.to_string())
+    );
+
+    let rows = sweep
+        .iter()
+        .map(|(k, fs, ms)| {
+            format!(r#"    {{"sources": {k}, "frontier_s": {fs:.6}, "machine_s": {ms:.6}}}"#)
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"graph\": \"LUBM\", \"n\": {n}, \"nnz\": {},\n  \
+         \"query\": \"memberOf . subOrganizationOf*\",\n  \
+         \"sweep\": [\n{rows}\n  ],\n  \
+         \"crossover_sources\": {},\n  \"frontier_max_sources\": {recommend}\n}}\n",
+        g.n_edges(),
+        crossover.map_or("null".into(), |k| k.to_string()),
+    );
+    std::fs::write("BENCH_frontier.json", json).unwrap_or_else(|e| {
+        eprintln!("cannot write BENCH_frontier.json: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote BENCH_frontier.json");
+
+    records.push(JsonRecord {
+        experiment: "frontier".into(),
+        config: vec![
+            (
+                "crossover_sources".into(),
+                crossover.map_or("never".into(), |k| k.to_string()),
+            ),
+            ("frontier_max_sources".into(), recommend.to_string()),
+        ],
+        launches: 0,
+        insertions: 0,
+        h2d_bytes: 0,
+        d2h_bytes: 0,
+        d2d_bytes: 0,
+        peak_bytes: 0,
+    });
 }
 
 // ---------------------------------------------------------------- E9

@@ -14,6 +14,7 @@
 
 use crate::backend::cl_sim::{self, DeviceCoo};
 use crate::backend::cuda_sim::{self, DeviceCsr};
+use crate::block::BlockMatrix;
 use crate::error::Result;
 use crate::format::bitmat::BitMatrix;
 use crate::format::csr::CsrBool;
@@ -178,6 +179,49 @@ impl KernelDispatch for BitMatrix {
             }
         });
         Ok(words_to_indices(&acc))
+    }
+    fn k_reduce_to_column(&self) -> Result<Vec<Index>> {
+        Ok(self.reduce_to_column())
+    }
+    fn k_reduce_to_row(&self) -> Result<Vec<Index>> {
+        Ok(self.reduce_to_row())
+    }
+}
+
+impl KernelDispatch for BlockMatrix {
+    fn k_mxm(&self, b: &Self) -> Result<Self> {
+        self.mxm(b)
+    }
+    fn k_mxm_masked(&self, b: &Self, mask: &Self) -> Result<Self> {
+        self.mxm_masked(b, mask)
+    }
+    fn k_mxm_compmask(&self, b: &Self, mask: &Self) -> Result<Self> {
+        self.mxm_compmask(b, mask)
+    }
+    fn k_mxm_accum_compmask(
+        &self,
+        a: &Self,
+        b: &Self,
+        want_fresh: bool,
+    ) -> Result<FusedAccum<Self>> {
+        let (acc, fresh_nnz, fresh) = self.mxm_accum_compmask(a, b, want_fresh)?;
+        Ok(FusedAccum {
+            acc,
+            fresh_nnz,
+            fresh,
+        })
+    }
+    fn k_ewise_add(&self, b: &Self) -> Result<Self> {
+        self.ewise_add(b)
+    }
+    fn k_ewise_mult(&self, b: &Self) -> Result<Self> {
+        self.ewise_mult(b)
+    }
+    fn k_vxm(&self, set: &[Index]) -> Result<Vec<Index>> {
+        Ok(self.vxm(set))
+    }
+    fn k_vxm_pull(&self, frontier_words: &[u64]) -> Result<Vec<Index>> {
+        Ok(self.vxm_pull(frontier_words))
     }
     fn k_reduce_to_column(&self) -> Result<Vec<Index>> {
         Ok(self.reduce_to_column())

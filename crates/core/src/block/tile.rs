@@ -1,0 +1,396 @@
+//! One 64×64 tile of a [`BlockMatrix`](crate::block::BlockMatrix), in
+//! the cheapest of three formats.
+//!
+//! A tile covers 64 rows × 64 columns, so one row is exactly one `u64`
+//! and all three formats convert through a common 64-word dense scratch:
+//!
+//! * [`Tile::Dense`] — 64 bit-words, 512 B regardless of population;
+//!   cheapest once a tile densifies past ~191 set cells (0.125 B/nnz at
+//!   saturation — the packed-boolean win the paper's 4× memory claim
+//!   rides on).
+//! * [`Tile::Csr`] — `u16` row pointers + `u16` column indices,
+//!   `130 + 2·nnz` B with O(1) row access; the mid-density format.
+//! * [`Tile::Coo`] — sorted packed `(row << 6 | col)` `u16` entries,
+//!   `2·nnz` B with no per-row structure; cheapest for near-empty tiles
+//!   where even 65 row pointers would dominate.
+//!
+//! Format choice is by *measured byte cost at the tile's nnz*, with an
+//! nnz floor separating COO from CSR (below [`COO_MAX_NNZ`] the rowless
+//! scan is both smaller and faster than maintaining pointers). A tile
+//! that already has a format only *re*-chooses when its nnz moves past
+//! a crossover by the hysteresis margin ([`HYSTERESIS_NUM`] /
+//! [`HYSTERESIS_DEN`]), so fixpoint rounds that nudge a tile back and
+//! forth across a threshold don't thrash conversions.
+
+/// Tile edge length: 64 so a tile row is one machine word.
+pub const TILE: usize = 64;
+
+/// Largest nnz stored as COO; above this CSR's row pointers pay for
+/// themselves in row-access cost (bytes alone would keep COO forever —
+/// `2·nnz < 130 + 2·nnz` — so this bound is the kernel-cost crossover).
+pub const COO_MAX_NNZ: usize = 64;
+
+/// Smallest nnz stored dense: `130 + 2·nnz ≥ 512` ⇔ `nnz ≥ 191`.
+pub const DENSE_MIN_NNZ: usize = 191;
+
+/// Hysteresis margin numerator: an existing tile switches format only
+/// when its nnz clears a crossover by ≥ 1/8 (12.5%).
+pub const HYSTERESIS_NUM: usize = 1;
+/// Hysteresis margin denominator.
+pub const HYSTERESIS_DEN: usize = 8;
+
+/// Which of the three formats a tile currently uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileFormat {
+    /// 64 bit-words (512 B).
+    Dense,
+    /// `u16` row pointers + columns (`130 + 2·nnz` B).
+    Csr,
+    /// Sorted packed `u16` coordinates (`2·nnz` B).
+    Coo,
+}
+
+impl TileFormat {
+    /// The cheapest format for a fresh tile of `nnz` set cells.
+    pub fn choose(nnz: usize) -> TileFormat {
+        if nnz >= DENSE_MIN_NNZ {
+            TileFormat::Dense
+        } else if nnz > COO_MAX_NNZ {
+            TileFormat::Csr
+        } else {
+            TileFormat::Coo
+        }
+    }
+
+    /// Re-choose for a tile that already holds `prev`: keep `prev`
+    /// unless `nnz` is past the crossover into another format by the
+    /// hysteresis margin. Fixpoint accumulation only grows tiles, so
+    /// without the margin a tile sitting exactly on a threshold would
+    /// convert on one round and (under element-wise shrinkage) convert
+    /// straight back the next.
+    pub fn rechoose(prev: TileFormat, nnz: usize) -> TileFormat {
+        let margin = |t: usize| t + t * HYSTERESIS_NUM / HYSTERESIS_DEN;
+        let ideal = TileFormat::choose(nnz);
+        if ideal == prev {
+            return prev;
+        }
+        match (prev, ideal) {
+            // Densify paths: demand the margin above the upward threshold.
+            (TileFormat::Coo, TileFormat::Csr) => {
+                if nnz >= margin(COO_MAX_NNZ + 1) {
+                    TileFormat::Csr
+                } else {
+                    TileFormat::Coo
+                }
+            }
+            (TileFormat::Coo, TileFormat::Dense) | (TileFormat::Csr, TileFormat::Dense) => {
+                if nnz >= margin(DENSE_MIN_NNZ) {
+                    TileFormat::Dense
+                } else {
+                    prev
+                }
+            }
+            // Sparsify paths: demand the margin below the downward
+            // threshold (nnz must drop to 1/(1+m) of it).
+            (TileFormat::Dense, _) => {
+                if nnz * (HYSTERESIS_DEN + HYSTERESIS_NUM) <= DENSE_MIN_NNZ * HYSTERESIS_DEN {
+                    ideal
+                } else {
+                    TileFormat::Dense
+                }
+            }
+            (TileFormat::Csr, TileFormat::Coo) => {
+                if nnz * (HYSTERESIS_DEN + HYSTERESIS_NUM) <= (COO_MAX_NNZ + 1) * HYSTERESIS_DEN {
+                    TileFormat::Coo
+                } else {
+                    TileFormat::Csr
+                }
+            }
+            _ => ideal,
+        }
+    }
+}
+
+/// One 64×64 tile. Empty tiles are never stored (the block row simply
+/// has no entry at that tile column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tile {
+    /// 64 bit-words, row `r` = word `r`.
+    Dense(Box<[u64; TILE]>),
+    /// `row_ptr[r] .. row_ptr[r+1]` indexes `cols`; columns strictly
+    /// increasing within a row.
+    Csr {
+        /// 65 `u16` offsets into `cols`.
+        row_ptr: Box<[u16; TILE + 1]>,
+        /// Local column indices (`< 64`).
+        cols: Vec<u16>,
+    },
+    /// Sorted packed `(row << 6) | col` entries.
+    Coo(Vec<u16>),
+}
+
+impl Tile {
+    /// Build a tile of the given format from 64 dense row words.
+    fn build(words: &[u64; TILE], format: TileFormat, nnz: usize) -> Tile {
+        match format {
+            TileFormat::Dense => Tile::Dense(Box::new(*words)),
+            TileFormat::Csr => {
+                let mut row_ptr = Box::new([0u16; TILE + 1]);
+                let mut cols = Vec::with_capacity(nnz);
+                for (r, &w) in words.iter().enumerate() {
+                    let mut bits = w;
+                    while bits != 0 {
+                        cols.push(bits.trailing_zeros() as u16);
+                        bits &= bits - 1;
+                    }
+                    row_ptr[r + 1] = cols.len() as u16;
+                }
+                Tile::Csr { row_ptr, cols }
+            }
+            TileFormat::Coo => {
+                let mut entries = Vec::with_capacity(nnz);
+                for (r, &w) in words.iter().enumerate() {
+                    let mut bits = w;
+                    while bits != 0 {
+                        entries.push(((r as u16) << 6) | bits.trailing_zeros() as u16);
+                        bits &= bits - 1;
+                    }
+                }
+                Tile::Coo(entries)
+            }
+        }
+    }
+
+    /// A fresh tile from 64 dense row words in the cheapest format, or
+    /// `None` if the words are all zero. Also returns the nnz.
+    pub fn from_words(words: &[u64; TILE]) -> Option<(Tile, usize)> {
+        let nnz: usize = words.iter().map(|w| w.count_ones() as usize).sum();
+        if nnz == 0 {
+            return None;
+        }
+        Some((Tile::build(words, TileFormat::choose(nnz), nnz), nnz))
+    }
+
+    /// A tile from dense row words for a cell that previously held a
+    /// `prev`-format tile: the format re-choice applies hysteresis, and
+    /// the returned flag reports whether a switch actually happened
+    /// (fed to the `spbla_block_format_switches_total` counter).
+    pub fn from_words_rechoosing(
+        words: &[u64; TILE],
+        prev: TileFormat,
+    ) -> Option<(Tile, usize, bool)> {
+        let nnz: usize = words.iter().map(|w| w.count_ones() as usize).sum();
+        if nnz == 0 {
+            return None;
+        }
+        let format = TileFormat::rechoose(prev, nnz);
+        Some((Tile::build(words, format, nnz), nnz, format != prev))
+    }
+
+    /// The tile's current format.
+    pub fn format(&self) -> TileFormat {
+        match self {
+            Tile::Dense(_) => TileFormat::Dense,
+            Tile::Csr { .. } => TileFormat::Csr,
+            Tile::Coo(_) => TileFormat::Coo,
+        }
+    }
+
+    /// Row `r` (local, `< 64`) as a bit-word.
+    pub fn row_bits(&self, r: usize) -> u64 {
+        match self {
+            Tile::Dense(words) => words[r],
+            Tile::Csr { row_ptr, cols } => {
+                let mut w = 0u64;
+                for &c in &cols[row_ptr[r] as usize..row_ptr[r + 1] as usize] {
+                    w |= 1u64 << c;
+                }
+                w
+            }
+            Tile::Coo(entries) => {
+                let lo = entries.partition_point(|&e| e < (r as u16) << 6);
+                let hi = entries.partition_point(|&e| e < ((r as u16) + 1) << 6);
+                let mut w = 0u64;
+                for &e in &entries[lo..hi] {
+                    w |= 1u64 << (e & 63);
+                }
+                w
+            }
+        }
+    }
+
+    /// OR the tile into 64 dense row words.
+    pub fn write_into(&self, dst: &mut [u64; TILE]) {
+        match self {
+            Tile::Dense(words) => {
+                for (d, &w) in dst.iter_mut().zip(words.iter()) {
+                    *d |= w;
+                }
+            }
+            Tile::Csr { row_ptr, cols } => {
+                for r in 0..TILE {
+                    for &c in &cols[row_ptr[r] as usize..row_ptr[r + 1] as usize] {
+                        dst[r] |= 1u64 << c;
+                    }
+                }
+            }
+            Tile::Coo(entries) => {
+                for &e in entries {
+                    dst[(e >> 6) as usize] |= 1u64 << (e & 63);
+                }
+            }
+        }
+    }
+
+    /// Bit `r` set iff row `r` has at least one cell.
+    pub fn rows_mask(&self) -> u64 {
+        match self {
+            Tile::Dense(words) => {
+                let mut m = 0u64;
+                for (r, &w) in words.iter().enumerate() {
+                    if w != 0 {
+                        m |= 1u64 << r;
+                    }
+                }
+                m
+            }
+            Tile::Csr { row_ptr, .. } => {
+                let mut m = 0u64;
+                for r in 0..TILE {
+                    if row_ptr[r] != row_ptr[r + 1] {
+                        m |= 1u64 << r;
+                    }
+                }
+                m
+            }
+            Tile::Coo(entries) => {
+                let mut m = 0u64;
+                for &e in entries {
+                    m |= 1u64 << (e >> 6);
+                }
+                m
+            }
+        }
+    }
+
+    /// Bit `c` set iff column `c` has at least one cell.
+    pub fn cols_mask(&self) -> u64 {
+        match self {
+            Tile::Dense(words) => words.iter().fold(0u64, |m, &w| m | w),
+            Tile::Csr { cols, .. } => cols.iter().fold(0u64, |m, &c| m | (1u64 << c)),
+            Tile::Coo(entries) => entries.iter().fold(0u64, |m, &e| m | (1u64 << (e & 63))),
+        }
+    }
+
+    /// Number of set cells.
+    pub fn nnz(&self) -> usize {
+        match self {
+            Tile::Dense(words) => words.iter().map(|w| w.count_ones() as usize).sum(),
+            Tile::Csr { cols, .. } => cols.len(),
+            Tile::Coo(entries) => entries.len(),
+        }
+    }
+
+    /// Payload bytes under the tile's format.
+    pub fn bytes(&self) -> usize {
+        match self {
+            Tile::Dense(_) => TILE * 8,
+            Tile::Csr { cols, .. } => (TILE + 1) * 2 + cols.len() * 2,
+            Tile::Coo(entries) => entries.len() * 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words_with(nnz: usize) -> [u64; TILE] {
+        // Fill row-major: nnz cells spread deterministically.
+        let mut w = [0u64; TILE];
+        let mut placed = 0usize;
+        let mut s = 0x9E37u64;
+        while placed < nnz {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let r = (s >> 32) as usize % TILE;
+            let c = s as usize % TILE;
+            if w[r] & (1 << c) == 0 {
+                w[r] |= 1 << c;
+                placed += 1;
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn choose_matches_byte_costs() {
+        assert_eq!(TileFormat::choose(1), TileFormat::Coo);
+        assert_eq!(TileFormat::choose(COO_MAX_NNZ), TileFormat::Coo);
+        assert_eq!(TileFormat::choose(COO_MAX_NNZ + 1), TileFormat::Csr);
+        assert_eq!(TileFormat::choose(DENSE_MIN_NNZ - 1), TileFormat::Csr);
+        assert_eq!(TileFormat::choose(DENSE_MIN_NNZ), TileFormat::Dense);
+        // At the dense threshold the byte costs genuinely cross.
+        let csr_bytes = (TILE + 1) * 2 + DENSE_MIN_NNZ * 2;
+        assert!(csr_bytes >= TILE * 8);
+    }
+
+    #[test]
+    fn rechoose_applies_hysteresis() {
+        // Just past a crossover: the old format sticks.
+        assert_eq!(
+            TileFormat::rechoose(TileFormat::Coo, COO_MAX_NNZ + 2),
+            TileFormat::Coo
+        );
+        assert_eq!(
+            TileFormat::rechoose(TileFormat::Csr, DENSE_MIN_NNZ + 5),
+            TileFormat::Csr
+        );
+        // Past the margin: it switches.
+        assert_eq!(
+            TileFormat::rechoose(TileFormat::Coo, COO_MAX_NNZ + COO_MAX_NNZ / 4),
+            TileFormat::Csr
+        );
+        assert_eq!(
+            TileFormat::rechoose(TileFormat::Csr, DENSE_MIN_NNZ + DENSE_MIN_NNZ / 4),
+            TileFormat::Dense
+        );
+        // Shrinking out of dense needs the downward margin too.
+        assert_eq!(
+            TileFormat::rechoose(TileFormat::Dense, DENSE_MIN_NNZ - 2),
+            TileFormat::Dense
+        );
+        assert_eq!(TileFormat::rechoose(TileFormat::Dense, 10), TileFormat::Coo);
+        // Same format: no-op at any count.
+        assert_eq!(TileFormat::rechoose(TileFormat::Csr, 100), TileFormat::Csr);
+    }
+
+    #[test]
+    fn all_formats_roundtrip_through_words() {
+        for nnz in [1usize, 40, 64, 65, 120, 190, 191, 400, TILE * TILE] {
+            let words = words_with(nnz.min(TILE * TILE));
+            let (tile, n) = Tile::from_words(&words).expect("non-empty");
+            assert_eq!(n, tile.nnz());
+            let mut back = [0u64; TILE];
+            tile.write_into(&mut back);
+            assert_eq!(back, words, "format {:?} nnz {nnz}", tile.format());
+            for (r, &w) in words.iter().enumerate() {
+                assert_eq!(tile.row_bits(r), w);
+            }
+        }
+        assert!(Tile::from_words(&[0u64; TILE]).is_none());
+    }
+
+    #[test]
+    fn bytes_track_format() {
+        let words = words_with(10);
+        let (t, _) = Tile::from_words(&words).unwrap();
+        assert_eq!(t.format(), TileFormat::Coo);
+        assert_eq!(t.bytes(), 20);
+        let dense = Tile::build(&words, TileFormat::Dense, 10);
+        assert_eq!(dense.bytes(), 512);
+        let csr = Tile::build(&words, TileFormat::Csr, 10);
+        assert_eq!(csr.bytes(), 130 + 20);
+    }
+}

@@ -62,6 +62,11 @@ impl std::fmt::Display for Backend {
 struct InstanceInner {
     backend: Backend,
     device: Option<Device>,
+    /// Store matrices as adaptive tiled blocks (`BlockMatrix`) instead
+    /// of the backend's flat format. Kernels still run — and are
+    /// metered — under this backend's label; only the storage layer
+    /// changes, so results must stay bit-identical.
+    blocked: bool,
 }
 
 /// A configured library instance. Cheap to clone (all clones share the
@@ -75,8 +80,40 @@ pub struct Instance {
 impl Instance {
     fn make(backend: Backend, device: Option<Device>) -> Self {
         Instance {
-            inner: Arc::new(InstanceInner { backend, device }),
+            inner: Arc::new(InstanceInner {
+                backend,
+                device,
+                blocked: false,
+            }),
         }
+    }
+
+    /// An instance whose matrices use adaptive tiled block storage
+    /// (per-tile dense-bit/CSR/COO with densify-time switching) beneath
+    /// the given backend. Device backends get a default device, same as
+    /// their flat constructors.
+    pub fn blocked(backend: Backend) -> Self {
+        Instance::blocked_on(
+            backend,
+            matches!(backend, Backend::CudaSim | Backend::ClSim).then(Device::default),
+        )
+    }
+
+    /// Blocked-storage instance on a caller-provided device (pass
+    /// `None` for the host backends).
+    pub fn blocked_on(backend: Backend, device: Option<Device>) -> Self {
+        Instance {
+            inner: Arc::new(InstanceInner {
+                backend,
+                device,
+                blocked: true,
+            }),
+        }
+    }
+
+    /// Whether matrices of this instance use tiled block storage.
+    pub fn is_blocked(&self) -> bool {
+        self.inner.blocked
     }
 
     /// Sequential CPU reference instance.

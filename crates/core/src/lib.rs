@@ -38,6 +38,7 @@
 //! ```
 
 pub mod backend;
+pub mod block;
 pub mod error;
 pub mod format;
 pub mod index;
@@ -45,6 +46,7 @@ pub mod instance;
 pub mod matrix;
 pub mod vector;
 
+pub use block::{BlockMatrix, K2Tree, TileFormat};
 pub use error::{Result, SpblaError};
 pub use format::coo::CooBool;
 pub use format::csr::CsrBool;

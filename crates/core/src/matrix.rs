@@ -8,6 +8,7 @@ use spbla_obs::{labeled, metrics_global, trace_global};
 use crate::backend::cl_sim::{self, DeviceCoo};
 use crate::backend::cuda_sim::{self, DeviceCsr};
 use crate::backend::dispatch::KernelDispatch;
+use crate::block::BlockMatrix;
 use crate::error::{Result, SpblaError};
 use crate::format::bitmat::BitMatrix;
 use crate::format::coo::CooBool;
@@ -22,6 +23,8 @@ enum Repr {
     Bit(BitMatrix),
     Cuda(DeviceCsr),
     Cl(DeviceCoo),
+    /// Adaptive tiled block storage (any backend, [`Instance::is_blocked`]).
+    Block(BlockMatrix),
 }
 
 /// Dispatch a same-backend binary kernel through [`KernelDispatch`]: one
@@ -34,6 +37,7 @@ macro_rules! dispatch2 {
             (Repr::Bit($a), Repr::Bit($b)) => Ok(Repr::Bit($body?)),
             (Repr::Cuda($a), Repr::Cuda($b)) => Ok(Repr::Cuda($body?)),
             (Repr::Cl($a), Repr::Cl($b)) => Ok(Repr::Cl($body?)),
+            (Repr::Block($a), Repr::Block($b)) => Ok(Repr::Block($body?)),
             _ => Err(SpblaError::BackendMismatch),
         }
     };
@@ -47,6 +51,7 @@ macro_rules! dispatch3 {
             (Repr::Bit($a), Repr::Bit($b), Repr::Bit($c)) => Ok(Repr::Bit($body?)),
             (Repr::Cuda($a), Repr::Cuda($b), Repr::Cuda($c)) => Ok(Repr::Cuda($body?)),
             (Repr::Cl($a), Repr::Cl($b), Repr::Cl($c)) => Ok(Repr::Cl($body?)),
+            (Repr::Block($a), Repr::Block($b), Repr::Block($c)) => Ok(Repr::Block($body?)),
             _ => Err(SpblaError::BackendMismatch),
         }
     };
@@ -60,6 +65,7 @@ macro_rules! dispatch1 {
             Repr::Bit($a) => $body,
             Repr::Cuda($a) => $body,
             Repr::Cl($a) => $body,
+            Repr::Block($a) => $body,
         }
     };
 }
@@ -160,6 +166,12 @@ impl Matrix {
     }
 
     fn from_csr_host(instance: &Instance, host: CsrBool) -> Result<Matrix> {
+        if instance.is_blocked() {
+            return Ok(Matrix::wrap(
+                instance,
+                Repr::Block(BlockMatrix::from_csr(&host)),
+            ));
+        }
         let repr = match instance.backend() {
             Backend::Cpu => Repr::Cpu(host),
             Backend::CpuDense => Repr::Bit(BitMatrix::from_pairs(
@@ -217,6 +229,7 @@ impl Matrix {
             Repr::Bit(m) => m.nrows(),
             Repr::Cuda(m) => m.nrows(),
             Repr::Cl(m) => m.nrows(),
+            Repr::Block(m) => m.nrows(),
         }
     }
 
@@ -227,6 +240,7 @@ impl Matrix {
             Repr::Bit(m) => m.ncols(),
             Repr::Cuda(m) => m.ncols(),
             Repr::Cl(m) => m.ncols(),
+            Repr::Block(m) => m.ncols(),
         }
     }
 
@@ -245,6 +259,7 @@ impl Matrix {
             Repr::Bit(m) => m.nnz(),
             Repr::Cuda(m) => m.nnz(),
             Repr::Cl(m) => m.nnz(),
+            Repr::Block(m) => m.nnz(),
         })
     }
 
@@ -260,6 +275,16 @@ impl Matrix {
             Repr::Bit(m) => m.memory_bytes(),
             Repr::Cuda(m) => m.memory_bytes(),
             Repr::Cl(m) => m.memory_bytes(),
+            Repr::Block(m) => m.memory_bytes(),
+        }
+    }
+
+    /// `(dense, csr, coo)` tile counts when this matrix uses tiled
+    /// block storage; `None` on flat representations.
+    pub fn block_format_census(&self) -> Option<(usize, usize, usize)> {
+        match &self.repr {
+            Repr::Block(m) => Some(m.format_census()),
+            _ => None,
         }
     }
 
@@ -271,6 +296,7 @@ impl Matrix {
             Repr::Bit(m) => m.to_pairs(),
             Repr::Cuda(m) => m.download().to_pairs(),
             Repr::Cl(m) => m.download().to_pairs(),
+            Repr::Block(m) => m.to_pairs(),
         }
     }
 
@@ -282,6 +308,7 @@ impl Matrix {
                 .expect("bit matrix pairs in bounds"),
             Repr::Cuda(m) => m.download(),
             Repr::Cl(m) => CsrBool::from(&m.download()),
+            Repr::Block(m) => m.to_csr(),
         }
     }
 
@@ -297,6 +324,7 @@ impl Matrix {
                 .iter()
                 .zip(m.cols())
                 .any(|(&r, &c)| r == i && c == j),
+            Repr::Block(m) => m.get(i, j),
         }
     }
 
@@ -436,6 +464,7 @@ impl Matrix {
                     (Repr::Bit(a), Repr::Bit(b)) => Repr::Bit(a.kron(b)?),
                     (Repr::Cuda(a), Repr::Cuda(b)) => Repr::Cuda(cuda_sim::kron::kron(a, b)?),
                     (Repr::Cl(a), Repr::Cl(b)) => Repr::Cl(cl_sim::structure::kron(a, b)?),
+                    (Repr::Block(a), Repr::Block(b)) => Repr::Block(a.kron(b)?),
                     _ => return Err(SpblaError::BackendMismatch),
                 };
                 Ok(Matrix::wrap(&self.instance, repr))
@@ -457,6 +486,7 @@ impl Matrix {
                     Repr::Bit(m) => Repr::Bit(m.transpose()),
                     Repr::Cuda(m) => Repr::Cuda(cuda_sim::structure::transpose(m)?),
                     Repr::Cl(m) => Repr::Cl(cl_sim::structure::transpose(m)?),
+                    Repr::Block(m) => Repr::Block(m.transpose()),
                 };
                 Ok(Matrix::wrap(&self.instance, repr))
             },
@@ -479,6 +509,7 @@ impl Matrix {
                         Repr::Cuda(cuda_sim::structure::submatrix(m, i0, j0, nrows, ncols)?)
                     }
                     Repr::Cl(m) => Repr::Cl(cl_sim::structure::submatrix(m, i0, j0, nrows, ncols)?),
+                    Repr::Block(m) => Repr::Block(m.submatrix(i0, j0, nrows, ncols)?),
                 };
                 Ok(Matrix::wrap(&self.instance, repr))
             },
@@ -575,6 +606,7 @@ impl Matrix {
                             })
                             .collect()
                     }
+                    Repr::Block(m) => m.mxv_indices(v.indices()),
                 };
                 Vector::from_sorted_indices(&self.instance, self.nrows(), out)
             },
@@ -695,6 +727,7 @@ impl Matrix {
                 let dev = m.device().clone();
                 Repr::Cl(DeviceCoo::upload(&dev, &m.download())?)
             }
+            Repr::Block(m) => Repr::Block(m.clone()),
         })
     }
 
@@ -818,6 +851,10 @@ impl Matrix {
                     (Repr::Cl(c), Repr::Cl(ra), Repr::Cl(rb)) => {
                         let r = c.k_mxm_accum_compmask(ra, rb, want_fresh)?;
                         (Repr::Cl(r.acc), r.fresh_nnz, r.fresh.map(Repr::Cl))
+                    }
+                    (Repr::Block(c), Repr::Block(ra), Repr::Block(rb)) => {
+                        let r = c.k_mxm_accum_compmask(ra, rb, want_fresh)?;
+                        (Repr::Block(r.acc), r.fresh_nnz, r.fresh.map(Repr::Block))
                     }
                     _ => return Err(SpblaError::BackendMismatch),
                 };

@@ -23,11 +23,11 @@
 
 use std::sync::{Arc, Mutex};
 
-use spbla_obs::Counter;
+use spbla_obs::{labeled, metrics_global, Counter, Gauge};
 
 use rustc_hash::FxHashMap;
 
-use spbla_core::{Instance, Matrix};
+use spbla_core::{Instance, K2Tree, Matrix};
 use spbla_graph::LabeledGraph;
 use spbla_lang::Symbol;
 use spbla_stream::UpdateBatch;
@@ -86,22 +86,50 @@ impl VersionedHost {
     }
 }
 
+/// A pinned-*history* graph version demoted to the read-mostly k²-tree
+/// archival format: still addressable by the pinning query, but holding
+/// compressed bitmaps instead of live kernel-ready matrices. Rehydrated
+/// to a [`Resident`] on next access.
+struct ArchivedResident {
+    labels: Vec<(Symbol, K2Tree)>,
+    adjacency: K2Tree,
+    n_vertices: u32,
+    /// Archived footprint, counted against the device budget.
+    bytes: usize,
+}
+
 struct DeviceResidency {
     /// LRU order: least-recent first, most-recent last.
     order: Vec<(String, u64)>,
     map: FxHashMap<(String, u64), Arc<Resident>>,
+    /// Live resident bytes (actual per-format bytes of every matrix).
     bytes: usize,
+    /// Evicted-but-pinned-history versions, in k²-tree form.
+    archive: FxHashMap<(String, u64), ArchivedResident>,
+    archive_bytes: usize,
+}
+
+impl DeviceResidency {
+    fn total_bytes(&self) -> usize {
+        self.bytes + self.archive_bytes
+    }
 }
 
 /// Named versioned graphs plus per-device LRU residency.
 pub struct Catalog {
     host: Mutex<FxHashMap<String, VersionedHost>>,
     residency: Vec<Mutex<DeviceResidency>>,
-    /// Per-device residency budget in bytes.
+    /// Per-device residency budget in bytes (live + archived).
     budget: usize,
     hits: Counter,
     misses: Counter,
     evictions: Counter,
+    archivals: Counter,
+    rehydrations: Counter,
+    /// `spbla_dev_resident_bytes{dev}` — one gauge per device, kept in
+    /// step with the accounted bytes so eviction pressure is visible in
+    /// the metrics registry.
+    resident_gauges: Vec<Gauge>,
 }
 
 impl Catalog {
@@ -134,6 +162,8 @@ impl Catalog {
                         order: Vec::new(),
                         map: FxHashMap::default(),
                         bytes: 0,
+                        archive: FxHashMap::default(),
+                        archive_bytes: 0,
                     })
                 })
                 .collect(),
@@ -141,7 +171,22 @@ impl Catalog {
             hits,
             misses,
             evictions,
+            archivals: metrics_global().counter("spbla_catalog_archivals_total"),
+            rehydrations: metrics_global().counter("spbla_catalog_rehydrations_total"),
+            resident_gauges: (0..n_devices)
+                .map(|dev| {
+                    metrics_global().gauge(&labeled(
+                        "spbla_dev_resident_bytes",
+                        &[("dev", &dev.to_string())],
+                    ))
+                })
+                .collect(),
         }
+    }
+
+    /// Publish device `dev`'s accounted bytes to its gauge.
+    fn sync_gauge(&self, dev: usize, res: &DeviceResidency) {
+        self.resident_gauges[dev].set(res.total_bytes() as u64);
     }
 
     /// Register (or replace) a named graph as version 0. Replacing
@@ -170,7 +215,7 @@ impl Catalog {
     /// device. Called with the host lock *released* (residency locks
     /// are only ever taken alone or after the host lock, never before).
     fn drop_residency(&self, name: &str) {
-        for slot in &self.residency {
+        for (dev, slot) in self.residency.iter().enumerate() {
             let mut res = slot.lock().unwrap_or_else(|e| e.into_inner());
             let stale: Vec<(String, u64)> =
                 res.map.keys().filter(|(n, _)| n == name).cloned().collect();
@@ -180,6 +225,18 @@ impl Catalog {
                     res.order.retain(|k| k != &key);
                 }
             }
+            let archived: Vec<(String, u64)> = res
+                .archive
+                .keys()
+                .filter(|(n, _)| n == name)
+                .cloned()
+                .collect();
+            for key in archived {
+                if let Some(old) = res.archive.remove(&key) {
+                    res.archive_bytes -= old.bytes;
+                }
+            }
+            self.sync_gauge(dev, &res);
         }
     }
 
@@ -188,7 +245,7 @@ impl Catalog {
         if versions.is_empty() {
             return;
         }
-        for slot in &self.residency {
+        for (dev, slot) in self.residency.iter().enumerate() {
             let mut res = slot.lock().unwrap_or_else(|e| e.into_inner());
             for &v in versions {
                 let key = (name.to_string(), v);
@@ -196,7 +253,11 @@ impl Catalog {
                     res.bytes -= old.bytes;
                     res.order.retain(|k| k != &key);
                 }
+                if let Some(old) = res.archive.remove(&key) {
+                    res.archive_bytes -= old.bytes;
+                }
             }
+            self.sync_gauge(dev, &res);
         }
     }
 
@@ -332,14 +393,15 @@ impl Catalog {
         inst: &Instance,
     ) -> Result<Arc<Resident>, EngineError> {
         let host = self.host_graph_at(name, version)?;
-        // Snapshot the pinned set *before* taking the residency lock —
-        // the host lock is never taken inside a residency lock (that
-        // order would deadlock against unpin/apply_batch). A pin that
-        // lands after this snapshot only risks one spurious eviction;
-        // the request holding that pin re-uploads on its own miss.
-        let pinned: Vec<(String, u64)> = {
+        // Snapshot the pinned set and each graph's current version
+        // *before* taking the residency lock — the host lock is never
+        // taken inside a residency lock (that order would deadlock
+        // against unpin/apply_batch). A pin that lands after this
+        // snapshot only risks one spurious eviction; the request
+        // holding that pin re-uploads on its own miss.
+        let (pinned, currents) = {
             let hosts = self.host.lock().unwrap_or_else(|e| e.into_inner());
-            hosts
+            let pinned: Vec<(String, u64)> = hosts
                 .iter()
                 .flat_map(|(n, h)| {
                     h.pins
@@ -347,7 +409,10 @@ impl Catalog {
                         .filter(|(_, &c)| c > 0)
                         .map(move |(&v, _)| (n.clone(), v))
                 })
-                .collect()
+                .collect();
+            let currents: FxHashMap<String, u64> =
+                hosts.iter().map(|(n, h)| (n.clone(), h.current)).collect();
+            (pinned, currents)
         };
         let key = (name.to_string(), version);
         let mut res = self.residency[dev]
@@ -365,36 +430,95 @@ impl Catalog {
 
         // Build the residency (holding only this device's lock — only
         // this device's worker takes this mutex, so peers never stall).
-        let mut labels = FxHashMap::default();
-        let mut bytes = 0usize;
-        for sym in host.labels() {
-            let m = host
-                .label_matrix(inst, sym)
-                .map_err(EngineError::from_exec)?;
-            bytes += m.memory_bytes();
-            labels.insert(sym, m);
-        }
-        let adjacency =
-            Matrix::from_csr(inst, host.adjacency_csr()).map_err(EngineError::from_exec)?;
-        bytes += adjacency.memory_bytes();
-        let resident = Arc::new(Resident {
-            labels,
-            adjacency,
-            n_vertices: host.n_vertices(),
-            bytes,
-        });
+        // An archived copy rehydrates from its k²-trees instead of the
+        // host edge lists.
+        let resident = if let Some(arch) = res.archive.remove(&key) {
+            res.archive_bytes -= arch.bytes;
+            self.rehydrations.inc(1);
+            let mut labels = FxHashMap::default();
+            let mut bytes = 0usize;
+            for (sym, tree) in &arch.labels {
+                let m = Matrix::from_csr(inst, tree.to_csr()).map_err(EngineError::from_exec)?;
+                bytes += m.memory_bytes();
+                labels.insert(*sym, m);
+            }
+            let adjacency =
+                Matrix::from_csr(inst, arch.adjacency.to_csr()).map_err(EngineError::from_exec)?;
+            bytes += adjacency.memory_bytes();
+            Arc::new(Resident {
+                labels,
+                adjacency,
+                n_vertices: arch.n_vertices,
+                bytes,
+            })
+        } else {
+            let mut labels = FxHashMap::default();
+            let mut bytes = 0usize;
+            for sym in host.labels() {
+                let m = host
+                    .label_matrix(inst, sym)
+                    .map_err(EngineError::from_exec)?;
+                bytes += m.memory_bytes();
+                labels.insert(sym, m);
+            }
+            let adjacency =
+                Matrix::from_csr(inst, host.adjacency_csr()).map_err(EngineError::from_exec)?;
+            bytes += adjacency.memory_bytes();
+            Arc::new(Resident {
+                labels,
+                adjacency,
+                n_vertices: host.n_vertices(),
+                bytes,
+            })
+        };
+        let bytes = resident.bytes;
 
-        // Evict least-recent *unpinned* entries until the newcomer
-        // fits. Pinned versions are skipped: an admitted query holds
-        // them and eviction must never reclaim a pinned snapshot. An
-        // entry larger than what eviction can free still gets inserted
-        // (the device may hold it transiently); it will be the first
-        // evicted later.
+        // Evict least-recent entries until the newcomer fits, counting
+        // live *and* archived bytes against the budget. Three victim
+        // classes:
+        // * pinned *current* versions are skipped outright — an
+        //   admitted query holds them and they are the graph's hot
+        //   serving copy;
+        // * pinned *history* versions (a snapshot some long query still
+        //   reads) are demoted to the read-mostly k²-tree archive —
+        //   still addressable, far smaller, rehydrated on next access;
+        // * unpinned entries are dropped.
+        // An entry larger than what eviction can free still gets
+        // inserted (the device may hold it transiently); it will be the
+        // first evicted later.
         let mut scan = 0;
-        while res.bytes + bytes > self.budget && scan < res.order.len() {
+        while res.total_bytes() + bytes > self.budget && scan < res.order.len() {
             let victim = res.order[scan].clone();
             if pinned.contains(&victim) {
-                scan += 1;
+                if currents.get(&victim.0) == Some(&victim.1) {
+                    scan += 1;
+                    continue;
+                }
+                // Pinned history: archive instead of dropping.
+                res.order.remove(scan);
+                if let Some(old) = res.map.remove(&victim) {
+                    res.bytes -= old.bytes;
+                    let mut trees = Vec::with_capacity(old.labels.len());
+                    let mut arch_bytes = 0usize;
+                    for (sym, m) in &old.labels {
+                        let t = K2Tree::from_csr(&m.to_csr());
+                        arch_bytes += t.memory_bytes();
+                        trees.push((*sym, t));
+                    }
+                    trees.sort_by_key(|(sym, _)| *sym);
+                    let adjacency = K2Tree::from_csr(&old.adjacency.to_csr());
+                    arch_bytes += adjacency.memory_bytes();
+                    let arch = ArchivedResident {
+                        labels: trees,
+                        adjacency,
+                        n_vertices: old.n_vertices,
+                        bytes: arch_bytes,
+                    };
+                    res.archive_bytes += arch.bytes;
+                    res.archive.insert(victim, arch);
+                    self.archivals.inc(1);
+                    self.evictions.inc(1);
+                }
                 continue;
             }
             res.order.remove(scan);
@@ -406,6 +530,7 @@ impl Catalog {
         res.bytes += bytes;
         res.order.push(key.clone());
         res.map.insert(key, Arc::clone(&resident));
+        self.sync_gauge(dev, &res);
         Ok(resident)
     }
 
@@ -414,12 +539,35 @@ impl Catalog {
         (self.hits.get(), self.misses.get(), self.evictions.get())
     }
 
-    /// Resident bytes currently accounted on device `dev`.
+    /// (archivals, rehydrations) so far.
+    pub fn archive_counters(&self) -> (u64, u64) {
+        (self.archivals.get(), self.rehydrations.get())
+    }
+
+    /// Bytes currently accounted on device `dev` (live + archived).
     pub fn resident_bytes(&self, dev: usize) -> usize {
         self.residency[dev]
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .bytes
+            .total_bytes()
+    }
+
+    /// Number of live (kernel-ready) residencies on device `dev`.
+    pub fn resident_count(&self, dev: usize) -> usize {
+        self.residency[dev]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len()
+    }
+
+    /// Number of archived (k²-tree) residencies on device `dev`.
+    pub fn archived_count(&self, dev: usize) -> usize {
+        self.residency[dev]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .archive
+            .len()
     }
 
     /// Number of retained host versions of a graph (pinned + latest).
@@ -603,5 +751,55 @@ mod tests {
         // Unpinning v0 drops both its host version and its residency.
         cat.unpin("g", v0);
         assert!(cat.resident_at("g", v0, 0, &inst).is_err());
+    }
+
+    #[test]
+    fn pinned_history_archives_and_rehydrates() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let inst = Instance::cuda_sim();
+        let probe = {
+            let cat = Catalog::new(1, usize::MAX);
+            cat.add("p", graph(64, a));
+            cat.resident("p", 0, &inst).unwrap().bytes
+        };
+        // Budget fits roughly two live graphs.
+        let cat = Catalog::new(1, probe * 2 + probe / 2);
+        for name in ["g1", "g2", "g3"] {
+            cat.add(name, graph(64, a));
+        }
+        // Pin g1@0, then advance g1 so v0 becomes pinned *history*.
+        let v0 = cat.pin_latest("g1").unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, a, 63);
+        cat.apply_batch("g1", &batch).unwrap();
+        let r0 = cat.resident_at("g1", v0, 0, &inst).unwrap();
+        let want_adj = r0.adjacency.read();
+        let want_label = r0.labels[&a].read();
+        cat.resident("g2", 0, &inst).unwrap();
+        // Third upload overflows the budget; the coldest entry is the
+        // pinned-history g1@v0, which must be archived — not skipped,
+        // not dropped.
+        cat.resident("g3", 0, &inst).unwrap();
+        let (archivals, _) = cat.archive_counters();
+        assert!(archivals >= 1, "pinned history was archived");
+        assert!(cat.archived_count(0) >= 1);
+        assert!(
+            cat.resident_bytes(0) <= probe * 2 + probe / 2,
+            "archived bytes keep the device inside its budget"
+        );
+
+        // Re-access rehydrates the identical snapshot from k²-trees.
+        let r0b = cat.resident_at("g1", v0, 0, &inst).unwrap();
+        assert!(!Arc::ptr_eq(&r0, &r0b));
+        assert_eq!(r0b.adjacency.read(), want_adj);
+        assert_eq!(r0b.labels[&a].read(), want_label);
+        let (_, rehydrations) = cat.archive_counters();
+        assert!(rehydrations >= 1);
+
+        // Unpinning prunes every trace, archive included.
+        cat.unpin("g1", v0);
+        assert_eq!(cat.archived_count(0), 0);
+        assert!(cat.resident_at("g1", v0, 0, &inst).is_err());
     }
 }

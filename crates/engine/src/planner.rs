@@ -26,13 +26,17 @@ use crate::error::EngineError;
 /// Source-count ceiling under which the engine routes an RPQ batch to
 /// the vector frontier path
 /// ([`spbla_graph::rpq_bfs::rpq_from_sources_mats`]) instead of the
-/// batched `b × n` product-machine BFS. Tiny batches don't amortise
-/// the matrix machine's per-round launch chain, while the frontier
-/// path works in `O(touched edges)` per source and picks push or pull
-/// per round from the frontier's measured density; answers are
-/// bit-identical either way (both render sorted, deduplicated vertex
-/// sets).
-pub const FRONTIER_MAX_SOURCES: usize = 4;
+/// batched `b × n` product-machine BFS. Answers are bit-identical
+/// either way (both render sorted, deduplicated vertex sets); the
+/// constant is set from the `report frontier` ablation
+/// (BENCH_frontier.json), which sweeps source count on the LUBM
+/// fixture: a lone source ties (~15–30 µs both paths, within noise)
+/// and stays on the frontier path — it touches `O(touched edges)` and
+/// never materialises the `b × n` machine state — while from 2 sources
+/// up the product machine wins 2–3× because the simulator's launch
+/// chain amortises across the batch far faster than the per-source
+/// frontier chase repeats it.
+pub const FRONTIER_MAX_SOURCES: usize = 1;
 
 /// What a plan executes as.
 #[derive(Debug)]

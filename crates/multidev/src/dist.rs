@@ -928,6 +928,55 @@ mod tests {
     }
 
     #[test]
+    fn apply_updates_empty_batch_is_deep_copy() {
+        let n = 16u32;
+        let base = pseudo_pairs(n, 40, 52);
+        for devices in [1, 2, 4] {
+            let grid = DeviceGrid::new(devices);
+            let m = DistMatrix::from_pairs(&grid, n, n, &base).unwrap();
+            let d2d_before = grid.total_stats().d2d_bytes;
+            let updated = m.apply_updates(&[], &[]).unwrap();
+            // Same contents, new shards — not aliases of the original.
+            assert_eq!(updated.gather().to_pairs(), m.gather().to_pairs());
+            assert_eq!(grid.total_stats().d2d_bytes, d2d_before);
+            let add = DistMatrix::from_pairs(&grid, n, n, &[(0, 0)]).unwrap();
+            let poked = updated.ewise_add(&add).unwrap();
+            assert_eq!(m.nnz() + 1, poked.nnz());
+            assert_eq!(
+                m.gather().to_pairs(),
+                CsrBool::from_pairs(n, n, &base).unwrap().to_pairs()
+            );
+        }
+    }
+
+    #[test]
+    fn apply_updates_duplicates_and_conflicts() {
+        let n = 16u32;
+        let base = [(0u32, 1u32), (3, 3), (8, 9)];
+        for devices in [1, 2, 4] {
+            let grid = DeviceGrid::new(devices);
+            let m = DistMatrix::from_pairs(&grid, n, n, &base).unwrap();
+            // Duplicate inserts collapse; inserting a present edge is
+            // idempotent.
+            let dup = m.apply_updates(&[(5, 5), (5, 5), (0, 1)], &[]).unwrap();
+            assert_eq!(
+                dup.gather().to_pairs(),
+                vec![(0, 1), (3, 3), (5, 5), (8, 9)]
+            );
+            // Insert-then-delete of the same edge within one batch:
+            // `S' = (S ∪ ins) ∧ ¬del`, so the delete wins whether or
+            // not the edge pre-existed.
+            let net = m
+                .apply_updates(&[(5, 5), (0, 1)], &[(5, 5), (0, 1)])
+                .unwrap();
+            assert_eq!(net.gather().to_pairs(), vec![(3, 3), (8, 9)]);
+            // Deleting an absent edge is a no-op.
+            let noop = m.apply_updates(&[], &[(14, 14)]).unwrap();
+            assert_eq!(noop.gather().to_pairs(), base.to_vec());
+        }
+    }
+
+    #[test]
     fn cross_grid_operands_rejected() {
         let g1 = DeviceGrid::new(2);
         let g2 = DeviceGrid::new(2);

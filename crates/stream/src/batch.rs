@@ -223,6 +223,49 @@ mod tests {
     }
 
     #[test]
+    fn empty_batch_is_a_noop() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let batch = UpdateBatch::new();
+        assert!(batch.is_empty());
+        assert_eq!(batch.len(), 0);
+        assert_eq!(batch.max_vertex(), None);
+        assert!(batch.labels().is_empty());
+        assert!(batch.net_per_label().is_empty());
+        let mut g = LabeledGraph::from_triples(4, [(0, a, 1), (1, a, 2)]);
+        let before = g.edges_of(a).to_vec();
+        batch.apply_to(&mut g);
+        assert_eq!(g.edges_of(a), &before[..]);
+        assert_eq!(g.n_edges(), 2);
+    }
+
+    #[test]
+    fn delete_wins_regardless_of_op_order() {
+        // Batch semantics are the *sets* `(G ∪ ins) \ del`, not an op
+        // sequence: a delete beats an insert of the same edge even when
+        // the insert is recorded later, and duplicate deletes collapse.
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let mut batch = UpdateBatch::new();
+        batch
+            .delete(0, a, 1)
+            .insert(0, a, 1)
+            .delete(2, a, 3)
+            .delete(2, a, 3);
+        let net = batch.net_per_label();
+        assert_eq!(net, vec![(a, vec![], vec![(0, 1), (2, 3)])]);
+        // Applied to a graph that holds one of the edges: both end
+        // absent, whether pre-existing or batch-inserted.
+        let mut g = LabeledGraph::from_triples(4, [(0, a, 1)]);
+        batch.apply_to(&mut g);
+        assert!(g.edges_of(a).is_empty());
+        // Applied to a graph with neither edge: still a no-op.
+        let mut empty = LabeledGraph::new(4);
+        batch.apply_to(&mut empty);
+        assert_eq!(empty.n_edges(), 0);
+    }
+
+    #[test]
     fn apply_to_host_graph_round_trips() {
         let mut t = SymbolTable::new();
         let a = t.intern("a");

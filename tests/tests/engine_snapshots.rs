@@ -148,10 +148,11 @@ fn pinned_read_survives_two_writes() {
     engine.shutdown();
 }
 
-/// Catalog-level pin semantics: a pinned historical version stays
-/// host-retained and device-resident across two writes — even under a
-/// residency budget far too small for one snapshot, eviction must not
-/// reclaim it — and releasing the pin prunes it on the spot.
+/// Catalog-level pin semantics under pressure: a pinned *historical*
+/// version forced out by the budget is never lost — it is demoted to
+/// the compressed k²-tree archive and rehydrated (as a counted miss)
+/// on the next touch, its host snapshot stays retained — and releasing
+/// the pin prunes it on the spot, archive included.
 #[test]
 fn eviction_never_reclaims_pinned_snapshot() {
     let mut table = SymbolTable::new();
@@ -160,7 +161,7 @@ fn eviction_never_reclaims_pinned_snapshot() {
     let inst = Instance::cuda_sim();
 
     // A 1-byte budget: every upload overflows, so anything evictable
-    // *would* be evicted — only the pin keeps v0 resident.
+    // *would* be evicted — only the pin keeps v0 recoverable.
     let cat = Catalog::new(1, 1);
     cat.add("g", graph);
 
@@ -174,20 +175,36 @@ fn eviction_never_reclaims_pinned_snapshot() {
     assert_eq!(cat.retained_versions("g"), 2);
     assert!(cat.host_graph_at("g", 1).is_err());
 
-    // Uploading v2 overflows the budget; the pinned v0 must survive.
+    // Uploading v2 overflows the budget; pinned v0 — now history — is
+    // archived, not dropped.
     cat.resident_at("g", 2, 0, &inst).unwrap();
-    let (hits_before, misses_before, _) = cat.counters();
-    cat.resident_at("g", v0, 0, &inst).unwrap();
-    let (hits_after, misses_after, _) = cat.counters();
-    assert_eq!(
-        (hits_after, misses_after),
-        (hits_before + 1, misses_before),
-        "pinned v0 was evicted: re-access missed instead of hitting"
-    );
+    let (archivals, _) = cat.archive_counters();
+    assert!(archivals >= 1, "pinned v0 must be demoted to the archive");
+    assert_eq!(cat.archived_count(0), 1);
     assert_eq!(
         cat.host_graph_at("g", v0).unwrap().n_edges(),
         3,
         "pinned host snapshot must still be the 3-edge chain"
+    );
+
+    // Touching v0 rehydrates it from the compressed bits: a counted
+    // miss (the live slot was reclaimed) plus a rehydration, never a
+    // rebuild-from-host of a version the budget already paid to keep.
+    let (_, misses_before, _) = cat.counters();
+    let (_, rehydrations_before) = cat.archive_counters();
+    cat.resident_at("g", v0, 0, &inst).unwrap();
+    let (_, misses_after, _) = cat.counters();
+    let (_, rehydrations_after) = cat.archive_counters();
+    assert_eq!(misses_after, misses_before + 1);
+    assert_eq!(
+        rehydrations_after,
+        rehydrations_before + 1,
+        "archived v0 must come back via the archive, not a host rebuild"
+    );
+    assert_eq!(
+        cat.archived_count(0),
+        0,
+        "rehydration consumes the archive entry"
     );
 
     // Releasing the pin prunes the historical version host and device.
