@@ -9,7 +9,7 @@
 //!
 //! Subcommands: `table1 table2 fig2 fig3 table3 table4 paths
 //! boolean-vs-generic formats ablations scaling serving stream obs
-//! fusion memory frontier all`.
+//! fusion memory frontier load replication all`.
 //! `obs` additionally writes `BENCH_obs.json` (per-kernel p50/p95 from
 //! the profiling histograms plus the measured tracing overhead).
 //! `fusion` writes `BENCH_fusion.json` (fused vs unfused delta-closure
@@ -26,6 +26,15 @@
 //! `frontier` writes `BENCH_frontier.json` (per-source frontier BFS vs
 //! batched product-machine latency across source counts — the sweep
 //! behind the planner's `FRONTIER_MAX_SOURCES` crossover).
+//! `load` writes `BENCH_load.json` (open-loop seeded-Poisson saturation
+//! sweep plus a two-tier QoS rung) and exits non-zero unless a
+//! saturation point is detected, the batch tier bounces before the
+//! interactive tier, and interactive p95 stays under its bound — the
+//! CI load-smoke gate.
+//! `replication` writes `BENCH_replication.json` (1/2/3-replica
+//! bit-identity and aggregate read-capacity scaling) and exits non-zero
+//! unless all replica checksums agree and capacity at 3 replicas is
+//! ≥ 1.8× one — the CI recovery-smoke gate.
 //! `--json FILE` additionally writes the machine-readable records the
 //! run produced (one JSON object per experiment configuration, with the
 //! device counters: launches, accumulator insertions, h2d/d2h/d2d bytes
@@ -145,6 +154,8 @@ fn main() {
         "fusion" => fusion(&mut records),
         "memory" => memory(&mut records),
         "frontier" => frontier(&mut records),
+        "load" => load(&mut records),
+        "replication" => replication(&mut records),
         "all" => {
             table1();
             table2();
@@ -163,10 +174,12 @@ fn main() {
             fusion(&mut records);
             memory(&mut records);
             frontier(&mut records);
+            load(&mut records);
+            replication(&mut records);
         }
         other => {
             eprintln!("unknown experiment: {other}");
-            eprintln!("known: table1 table2 fig2 fig3 table3 table4 paths boolean-vs-generic formats ablations scaling serving stream obs fusion memory frontier all");
+            eprintln!("known: table1 table2 fig2 fig3 table3 table4 paths boolean-vs-generic formats ablations scaling serving stream obs fusion memory frontier load replication all");
             std::process::exit(2);
         }
     }
@@ -1769,4 +1782,370 @@ fn formats() {
         );
     }
     let _ = Matrix::zeros(&Instance::cpu(), 1, 1); // keep Matrix import honest
+}
+
+// ---------------------------------------------------------------- E17
+fn load(records: &mut Vec<JsonRecord>) {
+    header("E17 — open-loop load: saturation sweep + QoS admission tiers");
+    println!("(arrivals are drawn up front from a seeded Poisson process and");
+    println!(" submitted on schedule whether or not earlier requests finished —");
+    println!(" no coordinated omission; latency is charged from the scheduled");
+    println!(" arrival, rejections are counted, never retried. The sweep walks an");
+    println!(" offered-rate ladder calibrated to the measured service time; the");
+    println!(" QoS rung then overloads the engine and checks that batch-tier");
+    println!(" admission gives way before the interactive tier does)\n");
+    use spbla_durable::{run_open_loop, saturation_sweep, LoadConfig};
+    use spbla_engine::{Engine, EngineConfig, Query};
+    use spbla_multidev::DeviceGrid;
+
+    let engine = Engine::new(
+        DeviceGrid::new(2),
+        EngineConfig {
+            queue_capacity: 16,
+            ..EngineConfig::default()
+        },
+    );
+    let graph = engine.with_symbols(|table| lubm_rung(1, table));
+    let n_vertices = graph.n_vertices();
+    engine.add_graph("lubm", graph);
+    let queries: Vec<Query> = (0..8u32)
+        .map(|i| Query::RpqFromSource {
+            text: "memberOf . subOrganizationOf*".into(),
+            source: (i * 131) % n_vertices,
+        })
+        .collect();
+
+    // Calibrate the ladder to this machine: mean closed-loop service
+    // time of the template mix sets the rate unit.
+    let calib = std::time::Instant::now();
+    for q in queries.iter().cycle().take(16) {
+        engine
+            .submit("lubm", q.clone())
+            .expect("calibration fits the queue")
+            .wait()
+            .result
+            .expect("calibration completes");
+    }
+    let service_s = calib.elapsed().as_secs_f64() / 16.0;
+    let unit = 1.0 / service_s.max(1e-6);
+    println!(
+        "calibration: mean service {:.2} ms -> rate unit {:.0} req/s\n",
+        service_s * 1e3,
+        unit
+    );
+
+    let base = LoadConfig {
+        requests: 120,
+        interactive_fraction: 0.3,
+        interactive_deadline_ms: Some(250),
+        batch_deadline_ms: None,
+        ..LoadConfig::default()
+    };
+    let rates: Vec<f64> = [0.4, 0.8, 1.6, 3.2, 6.4].iter().map(|m| m * unit).collect();
+    let (points, saturation) = saturation_sweep(&engine, "lubm", &queries, &base, &rates);
+    println!(
+        "{:>9} {:>9} {:>8} {:>7} {:>9} {:>9} {:>9} {:>9}  sat",
+        "rate", "achieved", "rejects", "dead", "int-p50", "int-p95", "bat-p50", "bat-p95"
+    );
+    for p in &points {
+        let r = &p.report;
+        println!(
+            "{:>9.0} {:>9.1} {:>8} {:>7} {:>8.1}m {:>8.1}m {:>8.1}m {:>8.1}m  {}",
+            p.rate,
+            r.achieved_rate,
+            r.rejected(),
+            r.interactive.deadline_exceeded + r.batch.deadline_exceeded,
+            r.interactive.p50_us as f64 / 1e3,
+            r.interactive.p95_us as f64 / 1e3,
+            r.batch.p50_us as f64 / 1e3,
+            r.batch.p95_us as f64 / 1e3,
+            if r.saturated() { "yes" } else { "no" }
+        );
+    }
+    match saturation {
+        Some(rate) => println!("\nsaturation detected at {rate:.0} req/s offered"),
+        None => println!("\nno saturation up to {:.0} req/s", rates[rates.len() - 1]),
+    }
+
+    // The QoS rung: well past saturation, where admission is the only
+    // thing keeping the interactive tier alive.
+    let qos_rate = saturation.unwrap_or(rates[rates.len() - 1]) * 2.0;
+    let qos_config = LoadConfig {
+        rate_per_sec: qos_rate,
+        requests: 160,
+        seed: base.seed.wrapping_add(1000),
+        ..base.clone()
+    };
+    let qos = run_open_loop(&engine, "lubm", &queries, &qos_config);
+    let int_rej_rate = qos.interactive.rejected as f64 / qos.interactive.offered.max(1) as f64;
+    let bat_rej_rate = qos.batch.rejected as f64 / qos.batch.offered.max(1) as f64;
+    println!(
+        "\nQoS rung at {qos_rate:.0} req/s: interactive {}/{} rejected ({:.0}%), \
+         batch {}/{} rejected ({:.0}%), interactive p95 {:.1} ms",
+        qos.interactive.rejected,
+        qos.interactive.offered,
+        int_rej_rate * 100.0,
+        qos.batch.rejected,
+        qos.batch.offered,
+        bat_rej_rate * 100.0,
+        qos.interactive.p95_us as f64 / 1e3
+    );
+    engine.shutdown();
+
+    let sweep_rows = points
+        .iter()
+        .map(|p| {
+            let r = &p.report;
+            format!(
+                r#"    {{"rate": {:.1}, "achieved": {:.1}, "offered": {}, "rejected": {}, "deadline_exceeded": {}, "interactive_p50_us": {}, "interactive_p95_us": {}, "interactive_p99_us": {}, "batch_p50_us": {}, "batch_p95_us": {}, "batch_p99_us": {}, "saturated": {}}}"#,
+                p.rate,
+                r.achieved_rate,
+                r.offered(),
+                r.rejected(),
+                r.interactive.deadline_exceeded + r.batch.deadline_exceeded,
+                r.interactive.p50_us,
+                r.interactive.p95_us,
+                r.interactive.p99_us,
+                r.batch.p50_us,
+                r.batch.p95_us,
+                r.batch.p99_us,
+                r.saturated()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    // Interactive p95 must stay under the deadline plus scheduling
+    // slack while the batch tier is saturated away.
+    let p95_bound_us: u64 = 400_000;
+    let json = format!(
+        "{{\n  \"service_ms\": {:.3}, \"rate_unit\": {:.1},\n  \"sweep\": [\n{sweep_rows}\n  ],\n  \
+         \"saturation_rate\": {},\n  \"qos\": {{\"rate\": {qos_rate:.1}, \
+         \"interactive_offered\": {}, \"interactive_rejected\": {}, \
+         \"interactive_p95_us\": {}, \"batch_offered\": {}, \"batch_rejected\": {}, \
+         \"batch_p95_us\": {}}},\n  \"p95_bound_us\": {p95_bound_us}\n}}\n",
+        service_s * 1e3,
+        unit,
+        saturation.map_or("null".into(), |r| format!("{r:.1}")),
+        qos.interactive.offered,
+        qos.interactive.rejected,
+        qos.interactive.p95_us,
+        qos.batch.offered,
+        qos.batch.rejected,
+        qos.batch.p95_us,
+    );
+    std::fs::write("BENCH_load.json", json).unwrap_or_else(|e| {
+        eprintln!("cannot write BENCH_load.json: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote BENCH_load.json");
+
+    records.push(JsonRecord {
+        experiment: "load".into(),
+        config: vec![
+            ("qos_rate".into(), format!("{qos_rate:.1}")),
+            (
+                "saturation_rate".into(),
+                saturation.map_or("never".into(), |r| format!("{r:.1}")),
+            ),
+            (
+                "interactive_p95_us".into(),
+                qos.interactive.p95_us.to_string(),
+            ),
+            ("batch_p95_us".into(), qos.batch.p95_us.to_string()),
+            (
+                "interactive_rejected".into(),
+                qos.interactive.rejected.to_string(),
+            ),
+            ("batch_rejected".into(), qos.batch.rejected.to_string()),
+        ],
+        launches: 0,
+        insertions: 0,
+        h2d_bytes: 0,
+        d2h_bytes: 0,
+        d2d_bytes: 0,
+        peak_bytes: 0,
+    });
+
+    // The CI load-smoke gates.
+    let mut failed = false;
+    if points.first().map(|p| p.report.saturated()) == Some(true) {
+        eprintln!("LOAD GATE FAILED: the lowest rung already saturates — ladder miscalibrated");
+        failed = true;
+    }
+    if saturation.is_none() {
+        eprintln!(
+            "LOAD GATE FAILED: no saturation point detected up to {:.0} req/s",
+            rates[rates.len() - 1]
+        );
+        failed = true;
+    }
+    if qos.batch.rejected == 0 {
+        eprintln!("LOAD GATE FAILED: batch tier never bounced at the QoS rung — admission idle");
+        failed = true;
+    }
+    if int_rej_rate >= bat_rej_rate {
+        eprintln!(
+            "LOAD GATE FAILED: interactive rejection rate {:.2} >= batch {:.2} — tiers inverted",
+            int_rej_rate, bat_rej_rate
+        );
+        failed = true;
+    }
+    if qos.interactive.p95_us > p95_bound_us {
+        eprintln!(
+            "LOAD GATE FAILED: interactive p95 {} us over the {} us bound under overload",
+            qos.interactive.p95_us, p95_bound_us
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(2);
+    }
+    println!(
+        "load gates passed: saturation at {:.0} req/s, batch bounced first \
+         ({:.0}% vs {:.0}%), interactive p95 {:.1} ms <= {:.0} ms",
+        saturation.unwrap_or(0.0),
+        bat_rej_rate * 100.0,
+        int_rej_rate * 100.0,
+        qos.interactive.p95_us as f64 / 1e3,
+        p95_bound_us as f64 / 1e3
+    );
+}
+
+// ---------------------------------------------------------------- E18
+fn replication(records: &mut Vec<JsonRecord>) {
+    header("E18 — replicated grids: bit-identity + read-capacity scaling");
+    println!("(R copies of one versioned graph, each on its own device grid,");
+    println!(" behind a single write path; updates fan out through the comm");
+    println!(" layer at WAL wire size. Every replica must answer with the same");
+    println!(" closure checksum, and aggregate read capacity — each replica is");
+    println!(" an independent grid, so capacity is the sum of per-replica");
+    println!(" measured read rates — must scale with R. A shared lock or");
+    println!(" fan-out pollution on the read path would show up here as a");
+    println!(" per-replica rate drop and fail the gate)\n");
+    use spbla_durable::ReplicaSet;
+    use spbla_stream::UpdateBatch;
+
+    let mut table = SymbolTable::new();
+    let graph = lubm_rung(1, &mut table);
+    let member = table.get("memberOf").expect("lubm label");
+    let n = graph.n_vertices();
+    println!("LUBM fixture n={n}, nnz={}\n", graph.n_edges());
+
+    const BATCHES: u32 = 6;
+    const READS: usize = 8;
+    println!(
+        "{:>9} {:>12} {:>14} {:>14} {:>16}",
+        "replicas", "checksum", "read-ms/rep", "agg-reads/s", "fanout-d2d-B"
+    );
+    let mut results: Vec<(usize, u64, f64, u64)> = Vec::new();
+    for replicas in [1usize, 2, 3] {
+        let set = ReplicaSet::new(&graph, replicas, 1).expect("replica set builds");
+        for k in 0..BATCHES {
+            let mut batch = UpdateBatch::new();
+            batch.insert(k % n, member, (k * 17 + 1) % n).insert(
+                (k * 31) % n,
+                member,
+                (k * 7 + 3) % n,
+            );
+            set.apply(&batch).expect("fan-out applies");
+        }
+        // Bit-identity across the whole set before anything is timed.
+        let reads: Vec<_> = (0..replicas)
+            .map(|r| set.read_closure_on(r).expect("replica read"))
+            .collect();
+        let checksum = reads[0].checksum;
+        assert!(
+            reads.iter().all(|r| r.checksum == checksum),
+            "replica checksums diverged at R={replicas}"
+        );
+        assert!(reads.iter().all(|r| r.version == BATCHES as u64));
+        // Per-replica read rate, measured serially on each replica's own
+        // grid (single-core host: wall-clock thread scaling is not
+        // available, replica independence is what's being certified).
+        let mut per_replica_s = Vec::with_capacity(replicas);
+        for r in 0..replicas {
+            let t = time_avg(READS, || {
+                std::hint::black_box(set.read_closure_on(r).expect("replica read").pairs.len());
+            });
+            per_replica_s.push(t.as_secs_f64());
+        }
+        let mean_read_s = per_replica_s.iter().sum::<f64>() / replicas as f64;
+        let aggregate = per_replica_s.iter().map(|s| 1.0 / s.max(1e-9)).sum::<f64>();
+        // Routed reads: the rotating cursor must spread load.
+        let mut served = vec![0usize; replicas];
+        for _ in 0..replicas * 4 {
+            served[set
+                .read_closure(BATCHES as u64)
+                .expect("routed read")
+                .replica] += 1;
+        }
+        assert!(
+            served.iter().all(|&c| c > 0),
+            "routing starved a replica at R={replicas}: {served:?}"
+        );
+        let fanout = spbla_obs::metrics_global()
+            .counter("spbla_replica_fanout_bytes_total")
+            .get();
+        println!(
+            "{:>9} {:>12x} {:>14.2} {:>14.1} {:>16}",
+            replicas,
+            checksum,
+            mean_read_s * 1e3,
+            aggregate,
+            fanout
+        );
+        results.push((replicas, checksum, aggregate, fanout));
+    }
+
+    let base_checksum = results[0].1;
+    assert!(
+        results.iter().all(|&(_, c, _, _)| c == base_checksum),
+        "checksum changed with replica count"
+    );
+    let scaling = results[2].2 / results[0].2.max(1e-9);
+    println!("\nread-capacity scaling at 3 replicas: {scaling:.2}x vs 1");
+
+    let rows = results
+        .iter()
+        .map(|(r, c, agg, fanout)| {
+            format!(
+                r#"    {{"replicas": {r}, "checksum": "{c:016x}", "aggregate_reads_per_s": {agg:.1}, "fanout_d2d_bytes": {fanout}}}"#
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"graph\": \"LUBM\", \"n\": {n}, \"batches\": {BATCHES},\n  \
+         \"sets\": [\n{rows}\n  ],\n  \
+         \"scaling_3v1\": {scaling:.3}, \"bit_identical\": true\n}}\n"
+    );
+    std::fs::write("BENCH_replication.json", json).unwrap_or_else(|e| {
+        eprintln!("cannot write BENCH_replication.json: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote BENCH_replication.json");
+
+    records.push(JsonRecord {
+        experiment: "replication".into(),
+        config: vec![
+            ("checksum".into(), format!("{base_checksum:016x}")),
+            ("scaling_3v1".into(), format!("{scaling:.3}")),
+            ("fanout_d2d_bytes".into(), results[2].3.to_string()),
+        ],
+        launches: 0,
+        insertions: 0,
+        h2d_bytes: 0,
+        d2h_bytes: 0,
+        d2d_bytes: results[2].3,
+        peak_bytes: 0,
+    });
+
+    // The CI recovery-smoke gate: replicas must be useful, not just equal.
+    if scaling < 1.8 {
+        eprintln!(
+            "REPLICATION GATE FAILED: read capacity {scaling:.2}x at 3 replicas, need >= 1.8"
+        );
+        std::process::exit(2);
+    }
+    println!("replication gates passed: bit-identical checksums, {scaling:.2}x >= 1.8");
 }

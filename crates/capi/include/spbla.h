@@ -125,6 +125,19 @@ spbla_Status spbla_Engine_SubmitCfpq(spbla_Engine engine, const char *graph,
                                      const char *grammar, spbla_Ticket *out);
 spbla_Status spbla_Engine_SubmitClosure(spbla_Engine engine, const char *graph,
                                         spbla_Ticket *out);
+/* Closure query under a QoS admission tier: tier 0 = interactive
+ * (admitted to the full queue), 1 = batch (bounced earlier, at the
+ * batch admission fraction). deadline_ms 0 means no deadline. */
+spbla_Status spbla_Engine_SubmitClosureTiered(spbla_Engine engine,
+                                              const char *graph,
+                                              uint32_t tier,
+                                              uint64_t deadline_ms,
+                                              spbla_Ticket *out);
+/* Rebuild catalog graph `name` from a durability directory: latest good
+ * checkpoint plus write-ahead-log tail replay. Writes the recovered
+ * head version to out_version. */
+spbla_Status spbla_Engine_Recover(spbla_Engine engine, const char *name,
+                                  const char *dir, uint64_t *out_version);
 /* Apply n same-label edge updates (inserts when is_delete == 0, deletes
  * otherwise) as one atomic batch; blocks until the new graph version is
  * live and writes its number to out_version. Queries admitted earlier

@@ -14,7 +14,7 @@ use std::os::raw::c_char;
 use std::time::Duration;
 
 use spbla_data::io::load_graph;
-use spbla_engine::{Engine, EngineConfig, Query, QueryResult};
+use spbla_engine::{Engine, EngineConfig, QosTier, Query, QueryResult};
 use spbla_multidev::DeviceGrid;
 use spbla_stream::UpdateBatch;
 
@@ -223,6 +223,83 @@ pub unsafe extern "C" fn spbla_Engine_SubmitClosure(
         Err(s) => return s,
     };
     submit(engine, graph, Query::Closure, 0, out)
+}
+
+/// Submit a transitive-closure query under a QoS admission tier:
+/// `tier` 0 is interactive (admitted up to the full queue capacity),
+/// 1 is batch (bounced earlier, at the batch admission fraction).
+/// `deadline_ms` 0 means no deadline.
+///
+/// # Safety
+/// `graph` must be a valid C string; `out` a valid pointer.
+#[no_mangle]
+pub unsafe extern "C" fn spbla_Engine_SubmitClosureTiered(
+    engine: SpblaEngine,
+    graph: *const c_char,
+    tier: u32,
+    deadline_ms: u64,
+    out: *mut SpblaTicket,
+) -> SpblaStatus {
+    if out.is_null() {
+        return SpblaStatus::NullPointer;
+    }
+    let graph = match cstr(graph) {
+        Ok(g) => g,
+        Err(s) => return s,
+    };
+    let tier = match tier {
+        0 => QosTier::Interactive,
+        1 => QosTier::Batch,
+        _ => return SpblaStatus::Error,
+    };
+    let deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
+    let result = Registry::global().with_engine(engine, |e| {
+        e.submit_tiered(graph, Query::Closure, tier, deadline)
+    });
+    match result {
+        Some(Ok(ticket)) => {
+            // Safety: `out` checked non-null above.
+            *out = Registry::global().insert_ticket(ticket);
+            SpblaStatus::Ok
+        }
+        Some(Err(e)) => SpblaStatus::from(&e),
+        None => SpblaStatus::InvalidHandle,
+    }
+}
+
+/// Rebuild catalog graph `name` from the durability directory at `dir`:
+/// latest good checkpoint plus write-ahead-log tail replay. Writes the
+/// recovered head version to `out_version`.
+///
+/// # Safety
+/// `name` and `dir` must be valid NUL-terminated C strings;
+/// `out_version` must be a valid pointer.
+#[no_mangle]
+pub unsafe extern "C" fn spbla_Engine_Recover(
+    engine: SpblaEngine,
+    name: *const c_char,
+    dir: *const c_char,
+    out_version: *mut u64,
+) -> SpblaStatus {
+    if out_version.is_null() {
+        return SpblaStatus::NullPointer;
+    }
+    let (name, dir) = match (cstr(name), cstr(dir)) {
+        (Ok(n), Ok(d)) => (n, d),
+        (Err(s), _) | (_, Err(s)) => return s,
+    };
+    let recovered = Registry::global().with_engine(engine, |e| {
+        spbla_durable::recover_into_engine(e, name, std::path::Path::new(dir))
+    });
+    match recovered {
+        Some(Ok(summary)) => {
+            // Safety: `out_version` checked non-null above.
+            *out_version = summary.head_version;
+            SpblaStatus::Ok
+        }
+        Some(Err(_)) => SpblaStatus::Error,
+        None => SpblaStatus::InvalidHandle,
+    }
 }
 
 /// Apply a batch of same-label edge updates to catalog graph `graph`
@@ -767,5 +844,89 @@ mod tests {
         assert_eq!(spbla_Engine_Free(engine), SpblaStatus::Ok);
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&big).ok();
+    }
+
+    #[test]
+    fn recover_and_tiered_submit_via_c() {
+        use spbla_durable::{DurabilityConfig, DurableLog};
+        use spbla_graph::LabeledGraph;
+        use spbla_lang::SymbolTable;
+
+        // Build a durability directory: a 4-chain plus two logged batches.
+        let dir = std::env::temp_dir().join(format!("spbla_capi_wal_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut table = SymbolTable::new();
+        let a = table.intern("a");
+        let mut graph = LabeledGraph::from_triples(4, (0..3).map(|k| (k, a, k + 1)));
+        let mut log =
+            DurableLog::open(&dir, DurabilityConfig::default(), &graph, 0, &table).unwrap();
+        for (version, (u, v)) in [(3u32, 0u32), (0, 2)].into_iter().enumerate() {
+            let mut batch = UpdateBatch::new();
+            batch.insert(u, a, v);
+            batch.apply_to(&mut graph);
+            log.append(version as u64 + 1, &batch, &graph, &table)
+                .unwrap();
+        }
+
+        let mut engine = 0u64;
+        assert_eq!(unsafe { spbla_Engine_New(1, &mut engine) }, SpblaStatus::Ok);
+        let mut version = 0u64;
+        assert_eq!(
+            unsafe {
+                spbla_Engine_Recover(
+                    engine,
+                    c("g").as_ptr(),
+                    c(dir.to_str().unwrap()).as_ptr(),
+                    &mut version,
+                )
+            },
+            SpblaStatus::Ok
+        );
+        assert_eq!(version, 2);
+
+        // The recovered graph is a cycle: its closure has all 16 pairs.
+        // Served through the batch tier with a generous deadline.
+        let mut ticket = 0u64;
+        assert_eq!(
+            unsafe {
+                spbla_Engine_SubmitClosureTiered(engine, c("g").as_ptr(), 1, 60_000, &mut ticket)
+            },
+            SpblaStatus::Ok
+        );
+        assert_eq!(spbla_Ticket_Wait(ticket), SpblaStatus::Ok);
+        let mut count = 0usize;
+        assert_eq!(
+            unsafe {
+                spbla_Ticket_ExtractPairs(
+                    ticket,
+                    std::ptr::null_mut(),
+                    std::ptr::null_mut(),
+                    &mut count,
+                )
+            },
+            SpblaStatus::Ok
+        );
+        assert_eq!(count, 16);
+        spbla_Ticket_Free(ticket);
+
+        // An unknown tier and a bogus directory surface typed errors.
+        assert_eq!(
+            unsafe { spbla_Engine_SubmitClosureTiered(engine, c("g").as_ptr(), 7, 0, &mut ticket) },
+            SpblaStatus::Error
+        );
+        assert_eq!(
+            unsafe {
+                spbla_Engine_Recover(
+                    engine,
+                    c("h").as_ptr(),
+                    c("/nonexistent/never").as_ptr(),
+                    &mut version,
+                )
+            },
+            SpblaStatus::Error
+        );
+        assert_eq!(spbla_Engine_Free(engine), SpblaStatus::Ok);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

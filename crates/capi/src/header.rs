@@ -35,6 +35,8 @@ pub const EXPORTED_SYMBOLS: &[&str] = &[
     "spbla_Engine_SubmitRpqFromSource",
     "spbla_Engine_SubmitCfpq",
     "spbla_Engine_SubmitClosure",
+    "spbla_Engine_SubmitClosureTiered",
+    "spbla_Engine_Recover",
     "spbla_Graph_ApplyBatch",
     "spbla_Graph_Version",
     "spbla_Ticket_Cancel",

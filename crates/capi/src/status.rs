@@ -84,7 +84,11 @@ mod tests {
     fn engine_error_mapping() {
         use spbla_engine::EngineError;
         assert_eq!(
-            SpblaStatus::from(&EngineError::Overloaded { capacity: 4 }),
+            SpblaStatus::from(&EngineError::Overloaded {
+                depth: 4,
+                capacity: 4,
+                tier: spbla_engine::QosTier::Interactive
+            }),
             SpblaStatus::Overloaded
         );
         assert_eq!(

@@ -8,6 +8,8 @@
 //! spbla closure <graph.triples> [--backend B] [--devices N]
 //! spbla bfs <graph.triples> <source>
 //! spbla engine [graph.triples] [--devices N] [--clients C] [--requests R]
+//! spbla load [graph.triples] [--rate R] [--requests N] [--sweep on|off]
+//! spbla recover <dir> [--graph NAME] [--devices N]
 //! ```
 //!
 //! The logic lives in this library crate so it is unit-testable; the
@@ -125,6 +127,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "bfs" => cmd_bfs(&rest, out),
         "engine" => cmd_engine(&rest, out),
         "stream" => cmd_stream(&rest, out),
+        "load" => cmd_load(&rest, out),
+        "recover" => cmd_recover(&rest, out),
         "trace" => cmd_trace(&rest, out),
         "triangles" => cmd_triangles(&rest, out),
         "components" => cmd_components(&rest, out),
@@ -150,9 +154,20 @@ pub const USAGE: &str = "usage: spbla <command>\n\
            [--queue CAP] [--batching on|off] [--plan-cache on|off] [--deadline-ms MS]\n\
            (closed-loop mixed RPQ/CFPQ serving; generates a LUBM fixture if no graph given)\n\
   stream   [graph.triples] [--devices N] [--batches B] [--batch-size K] [--deletes on|off]\n\
-           [--seed S] [--mode incremental|recompute|both]\n\
+           [--seed S] [--mode incremental|recompute|both] [--wal DIR]\n\
            (replay a random update stream through the versioned store; --mode both\n\
-            cross-checks incremental maintenance against per-batch recompute)\n\
+            cross-checks incremental maintenance against per-batch recompute;\n\
+            --wal durably logs the stream for `spbla recover`)\n\
+  load     [graph.triples] [--devices N] [--rate R] [--requests N] [--seed S]\n\
+           [--queue CAP] [--interactive-fraction F] [--deadline-ms MS] [--sweep on|off]\n\
+           (open-loop seeded-Poisson load against the serving engine: arrivals\n\
+            fire on schedule, rejections are counted, latency includes schedule\n\
+            slip — no coordinated omission; --sweep walks a rate ladder to the\n\
+            saturation point)\n\
+  recover  <dir> [--graph NAME] [--devices N]\n\
+           (rebuild an engine from a durability directory: latest good checkpoint\n\
+            plus write-ahead-log tail replay, then serve a closure query from the\n\
+            recovered state)\n\
   trace    [graph.triples] [--regex R] [--backend cuda|cl] [--out FILE] [--capacity N]\n\
            [--seed S]\n\
            (run an RPQ with kernel tracing on and write a chrome://tracing JSON\n\
@@ -788,6 +803,24 @@ fn cmd_stream(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         })
         .collect();
 
+    // Durably log the stream so `spbla recover` can rebuild it.
+    if let Some(dir) = args.opt("wal") {
+        use spbla_durable::{DurabilityConfig, DurableLog};
+        let dir = std::path::Path::new(dir);
+        let mut wal_mirror = graph.clone();
+        let mut log = DurableLog::open(dir, DurabilityConfig::default(), &graph, 0, &table)?;
+        for (k, batch) in stream_batches.iter().enumerate() {
+            batch.apply_to(&mut wal_mirror);
+            log.append(k as u64 + 1, batch, &wal_mirror, &table)?;
+        }
+        writeln!(
+            out,
+            "  wal: {} batches durably logged to {}",
+            stream_batches.len(),
+            dir.display()
+        )?;
+    }
+
     // One grid per replayed mode so launch meters don't mix.
     let run_mode =
         |maintain: MaintainMode| -> Result<(Vec<u64>, u64, spbla_stream::MaintainStats), CliError> {
@@ -847,6 +880,177 @@ fn cmd_stream(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             *la as f64 / (*lb).max(1) as f64
         )?;
     }
+    Ok(())
+}
+
+fn cmd_load(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use spbla_durable::{run_open_loop, saturation_sweep, LoadConfig, TierStats};
+    use spbla_engine::{Engine, EngineConfig, Query};
+
+    let devices: usize = opt_parse(args, "devices", 2)?;
+    if devices == 0 {
+        return Err(CliError::usage("--devices must be at least 1"));
+    }
+    let rate: f64 = opt_parse(args, "rate", 400.0)?;
+    if rate <= 0.0 {
+        return Err(CliError::usage("--rate must be positive"));
+    }
+    let requests: usize = opt_parse(args, "requests", 120)?;
+    let seed: u64 = opt_parse(args, "seed", 1)?;
+    let queue_capacity: usize = opt_parse(args, "queue", 16)?;
+    let interactive_fraction: f64 = opt_parse(args, "interactive-fraction", 0.3)?;
+    let deadline_ms: u64 = opt_parse(args, "deadline-ms", 250)?;
+    let sweep = opt_on_off(args, "sweep", false)?;
+
+    let engine = Engine::new(
+        spbla_multidev::DeviceGrid::new(devices),
+        EngineConfig {
+            queue_capacity,
+            ..EngineConfig::default()
+        },
+    );
+    let graph = match args.positional.first() {
+        Some(path) => engine.with_symbols(|table| load_graph(path, table))?,
+        None => engine.with_symbols(|table| {
+            spbla_data::lubm::lubm_like(1, &spbla_data::lubm::LubmConfig::default(), table, seed)
+        }),
+    };
+    let n_vertices = graph.n_vertices();
+    let busiest = engine.with_symbols(|table| {
+        let mut labels: Vec<(usize, String)> = graph
+            .labels()
+            .into_iter()
+            .map(|s| (graph.label_count(s), table.name(s).to_string()))
+            .collect();
+        labels.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        labels
+            .first()
+            .map(|(_, n)| n.clone())
+            .ok_or_else(|| CliError::run("graph has no labelled edges"))
+    })?;
+    engine.add_graph("g", graph);
+    let queries: Vec<Query> = (0..8u64)
+        .map(|i| Query::RpqFromSource {
+            text: format!("{busiest}*"),
+            source: ((i * 131) % u64::from(n_vertices.max(1))) as u32,
+        })
+        .collect();
+
+    let config = LoadConfig {
+        rate_per_sec: rate,
+        requests,
+        seed,
+        interactive_fraction,
+        interactive_deadline_ms: Some(deadline_ms),
+        batch_deadline_ms: None,
+    };
+    let tier_line = |out: &mut dyn Write, name: &str, t: &TierStats| -> Result<(), CliError> {
+        writeln!(
+            out,
+            "  {name:<12} offered {:>4}  admitted {:>4}  completed {:>4}  rejected {:>4}  \
+             deadline {:>3}  p50 {:>7.2}ms  p95 {:>7.2}ms  p99 {:>7.2}ms",
+            t.offered,
+            t.admitted,
+            t.completed,
+            t.rejected,
+            t.deadline_exceeded,
+            t.p50_us as f64 / 1e3,
+            t.p95_us as f64 / 1e3,
+            t.p99_us as f64 / 1e3
+        )?;
+        Ok(())
+    };
+    if sweep {
+        let rates: Vec<f64> = [0.5, 1.0, 2.0, 4.0, 8.0].iter().map(|m| m * rate).collect();
+        let (points, saturation) = saturation_sweep(&engine, "g", &queries, &config, &rates);
+        for p in &points {
+            writeln!(
+                out,
+                "rate {:>8.0} req/s: achieved {:>7.1}, rejected {:>4}, saturated {}",
+                p.rate,
+                p.report.achieved_rate,
+                p.report.rejected(),
+                if p.report.saturated() { "yes" } else { "no" }
+            )?;
+            tier_line(out, "interactive", &p.report.interactive)?;
+            tier_line(out, "batch", &p.report.batch)?;
+        }
+        match saturation {
+            Some(r) => writeln!(out, "saturation detected at {r:.0} req/s offered")?,
+            None => writeln!(
+                out,
+                "no saturation up to {:.0} req/s",
+                rates[rates.len() - 1]
+            )?,
+        }
+    } else {
+        let report = run_open_loop(&engine, "g", &queries, &config);
+        writeln!(
+            out,
+            "open loop: {requests} arrivals at {rate:.0} req/s on {devices} devices \
+             ({:.0} req/s achieved, wall {} ms, saturated {})",
+            report.achieved_rate,
+            report.wall_ms,
+            if report.saturated() { "yes" } else { "no" }
+        )?;
+        tier_line(out, "interactive", &report.interactive)?;
+        tier_line(out, "batch", &report.batch)?;
+    }
+    engine.shutdown();
+    Ok(())
+}
+
+fn cmd_recover(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use spbla_engine::{Engine, EngineConfig, Query, QueryResult};
+
+    let Some(dir) = args.positional.first() else {
+        return Err(CliError::usage("recover needs a durability directory"));
+    };
+    let devices: usize = opt_parse(args, "devices", 2)?;
+    if devices == 0 {
+        return Err(CliError::usage("--devices must be at least 1"));
+    }
+    let name = args.opt("graph").unwrap_or("g").to_string();
+
+    let engine = Engine::new(
+        spbla_multidev::DeviceGrid::new(devices),
+        EngineConfig::default(),
+    );
+    let summary = spbla_durable::recover_into_engine(&engine, &name, std::path::Path::new(dir))?;
+    writeln!(
+        out,
+        "recovered '{name}' from {dir}: checkpoint v{}, replayed {} wal records to v{}{}",
+        summary.checkpoint_version,
+        summary.replayed,
+        summary.head_version,
+        if summary.torn_tail {
+            " (torn record at the log tail discarded)"
+        } else {
+            ""
+        }
+    )?;
+    let host = engine.host_graph(&name)?;
+    writeln!(
+        out,
+        "  graph: {} vertices, {} edges, {} labels",
+        host.n_vertices(),
+        host.n_edges(),
+        host.labels().len()
+    )?;
+    // Serve one closure query from the recovered state: proof the
+    // catalog is live, plus the bit-identity witness for scripting.
+    let done = engine.submit(&name, Query::Closure)?.wait();
+    match done.result {
+        Ok(QueryResult::Pairs(pairs)) => writeln!(
+            out,
+            "  closure: {} reachable pairs, checksum {:016x}",
+            pairs.len(),
+            spbla_stream::checksum_pairs(&pairs)
+        )?,
+        Ok(other) => return Err(CliError::run(format!("unexpected result {other:?}"))),
+        Err(e) => return Err(CliError::run(format!("recovered engine failed: {e}"))),
+    }
+    engine.shutdown();
     Ok(())
 }
 
@@ -910,6 +1114,65 @@ mod tests {
             assert!(out.contains("pairs"), "{out}");
         }
         std::fs::remove_file(&gpath).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_open_loop_reports_both_tiers() {
+        let path =
+            std::env::temp_dir().join(format!("spbla_cli_load_{}.triples", std::process::id()));
+        std::fs::write(&path, "# vertices 4\n0 a 1\n1 a 2\n2 b 3\n").unwrap();
+        let out = run_str(&[
+            "load",
+            path.to_str().unwrap(),
+            "--rate",
+            "2000",
+            "--requests",
+            "30",
+            "--devices",
+            "1",
+            "--queue",
+            "4",
+            "--interactive-fraction",
+            "0.5",
+        ])
+        .unwrap();
+        assert!(out.contains("open loop"), "{out}");
+        assert!(out.contains("interactive"), "{out}");
+        assert!(out.contains("batch"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_wal_then_recover_round_trips() {
+        let path =
+            std::env::temp_dir().join(format!("spbla_cli_wal_{}.triples", std::process::id()));
+        std::fs::write(&path, "# vertices 4\n0 a 1\n1 a 2\n2 b 3\n").unwrap();
+        let dir = std::env::temp_dir().join(format!("spbla_cli_wal_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let streamed = run_str(&[
+            "stream",
+            path.to_str().unwrap(),
+            "--batches",
+            "6",
+            "--batch-size",
+            "2",
+            "--devices",
+            "1",
+            "--mode",
+            "incremental",
+            "--wal",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(streamed.contains("durably logged"), "{streamed}");
+        let recovered = run_str(&["recover", dir.to_str().unwrap(), "--devices", "1"]).unwrap();
+        assert!(
+            recovered.contains("replayed 6 wal records to v6"),
+            "{recovered}"
+        );
+        assert!(recovered.contains("checksum"), "{recovered}");
+        std::fs::remove_dir_all(&dir).ok();
         std::fs::remove_file(&path).ok();
     }
 

@@ -183,6 +183,127 @@ impl K2Tree {
         self.nnz
     }
 
+    /// Serialize to a little-endian byte stream — the on-disk form the
+    /// durability layer's graph checkpoints use. Layout: `nrows`,
+    /// `ncols`, `height` (u32 each), `nnz` (u64), level count (u32),
+    /// then per level its bit count (u64) and packed words.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let total_words: usize = self.levels.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(24 + self.levels.len() * 12 + total_words * 8);
+        out.extend_from_slice(&self.nrows.to_le_bytes());
+        out.extend_from_slice(&self.ncols.to_le_bytes());
+        out.extend_from_slice(&self.height.to_le_bytes());
+        out.extend_from_slice(&(self.nnz as u64).to_le_bytes());
+        out.extend_from_slice(&(self.levels.len() as u32).to_le_bytes());
+        for (words, &bits) in self.levels.iter().zip(&self.level_bits) {
+            out.extend_from_slice(&(bits as u64).to_le_bytes());
+            for w in words {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserialize a [`K2Tree::to_bytes`] stream, validating structural
+    /// invariants (level count matches height, word counts match bit
+    /// counts, leaf popcount matches `nnz`) so a corrupt checkpoint is
+    /// rejected instead of decoding into an inconsistent tree.
+    pub fn from_bytes(bytes: &[u8]) -> Result<K2Tree> {
+        fn bad(reason: &str) -> crate::error::SpblaError {
+            crate::error::SpblaError::InvalidDimension(format!("k2tree decode: {reason}"))
+        }
+        struct Cur<'a> {
+            bytes: &'a [u8],
+            at: usize,
+        }
+        impl<'a> Cur<'a> {
+            fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+                let end = self
+                    .at
+                    .checked_add(n)
+                    .filter(|&e| e <= self.bytes.len())
+                    .ok_or_else(|| bad("truncated stream"))?;
+                let s = &self.bytes[self.at..end];
+                self.at = end;
+                Ok(s)
+            }
+            fn u32(&mut self) -> Result<u32> {
+                Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 B")))
+            }
+            fn u64(&mut self) -> Result<u64> {
+                Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 B")))
+            }
+        }
+        let mut cur = Cur { bytes, at: 0 };
+        let nrows = cur.u32()?;
+        let ncols = cur.u32()?;
+        let height = cur.u32()?;
+        let nnz = cur.u64()? as usize;
+        let n_levels = cur.u32()? as usize;
+        if n_levels != if nnz == 0 { 0 } else { height as usize } {
+            return Err(bad("level count does not match height"));
+        }
+        let mut levels = Vec::with_capacity(n_levels);
+        let mut level_bits = Vec::with_capacity(n_levels);
+        for _ in 0..n_levels {
+            let bits = cur.u64()? as usize;
+            if bits == 0 {
+                return Err(bad("empty level in a non-empty tree"));
+            }
+            let n_words = bits.div_ceil(64);
+            let mut words = Vec::with_capacity(n_words);
+            for _ in 0..n_words {
+                words.push(cur.u64()?);
+            }
+            if let Some(last) = words.last() {
+                if !bits.is_multiple_of(64) && *last >> (bits % 64) != 0 {
+                    return Err(bad("set bits beyond the level's bit count"));
+                }
+            }
+            levels.push(words);
+            level_bits.push(bits);
+        }
+        if cur.at != bytes.len() {
+            return Err(bad("trailing bytes"));
+        }
+        if nnz > 0 {
+            // The height is a function of the shape; a mismatch means a
+            // corrupt header that would decode out-of-bounds pairs.
+            let side = nrows.max(ncols).max(1).next_power_of_two();
+            if height != side.trailing_zeros().max(1) {
+                return Err(bad("height does not match the matrix shape"));
+            }
+            // Tree-shape invariants: the root holds one node, and every
+            // set bit of level ℓ owns exactly one 4-bit node of level
+            // ℓ+1 — so rank-based child lookup can never walk past the
+            // end of a bitmap.
+            if level_bits[0] != 4 {
+                return Err(bad("root level must hold exactly one node"));
+            }
+            for l in 0..n_levels - 1 {
+                let pop: usize = levels[l].iter().map(|w| w.count_ones() as usize).sum();
+                if level_bits[l + 1] != 4 * pop {
+                    return Err(bad("level size does not match parent popcount"));
+                }
+            }
+        }
+        let leaf_pop: usize = levels
+            .last()
+            .map(|ws| ws.iter().map(|w| w.count_ones() as usize).sum())
+            .unwrap_or(0);
+        if leaf_pop != nnz {
+            return Err(bad("leaf popcount does not match nnz"));
+        }
+        Ok(K2Tree {
+            nrows,
+            ncols,
+            height: if nnz == 0 { 0 } else { height },
+            levels,
+            level_bits,
+            nnz,
+        })
+    }
+
     /// Archived footprint: the level bitmaps plus headers.
     pub fn memory_bytes(&self) -> usize {
         std::mem::size_of::<K2Tree>()
@@ -235,6 +356,47 @@ mod tests {
         let te = K2Tree::from_csr(&empty);
         assert_eq!(te.nnz(), 0);
         assert_eq!(te.to_csr(), empty);
+    }
+
+    #[test]
+    fn byte_roundtrip_is_exact() {
+        for (n, nnz, seed) in [(1u32, 1usize, 7u64), (17, 40, 1), (257, 33, 3)] {
+            let m = CsrBool::from_pairs(n, n, &pseudo_pairs(n, nnz, seed)).unwrap();
+            let t = K2Tree::from_csr(&m);
+            let back = K2Tree::from_bytes(&t.to_bytes()).unwrap();
+            assert_eq!(back, t, "n={n} nnz={nnz}");
+        }
+        // Empty and rectangular shapes survive the trip too.
+        for m in [
+            CsrBool::zeros(10, 10),
+            CsrBool::from_pairs(3, 70, &[(0, 0), (2, 69)]).unwrap(),
+        ] {
+            let t = K2Tree::from_csr(&m);
+            assert_eq!(K2Tree::from_bytes(&t.to_bytes()).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_are_rejected_not_decoded() {
+        let m = CsrBool::from_pairs(50, 50, &pseudo_pairs(50, 120, 5)).unwrap();
+        let good = K2Tree::from_csr(&m).to_bytes();
+        // Truncation at every prefix length fails typed, never panics.
+        for cut in 0..good.len() {
+            assert!(K2Tree::from_bytes(&good[..cut]).is_err(), "cut={cut}");
+        }
+        // Trailing garbage is rejected.
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(K2Tree::from_bytes(&padded).is_err());
+        // A flipped bitmap bit breaks the popcount chain.
+        let mut flipped = good.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x10;
+        assert!(K2Tree::from_bytes(&flipped).is_err());
+        // A corrupted height header is caught against the shape.
+        let mut bad_height = good;
+        bad_height[8] ^= 0x01;
+        assert!(K2Tree::from_bytes(&bad_height).is_err());
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! Graph checkpoints: one file per checkpointed version, label
+//! matrices serialized through the k²-tree codec.
+//!
+//! ## On-disk format
+//!
+//! A checkpoint file `ckpt-VVVVVVVVVVVVVVVVVVVV.ckp` (V = zero-padded
+//! version, so lexicographic order is version order) holds:
+//!
+//! ```text
+//! magic    8 bytes  "SPBLACKP"
+//! format   u32 LE   FORMAT_VERSION
+//! len      u64 LE   payload byte length
+//! checksum u64 LE   FNV-1a over the payload bytes
+//! payload:
+//!   version    u64 LE
+//!   n_vertices u32 LE
+//!   n_labels   u32 LE
+//!   labels     n_labels × { u16 LE name len, utf-8 name,
+//!                           u32 LE blob len, K2Tree::to_bytes blob }
+//! ```
+//!
+//! Writes go through a temp file and an atomic rename, so a crash
+//! mid-checkpoint leaves either the complete new file or none at all —
+//! never a half-written checkpoint under the canonical name.
+
+use std::fs::{self, File};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use spbla_core::K2Tree;
+use spbla_graph::LabeledGraph;
+use spbla_lang::SymbolTable;
+use spbla_obs::metrics_global;
+
+use crate::error::{DurableError, Result};
+use crate::wal::fnv1a;
+
+/// Current checkpoint format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 8] = b"SPBLACKP";
+const HEADER_LEN: usize = 8 + 4 + 8 + 8;
+
+fn io_err(path: &Path, op: &'static str, error: std::io::Error) -> DurableError {
+    DurableError::Io {
+        path: path.display().to_string(),
+        op,
+        error,
+    }
+}
+
+fn corrupt(path: &Path, offset: u64, reason: impl Into<String>) -> DurableError {
+    DurableError::Corrupt {
+        path: path.display().to_string(),
+        offset,
+        reason: reason.into(),
+    }
+}
+
+fn file_name(version: u64) -> String {
+    format!("ckpt-{version:020}.ckp")
+}
+
+/// List checkpoint files under `dir` as `(version, path)`, newest
+/// first.
+pub fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| io_err(dir, "read_dir", e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, "read_dir", e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        if let Some(v) = name
+            .strip_prefix("ckpt-")
+            .and_then(|s| s.strip_suffix(".ckp"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            out.push((v, entry.path()));
+        }
+    }
+    out.sort_by_key(|e| std::cmp::Reverse(e.0));
+    Ok(out)
+}
+
+/// A decoded checkpoint: the graph state at `version`, labels by name.
+#[derive(Debug)]
+pub struct Checkpoint {
+    /// Version the snapshot captures.
+    pub version: u64,
+    /// Vertex universe size.
+    pub n_vertices: u32,
+    /// Per-label adjacency, decoded from the k²-tree blobs.
+    pub labels: Vec<(String, K2Tree)>,
+}
+
+impl Checkpoint {
+    /// Rebuild the host graph, interning label names into `table`.
+    pub fn to_graph(&self, table: &mut SymbolTable) -> LabeledGraph {
+        let mut graph = LabeledGraph::new(self.n_vertices);
+        for (name, tree) in &self.labels {
+            let label = table.intern(name);
+            for (u, v) in tree.to_csr().iter() {
+                graph.add_edge(u, label, v);
+            }
+        }
+        graph
+    }
+}
+
+/// Serialize `graph` at `version` and atomically publish it under
+/// `dir`. Returns the final path.
+pub fn write_checkpoint(
+    dir: &Path,
+    version: u64,
+    graph: &LabeledGraph,
+    table: &SymbolTable,
+) -> Result<PathBuf> {
+    fs::create_dir_all(dir).map_err(|e| io_err(dir, "create_dir", e))?;
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&version.to_le_bytes());
+    payload.extend_from_slice(&graph.n_vertices().to_le_bytes());
+    let labels = graph.labels();
+    payload.extend_from_slice(&(labels.len() as u32).to_le_bytes());
+    for &label in &labels {
+        let name = table.name(label).as_bytes();
+        payload.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        payload.extend_from_slice(name);
+        let blob = K2Tree::from_csr(&graph.label_csr(label)).to_bytes();
+        payload.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&blob);
+    }
+    let path = dir.join(file_name(version));
+    let tmp = dir.join(format!("{}.tmp", file_name(version)));
+    {
+        let mut file = File::create(&tmp).map_err(|e| io_err(&tmp, "create", e))?;
+        file.write_all(MAGIC)
+            .map_err(|e| io_err(&tmp, "write", e))?;
+        file.write_all(&FORMAT_VERSION.to_le_bytes())
+            .map_err(|e| io_err(&tmp, "write", e))?;
+        file.write_all(&(payload.len() as u64).to_le_bytes())
+            .map_err(|e| io_err(&tmp, "write", e))?;
+        file.write_all(&fnv1a(&payload).to_le_bytes())
+            .map_err(|e| io_err(&tmp, "write", e))?;
+        file.write_all(&payload)
+            .map_err(|e| io_err(&tmp, "write", e))?;
+        file.flush().map_err(|e| io_err(&tmp, "flush", e))?;
+    }
+    fs::rename(&tmp, &path).map_err(|e| io_err(&path, "rename", e))?;
+    let m = metrics_global();
+    m.counter("spbla_wal_checkpoints_total").inc(1);
+    m.counter("spbla_wal_checkpoint_bytes_total")
+        .inc((HEADER_LEN + payload.len()) as u64);
+    Ok(path)
+}
+
+/// Read and validate one checkpoint file.
+pub fn read_checkpoint(path: &Path) -> Result<Checkpoint> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| io_err(path, "read", e))?;
+    if bytes.len() < HEADER_LEN {
+        return Err(corrupt(path, 0, "checkpoint shorter than header"));
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(corrupt(path, 0, "bad magic"));
+    }
+    let format = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if format != FORMAT_VERSION {
+        return Err(corrupt(path, 8, format!("unsupported format {format}")));
+    }
+    let len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+    let checksum = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
+    let payload = bytes
+        .get(HEADER_LEN..HEADER_LEN + len)
+        .ok_or_else(|| corrupt(path, HEADER_LEN as u64, "truncated payload"))?;
+    if HEADER_LEN + len != bytes.len() {
+        return Err(corrupt(path, (HEADER_LEN + len) as u64, "trailing bytes"));
+    }
+    if fnv1a(payload) != checksum {
+        return Err(corrupt(path, 20, "payload checksum mismatch"));
+    }
+    let bad = |reason: &str| corrupt(path, HEADER_LEN as u64, format!("payload: {reason}"));
+    let mut at = 0usize;
+    let mut take = |n: usize, payload: &'_ [u8]| -> Option<std::ops::Range<usize>> {
+        let end = at.checked_add(n)?;
+        if end > payload.len() {
+            return None;
+        }
+        let r = at..end;
+        at = end;
+        Some(r)
+    };
+    let version = take(8, payload)
+        .map(|r| u64::from_le_bytes(payload[r].try_into().unwrap()))
+        .ok_or_else(|| bad("truncated version"))?;
+    let n_vertices = take(4, payload)
+        .map(|r| u32::from_le_bytes(payload[r].try_into().unwrap()))
+        .ok_or_else(|| bad("truncated vertex count"))?;
+    let n_labels = take(4, payload)
+        .map(|r| u32::from_le_bytes(payload[r].try_into().unwrap()))
+        .ok_or_else(|| bad("truncated label count"))?;
+    let mut labels = Vec::with_capacity(n_labels as usize);
+    for _ in 0..n_labels {
+        let name_len = take(2, payload)
+            .map(|r| u16::from_le_bytes(payload[r].try_into().unwrap()))
+            .ok_or_else(|| bad("truncated name length"))? as usize;
+        let name_range = take(name_len, payload).ok_or_else(|| bad("truncated name"))?;
+        let name = std::str::from_utf8(&payload[name_range])
+            .map_err(|_| bad("label name is not utf-8"))?
+            .to_string();
+        let blob_len = take(4, payload)
+            .map(|r| u32::from_le_bytes(payload[r].try_into().unwrap()))
+            .ok_or_else(|| bad("truncated blob length"))? as usize;
+        let blob_range = take(blob_len, payload).ok_or_else(|| bad("truncated blob"))?;
+        let tree = K2Tree::from_bytes(&payload[blob_range])
+            .map_err(|e| bad(&format!("label {name}: {e}")))?;
+        if tree.nrows() != n_vertices || tree.ncols() != n_vertices {
+            return Err(bad(&format!("label {name}: shape mismatch")));
+        }
+        labels.push((name, tree));
+    }
+    if at != payload.len() {
+        return Err(bad("trailing bytes"));
+    }
+    Ok(Checkpoint {
+        version,
+        n_vertices,
+        labels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("spbla-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_graph(table: &mut SymbolTable) -> LabeledGraph {
+        let a = table.intern("a");
+        let b = table.intern("b");
+        LabeledGraph::from_triples(
+            70, // non-power-of-two, non-multiple-of-64 universe
+            [(0, a, 1), (1, a, 2), (2, b, 3), (64, a, 69), (69, b, 0)],
+        )
+    }
+
+    #[test]
+    fn checkpoint_round_trips_the_graph() {
+        let dir = tmpdir("roundtrip");
+        let mut table = SymbolTable::new();
+        let graph = sample_graph(&mut table);
+        write_checkpoint(&dir, 7, &graph, &table).unwrap();
+        let listed = list_checkpoints(&dir).unwrap();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].0, 7);
+        let ckpt = read_checkpoint(&listed[0].1).unwrap();
+        assert_eq!(ckpt.version, 7);
+        assert_eq!(ckpt.n_vertices, 70);
+        let mut fresh = SymbolTable::new();
+        fresh.intern("b"); // different intern order than the writer
+        let got = ckpt.to_graph(&mut fresh);
+        assert_eq!(got.n_vertices(), 70);
+        assert_eq!(got.n_edges(), graph.n_edges());
+        for (sym, name) in [
+            (fresh.get("a").unwrap(), "a"),
+            (fresh.get("b").unwrap(), "b"),
+        ] {
+            let orig = table.get(name).unwrap();
+            let mut want = graph.edges_of(orig).to_vec();
+            let mut have = got.edges_of(sym).to_vec();
+            want.sort_unstable();
+            have.sort_unstable();
+            assert_eq!(want, have, "label {name}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_checkpoints_are_typed_errors() {
+        let dir = tmpdir("damage");
+        let mut table = SymbolTable::new();
+        let graph = sample_graph(&mut table);
+        let path = write_checkpoint(&dir, 1, &graph, &table).unwrap();
+        let full = fs::read(&path).unwrap();
+        // Truncation at every prefix length fails cleanly.
+        for cut in 0..full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            assert!(matches!(
+                read_checkpoint(&path),
+                Err(DurableError::Corrupt { .. })
+            ));
+        }
+        // A flipped payload byte is caught by the checksum.
+        let mut flipped = full.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x04;
+        fs::write(&path, &flipped).unwrap();
+        match read_checkpoint(&path) {
+            Err(DurableError::Corrupt { reason, .. }) => {
+                assert!(reason.contains("checksum"), "{reason}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,85 @@
+//! Typed durability errors.
+//!
+//! The recovery contract is: a crash artifact (a torn record at the
+//! tail of the last segment) is *expected* and recovers cleanly to the
+//! longest intact prefix; anything else that fails to parse — a
+//! checksum mismatch, a malformed header, a torn record that is *not*
+//! at the tail — is surfaced as a typed [`DurableError`], never decoded
+//! into a half-corrupt catalog.
+
+use spbla_core::SpblaError;
+use spbla_engine::EngineError;
+
+/// Errors surfaced by the durability layer.
+#[derive(Debug)]
+pub enum DurableError {
+    /// A filesystem operation failed.
+    Io {
+        /// Path the operation touched.
+        path: String,
+        /// What was being attempted (`"open"`, `"append"`, …).
+        op: &'static str,
+        /// The underlying error.
+        error: std::io::Error,
+    },
+    /// A log segment or checkpoint failed validation: bad magic, a
+    /// checksum mismatch, a non-tail torn record, a version gap.
+    Corrupt {
+        /// File the corruption was detected in.
+        path: String,
+        /// Byte offset of the offending record or header.
+        offset: u64,
+        /// Human-readable diagnosis.
+        reason: String,
+    },
+    /// No readable checkpoint exists in the durability directory, so
+    /// there is nothing to recover from.
+    NoCheckpoint {
+        /// The directory that was scanned.
+        dir: String,
+    },
+    /// Replaying the recovered tail into the engine failed.
+    Engine(EngineError),
+    /// A kernel-level operation failed during recovery or replication.
+    Exec(SpblaError),
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Io { path, op, error } => {
+                write!(f, "{op} failed on {path}: {error}")
+            }
+            DurableError::Corrupt {
+                path,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "corrupt durable state in {path} at byte {offset}: {reason}"
+            ),
+            DurableError::NoCheckpoint { dir } => {
+                write!(f, "no readable checkpoint under {dir}")
+            }
+            DurableError::Engine(e) => write!(f, "engine replay failed: {e}"),
+            DurableError::Exec(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<EngineError> for DurableError {
+    fn from(e: EngineError) -> DurableError {
+        DurableError::Engine(e)
+    }
+}
+
+impl From<SpblaError> for DurableError {
+    fn from(e: SpblaError) -> DurableError {
+        DurableError::Exec(e)
+    }
+}
+
+/// Shorthand for durability results.
+pub type Result<T> = std::result::Result<T, DurableError>;

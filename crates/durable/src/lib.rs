@@ -1,0 +1,47 @@
+//! Durability and replication for the SPbLA serving engine.
+//!
+//! Three cooperating subsystems, all downstream of the same insight:
+//! a serving engine over Boolean linear algebra is only a *system*
+//! once it survives restarts, scales reads, and is measured under
+//! honest load.
+//!
+//! * **Write-ahead durability** ([`wal`], [`checkpoint`], [`store`]):
+//!   every applied [`UpdateBatch`] is flushed to a segmented,
+//!   checksummed log before the apply is acknowledged; periodic
+//!   checkpoints serialize the label matrices through the k²-tree
+//!   codec; [`recover`] = newest readable checkpoint + tail replay,
+//!   reconstructing every live version bit-identically. A torn record
+//!   at the log tail is a clean crash artifact; anything else is a
+//!   typed [`DurableError`].
+//! * **Replication** ([`replica`]): a [`ReplicaSet`] of R device grids
+//!   behind one write path. Versioned reads route round-robin to any
+//!   replica whose applied version covers the pin, skipping laggards;
+//!   update fan-out is metered through the `Comm` layer like every
+//!   other cross-device transfer.
+//! * **Open-loop load** ([`load`]): seeded Poisson arrivals submitted
+//!   on schedule whether or not earlier requests finished — rejections
+//!   are counted, never waited on — so the reported p50/p95/p99 and
+//!   saturation point are free of coordinated omission. Two QoS tiers
+//!   ([`QosTier`]) exercise the engine's tiered admission.
+//!
+//! [`UpdateBatch`]: spbla_stream::UpdateBatch
+//! [`QosTier`]: spbla_engine::QosTier
+
+pub mod checkpoint;
+pub mod error;
+pub mod load;
+pub mod replica;
+pub mod store;
+pub mod wal;
+
+pub use checkpoint::{list_checkpoints, read_checkpoint, write_checkpoint, Checkpoint};
+pub use error::{DurableError, Result};
+pub use load::{
+    arrival_schedule, run_open_loop, saturation_sweep, Arrival, LoadConfig, LoadReport, SweepPoint,
+    TierStats,
+};
+pub use replica::{ReplicaSet, RoutedRead};
+pub use store::{
+    recover, recover_into_engine, DurabilityConfig, DurableLog, EngineRecovery, Recovered,
+};
+pub use wal::{replay, DecodedRecord, Replayed, Wal};

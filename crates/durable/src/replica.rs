@@ -1,0 +1,311 @@
+//! Replica sets: R copies of a versioned graph, each on its own
+//! [`DeviceGrid`], behind one write path.
+//!
+//! ## Routing rule
+//!
+//! A versioned read names the minimum version it was pinned at; it may
+//! be served by *any* replica whose applied version is ≥ that pin.
+//! [`ReplicaSet::route`] walks replicas round-robin from a rotating
+//! cursor and takes the first that qualifies; when the cursor's first
+//! candidate is lagging, the skip is counted in
+//! `spbla_replica_lag_fallbacks_total`. Replica 0 is the primary and is
+//! always synced first, so the walk always terminates for any pin the
+//! writer has acknowledged.
+//!
+//! ## Write fan-out
+//!
+//! [`ReplicaSet::apply`] appends the batch to an in-set log and replays
+//! it on every replica. Each follower delivery is metered through the
+//! primary grid's [`Comm`] layer (`send_bytes`) at the batch's wire
+//! size, so replication traffic shows up in the same per-device d2d
+//! accounting as every other cross-device transfer.
+//!
+//! [`Comm`]: spbla_multidev::Comm
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use spbla_core::{CsrBool, Pair};
+use spbla_graph::closure::closure_delta_dist;
+use spbla_graph::LabeledGraph;
+use spbla_multidev::DeviceGrid;
+use spbla_obs::{labeled, metrics_global};
+use spbla_stream::{checksum_pairs, UpdateBatch, VersionedGraph};
+
+use crate::error::Result;
+
+/// Wire-size model for one fanned-out update record: op tag + label
+/// index + two endpoints, plus a fixed record header — matching the
+/// WAL's record encoding, which is what a real follower link would
+/// carry.
+const FANOUT_HEADER_BYTES: u64 = 16;
+const FANOUT_BYTES_PER_OP: u64 = 13;
+
+struct Replica {
+    store: VersionedGraph,
+    /// Number of log entries this replica has applied.
+    applied: AtomicUsize,
+}
+
+/// One answer from a routed read.
+#[derive(Debug)]
+pub struct RoutedRead {
+    /// Replica index that served the read.
+    pub replica: usize,
+    /// Version of the snapshot the answer was computed on.
+    pub version: u64,
+    /// Transitive-closure pairs of the union adjacency, sorted.
+    pub pairs: Vec<Pair>,
+    /// FNV-1a checksum of `pairs` — the bit-identity currency.
+    pub checksum: u64,
+}
+
+/// R replicas of one graph behind a single write path.
+pub struct ReplicaSet {
+    replicas: Vec<Replica>,
+    log: Mutex<Vec<UpdateBatch>>,
+    cursor: AtomicUsize,
+}
+
+impl ReplicaSet {
+    /// Stand up `replicas` copies of `graph`, each sharded over its own
+    /// fresh grid of `devices_per_replica` simulated devices.
+    pub fn new(
+        graph: &LabeledGraph,
+        replicas: usize,
+        devices_per_replica: usize,
+    ) -> Result<ReplicaSet> {
+        assert!(replicas >= 1, "a replica set needs at least the primary");
+        let replicas = (0..replicas)
+            .map(|_| {
+                let grid = DeviceGrid::new(devices_per_replica.max(1));
+                Ok(Replica {
+                    store: VersionedGraph::new(&grid, graph)?,
+                    applied: AtomicUsize::new(0),
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ReplicaSet {
+            replicas,
+            log: Mutex::new(Vec::new()),
+            cursor: AtomicUsize::new(0),
+        })
+    }
+
+    /// Number of replicas (primary included).
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Whether the set is empty (never true: the primary always exists).
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Version the write path has acknowledged (primary's version).
+    pub fn version(&self) -> u64 {
+        self.applied_version(0)
+    }
+
+    /// Applied version of replica `r`.
+    pub fn applied_version(&self, r: usize) -> u64 {
+        self.replicas[r].store.version()
+    }
+
+    fn wire_bytes(batch: &UpdateBatch) -> u64 {
+        FANOUT_HEADER_BYTES + FANOUT_BYTES_PER_OP * batch.len() as u64
+    }
+
+    fn sync_one(&self, r: usize, log: &[UpdateBatch]) -> Result<u64> {
+        let replica = &self.replicas[r];
+        let mut at = replica.applied.load(Ordering::Acquire);
+        while at < log.len() {
+            let batch = &log[at];
+            if r != 0 {
+                // Follower delivery: meter the batch leaving the
+                // primary's device 0 for a peer grid.
+                self.replicas[0]
+                    .store
+                    .grid()
+                    .comm()
+                    .send_bytes(0, Self::wire_bytes(batch));
+                metrics_global()
+                    .counter("spbla_replica_fanout_bytes_total")
+                    .inc(Self::wire_bytes(batch));
+            }
+            replica.store.apply(batch)?;
+            at += 1;
+            replica.applied.store(at, Ordering::Release);
+        }
+        let version = replica.store.version();
+        metrics_global()
+            .gauge(&labeled(
+                "spbla_replica_applied_version",
+                &[("replica", &r.to_string())],
+            ))
+            .set(version);
+        Ok(version)
+    }
+
+    /// Apply `batch` through the whole set: primary first, then every
+    /// follower, with fan-out metered per delivery. Returns the new
+    /// acknowledged version.
+    pub fn apply(&self, batch: &UpdateBatch) -> Result<u64> {
+        self.apply_lagging(batch, &[])
+    }
+
+    /// Apply `batch` but leave the listed replicas behind (lag
+    /// injection for routing tests and the replication ablation). The
+    /// laggards catch up on their next [`ReplicaSet::sync`] or on the
+    /// next full [`ReplicaSet::apply`].
+    pub fn apply_lagging(&self, batch: &UpdateBatch, laggards: &[usize]) -> Result<u64> {
+        let log = {
+            let mut log = self.log.lock().unwrap();
+            log.push(batch.clone());
+            log.clone()
+        };
+        let mut acked = 0;
+        for r in 0..self.replicas.len() {
+            if r != 0 && laggards.contains(&r) {
+                continue;
+            }
+            let v = self.sync_one(r, &log)?;
+            if r == 0 {
+                acked = v;
+            }
+        }
+        Ok(acked)
+    }
+
+    /// Replay any missed log entries on replica `r`.
+    pub fn sync(&self, r: usize) -> Result<u64> {
+        let log = self.log.lock().unwrap().clone();
+        self.sync_one(r, &log)
+    }
+
+    /// Pick a replica whose applied version is ≥ `min_version`:
+    /// round-robin from a rotating cursor, skipping laggards (each
+    /// skipped candidate counts one lag fallback). Falls back to the
+    /// primary, which by construction holds every acknowledged version.
+    pub fn route(&self, min_version: u64) -> usize {
+        let n = self.replicas.len();
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed) % n;
+        for k in 0..n {
+            let r = (start + k) % n;
+            if self.applied_version(r) >= min_version {
+                if k > 0 {
+                    metrics_global()
+                        .counter("spbla_replica_lag_fallbacks_total")
+                        .inc(k as u64);
+                }
+                return r;
+            }
+        }
+        0
+    }
+
+    /// Serve a versioned closure read: route to a replica at or past
+    /// `min_version`, compute the transitive closure of its current
+    /// union adjacency on that replica's grid, and return the sorted
+    /// pairs with their checksum.
+    pub fn read_closure(&self, min_version: u64) -> Result<RoutedRead> {
+        let r = self.route(min_version);
+        self.read_closure_on(r)
+    }
+
+    /// The closure read, pinned to a specific replica (the ablation
+    /// path measures each replica directly).
+    pub fn read_closure_on(&self, r: usize) -> Result<RoutedRead> {
+        let replica = &self.replicas[r];
+        let snapshot = replica.store.pin();
+        let n = snapshot.n_vertices();
+        let adjacency = CsrBool::from_pairs(n, n, &snapshot.adjacency_pairs())?;
+        let closure = closure_delta_dist(&adjacency, replica.store.grid())?;
+        let pairs = closure.to_pairs();
+        let checksum = checksum_pairs(&pairs);
+        metrics_global()
+            .counter(&labeled(
+                "spbla_replica_reads_total",
+                &[("replica", &r.to_string())],
+            ))
+            .inc(1);
+        Ok(RoutedRead {
+            replica: r,
+            version: snapshot.version(),
+            pairs,
+            checksum,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spbla_lang::SymbolTable;
+
+    fn chain(table: &mut SymbolTable, n: u32) -> LabeledGraph {
+        let a = table.intern("a");
+        LabeledGraph::from_triples(n, (0..n - 1).map(|k| (k, a, k + 1)))
+    }
+
+    #[test]
+    fn replicas_stay_bit_identical_under_updates() {
+        let mut table = SymbolTable::new();
+        let a = table.intern("a");
+        let graph = chain(&mut table, 12);
+        let set = ReplicaSet::new(&graph, 3, 2).unwrap();
+        for k in 0..4u32 {
+            let mut batch = UpdateBatch::new();
+            batch.insert(11, a, k).delete(k, a, k + 1);
+            set.apply(&batch).unwrap();
+        }
+        let reads: Vec<RoutedRead> = (0..3).map(|r| set.read_closure_on(r).unwrap()).collect();
+        assert!(reads.windows(2).all(|w| w[0].checksum == w[1].checksum));
+        assert!(reads.windows(2).all(|w| w[0].version == w[1].version));
+        assert_eq!(set.version(), 4);
+    }
+
+    #[test]
+    fn routing_skips_lagging_replicas() {
+        let mut table = SymbolTable::new();
+        let a = table.intern("a");
+        let graph = chain(&mut table, 8);
+        let set = ReplicaSet::new(&graph, 3, 1).unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.insert(7, a, 0);
+        set.apply_lagging(&batch, &[2]).unwrap();
+        assert_eq!(set.applied_version(0), 1);
+        assert_eq!(set.applied_version(1), 1);
+        assert_eq!(set.applied_version(2), 0);
+        // A read pinned at version 1 never lands on the laggard.
+        for _ in 0..8 {
+            assert_ne!(set.route(1), 2);
+        }
+        // A version-0 read may use any replica, including the laggard.
+        let hit_laggard = (0..8).any(|_| set.route(0) == 2);
+        assert!(hit_laggard);
+        // After catch-up the laggard serves the same answer.
+        set.sync(2).unwrap();
+        assert_eq!(set.applied_version(2), 1);
+        let a0 = set.read_closure_on(0).unwrap();
+        let a2 = set.read_closure_on(2).unwrap();
+        assert_eq!(a0.checksum, a2.checksum);
+    }
+
+    #[test]
+    fn fanout_is_metered_on_the_primary_grid() {
+        let mut table = SymbolTable::new();
+        let a = table.intern("a");
+        let graph = chain(&mut table, 6);
+        let set = ReplicaSet::new(&graph, 2, 1).unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.insert(5, a, 0).insert(4, a, 0);
+        set.apply(&batch).unwrap();
+        let d2d = set.replicas[0].store.grid().total_stats().d2d_bytes;
+        assert_eq!(
+            d2d,
+            FANOUT_HEADER_BYTES + 2 * FANOUT_BYTES_PER_OP,
+            "one follower delivery of a two-op batch"
+        );
+    }
+}

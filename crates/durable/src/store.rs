@@ -1,0 +1,340 @@
+//! The durability façade: a [`DurableLog`] couples the segmented WAL
+//! with periodic checkpoints, and [`recover`] rebuilds the graph from
+//! the newest readable checkpoint plus the log tail.
+//!
+//! ## Recovery invariants
+//!
+//! 1. Every applied batch is on disk (appended and flushed) before the
+//!    caller learns the apply succeeded, so recovery never loses an
+//!    acknowledged version.
+//! 2. Recovery = newest readable checkpoint + replay of WAL records
+//!    with `version > checkpoint.version`. Because the log is never
+//!    truncated, *any* surviving checkpoint is a valid starting point —
+//!    a damaged newest checkpoint falls back to an older one and
+//!    replays a longer tail.
+//! 3. A torn record at the very tail of the last segment is the
+//!    expected crash artifact and ends replay cleanly; every other
+//!    malformation surfaces as [`DurableError::Corrupt`] before any
+//!    state is handed to the caller.
+
+use std::path::{Path, PathBuf};
+
+use spbla_graph::LabeledGraph;
+use spbla_lang::SymbolTable;
+use spbla_obs::metrics_global;
+use spbla_stream::UpdateBatch;
+
+use crate::checkpoint::{list_checkpoints, read_checkpoint, write_checkpoint};
+use crate::error::{DurableError, Result};
+use crate::wal::{replay, Wal};
+
+/// Tuning knobs for a [`DurableLog`].
+#[derive(Debug, Clone, Copy)]
+pub struct DurabilityConfig {
+    /// Segment rotation threshold in bytes.
+    pub segment_bytes: usize,
+    /// Write a checkpoint every this many appended batches (0 disables
+    /// automatic checkpoints; [`DurableLog::checkpoint_now`] still
+    /// works).
+    pub checkpoint_every: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> DurabilityConfig {
+        DurabilityConfig {
+            segment_bytes: 64 * 1024,
+            checkpoint_every: 8,
+        }
+    }
+}
+
+/// Append-side handle over one graph's durability directory.
+pub struct DurableLog {
+    dir: PathBuf,
+    config: DurabilityConfig,
+    wal: Wal,
+    since_checkpoint: u64,
+}
+
+impl DurableLog {
+    /// Initialize a durability directory for `graph`: writes the base
+    /// checkpoint at `version` and opens a fresh log. Also the path for
+    /// re-opening an existing directory — the base checkpoint is only
+    /// written when none exists yet.
+    pub fn open(
+        dir: &Path,
+        config: DurabilityConfig,
+        graph: &LabeledGraph,
+        version: u64,
+        table: &SymbolTable,
+    ) -> Result<DurableLog> {
+        let wal = Wal::open(dir, config.segment_bytes)?;
+        if list_checkpoints(dir)?.is_empty() {
+            write_checkpoint(dir, version, graph, table)?;
+        }
+        Ok(DurableLog {
+            dir: dir.to_path_buf(),
+            config,
+            wal,
+            since_checkpoint: 0,
+        })
+    }
+
+    /// Directory this log persists to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Record the batch that produced `version`; `graph_after` is the
+    /// post-apply state, used when this append crosses the checkpoint
+    /// interval. The record is flushed before this returns.
+    pub fn append(
+        &mut self,
+        version: u64,
+        batch: &UpdateBatch,
+        graph_after: &LabeledGraph,
+        table: &SymbolTable,
+    ) -> Result<()> {
+        self.wal.append(version, batch, table)?;
+        self.since_checkpoint += 1;
+        if self.config.checkpoint_every > 0 && self.since_checkpoint >= self.config.checkpoint_every
+        {
+            self.checkpoint_now(version, graph_after, table)?;
+        }
+        Ok(())
+    }
+
+    /// Force a checkpoint of `graph` at `version`.
+    pub fn checkpoint_now(
+        &mut self,
+        version: u64,
+        graph: &LabeledGraph,
+        table: &SymbolTable,
+    ) -> Result<()> {
+        write_checkpoint(&self.dir, version, graph, table)?;
+        self.since_checkpoint = 0;
+        Ok(())
+    }
+}
+
+/// What [`recover`] reconstructed.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Graph state at `checkpoint_version` (before tail replay).
+    pub graph: LabeledGraph,
+    /// Version of the checkpoint recovery started from.
+    pub checkpoint_version: u64,
+    /// Head version after replaying the tail.
+    pub head_version: u64,
+    /// Tail batches, `(version, batch)` in order; applying them to
+    /// `graph` reconstructs every version up to `head_version`.
+    pub tail: Vec<(u64, UpdateBatch)>,
+    /// Whether the log ended in a torn record (crash artifact).
+    pub torn_tail: bool,
+    /// Checkpoints that failed to read and were skipped in favor of an
+    /// older one.
+    pub skipped_checkpoints: usize,
+}
+
+/// Rebuild graph state from `dir`: newest readable checkpoint plus the
+/// WAL tail past its version. Label names are interned into `table`.
+pub fn recover(dir: &Path, table: &mut SymbolTable) -> Result<Recovered> {
+    let checkpoints = list_checkpoints(dir)?;
+    if checkpoints.is_empty() {
+        return Err(DurableError::NoCheckpoint {
+            dir: dir.display().to_string(),
+        });
+    }
+    let mut skipped = 0usize;
+    let mut chosen = None;
+    let mut last_err = None;
+    for (_, path) in &checkpoints {
+        match read_checkpoint(path) {
+            Ok(ckpt) => {
+                chosen = Some(ckpt);
+                break;
+            }
+            Err(e) => {
+                skipped += 1;
+                last_err = Some(e);
+            }
+        }
+    }
+    let ckpt = match chosen {
+        Some(c) => c,
+        None => return Err(last_err.expect("at least one checkpoint was tried")),
+    };
+    let graph = ckpt.to_graph(table);
+    let replayed = replay(dir, ckpt.version)?;
+    let mut head = ckpt.version;
+    let mut tail = Vec::with_capacity(replayed.records.len());
+    for rec in &replayed.records {
+        tail.push((rec.version, rec.to_batch(table)));
+        head = rec.version;
+    }
+    let m = metrics_global();
+    m.counter("spbla_wal_recoveries_total").inc(1);
+    m.counter("spbla_wal_replayed_records_total")
+        .inc(tail.len() as u64);
+    if replayed.torn_tail {
+        m.counter("spbla_wal_torn_tails_total").inc(1);
+    }
+    Ok(Recovered {
+        graph,
+        checkpoint_version: ckpt.version,
+        head_version: head,
+        tail,
+        torn_tail: replayed.torn_tail,
+        skipped_checkpoints: skipped,
+    })
+}
+
+/// Summary of a completed engine recovery.
+#[derive(Debug)]
+pub struct EngineRecovery {
+    /// Version of the checkpoint the graph was restored from.
+    pub checkpoint_version: u64,
+    /// Version after tail replay — the engine's live version.
+    pub head_version: u64,
+    /// Tail batches replayed through the engine's update path.
+    pub replayed: usize,
+    /// Whether the log ended in a torn record.
+    pub torn_tail: bool,
+}
+
+/// Restore graph `name` into `engine` from the durability directory:
+/// register the checkpointed state at its version, then replay the WAL
+/// tail through the engine's normal update path, so the recovered
+/// process resumes the exact pre-crash version sequence.
+pub fn recover_into_engine(
+    engine: &spbla_engine::Engine,
+    name: &str,
+    dir: &Path,
+) -> Result<EngineRecovery> {
+    let rec = engine.with_symbols(|table| recover(dir, table))?;
+    engine.add_graph_at_version(name, rec.graph, rec.checkpoint_version);
+    let replayed = rec.tail.len();
+    for (version, batch) in rec.tail {
+        let produced = engine.apply_batch(name, batch)?;
+        if produced != version {
+            return Err(DurableError::Corrupt {
+                path: dir.display().to_string(),
+                offset: 0,
+                reason: format!("replay produced version {produced}, log recorded {version}"),
+            });
+        }
+    }
+    Ok(EngineRecovery {
+        checkpoint_version: rec.checkpoint_version,
+        head_version: rec.head_version,
+        replayed,
+        torn_tail: rec.torn_tail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("spbla-durlog-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn edges_sorted(g: &LabeledGraph, table: &SymbolTable, name: &str) -> Vec<(u32, u32)> {
+        let mut v = table
+            .get(name)
+            .map(|s| g.edges_of(s).to_vec())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn recover_replays_checkpoint_plus_tail() {
+        let dir = tmpdir("tail");
+        let mut table = SymbolTable::new();
+        let a = table.intern("a");
+        let mut graph = LabeledGraph::from_triples(16, [(0, a, 1)]);
+        let cfg = DurabilityConfig {
+            segment_bytes: 256,
+            checkpoint_every: 3, // checkpoint mid-history
+        };
+        let mut log = DurableLog::open(&dir, cfg, &graph, 0, &table).unwrap();
+        for k in 0..5u32 {
+            let mut batch = UpdateBatch::new();
+            batch.insert(k + 1, a, k + 2);
+            batch.apply_to(&mut graph);
+            log.append(u64::from(k) + 1, &batch, &graph, &table)
+                .unwrap();
+        }
+        let mut fresh = SymbolTable::new();
+        let rec = recover(&dir, &mut fresh).unwrap();
+        assert_eq!(rec.checkpoint_version, 3);
+        assert_eq!(rec.head_version, 5);
+        assert_eq!(rec.tail.len(), 2);
+        assert!(!rec.torn_tail);
+        assert_eq!(rec.skipped_checkpoints, 0);
+        let mut rebuilt = rec.graph;
+        for (_, batch) in &rec.tail {
+            batch.apply_to(&mut rebuilt);
+        }
+        assert_eq!(
+            edges_sorted(&rebuilt, &fresh, "a"),
+            edges_sorted(&graph, &table, "a")
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_newest_checkpoint_falls_back_to_older() {
+        let dir = tmpdir("fallback");
+        let mut table = SymbolTable::new();
+        let a = table.intern("a");
+        let mut graph = LabeledGraph::from_triples(8, [(0, a, 1)]);
+        let cfg = DurabilityConfig {
+            segment_bytes: 1 << 20,
+            checkpoint_every: 2,
+        };
+        let mut log = DurableLog::open(&dir, cfg, &graph, 0, &table).unwrap();
+        for k in 0..4u32 {
+            let mut batch = UpdateBatch::new();
+            batch.insert(k + 1, a, (k + 2) % 8);
+            batch.apply_to(&mut graph);
+            log.append(u64::from(k) + 1, &batch, &graph, &table)
+                .unwrap();
+        }
+        // Corrupt the newest checkpoint (version 4): recovery starts
+        // from version 2 and replays a longer tail instead.
+        let (newest, path) = list_checkpoints(&dir).unwrap().remove(0);
+        assert_eq!(newest, 4);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        let mut fresh = SymbolTable::new();
+        let rec = recover(&dir, &mut fresh).unwrap();
+        assert_eq!(rec.skipped_checkpoints, 1);
+        assert_eq!(rec.checkpoint_version, 2);
+        assert_eq!(rec.head_version, 4);
+        let mut rebuilt = rec.graph;
+        for (_, batch) in &rec.tail {
+            batch.apply_to(&mut rebuilt);
+        }
+        assert_eq!(
+            edges_sorted(&rebuilt, &fresh, "a"),
+            edges_sorted(&graph, &table, "a")
+        );
+        // Destroying every checkpoint is a typed error, not a panic.
+        for (_, path) in list_checkpoints(&dir).unwrap() {
+            fs::write(&path, b"garbage").unwrap();
+        }
+        assert!(matches!(
+            recover(&dir, &mut SymbolTable::new()),
+            Err(DurableError::Corrupt { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

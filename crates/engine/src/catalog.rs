@@ -193,6 +193,13 @@ impl Catalog {
     /// forgets the old history and drops any stale residency on every
     /// device.
     pub fn add(&self, name: &str, graph: LabeledGraph) {
+        self.add_at_version(name, graph, 0);
+    }
+
+    /// Register (or replace) a named graph whose history starts at
+    /// `version` — the recovery path, where a restored checkpoint
+    /// resumes version numbering where the previous process stopped.
+    pub fn add_at_version(&self, name: &str, graph: LabeledGraph, version: u64) {
         let replaced = self
             .host
             .lock()
@@ -200,8 +207,8 @@ impl Catalog {
             .insert(
                 name.to_string(),
                 VersionedHost {
-                    current: 0,
-                    versions: vec![(0, Arc::new(graph))],
+                    current: version,
+                    versions: vec![(version, Arc::new(graph))],
                     pins: FxHashMap::default(),
                 },
             )

@@ -41,12 +41,42 @@ use crate::catalog::Catalog;
 use crate::error::EngineError;
 use crate::planner::{Plan, PlanKind, Planner, FRONTIER_MAX_SOURCES};
 
+/// Admission tier of a request: where it bounces off the bounded queue
+/// and which rejection counter it lands in.
+///
+/// Interactive requests may fill the whole queue; batch requests are
+/// rejected once the queue passes
+/// [`EngineConfig::batch_admission_fraction`] of capacity, so a
+/// saturating batch workload cannot starve interactive admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QosTier {
+    /// Latency-sensitive tier: admitted up to full queue capacity.
+    Interactive,
+    /// Throughput tier: admitted only while the queue is below the
+    /// batch fraction of capacity.
+    Batch,
+}
+
+impl QosTier {
+    /// Stable lowercase name, used as the `tier` metric label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QosTier::Interactive => "interactive",
+            QosTier::Batch => "batch",
+        }
+    }
+}
+
 /// Engine construction knobs; the defaults serve, the flags ablate.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Bounded admission-queue capacity; a full queue rejects
     /// ([`EngineError::Overloaded`]) without blocking.
     pub queue_capacity: usize,
+    /// Fraction of `queue_capacity` open to [`QosTier::Batch`]
+    /// requests; the headroom above it is reserved for interactive
+    /// traffic. Clamped to at least one slot.
+    pub batch_admission_fraction: f64,
     /// Per-device catalog residency budget in bytes. `None` defaults to
     /// half the smallest device's memory capacity.
     pub residency_budget: Option<usize>,
@@ -62,6 +92,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             queue_capacity: 256,
+            batch_admission_fraction: 0.75,
             residency_budget: None,
             plan_cache: true,
             batching: true,
@@ -217,6 +248,8 @@ struct EngineMetrics {
     submitted: Counter,
     completed: Counter,
     rejected: Counter,
+    rejected_interactive: Counter,
+    rejected_batch: Counter,
     deadline_exceeded: Counter,
     cancelled: Counter,
     failed: Counter,
@@ -245,6 +278,14 @@ impl EngineMetrics {
             submitted: counter("spbla_engine_submitted_total"),
             completed: counter("spbla_engine_completed_total"),
             rejected: counter("spbla_engine_rejected_total"),
+            rejected_interactive: reg.counter(&labeled(
+                "spbla_engine_rejections_total",
+                &[("engine", id.as_str()), ("tier", "interactive")],
+            )),
+            rejected_batch: reg.counter(&labeled(
+                "spbla_engine_rejections_total",
+                &[("engine", id.as_str()), ("tier", "batch")],
+            )),
             deadline_exceeded: counter("spbla_engine_deadline_exceeded_total"),
             cancelled: counter("spbla_engine_cancelled_total"),
             failed: counter("spbla_engine_failed_total"),
@@ -284,6 +325,11 @@ pub struct EngineStats {
     pub completed: u64,
     /// Requests bounced by admission control ([`EngineError::Overloaded`]).
     pub rejected: u64,
+    /// Rejections of interactive-tier requests.
+    pub rejected_interactive: u64,
+    /// Rejections of batch-tier requests (fires earlier: the batch
+    /// tier's admission limit is a fraction of the queue).
+    pub rejected_batch: u64,
     /// Requests that missed their deadline.
     pub deadline_exceeded: u64,
     /// Requests cancelled by their ticket holder.
@@ -382,6 +428,20 @@ impl Engine {
         self.inner.catalog.add(name, graph);
     }
 
+    /// Register a graph whose version history starts at `version`
+    /// instead of 0 — the recovery path: a restored checkpoint resumes
+    /// numbering where the crashed process stopped, so replayed tail
+    /// batches reproduce the exact pre-crash version sequence.
+    pub fn add_graph_at_version(&self, name: &str, graph: LabeledGraph, version: u64) {
+        self.inner.catalog.add_at_version(name, graph, version);
+    }
+
+    /// The latest host-resident state of a registered graph (the
+    /// durability layer checkpoints from this).
+    pub fn host_graph(&self, name: &str) -> Result<Arc<LabeledGraph>, EngineError> {
+        self.inner.catalog.host_graph(name)
+    }
+
     /// Run `f` against the engine's symbol table (e.g. to pre-intern or
     /// resolve label names).
     pub fn with_symbols<R>(&self, f: impl FnOnce(&mut SymbolTable) -> R) -> R {
@@ -408,6 +468,19 @@ impl Engine {
         &self,
         graph: &str,
         query: Query,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, EngineError> {
+        self.submit_tiered(graph, query, QosTier::Interactive, deadline)
+    }
+
+    /// Submit under an explicit QoS tier: interactive requests may fill
+    /// the whole admission queue, batch requests bounce once the queue
+    /// passes [`EngineConfig::batch_admission_fraction`] of capacity.
+    pub fn submit_tiered(
+        &self,
+        graph: &str,
+        query: Query,
+        tier: QosTier,
         deadline: Option<Duration>,
     ) -> Result<Ticket, EngineError> {
         let inner = &self.inner;
@@ -477,12 +550,27 @@ impl Engine {
                 unpin(inner);
                 return Err(EngineError::ShuttingDown);
             }
-            if st.queue.len() >= inner.config.queue_capacity {
+            let capacity = inner.config.queue_capacity;
+            let limit = match tier {
+                QosTier::Interactive => capacity,
+                QosTier::Batch => ((capacity as f64
+                    * inner.config.batch_admission_fraction.clamp(0.0, 1.0))
+                    as usize)
+                    .max(1),
+            };
+            if st.queue.len() >= limit {
+                let depth = st.queue.len();
                 inner.metrics.rejected.inc(1);
+                match tier {
+                    QosTier::Interactive => inner.metrics.rejected_interactive.inc(1),
+                    QosTier::Batch => inner.metrics.rejected_batch.inc(1),
+                }
                 drop(st);
                 unpin(inner);
                 return Err(EngineError::Overloaded {
-                    capacity: inner.config.queue_capacity,
+                    depth,
+                    capacity: limit,
+                    tier,
                 });
             }
             st.queue.push_back(request);
@@ -522,6 +610,8 @@ impl Engine {
             submitted: m.submitted.get(),
             completed: m.completed.get(),
             rejected: m.rejected.get(),
+            rejected_interactive: m.rejected_interactive.get(),
+            rejected_batch: m.rejected_batch.get(),
             deadline_exceeded: m.deadline_exceeded.get(),
             cancelled: m.cancelled.get(),
             failed: m.failed.get(),
@@ -821,8 +911,14 @@ fn execute_coalesced(
 /// and core errors are `Clone`; the engine-level wrappers are rebuilt).
 fn clone_error(e: &EngineError) -> EngineError {
     match e {
-        EngineError::Overloaded { capacity } => EngineError::Overloaded {
+        EngineError::Overloaded {
+            depth,
+            capacity,
+            tier,
+        } => EngineError::Overloaded {
+            depth: *depth,
             capacity: *capacity,
+            tier: *tier,
         },
         EngineError::DeadlineExceeded {
             elapsed_ms,

@@ -4,14 +4,23 @@
 use spbla_core::SpblaError;
 use spbla_gpu_sim::DeviceError;
 
+use crate::engine::QosTier;
+
 /// Errors surfaced to engine clients.
 #[derive(Debug)]
 pub enum EngineError {
-    /// The bounded admission queue is full; the request was **not**
-    /// enqueued. Back off and resubmit — nothing blocks.
+    /// The bounded admission queue is full for the request's tier; the
+    /// request was **not** enqueued. Back off and resubmit — nothing
+    /// blocks.
     Overloaded {
-        /// Queue capacity the request bounced off.
+        /// Queue depth observed at rejection.
+        depth: usize,
+        /// Admission limit the request bounced off (the tier's
+        /// threshold, ≤ the configured queue capacity for batch
+        /// requests).
         capacity: usize,
+        /// QoS tier the request was submitted under.
+        tier: QosTier,
     },
     /// The request's deadline elapsed (in queue or mid-execution; a
     /// request stopped between kernel launches reports the launch-time
@@ -55,9 +64,15 @@ impl EngineError {
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            EngineError::Overloaded { capacity } => {
-                write!(f, "admission queue full (capacity {capacity})")
-            }
+            EngineError::Overloaded {
+                depth,
+                capacity,
+                tier,
+            } => write!(
+                f,
+                "admission queue full for {} tier (depth {depth} of {capacity})",
+                tier.as_str()
+            ),
             EngineError::DeadlineExceeded {
                 elapsed_ms,
                 budget_ms,

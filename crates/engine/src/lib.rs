@@ -48,7 +48,8 @@ pub mod planner;
 
 pub use catalog::{Catalog, Resident};
 pub use engine::{
-    Completed, Engine, EngineConfig, EngineStats, Query, QueryResult, RequestMetrics, Ticket,
+    Completed, Engine, EngineConfig, EngineStats, QosTier, Query, QueryResult, RequestMetrics,
+    Ticket,
 };
 pub use error::EngineError;
 pub use planner::{Plan, PlanKind, Planner};

@@ -80,6 +80,19 @@ impl<'g> Comm<'g> {
         Matrix::from_pairs(self.grid.instance(dst), dist.nrows(), dist.ncols(), &pairs)
     }
 
+    /// Meter an opaque payload leaving device `src` for a peer outside
+    /// this grid — the replica fan-out path, where the receiver lives
+    /// on its own [`DeviceGrid`] and only the sender-side logical d2d
+    /// traffic belongs to this grid's books (same convention as
+    /// [`Comm::peer_copy`]).
+    pub fn send_bytes(&self, src: usize, bytes: u64) {
+        let mut span = trace_global().span("fanout", "comm", self.grid.device(src).ordinal());
+        if let Some(span) = span.as_mut() {
+            span.arg("bytes", bytes);
+        }
+        self.grid.device(src).count_d2d(bytes);
+    }
+
     /// Merge-reduce: Boolean-sum same-shaped partial results living on
     /// the listed devices down to one matrix on `root`. Each non-root
     /// partial is metered from its owner as it moves.

@@ -174,6 +174,37 @@ impl RpqView {
     pub fn checksum(&self) -> u64 {
         crate::checksum_pairs(&self.pairs())
     }
+
+    /// Vertices reachable from `source` under the query, at the
+    /// maintained version — semantics identical to re-running the
+    /// single-source query from scratch.
+    ///
+    /// This is the streaming re-evaluation path: the insert/delete
+    /// frontier seeded from the changed edges already repaired the
+    /// product closure in [`RpqView::apply`], so answering is a
+    /// host-side row extraction over the maintained closure — zero
+    /// kernel launches, versus the full fixpoint a fresh re-query pays.
+    pub fn reachable_from(&self, source: u32) -> Vec<u32> {
+        let n = self.n;
+        if source >= n {
+            return Vec::new();
+        }
+        let closure = self.view.closure().gather();
+        let mut out: Vec<u32> = Vec::new();
+        for &q0 in &self.starts {
+            let row = q0 * n + source;
+            for &col in closure.row(row) {
+                for &qf in &self.finals {
+                    if col >= qf * n && col < qf * n + n {
+                        out.push(col - qf * n);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +328,33 @@ mod tests {
             view.pairs(),
             oracle(&applied.snapshot.to_labeled_graph(), &nfa)
         );
+    }
+
+    #[test]
+    fn reachable_from_agrees_with_pairs() {
+        let grid = grid(2);
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        let g = LabeledGraph::from_triples(5, [(0, a, 1), (1, b, 2), (2, b, 3), (1, a, 4)]);
+        let regex = Regex::parse("a . b*", &mut t).unwrap();
+        let nfa = glushkov(&regex);
+        let store = VersionedGraph::new(&grid, &g).unwrap();
+        let mut view = RpqView::new(&grid, &nfa, &store.pin(), MaintainConfig::default()).unwrap();
+        let prev = store.pin();
+        let mut batch = UpdateBatch::new();
+        batch.insert(3, b, 0).delete(1, a, 4);
+        let applied = store.apply(&batch).unwrap();
+        view.apply(&prev, &applied).unwrap();
+        let pairs = view.pairs();
+        for source in 0..6 {
+            let want: Vec<u32> = pairs
+                .iter()
+                .filter(|&&(u, _)| u == source)
+                .map(|&(_, v)| v)
+                .collect();
+            assert_eq!(view.reachable_from(source), want, "source {source}");
+        }
     }
 
     #[test]

@@ -207,8 +207,14 @@ fn overload_rejects_cleanly() {
             },
         ) {
             Ok(t) => accepted.push(t),
-            Err(EngineError::Overloaded { capacity }) => {
+            Err(EngineError::Overloaded {
+                depth,
+                capacity,
+                tier,
+            }) => {
                 assert_eq!(capacity, 2);
+                assert_eq!(depth, 2);
+                assert_eq!(tier, spbla_engine::QosTier::Interactive);
                 rejected += 1;
             }
             Err(other) => panic!("unexpected rejection: {other}"),

@@ -1,0 +1,98 @@
+//! k²-tree codec edge cases. The codec is the checkpoint serialization
+//! format of the durability layer, so the round-trip
+//! `CsrBool → K2Tree → bytes → K2Tree → CsrBool` must be exact on the
+//! shapes real label matrices take: empty, fully dense within one tile,
+//! dimensions off every power-of-two and multiple-of-64 boundary, and
+//! arbitrary random sparsity.
+
+use proptest::prelude::*;
+
+use spbla_core::{CsrBool, K2Tree};
+use spbla_integration::pseudo_pairs;
+
+/// Full round-trip through the tree and its byte form; returns the
+/// final CSR for comparison.
+fn round_trip(m: &CsrBool) -> CsrBool {
+    let tree = K2Tree::from_csr(m);
+    assert_eq!(tree.nnz(), m.nnz());
+    let bytes = tree.to_bytes();
+    let back = K2Tree::from_bytes(&bytes).expect("encoded tree decodes");
+    assert_eq!(back.nnz(), tree.nnz());
+    back.to_csr()
+}
+
+fn assert_identical(a: &CsrBool, b: &CsrBool) {
+    assert_eq!(a.shape(), b.shape());
+    assert_eq!(a.to_pairs(), b.to_pairs());
+}
+
+#[test]
+fn empty_label_matrix_round_trips() {
+    for (r, c) in [(1, 1), (10, 10), (64, 64), (70, 3), (1000, 1)] {
+        let m = CsrBool::zeros(r, c);
+        let got = round_trip(&m);
+        assert_identical(&m, &got);
+        assert_eq!(got.nnz(), 0);
+    }
+}
+
+#[test]
+fn single_fully_dense_tile_round_trips() {
+    // A fully dense 64×64 tile: every leaf of the k²-tree is set, the
+    // worst case for the bitmap levels and the exact shape a saturated
+    // closure block takes.
+    let pairs: Vec<(u32, u32)> = (0..64u32)
+        .flat_map(|r| (0..64u32).map(move |c| (r, c)))
+        .collect();
+    let m = CsrBool::from_pairs(64, 64, &pairs).unwrap();
+    let got = round_trip(&m);
+    assert_identical(&m, &got);
+    assert_eq!(got.nnz(), 64 * 64);
+    // The same tile embedded off-origin in a larger matrix.
+    let shifted: Vec<(u32, u32)> = pairs.iter().map(|&(r, c)| (r + 5, c + 33)).collect();
+    let m = CsrBool::from_pairs(100, 100, &shifted).unwrap();
+    assert_identical(&m, &round_trip(&m));
+}
+
+#[test]
+fn non_multiple_of_64_dimensions_round_trip() {
+    for (r, c) in [(63, 63), (65, 65), (70, 70), (127, 129), (3, 191), (65, 1)] {
+        let nnz = (r as usize * c as usize / 7).clamp(1, 300);
+        let pairs = pseudo_pairs_rect(r, c, nnz, u64::from(r) * 1000 + u64::from(c));
+        let m = CsrBool::from_pairs(r, c, &pairs).unwrap();
+        assert_identical(&m, &round_trip(&m));
+        // Boundary occupancy: the far corner cell is representable.
+        let corner = CsrBool::from_pairs(r, c, &[(r - 1, c - 1), (0, 0)]).unwrap();
+        assert_identical(&corner, &round_trip(&corner));
+    }
+}
+
+/// Rectangular variant of the shared square-generator helper.
+fn pseudo_pairs_rect(rows: u32, cols: u32, nnz: usize, seed: u64) -> Vec<(u32, u32)> {
+    let side = rows.max(cols);
+    pseudo_pairs(side, nnz * 2, seed)
+        .into_iter()
+        .filter(|&(r, c)| r < rows && c < cols)
+        .take(nnz)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random shapes and densities: `from_csr`/`to_csr` (through the
+    /// byte codec) is the identity on canonical CSR.
+    #[test]
+    fn csr_round_trip_is_identity(
+        rows in 1u32..200,
+        cols in 1u32..200,
+        nnz in 0usize..400,
+        seed in 0u64..1024,
+    ) {
+        let pairs = pseudo_pairs_rect(rows, cols, nnz, seed);
+        let m = CsrBool::from_pairs(rows, cols, &pairs).unwrap();
+        let got = round_trip(&m);
+        prop_assert_eq!(m.shape(), got.shape());
+        prop_assert_eq!(m.to_pairs(), got.to_pairs());
+    }
+}

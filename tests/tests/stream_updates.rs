@@ -195,6 +195,79 @@ fn dred_delete_path_is_exercised_and_agrees() {
     }
 }
 
+/// Satellite gate (ROADMAP item 1 remainder): re-answering a
+/// single-source RPQ after a small update through the maintained view
+/// — frontier seeded from the changed edges, answers extracted
+/// host-side — must launch strictly fewer kernels than re-running the
+/// full query from scratch, while agreeing answer-for-answer.
+#[test]
+fn seed_frontier_reanswer_launches_less_than_full_requery() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let mut table = SymbolTable::new();
+    let a = table.intern("a");
+    let b = table.intern("b");
+    let labels = [a, b];
+    let n = 14;
+    let mut graph = LabeledGraph::new(n);
+    for _ in 0..26 {
+        let label = labels[rng.gen_range(0usize..2)];
+        graph.add_edge(rng.gen_range(0..n), label, rng.gen_range(0..n));
+    }
+    let regex = Regex::parse("a . b*", &mut table).unwrap();
+    let nfa = glushkov(&regex);
+
+    // Maintained path: build once, then absorb one small batch and
+    // re-answer every source.
+    let grid = DeviceGrid::new(1);
+    let mut stream = GraphStream::new(&grid, &graph).expect("store builds");
+    stream
+        .track_rpq(
+            "q",
+            &nfa,
+            MaintainConfig {
+                mode: MaintainMode::Incremental,
+                fallback_fraction: 10.0,
+            },
+        )
+        .expect("rpq view builds");
+    let mut batch = UpdateBatch::new();
+    batch.insert(rng.gen_range(0..n), a, rng.gen_range(0..n));
+    let before = grid.total_stats().launches;
+    stream.apply(batch.clone()).expect("batch applies");
+    let view = stream.rpq_view("q").expect("tracked");
+    let answers: Vec<Vec<u32>> = (0..n).map(|s| view.reachable_from(s)).collect();
+    let incremental_launches = grid.total_stats().launches - before;
+
+    // Full re-query at the same version, on a fresh device.
+    let mut mirror = graph.clone();
+    batch.apply_to(&mut mirror);
+    let grid2 = DeviceGrid::new(1);
+    let before2 = grid2.total_stats().launches;
+    let index = spbla_graph::RpqIndex::build_from_nfa(
+        &mirror,
+        &nfa,
+        grid2.instance(0),
+        &spbla_graph::RpqOptions::default(),
+    )
+    .expect("full re-query builds");
+    let full_pairs = index.reachable_pairs().expect("pairs extract");
+    let full_launches = grid2.total_stats().launches - before2;
+
+    for (source, got) in answers.iter().enumerate() {
+        let want: Vec<u32> = full_pairs
+            .iter()
+            .filter(|&&(u, _)| u == source as u32)
+            .map(|&(_, v)| v)
+            .collect();
+        assert_eq!(got, &want, "source {source}");
+    }
+    assert!(
+        incremental_launches < full_launches,
+        "seed-frontier re-answer must beat the full re-query: \
+         {incremental_launches} vs {full_launches} launches"
+    );
+}
+
 #[test]
 fn lubm_stream_matches_recompute_at_every_version() {
     let mut table = SymbolTable::new();
