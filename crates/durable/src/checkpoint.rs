@@ -19,9 +19,11 @@
 //!                           u32 LE blob len, K2Tree::to_bytes blob }
 //! ```
 //!
-//! Writes go through a temp file and an atomic rename, so a crash
-//! mid-checkpoint leaves either the complete new file or none at all —
-//! never a half-written checkpoint under the canonical name.
+//! Writes go through a temp file, an fsync, an atomic rename, and a
+//! directory fsync — in that order, so the data is durable before the
+//! name is. A crash mid-checkpoint leaves either the complete new file
+//! or none at all — never a half-written checkpoint under the
+//! canonical name.
 
 use std::fs::{self, File};
 use std::io::{Read, Write};
@@ -33,7 +35,7 @@ use spbla_lang::SymbolTable;
 use spbla_obs::metrics_global;
 
 use crate::error::{DurableError, Result};
-use crate::wal::fnv1a;
+use crate::wal::{fnv1a, sync_dir};
 
 /// Current checkpoint format version.
 pub const FORMAT_VERSION: u32 = 1;
@@ -115,17 +117,26 @@ pub fn write_checkpoint(
     graph: &LabeledGraph,
     table: &SymbolTable,
 ) -> Result<PathBuf> {
+    let fits = |what: &'static str, len: usize, max: usize| -> Result<()> {
+        if len > max {
+            return Err(DurableError::TooLarge { what, len, max });
+        }
+        Ok(())
+    };
     fs::create_dir_all(dir).map_err(|e| io_err(dir, "create_dir", e))?;
     let mut payload = Vec::new();
     payload.extend_from_slice(&version.to_le_bytes());
     payload.extend_from_slice(&graph.n_vertices().to_le_bytes());
     let labels = graph.labels();
+    fits("label count", labels.len(), u32::MAX as usize)?;
     payload.extend_from_slice(&(labels.len() as u32).to_le_bytes());
     for &label in &labels {
         let name = table.name(label).as_bytes();
+        fits("label name", name.len(), u16::MAX as usize)?;
         payload.extend_from_slice(&(name.len() as u16).to_le_bytes());
         payload.extend_from_slice(name);
         let blob = K2Tree::from_csr(&graph.label_csr(label)).to_bytes();
+        fits("k²-tree blob", blob.len(), u32::MAX as usize)?;
         payload.extend_from_slice(&(blob.len() as u32).to_le_bytes());
         payload.extend_from_slice(&blob);
     }
@@ -143,9 +154,13 @@ pub fn write_checkpoint(
             .map_err(|e| io_err(&tmp, "write", e))?;
         file.write_all(&payload)
             .map_err(|e| io_err(&tmp, "write", e))?;
-        file.flush().map_err(|e| io_err(&tmp, "flush", e))?;
+        // The data must be durable before the rename can be: otherwise
+        // the canonical name could survive a power loss pointing at a
+        // file whose contents never hit the disk.
+        file.sync_all().map_err(|e| io_err(&tmp, "sync", e))?;
     }
     fs::rename(&tmp, &path).map_err(|e| io_err(&path, "rename", e))?;
+    sync_dir(dir)?;
     let m = metrics_global();
     m.counter("spbla_wal_checkpoints_total").inc(1);
     m.counter("spbla_wal_checkpoint_bytes_total")

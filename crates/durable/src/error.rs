@@ -38,6 +38,16 @@ pub enum DurableError {
         /// The directory that was scanned.
         dir: String,
     },
+    /// A value is wider than its on-disk field, so encoding it would
+    /// silently truncate; the record is refused instead.
+    TooLarge {
+        /// What was being encoded (`"label name"`, `"batch ops"`, …).
+        what: &'static str,
+        /// Actual size of the value.
+        len: usize,
+        /// Maximum the format's field width can represent.
+        max: usize,
+    },
     /// Replaying the recovered tail into the engine failed.
     Engine(EngineError),
     /// A kernel-level operation failed during recovery or replication.
@@ -60,6 +70,9 @@ impl std::fmt::Display for DurableError {
             ),
             DurableError::NoCheckpoint { dir } => {
                 write!(f, "no readable checkpoint under {dir}")
+            }
+            DurableError::TooLarge { what, len, max } => {
+                write!(f, "cannot encode {what} of size {len}: format limit is {max}")
             }
             DurableError::Engine(e) => write!(f, "engine replay failed: {e}"),
             DurableError::Exec(e) => write!(f, "execution failed: {e}"),

@@ -43,8 +43,11 @@ const FANOUT_BYTES_PER_OP: u64 = 13;
 
 struct Replica {
     store: VersionedGraph,
-    /// Number of log entries this replica has applied.
-    applied: AtomicUsize,
+    /// Number of log entries this replica has applied. A mutex, not an
+    /// atomic: holding it across the whole catch-up loop serializes
+    /// application per replica, so concurrent `apply`/`sync` callers
+    /// cannot both claim the same log index and apply a batch twice.
+    applied: Mutex<usize>,
 }
 
 /// One answer from a routed read.
@@ -81,7 +84,7 @@ impl ReplicaSet {
                 let grid = DeviceGrid::new(devices_per_replica.max(1));
                 Ok(Replica {
                     store: VersionedGraph::new(&grid, graph)?,
-                    applied: AtomicUsize::new(0),
+                    applied: Mutex::new(0),
                 })
             })
             .collect::<Result<Vec<_>>>()?;
@@ -118,9 +121,9 @@ impl ReplicaSet {
 
     fn sync_one(&self, r: usize, log: &[UpdateBatch]) -> Result<u64> {
         let replica = &self.replicas[r];
-        let mut at = replica.applied.load(Ordering::Acquire);
-        while at < log.len() {
-            let batch = &log[at];
+        let mut at = replica.applied.lock().unwrap();
+        while *at < log.len() {
+            let batch = &log[*at];
             if r != 0 {
                 // Follower delivery: meter the batch leaving the
                 // primary's device 0 for a peer grid.
@@ -134,10 +137,10 @@ impl ReplicaSet {
                     .inc(Self::wire_bytes(batch));
             }
             replica.store.apply(batch)?;
-            at += 1;
-            replica.applied.store(at, Ordering::Release);
+            *at += 1;
         }
         let version = replica.store.version();
+        drop(at);
         metrics_global()
             .gauge(&labeled(
                 "spbla_replica_applied_version",

@@ -4,16 +4,18 @@
 //!
 //! ## Recovery invariants
 //!
-//! 1. Every applied batch is on disk (appended and flushed) before the
+//! 1. Every applied batch is on disk (appended and fsynced) before the
 //!    caller learns the apply succeeded, so recovery never loses an
-//!    acknowledged version.
+//!    acknowledged version — across process *and* machine crashes.
 //! 2. Recovery = newest readable checkpoint + replay of WAL records
-//!    with `version > checkpoint.version`. Because the log is never
-//!    truncated, *any* surviving checkpoint is a valid starting point —
-//!    a damaged newest checkpoint falls back to an older one and
-//!    replays a longer tail.
+//!    with `version > checkpoint.version`. Because the log's committed
+//!    prefix is never discarded, *any* surviving checkpoint is a valid
+//!    starting point — a damaged newest checkpoint falls back to an
+//!    older one and replays a longer tail.
 //! 3. A torn record at the very tail of the last segment is the
-//!    expected crash artifact and ends replay cleanly; every other
+//!    expected crash artifact: replay ends cleanly there, and
+//!    re-opening the log trims the tear back to the last intact record
+//!    boundary so post-restart appends stay replayable. Every other
 //!    malformation surfaces as [`DurableError::Corrupt`] before any
 //!    state is handed to the caller.
 

@@ -36,12 +36,15 @@
 //!
 //! ## Crash semantics
 //!
-//! Appends write the full record then flush, so after a crash the only
-//! possible damage is a torn record at the tail of the *last* segment.
-//! [`replay`] treats exactly that case as a clean end-of-log (reporting
-//! `torn_tail = true`); a short record anywhere else, a checksum
-//! mismatch, a bad header, or a version gap is a typed
-//! [`DurableError::Corrupt`].
+//! Appends write the full record then fsync (`sync_data`), so after a
+//! crash — process *or* machine — the only possible damage is a torn
+//! record at the tail of the *last* segment. [`replay`] treats exactly
+//! that case as a clean end-of-log (reporting `torn_tail = true`), and
+//! [`Wal::open`] trims the torn bytes back to the last intact record
+//! boundary before appending, so post-restart records never land
+//! behind garbage that a later replay would stop at. A short record
+//! anywhere else, a checksum mismatch, a bad header, or a version gap
+//! is a typed [`DurableError::Corrupt`].
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
@@ -87,15 +90,35 @@ fn corrupt(path: &Path, offset: u64, reason: impl Into<String>) -> DurableError 
     }
 }
 
-/// Encode one batch payload. `resolve` maps a [`spbla_lang::Symbol`]
-/// to its name; the encoder builds the per-record label dictionary.
-pub fn encode_record(version: u64, batch: &UpdateBatch, table: &SymbolTable) -> Vec<u8> {
+fn fits(what: &'static str, len: usize, max: usize) -> Result<()> {
+    if len > max {
+        return Err(DurableError::TooLarge { what, len, max });
+    }
+    Ok(())
+}
+
+/// Fsync a directory so renames / new files under it survive power
+/// loss, not just process death.
+pub(crate) fn sync_dir(dir: &Path) -> Result<()> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| io_err(dir, "sync_dir", e))
+}
+
+/// Encode one batch payload. `table` maps a [`spbla_lang::Symbol`] to
+/// its name; the encoder builds the per-record label dictionary. A
+/// value wider than its on-disk field is a typed
+/// [`DurableError::TooLarge`], never a silent truncation.
+pub fn encode_record(version: u64, batch: &UpdateBatch, table: &SymbolTable) -> Result<Vec<u8>> {
     let labels = batch.labels();
+    fits("label dictionary", labels.len(), u16::MAX as usize)?;
+    fits("batch ops", batch.len(), u32::MAX as usize)?;
     let mut out = Vec::with_capacity(16 + labels.len() * 8 + batch.len() * 11);
     out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&(labels.len() as u16).to_le_bytes());
     for &l in &labels {
         let name = table.name(l).as_bytes();
+        fits("label name", name.len(), u16::MAX as usize)?;
         out.extend_from_slice(&(name.len() as u16).to_le_bytes());
         out.extend_from_slice(name);
     }
@@ -111,7 +134,7 @@ pub fn encode_record(version: u64, batch: &UpdateBatch, table: &SymbolTable) -> 
         out.extend_from_slice(&u.to_le_bytes());
         out.extend_from_slice(&v.to_le_bytes());
     }
-    out
+    Ok(out)
 }
 
 /// A batch decoded from the log, with labels still as names; call
@@ -209,6 +232,80 @@ fn segment_name(seq: u64) -> String {
     format!("wal-{seq:08}.seg")
 }
 
+fn segment_seq(path: &Path) -> Option<u64> {
+    path.file_name()?
+        .to_str()?
+        .strip_prefix("wal-")?
+        .strip_suffix(".seg")?
+        .parse()
+        .ok()
+}
+
+/// The intact portion of one segment, from a checksum-verified record
+/// walk — the single framing authority shared by [`replay`] (which
+/// decodes the payloads) and [`Wal::open`] (which trims the file back
+/// to `valid_len`).
+struct SegmentWalk {
+    /// `(record offset, payload range)` of each intact record, in order.
+    payloads: Vec<(u64, std::ops::Range<usize>)>,
+    /// Byte offset one past the last intact record (`HEADER_LEN` when
+    /// the segment holds none).
+    valid_len: usize,
+    /// Whether bytes past `valid_len` form a torn (incomplete) record.
+    torn: bool,
+}
+
+/// Walk one segment's bytes. `Ok(None)` means the file is shorter than
+/// a header but is a prefix of a valid one — the artifact of a crash
+/// mid-rotation; it holds no records. Bad magic, an unsupported format,
+/// or a record checksum mismatch is [`DurableError::Corrupt`]; whether
+/// a torn tail is acceptable is the *caller's* call (it depends on the
+/// segment being last).
+fn walk_segment(path: &Path, bytes: &[u8]) -> Result<Option<SegmentWalk>> {
+    if bytes.len() < HEADER_LEN {
+        if MAGIC.starts_with(&bytes[..bytes.len().min(8)]) {
+            return Ok(None);
+        }
+        return Err(corrupt(path, 0, "segment shorter than header"));
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(corrupt(path, 0, "bad magic"));
+    }
+    let format = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if format != FORMAT_VERSION {
+        return Err(corrupt(path, 8, format!("unsupported format {format}")));
+    }
+    let mut payloads = Vec::new();
+    let mut at = HEADER_LEN;
+    let mut torn = false;
+    while at < bytes.len() {
+        let header_end = at + RECORD_HEADER_LEN;
+        if header_end > bytes.len() {
+            torn = true;
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        let checksum = u64::from_le_bytes(bytes[at + 4..header_end].try_into().unwrap());
+        let payload_end = match header_end.checked_add(len) {
+            Some(end) if end <= bytes.len() => end,
+            _ => {
+                torn = true;
+                break;
+            }
+        };
+        if fnv1a(&bytes[header_end..payload_end]) != checksum {
+            return Err(corrupt(path, at as u64, "record checksum mismatch"));
+        }
+        payloads.push((at as u64, header_end..payload_end));
+        at = payload_end;
+    }
+    Ok(Some(SegmentWalk {
+        payloads,
+        valid_len: at,
+        torn,
+    }))
+}
+
 /// List segment files in a log directory, sorted by sequence number.
 pub fn list_segments(dir: &Path) -> Result<Vec<PathBuf>> {
     let mut segs = Vec::new();
@@ -255,55 +352,26 @@ pub fn replay(dir: &Path, after_version: u64) -> Result<Replayed> {
         File::open(seg)
             .and_then(|mut f| f.read_to_end(&mut bytes))
             .map_err(|e| io_err(seg, "read", e))?;
-        if bytes.len() < HEADER_LEN {
-            // A crash during rotation can leave a partially written
-            // header at the tail of the final segment; that is a clean
-            // torn tail, not corruption. Anywhere else it is.
-            if last_segment && MAGIC.starts_with(&bytes[..bytes.len().min(8)]) {
-                out.torn_tail = true;
-                return Ok(out);
-            }
-            return Err(corrupt(seg, 0, "segment shorter than header"));
-        }
-        if &bytes[..8] != MAGIC {
-            return Err(corrupt(seg, 0, "bad magic"));
-        }
-        let format = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-        if format != FORMAT_VERSION {
-            return Err(corrupt(seg, 8, format!("unsupported format {format}")));
-        }
-        let mut at = HEADER_LEN;
-        while at < bytes.len() {
-            let header_end = at + RECORD_HEADER_LEN;
-            if header_end > bytes.len() {
+        let walk = match walk_segment(seg, &bytes)? {
+            Some(walk) => walk,
+            None => {
+                // A crash during rotation can leave a partially written
+                // header at the tail of the final segment; that is a
+                // clean torn tail, not corruption. Anywhere else it is.
                 if last_segment {
                     out.torn_tail = true;
                     return Ok(out);
                 }
-                return Err(corrupt(seg, at as u64, "torn record header mid-log"));
+                return Err(corrupt(seg, 0, "segment shorter than header"));
             }
-            let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
-            let checksum = u64::from_le_bytes(bytes[at + 4..header_end].try_into().unwrap());
-            let payload_end = match header_end.checked_add(len) {
-                Some(end) if end <= bytes.len() => end,
-                _ => {
-                    if last_segment {
-                        out.torn_tail = true;
-                        return Ok(out);
-                    }
-                    return Err(corrupt(seg, at as u64, "torn record payload mid-log"));
-                }
-            };
-            let payload = &bytes[header_end..payload_end];
-            if fnv1a(payload) != checksum {
-                return Err(corrupt(seg, at as u64, "record checksum mismatch"));
-            }
-            let record = decode_payload(seg, at as u64, payload)?;
+        };
+        for (offset, range) in &walk.payloads {
+            let record = decode_payload(seg, *offset, &bytes[range.clone()])?;
             if let Some(e) = expect {
                 if record.version != e {
                     return Err(corrupt(
                         seg,
-                        at as u64,
+                        *offset,
                         format!("version gap: expected {e}, found {}", record.version),
                     ));
                 }
@@ -312,7 +380,13 @@ pub fn replay(dir: &Path, after_version: u64) -> Result<Replayed> {
             if record.version > after_version {
                 out.records.push(record);
             }
-            at = payload_end;
+        }
+        if walk.torn {
+            if last_segment {
+                out.torn_tail = true;
+                return Ok(out);
+            }
+            return Err(corrupt(seg, walk.valid_len as u64, "torn record mid-log"));
         }
     }
     Ok(out)
@@ -330,18 +404,54 @@ pub struct Wal {
 impl Wal {
     /// Open (or create) the log under `dir`, appending to the newest
     /// existing segment. `segment_bytes` is the rotation threshold.
+    ///
+    /// The newest segment gets the same checksum-verified record walk
+    /// replay uses: a torn record at its tail (the crash artifact) is
+    /// trimmed off with `set_len` so new appends land at the last
+    /// intact boundary — never after garbage that would make a later
+    /// replay stop early and silently drop acknowledged post-restart
+    /// records. A segment whose *header* is torn (crash mid-rotation)
+    /// holds no records and is removed. Any other damage is a typed
+    /// [`DurableError::Corrupt`].
     pub fn open(dir: &Path, segment_bytes: usize) -> Result<Wal> {
         fs::create_dir_all(dir).map_err(|e| io_err(dir, "create_dir", e))?;
         let segs = list_segments(dir)?;
-        let next_seq = segs.len() as u64;
+        // One past the highest existing sequence number — never a file
+        // recount, which after pruning would re-derive a live segment's
+        // name and truncate committed records.
+        let next_seq = segs
+            .iter()
+            .filter_map(|p| segment_seq(p))
+            .max()
+            .map_or(0, |s| s + 1);
         let active = match segs.last() {
             Some(path) => {
-                let file = OpenOptions::new()
-                    .append(true)
-                    .open(path)
-                    .map_err(|e| io_err(path, "open", e))?;
-                let len = file.metadata().map_err(|e| io_err(path, "stat", e))?.len() as usize;
-                Some((path.clone(), file, len))
+                let mut bytes = Vec::new();
+                File::open(path)
+                    .and_then(|mut f| f.read_to_end(&mut bytes))
+                    .map_err(|e| io_err(path, "read", e))?;
+                match walk_segment(path, &bytes)? {
+                    None => {
+                        fs::remove_file(path).map_err(|e| io_err(path, "remove", e))?;
+                        sync_dir(dir)?;
+                        None
+                    }
+                    Some(walk) => {
+                        let file = OpenOptions::new()
+                            .append(true)
+                            .open(path)
+                            .map_err(|e| io_err(path, "open", e))?;
+                        if walk.torn {
+                            file.set_len(walk.valid_len as u64)
+                                .map_err(|e| io_err(path, "truncate", e))?;
+                            file.sync_data().map_err(|e| io_err(path, "sync", e))?;
+                            metrics_global()
+                                .counter("spbla_wal_tail_truncations_total")
+                                .inc(1);
+                        }
+                        Some((path.clone(), file, walk.valid_len))
+                    }
+                }
             }
             None => None,
         };
@@ -353,20 +463,28 @@ impl Wal {
         })
     }
 
-    /// Number of segment files the log currently spans.
+    /// Sequence number the next rotation will use — equal to the number
+    /// of segment files ever created when none have been pruned.
     pub fn segments(&self) -> u64 {
         self.next_seq
     }
 
     fn rotate(&mut self, first_version: u64) -> Result<()> {
         let path = self.dir.join(segment_name(self.next_seq));
-        let mut file = File::create(&path).map_err(|e| io_err(&path, "create", e))?;
+        // create_new: a sequence collision (say, a manually restored
+        // segment) must error, never truncate committed records.
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, "create", e))?;
         let mut header = Vec::with_capacity(HEADER_LEN);
         header.extend_from_slice(MAGIC);
         header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
         header.extend_from_slice(&first_version.to_le_bytes());
         file.write_all(&header)
             .map_err(|e| io_err(&path, "append", e))?;
+        sync_dir(&self.dir)?;
         self.next_seq += 1;
         self.active = Some((path, file, HEADER_LEN));
         metrics_global().counter("spbla_wal_segments_total").inc(1);
@@ -374,9 +492,9 @@ impl Wal {
     }
 
     /// Append the batch that produced `version`, rotating first if the
-    /// active segment is full. Flushes before returning.
+    /// active segment is full. Fsyncs before returning.
     pub fn append(&mut self, version: u64, batch: &UpdateBatch, table: &SymbolTable) -> Result<()> {
-        let payload = encode_record(version, batch, table);
+        let payload = encode_record(version, batch, table)?;
         let record_len = RECORD_HEADER_LEN + payload.len();
         let needs_rotation = match &self.active {
             Some((_, _, len)) => *len + record_len > self.segment_bytes && *len > HEADER_LEN,
@@ -392,7 +510,9 @@ impl Wal {
         rec.extend_from_slice(&payload);
         file.write_all(&rec)
             .map_err(|e| io_err(path, "append", e))?;
-        file.flush().map_err(|e| io_err(path, "flush", e))?;
+        // sync_data, not flush: a File has no userspace buffer, so the
+        // durability the caller is acknowledging needs the fsync.
+        file.sync_data().map_err(|e| io_err(path, "sync", e))?;
         *len += rec.len();
         let m = metrics_global();
         m.counter("spbla_wal_records_total").inc(1);
@@ -500,5 +620,95 @@ mod tests {
             other => panic!("expected Corrupt, got {other:?}"),
         }
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_trims_torn_tail_and_keeps_post_restart_records() {
+        let dir = tmpdir("reopen");
+        let mut table = SymbolTable::new();
+        let batches = sample_batches(&mut table, 3);
+        let mut wal = Wal::open(&dir, 1 << 20).unwrap();
+        for (k, b) in batches.iter().enumerate() {
+            wal.append(k as u64 + 1, b, &table).unwrap();
+        }
+        drop(wal);
+        let seg = list_segments(&dir).unwrap().pop().unwrap();
+        let full = fs::read(&seg).unwrap();
+        // Tear the last record: cut one byte short of the file end.
+        fs::write(&seg, &full[..full.len() - 1]).unwrap();
+        assert!(replay(&dir, 0).unwrap().torn_tail);
+        // Restart: open must trim back to the record-2 boundary so the
+        // post-restart appends are replayable, not stranded after the
+        // tear.
+        let mut wal = Wal::open(&dir, 1 << 20).unwrap();
+        for (k, b) in batches.iter().enumerate().skip(2) {
+            wal.append(k as u64 + 1, b, &table).unwrap();
+        }
+        wal.append(4, &batches[0], &table).unwrap();
+        drop(wal);
+        let replayed = replay(&dir, 0).unwrap();
+        assert!(!replayed.torn_tail, "tear must be gone after reopen");
+        let versions: Vec<u64> = replayed.records.iter().map(|r| r.version).collect();
+        assert_eq!(versions, vec![1, 2, 3, 4]);
+        // A tear inside the segment *header* (crash mid-rotation) holds
+        // no records; reopen drops the fragment and rotates fresh.
+        let frag = dir.join(segment_name(9));
+        fs::write(&frag, &MAGIC[..5]).unwrap();
+        let mut wal = Wal::open(&dir, 1 << 20).unwrap();
+        assert!(!frag.exists(), "torn-header fragment should be removed");
+        wal.append(5, &batches[1], &table).unwrap();
+        assert_eq!(replay(&dir, 0).unwrap().records.len(), 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_numbering_survives_pruned_segments() {
+        let dir = tmpdir("pruned");
+        let mut table = SymbolTable::new();
+        let batches = sample_batches(&mut table, 6);
+        let mut wal = Wal::open(&dir, 64).unwrap(); // tiny: one record per segment
+        for (k, b) in batches.iter().enumerate() {
+            wal.append(k as u64 + 1, b, &table).unwrap();
+        }
+        drop(wal);
+        let segs = list_segments(&dir).unwrap();
+        assert!(segs.len() >= 3, "need several segments to prune");
+        // Prune the oldest (as a checkpoint-based GC would) and
+        // remember the newest survivor's bytes.
+        fs::remove_file(&segs[0]).unwrap();
+        let survivor = segs.last().unwrap().clone();
+        let survivor_bytes = fs::read(&survivor).unwrap();
+        let high = segment_seq(&survivor).unwrap();
+        // Reopen and append until a rotation happens: the new segment
+        // must continue past the highest sequence, not recount files
+        // and truncate an existing one.
+        let mut wal = Wal::open(&dir, 64).unwrap();
+        assert_eq!(wal.segments(), high + 1);
+        for (k, b) in batches.iter().enumerate() {
+            wal.append((6 + k) as u64 + 1, b, &table).unwrap();
+        }
+        assert!(dir.join(segment_name(high + 1)).exists());
+        assert_eq!(
+            fs::read(&survivor).unwrap()[..survivor_bytes.len()],
+            survivor_bytes,
+            "pre-existing segment must keep its committed prefix"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_fields_are_typed_errors_not_truncation() {
+        let mut table = SymbolTable::new();
+        let long = table.intern(&"x".repeat(u16::MAX as usize + 1));
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, long, 1);
+        match encode_record(1, &batch, &table) {
+            Err(DurableError::TooLarge { what, len, max }) => {
+                assert_eq!(what, "label name");
+                assert_eq!(len, u16::MAX as usize + 1);
+                assert_eq!(max, u16::MAX as usize);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
     }
 }

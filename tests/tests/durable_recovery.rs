@@ -159,6 +159,65 @@ fn crash_at_every_byte_recovers_the_exact_prefix() {
     let _ = fs::remove_dir_all(&crash);
 }
 
+/// The crash matrix, continued past the restart: after a crash at any
+/// byte, re-opening the log must trim the torn tail so acknowledged
+/// *post-restart* appends are replayed by the next recovery — never
+/// stranded behind leftover garbage that replay stops at.
+#[test]
+fn restart_after_crash_keeps_post_restart_appends() {
+    let dir = tmpdir("restart");
+    let mut table = SymbolTable::new();
+    let n = 12u32;
+    let batches = batch_stream(&mut table, n, 6);
+    let a = table.get("a").unwrap();
+    let mut graph = LabeledGraph::from_triples(n, [(0, a, 1), (1, a, 2)]);
+    let config = DurabilityConfig {
+        segment_bytes: 96,
+        checkpoint_every: 2,
+    };
+    let mut log = DurableLog::open(&dir, config, &graph, 0, &table).unwrap();
+    for (k, batch) in batches.iter().enumerate() {
+        batch.apply_to(&mut graph);
+        log.append(k as u64 + 1, batch, &graph, &table).unwrap();
+    }
+    let total_bytes: usize = wal::list_segments(&dir)
+        .unwrap()
+        .iter()
+        .map(|s| fs::metadata(s).unwrap().len() as usize)
+        .sum();
+
+    let crash = tmpdir("restart-crash");
+    for cut in 20..=total_bytes {
+        crash_copy(&dir, &crash, cut);
+        let (live_head, _) = prefix_records(&crash);
+        for (v, path) in list_checkpoints(&dir).unwrap() {
+            if v <= live_head {
+                fs::copy(&path, crash.join(path.file_name().unwrap())).unwrap();
+            }
+        }
+        // Restart: recover the surviving prefix, then keep writing
+        // through a re-opened log.
+        let mut fresh = SymbolTable::new();
+        let rec = recover(&crash, &mut fresh).unwrap();
+        let mut state = rec.graph;
+        for (_, batch) in &rec.tail {
+            batch.apply_to(&mut state);
+        }
+        let mut relog = DurableLog::open(&crash, config, &state, live_head, &fresh).unwrap();
+        let mut post = UpdateBatch::new();
+        post.insert(3, fresh.intern("post"), 4);
+        post.apply_to(&mut state);
+        relog.append(live_head + 1, &post, &state, &fresh).unwrap();
+        // The next recovery must see the post-restart record, with the
+        // tear gone.
+        let rec2 = recover(&crash, &mut SymbolTable::new()).unwrap();
+        assert_eq!(rec2.head_version, live_head + 1, "cut at {cut}");
+        assert!(!rec2.torn_tail, "cut at {cut}");
+    }
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&crash);
+}
+
 /// Kill-and-restart through the engine: a new engine recovered from the
 /// durability directory serves the same closure answer at the same
 /// version as the engine that died.
