@@ -9,7 +9,7 @@
 //!
 //! Subcommands: `table1 table2 fig2 fig3 table3 table4 paths
 //! boolean-vs-generic formats ablations scaling serving stream obs
-//! fusion memory frontier load replication all`.
+//! fusion memory frontier load replication condense all`.
 //! `obs` additionally writes `BENCH_obs.json` (per-kernel p50/p95 from
 //! the profiling histograms plus the measured tracing overhead).
 //! `fusion` writes `BENCH_fusion.json` (fused vs unfused delta-closure
@@ -35,6 +35,13 @@
 //! bit-identity and aggregate read-capacity scaling) and exits non-zero
 //! unless all replica checksums agree and capacity at 3 replicas is
 //! ≥ 1.8× one — the CI recovery-smoke gate.
+//! `condense` writes `BENCH_condense.json` (SCC-condensed closure vs
+//! the direct fused delta closure on an SCC-heavy synthetic and LUBM,
+//! 1/2/4-device checksum identity, incremental SCC maintenance vs
+//! recompute under an insert/delete stream) and exits non-zero unless
+//! the condensed schedule launches ≥ 1.5× fewer kernels and performs
+//! ≥ 2× fewer accumulator insertions on the SCC-heavy graph with every
+//! checksum identical — the CI condense-smoke gate.
 //! `--json FILE` additionally writes the machine-readable records the
 //! run produced (one JSON object per experiment configuration, with the
 //! device counters: launches, accumulator insertions, h2d/d2h/d2d bytes
@@ -156,6 +163,7 @@ fn main() {
         "frontier" => frontier(&mut records),
         "load" => load(&mut records),
         "replication" => replication(&mut records),
+        "condense" => condense(&mut records),
         "all" => {
             table1();
             table2();
@@ -176,10 +184,11 @@ fn main() {
             frontier(&mut records);
             load(&mut records);
             replication(&mut records);
+            condense(&mut records);
         }
         other => {
             eprintln!("unknown experiment: {other}");
-            eprintln!("known: table1 table2 fig2 fig3 table3 table4 paths boolean-vs-generic formats ablations scaling serving stream obs fusion memory frontier load replication all");
+            eprintln!("known: table1 table2 fig2 fig3 table3 table4 paths boolean-vs-generic formats ablations scaling serving stream obs fusion memory frontier load replication condense all");
             std::process::exit(2);
         }
     }
@@ -2148,4 +2157,266 @@ fn replication(records: &mut Vec<JsonRecord>) {
         std::process::exit(2);
     }
     println!("replication gates passed: bit-identical checksums, {scaling:.2}x >= 1.8");
+}
+
+// ---------------------------------------------------------------- E19
+fn condense(records: &mut Vec<JsonRecord>) {
+    header("CONDENSE — SCC condensation preprocessing vs direct delta closure (E19 gate)");
+    println!("(the claims to check: running the fused fixpoint on the SCC");
+    println!(" condensation DAG and expanding back launches >= 1.5x fewer kernels");
+    println!(" and performs >= 2x fewer accumulator insertions than the direct");
+    println!(" delta closure on an SCC-heavy graph, answers bit-identically on");
+    println!(" 1/2/4-device grids, and incremental SCC maintenance under an");
+    println!(" insert/delete stream matches per-version recompute exactly)\n");
+    use spbla_graph::closure::{closure_delta, closure_delta_on_devices};
+    use spbla_prep::condensed_closure;
+    use spbla_stream::{MaintainMode, SccView};
+
+    // SCC-heavy synthetic: a chain of cycles. Each block is one strongly
+    // connected component; the condensation is a 24-vertex path whose
+    // closure the DAG fixpoint settles in O(log levels) rounds, while
+    // the direct closure grinds out every dense all-pairs block through
+    // the SpGEMM accumulator.
+    let blocks = 24u32;
+    let cycle = 12u32;
+    let n = blocks * cycle;
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    for b in 0..blocks {
+        let base = b * cycle;
+        for k in 0..cycle {
+            pairs.push((base + k, base + (k + 1) % cycle));
+        }
+        if b + 1 < blocks {
+            pairs.push((base, base + cycle));
+        }
+    }
+    let inst = Instance::cuda_sim();
+    let device = inst.device().expect("cuda-sim has a device");
+    let m = upload(&inst, n, &pairs);
+
+    let s0 = device.stats();
+    let direct = closure_delta(&m).expect("direct closure");
+    let s1 = device.stats();
+    let (condensed, stats) = condensed_closure(&inst, n, &pairs).expect("condensed closure");
+    let s2 = device.stats();
+    let direct_launches = s1.launches - s0.launches;
+    let direct_insertions = s1.accum_insertions - s0.accum_insertions;
+    let cond_launches = s2.launches - s1.launches;
+    let cond_insertions = s2.accum_insertions - s1.accum_insertions;
+    let direct_pairs = direct.read();
+    assert_eq!(
+        condensed.read(),
+        direct_pairs,
+        "condensed closure diverges from direct"
+    );
+    let reference_sum = fnv_pairs(&direct_pairs);
+    let t_direct = time_avg(RUNS, || {
+        closure_delta(&m).expect("direct closure");
+    });
+    let t_cond = time_avg(RUNS, || {
+        condensed_closure(&inst, n, &pairs).expect("condensed closure");
+    });
+    println!(
+        "SCC-heavy synthetic: n={n}, nnz={}, {} SCCs (ratio {:.3}), {} DAG levels",
+        pairs.len(),
+        stats.n_components,
+        stats.condensation_ratio,
+        stats.levels
+    );
+    println!(
+        "direct delta closure:    {direct_launches} launches, {direct_insertions} insertions, {}s",
+        secs(t_direct)
+    );
+    println!(
+        "condensed delta closure: {cond_launches} launches, {cond_insertions} insertions, \
+         {} rounds on the DAG, {}s",
+        stats.rounds,
+        secs(t_cond)
+    );
+    let launch_ratio = direct_launches as f64 / cond_launches.max(1) as f64;
+    let insertion_ratio = direct_insertions as f64 / cond_insertions.max(1) as f64;
+    println!(
+        "reductions: {launch_ratio:.2}x launches (gate >= 1.5), \
+         {insertion_ratio:.2}x insertions (gate >= 2)"
+    );
+
+    // LUBM: almost a DAG already (condensation ratio ~1) — the
+    // preprocessing must stay cheap and bit-identical there, not win.
+    let mut table = SymbolTable::new();
+    let g = lubm_rung(2, &mut table);
+    let lubm_n = g.n_vertices();
+    let lubm_pairs = g.adjacency_csr().to_pairs();
+    let lm = upload(&inst, lubm_n, &lubm_pairs);
+    let l0 = device.stats();
+    let lubm_direct = closure_delta(&lm).expect("direct closure");
+    let l1 = device.stats();
+    let (lubm_cond, lubm_stats) =
+        condensed_closure(&inst, lubm_n, &lubm_pairs).expect("condensed closure");
+    let l2 = device.stats();
+    assert_eq!(
+        lubm_cond.read(),
+        lubm_direct.read(),
+        "condensed LUBM closure diverges from direct"
+    );
+    println!(
+        "\nLUBM rung: n={lubm_n}, nnz={}, {} SCCs (ratio {:.3}); \
+         direct {} launches vs condensed {} (bit-identical)",
+        lubm_pairs.len(),
+        lubm_stats.n_components,
+        lubm_stats.condensation_ratio,
+        l1.launches - l0.launches,
+        l2.launches - l1.launches
+    );
+
+    // Grid identity: the direct distributed closure on 1/2/4 devices
+    // must agree with the condensed single-instance answer bitwise.
+    let adj = CsrBool::from_pairs(n, n, &pairs).expect("csr");
+    let mut grid_sums: Vec<(usize, u64)> = Vec::new();
+    for devices in [1usize, 2, 4] {
+        let (closed, _grid) = closure_delta_on_devices(&adj, devices).expect("dist closure");
+        let sum = fnv_pairs(&closed.to_pairs());
+        assert_eq!(
+            sum, reference_sum,
+            "{devices}-device closure diverges from condensed answer"
+        );
+        grid_sums.push((devices, sum));
+    }
+    println!(
+        "closure checksum {reference_sum:#018x} bit-identical on {} grids",
+        grid_sums
+            .iter()
+            .map(|(d, _)| d.to_string())
+            .collect::<Vec<_>>()
+            .join("/")
+    );
+
+    // Incremental SCC maintenance under a LUBM insert/delete stream:
+    // the component-graph merge path (with the intra-SCC-delete
+    // recompute escape hatch) must land on the same canonical
+    // condensation as a fresh Tarjan run at every version.
+    let mut incremental = SccView::new(lubm_n, &lubm_pairs, MaintainMode::Incremental);
+    let mut recompute = SccView::new(lubm_n, &lubm_pairs, MaintainMode::Recompute);
+    let mut present = lubm_pairs.clone();
+    let mut state = 0x5bd1_e995u64;
+    let mut versions_checked = 0u32;
+    for step in 0..40 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = ((state >> 33) % u64::from(lubm_n)) as u32;
+        let v = ((state >> 13) % u64::from(lubm_n)) as u32;
+        if step % 4 == 3 && !present.is_empty() {
+            // Prefer an intra-component edge so the stream also
+            // exercises the recompute escape hatch, not just the cheap
+            // component-graph merges.
+            let comp_of = &incremental.condensation().comp_of;
+            let idx = present
+                .iter()
+                .position(|&(a, b)| a != b && comp_of[a as usize] == comp_of[b as usize])
+                .unwrap_or((state >> 7) as usize % present.len());
+            let victim = present.remove(idx);
+            incremental.apply(&[], &[victim]);
+            recompute.apply(&[], &[victim]);
+        } else {
+            // Every third insert closes a back-edge over an existing
+            // edge, merging components; the rest are random.
+            let e = if step % 3 == 0 && !present.is_empty() {
+                let (a, b) = present[(state >> 21) as usize % present.len()];
+                (b, a)
+            } else {
+                (u, v)
+            };
+            present.push(e);
+            incremental.apply(&[e], &[]);
+            recompute.apply(&[e], &[]);
+        }
+        assert_eq!(
+            incremental.checksum(),
+            recompute.checksum(),
+            "incremental SCC maintenance diverged at step {step}"
+        );
+        versions_checked += 1;
+    }
+    let inc_stats = incremental.stats();
+    println!(
+        "incremental SCC maintenance: {versions_checked} versions bit-identical to recompute \
+         ({} cheap merges, {} recompute fallbacks)",
+        inc_stats.incremental, inc_stats.recomputes
+    );
+    assert!(
+        inc_stats.incremental > 0 && inc_stats.recomputes > 0,
+        "stream exercised both maintenance paths"
+    );
+
+    let grids_json = grid_sums
+        .iter()
+        .map(|(d, s)| format!(r#"    {{"devices": {d}, "checksum": "{s:#018x}"}}"#))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"graph\": \"scc-chain\", \"n\": {n}, \"nnz\": {}, \"sccs\": {}, \
+         \"condensation_ratio\": {:.4}, \"levels\": {},\n  \
+         \"direct\": {{\"launches\": {direct_launches}, \"insertions\": {direct_insertions}, \"seconds\": {}}},\n  \
+         \"condensed\": {{\"launches\": {cond_launches}, \"insertions\": {cond_insertions}, \"rounds\": {}, \"seconds\": {}}},\n  \
+         \"launch_ratio\": {launch_ratio:.2}, \"insertion_ratio\": {insertion_ratio:.2},\n  \
+         \"lubm\": {{\"n\": {lubm_n}, \"sccs\": {}, \"condensation_ratio\": {:.4}}},\n  \
+         \"incremental_scc\": {{\"versions\": {versions_checked}, \"merges\": {}, \"recomputes\": {}, \"identical\": true}},\n  \
+         \"closure_checksums\": [\n{grids_json}\n  ]\n}}\n",
+        pairs.len(),
+        stats.n_components,
+        stats.condensation_ratio,
+        stats.levels,
+        secs(t_direct),
+        stats.rounds,
+        secs(t_cond),
+        lubm_stats.n_components,
+        lubm_stats.condensation_ratio,
+        inc_stats.incremental,
+        inc_stats.recomputes,
+    );
+    std::fs::write("BENCH_condense.json", json).unwrap_or_else(|e| {
+        eprintln!("cannot write BENCH_condense.json: {e}");
+        std::process::exit(1);
+    });
+    println!("\nwrote BENCH_condense.json");
+
+    let s = device.stats();
+    records.push(JsonRecord {
+        experiment: "condense".into(),
+        config: vec![
+            ("direct_launches".into(), direct_launches.to_string()),
+            ("condensed_launches".into(), cond_launches.to_string()),
+            ("direct_insertions".into(), direct_insertions.to_string()),
+            ("condensed_insertions".into(), cond_insertions.to_string()),
+            ("launch_ratio".into(), format!("{launch_ratio:.2}")),
+            ("insertion_ratio".into(), format!("{insertion_ratio:.2}")),
+            ("sccs".into(), stats.n_components.to_string()),
+        ],
+        launches: s.launches,
+        insertions: s.accum_insertions,
+        h2d_bytes: s.h2d_bytes,
+        d2h_bytes: s.d2h_bytes,
+        d2d_bytes: s.d2d_bytes,
+        peak_bytes: s.peak_bytes,
+    });
+
+    // The CI condense-smoke gates.
+    if launch_ratio < 1.5 {
+        eprintln!(
+            "CONDENSE GATE FAILED: {direct_launches} direct vs {cond_launches} condensed \
+             launches ({launch_ratio:.2}x, need >= 1.5x)"
+        );
+        std::process::exit(2);
+    }
+    if insertion_ratio < 2.0 {
+        eprintln!(
+            "CONDENSE GATE FAILED: {direct_insertions} direct vs {cond_insertions} condensed \
+             insertions ({insertion_ratio:.2}x, need >= 2x)"
+        );
+        std::process::exit(2);
+    }
+    println!(
+        "condense gates passed: {launch_ratio:.2}x >= 1.5x launches, \
+         {insertion_ratio:.2}x >= 2x insertions, checksums identical"
+    );
 }

@@ -81,6 +81,11 @@ spbla_Status spbla_Transpose(spbla_Matrix a, spbla_Matrix *out);
 spbla_Status spbla_SubMatrix(spbla_Matrix a, uint32_t i, uint32_t j,
                              uint32_t nrows, uint32_t ncols, spbla_Matrix *out);
 spbla_Status spbla_TransitiveClosure(spbla_Matrix matrix, spbla_Matrix *out);
+/* Same closure, scheduled via SCC condensation: the fixpoint runs on
+ * the component DAG and expands back — bit-identical, fewer launches on
+ * cycle-heavy graphs. */
+spbla_Status spbla_Matrix_TransitiveClosureCondensed(spbla_Matrix matrix,
+                                                     spbla_Matrix *out);
 spbla_Status spbla_Matrix_ReduceToColumn(spbla_Matrix matrix, uint32_t *indices,
                                          size_t *count);
 

@@ -83,6 +83,42 @@ pub unsafe extern "C" fn spbla_TransitiveClosure(
     }
 }
 
+/// Transitive closure `C = A⁺` via SCC condensation: the fixpoint runs
+/// on the strongly-connected-component DAG and the result is expanded
+/// back through the component map. Bit-identical to
+/// [`spbla_TransitiveClosure`] — the condensation is a schedule, not an
+/// approximation.
+///
+/// # Safety
+/// `out` must be a valid pointer.
+#[no_mangle]
+pub unsafe extern "C" fn spbla_Matrix_TransitiveClosureCondensed(
+    matrix: SpblaMatrix,
+    out: *mut SpblaMatrix,
+) -> SpblaStatus {
+    if out.is_null() {
+        return SpblaStatus::NullPointer;
+    }
+    let result = Registry::global().with_matrix(matrix, |m| {
+        if m.nrows() != m.ncols() {
+            return Err(spbla_core::SpblaError::DimensionMismatch {
+                op: "transitive_closure_condensed",
+                lhs: m.shape(),
+                rhs: m.shape(),
+            });
+        }
+        spbla_prep::condensed_closure(m.instance(), m.nrows(), &m.read()).map(|(c, _)| c)
+    });
+    match result {
+        Some(Ok(m)) => {
+            *out = Registry::global().insert_matrix(m);
+            SpblaStatus::Ok
+        }
+        Some(Err(e)) => SpblaStatus::from(&e),
+        None => SpblaStatus::InvalidHandle,
+    }
+}
+
 /// Reduce along rows (`reduceToColumn`): writes the indices of non-empty
 /// rows using the two-call protocol of `spbla_Matrix_ExtractPairs`.
 ///
@@ -213,6 +249,39 @@ mod tests {
         assert_eq!(idx, vec![0, 1]);
         spbla_Matrix_Free(m);
         spbla_Matrix_Free(c);
+        spbla_Finalize(inst);
+    }
+
+    #[test]
+    fn condensed_closure_matches_direct_via_c() {
+        use crate::matrix_api::spbla_Matrix_ExtractPairs;
+        // A 3-cycle feeding a tail: one SCC plus a DAG vertex.
+        let (inst, m) = make(SpblaBackend::CudaSim, &[(0, 1), (1, 2), (2, 0), (2, 3)], 4);
+        let (mut direct, mut condensed) = (0u64, 0u64);
+        assert_eq!(
+            unsafe { spbla_TransitiveClosure(m, &mut direct) },
+            SpblaStatus::Ok
+        );
+        assert_eq!(
+            unsafe { spbla_Matrix_TransitiveClosureCondensed(m, &mut condensed) },
+            SpblaStatus::Ok
+        );
+        let read = |h: u64| {
+            let mut count = 0usize;
+            unsafe {
+                spbla_Matrix_ExtractPairs(h, std::ptr::null_mut(), std::ptr::null_mut(), &mut count)
+            };
+            let mut rows = vec![0u32; count];
+            let mut cols = vec![0u32; count];
+            unsafe {
+                spbla_Matrix_ExtractPairs(h, rows.as_mut_ptr(), cols.as_mut_ptr(), &mut count)
+            };
+            rows.into_iter().zip(cols).collect::<Vec<_>>()
+        };
+        assert_eq!(read(direct), read(condensed));
+        spbla_Matrix_Free(m);
+        spbla_Matrix_Free(direct);
+        spbla_Matrix_Free(condensed);
         spbla_Finalize(inst);
     }
 

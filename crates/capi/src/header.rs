@@ -28,6 +28,7 @@ pub const EXPORTED_SYMBOLS: &[&str] = &[
     "spbla_Transpose",
     "spbla_SubMatrix",
     "spbla_TransitiveClosure",
+    "spbla_Matrix_TransitiveClosureCondensed",
     "spbla_Matrix_ReduceToColumn",
     "spbla_Engine_New",
     "spbla_Engine_LoadGraph",

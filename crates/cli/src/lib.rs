@@ -146,7 +146,9 @@ pub const USAGE: &str = "usage: spbla <command>\n\
   stats    <graph.triples>\n\
   rpq      <graph.triples> <regex> [--backend cpu|dense|cuda|cl] [--source V] [--limit K]\n\
   cfpq     <graph.triples> <grammar-file|@G1|@G2|@Geo|@MA> [--engine tns|mtx] [--backend B] [--limit K]\n\
-  closure  <graph.triples> [--backend B] [--devices N]   (N>1 shards over a device grid)\n\
+  closure  <graph.triples> [--backend B] [--devices N] [--condense on|off]\n\
+           (N>1 shards over a device grid; --condense on runs the fixpoint on the\n\
+            SCC condensation DAG and expands back — bit-identical, fewer launches)\n\
   bfs      <graph.triples> <source>\n\
   triangles  <graph.triples>   (symmetrises, counts triangles)\n\
   components <graph.triples>   (weak + strong component counts)\n\
@@ -346,6 +348,12 @@ fn cmd_cfpq(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 fn cmd_closure(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let mut table = SymbolTable::new();
     let graph = load(args, &mut table)?;
+    let condense = opt_on_off(args, "condense", false)?;
+    if condense && args.opt("devices").is_some() {
+        return Err(CliError::usage(
+            "--condense runs on a single instance; drop --devices",
+        ));
+    }
     if let Some(devices) = args.opt("devices") {
         let devices: usize = devices
             .parse()
@@ -382,6 +390,23 @@ fn cmd_closure(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         return Ok(());
     }
     let inst = backend_instance(args.opt("backend"))?;
+    if condense {
+        let csr = graph.adjacency_csr();
+        let (closure, stats) =
+            spbla_prep::condensed_closure(&inst, graph.n_vertices(), &csr.to_pairs())?;
+        writeln!(
+            out,
+            "closure (condensed): {} -> {} pairs; {} SCCs of {} vertices \
+             ({} levels, {} rounds on the DAG)",
+            csr.nnz(),
+            closure.nnz(),
+            stats.n_components,
+            stats.n_vertices,
+            stats.levels,
+            stats.rounds
+        )?;
+        return Ok(());
+    }
     let adjacency = spbla_core::Matrix::from_csr(&inst, graph.adjacency_csr())?;
     let closure = closure_delta(&adjacency)?;
     writeln!(
@@ -1192,6 +1217,17 @@ mod tests {
         );
         assert_eq!(
             run_str(&["closure", p, "--devices", "2", "--backend", "cpu"])
+                .unwrap_err()
+                .code,
+            2
+        );
+        // Condensed closure answers identically (pair count) and
+        // reports the SCC structure; it refuses the grid path.
+        let cc = run_str(&["closure", p, "--condense", "on"]).unwrap();
+        assert!(cc.contains("closure (condensed): 3 -> 6 pairs"), "{cc}");
+        assert!(cc.contains("SCCs"), "{cc}");
+        assert_eq!(
+            run_str(&["closure", p, "--condense", "on", "--devices", "2"])
                 .unwrap_err()
                 .code,
             2

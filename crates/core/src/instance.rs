@@ -58,6 +58,22 @@ impl std::fmt::Display for Backend {
     }
 }
 
+/// Parse one `SPBLA_AUTO_BLOCKED` value: `Some(true)` forces blocked
+/// storage, `Some(false)` forces flat, `None` leaves the heuristic in
+/// charge. Unrecognised values are ignored rather than guessed at.
+fn parse_auto_blocked(value: &str) -> Option<bool> {
+    match value {
+        "on" | "1" | "true" => Some(true),
+        "off" | "0" | "false" => Some(false),
+        _ => None,
+    }
+}
+
+/// The `SPBLA_AUTO_BLOCKED` escape hatch, read from the environment.
+fn auto_blocked_env() -> Option<bool> {
+    parse_auto_blocked(&std::env::var("SPBLA_AUTO_BLOCKED").ok()?)
+}
+
 #[derive(Debug)]
 struct InstanceInner {
     backend: Backend,
@@ -164,7 +180,14 @@ impl Instance {
     /// * small-and-dense (the dense bitset fits the device's shared
     ///   budget and density clears ~2 %) → dense bit-parallel backend;
     /// * hypersparse (`nnz < nrows`, COO beats CSR per E9) → COO;
-    /// * otherwise → CSR hash backend.
+    /// * otherwise → CSR hash backend, under tiled block storage when
+    ///   the shape clears [`Instance::blocked_pays_off`].
+    ///
+    /// The `SPBLA_AUTO_BLOCKED` environment variable overrides the
+    /// storage half of the decision for the sparse device backends:
+    /// `off`/`0`/`false` forces flat storage, `on`/`1`/`true` forces
+    /// blocked, anything else (or unset) keeps the heuristic. The
+    /// backend pick itself is never affected.
     pub fn auto_for(config: DeviceConfig, nrows: u32, expected_nnz: usize) -> Self {
         let cells = nrows as f64 * nrows as f64;
         let density = if cells > 0.0 {
@@ -181,11 +204,33 @@ impl Instance {
             return Instance::cpu_dense();
         }
         let device = Device::new(config);
-        if expected_nnz < nrows as usize {
-            Instance::cl_sim_on(device)
+        let backend = if expected_nnz < nrows as usize {
+            Backend::ClSim
         } else {
-            Instance::cuda_sim_on(device)
+            Backend::CudaSim
+        };
+        let blocked = match auto_blocked_env() {
+            Some(forced) => forced,
+            None => Instance::blocked_pays_off(nrows, expected_nnz),
+        };
+        if blocked {
+            Instance::blocked_on(backend, Some(device))
+        } else {
+            Instance::make(backend, Some(device))
         }
+    }
+
+    /// Whether adaptive tiled block storage is expected to beat the
+    /// flat format for a square matrix of this shape (the E18 gates):
+    /// the matrix must span enough 64×64 tiles for per-tile format
+    /// switching to amortize (≥ 8 tile rows), and the expected density
+    /// must clear 1e-4 so occupied tiles hold real clusters instead of
+    /// singleton entries. Dense-bitset and hypersparse shapes are
+    /// already routed to their own formats by [`Instance::auto_for`].
+    pub fn blocked_pays_off(nrows: u32, expected_nnz: usize) -> bool {
+        const MIN_ROWS: u32 = 8 * 64; // eight tile rows
+        let cells = nrows as f64 * nrows as f64;
+        nrows >= MIN_ROWS && cells > 0.0 && expected_nnz as f64 / cells >= 1e-4
     }
 
     /// The backend this instance executes on.
@@ -230,6 +275,55 @@ mod tests {
         // Huge dense bitset would exceed the budget → falls back to CSR.
         let big = Instance::auto_for(DeviceConfig::default(), 200_000, 1_000_000_000);
         assert_ne!(big.backend(), Backend::CpuDense);
+    }
+
+    #[test]
+    fn auto_for_picks_blocked_storage_by_shape() {
+        // One test covers heuristic *and* escape hatch: the hatch
+        // mutates process environment, so interleaving it with other
+        // auto_for tests in this binary would race.
+
+        // LUBM-shaped: thousands of vertices, a handful of edges per
+        // vertex — many occupied 64×64 tiles, density ≈ 2e-3.
+        let lubm = Instance::auto_for(DeviceConfig::default(), 2_000, 8_000);
+        assert_eq!(lubm.backend(), Backend::CudaSim);
+        assert!(lubm.is_blocked(), "LUBM shape should pick tiled storage");
+        // Too small to amortize tiling (and too sparse for the dense
+        // bitset): flat storage.
+        let small = Instance::auto_for(DeviceConfig::default(), 300, 400);
+        assert_eq!(small.backend(), Backend::CudaSim);
+        assert!(!small.is_blocked());
+        // Big but far below the tile-occupancy density floor: flat.
+        let scattered = Instance::auto_for(DeviceConfig::default(), 100_000, 200_000);
+        assert!(!scattered.is_blocked());
+        // Hypersparse keeps its COO pick but never blocks (tiles would
+        // hold singletons).
+        let hyper = Instance::auto_for(DeviceConfig::default(), 1_000_000, 5_000);
+        assert_eq!(hyper.backend(), Backend::ClSim);
+        assert!(!hyper.is_blocked());
+
+        // The escape-hatch grammar.
+        for forced in ["on", "1", "true"] {
+            assert_eq!(super::parse_auto_blocked(forced), Some(true));
+        }
+        for forced in ["off", "0", "false"] {
+            assert_eq!(super::parse_auto_blocked(forced), Some(false));
+        }
+        assert_eq!(super::parse_auto_blocked("banana"), None);
+
+        // And the hatch wired through the environment: force flat on a
+        // blocked-favouring shape, force blocked on a flat-favouring
+        // one, then restore the heuristic. The backend never moves.
+        std::env::set_var("SPBLA_AUTO_BLOCKED", "off");
+        let forced_flat = Instance::auto_for(DeviceConfig::default(), 2_000, 8_000);
+        assert_eq!(forced_flat.backend(), Backend::CudaSim);
+        assert!(!forced_flat.is_blocked());
+        std::env::set_var("SPBLA_AUTO_BLOCKED", "on");
+        let forced_blocked = Instance::auto_for(DeviceConfig::default(), 300, 400);
+        assert_eq!(forced_blocked.backend(), Backend::CudaSim);
+        assert!(forced_blocked.is_blocked());
+        std::env::remove_var("SPBLA_AUTO_BLOCKED");
+        assert!(Instance::auto_for(DeviceConfig::default(), 2_000, 8_000).is_blocked());
     }
 
     #[test]

@@ -72,7 +72,10 @@ impl std::fmt::Display for DurableError {
                 write!(f, "no readable checkpoint under {dir}")
             }
             DurableError::TooLarge { what, len, max } => {
-                write!(f, "cannot encode {what} of size {len}: format limit is {max}")
+                write!(
+                    f,
+                    "cannot encode {what} of size {len}: format limit is {max}"
+                )
             }
             DurableError::Engine(e) => write!(f, "engine replay failed: {e}"),
             DurableError::Exec(e) => write!(f, "execution failed: {e}"),

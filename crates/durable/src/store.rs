@@ -8,10 +8,18 @@
 //!    caller learns the apply succeeded, so recovery never loses an
 //!    acknowledged version — across process *and* machine crashes.
 //! 2. Recovery = newest readable checkpoint + replay of WAL records
-//!    with `version > checkpoint.version`. Because the log's committed
-//!    prefix is never discarded, *any* surviving checkpoint is a valid
-//!    starting point — a damaged newest checkpoint falls back to an
-//!    older one and replays a longer tail.
+//!    with `version > checkpoint.version`. With compaction disabled
+//!    the log's committed prefix is never discarded, so *any*
+//!    surviving checkpoint is a valid starting point — a damaged
+//!    newest checkpoint falls back to an older one and replays a
+//!    longer tail. With [`DurabilityConfig::compact_on_checkpoint`]
+//!    (the default), segments wholly covered by a *successfully
+//!    written* checkpoint are deleted right after it lands, so
+//!    fallback is bounded by the compaction horizon: recovery from a
+//!    checkpoint older than the horizon finds the version gap between
+//!    its checkpoint and the log's first surviving record and fails
+//!    with a typed [`DurableError::Corrupt`] — never a silently
+//!    shortened history.
 //! 3. A torn record at the very tail of the last segment is the
 //!    expected crash artifact: replay ends cleanly there, and
 //!    re-opening the log trims the tear back to the last intact record
@@ -39,6 +47,11 @@ pub struct DurabilityConfig {
     /// automatic checkpoints; [`DurableLog::checkpoint_now`] still
     /// works).
     pub checkpoint_every: u64,
+    /// Garbage-collect WAL segments wholly covered by a checkpoint as
+    /// soon as that checkpoint is durably written (see
+    /// [`crate::wal::compact`]). Off keeps the full log and preserves
+    /// unbounded checkpoint fallback at the cost of unbounded disk.
+    pub compact_on_checkpoint: bool,
 }
 
 impl Default for DurabilityConfig {
@@ -46,6 +59,7 @@ impl Default for DurabilityConfig {
         DurabilityConfig {
             segment_bytes: 64 * 1024,
             checkpoint_every: 8,
+            compact_on_checkpoint: true,
         }
     }
 }
@@ -106,7 +120,10 @@ impl DurableLog {
         Ok(())
     }
 
-    /// Force a checkpoint of `graph` at `version`.
+    /// Force a checkpoint of `graph` at `version`. When compaction is
+    /// enabled, log segments wholly covered by the new checkpoint are
+    /// deleted — only after the checkpoint write itself succeeded, so
+    /// a failed checkpoint never costs log records.
     pub fn checkpoint_now(
         &mut self,
         version: u64,
@@ -114,6 +131,9 @@ impl DurableLog {
         table: &SymbolTable,
     ) -> Result<()> {
         write_checkpoint(&self.dir, version, graph, table)?;
+        if self.config.compact_on_checkpoint {
+            crate::wal::compact(&self.dir, version)?;
+        }
         self.since_checkpoint = 0;
         Ok(())
     }
@@ -168,6 +188,24 @@ pub fn recover(dir: &Path, table: &mut SymbolTable) -> Result<Recovered> {
     };
     let graph = ckpt.to_graph(table);
     let replayed = replay(dir, ckpt.version)?;
+    // Versions are contiguous, so the first record past the checkpoint
+    // must be exactly checkpoint + 1. A later first record means the
+    // tail between them was compacted away against a newer checkpoint
+    // this recovery could not read — starting here would silently skip
+    // versions, so it is corruption, not a fallback.
+    if let Some(first) = replayed.records.first() {
+        if first.version > ckpt.version + 1 {
+            return Err(DurableError::Corrupt {
+                path: dir.display().to_string(),
+                offset: 0,
+                reason: format!(
+                    "log begins at version {} but the newest readable checkpoint is {}: \
+                     the tail in between was compacted against a newer checkpoint",
+                    first.version, ckpt.version
+                ),
+            });
+        }
+    }
     let mut head = ckpt.version;
     let mut tail = Vec::with_capacity(replayed.records.len());
     for rec in &replayed.records {
@@ -263,6 +301,7 @@ mod tests {
         let cfg = DurabilityConfig {
             segment_bytes: 256,
             checkpoint_every: 3, // checkpoint mid-history
+            compact_on_checkpoint: true,
         };
         let mut log = DurableLog::open(&dir, cfg, &graph, 0, &table).unwrap();
         for k in 0..5u32 {
@@ -296,9 +335,12 @@ mod tests {
         let mut table = SymbolTable::new();
         let a = table.intern("a");
         let mut graph = LabeledGraph::from_triples(8, [(0, a, 1)]);
+        // Compaction off: this test is about the unbounded-fallback
+        // guarantee the full log provides.
         let cfg = DurabilityConfig {
             segment_bytes: 1 << 20,
             checkpoint_every: 2,
+            compact_on_checkpoint: false,
         };
         let mut log = DurableLog::open(&dir, cfg, &graph, 0, &table).unwrap();
         for k in 0..4u32 {

@@ -45,6 +45,16 @@
 //! behind garbage that a later replay would stop at. A short record
 //! anywhere else, a checksum mismatch, a bad header, or a version gap
 //! is a typed [`DurableError::Corrupt`].
+//!
+//! ## Compaction
+//!
+//! [`compact`] garbage-collects whole segments already folded into a
+//! checkpoint: segment *k* is deletable exactly when the *next*
+//! segment's header says its first record is at or below
+//! `checkpoint_version + 1` — every record in *k* is then covered by
+//! the checkpoint. The newest segment is never touched (the append
+//! path owns its file handle), and deletion is whole-file only, so the
+//! committed prefix of every surviving segment stays intact.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
@@ -320,6 +330,47 @@ pub fn list_segments(dir: &Path) -> Result<Vec<PathBuf>> {
     }
     segs.sort();
     Ok(segs)
+}
+
+/// Delete whole segments whose every record is already folded into a
+/// checkpoint at `checkpoint_version`. Segment *k* qualifies exactly
+/// when the *next* segment's header records a first version at or
+/// below `checkpoint_version + 1` (segment *k*'s records all precede
+/// it). The newest segment is never deleted — the append side owns its
+/// file handle — and a next segment whose header is unreadable (a
+/// crash artifact only legal at the tail) conservatively ends the
+/// sweep. Returns the number of segments removed.
+///
+/// After compaction, recovery from a checkpoint *older* than
+/// `checkpoint_version` may find its tail gone; [`crate::recover`]
+/// detects that gap and reports it as a typed
+/// [`DurableError::Corrupt`], never a silently shortened history.
+pub fn compact(dir: &Path, checkpoint_version: u64) -> Result<usize> {
+    let segs = list_segments(dir)?;
+    let mut removed = 0usize;
+    for pair in segs.windows(2) {
+        let (seg, next) = (&pair[0], &pair[1]);
+        let mut header = [0u8; HEADER_LEN];
+        let readable = File::open(next)
+            .and_then(|mut f| f.read_exact(&mut header))
+            .is_ok();
+        if !readable || &header[..8] != MAGIC {
+            break;
+        }
+        let next_first = u64::from_le_bytes(header[12..20].try_into().unwrap());
+        if next_first > checkpoint_version + 1 {
+            break;
+        }
+        fs::remove_file(seg).map_err(|e| io_err(seg, "remove", e))?;
+        removed += 1;
+    }
+    if removed > 0 {
+        sync_dir(dir)?;
+        metrics_global()
+            .counter("spbla_wal_compacted_segments_total")
+            .inc(removed as u64);
+    }
+    Ok(removed)
 }
 
 /// Everything [`replay`] recovered from a log directory.
@@ -693,6 +744,71 @@ mod tests {
             survivor_bytes,
             "pre-existing segment must keep its committed prefix"
         );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_drops_only_fully_checkpointed_segments() {
+        let dir = tmpdir("compact");
+        let mut table = SymbolTable::new();
+        let batches = sample_batches(&mut table, 6);
+        let mut wal = Wal::open(&dir, 64).unwrap(); // tiny: one record per segment
+        for (k, b) in batches.iter().enumerate() {
+            wal.append(k as u64 + 1, b, &table).unwrap();
+        }
+        drop(wal);
+        assert_eq!(list_segments(&dir).unwrap().len(), 6);
+        // Checkpoint at version 3: segments holding versions 1..=3 go,
+        // the rest stay, and replay past the checkpoint is unaffected.
+        assert_eq!(compact(&dir, 3).unwrap(), 3);
+        assert_eq!(list_segments(&dir).unwrap().len(), 3);
+        let tail: Vec<u64> = replay(&dir, 3)
+            .unwrap()
+            .records
+            .iter()
+            .map(|r| r.version)
+            .collect();
+        assert_eq!(tail, vec![4, 5, 6]);
+        // Compacting again at the same version is a no-op.
+        assert_eq!(compact(&dir, 3).unwrap(), 0);
+        // A checkpoint at the head folds everything, but the newest
+        // segment must survive for the append side.
+        assert_eq!(compact(&dir, 6).unwrap(), 2);
+        let survivors = list_segments(&dir).unwrap();
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(replay(&dir, 6).unwrap().records.len(), 0);
+        // Appends keep working after compaction, numbering past the
+        // pruned range.
+        let mut wal = Wal::open(&dir, 64).unwrap();
+        wal.append(7, &batches[0], &table).unwrap();
+        let versions: Vec<u64> = replay(&dir, 6)
+            .unwrap()
+            .records
+            .iter()
+            .map(|r| r.version)
+            .collect();
+        assert_eq!(versions, vec![7]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_stops_at_unreadable_next_header() {
+        let dir = tmpdir("compact-torn");
+        let mut table = SymbolTable::new();
+        let batches = sample_batches(&mut table, 3);
+        let mut wal = Wal::open(&dir, 64).unwrap();
+        for (k, b) in batches.iter().enumerate() {
+            wal.append(k as u64 + 1, b, &table).unwrap();
+        }
+        drop(wal);
+        // Tear the *second* segment's header down to a magic prefix:
+        // its first-version field is unreadable, so the sweep must keep
+        // the first segment rather than guess.
+        let segs = list_segments(&dir).unwrap();
+        assert!(segs.len() >= 3);
+        fs::write(&segs[1], &MAGIC[..5]).unwrap();
+        assert_eq!(compact(&dir, 3).unwrap(), 0);
+        assert_eq!(list_segments(&dir).unwrap().len(), segs.len());
         let _ = fs::remove_dir_all(&dir);
     }
 

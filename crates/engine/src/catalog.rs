@@ -30,6 +30,7 @@ use rustc_hash::FxHashMap;
 use spbla_core::{Instance, K2Tree, Matrix};
 use spbla_graph::LabeledGraph;
 use spbla_lang::Symbol;
+use spbla_prep::Condensation;
 use spbla_stream::UpdateBatch;
 
 use crate::error::EngineError;
@@ -98,6 +99,17 @@ struct ArchivedResident {
     bytes: usize,
 }
 
+/// Host-side cache of per-`(graph, version)` SCC condensations — the
+/// planner's preprocessing artefact for [`crate::PlanKind::ClosureCondensed`].
+/// Byte-accounted (via [`Condensation::memory_bytes`]) against its own
+/// LRU budget; entries die with their version (prune, replace).
+struct CondensationCache {
+    /// LRU order: least-recent first.
+    order: Vec<(String, u64)>,
+    map: FxHashMap<(String, u64), Arc<Condensation>>,
+    bytes: usize,
+}
+
 struct DeviceResidency {
     /// LRU order: least-recent first, most-recent last.
     order: Vec<(String, u64)>,
@@ -126,6 +138,14 @@ pub struct Catalog {
     evictions: Counter,
     archivals: Counter,
     rehydrations: Counter,
+    /// Cached SCC condensations, one per `(graph, version)`.
+    cond: Mutex<CondensationCache>,
+    /// Byte budget of the condensation cache (host memory).
+    cond_budget: usize,
+    cond_hits: Counter,
+    cond_misses: Counter,
+    cond_evictions: Counter,
+    cond_bytes_gauge: Gauge,
     /// `spbla_dev_resident_bytes{dev}` — one gauge per device, kept in
     /// step with the accounted bytes so eviction pressure is visible in
     /// the metrics registry.
@@ -173,6 +193,19 @@ impl Catalog {
             evictions,
             archivals: metrics_global().counter("spbla_catalog_archivals_total"),
             rehydrations: metrics_global().counter("spbla_catalog_rehydrations_total"),
+            cond: Mutex::new(CondensationCache {
+                order: Vec::new(),
+                map: FxHashMap::default(),
+                bytes: 0,
+            }),
+            cond_budget: budget,
+            // Per-catalog cells (engines constructed back-to-back must
+            // not alias); the prep crate's own spbla_prep_* metrics
+            // cover the registry view.
+            cond_hits: Counter::default(),
+            cond_misses: Counter::default(),
+            cond_evictions: Counter::default(),
+            cond_bytes_gauge: Gauge::default(),
             resident_gauges: (0..n_devices)
                 .map(|dev| {
                     metrics_global().gauge(&labeled(
@@ -245,6 +278,20 @@ impl Catalog {
             }
             self.sync_gauge(dev, &res);
         }
+        let mut cond = self.cond.lock().unwrap_or_else(|e| e.into_inner());
+        let stale: Vec<(String, u64)> = cond
+            .map
+            .keys()
+            .filter(|(n, _)| n == name)
+            .cloned()
+            .collect();
+        for key in stale {
+            if let Some(old) = cond.map.remove(&key) {
+                cond.bytes -= old.memory_bytes();
+                cond.order.retain(|k| k != &key);
+            }
+        }
+        self.cond_bytes_gauge.set(cond.bytes as u64);
     }
 
     /// Drop residency for exactly the given `(name, version)` pairs.
@@ -266,6 +313,15 @@ impl Catalog {
             }
             self.sync_gauge(dev, &res);
         }
+        let mut cond = self.cond.lock().unwrap_or_else(|e| e.into_inner());
+        for &v in versions {
+            let key = (name.to_string(), v);
+            if let Some(old) = cond.map.remove(&key) {
+                cond.bytes -= old.memory_bytes();
+                cond.order.retain(|k| k != &key);
+            }
+        }
+        self.cond_bytes_gauge.set(cond.bytes as u64);
     }
 
     /// The latest host-resident version, if the graph is registered.
@@ -541,6 +597,80 @@ impl Catalog {
         Ok(resident)
     }
 
+    /// The SCC condensation of `(name, version)`'s adjacency — the
+    /// planner's preprocessing stage. Built from the retained host
+    /// graph on miss and cached LRU under the condensation budget;
+    /// entries are invalidated with their version (prune, replace), so
+    /// a cached condensation always matches its snapshot exactly.
+    pub fn condensation_at(
+        &self,
+        name: &str,
+        version: u64,
+    ) -> Result<Arc<Condensation>, EngineError> {
+        let key = (name.to_string(), version);
+        {
+            let mut cond = self.cond.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(c) = cond.map.get(&key) {
+                self.cond_hits.inc(1);
+                let c = Arc::clone(c);
+                cond.order.retain(|k| k != &key);
+                cond.order.push(key);
+                return Ok(c);
+            }
+        }
+        self.cond_misses.inc(1);
+        // Build outside the cache lock — Tarjan over a large graph must
+        // not serialise every other worker's cache hit.
+        let host = self.host_graph_at(name, version)?;
+        let built = Arc::new(Condensation::build(
+            host.n_vertices(),
+            &host.adjacency_csr().to_pairs(),
+        ));
+        let bytes = built.memory_bytes();
+        let mut cond = self.cond.lock().unwrap_or_else(|e| e.into_inner());
+        // A racing worker may have built the same version; keep the
+        // incumbent (they are identical — the build is a pure function
+        // of the snapshot).
+        if let Some(c) = cond.map.get(&key) {
+            return Ok(Arc::clone(c));
+        }
+        while cond.bytes + bytes > self.cond_budget && !cond.order.is_empty() {
+            let victim = cond.order.remove(0);
+            if let Some(old) = cond.map.remove(&victim) {
+                cond.bytes -= old.memory_bytes();
+                self.cond_evictions.inc(1);
+            }
+        }
+        cond.bytes += bytes;
+        cond.order.push(key.clone());
+        cond.map.insert(key, Arc::clone(&built));
+        self.cond_bytes_gauge.set(cond.bytes as u64);
+        Ok(built)
+    }
+
+    /// (hits, misses, evictions) of the condensation cache so far.
+    pub fn condensation_counters(&self) -> (u64, u64, u64) {
+        (
+            self.cond_hits.get(),
+            self.cond_misses.get(),
+            self.cond_evictions.get(),
+        )
+    }
+
+    /// Cached condensations right now.
+    pub fn condensation_count(&self) -> usize {
+        self.cond
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len()
+    }
+
+    /// Host bytes the condensation cache holds right now.
+    pub fn condensation_bytes(&self) -> usize {
+        self.cond.lock().unwrap_or_else(|e| e.into_inner()).bytes
+    }
+
     /// (hits, misses, evictions) so far.
     pub fn counters(&self) -> (u64, u64, u64) {
         (self.hits.get(), self.misses.get(), self.evictions.get())
@@ -758,6 +888,59 @@ mod tests {
         // Unpinning v0 drops both its host version and its residency.
         cat.unpin("g", v0);
         assert!(cat.resident_at("g", v0, 0, &inst).is_err());
+    }
+
+    #[test]
+    fn condensation_cache_follows_versions() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let cat = Catalog::new(1, usize::MAX);
+        // 0→1→2→0 cycle plus a tail.
+        let g = LabeledGraph::from_triples(5, [(0, a, 1), (1, a, 2), (2, a, 0), (2, a, 3)]);
+        cat.add("g", g);
+        let v0 = cat.current_version("g").unwrap();
+        let c1 = cat.condensation_at("g", v0).unwrap();
+        assert_eq!(c1.n_components(), 3);
+        let c2 = cat.condensation_at("g", v0).unwrap();
+        assert!(Arc::ptr_eq(&c1, &c2), "second lookup hits the cache");
+        assert_eq!(cat.condensation_counters().0, 1);
+        assert!(cat.condensation_bytes() > 0);
+
+        // A new version gets its own entry; pruning v0 drops its entry.
+        let mut batch = UpdateBatch::new();
+        batch.insert(3, a, 4);
+        let v1 = cat.apply_batch("g", &batch).unwrap();
+        let c3 = cat.condensation_at("g", v1).unwrap();
+        assert!(!Arc::ptr_eq(&c1, &c3));
+        assert_eq!(cat.condensation_count(), 1, "v0's entry died with v0");
+
+        // Replacing the graph clears everything.
+        cat.add("g", LabeledGraph::from_triples(2, [(0, a, 1)]));
+        assert_eq!(cat.condensation_count(), 0);
+        assert_eq!(cat.condensation_bytes(), 0);
+    }
+
+    #[test]
+    fn condensation_cache_evicts_under_budget() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let probe = {
+            let cat = Catalog::new(1, usize::MAX);
+            cat.add("p", graph(64, a));
+            cat.condensation_at("p", 0).unwrap().memory_bytes()
+        };
+        // Budget fits one condensation, not two.
+        let cat = Catalog::new(1, probe + probe / 2);
+        cat.add("g1", graph(64, a));
+        cat.add("g2", graph(64, a));
+        cat.condensation_at("g1", 0).unwrap();
+        cat.condensation_at("g2", 0).unwrap(); // evicts g1
+        let (_, _, evictions) = cat.condensation_counters();
+        assert!(evictions >= 1);
+        assert!(cat.condensation_bytes() <= probe + probe / 2);
+        cat.condensation_at("g1", 0).unwrap(); // miss again
+        let (hits, misses, _) = cat.condensation_counters();
+        assert_eq!((hits, misses), (0, 3)); // g1, g2, then g1 again
     }
 
     #[test]

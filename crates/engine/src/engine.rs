@@ -119,6 +119,13 @@ pub enum Query {
     Cfpq(String),
     /// Transitive closure of the unlabeled adjacency.
     Closure,
+    /// Transitive closure via SCC condensation: the planner fetches the
+    /// pinned version's cached condensation from the catalog, runs the
+    /// fused fixpoint on the component DAG, and expands back through
+    /// the component map. Answers are bit-identical to
+    /// [`Query::Closure`]; the device only ever runs the DAG-sized
+    /// fixpoint.
+    ClosureCondensed,
     /// Graph mutation: apply an edge-update batch, producing the next
     /// version. Rides the same admission queue as queries; admitted
     /// reads keep their pinned version regardless of interleaving.
@@ -205,6 +212,7 @@ enum Payload {
     RpqFromSource(u32),
     Cfpq,
     Closure,
+    ClosureCondensed,
     Update(UpdateBatch),
 }
 
@@ -215,6 +223,7 @@ fn payload_name(p: &Payload) -> &'static str {
         Payload::RpqFromSource(_) => "rpq_from_source",
         Payload::Cfpq => "cfpq",
         Payload::Closure => "closure",
+        Payload::ClosureCondensed => "closure_condensed",
         Payload::Update(_) => "update",
     }
 }
@@ -502,6 +511,10 @@ impl Engine {
                 Payload::Cfpq,
             ),
             Query::Closure => (inner.planner.plan_closure()?, Payload::Closure),
+            Query::ClosureCondensed => (
+                inner.planner.plan_closure_condensed()?,
+                Payload::ClosureCondensed,
+            ),
             Query::Update(batch) => (inner.planner.plan_update()?, Payload::Update(batch)),
         };
         trace.leaf(
@@ -975,6 +988,19 @@ fn run_one(
             let resident = inner.catalog.resident_at(&req.graph, pinned(), dev, inst)?;
             closure_delta(&resident.adjacency)
                 .map(|c| {
+                    let mut pairs = c.read();
+                    pairs.sort_unstable();
+                    QueryResult::Pairs(pairs)
+                })
+                .map_err(EngineError::from_exec)
+        }
+        (PlanKind::ClosureCondensed, Payload::ClosureCondensed) => {
+            // Preprocessing stage: the condensation is computed once
+            // per (graph, version) and cached in the catalog; the
+            // DAG-sized fixpoint runs on this worker's device.
+            let cond = inner.catalog.condensation_at(&req.graph, pinned())?;
+            spbla_prep::condensed_closure_with(inst, &cond)
+                .map(|(c, _)| {
                     let mut pairs = c.read();
                     pairs.sort_unstable();
                     QueryResult::Pairs(pairs)

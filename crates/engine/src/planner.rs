@@ -47,6 +47,12 @@ pub enum PlanKind {
     Cfpq(CnfGrammar),
     /// Transitive closure of the unlabeled adjacency matrix.
     Closure,
+    /// Transitive closure via the SCC condensation: the planner's
+    /// preprocessing stage fetches (or builds) the graph version's
+    /// cached [`spbla_prep::Condensation`] and runs the fused fixpoint
+    /// on the component DAG instead of the raw adjacency. Bit-identical
+    /// to [`PlanKind::Closure`] by construction.
+    ClosureCondensed,
     /// Graph mutation: apply an update batch to the latest version.
     Update,
 }
@@ -122,6 +128,14 @@ impl Planner {
     /// The (single) closure plan.
     pub fn plan_closure(&self) -> Result<Arc<Plan>, EngineError> {
         self.get_or_build("closure".to_string(), || PlanKind::Closure)
+    }
+
+    /// The condensed-closure plan: closure with the SCC preprocessing
+    /// stage in front.
+    pub fn plan_closure_condensed(&self) -> Result<Arc<Plan>, EngineError> {
+        self.get_or_build("closure_condensed".to_string(), || {
+            PlanKind::ClosureCondensed
+        })
     }
 
     /// The (single) update plan — mutations ride the same admission

@@ -1,0 +1,425 @@
+//! Strongly-connected components by iterative Tarjan, plus the
+//! condensation the planner preprocessing stage caches.
+//!
+//! The solver is Tarjan's single-pass algorithm with an explicit frame
+//! stack — serving-sized graphs (LUBM rungs reach millions of edges)
+//! would overflow the thread stack under the textbook recursion, so no
+//! recursion is allowed here. Tarjan pops components in *reverse*
+//! topological order; component ids are renumbered on the way out so
+//! that every condensation-DAG edge goes from a lower id to a strictly
+//! higher one. That upper-triangular invariant is what the condensed
+//! closure schedule relies on: the DAG's level structure is well defined
+//! and the fixpoint only ever discovers pairs "downhill".
+
+use rustc_hash::FxHashSet;
+use spbla_core::{Index, Pair};
+
+const UNSET: u32 = u32::MAX;
+
+/// The condensation of a directed graph: the component map, the member
+/// lists, and the component DAG.
+///
+/// Component ids are topological: every inter-component edge `(u, v)`
+/// in [`Condensation::dag`] has `comp_of[u] < comp_of[v]`.
+#[derive(Debug, Clone)]
+pub struct Condensation {
+    /// Vertex count of the underlying graph.
+    pub n_vertices: Index,
+    /// `comp_of[v]` — the component id of vertex `v`.
+    pub comp_of: Vec<u32>,
+    /// `members[c]` — the vertices of component `c`, sorted ascending.
+    pub members: Vec<Vec<u32>>,
+    /// Whether component `c` contains a cycle: more than one member, or
+    /// a single member with a self-loop. Cyclic components expand to
+    /// dense all-pairs blocks in the closure.
+    pub cyclic: Vec<bool>,
+    /// Inter-component edges, sorted and deduplicated; strictly
+    /// upper-triangular (`u < v`) under the topological numbering.
+    pub dag: Vec<Pair>,
+    /// `levels[c]` — longest-path depth of component `c` from the DAG's
+    /// sources; rounds of the condensed fixpoint touch only live levels.
+    pub levels: Vec<u32>,
+}
+
+impl Condensation {
+    /// Condense the graph on `n` vertices with the given edge list.
+    /// Out-of-range endpoints are ignored (callers pass validated edge
+    /// lists; the guard keeps a corrupt stream from panicking the
+    /// preprocessing stage).
+    pub fn build(n: Index, edges: &[Pair]) -> Condensation {
+        let nv = n as usize;
+        // CSR-shaped adjacency (counts → offsets → targets).
+        let mut degree = vec![0u32; nv];
+        for &(u, v) in edges {
+            if (u as usize) < nv && (v as usize) < nv {
+                degree[u as usize] += 1;
+            }
+        }
+        let mut offsets = vec![0usize; nv + 1];
+        for i in 0..nv {
+            offsets[i + 1] = offsets[i] + degree[i] as usize;
+        }
+        let mut targets = vec![0u32; offsets[nv]];
+        let mut fill = offsets.clone();
+        for &(u, v) in edges {
+            if (u as usize) < nv && (v as usize) < nv {
+                targets[fill[u as usize]] = v;
+                fill[u as usize] += 1;
+            }
+        }
+
+        let mut index = vec![UNSET; nv];
+        let mut low = vec![0u32; nv];
+        let mut on_stack = vec![false; nv];
+        let mut comp_of = vec![UNSET; nv];
+        let mut stack: Vec<u32> = Vec::new();
+        // Explicit DFS frames: (vertex, next outgoing-edge cursor).
+        let mut frames: Vec<(u32, usize)> = Vec::new();
+        let mut next_index = 0u32;
+        let mut n_comps = 0u32;
+
+        for root in 0..nv as u32 {
+            if index[root as usize] != UNSET {
+                continue;
+            }
+            frames.push((root, offsets[root as usize]));
+            index[root as usize] = next_index;
+            low[root as usize] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root as usize] = true;
+            while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+                let vu = v as usize;
+                if *cursor < offsets[vu + 1] {
+                    let w = targets[*cursor];
+                    *cursor += 1;
+                    let wu = w as usize;
+                    if index[wu] == UNSET {
+                        // Tree edge: descend.
+                        index[wu] = next_index;
+                        low[wu] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[wu] = true;
+                        frames.push((w, offsets[wu]));
+                    } else if on_stack[wu] {
+                        low[vu] = low[vu].min(index[wu]);
+                    }
+                    continue;
+                }
+                // v's out-edges exhausted: maybe pop a component, then
+                // propagate the low-link to the parent frame.
+                if low[vu] == index[vu] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack holds the component");
+                        on_stack[w as usize] = false;
+                        comp_of[w as usize] = n_comps;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    n_comps += 1;
+                }
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    let pu = parent as usize;
+                    low[pu] = low[pu].min(low[vu]);
+                }
+            }
+        }
+
+        // Tarjan ids come out in reverse topological order: renumber so
+        // DAG edges run low → high.
+        let comp_of: Vec<u32> = comp_of.iter().map(|&c| n_comps - 1 - c).collect();
+        let nc = n_comps as usize;
+        let mut members = vec![Vec::new(); nc];
+        for (v, &c) in comp_of.iter().enumerate() {
+            members[c as usize].push(v as u32);
+        }
+        // Vertex order ascending within each component (the push order
+        // already is, but keep the invariant explicit).
+        for list in &mut members {
+            list.sort_unstable();
+        }
+
+        let mut cyclic: Vec<bool> = members.iter().map(|m| m.len() > 1).collect();
+        let mut dag_set: FxHashSet<Pair> = FxHashSet::default();
+        for &(u, v) in edges {
+            if (u as usize) >= nv || (v as usize) >= nv {
+                continue;
+            }
+            let (cu, cv) = (comp_of[u as usize], comp_of[v as usize]);
+            if cu == cv {
+                if u == v {
+                    cyclic[cu as usize] = true;
+                }
+            } else {
+                debug_assert!(cu < cv, "topological numbering is upper-triangular");
+                dag_set.insert((cu, cv));
+            }
+        }
+        let mut dag: Vec<Pair> = dag_set.into_iter().collect();
+        dag.sort_unstable();
+
+        // Longest-path levels: one pass in topological (id) order.
+        let mut levels = vec![0u32; nc];
+        for &(cu, cv) in &dag {
+            let deeper = levels[cu as usize] + 1;
+            if deeper > levels[cv as usize] {
+                levels[cv as usize] = deeper;
+            }
+        }
+
+        Condensation {
+            n_vertices: n,
+            comp_of,
+            members,
+            cyclic,
+            dag,
+            levels,
+        }
+    }
+
+    /// Number of components.
+    pub fn n_components(&self) -> u32 {
+        self.members.len() as u32
+    }
+
+    /// `n_components / n_vertices` — 1.0 means the graph is already a
+    /// DAG, small values mean heavy cycles (big condensation wins).
+    pub fn ratio(&self) -> f64 {
+        if self.n_vertices == 0 {
+            1.0
+        } else {
+            f64::from(self.n_components()) / f64::from(self.n_vertices)
+        }
+    }
+
+    /// Number of distinct DAG levels (0 for the empty graph).
+    pub fn n_levels(&self) -> u32 {
+        self.levels.iter().copied().max().map_or(0, |l| l + 1)
+    }
+
+    /// Approximate host footprint, counted against the catalog's
+    /// residency budget when the condensation is cached per version.
+    pub fn memory_bytes(&self) -> usize {
+        let per_vertex = 4 /* comp_of */ + 4 /* members entry */;
+        let per_comp = 24 /* members Vec header */ + 1 /* cyclic */ + 4 /* levels */;
+        self.n_vertices as usize * per_vertex
+            + self.members.len() * per_comp
+            + self.dag.len() * 8
+            + std::mem::size_of::<Condensation>()
+    }
+
+    /// Incrementally refresh this condensation against the *current*
+    /// edge list, assuming the partition can only have coarsened: every
+    /// old component is still entirely inside one new component. That
+    /// holds after edge inserts (which can merge SCCs but never split
+    /// one) and after deletes of *inter*-component edges; a delete
+    /// inside a component may split it and requires a fresh
+    /// [`Condensation::build`] — the caller's escape hatch.
+    ///
+    /// The trick: the new SCC partition is exactly the SCC partition of
+    /// the *component graph* (old components as vertices, current edges
+    /// mapped through `comp_of`). Tarjan runs on `n_components` nodes
+    /// instead of `n_vertices` — the cheap path when condensation has
+    /// collapsed the graph — and the result composes: cyclic flags,
+    /// DAG, and levels all transfer from the component-graph run.
+    pub fn merge_with_edges(&self, edges: &[Pair]) -> Condensation {
+        let nv = self.n_vertices as usize;
+        let nc = self.n_components();
+        let mapped: Vec<Pair> = edges
+            .iter()
+            .filter(|&&(u, v)| (u as usize) < nv && (v as usize) < nv)
+            .map(|&(u, v)| (self.comp_of[u as usize], self.comp_of[v as usize]))
+            .collect();
+        let meta = Condensation::build(nc, &mapped);
+        let comp_of: Vec<u32> = self
+            .comp_of
+            .iter()
+            .map(|&c| meta.comp_of[c as usize])
+            .collect();
+        let mut members = vec![Vec::new(); meta.n_components() as usize];
+        for (v, &c) in comp_of.iter().enumerate() {
+            members[c as usize].push(v as u32);
+        }
+        for list in &mut members {
+            list.sort_unstable();
+        }
+        // An old cyclic component carries an intra-component edge, which
+        // maps to a component-graph self-loop — so `meta.cyclic` already
+        // covers both merge-created and pre-existing cycles. A merged
+        // component of several singletons is cyclic by the merge itself.
+        let cyclic: Vec<bool> = meta
+            .cyclic
+            .iter()
+            .zip(&members)
+            .map(|(&c, m)| c || m.len() > 1)
+            .collect();
+        Condensation {
+            n_vertices: self.n_vertices,
+            comp_of,
+            members,
+            cyclic,
+            dag: meta.dag,
+            levels: meta.levels,
+        }
+    }
+
+    /// Order-independent canonical form: member lists sorted by their
+    /// smallest vertex, plus the DAG edges rewritten over smallest-
+    /// member representatives. Two condensations of the same graph are
+    /// equal exactly when their canonical forms are — regardless of how
+    /// component ids were assigned (fresh Tarjan run vs. incremental
+    /// maintenance).
+    pub fn canonical(&self) -> (Vec<Vec<u32>>, Vec<Pair>) {
+        let mut parts = self.members.clone();
+        parts.sort_unstable_by_key(|m| m.first().copied().unwrap_or(u32::MAX));
+        let rep: Vec<u32> = self
+            .members
+            .iter()
+            .map(|m| m.first().copied().unwrap_or(u32::MAX))
+            .collect();
+        let mut edges: Vec<Pair> = self
+            .dag
+            .iter()
+            .map(|&(u, v)| (rep[u as usize], rep[v as usize]))
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        (parts, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comp_sets(c: &Condensation) -> Vec<Vec<u32>> {
+        c.canonical().0
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let c = Condensation::build(0, &[]);
+        assert_eq!(c.n_components(), 0);
+        assert_eq!(c.n_levels(), 0);
+        assert!(c.dag.is_empty());
+        assert_eq!(c.ratio(), 1.0);
+    }
+
+    #[test]
+    fn single_self_loop_is_one_cyclic_component() {
+        let c = Condensation::build(1, &[(0, 0)]);
+        assert_eq!(c.n_components(), 1);
+        assert_eq!(c.cyclic, vec![true]);
+        assert!(c.dag.is_empty());
+        // Without the loop the lone vertex is acyclic.
+        let c = Condensation::build(1, &[]);
+        assert_eq!(c.cyclic, vec![false]);
+    }
+
+    #[test]
+    fn full_cycle_is_one_component() {
+        let n = 7u32;
+        let edges: Vec<Pair> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let c = Condensation::build(n, &edges);
+        assert_eq!(c.n_components(), 1);
+        assert!(c.cyclic[0]);
+        assert_eq!(c.members[0], (0..n).collect::<Vec<_>>());
+        assert_eq!(c.n_levels(), 1);
+    }
+
+    #[test]
+    fn chain_is_all_singletons_in_topo_order() {
+        let edges = [(0, 1), (1, 2), (2, 3)];
+        let c = Condensation::build(4, &edges);
+        assert_eq!(c.n_components(), 4);
+        assert!(c.cyclic.iter().all(|&b| !b));
+        // Edges must run low → high under the renumbering.
+        for &(u, v) in &c.dag {
+            assert!(u < v);
+        }
+        assert_eq!(c.levels.len(), 4);
+        assert_eq!(c.n_levels(), 4);
+        // comp ids follow reachability order along the chain.
+        for w in edges {
+            assert!(c.comp_of[w.0 as usize] < c.comp_of[w.1 as usize]);
+        }
+    }
+
+    #[test]
+    fn two_cycles_bridged() {
+        // 0↔1 → 2↔3, plus an isolated vertex 4.
+        let edges = [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)];
+        let c = Condensation::build(5, &edges);
+        assert_eq!(c.n_components(), 3);
+        let sets = comp_sets(&c);
+        assert!(sets.contains(&vec![0, 1]));
+        assert!(sets.contains(&vec![2, 3]));
+        assert!(sets.contains(&vec![4]));
+        assert_eq!(c.dag.len(), 1);
+        let (cu, cv) = c.dag[0];
+        assert_eq!(c.members[cu as usize], vec![0, 1]);
+        assert_eq!(c.members[cv as usize], vec![2, 3]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_recurse() {
+        // 200k-vertex path: the recursive formulation would blow the
+        // stack; the explicit-frame solver must not.
+        let n = 200_000u32;
+        let edges: Vec<Pair> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let c = Condensation::build(n, &edges);
+        assert_eq!(c.n_components(), n);
+        assert_eq!(c.n_levels(), n);
+    }
+
+    #[test]
+    fn out_of_range_edges_are_ignored() {
+        let c = Condensation::build(2, &[(0, 1), (5, 0), (1, 9)]);
+        assert_eq!(c.n_components(), 2);
+        assert_eq!(c.dag.len(), 1);
+    }
+
+    #[test]
+    fn merge_with_edges_matches_fresh_build() {
+        // Start from two 2-cycles bridged; then add an edge closing the
+        // big cycle, merging everything into one SCC.
+        let before = vec![(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)];
+        let cond = Condensation::build(5, &before);
+        let mut after = before.clone();
+        after.push((3, 0));
+        let incremental = cond.merge_with_edges(&after);
+        let fresh = Condensation::build(5, &after);
+        assert_eq!(incremental.canonical(), fresh.canonical());
+        assert_eq!(incremental.n_components(), 2); // {0,1,2,3} + {4}
+                                                   // Pure DAG-edge insert (no merge) also stays identical.
+        let mut dag_only = before.clone();
+        dag_only.push((4, 0));
+        let incremental = cond.merge_with_edges(&dag_only);
+        assert_eq!(
+            incremental.canonical(),
+            Condensation::build(5, &dag_only).canonical()
+        );
+        // Inter-component delete (the bridge 1→2): partition unchanged,
+        // the DAG loses its edge.
+        let bridgeless: Vec<Pair> = vec![(0, 1), (1, 0), (2, 3), (3, 2)];
+        let incremental = cond.merge_with_edges(&bridgeless);
+        assert_eq!(
+            incremental.canonical(),
+            Condensation::build(5, &bridgeless).canonical()
+        );
+        assert!(incremental.dag.is_empty());
+    }
+
+    #[test]
+    fn canonical_is_id_assignment_independent() {
+        let edges = [(0, 1), (1, 0), (2, 0)];
+        let a = Condensation::build(3, &edges);
+        // Same graph, edges in a different order → possibly different
+        // Tarjan visit order, same canonical form.
+        let b = Condensation::build(3, &[(2, 0), (1, 0), (0, 1)]);
+        assert_eq!(a.canonical(), b.canonical());
+    }
+}

@@ -15,18 +15,24 @@
 //!   deletions run a DRed-style over-delete-then-rederive pass, and
 //!   both fall back to a full recompute when the touched frontier
 //!   outgrows a threshold ([`MaintainConfig`]);
+//! * [`SccView`]: an incrementally maintained SCC condensation for the
+//!   planner's condensed-closure preprocessing — inserts merge
+//!   components via a component-graph Tarjan, intra-component deletes
+//!   fall back to a full recompute;
 //! * [`GraphStream`]: the session façade wiring store, log, and views
 //!   together.
 
 mod batch;
 mod closure_view;
 mod rpq_view;
+mod scc_view;
 mod session;
 mod store;
 
 pub use batch::{UpdateBatch, UpdateLog, UpdateOp};
 pub use closure_view::{ClosureView, MaintainConfig, MaintainMode, MaintainStats};
 pub use rpq_view::RpqView;
+pub use scc_view::{SccStats, SccView};
 pub use session::GraphStream;
 pub use store::{AppliedBatch, GraphSnapshot, VersionedGraph};
 

@@ -9,7 +9,8 @@ use spbla_lang::Nfa;
 use spbla_multidev::DeviceGrid;
 
 use crate::{
-    AppliedBatch, ClosureView, MaintainConfig, RpqView, UpdateBatch, UpdateLog, VersionedGraph,
+    AppliedBatch, ClosureView, MaintainConfig, MaintainMode, RpqView, SccView, UpdateBatch,
+    UpdateLog, VersionedGraph,
 };
 
 /// The stream façade: applies each batch to the store, fans the delta
@@ -20,6 +21,7 @@ pub struct GraphStream {
     store: VersionedGraph,
     log: UpdateLog,
     closure: Option<ClosureView>,
+    scc: Option<SccView>,
     rpq_views: FxHashMap<String, RpqView>,
 }
 
@@ -31,6 +33,7 @@ impl GraphStream {
             log: UpdateLog::new(store.version()),
             store,
             closure: None,
+            scc: None,
             rpq_views: FxHashMap::default(),
         })
     }
@@ -64,6 +67,15 @@ impl GraphStream {
         Ok(())
     }
 
+    /// Register an SCC condensation view, built at the current version
+    /// and maintained per batch (the planner's condensed-closure
+    /// preprocessing reads it instead of re-running Tarjan).
+    pub fn track_scc(&mut self, mode: MaintainMode) {
+        let snap = self.store.pin();
+        let pairs = snap.adjacency_pairs();
+        self.scc = Some(SccView::new(snap.n_vertices(), &pairs, mode));
+    }
+
     /// Register a named RPQ view, built at the current version.
     pub fn track_rpq(&mut self, name: &str, nfa: &Nfa, config: MaintainConfig) -> Result<()> {
         let view = RpqView::new(self.store.grid(), nfa, &self.store.pin(), config)?;
@@ -74,6 +86,11 @@ impl GraphStream {
     /// The tracked closure view, if registered.
     pub fn closure_view(&self) -> Option<&ClosureView> {
         self.closure.as_ref()
+    }
+
+    /// The tracked SCC condensation view, if registered.
+    pub fn scc_view(&self) -> Option<&SccView> {
+        self.scc.as_ref()
     }
 
     /// A tracked RPQ view by name.
@@ -102,6 +119,12 @@ impl GraphStream {
                 view.apply(&applied.adj_inserted, &applied.adj_deleted)?;
             }
         }
+        if let Some(view) = &mut self.scc {
+            if !applied.adj_inserted.is_empty() || !applied.adj_deleted.is_empty() {
+                let _inner = spbla_obs::trace_global().span("stream:scc_view", "op", 0);
+                view.apply(&applied.adj_inserted, &applied.adj_deleted);
+            }
+        }
         for view in self.rpq_views.values_mut() {
             let _inner = spbla_obs::trace_global().span("stream:rpq_view", "op", 0);
             view.apply(&prev, &applied)?;
@@ -127,6 +150,7 @@ mod tests {
 
         let mut stream = GraphStream::new(&grid, &g).unwrap();
         stream.track_closure(MaintainConfig::default()).unwrap();
+        stream.track_scc(crate::MaintainMode::Incremental);
         stream
             .track_rpq("a-plus", &glushkov(&regex), MaintainConfig::default())
             .unwrap();
@@ -142,6 +166,9 @@ mod tests {
         // Both views saw the delta.
         assert!(stream.closure_view().unwrap().pairs().contains(&(0, 3)));
         assert!(stream.rpq_view("a-plus").unwrap().pairs().contains(&(0, 3)));
+
+        // The SCC view tracks the same stream.
+        assert_eq!(stream.scc_view().unwrap().stats().batches, 1);
 
         // A no-op batch leaves everything untouched.
         let mut noop = UpdateBatch::new();

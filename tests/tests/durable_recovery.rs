@@ -103,6 +103,9 @@ fn crash_at_every_byte_recovers_the_exact_prefix() {
     let config = DurabilityConfig {
         segment_bytes: 96,
         checkpoint_every: 2,
+        // The matrix exercises fallback from *any* checkpoint, which
+        // needs the full-depth log; compaction has its own test below.
+        compact_on_checkpoint: false,
     };
     let mut log = DurableLog::open(&dir, config, &graph, 0, &table).unwrap();
     let mut version_checksums = vec![closure_checksum(&graph)];
@@ -174,6 +177,7 @@ fn restart_after_crash_keeps_post_restart_appends() {
     let config = DurabilityConfig {
         segment_bytes: 96,
         checkpoint_every: 2,
+        compact_on_checkpoint: false, // full-depth log, as above
     };
     let mut log = DurableLog::open(&dir, config, &graph, 0, &table).unwrap();
     for (k, batch) in batches.iter().enumerate() {
@@ -218,6 +222,95 @@ fn restart_after_crash_keeps_post_restart_appends() {
     let _ = fs::remove_dir_all(&crash);
 }
 
+/// Compaction on checkpoint success: segments folded into the newest
+/// checkpoint are deleted, recovery stays bit-identical before and
+/// after the sweep, and a fallback past the compaction horizon is a
+/// typed error instead of a silently shortened history.
+#[test]
+fn compaction_preserves_recovery_bit_identity() {
+    let dir = tmpdir("compact");
+    let mut table = SymbolTable::new();
+    let n = 12u32;
+    let batches = batch_stream(&mut table, n, 9);
+    let a = table.get("a").unwrap();
+    let mut graph = LabeledGraph::from_triples(n, [(0, a, 1), (1, a, 2)]);
+    // Manual checkpoints only: first grow a long multi-segment log.
+    let config = DurabilityConfig {
+        segment_bytes: 96,
+        checkpoint_every: 0,
+        compact_on_checkpoint: true,
+    };
+    let mut log = DurableLog::open(&dir, config, &graph, 0, &table).unwrap();
+    let mut graph_at_6 = graph.clone();
+    for (k, batch) in batches.iter().enumerate() {
+        batch.apply_to(&mut graph);
+        log.append(k as u64 + 1, batch, &graph, &table).unwrap();
+        if k as u64 + 1 == 6 {
+            graph_at_6 = graph.clone();
+        }
+    }
+    let before_segments = wal::list_segments(&dir).unwrap().len();
+    assert!(before_segments > 2, "stream must span multiple segments");
+
+    let recover_head_checksum = |dir: &Path| {
+        let mut fresh = SymbolTable::new();
+        let rec = recover(dir, &mut fresh).unwrap();
+        let mut state = rec.graph;
+        for (_, batch) in &rec.tail {
+            batch.apply_to(&mut state);
+        }
+        (
+            rec.checkpoint_version,
+            rec.head_version,
+            closure_checksum(&state),
+        )
+    };
+    let (_, head_before, sum_before) = recover_head_checksum(&dir);
+    assert_eq!(head_before, 9);
+    assert_eq!(sum_before, closure_checksum(&graph));
+
+    // Checkpoint mid-history: the sweep must drop the fully covered
+    // prefix and leave recovery bit-identical.
+    log.checkpoint_now(6, &graph_at_6, &table).unwrap();
+    let after_segments = wal::list_segments(&dir).unwrap().len();
+    assert!(
+        after_segments < before_segments,
+        "checkpoint at 6 should compact the log ({before_segments} -> {after_segments})"
+    );
+    let (ckpt, head_after, sum_after) = recover_head_checksum(&dir);
+    assert_eq!(ckpt, 6);
+    assert_eq!(head_after, head_before);
+    assert_eq!(sum_after, sum_before, "compaction changed recovered state");
+
+    // Post-compaction appends land and recover as usual.
+    let mut extra = UpdateBatch::new();
+    extra.insert(2, a, 7);
+    extra.apply_to(&mut graph);
+    log.append(10, &extra, &graph, &table).unwrap();
+    let (_, head, sum) = recover_head_checksum(&dir);
+    assert_eq!(head, 10);
+    assert_eq!(sum, closure_checksum(&graph));
+
+    // Damage the checkpoint the sweep was keyed to: the only fallback
+    // checkpoints predate the compaction horizon, and recovery must
+    // say so loudly.
+    for (version, path) in list_checkpoints(&dir).unwrap() {
+        if version == 6 {
+            let mut bytes = fs::read(&path).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xff;
+            fs::write(&path, &bytes).unwrap();
+        }
+    }
+    match recover(&dir, &mut SymbolTable::new()) {
+        Err(spbla_durable::DurableError::Corrupt { reason, .. }) => {
+            assert!(reason.contains("compacted"), "unexpected reason: {reason}");
+        }
+        other => panic!("expected Corrupt past the compaction horizon, got {other:?}"),
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
 /// Kill-and-restart through the engine: a new engine recovered from the
 /// durability directory serves the same closure answer at the same
 /// version as the engine that died.
@@ -240,6 +333,7 @@ fn engine_restart_reconstructs_the_served_state() {
     let config = DurabilityConfig {
         segment_bytes: 128,
         checkpoint_every: 3,
+        compact_on_checkpoint: true,
     };
     let mut log = engine.with_symbols(|t| DurableLog::open(&dir, config, &base, 0, t).unwrap());
     // Batches were built against a local table with the same intern

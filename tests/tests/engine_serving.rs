@@ -182,6 +182,174 @@ fn concurrent_mixed_load_is_bit_identical_to_sequential() {
     }
 }
 
+/// `Query::ClosureCondensed` is a schedule, not a different answer: on
+/// every grid width it must return exactly the pairs `Query::Closure`
+/// returns, end to end through planner, catalog condensation cache and
+/// worker execution.
+#[test]
+fn condensed_closure_serves_identical_answers() {
+    for n_devices in [1usize, 2, 4] {
+        let engine = engine_on(n_devices, EngineConfig::default());
+        let read = |q: Query| {
+            let done = engine.submit("lubm", q).unwrap().wait();
+            match done.result.unwrap() {
+                QueryResult::Pairs(p) => p,
+                other => panic!("unexpected result {other:?}"),
+            }
+        };
+        let direct = read(Query::Closure);
+        let condensed = read(Query::ClosureCondensed);
+        assert_eq!(
+            direct, condensed,
+            "condensed closure diverged on {n_devices} devices"
+        );
+        // A second condensed run hits the catalog's condensation cache.
+        let again = read(Query::ClosureCondensed);
+        assert_eq!(again, direct);
+        let stats = engine.shutdown();
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.completed, 3);
+    }
+}
+
+/// Tiered admission at its exact boundaries: with
+/// `batch_admission_fraction` 0.75 the batch tier bounces at
+/// ⌊0.75·capacity⌋ while interactive fills the whole queue; 0.0 clamps
+/// to the documented one-slot floor; 1.0 makes the tiers identical.
+/// Each rejection lands in its tier's
+/// `spbla_engine_rejections_total{tier}` cell, which `EngineStats`
+/// mirrors.
+#[test]
+fn tiered_admission_boundaries_are_exact() {
+    use spbla_engine::QosTier;
+
+    let launches =
+        |engine: &Engine| -> u64 { engine.stats().devices.iter().map(|d| d.launches).sum() };
+    // Submit a closure and wait until the single worker is provably
+    // inside it (its first kernel launch landed): from then on the
+    // queue holds exactly the requests submitted below, because every
+    // filler is itself a slow closure.
+    let occupy_worker = |engine: &Engine| {
+        let before = launches(engine);
+        let busy = engine.submit("lubm", Query::Closure).unwrap();
+        while launches(engine) == before {
+            std::thread::yield_now();
+        }
+        busy
+    };
+    let overloaded = |r: Result<spbla_engine::Ticket, EngineError>| match r {
+        Err(EngineError::Overloaded {
+            depth,
+            capacity,
+            tier,
+        }) => (depth, capacity, tier),
+        Ok(_) => panic!("expected Overloaded, request was admitted"),
+        Err(other) => panic!("expected Overloaded, got {other}"),
+    };
+
+    // fraction 0.75, capacity 8: batch limit is 6.
+    let engine = engine_on(
+        1,
+        EngineConfig {
+            queue_capacity: 8,
+            batch_admission_fraction: 0.75,
+            batching: false,
+            ..EngineConfig::default()
+        },
+    );
+    let mut tickets = vec![occupy_worker(&engine)];
+    for _ in 0..5 {
+        tickets.push(engine.submit("lubm", Query::Closure).unwrap());
+    }
+    // Depth 5 < 6: the batch tier's last slot is still open.
+    tickets.push(
+        engine
+            .submit_tiered("lubm", Query::Closure, QosTier::Batch, None)
+            .unwrap(),
+    );
+    // Depth 6 = the batch limit: batch bounces, interactive continues.
+    assert_eq!(
+        overloaded(engine.submit_tiered("lubm", Query::Closure, QosTier::Batch, None)),
+        (6, 6, QosTier::Batch)
+    );
+    tickets.push(engine.submit("lubm", Query::Closure).unwrap());
+    tickets.push(engine.submit("lubm", Query::Closure).unwrap());
+    // Depth 8 = full queue: now interactive bounces too.
+    assert_eq!(
+        overloaded(engine.submit("lubm", Query::Closure)),
+        (8, 8, QosTier::Interactive)
+    );
+    for t in tickets {
+        t.wait().result.expect("admitted requests complete");
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.rejected, 2);
+    assert_eq!(stats.rejected_interactive, 1);
+    assert_eq!(stats.rejected_batch, 1);
+    assert_eq!(stats.completed, 9);
+
+    // fraction 0.0: clamped to one batch slot, so an idle engine still
+    // admits a lone batch request, and any queued work shuts the tier.
+    let engine = engine_on(
+        1,
+        EngineConfig {
+            queue_capacity: 4,
+            batch_admission_fraction: 0.0,
+            batching: false,
+            ..EngineConfig::default()
+        },
+    );
+    let lone = engine
+        .submit_tiered("lubm", Query::Closure, QosTier::Batch, None)
+        .expect("empty queue admits one batch request even at fraction 0.0");
+    while launches(&engine) == 0 {
+        std::thread::yield_now();
+    }
+    let filler = engine.submit("lubm", Query::Closure).unwrap();
+    assert_eq!(
+        overloaded(engine.submit_tiered("lubm", Query::Closure, QosTier::Batch, None)),
+        (1, 1, QosTier::Batch)
+    );
+    lone.wait().result.unwrap();
+    filler.wait().result.unwrap();
+    let stats = engine.shutdown();
+    assert_eq!(stats.rejected_batch, 1);
+    assert_eq!(stats.rejected_interactive, 0);
+
+    // fraction 1.0: the tiers are indistinguishable — batch fills the
+    // queue to capacity and bounces exactly where interactive does.
+    let engine = engine_on(
+        1,
+        EngineConfig {
+            queue_capacity: 2,
+            batch_admission_fraction: 1.0,
+            batching: false,
+            ..EngineConfig::default()
+        },
+    );
+    let busy = occupy_worker(&engine);
+    let t1 = engine
+        .submit_tiered("lubm", Query::Closure, QosTier::Batch, None)
+        .unwrap();
+    let t2 = engine
+        .submit_tiered("lubm", Query::Closure, QosTier::Batch, None)
+        .unwrap();
+    assert_eq!(
+        overloaded(engine.submit_tiered("lubm", Query::Closure, QosTier::Batch, None)),
+        (2, 2, QosTier::Batch)
+    );
+    assert_eq!(
+        overloaded(engine.submit("lubm", Query::Closure)),
+        (2, 2, QosTier::Interactive)
+    );
+    for t in [busy, t1, t2] {
+        t.wait().result.unwrap();
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.rejected_batch, 1);
+    assert_eq!(stats.rejected_interactive, 1);
+}
+
 /// A full admission queue rejects with typed `Overloaded`, nothing
 /// blocks, and every admitted request still completes.
 #[test]
