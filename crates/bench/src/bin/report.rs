@@ -164,6 +164,7 @@ fn main() {
         "load" => load(&mut records),
         "replication" => replication(&mut records),
         "condense" => condense(&mut records),
+        "failover" => failover(&mut records),
         "all" => {
             table1();
             table2();
@@ -185,10 +186,11 @@ fn main() {
             load(&mut records);
             replication(&mut records);
             condense(&mut records);
+            failover(&mut records);
         }
         other => {
             eprintln!("unknown experiment: {other}");
-            eprintln!("known: table1 table2 fig2 fig3 table3 table4 paths boolean-vs-generic formats ablations scaling serving stream obs fusion memory frontier load replication condense all");
+            eprintln!("known: table1 table2 fig2 fig3 table3 table4 paths boolean-vs-generic formats ablations scaling serving stream obs fusion memory frontier load replication condense failover all");
             std::process::exit(2);
         }
     }
@@ -1803,7 +1805,9 @@ fn load(records: &mut Vec<JsonRecord>) {
     println!(" offered-rate ladder calibrated to the measured service time; the");
     println!(" QoS rung then overloads the engine and checks that batch-tier");
     println!(" admission gives way before the interactive tier does)\n");
-    use spbla_durable::{run_open_loop, saturation_sweep, LoadConfig};
+    use spbla_durable::{
+        run_open_loop, run_open_loop_mixed, saturation_sweep, write_query_templates, LoadConfig,
+    };
     use spbla_engine::{Engine, EngineConfig, Query};
     use spbla_multidev::DeviceGrid;
 
@@ -1816,6 +1820,7 @@ fn load(records: &mut Vec<JsonRecord>) {
     );
     let graph = engine.with_symbols(|table| lubm_rung(1, table));
     let n_vertices = graph.n_vertices();
+    let write_label = *graph.labels().first().expect("lubm has labels");
     engine.add_graph("lubm", graph);
     let queries: Vec<Query> = (0..8u32)
         .map(|i| Query::RpqFromSource {
@@ -1851,7 +1856,7 @@ fn load(records: &mut Vec<JsonRecord>) {
         ..LoadConfig::default()
     };
     let rates: Vec<f64> = [0.4, 0.8, 1.6, 3.2, 6.4].iter().map(|m| m * unit).collect();
-    let (points, saturation) = saturation_sweep(&engine, "lubm", &queries, &base, &rates);
+    let (points, saturation) = saturation_sweep(&engine, "lubm", &queries, &[], &base, &rates);
     println!(
         "{:>9} {:>9} {:>8} {:>7} {:>9} {:>9} {:>9} {:>9}  sat",
         "rate", "achieved", "rejects", "dead", "int-p50", "int-p95", "bat-p50", "bat-p95"
@@ -1899,6 +1904,40 @@ fn load(records: &mut Vec<JsonRecord>) {
         bat_rej_rate * 100.0,
         qos.interactive.p95_us as f64 / 1e3
     );
+
+    // The write-mix rung: a quarter of arrivals are update batches on
+    // the batch tier, offered well below saturation — reads must keep
+    // their SLOs and the writes must all land.
+    let mix_rate = rates[0]; // 0.4× the calibrated unit: every write
+                             // invalidates the cached closure, so the
+                             // mixed rung's sustainable rate sits well
+                             // below the read-only ladder's
+    let mix_config = LoadConfig {
+        rate_per_sec: mix_rate,
+        requests: 120,
+        seed: base.seed.wrapping_add(2000),
+        write_fraction: 0.25,
+        ..base.clone()
+    };
+    let write_templates = write_query_templates(write_label, n_vertices, 8, 8, mix_config.seed);
+    let mix = run_open_loop_mixed(&engine, "lubm", &queries, &write_templates, &mix_config);
+    println!(
+        "\nwrite mix at {mix_rate:.0} req/s (25% writes): reads int p50/p95/p99 \
+         {:.1}/{:.1}/{:.1} ms, bat {:.1}/{:.1}/{:.1} ms, writes {}/{} completed \
+         p50/p95/p99 {:.1}/{:.1}/{:.1} ms, saturated {}",
+        mix.interactive.p50_us as f64 / 1e3,
+        mix.interactive.p95_us as f64 / 1e3,
+        mix.interactive.p99_us as f64 / 1e3,
+        mix.batch.p50_us as f64 / 1e3,
+        mix.batch.p95_us as f64 / 1e3,
+        mix.batch.p99_us as f64 / 1e3,
+        mix.writes.completed,
+        mix.writes.offered,
+        mix.writes.p50_us as f64 / 1e3,
+        mix.writes.p95_us as f64 / 1e3,
+        mix.writes.p99_us as f64 / 1e3,
+        if mix.saturated() { "yes" } else { "no" }
+    );
     engine.shutdown();
 
     let sweep_rows = points
@@ -1931,7 +1970,13 @@ fn load(records: &mut Vec<JsonRecord>) {
          \"saturation_rate\": {},\n  \"qos\": {{\"rate\": {qos_rate:.1}, \
          \"interactive_offered\": {}, \"interactive_rejected\": {}, \
          \"interactive_p95_us\": {}, \"batch_offered\": {}, \"batch_rejected\": {}, \
-         \"batch_p95_us\": {}}},\n  \"p95_bound_us\": {p95_bound_us}\n}}\n",
+         \"batch_p95_us\": {}}},\n  \"p95_bound_us\": {p95_bound_us},\n  \
+         \"write_mix\": {{\"rate\": {mix_rate:.1}, \"write_fraction\": 0.25, \
+         \"writes_offered\": {}, \"writes_completed\": {}, \"writes_failed\": {}, \
+         \"writes_p50_us\": {}, \"writes_p95_us\": {}, \"writes_p99_us\": {}, \
+         \"interactive_p50_us\": {}, \"interactive_p95_us\": {}, \"interactive_p99_us\": {}, \
+         \"batch_p50_us\": {}, \"batch_p95_us\": {}, \"batch_p99_us\": {}, \
+         \"saturated\": {}}}\n}}\n",
         service_s * 1e3,
         unit,
         saturation.map_or("null".into(), |r| format!("{r:.1}")),
@@ -1941,6 +1986,19 @@ fn load(records: &mut Vec<JsonRecord>) {
         qos.batch.offered,
         qos.batch.rejected,
         qos.batch.p95_us,
+        mix.writes.offered,
+        mix.writes.completed,
+        mix.writes.failed,
+        mix.writes.p50_us,
+        mix.writes.p95_us,
+        mix.writes.p99_us,
+        mix.interactive.p50_us,
+        mix.interactive.p95_us,
+        mix.interactive.p99_us,
+        mix.batch.p50_us,
+        mix.batch.p95_us,
+        mix.batch.p99_us,
+        mix.saturated(),
     );
     std::fs::write("BENCH_load.json", json).unwrap_or_else(|e| {
         eprintln!("cannot write BENCH_load.json: {e}");
@@ -2003,6 +2061,27 @@ fn load(records: &mut Vec<JsonRecord>) {
         eprintln!(
             "LOAD GATE FAILED: interactive p95 {} us over the {} us bound under overload",
             qos.interactive.p95_us, p95_bound_us
+        );
+        failed = true;
+    }
+    if mix.saturated() {
+        eprintln!(
+            "LOAD GATE FAILED: write mix saturated at {mix_rate:.0} req/s — \
+             writes starve the sub-saturation read path"
+        );
+        failed = true;
+    }
+    if mix.writes.offered == 0 || mix.writes.completed == 0 {
+        eprintln!(
+            "LOAD GATE FAILED: write mix scheduled {} writes, completed {}",
+            mix.writes.offered, mix.writes.completed
+        );
+        failed = true;
+    }
+    if mix.writes.failed > 0 {
+        eprintln!(
+            "LOAD GATE FAILED: {} write batches failed outright",
+            mix.writes.failed
         );
         failed = true;
     }
@@ -2418,5 +2497,235 @@ fn condense(records: &mut Vec<JsonRecord>) {
     println!(
         "condense gates passed: {launch_ratio:.2}x >= 1.5x launches, \
          {insertion_ratio:.2}x >= 2x insertions, checksums identical"
+    );
+}
+
+// ---------------------------------------------------------------- E20
+fn failover(records: &mut Vec<JsonRecord>) {
+    header("FAILOVER — failure injection, WAL-tail rejoin, group commit (E20 gate)");
+    println!("(the claims to check: with 1 of 3 replicas killed mid-stream the");
+    println!(" set keeps acknowledging writes and serves every routed read —");
+    println!(" zero failures, bit-identical closure checksums against the");
+    println!(" primary at every version; the revived replica rejoins by");
+    println!(" replaying exactly the log tail it missed, never a full copy;");
+    println!(" and group commit spends >= 3x fewer fsyncs than sync-every-");
+    println!(" append at equal load while recovery of the acknowledged prefix");
+    println!(" stays bit-identical between the two modes)\n");
+    use spbla_durable::{recover, DurabilityConfig, DurableLog, RejoinStats, ReplicaSet};
+    use spbla_stream::UpdateBatch;
+
+    let mut table = SymbolTable::new();
+    let graph = lubm_rung(1, &mut table);
+    let member = table.get("memberOf").expect("lubm label");
+    let n = graph.n_vertices();
+    println!("LUBM fixture n={n}, nnz={}\n", graph.n_edges());
+
+    // ---- rung 1: kill replica 1 mid-stream, revive it, keep serving.
+    const BATCHES: u32 = 12;
+    const FAIL_AT: u32 = 4; // fail after this batch acks
+    const REVIVE_AT: u32 = 10; // revive after this batch acks
+    let set = ReplicaSet::new(&graph, 3, 1).expect("replica set builds");
+    let mut reads_served = 0u64;
+    let mut failed_reads = 0u64;
+    let mut served_on_dead = 0u64;
+    let mut rejoin: Option<RejoinStats> = None;
+    for k in 0..BATCHES {
+        let mut batch = UpdateBatch::new();
+        batch
+            .insert(k % n, member, (k * 17 + 1) % n)
+            .insert((k * 31) % n, member, (k * 7 + 3) % n);
+        set.apply(&batch)
+            .expect("write path keeps acknowledging through the failure");
+        // Every write is chased by routed reads at the freshest version;
+        // each must land on a live replica and answer bit-identically to
+        // the primary.
+        let reference = set
+            .read_closure_on(0)
+            .expect("primary always serves")
+            .checksum;
+        for _ in 0..3 {
+            match set.read_closure(set.version()) {
+                Ok(read) => {
+                    reads_served += 1;
+                    if set.is_failed(read.replica) {
+                        served_on_dead += 1;
+                    }
+                    assert_eq!(
+                        read.checksum, reference,
+                        "replica {} diverged from primary after batch {k}",
+                        read.replica
+                    );
+                }
+                Err(_) => failed_reads += 1,
+            }
+        }
+        if k + 1 == FAIL_AT {
+            set.fail(1).expect("failure injection");
+            println!("batch {:>2}: replica 1 killed", k + 1);
+        }
+        if k + 1 == REVIVE_AT {
+            let stats = set.revive(1).expect("revive");
+            println!(
+                "batch {:>2}: replica 1 rejoined, replayed {} batches (full_resync={})",
+                k + 1,
+                stats.replayed,
+                stats.full_resync
+            );
+            rejoin = Some(stats);
+        }
+    }
+    let missed = (REVIVE_AT - FAIL_AT) as u64;
+    let rejoin = rejoin.expect("revive ran");
+    let finals: Vec<_> = (0..set.len())
+        .map(|r| set.read_closure_on(r).expect("replica read"))
+        .collect();
+    let checksum = finals[0].checksum;
+    let bit_identical = finals
+        .iter()
+        .all(|r| r.checksum == checksum && r.version == set.version());
+    println!(
+        "\nstream done: {reads_served} routed reads served, {failed_reads} failed, \
+         checksum {checksum:016x} on all {} replicas, log entries left: {}",
+        set.len(),
+        set.log_entries()
+    );
+
+    // ---- rung 2: group commit vs sync-every-append at equal load.
+    const APPENDS: u64 = 48;
+    const FLUSH_EVERY: u64 = 8;
+    let scratch = std::env::temp_dir().join(format!("spbla-failover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let dir_sync = scratch.join("sync");
+    let dir_group = scratch.join("group");
+    std::fs::create_dir_all(&dir_sync).expect("scratch dir");
+    std::fs::create_dir_all(&dir_group).expect("scratch dir");
+    let mk_config = |group_commit| DurabilityConfig {
+        checkpoint_every: 0,
+        group_commit,
+        flush_every: FLUSH_EVERY,
+        ..DurabilityConfig::default()
+    };
+    let mut log_sync =
+        DurableLog::open(&dir_sync, mk_config(false), &graph, 0, &table).expect("sync log opens");
+    let mut log_group =
+        DurableLog::open(&dir_group, mk_config(true), &graph, 0, &table).expect("group log opens");
+    for v in 1..=APPENDS {
+        let mut batch = UpdateBatch::new();
+        let k = v as u32;
+        batch.insert(k % n, member, (k * 13 + 5) % n);
+        log_sync
+            .append(v, &batch, &graph, &table)
+            .expect("sync append");
+        log_group
+            .append(v, &batch, &graph, &table)
+            .expect("group append");
+    }
+    log_sync.flush().expect("sync flush");
+    log_group.flush().expect("group flush");
+    let (sync_fsyncs, group_fsyncs) = (log_sync.fsyncs(), log_group.fsyncs());
+    let economy = sync_fsyncs as f64 / (group_fsyncs as f64).max(1.0);
+    assert_eq!(log_sync.acked_version(), APPENDS);
+    assert_eq!(log_group.acked_version(), APPENDS);
+    let rec_sync = recover(&dir_sync, &mut table).expect("sync recovery");
+    let rec_group = recover(&dir_group, &mut table).expect("group recovery");
+    let prefixes_identical = rec_sync.head_version == rec_group.head_version
+        && rec_sync.tail.len() == rec_group.tail.len()
+        && rec_sync
+            .tail
+            .iter()
+            .zip(rec_group.tail.iter())
+            .all(|((va, ba), (vb, bb))| va == vb && ba.ops() == bb.ops());
+    println!(
+        "group commit: {APPENDS} appends — {sync_fsyncs} fsyncs sync-every-append vs \
+         {group_fsyncs} grouped ({economy:.1}x), recovered heads {} / {}",
+        rec_sync.head_version, rec_group.head_version
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let json = format!(
+        "{{\n  \"graph\": \"LUBM\", \"n\": {n}, \"replicas\": {}, \"batches\": {BATCHES},\n  \
+         \"fail_at\": {FAIL_AT}, \"revive_at\": {REVIVE_AT},\n  \
+         \"reads_served\": {reads_served}, \"failed_reads\": {failed_reads}, \
+         \"served_on_dead\": {served_on_dead},\n  \
+         \"checksum\": \"{checksum:016x}\", \"bit_identical\": {bit_identical},\n  \
+         \"rejoin\": {{\"replayed\": {}, \"missed\": {missed}, \"full_resync\": {}}},\n  \
+         \"group_commit\": {{\"appends\": {APPENDS}, \"flush_every\": {FLUSH_EVERY}, \
+         \"sync_fsyncs\": {sync_fsyncs}, \"group_fsyncs\": {group_fsyncs}, \
+         \"economy\": {economy:.2}, \"prefixes_identical\": {prefixes_identical}}}\n}}\n",
+        set.len(),
+        rejoin.replayed,
+        rejoin.full_resync,
+    );
+    std::fs::write("BENCH_failover.json", json).unwrap_or_else(|e| {
+        eprintln!("cannot write BENCH_failover.json: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote BENCH_failover.json");
+
+    records.push(JsonRecord {
+        experiment: "failover".into(),
+        config: vec![
+            ("checksum".into(), format!("{checksum:016x}")),
+            ("failed_reads".into(), failed_reads.to_string()),
+            ("replayed".into(), rejoin.replayed.to_string()),
+            ("fsync_economy".into(), format!("{economy:.2}")),
+        ],
+        launches: 0,
+        insertions: 0,
+        h2d_bytes: 0,
+        d2h_bytes: 0,
+        d2d_bytes: 0,
+        peak_bytes: 0,
+    });
+
+    // The CI failover-smoke gates.
+    let mut failed = false;
+    if failed_reads > 0 || served_on_dead > 0 {
+        eprintln!(
+            "FAILOVER GATE FAILED: {failed_reads} routed reads failed, \
+             {served_on_dead} landed on the dead replica (need 0 / 0)"
+        );
+        failed = true;
+    }
+    if !bit_identical {
+        eprintln!("FAILOVER GATE FAILED: replica closure checksums diverged after rejoin");
+        failed = true;
+    }
+    if rejoin.replayed != missed || rejoin.full_resync {
+        eprintln!(
+            "FAILOVER GATE FAILED: rejoin replayed {} of {missed} missed batches \
+             (full_resync={}) — must replay exactly the lag, never a full copy",
+            rejoin.replayed, rejoin.full_resync
+        );
+        failed = true;
+    }
+    if set.log_entries() != 0 {
+        eprintln!(
+            "FAILOVER GATE FAILED: {} replication-log entries retained after \
+             every replica caught up (need 0)",
+            set.log_entries()
+        );
+        failed = true;
+    }
+    if economy < 3.0 {
+        eprintln!(
+            "FAILOVER GATE FAILED: group commit saved only {economy:.1}x fsyncs \
+             at equal load (need >= 3x)"
+        );
+        failed = true;
+    }
+    if !prefixes_identical {
+        eprintln!(
+            "FAILOVER GATE FAILED: recovered acknowledged prefixes differ \
+             between sync and group-commit logs"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(2);
+    }
+    println!(
+        "failover gates passed: 0 failed reads, bit-identical checksums, \
+         rejoin replayed {missed}/{missed}, {economy:.1}x fsync economy"
     );
 }

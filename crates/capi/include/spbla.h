@@ -33,7 +33,10 @@ typedef enum spbla_Status {
     SPBLA_DEADLINE_EXCEEDED   = 9,  /* request budget elapsed          */
     SPBLA_CANCELLED           = 10, /* cancelled via its ticket        */
     SPBLA_UNKNOWN_GRAPH       = 11, /* no catalog graph with that name */
-    SPBLA_PLAN_ERROR          = 12  /* query text did not compile      */
+    SPBLA_PLAN_ERROR          = 12, /* query text did not compile      */
+    SPBLA_CORRUPT             = 13, /* durable state failed validation */
+    SPBLA_NO_CHECKPOINT       = 14, /* nothing to recover from         */
+    SPBLA_REPLICA_FAILED      = 15  /* replica out of service          */
 } spbla_Status;
 
 typedef enum spbla_Backend {

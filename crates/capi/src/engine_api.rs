@@ -297,7 +297,7 @@ pub unsafe extern "C" fn spbla_Engine_Recover(
             *out_version = summary.head_version;
             SpblaStatus::Ok
         }
-        Some(Err(_)) => SpblaStatus::Error,
+        Some(Err(e)) => SpblaStatus::from(&e),
         None => SpblaStatus::InvalidHandle,
     }
 }

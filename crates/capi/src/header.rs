@@ -97,6 +97,9 @@ mod tests {
             ("SPBLA_CANCELLED", SpblaStatus::Cancelled as i32),
             ("SPBLA_UNKNOWN_GRAPH", SpblaStatus::UnknownGraph as i32),
             ("SPBLA_PLAN_ERROR", SpblaStatus::PlanError as i32),
+            ("SPBLA_CORRUPT", SpblaStatus::Corrupt as i32),
+            ("SPBLA_NO_CHECKPOINT", SpblaStatus::NoCheckpoint as i32),
+            ("SPBLA_REPLICA_FAILED", SpblaStatus::ReplicaFailed as i32),
         ];
         for (name, value) in pairs {
             let needle = format!("{name} ");

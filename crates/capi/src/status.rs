@@ -32,6 +32,12 @@ pub enum SpblaStatus {
     UnknownGraph = 11,
     /// The query text did not parse or compile.
     PlanError = 12,
+    /// Durable state (WAL segment or checkpoint) failed validation.
+    Corrupt = 13,
+    /// No readable checkpoint exists in the durability directory.
+    NoCheckpoint = 14,
+    /// The addressed replica is out of service (failed or poisoned).
+    ReplicaFailed = 15,
 }
 
 impl From<&SpblaError> for SpblaStatus {
@@ -45,6 +51,21 @@ impl From<&SpblaError> for SpblaStatus {
             }
             SpblaError::Device(_) => SpblaStatus::Error,
             _ => SpblaStatus::Error,
+        }
+    }
+}
+
+impl From<&spbla_durable::DurableError> for SpblaStatus {
+    fn from(e: &spbla_durable::DurableError) -> SpblaStatus {
+        use spbla_durable::DurableError;
+        match e {
+            DurableError::Corrupt { .. } => SpblaStatus::Corrupt,
+            DurableError::NoCheckpoint { .. } => SpblaStatus::NoCheckpoint,
+            DurableError::ReplicaFailed { .. } => SpblaStatus::ReplicaFailed,
+            DurableError::TooLarge { .. } => SpblaStatus::Error,
+            DurableError::Io { .. } => SpblaStatus::Error,
+            DurableError::Engine(e) => SpblaStatus::from(e),
+            DurableError::Exec(e) => SpblaStatus::from(e),
         }
     }
 }
@@ -109,6 +130,37 @@ mod tests {
         assert_eq!(
             SpblaStatus::from(&EngineError::PlanError("bad".into())),
             SpblaStatus::PlanError
+        );
+    }
+
+    #[test]
+    fn durable_error_mapping() {
+        use spbla_durable::DurableError;
+        assert_eq!(
+            SpblaStatus::from(&DurableError::Corrupt {
+                path: "wal-00000000.seg".into(),
+                offset: 20,
+                reason: "checksum mismatch".into(),
+            }),
+            SpblaStatus::Corrupt
+        );
+        assert_eq!(
+            SpblaStatus::from(&DurableError::NoCheckpoint { dir: "/d".into() }),
+            SpblaStatus::NoCheckpoint
+        );
+        assert_eq!(
+            SpblaStatus::from(&DurableError::ReplicaFailed {
+                replica: 2,
+                reason: "failed by injection".into(),
+            }),
+            SpblaStatus::ReplicaFailed
+        );
+        // Wrapped engine/exec errors keep their existing codes.
+        assert_eq!(
+            SpblaStatus::from(&DurableError::Engine(
+                spbla_engine::EngineError::UnknownGraph("g".into())
+            )),
+            SpblaStatus::UnknownGraph
         );
     }
 }

@@ -161,11 +161,13 @@ pub const USAGE: &str = "usage: spbla <command>\n\
             cross-checks incremental maintenance against per-batch recompute;\n\
             --wal durably logs the stream for `spbla recover`)\n\
   load     [graph.triples] [--devices N] [--rate R] [--requests N] [--seed S]\n\
-           [--queue CAP] [--interactive-fraction F] [--deadline-ms MS] [--sweep on|off]\n\
+           [--queue CAP] [--interactive-fraction F] [--deadline-ms MS]\n\
+           [--write-fraction F] [--sweep on|off]\n\
            (open-loop seeded-Poisson load against the serving engine: arrivals\n\
             fire on schedule, rejections are counted, latency includes schedule\n\
-            slip — no coordinated omission; --sweep walks a rate ladder to the\n\
-            saturation point)\n\
+            slip — no coordinated omission; --write-fraction mixes update\n\
+            batches into the stream on the batch tier; --sweep walks a rate\n\
+            ladder to the saturation point)\n\
   recover  <dir> [--graph NAME] [--devices N]\n\
            (rebuild an engine from a durability directory: latest good checkpoint\n\
             plus write-ahead-log tail replay, then serve a closure query from the\n\
@@ -909,7 +911,9 @@ fn cmd_stream(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 fn cmd_load(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
-    use spbla_durable::{run_open_loop, saturation_sweep, LoadConfig, TierStats};
+    use spbla_durable::{
+        run_open_loop_mixed, saturation_sweep, write_query_templates, LoadConfig, TierStats,
+    };
     use spbla_engine::{Engine, EngineConfig, Query};
 
     let devices: usize = opt_parse(args, "devices", 2)?;
@@ -925,6 +929,10 @@ fn cmd_load(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let queue_capacity: usize = opt_parse(args, "queue", 16)?;
     let interactive_fraction: f64 = opt_parse(args, "interactive-fraction", 0.3)?;
     let deadline_ms: u64 = opt_parse(args, "deadline-ms", 250)?;
+    let write_fraction: f64 = opt_parse(args, "write-fraction", 0.0)?;
+    if !(0.0..=1.0).contains(&write_fraction) {
+        return Err(CliError::usage("--write-fraction must be in [0, 1]"));
+    }
     let sweep = opt_on_off(args, "sweep", false)?;
 
     let engine = Engine::new(
@@ -961,6 +969,16 @@ fn cmd_load(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         })
         .collect();
 
+    let writes = if write_fraction > 0.0 {
+        let label = engine.with_symbols(|table| {
+            table
+                .get(&busiest)
+                .ok_or_else(|| CliError::run("busiest label not interned"))
+        })?;
+        write_query_templates(label, n_vertices, 4, 8, seed)
+    } else {
+        Vec::new()
+    };
     let config = LoadConfig {
         rate_per_sec: rate,
         requests,
@@ -968,6 +986,7 @@ fn cmd_load(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         interactive_fraction,
         interactive_deadline_ms: Some(deadline_ms),
         batch_deadline_ms: None,
+        write_fraction,
     };
     let tier_line = |out: &mut dyn Write, name: &str, t: &TierStats| -> Result<(), CliError> {
         writeln!(
@@ -987,7 +1006,8 @@ fn cmd_load(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     };
     if sweep {
         let rates: Vec<f64> = [0.5, 1.0, 2.0, 4.0, 8.0].iter().map(|m| m * rate).collect();
-        let (points, saturation) = saturation_sweep(&engine, "g", &queries, &config, &rates);
+        let (points, saturation) =
+            saturation_sweep(&engine, "g", &queries, &writes, &config, &rates);
         for p in &points {
             writeln!(
                 out,
@@ -999,6 +1019,9 @@ fn cmd_load(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             )?;
             tier_line(out, "interactive", &p.report.interactive)?;
             tier_line(out, "batch", &p.report.batch)?;
+            if p.report.writes.offered > 0 {
+                tier_line(out, "writes", &p.report.writes)?;
+            }
         }
         match saturation {
             Some(r) => writeln!(out, "saturation detected at {r:.0} req/s offered")?,
@@ -1009,7 +1032,7 @@ fn cmd_load(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             )?,
         }
     } else {
-        let report = run_open_loop(&engine, "g", &queries, &config);
+        let report = run_open_loop_mixed(&engine, "g", &queries, &writes, &config);
         writeln!(
             out,
             "open loop: {requests} arrivals at {rate:.0} req/s on {devices} devices \
@@ -1020,6 +1043,9 @@ fn cmd_load(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         )?;
         tier_line(out, "interactive", &report.interactive)?;
         tier_line(out, "batch", &report.batch)?;
+        if report.writes.offered > 0 {
+            tier_line(out, "writes", &report.writes)?;
+        }
     }
     engine.shutdown();
     Ok(())

@@ -48,6 +48,16 @@ pub enum DurableError {
         /// Maximum the format's field width can represent.
         max: usize,
     },
+    /// A replica is out of service: explicitly failed by injection,
+    /// poisoned by a panic inside its apply path, or named by an
+    /// operation that requires a live replica. The rest of the set
+    /// keeps serving; only the named replica is affected.
+    ReplicaFailed {
+        /// Index of the replica in its set.
+        replica: usize,
+        /// Why it is out of service.
+        reason: String,
+    },
     /// Replaying the recovered tail into the engine failed.
     Engine(EngineError),
     /// A kernel-level operation failed during recovery or replication.
@@ -76,6 +86,9 @@ impl std::fmt::Display for DurableError {
                     f,
                     "cannot encode {what} of size {len}: format limit is {max}"
                 )
+            }
+            DurableError::ReplicaFailed { replica, reason } => {
+                write!(f, "replica {replica} is out of service: {reason}")
             }
             DurableError::Engine(e) => write!(f, "engine replay failed: {e}"),
             DurableError::Exec(e) => write!(f, "execution failed: {e}"),

@@ -37,10 +37,10 @@ pub mod wal;
 pub use checkpoint::{list_checkpoints, read_checkpoint, write_checkpoint, Checkpoint};
 pub use error::{DurableError, Result};
 pub use load::{
-    arrival_schedule, run_open_loop, saturation_sweep, Arrival, LoadConfig, LoadReport, SweepPoint,
-    TierStats,
+    arrival_schedule, arrival_schedule_mixed, run_open_loop, run_open_loop_mixed, saturation_sweep,
+    write_query_templates, Arrival, LoadConfig, LoadReport, SweepPoint, TierStats,
 };
-pub use replica::{ReplicaSet, RoutedRead};
+pub use replica::{RejoinStats, ReplicaSet, RoutedRead};
 pub use store::{
     recover, recover_into_engine, DurabilityConfig, DurableLog, EngineRecovery, Recovered,
 };

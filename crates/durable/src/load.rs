@@ -15,10 +15,19 @@
 //! ([`QosTier::Interactive`] / [`QosTier::Batch`]) with independent
 //! deadlines, and [`saturation_sweep`] walks an offered-rate ladder
 //! until the engine stops keeping up.
+//!
+//! A run can mix writes into the arrival stream
+//! ([`LoadConfig::write_fraction`], [`run_open_loop_mixed`]): write
+//! arrivals are [`Query::Update`] batches submitted under the batch
+//! tier on the same open-loop schedule, and their outcomes are
+//! reported as a third stats bucket ([`LoadReport::writes`]) so read
+//! SLOs and write throughput are visible separately.
 
 use std::time::{Duration, Instant};
 
 use spbla_engine::{Engine, EngineError, QosTier, Query, Ticket};
+use spbla_lang::Symbol;
+use spbla_stream::UpdateBatch;
 
 /// Knobs for one open-loop run.
 #[derive(Debug, Clone)]
@@ -36,6 +45,12 @@ pub struct LoadConfig {
     pub interactive_deadline_ms: Option<u64>,
     /// Deadline for batch requests, if any.
     pub batch_deadline_ms: Option<u64>,
+    /// Fraction of arrivals that are write batches instead of reads.
+    /// Writes ride the batch admission tier (they mutate shared state,
+    /// so they never preempt interactive reads) and are reported in
+    /// [`LoadReport::writes`]. 0 keeps the run read-only and the
+    /// schedule bit-identical to earlier versions of the harness.
+    pub write_fraction: f64,
 }
 
 impl Default for LoadConfig {
@@ -47,6 +62,7 @@ impl Default for LoadConfig {
             interactive_fraction: 0.3,
             interactive_deadline_ms: Some(250),
             batch_deadline_ms: None,
+            write_fraction: 0.0,
         }
     }
 }
@@ -58,8 +74,11 @@ pub struct Arrival {
     pub at: Duration,
     /// Admission tier.
     pub tier: QosTier,
-    /// Index into the caller's query template list.
+    /// Index into the caller's query template list — the read templates
+    /// for a read arrival, the write templates for a write arrival.
     pub query: usize,
+    /// Whether this arrival submits a write batch.
+    pub write: bool,
 }
 
 struct XorShift(u64);
@@ -87,24 +106,85 @@ impl XorShift {
 /// query choice drawn per arrival. Pure in `config` — two calls always
 /// agree, which is what makes runs reproducible and comparable.
 pub fn arrival_schedule(config: &LoadConfig, n_queries: usize) -> Vec<Arrival> {
+    arrival_schedule_mixed(config, n_queries, 0)
+}
+
+/// [`arrival_schedule`] with write arrivals mixed in: when
+/// [`LoadConfig::write_fraction`] is positive and `n_writes > 0`, each
+/// arrival first draws read-vs-write; writes are pinned to the batch
+/// tier and index the write template list. With the mix disabled the
+/// generator consumes exactly the historical draw sequence, so
+/// read-only schedules stay bit-identical across versions.
+pub fn arrival_schedule_mixed(
+    config: &LoadConfig,
+    n_queries: usize,
+    n_writes: usize,
+) -> Vec<Arrival> {
     assert!(config.rate_per_sec > 0.0, "arrival rate must be positive");
     assert!(n_queries > 0, "need at least one query template");
+    let mix = config.write_fraction > 0.0 && n_writes > 0;
     let mut rng = XorShift::new(config.seed);
     let mut at = 0.0f64;
     (0..config.requests)
         .map(|_| {
             at += -rng.next_unit().ln() / config.rate_per_sec;
-            let tier = if rng.next_unit() <= config.interactive_fraction {
-                QosTier::Interactive
+            let write = mix && rng.next_unit() <= config.write_fraction;
+            if write {
+                Arrival {
+                    at: Duration::from_secs_f64(at),
+                    tier: QosTier::Batch,
+                    query: (rng.next_u64() % n_writes as u64) as usize,
+                    write: true,
+                }
             } else {
-                QosTier::Batch
-            };
-            let query = (rng.next_u64() % n_queries as u64) as usize;
-            Arrival {
-                at: Duration::from_secs_f64(at),
-                tier,
-                query,
+                let tier = if rng.next_unit() <= config.interactive_fraction {
+                    QosTier::Interactive
+                } else {
+                    QosTier::Batch
+                };
+                let query = (rng.next_u64() % n_queries as u64) as usize;
+                Arrival {
+                    at: Duration::from_secs_f64(at),
+                    tier,
+                    query,
+                    write: false,
+                }
             }
+        })
+        .collect()
+}
+
+/// Deterministic write templates for a mixed run: `count` update
+/// batches of `ops_per_batch` operations each over `n_vertices`
+/// vertices under one `label`, drawn from `seed`. Roughly 3:1
+/// inserts to deletes so the graph churns without emptying; every
+/// endpoint stays in bounds, so the only way a write fails is the
+/// serving path itself.
+pub fn write_query_templates(
+    label: Symbol,
+    n_vertices: u32,
+    ops_per_batch: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<Query> {
+    assert!(
+        n_vertices >= 2,
+        "write templates need at least two vertices"
+    );
+    let mut rng = XorShift::new(seed);
+    (0..count)
+        .map(|_| {
+            let mut batch = UpdateBatch::new();
+            for _ in 0..ops_per_batch.max(1) {
+                let u = (rng.next_u64() % n_vertices as u64) as u32;
+                let v = (rng.next_u64() % n_vertices as u64) as u32;
+                if rng.next_u64().is_multiple_of(4) {
+                    batch.delete(u, label, v);
+                } else {
+                    batch.insert(u, label, v);
+                }
+            }
+            Query::Update(batch)
         })
         .collect()
 }
@@ -161,21 +241,29 @@ pub struct LoadReport {
     pub achieved_rate: f64,
     /// Wall time from first scheduled arrival to last completion.
     pub wall_ms: u64,
-    /// Interactive-tier outcomes.
+    /// Interactive-tier read outcomes.
     pub interactive: TierStats,
-    /// Batch-tier outcomes.
+    /// Batch-tier read outcomes.
     pub batch: TierStats,
+    /// Write-batch outcomes (submitted under the batch tier, tracked
+    /// separately so the read SLOs are not diluted by write latency).
+    pub writes: TierStats,
 }
 
 impl LoadReport {
-    /// Total arrivals across tiers.
+    /// Total arrivals across tiers, writes included.
     pub fn offered(&self) -> u64 {
-        self.interactive.offered + self.batch.offered
+        self.interactive.offered + self.batch.offered + self.writes.offered
     }
 
-    /// Total rejections across tiers.
+    /// Total rejections across tiers, writes included.
     pub fn rejected(&self) -> u64 {
-        self.interactive.rejected + self.batch.rejected
+        self.interactive.rejected + self.batch.rejected + self.writes.rejected
+    }
+
+    /// Total completions across tiers, writes included.
+    pub fn completed(&self) -> u64 {
+        self.interactive.completed + self.batch.completed + self.writes.completed
     }
 
     /// Whether this run shows the engine failing to keep up with the
@@ -185,8 +273,7 @@ impl LoadReport {
     /// declared when completions fall more than 5 % short of arrivals.
     pub fn saturated(&self) -> bool {
         let total = self.offered().max(1);
-        let completed = self.interactive.completed + self.batch.completed;
-        (completed as f64) < 0.95 * total as f64
+        (self.completed() as f64) < 0.95 * total as f64
     }
 }
 
@@ -199,9 +286,25 @@ pub fn run_open_loop(
     queries: &[Query],
     config: &LoadConfig,
 ) -> LoadReport {
-    let schedule = arrival_schedule(config, queries.len());
+    run_open_loop_mixed(engine, graph, queries, &[], config)
+}
+
+/// [`run_open_loop`] with write templates mixed in on the same
+/// schedule: write arrivals (see [`LoadConfig::write_fraction`]) clone
+/// from `writes` and are submitted under the batch tier; their
+/// outcomes land in [`LoadReport::writes`]. An empty `writes` slice
+/// degenerates to the read-only run.
+pub fn run_open_loop_mixed(
+    engine: &Engine,
+    graph: &str,
+    queries: &[Query],
+    writes: &[Query],
+    config: &LoadConfig,
+) -> LoadReport {
+    let schedule = arrival_schedule_mixed(config, queries.len(), writes.len());
     let mut interactive = TierStats::default();
     let mut batch = TierStats::default();
+    let mut write_stats = TierStats::default();
     let start = Instant::now();
     // Dispatch phase: submit on schedule, never block on completions.
     let mut in_flight: Vec<(usize, Ticket, Duration)> = Vec::with_capacity(schedule.len());
@@ -216,17 +319,21 @@ pub fn run_open_loop(
             QosTier::Batch => config.batch_deadline_ms,
         }
         .map(Duration::from_millis);
-        let stats = match arrival.tier {
-            QosTier::Interactive => &mut interactive,
-            QosTier::Batch => &mut batch,
+        let query = if arrival.write {
+            writes[arrival.query].clone()
+        } else {
+            queries[arrival.query].clone()
+        };
+        let stats = if arrival.write {
+            &mut write_stats
+        } else {
+            match arrival.tier {
+                QosTier::Interactive => &mut interactive,
+                QosTier::Batch => &mut batch,
+            }
         };
         stats.offered += 1;
-        match engine.submit_tiered(
-            graph,
-            queries[arrival.query].clone(),
-            arrival.tier,
-            deadline,
-        ) {
+        match engine.submit_tiered(graph, query, arrival.tier, deadline) {
             Ok(ticket) => {
                 stats.admitted += 1;
                 in_flight.push((i, ticket, slip));
@@ -238,12 +345,17 @@ pub fn run_open_loop(
     // Collection phase: harvest every admitted request.
     let mut interactive_samples = Vec::new();
     let mut batch_samples = Vec::new();
+    let mut write_samples = Vec::new();
     for (i, ticket, slip) in in_flight {
         let done = ticket.wait();
-        let tier = schedule[i].tier;
-        let (stats, samples) = match tier {
-            QosTier::Interactive => (&mut interactive, &mut interactive_samples),
-            QosTier::Batch => (&mut batch, &mut batch_samples),
+        let arrival = &schedule[i];
+        let (stats, samples) = if arrival.write {
+            (&mut write_stats, &mut write_samples)
+        } else {
+            match arrival.tier {
+                QosTier::Interactive => (&mut interactive, &mut interactive_samples),
+                QosTier::Batch => (&mut batch, &mut batch_samples),
+            }
         };
         match done.result {
             Ok(_) => {
@@ -258,13 +370,15 @@ pub fn run_open_loop(
     let wall = start.elapsed();
     interactive.finish(interactive_samples);
     batch.finish(batch_samples);
-    let completed = interactive.completed + batch.completed;
+    write_stats.finish(write_samples);
+    let completed = interactive.completed + batch.completed + write_stats.completed;
     LoadReport {
         offered_rate: config.rate_per_sec,
         achieved_rate: completed as f64 / wall.as_secs_f64().max(1e-9),
         wall_ms: wall.as_millis() as u64,
         interactive,
         batch,
+        writes: write_stats,
     }
 }
 
@@ -280,10 +394,13 @@ pub struct SweepPoint {
 /// Walk an increasing offered-rate ladder and report the first rate the
 /// engine could not keep up with ([`LoadReport::saturated`]), if any.
 /// Each rung reuses `base` with its rate and a rung-specific seed.
+/// `writes` are the update templates for a mixed run (empty for
+/// read-only, see [`run_open_loop_mixed`]).
 pub fn saturation_sweep(
     engine: &Engine,
     graph: &str,
     queries: &[Query],
+    writes: &[Query],
     base: &LoadConfig,
     rates: &[f64],
 ) -> (Vec<SweepPoint>, Option<f64>) {
@@ -295,7 +412,7 @@ pub fn saturation_sweep(
             seed: base.seed.wrapping_add(i as u64),
             ..base.clone()
         };
-        let report = run_open_loop(engine, graph, queries, &config);
+        let report = run_open_loop_mixed(engine, graph, queries, writes, &config);
         if saturation.is_none() && report.saturated() {
             saturation = Some(rate);
         }
@@ -372,6 +489,59 @@ mod tests {
         assert!(report.achieved_rate > 0.0);
         let done = report.interactive.completed + report.batch.completed;
         assert!(done > 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn write_mix_rides_the_batch_tier_and_reports_separately() {
+        let mut table = spbla_lang::SymbolTable::new();
+        let a = table.intern("a");
+        let graph = LabeledGraph::from_triples(32, (0..31).map(|k| (k, a, k + 1)));
+        let engine = Engine::new(DeviceGrid::new(2), EngineConfig::default());
+        let a = engine.with_symbols(|t| t.intern("a"));
+        engine.add_graph("g", graph);
+        let config = LoadConfig {
+            rate_per_sec: 2000.0,
+            requests: 80,
+            write_fraction: 0.4,
+            interactive_deadline_ms: Some(5_000),
+            ..LoadConfig::default()
+        };
+        // The mixed schedule is deterministic and routes every write to
+        // the batch tier.
+        let schedule = arrival_schedule_mixed(&config, 1, 4);
+        assert_eq!(schedule, arrival_schedule_mixed(&config, 1, 4));
+        assert!(schedule.iter().any(|x| x.write));
+        assert!(schedule.iter().any(|x| !x.write));
+        assert!(schedule
+            .iter()
+            .filter(|x| x.write)
+            .all(|x| x.tier == QosTier::Batch && x.query < 4));
+        // write_fraction 0 must reproduce the historical read-only
+        // schedule draw-for-draw.
+        let read_only = LoadConfig {
+            write_fraction: 0.0,
+            ..config.clone()
+        };
+        assert_eq!(
+            arrival_schedule_mixed(&read_only, 1, 4),
+            arrival_schedule(&read_only, 1)
+        );
+
+        let writes = write_query_templates(a, 32, 4, 4, config.seed);
+        assert_eq!(writes.len(), 4);
+        let report = run_open_loop_mixed(&engine, "g", &[Query::Closure], &writes, &config);
+        assert_eq!(report.offered(), 80);
+        for tier in [&report.interactive, &report.batch, &report.writes] {
+            assert_eq!(
+                tier.admitted,
+                tier.completed + tier.deadline_exceeded + tier.failed
+            );
+            assert_eq!(tier.offered, tier.admitted + tier.rejected);
+        }
+        assert!(report.writes.offered > 0, "the mix must schedule writes");
+        assert!(report.writes.completed > 0, "writes must execute");
+        assert!(engine.stats().updates_applied > 0);
         engine.shutdown();
     }
 }

@@ -52,6 +52,19 @@ pub struct DurabilityConfig {
     /// [`crate::wal::compact`]). Off keeps the full log and preserves
     /// unbounded checkpoint fallback at the cost of unbounded disk.
     pub compact_on_checkpoint: bool,
+    /// Batch fsyncs across appends (group commit). Off, every append
+    /// fsyncs before returning and is immediately acknowledged. On, an
+    /// append is written but only *acknowledged* — reported by
+    /// [`DurableLog::acked_version`] — once a covering fsync lands:
+    /// every [`DurabilityConfig::flush_every`] appends, at segment
+    /// rotation, before a checkpoint, or on an explicit
+    /// [`DurableLog::flush`]. A crash loses at most the unacknowledged
+    /// tail; the acknowledged prefix holds under the same per-byte
+    /// crash matrix as the always-fsync path.
+    pub group_commit: bool,
+    /// Appends per fsync when [`DurabilityConfig::group_commit`] is on
+    /// (clamped to at least 1); ignored when it is off.
+    pub flush_every: u64,
 }
 
 impl Default for DurabilityConfig {
@@ -60,6 +73,8 @@ impl Default for DurabilityConfig {
             segment_bytes: 64 * 1024,
             checkpoint_every: 8,
             compact_on_checkpoint: true,
+            group_commit: false,
+            flush_every: 8,
         }
     }
 }
@@ -70,6 +85,9 @@ pub struct DurableLog {
     config: DurabilityConfig,
     wal: Wal,
     since_checkpoint: u64,
+    since_flush: u64,
+    head_version: u64,
+    acked_version: u64,
 }
 
 impl DurableLog {
@@ -93,6 +111,9 @@ impl DurableLog {
             config,
             wal,
             since_checkpoint: 0,
+            since_flush: 0,
+            head_version: version,
+            acked_version: version,
         })
     }
 
@@ -103,7 +124,14 @@ impl DurableLog {
 
     /// Record the batch that produced `version`; `graph_after` is the
     /// post-apply state, used when this append crosses the checkpoint
-    /// interval. The record is flushed before this returns.
+    /// interval. Without group commit the record is fsynced — durable,
+    /// acknowledged — before this returns. With
+    /// [`DurabilityConfig::group_commit`] the record is written but
+    /// only acknowledged once its covering fsync lands; track the
+    /// acknowledged frontier via [`DurableLog::acked_version`], or
+    /// force it with [`DurableLog::flush`]. A caller that must not ack
+    /// its own client before durability therefore waits for
+    /// `acked_version() >= version` (or flushes).
     pub fn append(
         &mut self,
         version: u64,
@@ -111,7 +139,19 @@ impl DurableLog {
         graph_after: &LabeledGraph,
         table: &SymbolTable,
     ) -> Result<()> {
-        self.wal.append(version, batch, table)?;
+        if self.config.group_commit {
+            self.wal.append_nosync(version, batch, table)?;
+            self.head_version = version;
+            self.since_flush += 1;
+            if self.since_flush >= self.config.flush_every.max(1) {
+                self.flush()?;
+            }
+        } else {
+            self.wal.append(version, batch, table)?;
+            self.head_version = version;
+            self.acked_version = version;
+            self.since_flush = 0;
+        }
         self.since_checkpoint += 1;
         if self.config.checkpoint_every > 0 && self.since_checkpoint >= self.config.checkpoint_every
         {
@@ -120,7 +160,39 @@ impl DurableLog {
         Ok(())
     }
 
-    /// Force a checkpoint of `graph` at `version`. When compaction is
+    /// Make every appended record durable now and advance the
+    /// acknowledged frontier to the head. Returns the new
+    /// [`DurableLog::acked_version`].
+    pub fn flush(&mut self) -> Result<u64> {
+        self.wal.flush()?;
+        self.acked_version = self.head_version;
+        self.since_flush = 0;
+        Ok(self.acked_version)
+    }
+
+    /// Highest version whose record is covered by an fsync — the
+    /// prefix recovery is guaranteed to reproduce. Equal to the last
+    /// appended version except inside an open group-commit window.
+    /// Tracks appends through this handle (re-opening a directory
+    /// starts from the base version passed to [`DurableLog::open`]).
+    pub fn acked_version(&self) -> u64 {
+        self.acked_version
+    }
+
+    /// Appended-but-unacknowledged batches in the group-commit window.
+    pub fn unacked(&self) -> u64 {
+        self.head_version - self.acked_version
+    }
+
+    /// Record-covering fsyncs this log's WAL has issued since open —
+    /// the group-commit ablation's cost currency.
+    pub fn fsyncs(&self) -> u64 {
+        self.wal.fsyncs()
+    }
+
+    /// Force a checkpoint of `graph` at `version`. Pending group-commit
+    /// records are flushed first (the checkpoint must never be *ahead*
+    /// of the durable log it compacts against). When compaction is
     /// enabled, log segments wholly covered by the new checkpoint are
     /// deleted — only after the checkpoint write itself succeeded, so
     /// a failed checkpoint never costs log records.
@@ -130,6 +202,7 @@ impl DurableLog {
         graph: &LabeledGraph,
         table: &SymbolTable,
     ) -> Result<()> {
+        self.flush()?;
         write_checkpoint(&self.dir, version, graph, table)?;
         if self.config.compact_on_checkpoint {
             crate::wal::compact(&self.dir, version)?;
@@ -302,6 +375,7 @@ mod tests {
             segment_bytes: 256,
             checkpoint_every: 3, // checkpoint mid-history
             compact_on_checkpoint: true,
+            ..DurabilityConfig::default()
         };
         let mut log = DurableLog::open(&dir, cfg, &graph, 0, &table).unwrap();
         for k in 0..5u32 {
@@ -341,6 +415,7 @@ mod tests {
             segment_bytes: 1 << 20,
             checkpoint_every: 2,
             compact_on_checkpoint: false,
+            ..DurabilityConfig::default()
         };
         let mut log = DurableLog::open(&dir, cfg, &graph, 0, &table).unwrap();
         for k in 0..4u32 {
@@ -379,6 +454,70 @@ mod tests {
             recover(&dir, &mut SymbolTable::new()),
             Err(DurableError::Corrupt { .. })
         ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_batches_fsyncs_and_tracks_the_acked_frontier() {
+        let dir = tmpdir("group");
+        let mut table = SymbolTable::new();
+        let a = table.intern("a");
+        let mut graph = LabeledGraph::from_triples(16, [(0, a, 1)]);
+        let cfg = DurabilityConfig {
+            segment_bytes: 1 << 20,
+            checkpoint_every: 0, // checkpoints fsync too; isolate the WAL
+            group_commit: true,
+            flush_every: 4,
+            ..DurabilityConfig::default()
+        };
+        let mut log = DurableLog::open(&dir, cfg, &graph, 0, &table).unwrap();
+        for k in 0..10u32 {
+            let mut batch = UpdateBatch::new();
+            batch.insert(k + 1, a, (k + 2) % 16);
+            batch.apply_to(&mut graph);
+            log.append(u64::from(k) + 1, &batch, &graph, &table)
+                .unwrap();
+            // The acked frontier only advances on covering fsyncs.
+            let v = u64::from(k) + 1;
+            assert_eq!(log.acked_version(), v / 4 * 4);
+            assert_eq!(log.unacked(), v - v / 4 * 4);
+        }
+        // 10 appends at flush_every=4 → exactly 2 fsyncs so far.
+        assert_eq!(log.fsyncs(), 2);
+        // An explicit flush drains the window and acks the head.
+        assert_eq!(log.flush().unwrap(), 10);
+        assert_eq!(log.unacked(), 0);
+        assert_eq!(log.fsyncs(), 3);
+        // Everything acked is recoverable.
+        let mut fresh = SymbolTable::new();
+        let rec = recover(&dir, &mut fresh).unwrap();
+        assert_eq!(rec.head_version, 10);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn always_fsync_path_syncs_every_append() {
+        let dir = tmpdir("nogroup");
+        let mut table = SymbolTable::new();
+        let a = table.intern("a");
+        let mut graph = LabeledGraph::from_triples(8, [(0, a, 1)]);
+        let cfg = DurabilityConfig {
+            segment_bytes: 1 << 20,
+            checkpoint_every: 0,
+            group_commit: false,
+            ..DurabilityConfig::default()
+        };
+        let mut log = DurableLog::open(&dir, cfg, &graph, 0, &table).unwrap();
+        for k in 0..5u32 {
+            let mut batch = UpdateBatch::new();
+            batch.insert(k + 1, a, (k + 2) % 8);
+            batch.apply_to(&mut graph);
+            log.append(u64::from(k) + 1, &batch, &graph, &table)
+                .unwrap();
+            assert_eq!(log.acked_version(), u64::from(k) + 1);
+            assert_eq!(log.unacked(), 0);
+        }
+        assert_eq!(log.fsyncs(), 5);
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -36,15 +36,22 @@
 //!
 //! ## Crash semantics
 //!
-//! Appends write the full record then fsync (`sync_data`), so after a
-//! crash — process *or* machine — the only possible damage is a torn
-//! record at the tail of the *last* segment. [`replay`] treats exactly
-//! that case as a clean end-of-log (reporting `torn_tail = true`), and
-//! [`Wal::open`] trims the torn bytes back to the last intact record
-//! boundary before appending, so post-restart records never land
-//! behind garbage that a later replay would stop at. A short record
-//! anywhere else, a checksum mismatch, a bad header, or a version gap
-//! is a typed [`DurableError::Corrupt`].
+//! [`Wal::append`] writes the full record then fsyncs (`sync_data`);
+//! [`Wal::append_nosync`] defers the fsync until the next
+//! [`Wal::flush`] — the group-commit path, where one `sync_data`
+//! covers a batch of records and only flushed records are
+//! *acknowledged* (see [`crate::DurableLog`]). After a crash — process
+//! *or* machine — every fsynced record is intact and the damage is
+//! confined to the unsynced tail of the *last* segment: missing
+//! records, or one torn record at the new end. [`replay`] treats
+//! exactly that case as a clean end-of-log (reporting
+//! `torn_tail = true`), and [`Wal::open`] trims the torn bytes back to
+//! the last intact record boundary before appending, so post-restart
+//! records never land behind garbage that a later replay would stop
+//! at. A short record anywhere else, a checksum mismatch, a bad
+//! header, or a version gap is a typed [`DurableError::Corrupt`].
+//! Every fsync that covers records is counted in
+//! `spbla_wal_fsyncs_total` — the group-commit ablation's currency.
 //!
 //! ## Compaction
 //!
@@ -450,6 +457,14 @@ pub struct Wal {
     segment_bytes: usize,
     active: Option<(PathBuf, File, usize)>,
     next_seq: u64,
+    /// Records written to the active segment but not yet covered by an
+    /// fsync — the group-commit window. These are NOT durable until
+    /// [`Wal::flush`].
+    pending: usize,
+    /// Record-covering fsyncs issued through this handle (the
+    /// per-instance view of `spbla_wal_fsyncs_total`, for ablations
+    /// that compare two logs in one process).
+    fsyncs: u64,
 }
 
 impl Wal {
@@ -511,6 +526,8 @@ impl Wal {
             segment_bytes,
             active,
             next_seq,
+            pending: 0,
+            fsyncs: 0,
         })
     }
 
@@ -518,6 +535,16 @@ impl Wal {
     /// of segment files ever created when none have been pruned.
     pub fn segments(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Records written but not yet made durable by a flush.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Record-covering fsyncs issued through this handle since open.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
     }
 
     fn rotate(&mut self, first_version: u64) -> Result<()> {
@@ -543,8 +570,25 @@ impl Wal {
     }
 
     /// Append the batch that produced `version`, rotating first if the
-    /// active segment is full. Fsyncs before returning.
+    /// active segment is full. Fsyncs before returning: the record is
+    /// durable — acknowledged — when this returns.
     pub fn append(&mut self, version: u64, batch: &UpdateBatch, table: &SymbolTable) -> Result<()> {
+        self.append_nosync(version, batch, table)?;
+        self.flush()
+    }
+
+    /// Append without the covering fsync — the group-commit path. The
+    /// record is on the file but NOT durable until the next
+    /// [`Wal::flush`]; a crash in between may lose it (or leave it
+    /// torn), which is exactly the unacknowledged-tail loss the
+    /// recovery contract allows. Rotation flushes the outgoing segment
+    /// first, so pending records never span a segment boundary.
+    pub fn append_nosync(
+        &mut self,
+        version: u64,
+        batch: &UpdateBatch,
+        table: &SymbolTable,
+    ) -> Result<()> {
         let payload = encode_record(version, batch, table)?;
         let record_len = RECORD_HEADER_LEN + payload.len();
         let needs_rotation = match &self.active {
@@ -552,6 +596,9 @@ impl Wal {
             None => true,
         };
         if needs_rotation {
+            // The outgoing segment's file handle is dropped by the
+            // rotation; its pending records must be durable first.
+            self.flush()?;
             self.rotate(version)?;
         }
         let (path, file, len) = self.active.as_mut().expect("active segment after rotate");
@@ -561,13 +608,32 @@ impl Wal {
         rec.extend_from_slice(&payload);
         file.write_all(&rec)
             .map_err(|e| io_err(path, "append", e))?;
-        // sync_data, not flush: a File has no userspace buffer, so the
-        // durability the caller is acknowledging needs the fsync.
-        file.sync_data().map_err(|e| io_err(path, "sync", e))?;
         *len += rec.len();
+        self.pending += 1;
         let m = metrics_global();
         m.counter("spbla_wal_records_total").inc(1);
         m.counter("spbla_wal_bytes_total").inc(rec.len() as u64);
+        Ok(())
+    }
+
+    /// Make every pending record durable with one `sync_data`. A no-op
+    /// when nothing is pending, so the fsync counter measures real
+    /// durability work, not call sites.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.pending == 0 {
+            return Ok(());
+        }
+        let (path, file, _) = self
+            .active
+            .as_mut()
+            .expect("pending records imply a segment");
+        // sync_data, not BufWriter-style flush: a File has no userspace
+        // buffer, so the durability the caller is acknowledging needs
+        // the fsync.
+        file.sync_data().map_err(|e| io_err(path, "sync", e))?;
+        self.pending = 0;
+        self.fsyncs += 1;
+        metrics_global().counter("spbla_wal_fsyncs_total").inc(1);
         Ok(())
     }
 }

@@ -262,6 +262,7 @@ struct EngineMetrics {
     deadline_exceeded: Counter,
     cancelled: Counter,
     failed: Counter,
+    updates_applied: Counter,
     batches: Counter,
     batched_requests: Counter,
     queue_depth_hwm: Gauge,
@@ -298,6 +299,7 @@ impl EngineMetrics {
             deadline_exceeded: counter("spbla_engine_deadline_exceeded_total"),
             cancelled: counter("spbla_engine_cancelled_total"),
             failed: counter("spbla_engine_failed_total"),
+            updates_applied: counter("spbla_engine_updates_total"),
             batches: counter("spbla_engine_batches_total"),
             batched_requests: counter("spbla_engine_batched_requests_total"),
             queue_depth_hwm: reg.gauge(&labeled("spbla_engine_queue_depth_hwm", &labels)),
@@ -345,6 +347,9 @@ pub struct EngineStats {
     pub cancelled: u64,
     /// Requests that failed in execution.
     pub failed: u64,
+    /// Update batches applied through the serving path (each produced
+    /// a new graph version).
+    pub updates_applied: u64,
     /// Plan-cache hits.
     pub plan_hits: u64,
     /// Plan-cache misses (compilations).
@@ -628,6 +633,7 @@ impl Engine {
             deadline_exceeded: m.deadline_exceeded.get(),
             cancelled: m.cancelled.get(),
             failed: m.failed.get(),
+            updates_applied: m.updates_applied.get(),
             plan_hits: m.plan_hits.get(),
             plan_misses: m.plan_misses.get(),
             residency_hits: m.residency_hits.get(),
@@ -1014,6 +1020,7 @@ fn run_one(
                 .catalog
                 .apply_batch(&req.graph, batch)
                 .map(QueryResult::Applied)
+                .inspect(|_| inner.metrics.updates_applied.inc(1))
         }
         _ => unreachable!("payload always matches its plan kind"),
     }

@@ -132,6 +132,18 @@ pub struct VersionedGraph {
 impl VersionedGraph {
     /// Load `graph` onto `grid` as version 0.
     pub fn new(grid: &DeviceGrid, graph: &LabeledGraph) -> Result<VersionedGraph> {
+        Self::new_at_version(grid, graph, 0)
+    }
+
+    /// Load `graph` onto `grid` with its history starting at `version`
+    /// — the rejoin/recovery path, where a rebuilt store must resume
+    /// the version numbering of the state it was copied from rather
+    /// than restart at zero.
+    pub fn new_at_version(
+        grid: &DeviceGrid,
+        graph: &LabeledGraph,
+        version: u64,
+    ) -> Result<VersionedGraph> {
         let n = graph.n_vertices();
         let mut labels_host = FxHashMap::default();
         let mut labels_dev = FxHashMap::default();
@@ -142,7 +154,7 @@ impl VersionedGraph {
             labels_dev.insert(label, Arc::new(dev));
         }
         let base = GraphSnapshot {
-            version: 0,
+            version,
             n,
             labels_host,
             labels_dev,

@@ -106,6 +106,7 @@ fn crash_at_every_byte_recovers_the_exact_prefix() {
         // The matrix exercises fallback from *any* checkpoint, which
         // needs the full-depth log; compaction has its own test below.
         compact_on_checkpoint: false,
+        ..DurabilityConfig::default()
     };
     let mut log = DurableLog::open(&dir, config, &graph, 0, &table).unwrap();
     let mut version_checksums = vec![closure_checksum(&graph)];
@@ -162,6 +163,118 @@ fn crash_at_every_byte_recovers_the_exact_prefix() {
     let _ = fs::remove_dir_all(&crash);
 }
 
+/// The crash matrix under group commit: fsyncs are batched across
+/// appends, so the durability promise narrows to the *acknowledged*
+/// prefix — versions covered by a flush ([`DurableLog::acked_version`]).
+/// Truncating the log at every byte must (a) never lose an acknowledged
+/// batch, (b) rebuild whatever prefix survives bit-identically, and
+/// (c) actually lose part of the unacknowledged tail at some cuts —
+/// the allowed loss, asserted distinctly so the ack frontier is shown
+/// to be the real boundary and not a vacuous one.
+#[test]
+fn group_commit_crash_matrix_never_loses_acknowledged_batches() {
+    let dir = tmpdir("group-matrix");
+    let mut table = SymbolTable::new();
+    let n = 12u32;
+    let batches = batch_stream(&mut table, n, 8);
+    let a = table.get("a").unwrap();
+    let mut graph = LabeledGraph::from_triples(n, [(0, a, 1), (1, a, 2)]);
+    // Single segment, no automatic checkpoints: every durability event
+    // in this run is a group-commit flush, so the acked bookkeeping
+    // below is exact.
+    let config = DurabilityConfig {
+        segment_bytes: 1 << 20,
+        checkpoint_every: 0,
+        compact_on_checkpoint: false,
+        group_commit: true,
+        flush_every: 3,
+    };
+    let mut log = DurableLog::open(&dir, config, &graph, 0, &table).unwrap();
+    let log_bytes = |dir: &Path| -> usize {
+        wal::list_segments(dir)
+            .unwrap()
+            .iter()
+            .map(|s| fs::metadata(s).unwrap().len() as usize)
+            .sum()
+    };
+    let mut version_checksums = vec![closure_checksum(&graph)];
+    // (bytes on disk, acked version) at every covering fsync: a crash
+    // keeping at least that many bytes must recover at least that
+    // version.
+    let mut acked_floors: Vec<(usize, u64)> = Vec::new();
+    for (k, batch) in batches.iter().enumerate() {
+        batch.apply_to(&mut graph);
+        log.append(k as u64 + 1, batch, &graph, &table).unwrap();
+        version_checksums.push(closure_checksum(&graph));
+        if log.unacked() == 0 {
+            acked_floors.push((log_bytes(&dir), log.acked_version()));
+        }
+    }
+    let appended = batches.len() as u64;
+    // 8 appends at flush_every=3 → 2 fsyncs (vs 8 on the always-fsync
+    // path): the ≥3× fsync economy the batching exists for.
+    assert_eq!(log.fsyncs(), 2);
+    assert_eq!(log.acked_version(), 6);
+    assert_eq!(
+        log.unacked(),
+        2,
+        "the stream must end inside an open window"
+    );
+
+    let total_bytes = log_bytes(&dir);
+    let crash = tmpdir("group-matrix-crash");
+    let mut seen_tail_loss = false;
+    for cut in 20..=total_bytes {
+        crash_copy(&dir, &crash, cut);
+        let (live_head, torn) = prefix_records(&crash);
+        for (v, path) in list_checkpoints(&dir).unwrap() {
+            if v <= live_head {
+                fs::copy(&path, crash.join(path.file_name().unwrap())).unwrap();
+            }
+        }
+        let mut fresh = SymbolTable::new();
+        let rec = recover(&crash, &mut fresh).unwrap();
+        assert_eq!(rec.head_version, live_head, "cut at {cut}");
+        assert_eq!(rec.torn_tail, torn);
+        // (a) The acknowledged prefix holds: whatever was covered by a
+        // flush that fit inside the cut must be there.
+        let floor = acked_floors
+            .iter()
+            .filter(|&&(bytes, _)| bytes <= cut)
+            .map(|&(_, v)| v)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            rec.head_version >= floor,
+            "cut at {cut} lost acknowledged version {floor} (recovered {})",
+            rec.head_version
+        );
+        // (c) Unacknowledged-tail loss is real at some cuts.
+        seen_tail_loss |= rec.head_version >= floor && rec.head_version < appended;
+        // (b) Every surviving version reconstructs bit-identically.
+        let mut rebuilt = rec.graph;
+        assert_eq!(
+            closure_checksum(&rebuilt),
+            version_checksums[rec.checkpoint_version as usize],
+            "checkpoint state diverged (cut {cut})"
+        );
+        for (version, batch) in &rec.tail {
+            batch.apply_to(&mut rebuilt);
+            assert_eq!(
+                closure_checksum(&rebuilt),
+                version_checksums[*version as usize],
+                "version {version} diverged (cut {cut})"
+            );
+        }
+    }
+    assert!(
+        seen_tail_loss,
+        "some cut must land inside the open group-commit window"
+    );
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&crash);
+}
+
 /// The crash matrix, continued past the restart: after a crash at any
 /// byte, re-opening the log must trim the torn tail so acknowledged
 /// *post-restart* appends are replayed by the next recovery — never
@@ -178,6 +291,7 @@ fn restart_after_crash_keeps_post_restart_appends() {
         segment_bytes: 96,
         checkpoint_every: 2,
         compact_on_checkpoint: false, // full-depth log, as above
+        ..DurabilityConfig::default()
     };
     let mut log = DurableLog::open(&dir, config, &graph, 0, &table).unwrap();
     for (k, batch) in batches.iter().enumerate() {
@@ -239,6 +353,7 @@ fn compaction_preserves_recovery_bit_identity() {
         segment_bytes: 96,
         checkpoint_every: 0,
         compact_on_checkpoint: true,
+        ..DurabilityConfig::default()
     };
     let mut log = DurableLog::open(&dir, config, &graph, 0, &table).unwrap();
     let mut graph_at_6 = graph.clone();
@@ -334,6 +449,7 @@ fn engine_restart_reconstructs_the_served_state() {
         segment_bytes: 128,
         checkpoint_every: 3,
         compact_on_checkpoint: true,
+        ..DurabilityConfig::default()
     };
     let mut log = engine.with_symbols(|t| DurableLog::open(&dir, config, &base, 0, t).unwrap());
     // Batches were built against a local table with the same intern
